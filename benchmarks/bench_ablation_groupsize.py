@@ -1,0 +1,20 @@
+"""Ablation C: replication degree (2f+1) does not cost latency.
+
+WbCast gathers intra-group quorums in parallel with the inter-group
+exchange, so growing groups from 3 to 7 members leaves the collision-free
+latency at exactly 3δ — more replicas buy fault tolerance, not delay
+(message *count* grows, so under CPU load throughput would pay; that part
+is visible in the Fig. 7 sweep's CPU model).
+"""
+
+from conftest import run_once, save_result
+
+from repro.bench.ablation import group_size_latency, group_size_table
+
+
+def test_group_size_latency(benchmark):
+    rows = run_once(benchmark, group_size_latency)
+    save_result("ablation_groupsize", group_size_table(rows))
+    for size, lat_min, lat_max in rows:
+        assert lat_min == 3.0
+        assert lat_max == 3.0

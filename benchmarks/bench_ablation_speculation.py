@@ -1,0 +1,24 @@
+"""Ablation A: what the speculative clock advance (Fig. 4 line 14) buys.
+
+The white-box trick replicates the clock update inside the same ACCEPT
+round trip as the timestamp itself.  With it, a destination leader's
+clock passes a message's global timestamp 2δ after the multicast (convoy
+window C = 2δ, FFL = 3δ + 2δ = 5δ).  Without it, the clock only advances
+on DELIVER (C = 3δ, FFL = 6δ).  Collision-free latency is unchanged —
+the optimisation is purely about collision robustness.
+"""
+
+from conftest import run_once, save_result
+
+from repro.bench.ablation import measure_ffl_with_options, speculation_table
+from repro.protocols.wbcast import WbCastOptions
+
+
+def test_speculative_clock_ablation(benchmark):
+    table = run_once(benchmark, speculation_table)
+    save_result("ablation_speculation", table)
+    on = measure_ffl_with_options(WbCastOptions())
+    off = measure_ffl_with_options(WbCastOptions(speculative_clock=False))
+    assert on < off
+    assert abs(on - 5.0) <= 0.3
+    assert abs(off - 6.0) <= 0.3

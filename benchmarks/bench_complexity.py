@@ -1,0 +1,36 @@
+"""Message-complexity table: the traffic cost behind the latency wins.
+
+Not a figure in the paper, but the mechanism under its Fig. 7 CPU
+behaviour: WbCast's single combined round touches every destination
+process from every destination leader (Θ(k²n) messages), while the
+black-box designs pay more *phases* but fewer messages at high fan-out.
+Asserted growth shapes pin the protocols' complexity classes.
+"""
+
+from conftest import run_once, save_result
+
+from repro.bench.complexity import complexity_table, format_complexity
+
+
+def test_message_complexity(benchmark):
+    points = run_once(benchmark, complexity_table)
+    save_result("complexity", format_complexity(points))
+    by = {(p.protocol, p.dest_k): p for p in points}
+
+    # Commit depth (critical path) matches the paper's table at k >= 2.
+    for k in (2, 4):
+        assert by[("WbCast", k)].leader_delivery_delta == 3.0
+        assert by[("FastCast", k)].leader_delivery_delta == 4.0
+        assert by[("FtSkeen", k)].leader_delivery_delta == 6.0
+        assert by[("Skeen", k)].leader_delivery_delta == 2.0
+
+    # Growth shapes: WbCast's traffic grows superlinearly in k (Θ(k²n));
+    # FT-Skeen's stays closer to linear.
+    wb_ratio = by[("WbCast", 4)].messages / by[("WbCast", 2)].messages
+    ft_ratio = by[("FtSkeen", 4)].messages / by[("FtSkeen", 2)].messages
+    assert wb_ratio > 3.0
+    assert ft_ratio < 2.5
+    # At k=4 WbCast sends the most messages of all protocols — the price
+    # of the 3δ critical path.
+    assert by[("WbCast", 4)].messages >= by[("FastCast", 4)].messages
+    assert by[("WbCast", 4)].messages >= by[("FtSkeen", 4)].messages

@@ -1,0 +1,28 @@
+"""Reproduces Fig. 2: the convoy effect in Skeen's protocol.
+
+A conflicting message injected τ after ``m`` (over an adversarially fast
+link, with group 1's clock pre-skewed) delays m's delivery linearly in τ
+until the convoy window closes at 2δ — peaking just under the paper's 4δ
+worst case, double the collision-free 2δ.
+"""
+
+import pytest
+
+from conftest import run_once, save_result
+
+from repro.bench.convoy import format_convoy, run_convoy
+
+
+def test_convoy_effect_fig2(benchmark):
+    points = run_once(benchmark, run_convoy)
+    save_result("convoy_fig2", format_convoy(points))
+    latencies = {p.offset_delta: p.latency_delta for p in points}
+    assert latencies[0.0] == pytest.approx(2.0)  # collision-free baseline
+    worst = max(p.latency_delta for p in points)
+    assert 3.5 <= worst < 4.0 + 1e-6  # approaches 4δ from below
+    # Latency rises monotonically with τ inside the convoy window ...
+    inside = [p.latency_delta for p in points if p.offset_delta < 2.0]
+    assert inside == sorted(inside)
+    # ... and snaps back to 2δ once the window closes.
+    after = [p.latency_delta for p in points if p.offset_delta >= 2.0]
+    assert all(v == pytest.approx(2.0) for v in after)

@@ -1,0 +1,41 @@
+"""Reproduces Fig. 7: LAN latency & throughput vs client count.
+
+Ten groups × three replicas on a 0.1 ms-RTT LAN with a per-process CPU
+service-time model; closed-loop clients multicast 20-byte messages to a
+fixed number of uniformly random destination groups.
+
+Paper claims reproduced in shape:
+  * WbCast beats FastCast on latency *and* throughput at every client
+    count (70–150% in the paper's testbed at 1000 clients);
+  * FastCast trails plain fault-tolerant Skeen in the LAN (its extra
+    parallel phases cost more than they save when δ is tiny).
+
+Default grid is scaled down for CI; ``REPRO_BENCH_FULL=1`` runs the
+paper-scale one (clients up to 1000, dests up to all 10 groups).
+"""
+
+from conftest import run_once, save_result
+
+from repro.bench.figure7 import run_figure7
+from repro.bench.sweep import format_sweep, headline_comparison
+
+
+def test_figure7_lan(benchmark):
+    points = run_once(benchmark, run_figure7)
+    text = format_sweep(points, "Figure 7 (LAN): latency & throughput vs clients")
+    text += "\n\n" + headline_comparison(points)
+    save_result("figure7_lan", text)
+
+    by_key = {(p.protocol, p.dest_k, p.clients): p for p in points}
+    max_clients = max(p.clients for p in points)
+    for dest_k in sorted({p.dest_k for p in points}):
+        wb = by_key[("WbCastProcess", dest_k, max_clients)]
+        fc = by_key[("FastCastProcess", dest_k, max_clients)]
+        # Shape claim: WbCast wins latency and throughput vs FastCast.
+        assert wb.mean_latency < fc.mean_latency
+        assert wb.throughput > fc.throughput
+    # Shape claim: in LAN, FastCast does not beat FT-Skeen.
+    for dest_k in sorted({p.dest_k for p in points}):
+        fc = by_key[("FastCastProcess", dest_k, max_clients)]
+        ft = by_key[("FtSkeenProcess", dest_k, max_clients)]
+        assert fc.throughput <= ft.throughput * 1.05

@@ -1,0 +1,33 @@
+"""Reproduces Fig. 8: WAN latency & throughput vs client count.
+
+The same ten groups replicated across the paper's three Google Cloud
+regions (Oregon / N. Virginia / England; RTTs 60/75/130 ms), every region
+holding a full copy.  Delay budgets dominate: WbCast (one cross-region
+quorum round trip after the multicast) beats FastCast, which beats
+FT-Skeen (two sequential consensus round trips) by about 2x — the WAN
+ordering from the paper, including the LAN⇄WAN flip of FastCast vs Skeen.
+"""
+
+from conftest import run_once, save_result
+
+from repro.bench.figure8 import run_figure8
+from repro.bench.sweep import format_sweep, headline_comparison
+
+
+def test_figure8_wan(benchmark):
+    points = run_once(benchmark, run_figure8)
+    text = format_sweep(points, "Figure 8 (WAN): latency & throughput vs clients")
+    text += "\n\n" + headline_comparison(points)
+    save_result("figure8_wan", text)
+
+    by_key = {(p.protocol, p.dest_k, p.clients): p for p in points}
+    max_clients = max(p.clients for p in points)
+    for dest_k in sorted({p.dest_k for p in points}):
+        wb = by_key[("WbCastProcess", dest_k, max_clients)]
+        fc = by_key[("FastCastProcess", dest_k, max_clients)]
+        ft = by_key[("FtSkeenProcess", dest_k, max_clients)]
+        # Shape claims: WbCast > FastCast > FT-Skeen in the WAN, and the
+        # black-box Skeen pays about twice WbCast's latency.
+        assert wb.mean_latency < fc.mean_latency < ft.mean_latency
+        assert wb.throughput > fc.throughput > ft.throughput
+        assert ft.mean_latency > 1.8 * wb.mean_latency

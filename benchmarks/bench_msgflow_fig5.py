@@ -1,0 +1,59 @@
+"""Reproduces Fig. 5: the white-box protocol's collision-free message flow.
+
+MULTICAST reaches the leaders at 1δ; ACCEPTs fan out to every destination
+process by 2δ; ACCEPT_ACKs return by 3δ, where the leaders commit and
+deliver; followers deliver on the DELIVER at 4δ.
+"""
+
+from conftest import run_once, save_result
+
+from repro.bench.report import render_table
+from repro.config import ClusterConfig
+from repro.protocols import WbCastProcess
+from repro.protocols.wbcast import AcceptAckMsg, AcceptMsg, DeliverMsg
+from repro.protocols.base import MulticastMsg
+from repro.bench.latency_table import DELTA, _build
+
+
+def run_flow():
+    sim, config, trace, tracker, clients = _build(
+        WbCastProcess, __import__("repro.sim", fromlist=["ConstantDelay"]).ConstantDelay(DELTA),
+        [[(0.0, (0, 1))]],
+    )
+    sim.run()
+    mid = clients[0].sent[0]
+    hops = []
+    for rec in trace.sends:
+        name = type(rec.msg).__name__
+        if isinstance(rec.msg, (MulticastMsg, AcceptMsg, DeliverMsg)):
+            hops.append((name, rec.t_send / DELTA, rec.t_arrive / DELTA))
+        elif isinstance(rec.msg, AcceptAckMsg):
+            hops.append((name, rec.t_send / DELTA, rec.t_arrive / DELTA))
+    deliveries = sorted((d.t / DELTA, d.pid) for d in trace.deliveries)
+    return hops, deliveries, config
+
+
+def test_message_flow_fig5(benchmark):
+    hops, deliveries, config = run_once(benchmark, run_flow)
+    phases = {}
+    for name, t_send, t_arrive in hops:
+        phases.setdefault(name, set()).add((round(t_send, 6), round(t_arrive, 6)))
+    table = render_table(
+        ["message", "sent at (δ)", "arrives by (δ)"],
+        sorted(
+            (name, min(t for t, _ in times), max(a for _, a in times))
+            for name, times in phases.items()
+        ),
+        title="Figure 5 — WbCast collision-free flow (2 groups x 3 replicas)",
+    )
+    lines = [table, "", "deliveries (δ, pid): " + str(deliveries)]
+    save_result("msgflow_fig5", "\n".join(lines))
+
+    assert phases["MulticastMsg"] == {(0.0, 1.0)}
+    assert all(ts == 1.0 and ta == 2.0 for ts, ta in phases["AcceptMsg"] if ta != 1.0)
+    assert all(ts == 2.0 for ts, _ in phases["AcceptAckMsg"])
+    assert all(ts == 3.0 for ts, _ in phases["DeliverMsg"])
+    leader_deliveries = [t for t, pid in deliveries if pid in (0, 3)]
+    follower_deliveries = [t for t, pid in deliveries if pid not in (0, 3)]
+    assert all(t == 3.0 for t in leader_deliveries)
+    assert all(t == 4.0 for t in follower_deliveries)

@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark file regenerates one figure/table of the paper (see
+DESIGN.md's experiment index).  Runs are heavy, deterministic simulations,
+so every benchmark executes exactly once (``pedantic`` with one round) and
+writes its reproduction table to ``results/`` as the artifact of record.
+
+Set ``REPRO_BENCH_FULL=1`` for the paper-scale parameter grids.
+"""
+
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    """Write a benchmark's output table under results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

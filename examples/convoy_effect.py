@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""The convoy effect (Fig. 2) and how the white-box protocol tames it.
+
+A committed message cannot be delivered while an earlier-timestamped
+message is still in flight.  An adversarially timed conflicting message
+therefore stretches delivery latency — up to double in Skeen-family
+protocols (the paper's Eq. 4: FFL = CFL + C).  This demo sweeps the
+conflict timing and prints the latency curve for Skeen's protocol, then
+the measured worst case for every protocol against the paper's numbers.
+
+    python examples/convoy_effect.py
+"""
+
+from repro.bench.convoy import format_convoy, run_convoy
+from repro.bench.latency_table import (
+    build_latency_table,
+    format_latency_table,
+)
+
+
+def main() -> None:
+    print(format_convoy(run_convoy()))
+    print()
+    print("Sweeping the same adversarial collision against every protocol:")
+    print()
+    print(format_latency_table(build_latency_table()))
+    print()
+    print("WbCast caps the degradation at 5δ (CFL 3δ + convoy window 2δ): the")
+    print("speculative clock advance closes the window two hops earlier than")
+    print("the consensus-as-a-black-box designs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""A partitioned, replicated key-value store on atomic multicast.
+
+The paper's motivating deployment (Section I): service state partitioned
+across groups, each group replicated; atomic multicast keeps every replica
+of every partition consistent, including *cross-partition* writes, which
+are applied atomically at one point of the global total order.
+
+    python examples/partitioned_kvstore.py
+"""
+
+import random
+
+from repro.apps import KvStoreCluster
+from repro.apps.kvstore import partition_of
+
+
+def main() -> None:
+    store = KvStoreCluster(num_groups=3, group_size=3, seed=7)
+    print("cluster: 3 partitions x 3 replicas, keys hash-partitioned\n")
+
+    # Single-partition writes: multicast to one group.
+    store.put("user:alice", {"credit": 100})
+    store.put("user:bob", {"credit": 50})
+
+    # A cross-partition transactional write: multicast to all involved
+    # groups, applied atomically in total order everywhere.
+    store.multi_put({"user:alice": {"credit": 70}, "user:bob": {"credit": 80}})
+    store.sync()
+
+    for key in ("user:alice", "user:bob"):
+        gid = partition_of(key, 3)
+        values = [store.get(key, replica_index=i) for i in range(3)]
+        assert values[0] == values[1] == values[2]
+        print(f"{key:12s} partition {gid}: {values[0]} (all 3 replicas agree)")
+
+    # Hammer it with interleaved writes and check convergence.
+    rng = random.Random(0)
+    keys = [f"item:{i}" for i in range(10)]
+    for step in range(100):
+        if rng.random() < 0.3:
+            a, b = rng.sample(keys, 2)
+            store.multi_put({a: step, b: step})
+        else:
+            store.put(rng.choice(keys), step)
+    store.sync()
+
+    print(f"\nafter 100 more writes: replicas converged = {store.replicas_converged()}")
+    print("every replica of every partition applied the same commands in the same order")
+
+
+if __name__ == "__main__":
+    main()

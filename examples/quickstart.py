@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Quickstart: atomic multicast across replicated groups in 30 lines.
+
+Runs the paper's white-box protocol (WbCast) on a simulated cluster of
+3 groups x 3 replicas, drives it with two closed-loop clients, verifies
+the four atomic-multicast properties, and prints the observed latencies
+(in units of the one-way delay δ: the paper's Theorem 3 says 3δ).
+
+    python examples/quickstart.py
+"""
+
+from repro import ConstantDelay, WbCastProcess, check_all, run_workload
+
+DELTA = 0.001  # one-way message delay: 1 ms
+
+
+def main() -> None:
+    result = run_workload(
+        WbCastProcess,
+        num_groups=3,
+        group_size=3,
+        num_clients=2,
+        messages_per_client=10,
+        dest_k=2,  # each message goes to 2 random groups
+        network=ConstantDelay(DELTA),
+        seed=42,
+    )
+
+    print(f"multicasts completed : {result.completed}/{result.expected}")
+    for check in result.check():
+        print(f"property check       : {check.describe()}")
+
+    latencies = result.latencies()
+    print(f"latency (min/max)    : {min(latencies)/DELTA:.2f}δ / {max(latencies)/DELTA:.2f}δ")
+    print("paper's Theorem 3    : collision-free delivery in 3δ at the leaders")
+
+    # Every process delivered the messages addressed to it in one total order:
+    leader_of_g0 = result.members[0]
+    order = [d.m.mid for d in result.trace.deliveries if d.pid == 0]
+    print(f"group 0 leader saw   : {len(order)} messages, first five: {order[:5]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""White-box atomic multicast (Gotsman, Lefort & Chockler, DSN 2019).
+
+A from-scratch reproduction of the paper's protocol and its competitors,
+with a deterministic discrete-event simulator, an asyncio TCP runtime,
+black-box property checkers, white-box invariant monitors, and a
+benchmark harness regenerating every figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import ClusterConfig, WbCastProcess, run_workload
+
+    result = run_workload(WbCastProcess, num_groups=3, group_size=3,
+                          num_clients=2, messages_per_client=5, dest_k=2)
+    assert all(check.ok for check in result.check())
+    print(result.latencies())
+
+See ``examples/`` for runnable scenarios and ``DESIGN.md`` for the full
+system inventory.
+"""
+
+from .config import ClusterConfig
+from .errors import (
+    ConfigError,
+    InvariantViolation,
+    PropertyViolation,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+)
+from .types import (
+    BALLOT_BOTTOM,
+    TS_BOTTOM,
+    AmcastMessage,
+    Ballot,
+    GroupId,
+    MessageId,
+    ProcessId,
+    Timestamp,
+    make_message,
+)
+from .protocols import (
+    FastCastProcess,
+    FtSkeenProcess,
+    MulticastMsg,
+    PROTOCOLS,
+    SequencerProcess,
+    SkeenProcess,
+    WbCastProcess,
+)
+from .protocols.wbcast import WbCastOptions
+from .sim import ConstantDelay, SiteTopology, Simulator, Trace, UniformCpu, UniformDelay
+from .checking import History, check_all
+from .bench import run_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AmcastMessage",
+    "BALLOT_BOTTOM",
+    "Ballot",
+    "ClusterConfig",
+    "ConfigError",
+    "ConstantDelay",
+    "FastCastProcess",
+    "FtSkeenProcess",
+    "GroupId",
+    "History",
+    "InvariantViolation",
+    "MessageId",
+    "MulticastMsg",
+    "PROTOCOLS",
+    "ProcessId",
+    "PropertyViolation",
+    "ProtocolError",
+    "ReproError",
+    "SequencerProcess",
+    "SimulationError",
+    "SiteTopology",
+    "Simulator",
+    "SkeenProcess",
+    "TS_BOTTOM",
+    "Timestamp",
+    "Trace",
+    "UniformCpu",
+    "UniformDelay",
+    "WbCastOptions",
+    "WbCastProcess",
+    "check_all",
+    "make_message",
+    "run_workload",
+]

@@ -1,0 +1,10 @@
+"""``python -m repro`` entry point."""
+
+import sys
+
+from .cli import main
+
+try:
+    sys.exit(main())
+except BrokenPipeError:  # e.g. `python -m repro flow | head`
+    sys.exit(0)

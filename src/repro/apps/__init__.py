@@ -1,0 +1,26 @@
+"""Example applications built on the atomic multicast API.
+
+These are the paper's motivating use case (Section I): a service
+partitioned across process groups, each group replicated for fault
+tolerance, kept consistent by delivering commands through atomic
+multicast — single-partition commands to one group, cross-partition
+transactions to several, all in one total order.
+
+* :mod:`repro.apps.kvstore` — a partitioned, replicated key-value store
+  with atomic cross-partition multi-puts;
+* :mod:`repro.apps.bank` — cross-shard transfers whose invariant (money
+  is conserved) only holds if the multicast really is atomic and ordered.
+"""
+
+from .kvstore import KvCommand, KvStoreCluster, ReplicaStore
+from .bank import BankCluster, Transfer
+from .replicated_log import ReplicatedLog
+
+__all__ = [
+    "BankCluster",
+    "ReplicatedLog",
+    "KvCommand",
+    "KvStoreCluster",
+    "ReplicaStore",
+    "Transfer",
+]

@@ -1,0 +1,174 @@
+"""A partitioned, replicated key-value store on atomic multicast.
+
+Keys are hash-partitioned across the cluster's groups; each group member
+maintains a full replica of its partition.  Commands are multicast to the
+partitions they touch: a single-key put goes to one group, a multi-put
+spanning partitions goes to all of them *atomically* — every involved
+group applies it at the same point of the global total order, which is
+exactly the consistency argument of Section I of the paper.
+
+The store is deliberately simple (last-writer-wins by delivery order); the
+interesting property is that replicas of a partition converge and that
+cross-partition commands are never interleaved inconsistently.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from ..config import ClusterConfig
+from ..protocols import WbCastProcess
+from ..protocols.base import MulticastMsg
+from ..sim import ConstantDelay, Simulator, Trace
+from ..types import AmcastMessage, GroupId, MessageId, ProcessId, make_message
+
+
+@dataclass(frozen=True, slots=True)
+class KvCommand:
+    """A store command carried as a multicast payload.
+
+    ``op`` is ``"put"`` or ``"delete"``; ``items`` holds (key, value)
+    pairs (values ignored for deletes).
+    """
+
+    op: str
+    items: Tuple[Tuple[str, Any], ...]
+
+
+def partition_of(key: str, num_groups: int) -> GroupId:
+    """Stable hash partitioning (crc32; Python's hash() is randomised)."""
+    return zlib.crc32(key.encode()) % num_groups
+
+
+class ReplicaStore:
+    """One member's replica of its group's partition."""
+
+    def __init__(self, gid: GroupId, num_groups: int) -> None:
+        self.gid = gid
+        self.num_groups = num_groups
+        self.data: Dict[str, Any] = {}
+        self.applied: List[MessageId] = []  # order of applied commands
+
+    def apply(self, m: AmcastMessage) -> None:
+        cmd = m.payload
+        if not isinstance(cmd, KvCommand):
+            return
+        self.applied.append(m.mid)
+        for key, value in cmd.items:
+            if partition_of(key, self.num_groups) != self.gid:
+                continue  # another partition's share of the command
+            if cmd.op == "put":
+                self.data[key] = value
+            elif cmd.op == "delete":
+                self.data.pop(key, None)
+
+
+class KvStoreCluster:
+    """A simulated store cluster with a synchronous client API.
+
+    Writes are submitted asynchronously; ``sync()`` drains the simulation
+    so every in-flight command lands; reads are served from a replica of
+    the key's partition.
+    """
+
+    def __init__(
+        self,
+        num_groups: int = 3,
+        group_size: int = 3,
+        protocol_cls=WbCastProcess,
+        protocol_options: Any = None,
+        delta: float = 0.001,
+        seed: int = 0,
+    ) -> None:
+        self.config = ClusterConfig.build(num_groups, group_size, num_clients=1)
+        self.client_pid = self.config.clients[0]
+        self.trace = Trace(record_sends=False)
+        self.sim = Simulator(ConstantDelay(delta), seed=seed, trace=self.trace)
+        self.stores: Dict[ProcessId, ReplicaStore] = {}
+        self.processes: Dict[ProcessId, Any] = {}
+        for pid in self.config.all_members:
+            gid = self.config.group_of(pid)
+            self.stores[pid] = ReplicaStore(gid, num_groups)
+            self.processes[pid] = self.sim.add_process(
+                pid,
+                lambda rt, p=pid: protocol_cls(
+                    p, self.config, rt, options=protocol_options
+                ),
+            )
+        self.sim.add_process(self.client_pid, lambda rt: _NullClient())
+        self.trace.attach(_StoreApplier(self.stores))
+        self._seq = 0
+
+    # -- write path ---------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> AmcastMessage:
+        return self._submit(KvCommand("put", ((key, value),)))
+
+    def delete(self, key: str) -> AmcastMessage:
+        return self._submit(KvCommand("delete", ((key, None),)))
+
+    def multi_put(self, mapping: Dict[str, Any]) -> AmcastMessage:
+        """Atomically write keys that may span several partitions."""
+        items = tuple(sorted(mapping.items()))
+        return self._submit(KvCommand("put", items))
+
+    def _submit(self, cmd: KvCommand) -> AmcastMessage:
+        dests = frozenset(
+            partition_of(key, self.config.num_groups) for key, _ in cmd.items
+        )
+        self._seq += 1
+        m = make_message(self.client_pid, self._seq, dests, payload=cmd)
+        self.sim.record_multicast(self.client_pid, m)
+        msg = MulticastMsg(m)
+        for gid in sorted(dests):
+            self.sim.schedule(
+                0.0,
+                lambda g=gid, mm=msg: self.sim.transmit(
+                    self.client_pid, self.config.default_leader(g), mm
+                ),
+            )
+        return m
+
+    # -- read path --------------------------------------------------------------
+
+    def sync(self) -> None:
+        """Drain the simulation: all submitted commands are applied after."""
+        self.sim.run()
+
+    def get(self, key: str, replica_index: int = 0) -> Any:
+        gid = partition_of(key, self.config.num_groups)
+        pid = self.config.members(gid)[replica_index]
+        return self.stores[pid].data.get(key)
+
+    # -- verification ----------------------------------------------------------------
+
+    def replicas_converged(self) -> bool:
+        """Every member of each group holds the same data and applied the
+        same command sequence."""
+        for gid in self.config.group_ids:
+            members = self.config.members(gid)
+            reference = self.stores[members[0]]
+            for pid in members[1:]:
+                other = self.stores[pid]
+                if other.data != reference.data or other.applied != reference.applied:
+                    return False
+        return True
+
+
+class _StoreApplier:
+    """Trace monitor applying delivered commands to the replica stores."""
+
+    def __init__(self, stores: Dict[ProcessId, ReplicaStore]) -> None:
+        self._stores = stores
+
+    def on_deliver(self, t: float, pid: ProcessId, m: AmcastMessage) -> None:
+        store = self._stores.get(pid)
+        if store is not None:
+            store.apply(m)
+
+
+class _NullClient:
+    def on_message(self, sender, msg):
+        pass

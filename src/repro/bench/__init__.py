@@ -1,0 +1,24 @@
+"""Benchmark harness reproducing the paper's evaluation (Section VI).
+
+* :mod:`repro.bench.harness` — build-and-run one workload configuration;
+* :mod:`repro.bench.topologies` — the paper's LAN and WAN testbeds;
+* :mod:`repro.bench.metrics` — latency/throughput summaries;
+* :mod:`repro.bench.latency_table` — the δ-unit latency table (Thms 3–4);
+* :mod:`repro.bench.convoy` — the Fig. 2 convoy-effect scenario;
+* :mod:`repro.bench.figure7` / :mod:`repro.bench.figure8` — the LAN / WAN
+  client sweeps of Figs. 7 and 8;
+* :mod:`repro.bench.report` — ASCII tables for terminal output.
+"""
+
+from .harness import RunResult, run_workload
+from .metrics import LatencySummary, summarize_latencies
+from .topologies import lan_testbed, wan_testbed
+
+__all__ = [
+    "LatencySummary",
+    "RunResult",
+    "lan_testbed",
+    "run_workload",
+    "summarize_latencies",
+    "wan_testbed",
+]

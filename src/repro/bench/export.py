@@ -1,0 +1,58 @@
+"""CSV export of sweep results, for plotting outside the terminal.
+
+``pytest benchmarks/`` writes human tables to ``results/``; this module
+writes the same data as machine-readable CSV so the figures can be
+re-plotted (gnuplot, matplotlib, spreadsheets) without re-running.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+from typing import Iterable, List, Union
+
+from .sweep import SweepPoint
+
+
+def sweep_to_csv(points: Iterable[SweepPoint]) -> str:
+    """Render sweep points as CSV text (header + one row per point)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["protocol", "dest_k", "clients", "mean_latency_s",
+         "p95_latency_s", "throughput_msgs_s", "completed"]
+    )
+    for p in points:
+        writer.writerow(
+            [p.protocol.replace("Process", ""), p.dest_k, p.clients,
+             f"{p.mean_latency:.9f}", f"{p.p95_latency:.9f}",
+             f"{p.throughput:.3f}", p.completed]
+        )
+    return buffer.getvalue()
+
+
+def write_csv(points: Iterable[SweepPoint], path: Union[str, pathlib.Path]) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(sweep_to_csv(points))
+    return path
+
+
+def read_csv(path: Union[str, pathlib.Path]) -> List[dict]:
+    """Read an exported CSV back into dict rows (numbers parsed)."""
+    rows: List[dict] = []
+    with open(path, newline="") as fh:
+        for row in csv.DictReader(fh):
+            rows.append(
+                {
+                    "protocol": row["protocol"],
+                    "dest_k": int(row["dest_k"]),
+                    "clients": int(row["clients"]),
+                    "mean_latency_s": float(row["mean_latency_s"]),
+                    "p95_latency_s": float(row["p95_latency_s"]),
+                    "throughput_msgs_s": float(row["throughput_msgs_s"]),
+                    "completed": int(row["completed"]),
+                }
+            )
+    return rows

@@ -1,0 +1,67 @@
+"""Render a message's protocol exchange as a text sequence diagram.
+
+Given a run trace and a message id, produce the Fig. 5-style view: every
+wire message attributable to that multicast, in time order, with lanes
+for the processes involved — a debugging view the white-box approach
+deserves.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from ..checking.genuineness import extract_mids
+from ..types import MessageId
+
+
+def flow_events(trace, mid: MessageId) -> List[Any]:
+    """All send records attributable to ``mid``, in send order."""
+    events = []
+    for rec in trace.sends:
+        if mid in extract_mids(rec.msg):
+            events.append(rec)
+    return events
+
+
+def flow_report(trace, mid: MessageId, delta: Optional[float] = None) -> str:
+    """A chronological hop table for one message (times in δ if given)."""
+    events = flow_events(trace, mid)
+    unit = "δ" if delta else "s"
+    scale = delta if delta else 1.0
+    lines = [f"message {mid}: {len(events)} protocol messages"]
+    header = f"{'sent':>8} {'arrives':>8}  {'src':>4} -> {'dst':<4} message"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for rec in events:
+        name = type(rec.msg).__name__.replace("Msg", "")
+        lines.append(
+            f"{rec.t_send / scale:8.2f} {rec.t_arrive / scale:8.2f}  "
+            f"{rec.src:>4} -> {rec.dst:<4} {name}"
+        )
+    deliveries = [d for d in trace.deliveries if d.m.mid == mid]
+    for d in sorted(deliveries, key=lambda d: d.t):
+        lines.append(f"{d.t / scale:8.2f} {'':>8}  {'':>4}    {d.pid:<4} deliver(m)")
+    lines.append(f"(times in {unit})")
+    return "\n".join(lines)
+
+
+def lane_diagram(trace, mid: MessageId, delta: float) -> str:
+    """A compact lane view: one column per process, one row per δ step."""
+    events = flow_events(trace, mid)
+    if not events:
+        return f"message {mid}: no traffic recorded"
+    pids = sorted({rec.src for rec in events} | {rec.dst for rec in events})
+    col = {pid: i for i, pid in enumerate(pids)}
+    width = 8
+    lines = ["".join(f"p{pid:<{width - 1}}" for pid in pids)]
+    by_step: dict = {}
+    for rec in events:
+        step = round(rec.t_arrive / delta, 2)
+        name = type(rec.msg).__name__.replace("Msg", "")[:6]
+        by_step.setdefault(step, []).append((rec.src, rec.dst, name))
+    for step in sorted(by_step):
+        cells = [" " * width] * len(pids)
+        for src, dst, name in by_step[step]:
+            cells[col[dst]] = f"<{name:<{width - 2}} "[:width]
+        lines.append("".join(cells) + f"  t={step}δ")
+    return "\n".join(lines)

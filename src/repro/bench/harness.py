@@ -1,0 +1,179 @@
+"""Build and run one complete workload configuration.
+
+This is the single entry point used by the test suite, the example scripts
+and every benchmark: it wires a cluster, a protocol, clients, a delivery
+tracker and optional monitors into a simulator, runs until the clients
+finish (plus a drain grace period so followers catch up), and returns a
+:class:`RunResult` exposing the history, checker verdicts and metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..checking import History, check_all
+from ..checking.genuineness import GenuinenessMonitor
+from ..config import ClusterConfig
+from ..errors import SimulationError
+from ..sim import ConstantDelay, CpuModel, Simulator, Trace
+from ..sim.faults import FaultPlan
+from ..sim.network import DelayModel
+from ..workload import (
+    ClientOptions,
+    ClosedLoopClient,
+    DeliveryTracker,
+    DestinationChooser,
+    RandomKGroups,
+)
+
+
+@dataclass
+class RunResult:
+    """Everything observable about one finished run."""
+
+    config: ClusterConfig
+    sim: Simulator
+    trace: Trace
+    tracker: DeliveryTracker
+    clients: List[ClosedLoopClient]
+    members: Dict[int, Any]
+    duration: float
+    completed: int
+    expected: int
+
+    def history(self) -> History:
+        return History.from_trace(self.config, self.trace)
+
+    def check(self, quiescent: bool = True) -> List:
+        return check_all(self.history(), quiescent=quiescent)
+
+    def latencies(self) -> List[float]:
+        return sorted(self.tracker.latencies().values())
+
+    def throughput(self) -> float:
+        """Completed multicasts per second of virtual time."""
+        if self.duration <= 0:
+            return 0.0
+        return self.completed / self.duration
+
+    @property
+    def all_done(self) -> bool:
+        return self.completed >= self.expected
+
+
+def _default_protocol_options(protocol_cls, client_retry: Optional[float]):
+    return None
+
+
+def run_workload(
+    protocol_cls,
+    num_groups: int = 2,
+    group_size: int = 3,
+    num_clients: int = 2,
+    messages_per_client: int = 5,
+    dest_k: int = 2,
+    network: Optional[DelayModel] = None,
+    seed: int = 0,
+    cpu: Optional[CpuModel] = None,
+    protocol_options: Any = None,
+    client_options: Optional[ClientOptions] = None,
+    chooser_factory: Optional[Callable[[ClusterConfig, int], DestinationChooser]] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    monitors: Sequence[Any] = (),
+    attach_genuineness: bool = False,
+    attach_fd: bool = False,
+    fd_options: Any = None,
+    record_sends: bool = True,
+    drain_grace: float = 0.05,
+    max_events: int = 50_000_000,
+    max_time: Optional[float] = None,
+    config: Optional[ClusterConfig] = None,
+) -> RunResult:
+    """Run ``num_clients`` closed-loop clients against ``protocol_cls``.
+
+    Returns once every client finished all its messages (or ``max_time`` /
+    ``max_events`` was hit), after an extra ``drain_grace`` of virtual time
+    so in-flight DELIVERs reach followers and the run is quiescent.
+    """
+    if config is None:
+        config = ClusterConfig.build(num_groups, group_size, num_clients)
+    if network is None:
+        network = ConstantDelay(0.001)
+    trace = Trace(record_sends=record_sends)
+    sim = Simulator(network, seed=seed, trace=trace, cpu=cpu)
+    tracker = DeliveryTracker(config, sim=sim)
+    trace.attach(tracker)
+    genuineness = None
+    if attach_genuineness:
+        genuineness = GenuinenessMonitor(config)
+        trace.attach(genuineness)
+    for monitor in monitors:
+        trace.attach(monitor)
+
+    members: Dict[int, Any] = {}
+    for gid in config.group_ids:
+        for pid in config.members(gid):
+            proc = sim.add_process(
+                pid,
+                lambda rt, p=pid: protocol_cls(p, config, rt, options=protocol_options),
+            )
+            members[pid] = proc
+            if attach_fd:
+                from ..failure.detector import attach_monitor
+
+                attach_monitor(proc, fd_options)
+
+    clients: List[ClosedLoopClient] = []
+    copts = client_options or ClientOptions(num_messages=messages_per_client)
+    for i, pid in enumerate(config.clients):
+        chooser = (
+            chooser_factory(config, i)
+            if chooser_factory is not None
+            else RandomKGroups(config, dest_k)
+        )
+        client = sim.add_process(
+            pid,
+            lambda rt, p=pid, ch=chooser: ClosedLoopClient(
+                p, config, rt, protocol_cls, tracker, ch, copts
+            ),
+        )
+        clients.append(client)
+
+    for monitor in monitors:
+        binder = getattr(monitor, "bind_processes", None)
+        if callable(binder):
+            binder(members)
+
+    if fault_plan is not None:
+        fault_plan.validate(config)
+        fault_plan.apply(sim)
+
+    expected = sum(c.options.num_messages for c in clients)
+    steps = 0
+    while tracker.completed_count < expected:
+        if not sim.step():
+            break  # queue drained before completion (e.g. lost messages, no retry)
+        steps += 1
+        if steps > max_events:
+            raise SimulationError(f"run exceeded {max_events} events before completing")
+        if max_time is not None and sim.now > max_time:
+            break
+    end_of_load = sim.now
+    if drain_grace > 0:
+        sim.run(until=sim.now + drain_grace)
+
+    result = RunResult(
+        config=config,
+        sim=sim,
+        trace=trace,
+        tracker=tracker,
+        clients=clients,
+        members=members,
+        duration=end_of_load,
+        completed=tracker.completed_count,
+        expected=expected,
+    )
+    if genuineness is not None:
+        result.genuineness = genuineness  # type: ignore[attr-defined]
+    return result

@@ -1,0 +1,57 @@
+"""Latency and throughput summaries for benchmark output."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    def scaled(self, factor: float) -> "LatencySummary":
+        """Express the summary in different units (e.g. multiples of δ)."""
+        return LatencySummary(
+            count=self.count,
+            mean=self.mean * factor,
+            p50=self.p50 * factor,
+            p95=self.p95 * factor,
+            p99=self.p99 * factor,
+            max=self.max * factor,
+        )
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile on an already sorted sequence."""
+    if not sorted_values:
+        return math.nan
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = max(0, min(len(sorted_values) - 1, math.ceil(q * len(sorted_values)) - 1))
+    return sorted_values[rank]
+
+
+def summarize_latencies(latencies: Sequence[float]) -> Optional[LatencySummary]:
+    values = sorted(latencies)
+    if not values:
+        return None
+    return LatencySummary(
+        count=len(values),
+        mean=sum(values) / len(values),
+        p50=percentile(values, 0.50),
+        p95=percentile(values, 0.95),
+        p99=percentile(values, 0.99),
+        max=values[-1],
+    )
+
+
+def in_delta_units(seconds: float, delta: float) -> float:
+    """Convert a latency to multiples of the one-way delay δ."""
+    return seconds / delta if delta > 0 else math.nan

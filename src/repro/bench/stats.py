@@ -1,0 +1,71 @@
+"""Per-message-type traffic census of a run.
+
+Breaks a trace's wire traffic down by protocol message type and by role
+(leader vs follower vs client), normalised per completed multicast — the
+view that explains where each protocol's CPU budget goes in Figs. 7–8.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..config import ClusterConfig
+from .report import render_table
+
+
+@dataclass(frozen=True)
+class TrafficCensus:
+    """Counts of wire messages by type and by receiving role."""
+
+    by_type: Dict[str, int]
+    by_receiver_role: Dict[str, int]
+    total: int
+    completed_multicasts: int
+
+    def per_multicast(self, name: str) -> float:
+        if self.completed_multicasts == 0:
+            return float("nan")
+        return self.by_type.get(name, 0) / self.completed_multicasts
+
+
+def census(trace, config: ClusterConfig, completed: int,
+           leaders: Tuple[int, ...] = ()) -> TrafficCensus:
+    """Build a census from a trace with send recording enabled."""
+    leader_set = set(leaders) if leaders else {
+        config.default_leader(g) for g in config.group_ids
+    }
+    by_type: Counter = Counter()
+    by_role: Counter = Counter()
+    for rec in trace.sends:
+        name = type(rec.msg).__name__
+        by_type[name] += 1
+        if rec.dst in leader_set:
+            by_role["leader"] += 1
+        elif config.is_member(rec.dst):
+            by_role["follower"] += 1
+        else:
+            by_role["client"] += 1
+    return TrafficCensus(
+        by_type=dict(by_type),
+        by_receiver_role=dict(by_role),
+        total=sum(by_type.values()),
+        completed_multicasts=completed,
+    )
+
+
+def census_table(label: str, c: TrafficCensus) -> str:
+    rows: List[Tuple[str, int, float]] = [
+        (name, count, count / max(1, c.completed_multicasts))
+        for name, count in sorted(c.by_type.items(), key=lambda kv: -kv[1])
+    ]
+    rows.append(("TOTAL", c.total, c.total / max(1, c.completed_multicasts)))
+    return render_table(
+        ["message type", "count", "per multicast"],
+        rows,
+        title=f"Traffic census — {label} "
+              f"({c.completed_multicasts} multicasts; leader-bound: "
+              f"{c.by_receiver_role.get('leader', 0)}, follower-bound: "
+              f"{c.by_receiver_role.get('follower', 0)})",
+    )

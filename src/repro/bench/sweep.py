@@ -1,0 +1,146 @@
+"""Shared client-sweep machinery for the Fig. 7 / Fig. 8 reproductions.
+
+One *point* = (protocol, number of destination groups, number of clients):
+closed-loop clients multicast to ``dest_k`` uniformly random groups over a
+given topology, with a per-process CPU service-time model providing the
+saturation behaviour of the paper's figures.  We report mean latency and
+throughput per point, plus the paper's headline comparison: WbCast's
+improvement over FastCast at the largest client count.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..config import ClusterConfig
+from ..sim import UniformCpu
+from ..sim.network import DelayModel
+from ..workload import ClientOptions
+from .harness import run_workload
+from .metrics import summarize_latencies
+from .report import render_table
+
+#: Default CPU service time per handled message, calibrated so a 10-group
+#: LAN cluster saturates around 10^3 clients (the region Fig. 7 reports).
+DEFAULT_CPU_COST = 0.000008  # 8 µs
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    protocol: str
+    dest_k: int
+    clients: int
+    mean_latency: float
+    p95_latency: float
+    throughput: float
+    completed: int
+
+
+@dataclass
+class SweepConfig:
+    num_groups: int = 10
+    group_size: int = 3
+    client_counts: Sequence[int] = (50, 200, 500, 1000)
+    dest_ks: Sequence[int] = (2, 6)
+    messages_per_client: int = 10
+    cpu_cost: float = DEFAULT_CPU_COST
+    cpu_jitter: float = 0.1
+    network_jitter: float = 0.05
+    seed: int = 42
+
+
+def full_sweep_enabled() -> bool:
+    """Opt into the larger parameter grid via REPRO_BENCH_FULL=1."""
+    return os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+
+def run_point(
+    protocol_cls,
+    topology_factory: Callable[[ClusterConfig], DelayModel],
+    sweep: SweepConfig,
+    dest_k: int,
+    clients: int,
+) -> SweepPoint:
+    config = ClusterConfig.build(sweep.num_groups, sweep.group_size, clients)
+    network = topology_factory(config)
+    cpu = UniformCpu(sweep.cpu_cost, jitter=sweep.cpu_jitter)
+    result = run_workload(
+        protocol_cls,
+        config=config,
+        messages_per_client=sweep.messages_per_client,
+        dest_k=dest_k,
+        network=network,
+        seed=sweep.seed,
+        cpu=cpu,
+        client_options=ClientOptions(num_messages=sweep.messages_per_client),
+        record_sends=False,
+        drain_grace=0.0,
+    )
+    summary = summarize_latencies(result.latencies())
+    return SweepPoint(
+        protocol=protocol_cls.__name__,
+        dest_k=dest_k,
+        clients=clients,
+        mean_latency=summary.mean if summary else float("nan"),
+        p95_latency=summary.p95 if summary else float("nan"),
+        throughput=result.throughput(),
+        completed=result.completed,
+    )
+
+
+def run_sweep(
+    protocols: Dict[str, type],
+    topology_factory: Callable[[ClusterConfig], DelayModel],
+    sweep: Optional[SweepConfig] = None,
+) -> List[SweepPoint]:
+    sweep = sweep or SweepConfig()
+    points: List[SweepPoint] = []
+    for name, cls in protocols.items():
+        for dest_k in sweep.dest_ks:
+            for clients in sweep.client_counts:
+                points.append(run_point(cls, topology_factory, sweep, dest_k, clients))
+    return points
+
+
+def format_sweep(points: List[SweepPoint], title: str) -> str:
+    rows = [
+        (
+            p.protocol.replace("Process", ""),
+            p.dest_k,
+            p.clients,
+            p.mean_latency * 1000,
+            p.p95_latency * 1000,
+            p.throughput,
+        )
+        for p in points
+    ]
+    return render_table(
+        ["protocol", "dests", "clients", "mean lat (ms)", "p95 lat (ms)", "msgs/s"],
+        rows,
+        title=title,
+    )
+
+
+def headline_comparison(points: List[SweepPoint]) -> str:
+    """WbCast-vs-FastCast improvement at the largest client count per
+    destination-group count — the paper's 70–150% (LAN) / 47–124% (WAN)."""
+    lines: List[str] = []
+    by_key: Dict[tuple, SweepPoint] = {
+        (p.protocol, p.dest_k, p.clients): p for p in points
+    }
+    dest_ks = sorted({p.dest_k for p in points})
+    max_clients = max((p.clients for p in points), default=0)
+    for dest_k in dest_ks:
+        wb = by_key.get(("WbCastProcess", dest_k, max_clients))
+        fc = by_key.get(("FastCastProcess", dest_k, max_clients))
+        if not wb or not fc or wb.mean_latency == 0 or wb.throughput == 0:
+            continue
+        lat_gain = (fc.mean_latency / wb.mean_latency - 1.0) * 100
+        thr_gain = (wb.throughput / fc.throughput - 1.0) * 100
+        lines.append(
+            f"dests={dest_k} @ {max_clients} clients: WbCast vs FastCast — "
+            f"latency {lat_gain:+.0f}%, throughput {thr_gain:+.0f}%"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""The paper's two testbeds as simulator topologies.
+
+LAN (Fig. 7): CloudLab — 10 groups × 3 replicas on 30 machines plus client
+machines, 2 Gb links, ≈0.1 ms round trip.  We model each process on its own
+site with a 0.05 ms one-way delay.
+
+WAN (Fig. 8): Google Cloud — three data centres (Oregon, N. Virginia,
+England) with round trips of 60/75/130 ms; every group has one replica per
+data centre, so each data centre holds a complete copy of the data.  We
+place member ``i`` of every group in data centre ``i``, every group's
+initial leader in data centre 0, and the clients in data centre 0 (the
+paper does not state client placement; co-locating clients with leaders
+gives the cleanest view of the protocols' own latencies — noted in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..config import ClusterConfig
+from ..sim.network import SiteTopology, WAN_ONE_WAY, lan_topology
+from ..types import ProcessId
+
+#: One-way LAN latency (the paper reports ~0.1 ms RTT).
+LAN_ONE_WAY = 0.00005
+
+
+def lan_testbed(config: ClusterConfig, jitter: float = 0.0) -> SiteTopology:
+    """Every process on its own machine; uniform 0.05 ms one-way delay."""
+    return lan_topology(config.all_processes, one_way=LAN_ONE_WAY, jitter=jitter)
+
+
+def wan_testbed(
+    config: ClusterConfig,
+    jitter: float = 0.0,
+    client_site: int = 0,
+    intra_site: float = LAN_ONE_WAY,
+    spread_leaders: bool = False,
+) -> SiteTopology:
+    """Three data centres; replica ``i`` of each group lives in DC ``i``.
+
+    With ``spread_leaders`` the placement is rotated per group so initial
+    leaders land in different data centres; leader-to-leader exchanges
+    (FastCast's PROPOSE/CONFIRM, Skeen's PROPOSE) then pay real WAN
+    round trips instead of intra-DC ones.
+    """
+    placement: Dict[ProcessId, int] = {}
+    for gid in config.group_ids:
+        offset = gid if spread_leaders else 0
+        for i, pid in enumerate(config.members(gid)):
+            placement[pid] = (i + offset) % 3
+    for pid in config.clients:
+        placement[pid] = client_site
+    return SiteTopology(placement, WAN_ONE_WAY, intra_site=intra_site, jitter=jitter)

@@ -1,0 +1,37 @@
+"""Correctness checking for atomic multicast runs.
+
+Two complementary layers:
+
+* **black-box property checks** (:mod:`repro.checking.properties`): given a
+  recorded history (multicasts + per-process delivery sequences), verify
+  the four properties of Section II — Validity, Integrity, Ordering,
+  Termination — plus the genuineness (minimality) condition;
+* **white-box invariant monitors** (:mod:`repro.checking.invariants`):
+  attached to a live simulation, they check the Fig. 6 invariants of the
+  white-box protocol on every wire message.
+"""
+
+from .history import History
+from .properties import (
+    CheckResult,
+    check_all,
+    check_integrity,
+    check_ordering,
+    check_termination,
+    check_validity,
+)
+from .genuineness import GenuinenessMonitor, extract_mids
+from .invariants import WbCastInvariantMonitor
+
+__all__ = [
+    "CheckResult",
+    "GenuinenessMonitor",
+    "History",
+    "WbCastInvariantMonitor",
+    "check_all",
+    "check_integrity",
+    "check_ordering",
+    "check_termination",
+    "check_validity",
+    "extract_mids",
+]

@@ -1,0 +1,91 @@
+"""Genuineness (minimality) monitor.
+
+A protocol is *genuine* (Guerraoui & Schiper [19]) when, for every message
+``m``, only ``m``'s sender and members of ``m``'s destination groups
+participate in ordering it.  We check this on the wire: every protocol
+message that can be attributed to an application message ``m`` must flow
+strictly between processes in ``dest(m)``'s groups (plus the original
+sender as a source).
+
+Attribution is duck-typed: a protocol message names the application
+message(s) it concerns via an ``m`` field, a ``mid`` field or a ``mids()``
+method.  Untagged messages (heartbeats, leader election, group-local state
+transfer) are outside the scope of the definition and are ignored.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Set
+
+from ..config import ClusterConfig
+from ..types import AmcastMessage, MessageId, ProcessId
+
+
+def extract_mids(msg: Any) -> List[MessageId]:
+    """Application message ids a protocol message is attributable to."""
+    mids = getattr(msg, "mids", None)
+    if callable(mids):
+        return list(mids())
+    m = getattr(msg, "m", None)
+    if isinstance(m, AmcastMessage):
+        return [m.mid]
+    mid = getattr(msg, "mid", None)
+    if isinstance(mid, tuple) and len(mid) == 2:
+        return [mid]
+    return []
+
+
+class GenuinenessMonitor:
+    """Trace monitor recording per-message participants and violations."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        self.participants: Dict[MessageId, Set[ProcessId]] = {}
+        self.senders: Dict[MessageId, ProcessId] = {}
+        self.dests: Dict[MessageId, frozenset] = {}
+        self.violations: List[str] = []
+
+    # -- trace hooks -------------------------------------------------------
+
+    def on_multicast(self, t: float, pid: ProcessId, m: AmcastMessage) -> None:
+        self.senders[m.mid] = pid
+        self.dests[m.mid] = m.dests
+
+    def on_send(self, rec) -> None:
+        for mid in extract_mids(rec.msg):
+            self._note(mid, rec.src)
+            self._note(mid, rec.dst)
+        m = getattr(rec.msg, "m", None)
+        if isinstance(m, AmcastMessage):
+            self.dests.setdefault(m.mid, m.dests)
+
+    # -- verdict -------------------------------------------------------------
+
+    def _note(self, mid: MessageId, pid: ProcessId) -> None:
+        self.participants.setdefault(mid, set()).add(pid)
+
+    def _allowed(self, mid: MessageId) -> Set[ProcessId]:
+        allowed: Set[ProcessId] = set()
+        sender = self.senders.get(mid)
+        if sender is not None:
+            allowed.add(sender)
+        for gid in self.dests.get(mid, frozenset()):
+            allowed.update(self.config.members(gid))
+        return allowed
+
+    def check(self) -> List[str]:
+        """Return violation descriptions (empty = genuine run)."""
+        self.violations = []
+        for mid, pids in sorted(self.participants.items()):
+            if mid not in self.dests:
+                continue  # never learned the destination set; cannot judge
+            extra = pids - self._allowed(mid)
+            if extra:
+                self.violations.append(
+                    f"{mid}: non-destination processes {sorted(extra)} participated"
+                )
+        return self.violations
+
+    @property
+    def is_genuine(self) -> bool:
+        return not self.check()

@@ -1,0 +1,80 @@
+"""Run histories: the observable events the atomic multicast spec talks about."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..config import ClusterConfig
+from ..types import AmcastMessage, MessageId, ProcessId
+
+
+@dataclass
+class History:
+    """Observable events of a run, in a checker-friendly shape.
+
+    Attributes:
+        config: the cluster the run used.
+        multicasts: mid → (origin pid, multicast time, message).
+        deliveries: pid → ordered list of (time, message) delivered there.
+        crashed: pids that crashed during the run.
+    """
+
+    config: ClusterConfig
+    multicasts: Dict[MessageId, Tuple[ProcessId, float, AmcastMessage]]
+    deliveries: Dict[ProcessId, List[Tuple[float, AmcastMessage]]]
+    crashed: Set[ProcessId]
+
+    @staticmethod
+    def from_trace(config: ClusterConfig, trace) -> "History":
+        """Build a history from a :class:`repro.sim.Trace`."""
+        multicasts: Dict[MessageId, Tuple[ProcessId, float, AmcastMessage]] = {}
+        for rec in trace.multicasts:
+            multicasts.setdefault(rec.m.mid, (rec.pid, rec.t, rec.m))
+        deliveries: Dict[ProcessId, List[Tuple[float, AmcastMessage]]] = {}
+        for rec in trace.deliveries:
+            deliveries.setdefault(rec.pid, []).append((rec.t, rec.m))
+        return History(
+            config=config,
+            multicasts=multicasts,
+            deliveries=deliveries,
+            crashed=trace.crashed_pids(),
+        )
+
+    # -- convenience queries --------------------------------------------------
+
+    def delivery_order(self, pid: ProcessId) -> List[MessageId]:
+        return [m.mid for _, m in self.deliveries.get(pid, [])]
+
+    def delivered_anywhere(self) -> Set[MessageId]:
+        out: Set[MessageId] = set()
+        for recs in self.deliveries.values():
+            out.update(m.mid for _, m in recs)
+        return out
+
+    def correct_members(self) -> List[ProcessId]:
+        return [p for p in self.config.all_members if p not in self.crashed]
+
+    def first_delivery_per_group(self, mid: MessageId) -> Dict[int, float]:
+        """Earliest delivery time of ``mid`` in each group that delivered it."""
+        out: Dict[int, float] = {}
+        for pid, recs in self.deliveries.items():
+            if not self.config.is_member(pid):
+                continue
+            gid = self.config.group_of(pid)
+            for t, m in recs:
+                if m.mid == mid and (gid not in out or t < out[gid]):
+                    out[gid] = t
+        return out
+
+    def partial_delivery_time(self, mid: MessageId) -> Optional[float]:
+        """Time at which ``mid`` became partially delivered (first delivery
+        in *every* destination group), or None if it never did."""
+        entry = self.multicasts.get(mid)
+        if entry is None:
+            return None
+        m = entry[2]
+        per_group = self.first_delivery_per_group(mid)
+        if set(m.dests) - set(per_group):
+            return None
+        return max(per_group[g] for g in m.dests)

@@ -1,0 +1,188 @@
+"""White-box invariant monitors for the WbCast protocol (Fig. 6).
+
+These run *inside* a simulation, observing every wire message (and, for the
+state-based clauses, inspecting live process state), and raise
+:class:`~repro.errors.InvariantViolation` the moment an invariant breaks —
+far more diagnostic than an end-of-run property failure.
+
+Checked here:
+
+* **Invariant 1** — per (message, group, ballot), at most one local
+  timestamp is ever proposed in an ACCEPT.
+* **Invariant 2** — once a quorum of a group has acknowledged a proposal
+  set for ``m``, every group member at a *higher* cballot keeps ``m`` in
+  phase ≥ ACCEPTED with the same local timestamp, and its clock at or
+  above the implied global timestamp.  (State-probed on every event.)
+* **Invariant 3a/3b** — DELIVER messages agree on the local timestamp per
+  group and on the global timestamp system-wide.
+* **Invariant 4** — global timestamps are unique per message.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Set, Tuple
+
+from ..config import ClusterConfig
+from ..errors import InvariantViolation
+from ..types import Ballot, GroupId, MessageId, ProcessId, Timestamp
+
+
+class WbCastInvariantMonitor:
+    """Attach to a :class:`repro.sim.Trace` via ``trace.attach(monitor)``.
+
+    ``processes`` (pid → WbCastProcess) enables the state-based Invariant 2
+    probe; pass None to check the message-level invariants only (cheaper).
+    ``probe_interval`` limits how often (in handled events) the state probe
+    runs; 1 checks after every event.
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        processes: Optional[Dict[ProcessId, Any]] = None,
+        probe_interval: int = 1,
+    ) -> None:
+        self.config = config
+        self.processes = processes
+        self.probe_interval = max(1, probe_interval)
+        self._events_seen = 0
+        # Invariant 1: (mid, gid, ballot) -> lts
+        self._proposed: Dict[Tuple[MessageId, GroupId, Ballot], Timestamp] = {}
+        # Invariant 3a: (mid, dst group) -> lts; 3b: mid -> gts
+        self._deliver_lts: Dict[Tuple[MessageId, GroupId], Timestamp] = {}
+        self._deliver_gts: Dict[MessageId, Timestamp] = {}
+        # Invariant 4: gts -> mid
+        self._gts_owner: Dict[Timestamp, MessageId] = {}
+        # Invariant 2 premises: (mid, vector) -> {gid: {ack senders}} plus
+        # the proposal set itself, recorded from ACCEPT traffic.
+        self._accept_sets: Dict[Tuple[MessageId, Tuple], Dict[GroupId, Timestamp]] = {}
+        self._ack_tally: Dict[Tuple[MessageId, Tuple], Dict[GroupId, Set[ProcessId]]] = {}
+        # Established premises to re-check on every probe:
+        # (mid, gid, ballot of gid, lts of gid, implied gts)
+        self._established: Set[Tuple[MessageId, GroupId, Ballot, Timestamp, Timestamp]] = set()
+
+    def bind_processes(self, processes: Dict[ProcessId, Any]) -> None:
+        """Late-bind live process objects (called by the harness)."""
+        self.processes = processes
+
+    # -- trace hooks ---------------------------------------------------------
+
+    def on_send(self, rec) -> None:
+        from ..protocols.wbcast.messages import AcceptAckMsg, AcceptMsg, DeliverMsg
+
+        msg = rec.msg
+        if isinstance(msg, AcceptMsg):
+            self._check_inv1(msg)
+        elif isinstance(msg, AcceptAckMsg):
+            self._record_ack(rec.src, msg)
+        elif isinstance(msg, DeliverMsg):
+            self._check_inv3_inv4(rec, msg)
+
+    def on_handle(self, t, pid, src, msg) -> None:
+        self._events_seen += 1
+        if self.processes and self._events_seen % self.probe_interval == 0:
+            self._probe_inv2()
+
+    # -- invariant 1 -----------------------------------------------------------
+
+    def _check_inv1(self, msg) -> None:
+        key = (msg.m.mid, msg.gid, msg.bal)
+        prev = self._proposed.get(key)
+        if prev is None:
+            self._proposed[key] = msg.lts
+        elif prev != msg.lts:
+            raise InvariantViolation(
+                f"Invariant 1: {key} proposed both {prev} and {msg.lts}"
+            )
+        # Remember the proposal set per (mid, ballot-of-group) for Inv 2.
+
+    # -- invariants 3 and 4 --------------------------------------------------------
+
+    def _check_inv3_inv4(self, rec, msg) -> None:
+        gid = self.config.group_of(rec.dst)
+        mid = msg.m.mid
+        key = (mid, gid)
+        prev_lts = self._deliver_lts.get(key)
+        if prev_lts is None:
+            self._deliver_lts[key] = msg.lts
+        elif prev_lts != msg.lts:
+            raise InvariantViolation(
+                f"Invariant 3a: DELIVERs for {mid} to group {gid} "
+                f"carry {prev_lts} and {msg.lts}"
+            )
+        prev_gts = self._deliver_gts.get(mid)
+        if prev_gts is None:
+            self._deliver_gts[mid] = msg.gts
+        elif prev_gts != msg.gts:
+            raise InvariantViolation(
+                f"Invariant 3b: DELIVERs for {mid} carry global timestamps "
+                f"{prev_gts} and {msg.gts}"
+            )
+        owner = self._gts_owner.get(msg.gts)
+        if owner is None:
+            self._gts_owner[msg.gts] = mid
+        elif owner != mid:
+            raise InvariantViolation(
+                f"Invariant 4: messages {owner} and {mid} share global timestamp {msg.gts}"
+            )
+
+    # -- invariant 2 ----------------------------------------------------------------
+
+    def _record_ack(self, src: ProcessId, ack) -> None:
+        vector = ack.vector
+        lts_by_group = {}
+        for gid, bal in vector:
+            lts = self._proposed.get((ack.mid, gid, bal))
+            if lts is None:
+                return  # haven't seen all proposals yet; skip premise tracking
+            lts_by_group[gid] = lts
+        key = (ack.mid, vector)
+        self._accept_sets[key] = lts_by_group
+        tally = self._ack_tally.setdefault(key, {})
+        tally.setdefault(ack.gid, set()).add(src)
+        gid = ack.gid
+        quorum = self.config.quorum_size(gid)
+        if len(tally[gid]) >= quorum:
+            bal_of_gid = dict(vector)[gid]
+            implied_gts = max(lts_by_group.values())
+            self._established.add(
+                (ack.mid, gid, bal_of_gid, lts_by_group[gid], implied_gts)
+            )
+
+    def _probe_inv2(self) -> None:
+        from ..protocols.wbcast.state import Phase
+
+        for mid, gid, bal, lts, gts in self._established:
+            for pid in self.config.members(gid):
+                proc = self.processes.get(pid)
+                if proc is None:
+                    continue
+                if not proc.cballot > bal:
+                    continue
+                rec = proc.records.get(mid)
+                if mid in proc.delivered_ids and rec is None:
+                    continue  # garbage-collected after full delivery: fine
+                if rec is None or rec.phase not in (Phase.ACCEPTED, Phase.COMMITTED):
+                    raise InvariantViolation(
+                        f"Invariant 2a: {pid} at cballot {proc.cballot} > {bal} "
+                        f"lost quorum-accepted message {mid} (record={rec})"
+                    )
+                if rec.lts != lts:
+                    raise InvariantViolation(
+                        f"Invariant 2b: {pid} stores lts {rec.lts} for {mid}, "
+                        f"quorum accepted {lts}"
+                    )
+                if proc.clock < gts.time:
+                    raise InvariantViolation(
+                        f"Invariant 2c: {pid}'s clock {proc.clock} is below the "
+                        f"implied global timestamp {gts} of {mid}"
+                    )
+
+    # -- summary ------------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "proposals": len(self._proposed),
+            "established_premises": len(self._established),
+            "delivers_checked": len(self._deliver_gts),
+        }

@@ -1,0 +1,145 @@
+"""Black-box checks of the four atomic multicast properties (Section II).
+
+* **Validity** — a process in group ``g`` delivers ``m`` only if ``m`` was
+  multicast and ``g ∈ dest(m)``.
+* **Integrity** — every process delivers a message at most once.
+* **Ordering** — there is a total order ``≺`` on messages such that every
+  process delivers the messages addressed to it in ``≺`` order, without
+  skipping earlier messages it later saw.  We verify this by building the
+  union of all local delivery orders and checking it is acyclic; any
+  topological sort is then a witness for ``≺``.
+* **Termination** — in a *quiescent* run, every message multicast by a
+  correct process or delivered anywhere is delivered by all correct
+  members of all its destination groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from graphlib import CycleError, TopologicalSorter
+from typing import Dict, List, Set
+
+from ..types import MessageId
+from .history import History
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one property check."""
+
+    name: str
+    ok: bool
+    violations: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def describe(self) -> str:
+        if self.ok:
+            return f"{self.name}: OK"
+        shown = "; ".join(self.violations[:5])
+        extra = f" (+{len(self.violations) - 5} more)" if len(self.violations) > 5 else ""
+        return f"{self.name}: FAILED — {shown}{extra}"
+
+
+def check_validity(history: History) -> CheckResult:
+    violations: List[str] = []
+    for pid, recs in history.deliveries.items():
+        if not history.config.is_member(pid):
+            violations.append(f"non-member {pid} delivered a message")
+            continue
+        gid = history.config.group_of(pid)
+        for _, m in recs:
+            if m.mid not in history.multicasts:
+                violations.append(f"{pid} delivered never-multicast {m.mid}")
+            elif gid not in m.dests:
+                violations.append(f"{pid} in group {gid} delivered {m.mid} not addressed to it")
+    return CheckResult("validity", not violations, violations)
+
+
+def check_integrity(history: History) -> CheckResult:
+    violations: List[str] = []
+    for pid in history.deliveries:
+        order = history.delivery_order(pid)
+        seen: Set[MessageId] = set()
+        for mid in order:
+            if mid in seen:
+                violations.append(f"{pid} delivered {mid} more than once")
+            seen.add(mid)
+    return CheckResult("integrity", not violations, violations)
+
+
+def check_ordering(history: History) -> CheckResult:
+    """Acyclicity of the union of local delivery orders.
+
+    Consecutive-pair edges generate the same reachability relation as
+    all-pairs edges, so they suffice for cycle detection; a topological
+    sort of the graph is a witness total order.
+    """
+    graph: Dict[MessageId, Set[MessageId]] = {}
+    for pid in history.deliveries:
+        order = history.delivery_order(pid)
+        for a, b in zip(order, order[1:]):
+            graph.setdefault(b, set()).add(a)  # b depends on a: a ≺ b
+            graph.setdefault(a, set())
+    sorter = TopologicalSorter(graph)
+    try:
+        list(sorter.static_order())
+    except CycleError as exc:
+        cycle = exc.args[1] if len(exc.args) > 1 else "?"
+        return CheckResult(
+            "ordering", False, [f"local delivery orders are cyclic: {cycle}"]
+        )
+    # Note: two processes disagreeing on the relative order of a message
+    # pair forms a 2-cycle in the union graph, so pairwise agreement is
+    # already implied by acyclicity.
+    return CheckResult("ordering", True, [])
+
+
+def check_termination(history: History) -> CheckResult:
+    """For quiescent runs only: the liveness obligation of Section II."""
+    violations: List[str] = []
+    delivered_anywhere = history.delivered_anywhere()
+    obligated: Set[MessageId] = set(delivered_anywhere)
+    for mid, (origin, _, _) in history.multicasts.items():
+        if origin not in history.crashed:
+            obligated.add(mid)
+    delivered_at: Dict[int, Set[MessageId]] = {
+        pid: set(history.delivery_order(pid)) for pid in history.config.all_members
+    }
+    for mid in sorted(obligated):
+        entry = history.multicasts.get(mid)
+        if entry is None:
+            violations.append(f"{mid} delivered but never multicast")
+            continue
+        m = entry[2]
+        for gid in m.dests:
+            for pid in history.config.members(gid):
+                if pid in history.crashed:
+                    continue
+                if mid not in delivered_at.get(pid, set()):
+                    violations.append(
+                        f"correct process {pid} (group {gid}) never delivered {mid}"
+                    )
+    return CheckResult("termination", not violations, violations)
+
+
+def check_all(history: History, quiescent: bool = True) -> List[CheckResult]:
+    """Run every applicable check; Termination only for quiescent runs."""
+    results = [
+        check_validity(history),
+        check_integrity(history),
+        check_ordering(history),
+    ]
+    if quiescent:
+        results.append(check_termination(history))
+    return results
+
+
+def assert_all(history: History, quiescent: bool = True) -> None:
+    """Raise :class:`~repro.errors.PropertyViolation` on the first failure."""
+    from ..errors import PropertyViolation
+
+    for result in check_all(history, quiescent=quiescent):
+        if not result.ok:
+            raise PropertyViolation(result.describe())

@@ -1,0 +1,154 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the library's experiment modules:
+
+* ``run`` — run a workload against any protocol/topology and verify it;
+* ``flow`` — trace one multicast hop by hop (the Fig. 5 view);
+* ``latency-table`` / ``convoy`` / ``figure7`` / ``figure8`` /
+  ``ablations`` / ``complexity`` — regenerate the paper's tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench.harness import run_workload
+from .bench.metrics import summarize_latencies
+from .protocols import PROTOCOLS
+from .sim import ConstantDelay
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="White-box atomic multicast (DSN 2019) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run a workload and verify it")
+    run_p.add_argument("--protocol", choices=sorted(PROTOCOLS), default="wbcast")
+    run_p.add_argument("--groups", type=int, default=3)
+    run_p.add_argument("--group-size", type=int, default=3)
+    run_p.add_argument("--clients", type=int, default=2)
+    run_p.add_argument("--messages", type=int, default=10)
+    run_p.add_argument("--dest-k", type=int, default=2)
+    run_p.add_argument("--delta", type=float, default=0.001,
+                       help="one-way delay in seconds (default 1 ms)")
+    run_p.add_argument("--topology", choices=["constant", "lan", "wan"],
+                       default="constant")
+    run_p.add_argument("--seed", type=int, default=0)
+
+    flow_p = sub.add_parser("flow", help="trace one multicast hop by hop (Fig. 5 view)")
+    flow_p.add_argument("--protocol", choices=sorted(PROTOCOLS), default="wbcast")
+    flow_p.add_argument("--dest-k", type=int, default=2)
+    flow_p.add_argument("--lanes", action="store_true", help="lane diagram view")
+
+    sub.add_parser("latency-table", help="CFL/FFL table (Theorems 3-4)")
+    sub.add_parser("convoy", help="Fig. 2 convoy-effect sweep")
+    sub.add_parser("figure7", help="Fig. 7 LAN sweep (REPRO_BENCH_FULL=1 for full grid)")
+    sub.add_parser("figure8", help="Fig. 8 WAN sweep (REPRO_BENCH_FULL=1 for full grid)")
+    sub.add_parser("ablations", help="speculation / genuineness / group-size ablations")
+    sub.add_parser("complexity", help="message-complexity table")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    protocol_cls = PROTOCOLS[args.protocol]
+    group_size = 1 if args.protocol == "skeen" else args.group_size
+    from .config import ClusterConfig
+
+    config = ClusterConfig.build(args.groups, group_size, args.clients)
+    if args.topology == "lan":
+        from .bench.topologies import lan_testbed
+
+        network = lan_testbed(config)
+        delta = 0.00005
+    elif args.topology == "wan":
+        from .bench.topologies import wan_testbed
+
+        network = wan_testbed(config)
+        delta = 0.065
+    else:
+        network = ConstantDelay(args.delta)
+        delta = args.delta
+    result = run_workload(
+        protocol_cls,
+        config=config,
+        messages_per_client=args.messages,
+        dest_k=min(args.dest_k, args.groups),
+        network=network,
+        seed=args.seed,
+    )
+    print(f"protocol  : {args.protocol}")
+    print(f"cluster   : {args.groups} groups x {group_size}, {args.clients} clients")
+    print(f"completed : {result.completed}/{result.expected}")
+    ok = True
+    for check in result.check():
+        print(f"check     : {check.describe()}")
+        ok = ok and check.ok
+    summary = summarize_latencies(result.latencies())
+    if summary:
+        print(
+            f"latency   : mean {summary.mean / delta:.2f}δ, "
+            f"p95 {summary.p95 / delta:.2f}δ, max {summary.max / delta:.2f}δ"
+        )
+    print(f"throughput: {result.throughput():,.0f} msgs/s (virtual time)")
+    return 0 if (ok and result.all_done) else 1
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    from .bench.flow import flow_report, lane_diagram
+    from .bench.latency_table import DELTA, _build
+    from .sim import ConstantDelay as _CD
+
+    protocol_cls = PROTOCOLS[args.protocol]
+    dests = tuple(range(max(1, args.dest_k)))
+    sim, config, trace, tracker, clients = _build(
+        protocol_cls, _CD(DELTA), [[(0.0, dests)]], num_groups=max(2, args.dest_k)
+    )
+    sim.run()
+    mid = clients[0].sent[0]
+    if args.lanes:
+        print(lane_diagram(trace, mid, DELTA))
+    else:
+        print(flow_report(trace, mid, DELTA))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "flow":
+        return _cmd_flow(args)
+    if args.command == "latency-table":
+        from .bench import latency_table
+
+        latency_table.main()
+    elif args.command == "convoy":
+        from .bench import convoy
+
+        convoy.main()
+    elif args.command == "figure7":
+        from .bench import figure7
+
+        figure7.main()
+    elif args.command == "figure8":
+        from .bench import figure8
+
+        figure8.main()
+    elif args.command == "ablations":
+        from .bench import ablation
+
+        ablation.main()
+    elif args.command == "complexity":
+        from .bench import complexity
+
+        complexity.main()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

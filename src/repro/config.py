@@ -1,0 +1,126 @@
+"""Cluster configuration: disjoint process groups plus client processes.
+
+The paper's system model (Section II): a finite set of processes partitioned
+into disjoint groups of ``2f + 1`` members each, of which at most ``f`` may
+crash; a *quorum* is any ``f + 1`` members of a group.  Client processes sit
+outside every group and only multicast messages.
+
+Process ids are dense integers: group members come first (group 0's members,
+then group 1's, ...), clients afterwards.  This keeps simulator bookkeeping
+array-friendly and makes configurations trivially reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from .errors import ConfigError
+from .types import GroupId, ProcessId
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Immutable description of a cluster.
+
+    Attributes:
+        groups: tuple of groups; each group is a tuple of process ids.
+        clients: tuple of client process ids (disjoint from all groups).
+    """
+
+    groups: Tuple[Tuple[ProcessId, ...], ...]
+    clients: Tuple[ProcessId, ...] = ()
+
+    def __post_init__(self) -> None:
+        seen: set = set()
+        if not self.groups:
+            raise ConfigError("a cluster needs at least one group")
+        for gid, members in enumerate(self.groups):
+            if not members:
+                raise ConfigError(f"group {gid} is empty")
+            if len(members) % 2 == 0:
+                raise ConfigError(
+                    f"group {gid} has {len(members)} members; groups must have 2f+1 members"
+                )
+            for pid in members:
+                if pid in seen:
+                    raise ConfigError(f"process {pid} appears in two groups (groups are disjoint)")
+                seen.add(pid)
+        for pid in self.clients:
+            if pid in seen:
+                raise ConfigError(f"client {pid} is also a group member")
+            seen.add(pid)
+
+    # -- construction -----------------------------------------------------
+
+    @staticmethod
+    def build(num_groups: int, group_size: int, num_clients: int = 0) -> "ClusterConfig":
+        """Build the canonical dense-ids layout used throughout the repo."""
+        if group_size % 2 == 0 or group_size < 1:
+            raise ConfigError("group_size must be odd (2f+1)")
+        groups: List[Tuple[ProcessId, ...]] = []
+        pid = 0
+        for _ in range(num_groups):
+            groups.append(tuple(range(pid, pid + group_size)))
+            pid += group_size
+        clients = tuple(range(pid, pid + num_clients))
+        return ClusterConfig(groups=tuple(groups), clients=clients)
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    @property
+    def group_ids(self) -> range:
+        return range(len(self.groups))
+
+    @property
+    def all_members(self) -> Tuple[ProcessId, ...]:
+        return tuple(pid for members in self.groups for pid in members)
+
+    @property
+    def all_processes(self) -> Tuple[ProcessId, ...]:
+        return self.all_members + self.clients
+
+    def members(self, gid: GroupId) -> Tuple[ProcessId, ...]:
+        return self.groups[gid]
+
+    def group_of(self, pid: ProcessId) -> GroupId:
+        gid = self._group_index().get(pid)
+        if gid is None:
+            raise ConfigError(f"process {pid} is not a member of any group")
+        return gid
+
+    def is_member(self, pid: ProcessId) -> bool:
+        return pid in self._group_index()
+
+    def f(self, gid: GroupId) -> int:
+        """Maximum tolerated failures in ``gid`` (group size is 2f+1)."""
+        return (len(self.groups[gid]) - 1) // 2
+
+    def quorum_size(self, gid: GroupId) -> int:
+        """Quorum size f+1 (a majority of 2f+1)."""
+        return self.f(gid) + 1
+
+    def default_leader(self, gid: GroupId) -> ProcessId:
+        """The initial leader of a group: its lowest-id member."""
+        return self.groups[gid][0]
+
+    def default_leaders(self) -> Dict[GroupId, ProcessId]:
+        return {gid: self.default_leader(gid) for gid in self.group_ids}
+
+    def leaders_for(self, dests: Iterable[GroupId]) -> List[ProcessId]:
+        return [self.default_leader(g) for g in sorted(set(dests))]
+
+    # -- internals --------------------------------------------------------
+
+    def _group_index(self) -> Dict[ProcessId, GroupId]:
+        # Lazily built and cached on the instance despite frozen=True:
+        # object.__setattr__ is the sanctioned escape hatch for caches.
+        cache = self.__dict__.get("_pid_to_gid")
+        if cache is None:
+            cache = {pid: gid for gid, members in enumerate(self.groups) for pid in members}
+            object.__setattr__(self, "_pid_to_gid", cache)
+        return cache

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the repro library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A cluster or topology configuration is malformed."""
+
+
+class ProtocolError(ReproError):
+    """A protocol state machine received an impossible input.
+
+    Raised only for programming errors / broken invariants, never for
+    conditions a correct distributed run can produce (those are handled by
+    the protocols themselves).
+    """
+
+
+class InvariantViolation(ReproError):
+    """A white-box invariant monitor (Fig. 6 of the paper) failed."""
+
+
+class PropertyViolation(ReproError):
+    """A black-box atomic-multicast property check failed on a history."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven incorrectly."""

@@ -1,0 +1,13 @@
+"""Failure detection and leader election.
+
+The paper assumes (Section IV, "Leader recovery") a leader-election service
+per group that, after GST, makes all group members permanently trust the
+same correct process — an Ω failure detector built from heartbeats and
+timeouts [5, 25, 26].  :class:`~repro.failure.detector.LeaderMonitor`
+provides exactly that contract for any protocol exposing ``is_leader()``
+and ``recover()``.
+"""
+
+from .detector import HeartbeatMsg, LeaderMonitor, MonitorOptions, attach_monitor
+
+__all__ = ["HeartbeatMsg", "LeaderMonitor", "MonitorOptions", "attach_monitor"]

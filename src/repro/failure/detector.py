@@ -1,0 +1,144 @@
+"""Heartbeat-based leader monitoring (an Ω-style election driver).
+
+The current leader of a group broadcasts heartbeats; a follower that goes
+``suspect_timeout`` without hearing one starts a takeover by calling the
+protocol's ``recover()``.  Two standard tricks make the election stabilise
+after GST:
+
+* **rank staggering** — a follower waits an extra ``stagger`` per position
+  of ring distance from the suspected leader, so the first-ranked live
+  follower usually wins uncontested;
+* **binary exponential backoff** — a candidate that fails to become leader
+  doubles its personal timeout, so after GST contention dies out and a
+  single correct leader emerges (the property Lemma 1 relies on).
+
+The monitor piggybacks on the host protocol's handler table, so heartbeat
+traffic flows through the same simulated (or real) channels as everything
+else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..types import GroupId, ProcessId
+
+
+@dataclass(frozen=True, slots=True)
+class HeartbeatMsg:
+    """``HEARTBEAT``: the sender claims to lead group ``gid``."""
+
+    gid: GroupId
+
+
+@dataclass(frozen=True)
+class MonitorOptions:
+    heartbeat_interval: float = 0.02
+    suspect_timeout: float = 0.1
+    stagger: float = 0.05
+    backoff_factor: float = 2.0
+    max_timeout: float = 2.0
+
+
+class LeaderMonitor:
+    """Drives ``proc.recover()`` when the group's leader seems dead.
+
+    ``proc`` must expose ``pid``, ``gid``, ``group``, ``cur_leader``,
+    ``is_leader()``, ``recover()`` and the usual ``runtime`` — i.e. any
+    :class:`~repro.protocols.base.AtomicMulticastProcess`.
+    """
+
+    def __init__(self, proc, options: Optional[MonitorOptions] = None) -> None:
+        self.proc = proc
+        self.options = options or MonitorOptions()
+        self._last_heard = 0.0
+        self._timeout = self.options.suspect_timeout
+        self._started = False
+        self._ballot_signature = self._signature()
+        proc._handlers[HeartbeatMsg] = self._on_heartbeat
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self._last_heard = self.proc.runtime.now()
+        self.proc.runtime.set_timer(self.options.heartbeat_interval, self._beat_tick)
+        self.proc.runtime.set_timer(self._check_delay(), self._check_tick)
+
+    # -- heartbeat side -------------------------------------------------------
+
+    def _beat_tick(self) -> None:
+        if self.proc.is_leader():
+            beat = HeartbeatMsg(self.proc.gid)
+            for p in self.proc.group:
+                if p != self.proc.pid:
+                    self.proc.runtime.send(p, beat)
+        self.proc.runtime.set_timer(self.options.heartbeat_interval, self._beat_tick)
+
+    def _on_heartbeat(self, sender: ProcessId, msg: HeartbeatMsg) -> None:
+        if msg.gid != self.proc.gid:
+            return
+        self._last_heard = self.proc.runtime.now()
+
+    # -- suspicion side ----------------------------------------------------------
+
+    def _rank_distance(self) -> int:
+        """Ring distance from the believed leader to us (for staggering)."""
+        group = list(self.proc.group)
+        believed = self.proc.cur_leader.get(self.proc.gid, group[0])
+        try:
+            li = group.index(believed)
+        except ValueError:
+            li = 0
+        mi = group.index(self.proc.pid)
+        return (mi - li) % len(group)
+
+    def _check_delay(self) -> float:
+        return self._timeout + self.options.stagger * max(0, self._rank_distance() - 1)
+
+    def _signature(self) -> tuple:
+        """Ballot-ish state whose change indicates an election in progress."""
+        replica = getattr(self.proc, "replica", None)
+        return (
+            getattr(self.proc, "ballot", None),
+            getattr(self.proc, "cballot", None),
+            getattr(replica, "promised", None),
+        )
+
+    def _check_tick(self) -> None:
+        now = self.proc.runtime.now()
+        signature = self._signature()
+        if signature != self._ballot_signature:
+            # An election is making progress: that is a sign of life, so
+            # do not pile a competing candidacy on top of it.
+            self._ballot_signature = signature
+            self._last_heard = now
+        deadline = self._last_heard + self._check_delay()
+        if self.proc.is_leader():
+            self._last_heard = now
+        elif now >= deadline:
+            # Leader silent for too long: stand for election and back off.
+            self._timeout = min(
+                self._timeout * self.options.backoff_factor, self.options.max_timeout
+            )
+            self._last_heard = now  # restart the clock for the new attempt
+            self.proc.recover()
+        self.proc.runtime.set_timer(self.options.heartbeat_interval, self._check_tick)
+
+
+def attach_monitor(proc, options: Optional[MonitorOptions] = None) -> LeaderMonitor:
+    """Create, start-on-start and return a monitor for ``proc``.
+
+    Wraps the protocol's ``on_start`` so the monitor's timers begin with
+    the process.
+    """
+    monitor = LeaderMonitor(proc, options)
+    original_on_start = proc.on_start
+
+    def on_start() -> None:
+        original_on_start()
+        monitor.start()
+
+    proc.on_start = on_start
+    return monitor

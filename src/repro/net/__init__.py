@@ -1,0 +1,25 @@
+"""asyncio TCP runtime: the same protocol objects over real sockets.
+
+The protocols in :mod:`repro.protocols` are sans-IO; this package gives
+them a real network.  Each process gets a TCP server; channels are one TCP
+connection per (src, dst) pair, which provides exactly the reliable-FIFO
+channel of the paper's model (on localhost; across real WANs one would add
+reconnect-with-resend, which is out of scope).
+
+:class:`~repro.net.cluster.LocalCluster` wires a whole cluster on
+127.0.0.1 ephemeral ports — see ``examples/tcp_cluster.py`` and
+``tests/test_net.py``.
+"""
+
+from .codec import decode_frame, encode_frame
+from .runtime import NetRuntime
+from .transport import NodeTransport
+from .cluster import LocalCluster
+
+__all__ = [
+    "LocalCluster",
+    "NetRuntime",
+    "NodeTransport",
+    "decode_frame",
+    "encode_frame",
+]

@@ -1,0 +1,207 @@
+"""A whole atomic-multicast cluster on localhost TCP, in one event loop.
+
+:class:`LocalCluster` starts one :class:`~repro.net.transport.NodeTransport`
+per group member (ephemeral ports), binds the protocol processes to
+:class:`~repro.net.runtime.NetRuntime`, and offers a minimal client API:
+``multicast()`` submits a message to the proper protocol entry points and
+``wait_partial()`` / ``wait_quiescent()`` await delivery.
+
+Deliveries and multicasts are recorded so runs can be verified with the
+same :mod:`repro.checking` machinery as simulated ones.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..checking import History
+from ..config import ClusterConfig
+from ..types import AmcastMessage, GroupId, MessageId, ProcessId, make_message
+from ..protocols.base import MulticastMsg
+from .runtime import NetRuntime
+from .transport import NodeTransport
+
+
+class LocalCluster:
+    """All group members of one protocol, on 127.0.0.1 ephemeral ports."""
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        protocol_cls,
+        options: Any = None,
+        seed: int = 0,
+        attach_fd: bool = False,
+        fd_options: Any = None,
+    ) -> None:
+        self.config = config
+        self.protocol_cls = protocol_cls
+        self.options = options
+        self.seed = seed
+        self.attach_fd = attach_fd
+        self.fd_options = fd_options
+        self.transports: Dict[ProcessId, NodeTransport] = {}
+        self.processes: Dict[ProcessId, Any] = {}
+        self.addresses: Dict[ProcessId, Tuple[str, int]] = {}
+        self.deliveries: List[Tuple[ProcessId, AmcastMessage, float]] = []
+        self.multicasts: Dict[MessageId, Tuple[ProcessId, float, AmcastMessage]] = {}
+        self.killed: Set[ProcessId] = set()
+        self._delivery_event = asyncio.Event()
+        self._client_seq = itertools.count()
+        self._client_transport: Optional[NodeTransport] = None
+        self._client_pid: Optional[ProcessId] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        for pid in self.config.all_members:
+            transport = NodeTransport(
+                pid, self.addresses.__getitem__, self._make_dispatch(pid)
+            )
+            await transport.start()
+            self.transports[pid] = transport
+            self.addresses[pid] = (transport.host, transport.port)
+        # A lightweight client endpoint (first configured client id, or an
+        # id above every member).
+        self._client_pid = (
+            self.config.clients[0]
+            if self.config.clients
+            else max(self.config.all_members) + 1
+        )
+        self._client_transport = NodeTransport(
+            self._client_pid, self.addresses.__getitem__, lambda s, m: None
+        )
+        await self._client_transport.start()
+        self.addresses[self._client_pid] = (
+            self._client_transport.host,
+            self._client_transport.port,
+        )
+        # Bind protocols only once every address is known.
+        for pid in self.config.all_members:
+            runtime = NetRuntime(
+                pid, self.transports[pid], self._record_delivery, seed=self.seed
+            )
+            proc = self.protocol_cls(pid, self.config, runtime, options=self.options)
+            if self.attach_fd:
+                from ..failure.detector import attach_monitor
+
+                attach_monitor(proc, self.fd_options)
+            self.processes[pid] = proc
+        for proc in self.processes.values():
+            proc.on_start()
+
+    def _make_dispatch(self, pid: ProcessId):
+        def dispatch(sender: ProcessId, msg: Any) -> None:
+            if pid in self.killed:
+                return
+            self.processes[pid].on_message(sender, msg)
+
+        return dispatch
+
+    async def stop(self) -> None:
+        for transport in self.transports.values():
+            await transport.close()
+        if self._client_transport is not None:
+            await self._client_transport.close()
+
+    async def kill(self, pid: ProcessId) -> None:
+        """Crash-stop a member: close its transport, drop its messages."""
+        self.killed.add(pid)
+        transport = self.transports.get(pid)
+        if transport is not None:
+            await transport.close()
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def _record_delivery(self, pid: ProcessId, m: AmcastMessage, t: float) -> None:
+        self.deliveries.append((pid, m, t))
+        self._delivery_event.set()
+
+    # -- client API -----------------------------------------------------------------
+
+    def multicast(self, dests, payload: Any = None) -> AmcastMessage:
+        """Submit a fresh message to its destination leaders."""
+        m = make_message(self._client_pid, next(self._client_seq), dests, payload)
+        loop = asyncio.get_event_loop()
+        self.multicasts[m.mid] = (self._client_pid, loop.time(), m)
+        self._send_to_targets(m, broadcast=False)
+        return m
+
+    def resend(self, m: AmcastMessage) -> None:
+        """Retry an in-flight message, broadcasting to all members."""
+        self._send_to_targets(m, broadcast=True)
+
+    def _send_to_targets(self, m: AmcastMessage, broadcast: bool) -> None:
+        leader_map = {
+            g: self._live_leader_guess(g) for g in self.config.group_ids
+        }
+        if broadcast:
+            targets = [p for g in sorted(m.dests) for p in self.config.members(g)]
+        else:
+            targets = self.protocol_cls.multicast_targets(self.config, leader_map, m)
+        msg = MulticastMsg(m)
+        for pid in targets:
+            if pid not in self.killed:
+                self._client_transport.send(pid, msg)
+
+    def _live_leader_guess(self, gid: GroupId) -> ProcessId:
+        default = self.config.default_leader(gid)
+        if default not in self.killed:
+            return default
+        for pid in self.config.members(gid):
+            if pid not in self.killed:
+                return pid
+        return default
+
+    # -- waiting --------------------------------------------------------------------
+
+    def partially_delivered(self, mid: MessageId) -> bool:
+        entry = self.multicasts.get(mid)
+        if entry is None:
+            return False
+        m = entry[2]
+        groups_seen = {
+            self.config.group_of(pid) for pid, d, _ in self.deliveries if d.mid == mid
+        }
+        return set(m.dests) <= groups_seen
+
+    async def wait_partial(self, mid: MessageId, timeout: float = 5.0) -> bool:
+        deadline = asyncio.get_event_loop().time() + timeout
+        while not self.partially_delivered(mid):
+            remaining = deadline - asyncio.get_event_loop().time()
+            if remaining <= 0:
+                return False
+            self._delivery_event.clear()
+            try:
+                await asyncio.wait_for(self._delivery_event.wait(), remaining)
+            except asyncio.TimeoutError:
+                return False
+        return True
+
+    async def wait_quiescent(self, expected_deliveries: int, timeout: float = 5.0) -> bool:
+        deadline = asyncio.get_event_loop().time() + timeout
+        while len(self.deliveries) < expected_deliveries:
+            remaining = deadline - asyncio.get_event_loop().time()
+            if remaining <= 0:
+                return False
+            self._delivery_event.clear()
+            try:
+                await asyncio.wait_for(self._delivery_event.wait(), remaining)
+            except asyncio.TimeoutError:
+                return False
+        return True
+
+    # -- verification ------------------------------------------------------------------
+
+    def history(self) -> History:
+        deliveries: Dict[ProcessId, List[Tuple[float, AmcastMessage]]] = {}
+        for pid, m, t in self.deliveries:
+            deliveries.setdefault(pid, []).append((t, m))
+        return History(
+            config=self.config,
+            multicasts=dict(self.multicasts),
+            deliveries=deliveries,
+            crashed=set(self.killed),
+        )

@@ -1,0 +1,43 @@
+"""Wire framing: length-prefixed pickled (sender, message) frames.
+
+Pickle is acceptable here because the cluster is a closed system of our
+own processes (the classic caveat: never unpickle untrusted input).  All
+protocol messages are small frozen dataclasses built from primitive
+types, so they pickle compactly and deterministically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import struct
+from typing import Any, Tuple
+
+from ..types import ProcessId
+
+_HEADER = struct.Struct("!I")
+
+#: Refuse frames above this size (a corrupted length prefix otherwise
+#: requests gigabytes).
+MAX_FRAME = 64 * 1024 * 1024
+
+
+def encode_frame(sender: ProcessId, msg: Any) -> bytes:
+    payload = pickle.dumps((sender, msg), protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME:
+        raise ValueError(f"frame of {len(payload)} bytes exceeds MAX_FRAME")
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_frame(payload: bytes) -> Tuple[ProcessId, Any]:
+    return pickle.loads(payload)
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Tuple[ProcessId, Any]:
+    """Read one frame; raises IncompleteReadError on clean EOF."""
+    header = await reader.readexactly(_HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise ValueError(f"incoming frame of {length} bytes exceeds MAX_FRAME")
+    payload = await reader.readexactly(length)
+    return decode_frame(payload)

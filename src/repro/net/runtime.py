@@ -1,0 +1,70 @@
+"""The :class:`~repro.runtime.Runtime` implementation over asyncio."""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Any, Callable, Optional
+
+from ..runtime import Runtime, TimerHandle
+from ..types import AmcastMessage, ProcessId
+from .transport import NodeTransport
+
+
+class _AsyncTimer(TimerHandle):
+    __slots__ = ("_handle", "_cancelled")
+
+    def __init__(self, handle: asyncio.TimerHandle) -> None:
+        self._handle = handle
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        self._cancelled = True
+        self._handle.cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+
+class NetRuntime(Runtime):
+    """Binds one protocol process to the asyncio event loop."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        transport: NodeTransport,
+        on_deliver: Callable[[ProcessId, AmcastMessage, float], None],
+        on_multicast: Optional[Callable[[ProcessId, AmcastMessage, float], None]] = None,
+        seed: int = 0,
+    ) -> None:
+        self._pid = pid
+        self._transport = transport
+        self._on_deliver = on_deliver
+        self._on_multicast = on_multicast
+        self._rng = random.Random((seed << 20) ^ pid)
+        self._loop = asyncio.get_event_loop()
+
+    @property
+    def pid(self) -> ProcessId:
+        return self._pid
+
+    def now(self) -> float:
+        return self._loop.time()
+
+    def send(self, to: ProcessId, msg: Any) -> None:
+        self._transport.send(to, msg)
+
+    def set_timer(self, delay: float, fn: Callable[[], None]) -> TimerHandle:
+        return _AsyncTimer(self._loop.call_later(delay, fn))
+
+    def deliver(self, m: AmcastMessage) -> None:
+        self._on_deliver(self._pid, m, self.now())
+
+    def record_multicast(self, m: AmcastMessage) -> None:
+        if self._on_multicast is not None:
+            self._on_multicast(self._pid, m, self.now())
+
+    @property
+    def rng(self) -> random.Random:
+        return self._rng

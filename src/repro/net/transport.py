@@ -1,0 +1,144 @@
+"""Per-node TCP transport with lazy outgoing connections.
+
+One :class:`NodeTransport` per process: a listening server for incoming
+frames and, per destination, an outbound queue drained by a writer task
+over a single TCP connection (per-pair FIFO therefore holds).  Connection
+attempts retry with backoff until the transport is closed, giving the
+reliable-channel abstraction of the paper's model on a live cluster.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..types import ProcessId
+from .codec import encode_frame, read_frame
+
+logger = logging.getLogger(__name__)
+
+Address = Tuple[str, int]
+
+
+class NodeTransport:
+    """Sends and receives framed messages for one process."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        addr_of: Callable[[ProcessId], Address],
+        on_message: Callable[[ProcessId, Any], None],
+        host: str = "127.0.0.1",
+        connect_retry: float = 0.05,
+    ) -> None:
+        self.pid = pid
+        self.addr_of = addr_of
+        self.on_message = on_message
+        self.host = host
+        self.connect_retry = connect_retry
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._queues: Dict[ProcessId, asyncio.Queue] = {}
+        self._writer_tasks: Dict[ProcessId, asyncio.Task] = {}
+        self._reader_tasks: set = set()
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self, port: int = 0) -> int:
+        """Start listening; returns the (possibly ephemeral) bound port."""
+        self._server = await asyncio.start_server(self._serve, self.host, port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def close(self) -> None:
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._writer_tasks.values()) + list(self._reader_tasks):
+            task.cancel()
+        for task in list(self._writer_tasks.values()):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._writer_tasks.clear()
+
+    # -- sending ---------------------------------------------------------------
+
+    def send(self, to: ProcessId, msg: Any) -> None:
+        """Queue ``msg`` for delivery to ``to`` (drops silently if closed)."""
+        if self._closed:
+            return
+        if to == self.pid:
+            # Local loopback: schedule as a fresh event-loop callback so the
+            # handler never re-enters itself (mirrors the simulator's
+            # zero-delay self-channel).
+            asyncio.get_running_loop().call_soon(self._dispatch, self.pid, msg)
+            return
+        queue = self._queues.get(to)
+        if queue is None:
+            queue = asyncio.Queue()
+            self._queues[to] = queue
+            self._writer_tasks[to] = asyncio.ensure_future(self._writer(to, queue))
+        queue.put_nowait(encode_frame(self.pid, msg))
+
+    async def _writer(self, to: ProcessId, queue: asyncio.Queue) -> None:
+        writer: Optional[asyncio.StreamWriter] = None
+        pending: Optional[bytes] = None
+        try:
+            while not self._closed:
+                if pending is None:
+                    pending = await queue.get()
+                if writer is None:
+                    writer = await self._connect(to)
+                    if writer is None:
+                        return  # transport closed while connecting
+                try:
+                    writer.write(pending)
+                    await writer.drain()
+                    pending = None
+                except (ConnectionError, OSError):
+                    writer = None  # reconnect and resend the same frame
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if writer is not None:
+                writer.close()
+
+    async def _connect(self, to: ProcessId) -> Optional[asyncio.StreamWriter]:
+        while not self._closed:
+            host, port = self.addr_of(to)
+            try:
+                _, writer = await asyncio.open_connection(host, port)
+                return writer
+            except (ConnectionError, OSError):
+                await asyncio.sleep(self.connect_retry)
+        return None
+
+    # -- receiving ------------------------------------------------------------------
+
+    async def _serve(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._reader_tasks.add(task)
+        try:
+            while not self._closed:
+                sender, msg = await read_frame(reader)
+                self._dispatch(sender, msg)
+        except (asyncio.IncompleteReadError, ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            if task is not None:
+                self._reader_tasks.discard(task)
+            writer.close()
+
+    def _dispatch(self, sender: ProcessId, msg: Any) -> None:
+        if self._closed:
+            return
+        try:
+            self.on_message(sender, msg)
+        except Exception:  # pragma: no cover - surfaced in logs, not crashes
+            logger.exception("handler failed for message from %s at %s", sender, self.pid)

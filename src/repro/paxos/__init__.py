@@ -1,0 +1,30 @@
+"""Multi-Paxos: the consensus black box used by the baseline protocols.
+
+The paper's competitors (fault-tolerant Skeen [17] and FastCast [10]) use
+consensus as a black box to replicate each group's protocol state.  This
+package provides that box: a replicated log with a stable leader,
+phase-2-only steady state (one round trip to a quorum per command),
+phase-1 (prepare/promise over the whole log) on leader change, no-op gap
+filling, and in-order execution callbacks at every replica.
+"""
+
+from .messages import (
+    NOOP,
+    PaxosAccept,
+    PaxosAccepted,
+    PaxosCommit,
+    PaxosPrepare,
+    PaxosPromise,
+)
+from .multi import PaxosReplica, ReplicaStatus
+
+__all__ = [
+    "NOOP",
+    "PaxosAccept",
+    "PaxosAccepted",
+    "PaxosCommit",
+    "PaxosPrepare",
+    "PaxosPromise",
+    "PaxosReplica",
+    "ReplicaStatus",
+]

@@ -1,0 +1,88 @@
+"""Multi-Paxos wire messages (classic 1a/1b/2a/2b plus a commit notice)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from ..types import Ballot, GroupId
+
+
+class _NoOp:
+    """Gap-filling no-op log value (a singleton)."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NOOP"
+
+
+NOOP = _NoOp()
+
+
+def _value_mids(value: Any) -> List:
+    """Application message ids referenced by a log value (for genuineness)."""
+    inner = getattr(value, "mids", None)
+    if callable(inner):
+        return list(inner())
+    m = getattr(value, "m", None)
+    if m is not None and hasattr(m, "mid"):
+        return [m.mid]
+    return []
+
+
+@dataclass(frozen=True, slots=True)
+class PaxosPrepare:
+    """1a: a candidate asks the group to join ballot ``bal``."""
+
+    gid: GroupId
+    bal: Ballot
+
+
+@dataclass(frozen=True, slots=True)
+class PaxosPromise:
+    """1b: a promise not to accept lower ballots, with the accepted log."""
+
+    gid: GroupId
+    bal: Ballot
+    log: Dict[int, Tuple[Ballot, Any]]
+    commit_index: int
+
+
+@dataclass(frozen=True, slots=True)
+class PaxosAccept:
+    """2a: the ballot-``bal`` leader proposes ``value`` at slot ``index``."""
+
+    gid: GroupId
+    bal: Ballot
+    index: int
+    value: Any
+
+    def mids(self):
+        return _value_mids(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class PaxosAccepted:
+    """2b: acceptance acknowledgement for slot ``index`` at ``bal``."""
+
+    gid: GroupId
+    bal: Ballot
+    index: int
+    acked_mids: Tuple = ()
+
+    def mids(self):
+        return list(self.acked_mids)
+
+
+@dataclass(frozen=True, slots=True)
+class PaxosCommit:
+    """Leader notifies followers that slots up to ``index`` are chosen."""
+
+    gid: GroupId
+    index: int

@@ -1,0 +1,222 @@
+"""A Multi-Paxos replicated log embedded in a host protocol process.
+
+The replica does no I/O of its own: it sends through the host's runtime
+and receives via :meth:`handle` (the host routes the ``Paxos*`` message
+types here).  Execution is an in-order callback at *every* replica, which
+is what lets the baseline protocols replicate Skeen-style state machines.
+
+Steady state: ``propose`` → ACCEPT to all members → quorum of ACCEPTED →
+commit, execute, broadcast COMMIT (one round trip, 2δ at the leader).
+Leader change: PREPARE/PROMISE over the full log; the new leader adopts
+the highest-ballot value per slot, fills gaps with NOOP, re-proposes
+everything at its ballot and resumes.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional, Set, Tuple
+
+from ..types import Ballot, GroupId, ProcessId
+from .messages import (
+    NOOP,
+    PaxosAccept,
+    PaxosAccepted,
+    PaxosCommit,
+    PaxosPrepare,
+    PaxosPromise,
+)
+
+
+class ReplicaStatus(enum.Enum):
+    LEADER = "leader"
+    FOLLOWER = "follower"
+    RECOVERING = "recovering"
+
+
+class PaxosReplica:
+    """One group member's view of the group's replicated log."""
+
+    def __init__(
+        self,
+        host,
+        gid: GroupId,
+        members,
+        quorum: int,
+        on_execute: Callable[[int, Any], None],
+        on_status_change: Optional[Callable[[ReplicaStatus], None]] = None,
+    ) -> None:
+        self.host = host  # provides .pid, .send(to, msg), .runtime
+        self.gid = gid
+        self.members = tuple(members)
+        self.quorum = quorum
+        self.on_execute = on_execute
+        self.on_status_change = on_status_change
+        initial_leader = self.members[0]
+        self.promised: Ballot = Ballot(0, initial_leader)
+        self.status = (
+            ReplicaStatus.LEADER if host.pid == initial_leader else ReplicaStatus.FOLLOWER
+        )
+        self.leader_hint: ProcessId = initial_leader
+        self.log: Dict[int, Tuple[Ballot, Any]] = {}
+        self.commit_index = -1
+        self.executed_index = -1
+        # Leader-only volatile state.
+        self.next_index = 0
+        self._accept_acks: Dict[Tuple[Ballot, int], Set[ProcessId]] = {}
+        self._chosen: Set[int] = set()
+        self._pending: Deque[Any] = deque()
+        # Candidate-only volatile state.
+        self._promises: Dict[ProcessId, PaxosPromise] = {}
+
+    # -- public API ---------------------------------------------------------
+
+    def is_leader(self) -> bool:
+        return self.status is ReplicaStatus.LEADER
+
+    def propose(self, value: Any) -> bool:
+        """Queue ``value`` for the log; returns False when not the leader."""
+        if self.status is not ReplicaStatus.LEADER:
+            return False
+        index = self.next_index
+        self.next_index += 1
+        self._send_accepts(index, value)
+        return True
+
+    def start_recovery(self) -> None:
+        """Stand for leadership with a fresh, higher ballot (1a)."""
+        bal = Ballot(self.promised.round + 1, self.host.pid)
+        prepare = PaxosPrepare(self.gid, bal)
+        for p in self.members:  # includes ourselves
+            self.host.send(p, prepare)
+
+    def handle(self, sender: ProcessId, msg: Any) -> bool:
+        """Route a Paxos message; returns False for foreign message types."""
+        if isinstance(msg, PaxosPrepare):
+            self._on_prepare(sender, msg)
+        elif isinstance(msg, PaxosPromise):
+            self._on_promise(sender, msg)
+        elif isinstance(msg, PaxosAccept):
+            self._on_accept(sender, msg)
+        elif isinstance(msg, PaxosAccepted):
+            self._on_accepted(sender, msg)
+        elif isinstance(msg, PaxosCommit):
+            self._on_commit(sender, msg)
+        else:
+            return False
+        return True
+
+    # -- phase 2 (steady state) ------------------------------------------------
+
+    def _send_accepts(self, index: int, value: Any) -> None:
+        msg = PaxosAccept(self.gid, self.promised, index, value)
+        for p in self.members:
+            self.host.send(p, msg)
+
+    def _on_accept(self, sender: ProcessId, msg: PaxosAccept) -> None:
+        if msg.bal < self.promised:
+            return  # stale leader
+        if msg.bal > self.promised:
+            self.promised = msg.bal
+            self._set_status_from_ballot(msg.bal)
+        self.log[msg.index] = (msg.bal, msg.value)
+        self.host.send(
+            sender, PaxosAccepted(self.gid, msg.bal, msg.index, tuple(msg.mids()))
+        )
+
+    def _on_accepted(self, sender: ProcessId, msg: PaxosAccepted) -> None:
+        if self.status is not ReplicaStatus.LEADER or msg.bal != self.promised:
+            return
+        key = (msg.bal, msg.index)
+        acks = self._accept_acks.setdefault(key, set())
+        acks.add(sender)
+        if len(acks) >= self.quorum and msg.index not in self._chosen:
+            self._chosen.add(msg.index)
+            self._accept_acks.pop(key, None)
+            self._advance_commit()
+
+    def _advance_commit(self) -> None:
+        advanced = False
+        while (self.commit_index + 1) in self._chosen:
+            self.commit_index += 1
+            advanced = True
+        if advanced:
+            commit = PaxosCommit(self.gid, self.commit_index)
+            for p in self.members:
+                if p != self.host.pid:
+                    self.host.send(p, commit)
+            self._execute_ready()
+
+    def _on_commit(self, sender: ProcessId, msg: PaxosCommit) -> None:
+        if msg.index > self.commit_index:
+            self.commit_index = msg.index
+        self._execute_ready()
+
+    def _execute_ready(self) -> None:
+        while self.executed_index < self.commit_index:
+            nxt = self.executed_index + 1
+            entry = self.log.get(nxt)
+            if entry is None:
+                return  # wait for the entry (possible across leader changes)
+            self.executed_index = nxt
+            value = entry[1]
+            if value is not NOOP:
+                self.on_execute(nxt, value)
+
+    # -- phase 1 (leader change) -------------------------------------------------
+
+    def _on_prepare(self, sender: ProcessId, msg: PaxosPrepare) -> None:
+        if not msg.bal > self.promised:
+            return
+        self.promised = msg.bal
+        self._set_status_from_ballot(msg.bal)
+        promise = PaxosPromise(self.gid, msg.bal, dict(self.log), self.commit_index)
+        self.host.send(sender, promise)
+
+    def _on_promise(self, sender: ProcessId, msg: PaxosPromise) -> None:
+        if self.status is not ReplicaStatus.RECOVERING or msg.bal != self.promised:
+            return
+        self._promises[sender] = msg
+        if len(self._promises) < self.quorum:
+            return
+        promises = list(self._promises.values())
+        self._promises = {}
+        # Adopt the highest-ballot value for every slot any voter accepted.
+        merged: Dict[int, Tuple[Ballot, Any]] = {}
+        for promise in promises:
+            for index, (bal, value) in promise.log.items():
+                cur = merged.get(index)
+                if cur is None or bal > cur[0]:
+                    merged[index] = (bal, value)
+        max_index = max(merged, default=-1)
+        self.commit_index = max(
+            self.commit_index, max(p.commit_index for p in promises)
+        )
+        self.status = ReplicaStatus.LEADER
+        self.leader_hint = self.host.pid
+        self._chosen = set(range(self.commit_index + 1))
+        self._accept_acks = {}
+        self.next_index = max_index + 1
+        # Re-propose the whole adopted log at our ballot (gaps become NOOP);
+        # committed slots re-propose their chosen values, which is safe and
+        # re-teaches lagging followers.
+        for index in range(max_index + 1):
+            _, value = merged.get(index, (self.promised, NOOP))
+            self.log[index] = (self.promised, value)
+            self._send_accepts(index, value)
+        self._execute_ready()
+        if self.on_status_change is not None:
+            self.on_status_change(self.status)
+        while self._pending:
+            self.propose(self._pending.popleft())
+
+    def _set_status_from_ballot(self, bal: Ballot) -> None:
+        old = self.status
+        if bal.leader() == self.host.pid:
+            self.status = ReplicaStatus.RECOVERING
+        else:
+            self.status = ReplicaStatus.FOLLOWER
+            self.leader_hint = bal.leader()
+        if self.status is not old and self.on_status_change is not None:
+            self.on_status_change(self.status)

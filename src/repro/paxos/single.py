@@ -1,0 +1,156 @@
+"""Single-decree Paxos (the textbook synod protocol).
+
+The replicated log in :mod:`repro.paxos.multi` is what the baselines
+consume, but the synod algorithm underneath is worth having on its own:
+it is the simplest correctness anchor for the quorum reasoning the whole
+repository relies on (two quorums of 2f+1 always intersect), and its
+safety is property-tested exhaustively in ``tests/test_paxos_single.py``
+over randomised message interleavings.
+
+Roles are peer-symmetric: every :class:`SynodNode` is proposer, acceptor
+and learner at once.  ``propose(value)`` starts a ballot; the node decides
+when it observes a quorum of accepts for one ballot.  Messages may be
+reordered and duplicated arbitrarily by the harness — only loss is
+excluded, matching the paper's channel assumptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from ..types import BALLOT_BOTTOM, Ballot, ProcessId
+
+
+@dataclass(frozen=True, slots=True)
+class Prepare:
+    bal: Ballot
+
+
+@dataclass(frozen=True, slots=True)
+class Promise:
+    bal: Ballot
+    accepted_bal: Ballot
+    accepted_value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class Accept:
+    bal: Ballot
+    value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class Accepted:
+    bal: Ballot
+
+
+class SynodNode:
+    """One participant in a single synod instance."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        peers: Tuple[ProcessId, ...],
+        send: Callable[[ProcessId, Any], None],
+        on_decide: Optional[Callable[[Any], None]] = None,
+    ) -> None:
+        self.pid = pid
+        self.peers = tuple(peers)
+        self.quorum = len(self.peers) // 2 + 1
+        self._send = send
+        self._on_decide = on_decide
+        # Acceptor state.
+        self.promised: Ballot = BALLOT_BOTTOM
+        self.accepted_bal: Ballot = BALLOT_BOTTOM
+        self.accepted_value: Any = None
+        # Proposer state.
+        self._my_value: Any = None
+        self._ballot: Optional[Ballot] = None
+        self._promises: Dict[ProcessId, Promise] = {}
+        self._accepts: Dict[Ballot, Set[ProcessId]] = {}
+        # Learner state.
+        self.decided = False
+        self.decision: Any = None
+
+    # -- proposer ------------------------------------------------------------
+
+    def propose(self, value: Any) -> None:
+        """Start (or restart, with a higher ballot) a proposal of ``value``.
+
+        If an earlier proposal of ours stalled, calling again bumps the
+        ballot — the standard retry-on-contention loop.
+        """
+        round_ = self.promised.round + 1
+        self._ballot = Ballot(round_, self.pid)
+        self._my_value = value
+        self._promises = {}
+        for peer in self.peers:
+            self._send(peer, Prepare(self._ballot))
+
+    def _on_prepare(self, sender: ProcessId, msg: Prepare) -> None:
+        if msg.bal > self.promised:
+            self.promised = msg.bal
+        if msg.bal >= self.promised:
+            self._send(
+                sender, Promise(msg.bal, self.accepted_bal, self.accepted_value)
+            )
+
+    def _on_promise(self, sender: ProcessId, msg: Promise) -> None:
+        if self._ballot is None or msg.bal != self._ballot:
+            return
+        self._promises[sender] = msg
+        if len(self._promises) != self.quorum:
+            return  # act exactly once, at quorum
+        # Adopt the highest-ballot previously accepted value, if any.
+        best = max(self._promises.values(), key=lambda p: p.accepted_bal)
+        value = self._my_value if best.accepted_bal == BALLOT_BOTTOM else best.accepted_value
+        for peer in self.peers:
+            self._send(peer, Accept(self._ballot, value))
+
+    # -- acceptor ---------------------------------------------------------------
+
+    def _on_accept(self, sender: ProcessId, msg: Accept) -> None:
+        if msg.bal >= self.promised:
+            self.promised = msg.bal
+            self.accepted_bal = msg.bal
+            self.accepted_value = msg.value
+            self._send(sender, Accepted(msg.bal))
+            # Track accepts we observe for learning (sender side counts too).
+
+    def _on_accepted(self, sender: ProcessId, msg: Accepted) -> None:
+        votes = self._accepts.setdefault(msg.bal, set())
+        votes.add(sender)
+        if len(votes) >= self.quorum and not self.decided:
+            # A quorum accepted ballot msg.bal; its value is decided.  We
+            # know the value if we proposed it or accepted it ourselves.
+            if self._ballot == msg.bal:
+                self._decide(self._chosen_value())
+            elif self.accepted_bal == msg.bal:
+                self._decide(self.accepted_value)
+
+    def _chosen_value(self) -> Any:
+        if self.accepted_bal == self._ballot:
+            return self.accepted_value
+        best = max(self._promises.values(), key=lambda p: p.accepted_bal)
+        if best.accepted_bal == BALLOT_BOTTOM:
+            return self._my_value
+        return best.accepted_value
+
+    def _decide(self, value: Any) -> None:
+        self.decided = True
+        self.decision = value
+        if self._on_decide is not None:
+            self._on_decide(value)
+
+    # -- dispatch -------------------------------------------------------------------
+
+    def on_message(self, sender: ProcessId, msg: Any) -> None:
+        if isinstance(msg, Prepare):
+            self._on_prepare(sender, msg)
+        elif isinstance(msg, Promise):
+            self._on_promise(sender, msg)
+        elif isinstance(msg, Accept):
+            self._on_accept(sender, msg)
+        elif isinstance(msg, Accepted):
+            self._on_accepted(sender, msg)

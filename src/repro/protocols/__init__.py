@@ -1,0 +1,41 @@
+"""Atomic multicast protocols.
+
+* :mod:`repro.protocols.skeen` — folklore Skeen's protocol (Fig. 1 of the
+  paper): singleton, reliable groups; the conceptual basis of everything
+  else.
+* :mod:`repro.protocols.wbcast` — **the paper's contribution**: the
+  white-box fault-tolerant protocol of Fig. 4, with leader recovery,
+  message retry and garbage collection.
+* :mod:`repro.protocols.ftskeen` — baseline: fault-tolerant Skeen using
+  consensus as a black box (Fritzke et al. [17]; 6δ collision-free).
+* :mod:`repro.protocols.fastcast` — baseline: FastCast (Coelho et al.
+  [10]; 4δ collision-free via speculative consensus pipelining).
+* :mod:`repro.protocols.sequencer` — non-genuine baseline: a global
+  sequencer group orders everything (used by the genuineness ablation).
+"""
+
+from .base import AtomicMulticastProcess, MulticastMsg, ProtocolProcess
+from .skeen import SkeenProcess
+from .wbcast import WbCastProcess
+from .ftskeen import FtSkeenProcess
+from .fastcast import FastCastProcess
+from .sequencer import SequencerProcess
+
+__all__ = [
+    "AtomicMulticastProcess",
+    "FastCastProcess",
+    "FtSkeenProcess",
+    "MulticastMsg",
+    "ProtocolProcess",
+    "SequencerProcess",
+    "SkeenProcess",
+    "WbCastProcess",
+]
+
+PROTOCOLS = {
+    "skeen": SkeenProcess,
+    "wbcast": WbCastProcess,
+    "ftskeen": FtSkeenProcess,
+    "fastcast": FastCastProcess,
+    "sequencer": SequencerProcess,
+}

@@ -1,0 +1,114 @@
+"""Shared protocol machinery: the process base class and common messages.
+
+Every protocol process is a sans-IO state machine: construction takes the
+process id, the cluster configuration and a :class:`~repro.runtime.Runtime`;
+all interaction happens through ``on_start`` / ``on_message`` / timers.
+
+The ``MULTICAST(m)`` message that clients send to initiate a multicast is
+shared by all protocols, so clients are protocol-agnostic: each protocol
+class reports where the message should go via :meth:`multicast_targets`
+and handles forwarding when a non-leader receives it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Type
+
+from ..config import ClusterConfig
+from ..errors import ProtocolError
+from ..runtime import Runtime
+from ..types import AmcastMessage, GroupId, ProcessId
+
+
+@dataclass(frozen=True, slots=True)
+class MulticastMsg:
+    """``MULTICAST(m)``: a client (or a retrying leader) submits ``m``."""
+
+    m: AmcastMessage
+
+
+class ProtocolProcess:
+    """Base class for all protocol state machines.
+
+    Subclasses populate ``self._handlers`` (message class → bound method)
+    and may override :meth:`on_start`.  Unknown message types raise — a
+    protocol receiving a message it has no handler for is a wiring bug,
+    never a legitimate runtime condition.
+    """
+
+    def __init__(self, pid: ProcessId, config: ClusterConfig, runtime: Runtime) -> None:
+        if runtime.pid != pid:
+            raise ProtocolError(f"runtime bound to {runtime.pid}, process claims {pid}")
+        self.pid = pid
+        self.config = config
+        self.runtime = runtime
+        self._handlers: Dict[Type, Callable[[ProcessId, Any], None]] = {}
+
+    # -- wiring -------------------------------------------------------------
+
+    def on_start(self) -> None:
+        """Called once when the hosting runtime starts."""
+
+    def on_message(self, sender: ProcessId, msg: Any) -> None:
+        handler = self._handlers.get(type(msg))
+        if handler is None:
+            raise ProtocolError(
+                f"{type(self).__name__} at {self.pid} has no handler for {type(msg).__name__}"
+            )
+        handler(sender, msg)
+
+    # -- conveniences ---------------------------------------------------------
+
+    def send(self, to: ProcessId, msg: Any) -> None:
+        self.runtime.send(to, msg)
+
+    def send_all(self, pids: Iterable[ProcessId], msg: Any) -> None:
+        for pid in pids:
+            self.runtime.send(pid, msg)
+
+    def now(self) -> float:
+        return self.runtime.now()
+
+
+class AtomicMulticastProcess(ProtocolProcess):
+    """Base class for group members of an atomic multicast protocol.
+
+    Adds the notions every multicast protocol in this repo shares: the
+    process's own group, current-leader tracking and the client-facing
+    ``MULTICAST`` entry point.
+    """
+
+    def __init__(self, pid: ProcessId, config: ClusterConfig, runtime: Runtime) -> None:
+        super().__init__(pid, config, runtime)
+        self.gid: GroupId = config.group_of(pid)
+        self.group = config.members(self.gid)
+        # Best-effort guess of every group's current leader (the paper's
+        # Cur_leader map); updated when leadership changes become known.
+        self.cur_leader: Dict[GroupId, ProcessId] = config.default_leaders()
+
+    # -- client-facing API ------------------------------------------------------
+
+    @classmethod
+    def multicast_targets(
+        cls,
+        config: ClusterConfig,
+        leader_map: Dict[GroupId, ProcessId],
+        m: AmcastMessage,
+    ) -> List[ProcessId]:
+        """Where a client should send ``MULTICAST(m)``.
+
+        Default: the believed current leader of every destination group.
+        Protocols with different entry points override this.
+        """
+        return [leader_map[g] for g in sorted(m.dests)]
+
+    def is_leader(self) -> bool:
+        raise NotImplementedError
+
+    def quorum_size(self) -> int:
+        return self.config.quorum_size(self.gid)
+
+    def deliver(self, m: AmcastMessage) -> None:
+        """Record an application-level delivery of ``m``."""
+        self.runtime.deliver(m)

@@ -1,0 +1,353 @@
+"""FastCast (Coelho, Schiper, Pedone [10]): speculative black-box multicast.
+
+FastCast optimises fault-tolerant Skeen by pipelining: on receiving a
+multicast, the group leader assigns a *tentative* local timestamp, starts
+consensus #1 to persist it and — without waiting — sends it to the other
+destination leaders.  Those speculatively compute the tentative global
+timestamp and start consensus #2 to persist it and the clock advance.
+Once consensus #1 finishes, leaders exchange CONFIRM messages; a message
+commits when its consensus #2 has executed *and* every destination group
+confirmed its local timestamp.  Failure-free, the speculation always
+succeeds:
+
+    MULTICAST (δ) + PROPOSE (δ) + consensus #2 (2δ) = 4δ collision-free
+    (consensus #1 finishes at 3δ; its CONFIRMs arrive at 4δ, off-path),
+
+but the replicated clock still only advances past a message's global
+timestamp when consensus #2 executes (4δ after the multicast), so the
+failure-free latency is 8δ — the 2x convoy degradation the white-box
+protocol removes.
+
+Recovery note (documented divergence): the DSN'17 paper does not spell out
+FastCast's recovery in detail.  We restart speculation conservatively —
+persisted (chosen) local timestamps are reused verbatim; unpersisted
+tentative timestamps die with their leader and retries reassign them; the
+global timestamp may then be recomputed by a fresh consensus #2 as long as
+the message is unconfirmed.  Delivery still requires full confirmation, so
+agreement on the final timestamps is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from ..config import ClusterConfig
+from ..runtime import Runtime
+from ..types import AmcastMessage, GroupId, MessageId, ProcessId, Timestamp
+from ..paxos import PaxosReplica, ReplicaStatus
+from ..paxos.messages import (
+    PaxosAccept,
+    PaxosAccepted,
+    PaxosCommit,
+    PaxosPrepare,
+    PaxosPromise,
+)
+from .base import AtomicMulticastProcess, MulticastMsg
+from .ordering import DeliveryQueue
+from .skeen import ProposeMsg
+from .wbcast.state import MsgRecord, Phase
+
+
+@dataclass(frozen=True, slots=True)
+class FcLocal:
+    """Consensus #1 command: persist the tentative local timestamp."""
+
+    m: AmcastMessage
+    lts: Timestamp
+
+
+@dataclass(frozen=True, slots=True)
+class FcGlobal:
+    """Consensus #2 command: persist the (speculative) global timestamp."""
+
+    m: AmcastMessage
+    lts_vector: Tuple[Tuple[GroupId, Timestamp], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class ConfirmMsg:
+    """Leader-to-leader notice: consensus #1 chose ``lts`` for ``m`` here."""
+
+    mid: MessageId
+    gid: GroupId
+    lts: Timestamp
+
+
+@dataclass(frozen=True, slots=True)
+class FcDeliverMsg:
+    """Leader orders its followers to deliver ``m`` at ``gts``."""
+
+    m: AmcastMessage
+    gts: Timestamp
+
+
+@dataclass(frozen=True)
+class FastCastOptions:
+    retry_interval: Optional[float] = None
+
+
+class FastCastProcess(AtomicMulticastProcess):
+    """One group member of the FastCast protocol."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        config: ClusterConfig,
+        runtime: Runtime,
+        options: Optional[FastCastOptions] = None,
+    ) -> None:
+        super().__init__(pid, config, runtime)
+        self.options = options or FastCastOptions()
+        self.replica = PaxosReplica(
+            host=self,
+            gid=self.gid,
+            members=self.group,
+            quorum=self.quorum_size(),
+            on_execute=self._execute,
+            on_status_change=self._on_replica_status,
+        )
+        # Replicated state (mutated only by `_execute`).  Phase.ACCEPTED is
+        # reused to mean "global timestamp persisted, confirmation pending".
+        self.clock = 0
+        self.records: Dict[MessageId, MsgRecord] = {}
+        self._executed_vector: Dict[MessageId, Tuple[Tuple[GroupId, Timestamp], ...]] = {}
+        # Leader-volatile state.
+        self._tentative_clock = 0
+        self._tentative: Dict[MessageId, Timestamp] = {}
+        self.queue = DeliveryQueue()
+        self._proposals: Dict[MessageId, Dict[GroupId, Timestamp]] = {}
+        self._confirms: Dict[MessageId, Dict[GroupId, Timestamp]] = {}
+        self._inflight_global: Set[MessageId] = set()
+        self._committed: Set[MessageId] = set()
+        # Delivery bookkeeping (per process).
+        self.delivered_ids: Set[MessageId] = set()
+        self.max_delivered_gts: Optional[Timestamp] = None
+        self._handlers = {
+            MulticastMsg: self._on_multicast,
+            ProposeMsg: self._on_propose,
+            ConfirmMsg: self._on_confirm,
+            FcDeliverMsg: self._on_deliver,
+            PaxosPrepare: self._on_paxos,
+            PaxosPromise: self._on_paxos,
+            PaxosAccept: self._on_paxos,
+            PaxosAccepted: self._on_paxos,
+            PaxosCommit: self._on_paxos,
+        }
+
+    # -- wiring -----------------------------------------------------------------
+
+    def on_start(self) -> None:
+        if self.options.retry_interval is not None:
+            self.runtime.set_timer(self.options.retry_interval, self._retry_tick)
+
+    def is_leader(self) -> bool:
+        return self.replica.is_leader()
+
+    def recover(self) -> None:
+        self.replica.start_recovery()
+
+    def _on_paxos(self, sender: ProcessId, msg) -> None:
+        self.replica.handle(sender, msg)
+
+    def _on_replica_status(self, status: ReplicaStatus) -> None:
+        self.cur_leader[self.gid] = self.replica.leader_hint
+        if status is ReplicaStatus.LEADER:
+            self._rebuild_leader_state()
+
+    def _rebuild_leader_state(self) -> None:
+        """Volatile state died with the old leader: rebuild from the log."""
+        self._tentative_clock = self.clock
+        self._tentative = {}
+        self.queue = DeliveryQueue()
+        self._inflight_global.clear()
+        for mid, rec in self.records.items():
+            if mid in self.delivered_ids:
+                if rec.gts is not None:
+                    self.queue.commit(rec.m, rec.gts)  # keep heap consistent
+                continue
+            if rec.phase in (Phase.PROPOSED, Phase.ACCEPTED):
+                self.queue.set_pending(mid, rec.lts)
+                self._proposals.setdefault(mid, {})[self.gid] = rec.lts
+                self._announce(rec)
+                self._request_remote(rec.m)
+        # Re-deliver everything we know is committed so lagging followers
+        # catch up (they dedupe on message id).
+        self._drain()
+
+    # -- client-facing -------------------------------------------------------------
+
+    def _observe_sender(self, sender: ProcessId) -> None:
+        """A protocol message from another group's member means that member
+        currently acts as its group's leader: refresh our Cur_leader guess."""
+        if self.config.is_member(sender):
+            gid = self.config.group_of(sender)
+            if gid != self.gid:
+                self.cur_leader[gid] = sender
+
+    def _on_multicast(self, sender: ProcessId, msg: MulticastMsg) -> None:
+        m = msg.m
+        self._observe_sender(sender)
+        if not self.is_leader():
+            target = self.replica.leader_hint
+            if target != self.pid:
+                self.send(target, msg)
+            return
+        rec = self.records.get(m.mid)
+        if rec is not None and rec.phase is not Phase.START:
+            self._announce(rec)  # duplicate: re-announce persisted state
+            return
+        if m.mid in self._tentative or m.mid in self.delivered_ids:
+            return
+        # Assign the tentative local timestamp from the persisted clock and
+        # our own outstanding tentative assignments (speculation does NOT
+        # see other messages' speculative global timestamps — that is
+        # exactly why FastCast keeps the 2x failure-free degradation).
+        self._tentative_clock = max(self._tentative_clock, self.clock) + 1
+        lts = Timestamp(self._tentative_clock, self.gid)
+        self._tentative[m.mid] = lts
+        self.queue.set_pending(m.mid, lts)
+        self.replica.propose(FcLocal(m, lts))
+        propose = ProposeMsg(m, self.gid, lts)
+        for g in sorted(m.dests):
+            if g != self.gid:
+                self.send(self.cur_leader.get(g, self.config.default_leader(g)), propose)
+        self._proposals.setdefault(m.mid, {})[self.gid] = lts
+        self._maybe_globalize(m)
+
+    def _announce(self, rec: MsgRecord) -> None:
+        """Resend PROPOSE (and CONFIRM once persisted) for a known message."""
+        propose = ProposeMsg(rec.m, self.gid, rec.lts)
+        confirm = ConfirmMsg(rec.mid, self.gid, rec.lts)
+        for g in sorted(rec.m.dests):
+            leader = self.cur_leader.get(g, self.config.default_leader(g))
+            if g != self.gid:
+                self.send(leader, propose)
+            self.send(leader, confirm)
+
+    def _request_remote(self, m: AmcastMessage) -> None:
+        msg = MulticastMsg(m)
+        for g in sorted(m.dests):
+            if g != self.gid:
+                self.send(self.cur_leader.get(g, self.config.default_leader(g)), msg)
+
+    # -- speculation --------------------------------------------------------------------
+
+    def _on_propose(self, sender: ProcessId, msg: ProposeMsg) -> None:
+        self._observe_sender(sender)
+        self._proposals.setdefault(msg.m.mid, {})[msg.gid] = msg.lts
+        self._maybe_globalize(msg.m)
+
+    def _maybe_globalize(self, m: AmcastMessage) -> None:
+        if not self.is_leader() or m.mid in self._inflight_global:
+            return
+        if m.mid in self._committed or m.mid in self.delivered_ids:
+            return
+        proposals = self._proposals.get(m.mid, {})
+        if set(proposals) != set(m.dests):
+            return
+        vector = tuple(sorted(proposals.items()))
+        if self._executed_vector.get(m.mid) == vector:
+            return  # this exact vector is already persisted
+        self._inflight_global.add(m.mid)
+        self.replica.propose(FcGlobal(m, vector))
+
+    def _on_confirm(self, sender: ProcessId, msg: ConfirmMsg) -> None:
+        self._observe_sender(sender)
+        confirms = self._confirms.setdefault(msg.mid, {})
+        confirms[msg.gid] = msg.lts
+        # A confirmed timestamp is the persisted truth; adopt it in case our
+        # speculative value was stale (only possible after failures).
+        self._proposals.setdefault(msg.mid, {})[msg.gid] = msg.lts
+        rec = self.records.get(msg.mid)
+        if rec is not None:
+            self._maybe_commit(rec.m)
+
+    def _maybe_commit(self, m: AmcastMessage) -> None:
+        if not self.is_leader() or m.mid in self._committed:
+            return
+        rec = self.records.get(m.mid)
+        if rec is None or rec.phase is not Phase.ACCEPTED:
+            return
+        vector = self._executed_vector.get(m.mid)
+        if vector is None:
+            return
+        confirms = self._confirms.get(m.mid, {})
+        if any(confirms.get(g) != lts for g, lts in vector):
+            missing = set(m.dests) - set(confirms)
+            if not missing:
+                # Fully confirmed but with different timestamps than the
+                # persisted vector: re-run consensus #2 with the truth.
+                self._maybe_globalize(m)
+            return
+        if set(g for g, _ in vector) != set(m.dests):
+            return
+        self._committed.add(m.mid)
+        self.queue.commit(m, rec.gts)
+        self._drain()
+
+    def _drain(self) -> None:
+        for m, gts in self.queue.pop_deliverable():
+            dmsg = FcDeliverMsg(m, gts)
+            for p in self.group:  # includes ourselves
+                self.send(p, dmsg)
+
+    def _on_deliver(self, sender: ProcessId, msg: FcDeliverMsg) -> None:
+        if msg.m.mid in self.delivered_ids:
+            return
+        self.delivered_ids.add(msg.m.mid)
+        self.max_delivered_gts = msg.gts
+        self.deliver(msg.m)
+
+    # -- replicated execution ---------------------------------------------------------------
+
+    def _execute(self, index: int, cmd) -> None:
+        if isinstance(cmd, FcLocal):
+            self._exec_local(cmd)
+        elif isinstance(cmd, FcGlobal):
+            self._exec_global(cmd)
+
+    def _exec_local(self, cmd: FcLocal) -> None:
+        m = cmd.m
+        rec = self.records.get(m.mid)
+        if rec is not None and rec.phase is not Phase.START:
+            return  # at most one persisted local timestamp per message
+        self.records[m.mid] = MsgRecord(m, Phase.PROPOSED, lts=cmd.lts)
+        self.clock = max(self.clock, cmd.lts.time)
+        self._tentative.pop(m.mid, None)
+        if self.is_leader():
+            confirm = ConfirmMsg(m.mid, self.gid, cmd.lts)
+            for g in sorted(m.dests):
+                self.send(self.cur_leader.get(g, self.config.default_leader(g)), confirm)
+            self._maybe_commit(m)
+
+    def _exec_global(self, cmd: FcGlobal) -> None:
+        m = cmd.m
+        self._inflight_global.discard(m.mid)
+        rec = self.records.get(m.mid)
+        if rec is None or rec.phase is Phase.START:
+            return  # local timestamp not persisted yet; a retry will redo this
+        if m.mid in self.delivered_ids or m.mid in self._committed:
+            return
+        gts = max(lts for _, lts in cmd.lts_vector)
+        self.clock = max(self.clock, gts.time)
+        self.records[m.mid] = rec.with_phase(Phase.ACCEPTED, gts=gts)
+        self._executed_vector[m.mid] = cmd.lts_vector
+        if self.is_leader():
+            self._maybe_commit(m)
+
+    # -- retry ---------------------------------------------------------------------------------
+
+    def _retry_tick(self) -> None:
+        if self.options.retry_interval is None:
+            return
+        if self.is_leader():
+            for mid, rec in list(self.records.items()):
+                if mid in self.delivered_ids:
+                    continue
+                if rec.phase in (Phase.PROPOSED, Phase.ACCEPTED):
+                    self._announce(rec)
+                    self._request_remote(rec.m)
+                    self._maybe_globalize(rec.m)
+                    self._maybe_commit(rec.m)
+        self.runtime.set_timer(self.options.retry_interval, self._retry_tick)

@@ -1,0 +1,291 @@
+"""Fault-tolerant Skeen with consensus as a black box (Fritzke et al. [17]).
+
+The straightforward fault-tolerant construction the paper uses as its main
+baseline (§IV opening): each group simulates the reliable process of
+Skeen's protocol, persisting both of its key actions through the group's
+Multi-Paxos before their effects leave the group:
+
+* on receiving a multicast, the leader assigns a local timestamp from its
+  clock and runs consensus #1 to persist it; only then is the PROPOSE sent
+  to the other destination groups;
+* once all local timestamps are collected, the leader runs consensus #2 to
+  persist the global timestamp and the clock advance; only then can the
+  message commit and deliver.
+
+Cost at each destination leader (collision-free):
+
+    MULTICAST (δ) + consensus #1 (2δ) + PROPOSE (δ) + consensus #2 (2δ) = 6δ
+
+and 12δ failure-free: a new message's local timestamp is read from the
+*persisted* clock, which only advances past an earlier message's global
+timestamp when consensus #2 executes — 6δ after that message's multicast —
+so the convoy window C is the full 6δ (Equation (4) of the paper).
+
+Followers deliver on the leader's DELIVER notification, one δ behind, and
+deduplicate by message id; a new leader rebuilds its delivery queue from
+the replicated log and re-delivers from the beginning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from ..config import ClusterConfig
+from ..runtime import Runtime
+from ..types import AmcastMessage, GroupId, MessageId, ProcessId, Timestamp
+from ..paxos import PaxosReplica, ReplicaStatus
+from ..paxos.messages import (
+    PaxosAccept,
+    PaxosAccepted,
+    PaxosCommit,
+    PaxosPrepare,
+    PaxosPromise,
+)
+from .base import AtomicMulticastProcess, MulticastMsg
+from .ordering import DeliveryQueue
+from .skeen import ProposeMsg
+from .wbcast.state import MsgRecord, Phase
+
+
+@dataclass(frozen=True, slots=True)
+class CmdLocal:
+    """Consensus #1 command: persist ``m``'s local timestamp."""
+
+    m: AmcastMessage
+    lts: Timestamp
+
+
+@dataclass(frozen=True, slots=True)
+class CmdGlobal:
+    """Consensus #2 command: persist ``m``'s global timestamp and the
+    clock advance past it."""
+
+    m: AmcastMessage
+    lts_vector: Tuple[Tuple[GroupId, Timestamp], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class FtDeliverMsg:
+    """Leader orders its followers to deliver ``m`` at ``gts``."""
+
+    m: AmcastMessage
+    gts: Timestamp
+
+
+@dataclass(frozen=True)
+class FtSkeenOptions:
+    retry_interval: Optional[float] = None
+
+
+class FtSkeenProcess(AtomicMulticastProcess):
+    """One group member of the black-box fault-tolerant Skeen protocol."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        config: ClusterConfig,
+        runtime: Runtime,
+        options: Optional[FtSkeenOptions] = None,
+    ) -> None:
+        super().__init__(pid, config, runtime)
+        self.options = options or FtSkeenOptions()
+        self.replica = PaxosReplica(
+            host=self,
+            gid=self.gid,
+            members=self.group,
+            quorum=self.quorum_size(),
+            on_execute=self._execute,
+            on_status_change=self._on_replica_status,
+        )
+        # Replicated state (mutated only by `_execute`).
+        self.clock = 0
+        self.records: Dict[MessageId, MsgRecord] = {}
+        # Leader-volatile state.
+        self._tentative_clock = 0
+        self._tentative: Dict[MessageId, Timestamp] = {}
+        self.queue = DeliveryQueue()
+        self._proposals: Dict[MessageId, Dict[GroupId, Timestamp]] = {}
+        self._inflight_global: Set[MessageId] = set()
+        # Delivery bookkeeping (per process).
+        self.delivered_ids: Set[MessageId] = set()
+        self._handlers = {
+            MulticastMsg: self._on_multicast,
+            ProposeMsg: self._on_propose,
+            FtDeliverMsg: self._on_deliver,
+            PaxosPrepare: self._on_paxos,
+            PaxosPromise: self._on_paxos,
+            PaxosAccept: self._on_paxos,
+            PaxosAccepted: self._on_paxos,
+            PaxosCommit: self._on_paxos,
+        }
+
+    # -- wiring --------------------------------------------------------------
+
+    def on_start(self) -> None:
+        if self.options.retry_interval is not None:
+            self.runtime.set_timer(self.options.retry_interval, self._retry_tick)
+
+    def is_leader(self) -> bool:
+        return self.replica.is_leader()
+
+    def recover(self) -> None:
+        self.replica.start_recovery()
+
+    def _on_paxos(self, sender: ProcessId, msg) -> None:
+        self.replica.handle(sender, msg)
+
+    def _on_replica_status(self, status: ReplicaStatus) -> None:
+        self.cur_leader[self.gid] = self.replica.leader_hint
+        if status is ReplicaStatus.LEADER:
+            self._rebuild_leader_state()
+
+    def _rebuild_leader_state(self) -> None:
+        """Volatile state died with the old leader: rebuild from the log."""
+        self._tentative_clock = self.clock
+        self._tentative = {}
+        self.queue = DeliveryQueue()
+        self._inflight_global.clear()
+        for mid, rec in self.records.items():
+            if rec.phase is Phase.COMMITTED:
+                self.queue.commit(rec.m, rec.gts)
+            elif rec.phase is Phase.PROPOSED:
+                self.queue.set_pending(mid, rec.lts)
+                self._proposals.setdefault(mid, {})[self.gid] = rec.lts
+                self._broadcast_propose(rec)
+                self._request_remote(rec.m)
+        # Re-deliver everything committed so lagging followers catch up
+        # (they deduplicate on message id).
+        self._drain()
+
+    # -- client-facing ----------------------------------------------------------
+
+    def _on_multicast(self, sender: ProcessId, msg: MulticastMsg) -> None:
+        m = msg.m
+        self._observe_sender(sender)
+        if not self.is_leader():
+            target = self.replica.leader_hint
+            if target != self.pid:
+                self.send(target, msg)
+            return
+        rec = self.records.get(m.mid)
+        if rec is not None and rec.phase is not Phase.START:
+            # Duplicate (a retry): re-announce our persisted local timestamp.
+            self._broadcast_propose(rec)
+            return
+        if m.mid in self._tentative or m.mid in self.delivered_ids:
+            return
+        # Assign the local timestamp from the *persisted* clock (plus our
+        # own outstanding assignments) and run consensus #1 on it.  The
+        # clock only reflects a prior message's global timestamp once that
+        # message's consensus #2 executed — hence the 2x convoy window.
+        self._tentative_clock = max(self._tentative_clock, self.clock) + 1
+        lts = Timestamp(self._tentative_clock, self.gid)
+        self._tentative[m.mid] = lts
+        self.queue.set_pending(m.mid, lts)
+        self.replica.propose(CmdLocal(m, lts))
+
+    # -- inter-group exchange ------------------------------------------------------
+
+    def _broadcast_propose(self, rec: MsgRecord) -> None:
+        propose = ProposeMsg(rec.m, self.gid, rec.lts)
+        for g in sorted(rec.m.dests):
+            if g != self.gid:
+                self.send(self.cur_leader.get(g, self.config.default_leader(g)), propose)
+
+    def _request_remote(self, m: AmcastMessage) -> None:
+        msg = MulticastMsg(m)
+        for g in sorted(m.dests):
+            if g != self.gid:
+                self.send(self.cur_leader.get(g, self.config.default_leader(g)), msg)
+
+    def _observe_sender(self, sender: ProcessId) -> None:
+        """A protocol message from another group's member means that member
+        currently acts as its group's leader: refresh our Cur_leader guess."""
+        if self.config.is_member(sender):
+            gid = self.config.group_of(sender)
+            if gid != self.gid:
+                self.cur_leader[gid] = sender
+
+    def _on_propose(self, sender: ProcessId, msg: ProposeMsg) -> None:
+        self._observe_sender(sender)
+        self._proposals.setdefault(msg.m.mid, {})[msg.gid] = msg.lts
+        self._maybe_globalize(msg.m)
+
+    def _maybe_globalize(self, m: AmcastMessage) -> None:
+        if not self.is_leader() or m.mid in self._inflight_global:
+            return
+        rec = self.records.get(m.mid)
+        if rec is None or rec.phase is not Phase.PROPOSED:
+            return  # our own local timestamp is not persisted yet
+        proposals = self._proposals.get(m.mid, {})
+        if set(proposals) != set(m.dests):
+            return
+        vector = tuple(sorted(proposals.items()))
+        self._inflight_global.add(m.mid)
+        self.replica.propose(CmdGlobal(m, vector))
+
+    # -- replicated execution -----------------------------------------------------------
+
+    def _execute(self, index: int, cmd) -> None:
+        if isinstance(cmd, CmdLocal):
+            self._exec_local(cmd)
+        elif isinstance(cmd, CmdGlobal):
+            self._exec_global(cmd)
+
+    def _exec_local(self, cmd: CmdLocal) -> None:
+        m = cmd.m
+        rec = self.records.get(m.mid)
+        if rec is not None and rec.phase is not Phase.START:
+            return  # at most one persisted local timestamp per message
+        self.records[m.mid] = MsgRecord(m, Phase.PROPOSED, lts=cmd.lts)
+        self.clock = max(self.clock, cmd.lts.time)
+        self._tentative.pop(m.mid, None)
+        if self.is_leader():
+            # Correct the pending entry in case a retry raced and a
+            # different tentative value lost consensus #1.
+            self.queue.set_pending(m.mid, cmd.lts)
+            self._proposals.setdefault(m.mid, {})[self.gid] = cmd.lts
+            self._broadcast_propose(self.records[m.mid])
+            self._maybe_globalize(m)
+
+    def _exec_global(self, cmd: CmdGlobal) -> None:
+        m = cmd.m
+        self._inflight_global.discard(m.mid)
+        rec = self.records.get(m.mid)
+        if rec is None or rec.phase is not Phase.PROPOSED:
+            return  # duplicate command
+        gts = max(lts for _, lts in cmd.lts_vector)
+        self.clock = max(self.clock, gts.time)
+        self.records[m.mid] = rec.with_phase(Phase.COMMITTED, gts=gts)
+        self._proposals.pop(m.mid, None)
+        if self.is_leader():
+            self.queue.commit(m, gts)
+            self._drain()
+
+    # -- delivery --------------------------------------------------------------------------
+
+    def _drain(self) -> None:
+        for m, gts in self.queue.pop_deliverable():
+            dmsg = FtDeliverMsg(m, gts)
+            for p in self.group:  # includes ourselves
+                self.send(p, dmsg)
+
+    def _on_deliver(self, sender: ProcessId, msg: FtDeliverMsg) -> None:
+        if msg.m.mid in self.delivered_ids:
+            return
+        self.delivered_ids.add(msg.m.mid)
+        self.deliver(msg.m)
+
+    # -- retry --------------------------------------------------------------------------------
+
+    def _retry_tick(self) -> None:
+        if self.options.retry_interval is None:
+            return
+        if self.is_leader():
+            for mid, rec in list(self.records.items()):
+                if rec.phase is Phase.PROPOSED:
+                    self._broadcast_propose(rec)
+                    self._request_remote(rec.m)
+                    self._maybe_globalize(rec.m)
+        self.runtime.set_timer(self.options.retry_interval, self._retry_tick)

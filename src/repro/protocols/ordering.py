@@ -1,0 +1,93 @@
+"""Timestamp-ordered delivery queue shared by the Skeen-family protocols.
+
+All protocols in this repo order messages by unique global timestamps and
+may only deliver a committed message ``m`` once no message still awaiting
+its final timestamp could be ordered before ``m``.  This module implements
+that check once:
+
+* a message holding a *provisional* local timestamp (phase PROPOSED or
+  ACCEPTED) blocks every committed message whose global timestamp exceeds
+  that local timestamp, because its eventual global timestamp can only be
+  ``>=`` its local one;
+* committed messages are released in global-timestamp order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..types import AmcastMessage, MessageId, Timestamp
+
+
+class DeliveryQueue:
+    """Tracks provisional and final timestamps; yields deliverable messages."""
+
+    def __init__(self) -> None:
+        self._pending: Dict[MessageId, Timestamp] = {}
+        self._committed: Dict[MessageId, Tuple[Timestamp, AmcastMessage]] = {}
+        self._heap: List[Tuple[Timestamp, MessageId]] = []
+
+    # -- provisional timestamps ---------------------------------------------
+
+    def set_pending(self, mid: MessageId, lts: Timestamp) -> None:
+        """Record that ``mid`` holds provisional timestamp ``lts``."""
+        self._pending[mid] = lts
+
+    def clear_pending(self, mid: MessageId) -> None:
+        """Drop ``mid``'s provisional timestamp (message lost or recovered)."""
+        self._pending.pop(mid, None)
+
+    def pending_lts(self, mid: MessageId) -> Optional[Timestamp]:
+        return self._pending.get(mid)
+
+    # -- final timestamps ----------------------------------------------------
+
+    def commit(self, m: AmcastMessage, gts: Timestamp) -> None:
+        """Record that ``m`` received final global timestamp ``gts``."""
+        if m.mid in self._committed:
+            return
+        self._pending.pop(m.mid, None)
+        self._committed[m.mid] = (gts, m)
+        heapq.heappush(self._heap, (gts, m.mid))
+
+    def is_committed(self, mid: MessageId) -> bool:
+        return mid in self._committed
+
+    # -- delivery -------------------------------------------------------------
+
+    def _min_pending(self) -> Optional[Timestamp]:
+        if not self._pending:
+            return None
+        return min(self._pending.values())
+
+    def pop_deliverable(self) -> Iterator[Tuple[AmcastMessage, Timestamp]]:
+        """Yield committed messages deliverable *now*, in gts order.
+
+        A committed message is deliverable when every message still holding
+        a provisional timestamp has that timestamp strictly above the
+        committed message's global timestamp.
+        """
+        floor = self._min_pending()
+        while self._heap:
+            gts, mid = self._heap[0]
+            if floor is not None and not gts < floor:
+                return
+            heapq.heappop(self._heap)
+            entry = self._committed.pop(mid, None)
+            if entry is None:
+                continue  # stale heap entry (already popped)
+            yield entry[1], gts
+            floor = self._min_pending()
+
+    def peek_blocked(self) -> List[MessageId]:
+        """Mids of committed messages currently blocked (for diagnostics)."""
+        return [mid for _, mid in self._heap if mid in self._committed]
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def committed_count(self) -> int:
+        return len(self._committed)

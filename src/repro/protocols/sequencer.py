@@ -1,0 +1,241 @@
+"""Non-genuine baseline: a global sequencer group orders every message.
+
+This is the classic alternative the atomic-multicast literature contrasts
+genuine protocols against (Schiper, Sutra & Pedone [33]): group 0 runs
+Multi-Paxos over *all* multicast messages, assigns each a global sequence
+number plus a dense per-destination-group subsequence number, and forwards
+the order to the destination groups, which replicate and deliver in
+subsequence order.
+
+It is deliberately *not genuine*: group 0 participates in ordering every
+message, whatever its destinations — so messages to disjoint destination
+sets still serialise through one group.  The genuineness ablation
+benchmark shows this becoming the bottleneck exactly where the paper's
+protocol scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..config import ClusterConfig
+from ..runtime import Runtime
+from ..types import AmcastMessage, GroupId, MessageId, ProcessId
+from ..paxos import PaxosReplica, ReplicaStatus
+from ..paxos.messages import (
+    PaxosAccept,
+    PaxosAccepted,
+    PaxosCommit,
+    PaxosPrepare,
+    PaxosPromise,
+)
+from .base import AtomicMulticastProcess, MulticastMsg
+
+#: The group that sequences everything.
+SEQUENCER_GROUP: GroupId = 0
+
+
+@dataclass(frozen=True, slots=True)
+class SeqOrder:
+    """Sequencer-group log command: order ``m``."""
+
+    m: AmcastMessage
+
+
+@dataclass(frozen=True, slots=True)
+class OrderedMsg:
+    """Sequencer → destination leader: deliver ``m`` as the ``subseq``-th
+    message of your group."""
+
+    m: AmcastMessage
+    subseq: int
+
+
+@dataclass(frozen=True, slots=True)
+class OrderedAckMsg:
+    """Destination leader → sequencer leader: ``subseq`` safely logged."""
+
+    gid: GroupId
+    subseq: int
+
+
+@dataclass(frozen=True, slots=True)
+class CmdDeliver:
+    """Destination-group log command: deliver ``m`` at position ``subseq``."""
+
+    m: AmcastMessage
+    subseq: int
+
+
+@dataclass(frozen=True)
+class SequencerOptions:
+    retry_interval: Optional[float] = None
+
+
+class SequencerProcess(AtomicMulticastProcess):
+    """A group member under the sequencer protocol.
+
+    Members of group 0 play two roles: the global sequencer and (when group
+    0 is itself a destination) a normal destination group.  A message
+    addressed to group 0 is delivered there straight from the sequencer's
+    own log execution, which already fixes the total order.
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        config: ClusterConfig,
+        runtime: Runtime,
+        options: Optional[SequencerOptions] = None,
+    ) -> None:
+        super().__init__(pid, config, runtime)
+        self.options = options or SequencerOptions()
+        self.replica = PaxosReplica(
+            host=self,
+            gid=self.gid,
+            members=self.group,
+            quorum=self.quorum_size(),
+            on_execute=self._execute,
+            on_status_change=self._on_replica_status,
+        )
+        # Sequencer-group replicated state.
+        self._global_seq = 0
+        self._subseq: Dict[GroupId, int] = {g: 0 for g in config.group_ids}
+        self._sequenced: Set[MessageId] = set()
+        # Every (group, subseq) assignment ever made, replicated, so a new
+        # sequencer leader can re-forward orders the old one may have lost.
+        self._assignments: Dict[Tuple[GroupId, int], AmcastMessage] = {}
+        # Sequencer-leader volatile state: unacked forwards.
+        self._unacked: Dict[Tuple[GroupId, int], OrderedMsg] = {}
+        # Destination-group state.
+        self._next_subseq = 0  # next subsequence number to deliver
+        self._window: Dict[int, AmcastMessage] = {}  # executed, awaiting order
+        self._proposed_subseqs: Set[int] = set()
+        self.delivered_ids: Set[MessageId] = set()
+        self._handlers = {
+            MulticastMsg: self._on_multicast,
+            OrderedMsg: self._on_ordered,
+            OrderedAckMsg: self._on_ordered_ack,
+            PaxosPrepare: self._on_paxos,
+            PaxosPromise: self._on_paxos,
+            PaxosAccept: self._on_paxos,
+            PaxosAccepted: self._on_paxos,
+            PaxosCommit: self._on_paxos,
+        }
+
+    # -- client-facing --------------------------------------------------------
+
+    @classmethod
+    def multicast_targets(cls, config, leader_map, m) -> List[ProcessId]:
+        """All multicasts enter through the sequencer group's leader."""
+        return [leader_map[SEQUENCER_GROUP]]
+
+    def on_start(self) -> None:
+        if self.options.retry_interval is not None:
+            self.runtime.set_timer(self.options.retry_interval, self._retry_tick)
+
+    def is_leader(self) -> bool:
+        return self.replica.is_leader()
+
+    def recover(self) -> None:
+        self.replica.start_recovery()
+
+    def _on_paxos(self, sender: ProcessId, msg) -> None:
+        self.replica.handle(sender, msg)
+
+    def _on_replica_status(self, status: ReplicaStatus) -> None:
+        self.cur_leader[self.gid] = self.replica.leader_hint
+        if status is ReplicaStatus.LEADER and self.gid == SEQUENCER_GROUP:
+            # The old leader's ack bookkeeping is gone: re-forward every
+            # assignment; destination leaders deduplicate and re-ack.
+            for (g, subseq), m in sorted(self._assignments.items()):
+                fwd = OrderedMsg(m, subseq)
+                self._unacked[(g, subseq)] = fwd
+                self.send(self.cur_leader.get(g, self.config.default_leader(g)), fwd)
+
+    # -- sequencer side ------------------------------------------------------------
+
+    def _on_multicast(self, sender: ProcessId, msg: MulticastMsg) -> None:
+        if self.gid != SEQUENCER_GROUP:
+            return  # misdirected; the client retries via the sequencer
+        if not self.is_leader():
+            target = self.replica.leader_hint
+            if target != self.pid:
+                self.send(target, msg)
+            return
+        if msg.m.mid in self._sequenced:
+            return
+        self.replica.propose(SeqOrder(msg.m))
+
+    def _execute(self, index: int, cmd) -> None:
+        if isinstance(cmd, SeqOrder):
+            self._exec_order(cmd)
+        elif isinstance(cmd, CmdDeliver):
+            self._exec_deliver(cmd)
+
+    def _exec_order(self, cmd: SeqOrder) -> None:
+        m = cmd.m
+        if m.mid in self._sequenced:
+            return  # duplicate across leader changes
+        self._sequenced.add(m.mid)
+        self._global_seq += 1
+        for g in sorted(m.dests):
+            subseq = self._subseq[g]
+            self._subseq[g] = subseq + 1
+            if g == SEQUENCER_GROUP:
+                # Our own group's projection: log execution order *is* the
+                # total order, so deliver right here, at every replica.
+                self.delivered_ids.add(m.mid)
+                self.deliver(m)
+            else:
+                self._assignments[(g, subseq)] = m
+                if self.is_leader():
+                    fwd = OrderedMsg(m, subseq)
+                    self._unacked[(g, subseq)] = fwd
+                    self.send(self.cur_leader.get(g, self.config.default_leader(g)), fwd)
+
+    # -- destination side --------------------------------------------------------------
+
+    def _on_ordered(self, sender: ProcessId, msg: OrderedMsg) -> None:
+        if self.gid == SEQUENCER_GROUP:
+            return
+        if not self.is_leader():
+            target = self.replica.leader_hint
+            if target != self.pid:
+                self.send(target, msg)
+            return
+        self.send(sender, OrderedAckMsg(self.gid, msg.subseq))
+        if msg.subseq < self._next_subseq or msg.subseq in self._proposed_subseqs:
+            return  # duplicate forward
+        self._proposed_subseqs.add(msg.subseq)
+        self.replica.propose(CmdDeliver(msg.m, msg.subseq))
+
+    def _exec_deliver(self, cmd: CmdDeliver) -> None:
+        if cmd.m.mid in self.delivered_ids or cmd.subseq < self._next_subseq:
+            return
+        self._window[cmd.subseq] = cmd.m
+        while self._next_subseq in self._window:
+            m = self._window.pop(self._next_subseq)
+            self._next_subseq += 1
+            if m.mid not in self.delivered_ids:
+                self.delivered_ids.add(m.mid)
+                self.deliver(m)
+
+    def _on_ordered_ack(self, sender: ProcessId, msg: OrderedAckMsg) -> None:
+        if self.config.is_member(sender) and msg.gid != self.gid:
+            self.cur_leader[msg.gid] = sender  # refresh the leader guess
+        self._unacked.pop((msg.gid, msg.subseq), None)
+
+    # -- retry ----------------------------------------------------------------------------
+
+    def _retry_tick(self) -> None:
+        if self.options.retry_interval is None:
+            return
+        if self.gid == SEQUENCER_GROUP and self.is_leader():
+            for (g, _), fwd in list(self._unacked.items()):
+                # Broadcast: our leader guess may be stale (it may even have
+                # crashed); followers forward to whoever leads them now.
+                for pid in self.config.members(g):
+                    self.send(pid, fwd)
+        self.runtime.set_timer(self.options.retry_interval, self._retry_tick)

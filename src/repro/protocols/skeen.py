@@ -1,0 +1,103 @@
+"""Skeen's protocol (Fig. 1 of the paper): singleton reliable groups.
+
+The folklore genuine atomic multicast protocol.  Each group consists of a
+single process that never crashes.  A multicast takes two message delays in
+the collision-free case: ``MULTICAST`` from the client to every destination
+group, then an all-to-all ``PROPOSE`` exchange of local timestamps among
+the destinations.  The global timestamp of a message is the maximum of its
+local timestamps; messages are delivered in global-timestamp order, with a
+committed message held back while any proposed-but-uncommitted message
+could still be ordered before it (the convoy effect of Fig. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set
+
+from ..config import ClusterConfig
+from ..errors import ConfigError
+from ..runtime import Runtime
+from ..types import AmcastMessage, GroupId, MessageId, ProcessId, Timestamp
+from .base import AtomicMulticastProcess, MulticastMsg
+from .ordering import DeliveryQueue
+
+
+@dataclass(frozen=True, slots=True)
+class ProposeMsg:
+    """``PROPOSE(m, g, lts)``: group ``g``'s local-timestamp proposal."""
+
+    m: AmcastMessage
+    gid: GroupId
+    lts: Timestamp
+
+
+class SkeenProcess(AtomicMulticastProcess):
+    """One (reliable) process implementing one singleton group."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        config: ClusterConfig,
+        runtime: Runtime,
+        options: object = None,  # accepted for harness uniformity; unused
+    ) -> None:
+        super().__init__(pid, config, runtime)
+        if len(self.group) != 1:
+            raise ConfigError("Skeen's protocol requires singleton groups (see Fig. 1)")
+        self.clock = 0
+        self.queue = DeliveryQueue()
+        # Local-timestamp proposals collected per message: mid -> {gid: lts}.
+        self._proposals: Dict[MessageId, Dict[GroupId, Timestamp]] = {}
+        self._messages: Dict[MessageId, AmcastMessage] = {}
+        self._proposed: Set[MessageId] = set()
+        self._delivered: Set[MessageId] = set()
+        self._handlers = {
+            MulticastMsg: self._on_multicast,
+            ProposeMsg: self._on_propose,
+        }
+
+    def is_leader(self) -> bool:
+        return True  # every singleton-group member is trivially its leader
+
+    # -- normal operation ----------------------------------------------------
+
+    def _on_multicast(self, sender: ProcessId, msg: MulticastMsg) -> None:
+        m = msg.m
+        if m.mid in self._proposed or m.mid in self._delivered:
+            return  # duplicate MULTICAST: local timestamp already assigned
+        self.clock += 1
+        lts = Timestamp(self.clock, self.gid)
+        self._proposed.add(m.mid)
+        self._messages[m.mid] = m
+        self.queue.set_pending(m.mid, lts)
+        propose = ProposeMsg(m, self.gid, lts)
+        for g in sorted(m.dests):
+            # dest(m) including ourselves, for uniformity (Fig. 1 line 12)
+            self.send(self.config.members(g)[0], propose)
+
+    def _on_propose(self, sender: ProcessId, msg: ProposeMsg) -> None:
+        m = msg.m
+        if m.mid in self._delivered or self.queue.is_committed(m.mid):
+            return
+        proposals = self._proposals.setdefault(m.mid, {})
+        proposals[msg.gid] = msg.lts
+        self._messages.setdefault(m.mid, m)
+        if set(proposals) != set(m.dests):
+            return  # still waiting for some group's local timestamp
+        gts = max(proposals.values())
+        self.clock = max(self.clock, gts.time)
+        self.queue.commit(m, gts)
+        del self._proposals[m.mid]
+        self._try_deliver()
+
+    def _try_deliver(self) -> None:
+        for m, _gts in self.queue.pop_deliverable():
+            self._delivered.add(m.mid)
+            self._messages.pop(m.mid, None)
+            self.deliver(m)
+
+    # -- introspection for tests ------------------------------------------------
+
+    def delivered_count(self) -> int:
+        return len(self._delivered)

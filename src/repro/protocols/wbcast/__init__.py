@@ -1,0 +1,53 @@
+"""The white-box atomic multicast protocol — the paper's contribution.
+
+Normal operation (Fig. 5): a client sends ``MULTICAST(m)`` to the leader of
+every destination group; each leader assigns a local timestamp and sends an
+``ACCEPT`` (Paxos "2a"-like) to *every process of every destination group*;
+processes speculatively advance their clocks past the implied global
+timestamp and acknowledge to all leaders (``ACCEPT_ACK``, Paxos "2b"-like);
+a leader commits once it has matching-ballot quorum acks from every
+destination group (including itself in its own group's quorum), then
+delivers in global-timestamp order, propagating ``DELIVER`` to followers
+off the critical path.  Collision-free latency: 3δ at leaders, 4δ at
+followers; failure-free latency: 5δ.
+
+Leader recovery (two-stage, Viewstamped-Replication-like): NEWLEADER /
+NEWLEADER_ACK collect a quorum of states; the new state keeps COMMITTED
+messages from anyone and ACCEPTED messages from max-cballot reporters;
+NEW_STATE / NEWSTATE_ACK force a quorum of followers in sync before the
+new leader resumes, then all committed messages are re-delivered (dedup by
+``max_delivered_gts``).
+"""
+
+from .messages import (
+    AcceptAckMsg,
+    AcceptMsg,
+    DeliverMsg,
+    DeliveredAckMsg,
+    GcPruneMsg,
+    GcReadyMsg,
+    NewLeaderAckMsg,
+    NewLeaderMsg,
+    NewStateAckMsg,
+    NewStateMsg,
+)
+from .state import MsgRecord, Phase, Status
+from .protocol import WbCastOptions, WbCastProcess
+
+__all__ = [
+    "AcceptAckMsg",
+    "AcceptMsg",
+    "DeliverMsg",
+    "DeliveredAckMsg",
+    "GcPruneMsg",
+    "GcReadyMsg",
+    "MsgRecord",
+    "NewLeaderAckMsg",
+    "NewLeaderMsg",
+    "NewStateAckMsg",
+    "NewStateMsg",
+    "Phase",
+    "Status",
+    "WbCastOptions",
+    "WbCastProcess",
+]

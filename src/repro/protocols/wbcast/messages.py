@@ -1,0 +1,119 @@
+"""Wire messages of the white-box protocol (Fig. 4 of the paper).
+
+Naming follows the paper: ACCEPT / ACCEPT_ACK mirror Paxos 2a/2b, the
+NEWLEADER / NEWLEADER_ACK pair mirrors Paxos 1a/1b, and NEW_STATE /
+NEWSTATE_ACK is the state-synchronisation round unique to this protocol's
+passive-replication design.
+
+``BallotVector`` is the per-destination-group vector of leader ballots a
+set of local-timestamp proposals was made in; acknowledgements are tagged
+with it so a committing leader only counts acks for one consistent set of
+proposals (Invariant 1 ⇒ one set of timestamps per vector).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ...types import AmcastMessage, Ballot, GroupId, MessageId, Timestamp
+from .state import StateSnapshot
+
+#: Sorted-by-group tuple of (group id, ballot its leader proposed in).
+BallotVector = Tuple[Tuple[GroupId, Ballot], ...]
+
+
+def make_vector(ballots: Dict[GroupId, Ballot]) -> BallotVector:
+    return tuple(sorted(ballots.items()))
+
+
+@dataclass(frozen=True, slots=True)
+class AcceptMsg:
+    """``ACCEPT(m, g, b, lts)``: group ``g``'s leader (at ballot ``b``)
+    proposes local timestamp ``lts`` for ``m`` (Fig. 4 line 9)."""
+
+    m: AmcastMessage
+    gid: GroupId
+    bal: Ballot
+    lts: Timestamp
+
+
+@dataclass(frozen=True, slots=True)
+class AcceptAckMsg:
+    """``ACCEPT_ACK(m, g, Bal)``: a process of group ``gid`` stored the
+    full set of proposals made at ballot vector ``vector`` (line 16)."""
+
+    mid: MessageId
+    gid: GroupId
+    vector: BallotVector
+
+
+@dataclass(frozen=True, slots=True)
+class DeliverMsg:
+    """``DELIVER(m, b, lts, gts)``: the leader of ballot ``b`` orders its
+    group to deliver ``m`` with final timestamp ``gts`` (line 23)."""
+
+    m: AmcastMessage
+    bal: Ballot
+    lts: Timestamp
+    gts: Timestamp
+
+
+@dataclass(frozen=True, slots=True)
+class NewLeaderMsg:
+    """``NEWLEADER(b)``: ballot-``b`` candidacy announcement (line 36)."""
+
+    bal: Ballot
+
+
+@dataclass(frozen=True, slots=True)
+class NewLeaderAckMsg:
+    """``NEWLEADER_ACK``: a vote for ballot ``bal`` carrying the voter's
+    full multicast state (line 41)."""
+
+    bal: Ballot
+    cballot: Ballot
+    clock: int
+    records: StateSnapshot
+    max_delivered_gts: Optional[Timestamp]
+
+
+@dataclass(frozen=True, slots=True)
+class NewStateMsg:
+    """``NEW_STATE``: the recovered initial state of ballot ``bal``
+    pushed to followers before normal operation resumes (line 56)."""
+
+    bal: Ballot
+    clock: int
+    records: StateSnapshot
+
+
+@dataclass(frozen=True, slots=True)
+class NewStateAckMsg:
+    """``NEWSTATE_ACK(b)``: follower confirms it synchronised (line 62)."""
+
+    bal: Ballot
+
+
+@dataclass(frozen=True, slots=True)
+class DeliveredAckMsg:
+    """GC support (§VI): follower reports its delivery watermark."""
+
+    gid: GroupId
+    watermark: Timestamp
+
+
+@dataclass(frozen=True, slots=True)
+class GcReadyMsg:
+    """GC support: group ``gid`` has group-widely delivered everything
+    addressed to it with gts ≤ ``watermark``."""
+
+    gid: GroupId
+    watermark: Timestamp
+
+
+@dataclass(frozen=True, slots=True)
+class GcPruneMsg:
+    """GC support: leader instructs followers to prune these records."""
+
+    mids: Tuple[MessageId, ...]

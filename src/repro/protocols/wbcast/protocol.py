@@ -1,0 +1,540 @@
+"""The white-box multicast protocol state machine (Fig. 4 of the paper).
+
+Line-number comments reference the pseudocode of Fig. 4.  The protocol
+weaves Skeen's timestamp assignment across groups with Paxos-style
+intra-group replication:
+
+* the leader's local-timestamp assignment *and* the speculative clock
+  advance past the implied global timestamp are replicated in a single
+  ACCEPT / ACCEPT_ACK round trip touching quorums of all destination
+  groups (the paper's key latency trick — 3δ to commit at a leader);
+* leaders deliver unilaterally from local state, so recovery is holistic:
+  a new leader rebuilds *all* message state at once (NEWLEADER round),
+  pushes it to a quorum of followers (NEW_STATE round), and re-delivers
+  every committed message from the beginning, with followers deduplicating
+  via ``max_delivered_gts``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ...config import ClusterConfig
+from ...runtime import Runtime
+from ...types import (
+    BALLOT_BOTTOM,
+    AmcastMessage,
+    Ballot,
+    GroupId,
+    MessageId,
+    ProcessId,
+    Timestamp,
+)
+from ..base import AtomicMulticastProcess, MulticastMsg
+from ..ordering import DeliveryQueue
+from .messages import (
+    AcceptAckMsg,
+    AcceptMsg,
+    BallotVector,
+    DeliverMsg,
+    DeliveredAckMsg,
+    GcPruneMsg,
+    GcReadyMsg,
+    NewLeaderAckMsg,
+    NewLeaderMsg,
+    NewStateAckMsg,
+    NewStateMsg,
+    make_vector,
+)
+from .state import MsgRecord, Phase, Status, snapshot_copy
+
+
+@dataclass(frozen=True)
+class WbCastOptions:
+    """Tunables of a WbCast process.
+
+    ``retry_interval`` / ``gc_interval`` of ``None`` disable the respective
+    periodic timers (latency benchmarks run without timer noise).
+    ``speculative_clock`` disables the paper's white-box clock advance when
+    False — used only by the ablation benchmark, which shows the failure-
+    free latency degrading without it.
+    """
+
+    retry_interval: Optional[float] = None
+    gc_interval: Optional[float] = None
+    speculative_clock: bool = True
+
+
+class WbCastProcess(AtomicMulticastProcess):
+    """One group member running the white-box protocol."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        config: ClusterConfig,
+        runtime: Runtime,
+        options: Optional[WbCastOptions] = None,
+    ) -> None:
+        super().__init__(pid, config, runtime)
+        self.options = options or WbCastOptions()
+        # -- Fig. 3 variables ------------------------------------------------
+        self.clock: int = 0
+        self.records: Dict[MessageId, MsgRecord] = {}
+        initial = Ballot(0, self.config.default_leader(self.gid))
+        self.status: Status = Status.LEADER if initial.leader() == pid else Status.FOLLOWER
+        self.cballot: Ballot = initial
+        self.ballot: Ballot = initial
+        self.max_delivered_gts: Optional[Timestamp] = None
+        # -- derived / bookkeeping --------------------------------------------
+        self.queue = DeliveryQueue()  # leader-side delivery ordering
+        self.delivered_ids: Set[MessageId] = set()
+        # Latest ACCEPT received per (message, destination group).
+        self._accepts: Dict[MessageId, Dict[GroupId, AcceptMsg]] = {}
+        # ACCEPT_ACK tallies: mid -> ballot vector -> group -> ack senders.
+        self._acks: Dict[MessageId, Dict[BallotVector, Dict[GroupId, Set[ProcessId]]]] = {}
+        # Best known ballot of every group (for Cur_leader guesses).
+        self._group_ballots: Dict[GroupId, Ballot] = {
+            g: Ballot(0, self.config.default_leader(g)) for g in config.group_ids
+        }
+        # Recovery state (volatile, per candidate ballot).
+        self._nl_acks: Dict[ProcessId, NewLeaderAckMsg] = {}
+        self._nl_ballot: Optional[Ballot] = None
+        self._phase1_done = False
+        self._ns_acks: Set[ProcessId] = set()
+        # GC state.
+        self._member_watermarks: Dict[ProcessId, Timestamp] = {}
+        self._group_watermarks: Dict[GroupId, Timestamp] = {}
+        # Progress stamps for the retry timer.
+        self._touched: Dict[MessageId, float] = {}
+        self._handlers = {
+            MulticastMsg: self._on_multicast,
+            AcceptMsg: self._on_accept,
+            AcceptAckMsg: self._on_accept_ack,
+            DeliverMsg: self._on_deliver,
+            NewLeaderMsg: self._on_new_leader,
+            NewLeaderAckMsg: self._on_new_leader_ack,
+            NewStateMsg: self._on_new_state,
+            NewStateAckMsg: self._on_new_state_ack,
+            DeliveredAckMsg: self._on_delivered_ack,
+            GcReadyMsg: self._on_gc_ready,
+            GcPruneMsg: self._on_gc_prune,
+        }
+
+    # ------------------------------------------------------------------ wiring
+
+    def on_start(self) -> None:
+        if self.options.retry_interval is not None:
+            self.runtime.set_timer(self.options.retry_interval, self._retry_tick)
+        if self.options.gc_interval is not None:
+            self.runtime.set_timer(self.options.gc_interval, self._gc_tick)
+
+    def is_leader(self) -> bool:
+        return self.status is Status.LEADER
+
+    # --------------------------------------------------------- normal operation
+
+    def _on_multicast(self, sender: ProcessId, msg: MulticastMsg) -> None:
+        """Fig. 4 lines 3–9 (plus leader forwarding for wrong guesses)."""
+        m = msg.m
+        if self.status is not Status.LEADER:
+            # The client's Cur_leader guess was stale: forward to whoever we
+            # currently believe leads our group (§IV "normal operation").
+            target = self.cur_leader.get(self.gid)
+            if self.status is Status.FOLLOWER and target is not None and target != self.pid:
+                self.send(target, msg)
+            return
+        if m.mid in self.delivered_ids and m.mid not in self.records:
+            return  # garbage-collected: every destination group is done with m
+        rec = self.records.get(m.mid)
+        if rec is None or rec.phase is Phase.START:
+            # First receipt (line 5): assign a fresh local timestamp.
+            self.clock += 1
+            lts = Timestamp(self.clock, self.gid)
+            rec = MsgRecord(m, Phase.PROPOSED, lts=lts)
+            self.records[m.mid] = rec
+            self.queue.set_pending(m.mid, lts)
+        self._touch(m.mid)
+        # (Re)send ACCEPT with the locally stored data (line 9); duplicates
+        # re-use the stored timestamp, preserving Invariant 1.
+        accept = AcceptMsg(m, self.gid, self.cballot, rec.lts)
+        for g in sorted(m.dests):
+            for p in self.config.members(g):
+                self.send(p, accept)
+
+    def _on_accept(self, sender: ProcessId, msg: AcceptMsg) -> None:
+        """Buffer one group's proposal; act when the set completes (line 10)."""
+        self._observe_ballot(msg.gid, msg.bal)
+        buf = self._accepts.setdefault(msg.m.mid, {})
+        prev = buf.get(msg.gid)
+        if prev is None or msg.bal >= prev.bal:
+            buf[msg.gid] = msg
+        self._try_accept(msg.m)
+
+    def _try_accept(self, m: AmcastMessage) -> None:
+        """Fig. 4 lines 10–16, once ACCEPTs from every destination group are
+        buffered and our own group's proposal is in our current ballot."""
+        if self.status not in (Status.FOLLOWER, Status.LEADER):
+            return
+        buf = self._accepts.get(m.mid)
+        if buf is None or set(buf) != set(m.dests):
+            return
+        own = buf[self.gid]
+        if own.bal != self.cballot:  # line 11 precondition
+            return
+        rec = self.records.get(m.mid)
+        if rec is None:
+            if m.mid in self.delivered_ids:
+                return  # pruned; everyone is done with m
+            rec = MsgRecord(m, Phase.START)
+        if rec.phase in (Phase.START, Phase.PROPOSED):
+            # Lines 12–13: store the leader's proposal.
+            rec = rec.with_phase(Phase.ACCEPTED, lts=own.lts)
+            self.records[m.mid] = rec
+            if self.status is Status.LEADER:
+                self.queue.set_pending(m.mid, own.lts)
+            self._touch(m.mid)
+        if self.options.speculative_clock:
+            # Line 14: speculatively advance the clock past the global
+            # timestamp implied by this proposal set.  This is the paper's
+            # key white-box optimisation: the clock update is replicated in
+            # the same round trip as the timestamp itself.
+            implied_gts = max(a.lts for a in buf.values())
+            self.clock = max(self.clock, implied_gts.time)
+        # Lines 15–16: acknowledge to the proposing leader of every group.
+        vector = make_vector({g: a.bal for g, a in buf.items()})
+        ack = AcceptAckMsg(m.mid, self.gid, vector)
+        for g, a in buf.items():
+            self.send(a.bal.leader(), ack)
+
+    def _on_accept_ack(self, sender: ProcessId, msg: AcceptAckMsg) -> None:
+        """Fig. 4 lines 17–23: tally acks; commit on quorums everywhere."""
+        if self.status is not Status.LEADER:
+            return
+        vector = dict(msg.vector)
+        if vector.get(self.gid) != self.cballot:  # line 18 precondition
+            return
+        rec = self.records.get(msg.mid)
+        if rec is None or rec.phase is Phase.COMMITTED:
+            return
+        tally = self._acks.setdefault(msg.mid, {}).setdefault(msg.vector, {})
+        tally.setdefault(msg.gid, set()).add(sender)
+        self._try_commit(rec.m, msg.vector, tally)
+
+    def _try_commit(
+        self,
+        m: AmcastMessage,
+        vector: BallotVector,
+        tally: Dict[GroupId, Set[ProcessId]],
+    ) -> None:
+        buf = self._accepts.get(m.mid)
+        if buf is None or set(buf) != set(m.dests):
+            return  # need the proposals themselves (line 17, "previously received")
+        if make_vector({g: a.bal for g, a in buf.items()}) != vector:
+            return  # acks are for a different set of proposals
+        for g in m.dests:
+            needed = self.config.quorum_size(g)
+            if len(tally.get(g, ())) < needed:
+                return
+        if self.pid not in tally.get(self.gid, set()):
+            return  # the quorum must include this leader itself (line 17)
+        # Lines 19–20: commit.
+        gts = max(a.lts for a in buf.values())
+        rec = self.records[m.mid]
+        self.records[m.mid] = rec.with_phase(Phase.COMMITTED, gts=gts)
+        self.queue.commit(m, gts)
+        self._acks.pop(m.mid, None)
+        self._touch(m.mid)
+        self._drain_deliveries()
+
+    def _drain_deliveries(self) -> None:
+        """Fig. 4 lines 21–23 (and 66–68 after recovery): send DELIVER for
+        every committed message no proposed/accepted message can precede."""
+        for m, gts in self.queue.pop_deliverable():
+            rec = self.records.get(m.mid)
+            if rec is None:
+                continue  # pruned by GC: every destination group already has it
+            dmsg = DeliverMsg(m, self.cballot, rec.lts, gts)
+            for p in self.group:  # includes ourselves, for uniformity
+                self.send(p, dmsg)
+
+    def _on_deliver(self, sender: ProcessId, msg: DeliverMsg) -> None:
+        """Fig. 4 lines 24–31: store the decision and deliver, at most once."""
+        if self.status not in (Status.FOLLOWER, Status.LEADER):
+            return
+        if self.cballot != msg.bal:
+            return
+        if self.max_delivered_gts is not None and not self.max_delivered_gts < msg.gts:
+            return  # duplicate DELIVER (possible after leader recovery)
+        m = msg.m
+        self.records[m.mid] = MsgRecord(m, Phase.COMMITTED, lts=msg.lts, gts=msg.gts)
+        self.clock = max(self.clock, msg.gts.time)
+        self.max_delivered_gts = msg.gts
+        self.delivered_ids.add(m.mid)
+        self.deliver(m)
+
+    # -------------------------------------------------------------- retry (§IV)
+
+    def retry(self, mid: MessageId) -> None:
+        """Fig. 4 lines 32–34: resubmit a stuck message to all destinations."""
+        rec = self.records.get(mid)
+        if rec is None or rec.phase not in (Phase.PROPOSED, Phase.ACCEPTED):
+            return
+        for g in sorted(rec.m.dests):
+            self.send(self.cur_leader.get(g, self.config.default_leader(g)),
+                      MulticastMsg(rec.m))
+
+    def _retry_tick(self) -> None:
+        if self.options.retry_interval is None:
+            return
+        interval = self.options.retry_interval
+        if self.status is Status.LEADER:
+            now = self.now()
+            for mid, rec in list(self.records.items()):
+                if rec.phase in (Phase.PROPOSED, Phase.ACCEPTED):
+                    if now - self._touched.get(mid, 0.0) >= interval:
+                        self.retry(mid)
+        self.runtime.set_timer(interval, self._retry_tick)
+
+    def _touch(self, mid: MessageId) -> None:
+        self._touched[mid] = self.now()
+
+    # ----------------------------------------------------------- leader recovery
+
+    def recover(self) -> None:
+        """Fig. 4 lines 35–36: stand for election with a fresh ballot."""
+        round_ = max(self.ballot.round, self.cballot.round) + 1
+        bal = Ballot(round_, self.pid)
+        for p in self.group:  # includes ourselves
+            self.send(p, NewLeaderMsg(bal))
+
+    def _on_new_leader(self, sender: ProcessId, msg: NewLeaderMsg) -> None:
+        """Fig. 4 lines 37–41: join the higher ballot, ship our state."""
+        if not msg.bal > self.ballot:
+            return
+        self.status = Status.RECOVERING
+        self.ballot = msg.bal
+        self._observe_ballot(self.gid, msg.bal)
+        ack = NewLeaderAckMsg(
+            bal=msg.bal,
+            cballot=self.cballot,
+            clock=self.clock,
+            records=snapshot_copy(self.records),
+            max_delivered_gts=self.max_delivered_gts,
+        )
+        self.send(sender, ack)
+
+    def _on_new_leader_ack(self, sender: ProcessId, msg: NewLeaderAckMsg) -> None:
+        """Fig. 4 lines 42–56: rebuild state from a quorum of votes."""
+        if self.status is not Status.RECOVERING or self.ballot != msg.bal:
+            return
+        if msg.bal.leader() != self.pid:
+            return
+        if self._nl_ballot != msg.bal:
+            self._nl_ballot = msg.bal
+            self._nl_acks = {}
+            self._phase1_done = False
+            self._ns_acks = set()
+        self._nl_acks[sender] = msg
+        if self._phase1_done or len(self._nl_acks) < self.quorum_size():
+            return
+        self._phase1_done = True
+        self._rebuild_state(msg.bal, list(self._nl_acks.values()))
+
+    def _rebuild_state(self, bal: Ballot, votes: List[NewLeaderAckMsg]) -> None:
+        """The initial-state computation rules of lines 44–55."""
+        max_cballot = max(v.cballot for v in votes)
+        latest = [v for v in votes if v.cballot == max_cballot]  # the set J
+        new_records: Dict[MessageId, MsgRecord] = {}
+        all_mids: Set[MessageId] = set()
+        for v in votes:
+            all_mids.update(v.records)
+        for mid in all_mids:
+            committed = next(
+                (
+                    v.records[mid]
+                    for v in votes
+                    if mid in v.records and v.records[mid].phase is Phase.COMMITTED
+                ),
+                None,
+            )
+            if committed is not None:
+                # Line 47: committed anywhere wins, with its timestamps.
+                new_records[mid] = committed
+                continue
+            accepted = next(
+                (
+                    v.records[mid]
+                    for v in latest
+                    if mid in v.records and v.records[mid].phase is Phase.ACCEPTED
+                ),
+                None,
+            )
+            if accepted is not None:
+                # Line 51: accepted at a max-cballot voter survives.
+                new_records[mid] = MsgRecord(accepted.m, Phase.ACCEPTED, lts=accepted.lts)
+            # Messages only PROPOSED anywhere are deliberately dropped; the
+            # multicaster (or another group's leader) will retry them.
+        self.records = new_records
+        self.clock = max(v.clock for v in votes)  # preserves Invariant 2(c)
+        self.cballot = bal
+        self.cur_leader[self.gid] = self.pid
+        self._rebuild_queue()
+        self._acks.clear()
+        self._touched.clear()
+        state = NewStateMsg(bal, self.clock, snapshot_copy(self.records))
+        for p in self.group:
+            if p != self.pid:
+                self.send(p, state)
+        self._ns_acks = {self.pid}
+        self._maybe_finish_recovery(bal)
+
+    def _rebuild_queue(self) -> None:
+        self.queue = DeliveryQueue()
+        for rec in self.records.values():
+            if rec.phase is Phase.ACCEPTED:
+                self.queue.set_pending(rec.mid, rec.lts)
+            elif rec.phase is Phase.COMMITTED:
+                # Every committed message re-enters the queue so the new
+                # leader re-DELIVERs from the beginning (line 66); followers
+                # deduplicate via max_delivered_gts.
+                self.queue.commit(rec.m, rec.gts)
+
+    def _on_new_state(self, sender: ProcessId, msg: NewStateMsg) -> None:
+        """Fig. 4 lines 57–62: adopt the new leader's state wholesale."""
+        if self.status is not Status.RECOVERING or self.ballot != msg.bal:
+            return
+        self.status = Status.FOLLOWER
+        self.cballot = msg.bal
+        self.clock = msg.clock
+        self.records = snapshot_copy(msg.records)
+        self.cur_leader[self.gid] = msg.bal.leader()
+        self.queue = DeliveryQueue()
+        self.send(sender, NewStateAckMsg(msg.bal))
+        self._rescan_accept_buffers()
+
+    def _on_new_state_ack(self, sender: ProcessId, msg: NewStateAckMsg) -> None:
+        """Fig. 4 lines 63–68."""
+        if self.status is not Status.RECOVERING or self.ballot != msg.bal:
+            return
+        if not self._phase1_done or self._nl_ballot != msg.bal:
+            return
+        self._ns_acks.add(sender)
+        self._maybe_finish_recovery(msg.bal)
+
+    def _maybe_finish_recovery(self, bal: Ballot) -> None:
+        if len(self._ns_acks) < self.quorum_size():
+            return
+        self.status = Status.LEADER
+        # Line 66: deliver (and re-deliver) everything deliverable.
+        self._drain_deliveries()
+        # Resume stuck messages (§IV "message recovery"): re-multicast every
+        # accepted message so all destination groups re-exchange ACCEPTs.
+        for rec in list(self.records.values()):
+            if rec.phase is Phase.ACCEPTED:
+                self.retry(rec.mid)
+        self._rescan_accept_buffers()
+
+    def _rescan_accept_buffers(self) -> None:
+        """Re-evaluate buffered proposal sets after a status/ballot change."""
+        for mid in list(self._accepts):
+            buf = self._accepts.get(mid)
+            if buf:
+                some = next(iter(buf.values()))
+                self._try_accept(some.m)
+
+    # ------------------------------------------------------------ garbage collection
+
+    def _gc_tick(self) -> None:
+        if self.options.gc_interval is None:
+            return
+        if self.status is Status.FOLLOWER and self.max_delivered_gts is not None:
+            leader = self.cur_leader.get(self.gid)
+            if leader is not None and leader != self.pid:
+                self.send(leader, DeliveredAckMsg(self.gid, self.max_delivered_gts))
+        elif self.status is Status.LEADER:
+            self._gc_leader_round()
+        self.runtime.set_timer(self.options.gc_interval, self._gc_tick)
+
+    def _gc_leader_round(self) -> None:
+        if self.max_delivered_gts is not None:
+            self._member_watermarks[self.pid] = self.max_delivered_gts
+        if len(self._member_watermarks) < len(self.group):
+            group_watermark = None
+        else:
+            group_watermark = min(self._member_watermarks[p] for p in self.group)
+        if group_watermark is not None:
+            self._group_watermarks[self.gid] = group_watermark
+            # Gossip our group's watermark to leaders of groups we share
+            # messages with, so they can prune too.
+            peer_gids: Set[GroupId] = set()
+            for rec in self.records.values():
+                if rec.phase is Phase.COMMITTED:
+                    peer_gids.update(rec.m.dests)
+            peer_gids.discard(self.gid)
+            ready = GcReadyMsg(self.gid, group_watermark)
+            for g in sorted(peer_gids):
+                self.send(self.cur_leader.get(g, self.config.default_leader(g)), ready)
+        self._prune()
+
+    def _prune(self) -> None:
+        """Prune records every destination group has fully delivered.
+
+        Safety: a record is only dropped when *all* destination groups have
+        group-widely delivered past its gts, so nobody can ever again need
+        our ACCEPT resends or re-DELIVERs for it.  The message id stays in
+        ``delivered_ids`` to keep duplicate MULTICASTs idempotent.
+        """
+        prunable: List[MessageId] = []
+        for mid, rec in self.records.items():
+            if rec.phase is not Phase.COMMITTED or mid not in self.delivered_ids:
+                continue
+            if all(
+                g in self._group_watermarks and not self._group_watermarks[g] < rec.gts
+                for g in rec.m.dests
+            ):
+                prunable.append(mid)
+        if not prunable:
+            return
+        for mid in prunable:
+            self.records.pop(mid, None)
+            self._accepts.pop(mid, None)
+            self._acks.pop(mid, None)
+            self._touched.pop(mid, None)
+        prune = GcPruneMsg(tuple(prunable))
+        for p in self.group:
+            if p != self.pid:
+                self.send(p, prune)
+
+    def _on_delivered_ack(self, sender: ProcessId, msg: DeliveredAckMsg) -> None:
+        if self.status is Status.LEADER and msg.gid == self.gid:
+            prev = self._member_watermarks.get(sender)
+            if prev is None or prev < msg.watermark:
+                self._member_watermarks[sender] = msg.watermark
+
+    def _on_gc_ready(self, sender: ProcessId, msg: GcReadyMsg) -> None:
+        prev = self._group_watermarks.get(msg.gid)
+        if prev is None or prev < msg.watermark:
+            self._group_watermarks[msg.gid] = msg.watermark
+
+    def _on_gc_prune(self, sender: ProcessId, msg: GcPruneMsg) -> None:
+        for mid in msg.mids:
+            if mid in self.delivered_ids:
+                self.records.pop(mid, None)
+                self._accepts.pop(mid, None)
+                self._touched.pop(mid, None)
+
+    # ------------------------------------------------------------------ misc
+
+    def _observe_ballot(self, gid: GroupId, bal: Ballot) -> None:
+        if bal > self._group_ballots.get(gid, BALLOT_BOTTOM):
+            self._group_ballots[gid] = bal
+            self.cur_leader[gid] = bal.leader()
+
+    # Introspection helpers used by tests and the invariant monitors.
+
+    def record_of(self, mid: MessageId) -> Optional[MsgRecord]:
+        return self.records.get(mid)
+
+    def live_record_count(self) -> int:
+        return len(self.records)

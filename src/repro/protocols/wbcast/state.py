@@ -1,0 +1,62 @@
+"""Per-message state of the white-box protocol (Fig. 3 of the paper)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from ...types import AmcastMessage, MessageId, Timestamp
+
+
+class Phase(enum.IntEnum):
+    """Lifecycle of an application message at one process (Fig. 3).
+
+    ``START < PROPOSED < ACCEPTED < COMMITTED`` matches the one-way
+    progression during a single ballot; recovery may move a message from
+    PROPOSED back to START (a lost proposal) but never regresses ACCEPTED
+    or COMMITTED state that a quorum has seen (Invariant 2).
+    """
+
+    START = 0
+    PROPOSED = 1
+    ACCEPTED = 2
+    COMMITTED = 3
+
+
+class Status(enum.Enum):
+    """Role of a process within its group."""
+
+    LEADER = "leader"
+    FOLLOWER = "follower"
+    RECOVERING = "recovering"
+
+
+@dataclass(frozen=True, slots=True)
+class MsgRecord:
+    """Immutable snapshot of one message's state at one process.
+
+    Records are frozen so they can be shared across processes inside
+    recovery messages (NEWLEADER_ACK / NEW_STATE) without aliasing live
+    mutable state; updates go through :func:`dataclasses.replace`.
+    """
+
+    m: AmcastMessage
+    phase: Phase
+    lts: Optional[Timestamp] = None
+    gts: Optional[Timestamp] = None
+
+    def with_phase(self, phase: Phase, **changes) -> "MsgRecord":
+        return replace(self, phase=phase, **changes)
+
+    @property
+    def mid(self) -> MessageId:
+        return self.m.mid
+
+
+StateSnapshot = Dict[MessageId, MsgRecord]
+
+
+def snapshot_copy(records: StateSnapshot) -> StateSnapshot:
+    """A shallow copy is a true snapshot because records are immutable."""
+    return dict(records)

@@ -1,0 +1,86 @@
+"""Runtime abstraction shared by the simulator and the asyncio runtime.
+
+Protocol implementations in :mod:`repro.protocols` are *sans-IO*: they are
+plain state machines whose only side effects go through a :class:`Runtime`
+object injected at construction time.  This lets the exact same protocol
+code run under deterministic virtual time (:mod:`repro.sim`) and over real
+TCP sockets (:mod:`repro.net`).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Any, Callable, Optional
+
+from .types import AmcastMessage, ProcessId
+
+
+class TimerHandle(abc.ABC):
+    """Handle for a pending timer; ``cancel()`` is idempotent."""
+
+    @abc.abstractmethod
+    def cancel(self) -> None: ...
+
+    @property
+    @abc.abstractmethod
+    def cancelled(self) -> bool: ...
+
+
+class Runtime(abc.ABC):
+    """Services a protocol process needs from its host environment."""
+
+    @property
+    @abc.abstractmethod
+    def pid(self) -> ProcessId:
+        """The process id this runtime is bound to."""
+
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current time in seconds (virtual or wall-clock)."""
+
+    @abc.abstractmethod
+    def send(self, to: ProcessId, msg: Any) -> None:
+        """Send ``msg`` to process ``to`` over a reliable FIFO channel.
+
+        Sending to ``self.pid`` is allowed and loops back with zero network
+        delay (the paper's pseudocode sends to "all destinations including
+        itself, for uniformity").
+        """
+
+    @abc.abstractmethod
+    def set_timer(self, delay: float, fn: Callable[[], None]) -> TimerHandle:
+        """Run ``fn`` after ``delay`` seconds unless cancelled."""
+
+    @abc.abstractmethod
+    def deliver(self, m: AmcastMessage) -> None:
+        """Report the atomic-multicast delivery of ``m`` at this process."""
+
+    def record_multicast(self, m: AmcastMessage) -> None:
+        """Report a ``multicast(m)`` invocation at this process.
+
+        Used for history checking and latency accounting; environments
+        without tracing can keep the default no-op.
+        """
+
+    @property
+    @abc.abstractmethod
+    def rng(self) -> random.Random:
+        """Per-process deterministic random source."""
+
+
+class NullTimerHandle(TimerHandle):
+    """A timer that never fires (useful as a neutral default)."""
+
+    def cancel(self) -> None:
+        pass
+
+    @property
+    def cancelled(self) -> bool:
+        return True
+
+
+def cancel_timer(handle: Optional[TimerHandle]) -> None:
+    """Cancel ``handle`` if it is a live timer (None-safe helper)."""
+    if handle is not None:
+        handle.cancel()

@@ -1,0 +1,44 @@
+"""Deterministic discrete-event simulator.
+
+This package replaces the paper's physical testbeds (CloudLab LAN and a
+three-region Google Cloud WAN) with a seeded virtual-time simulation:
+
+* :mod:`repro.sim.network` — pluggable message-delay models (constant δ,
+  uniform jitter, site-based LAN/WAN topologies, partial synchrony with a
+  global stabilisation time);
+* :mod:`repro.sim.scheduler` — the event loop, reliable-FIFO channels,
+  crash injection and an optional per-process CPU service-time model;
+* :mod:`repro.sim.trace` — structured run traces consumed by the
+  correctness checkers and the benchmark harness;
+* :mod:`repro.sim.faults` — declarative fault schedules.
+"""
+
+from .network import (
+    BandwidthDelay,
+    ConstantDelay,
+    DelayModel,
+    PartialSynchrony,
+    SiteTopology,
+    UniformDelay,
+)
+from .scheduler import CpuModel, SimRuntime, Simulator, UniformCpu
+from .trace import DeliveryRecord, SendRecord, Trace
+from .faults import CrashSpec, FaultPlan
+
+__all__ = [
+    "BandwidthDelay",
+    "ConstantDelay",
+    "CpuModel",
+    "CrashSpec",
+    "DelayModel",
+    "DeliveryRecord",
+    "FaultPlan",
+    "PartialSynchrony",
+    "SendRecord",
+    "SimRuntime",
+    "Simulator",
+    "SiteTopology",
+    "Trace",
+    "UniformCpu",
+    "UniformDelay",
+]

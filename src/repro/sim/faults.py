@@ -1,0 +1,98 @@
+"""Declarative fault schedules for failure-injection tests.
+
+A :class:`FaultPlan` is a list of crash specifications validated against a
+cluster configuration (never crash more than ``f`` members of any group)
+and applied to a simulator before a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from ..config import ClusterConfig
+from ..errors import ConfigError
+from ..types import GroupId, ProcessId
+
+
+@dataclass(frozen=True, slots=True)
+class CrashSpec:
+    """Crash process ``pid`` at absolute virtual time ``at``."""
+
+    pid: ProcessId
+    at: float
+
+
+@dataclass
+class FaultPlan:
+    """A validated collection of crash events."""
+
+    crashes: List[CrashSpec]
+
+    @staticmethod
+    def none() -> "FaultPlan":
+        return FaultPlan(crashes=[])
+
+    @staticmethod
+    def crash_leaders(
+        config: ClusterConfig, gids: Iterable[GroupId], at: float
+    ) -> "FaultPlan":
+        """Crash the default (initial) leader of each listed group at ``at``."""
+        return FaultPlan(
+            crashes=[CrashSpec(config.default_leader(g), at) for g in gids]
+        )
+
+    @staticmethod
+    def random_crashes(
+        config: ClusterConfig,
+        rng,
+        max_total: int,
+        window: tuple,
+        spare_pid: Optional[ProcessId] = None,
+    ) -> "FaultPlan":
+        """Crash up to ``max_total`` random group members inside ``window``.
+
+        Respects the ``f`` bound per group so every group keeps a quorum of
+        correct processes.  ``spare_pid`` is never crashed (useful to keep a
+        specific client or observer alive).
+        """
+        lo, hi = window
+        budget = {gid: config.f(gid) for gid in config.group_ids}
+        candidates = [
+            pid
+            for pid in config.all_members
+            if pid != spare_pid and budget[config.group_of(pid)] > 0
+        ]
+        rng.shuffle(candidates)
+        crashes: List[CrashSpec] = []
+        for pid in candidates:
+            if len(crashes) >= max_total:
+                break
+            gid = config.group_of(pid)
+            if budget[gid] <= 0:
+                continue
+            budget[gid] -= 1
+            crashes.append(CrashSpec(pid, rng.uniform(lo, hi)))
+        return FaultPlan(crashes=crashes)
+
+    def validate(self, config: ClusterConfig) -> None:
+        """Raise :class:`ConfigError` if the plan kills a quorum anywhere."""
+        per_group: dict = {}
+        for spec in self.crashes:
+            if config.is_member(spec.pid):
+                gid = config.group_of(spec.pid)
+                per_group[gid] = per_group.get(gid, 0) + 1
+        for gid, count in per_group.items():
+            if count > config.f(gid):
+                raise ConfigError(
+                    f"fault plan crashes {count} members of group {gid}, but f={config.f(gid)}"
+                )
+
+    def apply(self, sim) -> None:
+        """Schedule every crash on ``sim``."""
+        for spec in self.crashes:
+            sim.crash_at(spec.pid, spec.at)
+
+    @property
+    def crashed_pids(self) -> set:
+        return {spec.pid for spec in self.crashes}

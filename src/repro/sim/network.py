@@ -1,0 +1,211 @@
+"""Message-delay models for the simulator.
+
+A delay model answers one question: how long does a message sent now from
+``src`` to ``dst`` spend on the wire?  Channels are reliable — the model
+never drops messages — and the scheduler separately enforces FIFO ordering
+per channel by clamping arrival times.
+
+The paper's system model is partially synchronous: before the (unknown)
+global stabilisation time GST, delays are arbitrary but finite; after GST
+they are bounded by δ.  :class:`PartialSynchrony` wraps any base model to
+produce exactly that behaviour.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Dict, Mapping, Sequence
+
+from ..errors import ConfigError
+from ..types import ProcessId
+
+
+class DelayModel(abc.ABC):
+    """One-way message delay, in seconds."""
+
+    @abc.abstractmethod
+    def delay(
+        self,
+        src: ProcessId,
+        dst: ProcessId,
+        size: int,
+        now: float,
+        rng: random.Random,
+    ) -> float: ...
+
+    def bound(self) -> float:
+        """An upper bound δ on post-GST delays (used by latency analysis)."""
+        raise NotImplementedError
+
+
+class ConstantDelay(DelayModel):
+    """Every inter-process message takes exactly ``delta`` seconds.
+
+    Messages a process sends to itself take ``local`` seconds (0 by
+    default), modelling the paper's instantaneous local steps.
+    """
+
+    def __init__(self, delta: float, local: float = 0.0) -> None:
+        if delta < 0 or local < 0:
+            raise ConfigError("delays must be non-negative")
+        self._delta = delta
+        self._local = local
+
+    def delay(self, src, dst, size, now, rng) -> float:
+        return self._local if src == dst else self._delta
+
+    def bound(self) -> float:
+        return self._delta
+
+
+class UniformDelay(DelayModel):
+    """Delay drawn uniformly from ``[lo, hi]``; self-messages are free."""
+
+    def __init__(self, lo: float, hi: float) -> None:
+        if not 0 <= lo <= hi:
+            raise ConfigError("need 0 <= lo <= hi")
+        self._lo = lo
+        self._hi = hi
+
+    def delay(self, src, dst, size, now, rng) -> float:
+        if src == dst:
+            return 0.0
+        return rng.uniform(self._lo, self._hi)
+
+    def bound(self) -> float:
+        return self._hi
+
+
+class SiteTopology(DelayModel):
+    """Site-based topology: processes are placed at sites (machines or data
+    centres) and delay depends on the (site, site) pair.
+
+    This models both of the paper's testbeds:
+
+    * LAN (Fig. 7): every process on its own machine, uniform one-way delay
+      of 0.05 ms (0.1 ms RTT);
+    * WAN (Fig. 8): three data centres with one-way delays derived from the
+      reported RTTs (Oregon↔N.Virginia 60 ms, N.Virginia↔England 75 ms,
+      Oregon↔England 130 ms).
+
+    ``jitter`` adds a multiplicative uniform perturbation (±fraction) so
+    throughput experiments do not see lock-step message waves.
+    """
+
+    def __init__(
+        self,
+        placement: Mapping[ProcessId, int],
+        site_delay: Mapping[tuple, float],
+        intra_site: float = 0.0,
+        jitter: float = 0.0,
+    ) -> None:
+        self._placement = dict(placement)
+        self._site_delay: Dict[tuple, float] = {}
+        for (a, b), d in site_delay.items():
+            if d < 0:
+                raise ConfigError("site delays must be non-negative")
+            self._site_delay[(a, b)] = d
+            self._site_delay.setdefault((b, a), d)
+        self._intra = intra_site
+        if not 0 <= jitter < 1:
+            raise ConfigError("jitter must be a fraction in [0, 1)")
+        self._jitter = jitter
+
+    def site_of(self, pid: ProcessId) -> int:
+        try:
+            return self._placement[pid]
+        except KeyError:
+            raise ConfigError(f"process {pid} has no site placement") from None
+
+    def delay(self, src, dst, size, now, rng) -> float:
+        if src == dst:
+            return 0.0
+        a, b = self.site_of(src), self.site_of(dst)
+        base = self._intra if a == b else self._site_delay[(a, b)]
+        if self._jitter:
+            base *= 1.0 + rng.uniform(-self._jitter, self._jitter)
+        return base
+
+    def bound(self) -> float:
+        worst = max(self._site_delay.values(), default=0.0)
+        return max(worst, self._intra) * (1.0 + self._jitter)
+
+
+class BandwidthDelay(DelayModel):
+    """Adds a serialisation term ``size / bytes_per_second`` to a base model."""
+
+    def __init__(self, base: DelayModel, bytes_per_second: float) -> None:
+        if bytes_per_second <= 0:
+            raise ConfigError("bandwidth must be positive")
+        self._base = base
+        self._bps = bytes_per_second
+
+    def delay(self, src, dst, size, now, rng) -> float:
+        base = self._base.delay(src, dst, size, now, rng)
+        if src == dst:
+            return base
+        return base + size / self._bps
+
+    def bound(self) -> float:
+        return self._base.bound()  # size term is workload-dependent
+
+
+class PartialSynchrony(DelayModel):
+    """Partially synchronous wrapper: chaotic before GST, bounded after.
+
+    Before ``gst``, each message's delay is the base delay multiplied by a
+    random factor in ``[1, max_inflation]`` (finite, so channels stay
+    reliable).  From ``gst`` onward the base model applies unchanged, so the
+    base model's :meth:`bound` is the δ of the paper's analysis.
+    """
+
+    def __init__(self, base: DelayModel, gst: float, max_inflation: float = 10.0) -> None:
+        if gst < 0 or max_inflation < 1:
+            raise ConfigError("need gst >= 0 and max_inflation >= 1")
+        self._base = base
+        self._gst = gst
+        self._inflate = max_inflation
+
+    @property
+    def gst(self) -> float:
+        return self._gst
+
+    def delay(self, src, dst, size, now, rng) -> float:
+        base = self._base.delay(src, dst, size, now, rng)
+        if now >= self._gst or src == dst:
+            return base
+        return base * rng.uniform(1.0, self._inflate)
+
+    def bound(self) -> float:
+        return self._base.bound()
+
+
+def lan_topology(
+    pids: Sequence[ProcessId],
+    one_way: float = 0.00005,
+    jitter: float = 0.0,
+) -> SiteTopology:
+    """The paper's LAN: each process on its own machine, ~0.1 ms RTT."""
+    placement = {pid: i for i, pid in enumerate(pids)}
+    sites = range(len(pids))
+    site_delay = {(a, b): one_way for a in sites for b in sites if a < b}
+    return SiteTopology(placement, site_delay, intra_site=one_way, jitter=jitter)
+
+
+#: One-way delays (seconds) between the paper's three WAN regions,
+#: half of the reported round-trip times: R1=Oregon, R2=N.Virginia, R3=England.
+WAN_ONE_WAY = {
+    (0, 1): 0.030,
+    (1, 2): 0.0375,
+    (0, 2): 0.065,
+}
+
+
+def wan_topology(
+    placement: Mapping[ProcessId, int],
+    intra_site: float = 0.00005,
+    jitter: float = 0.0,
+) -> SiteTopology:
+    """The paper's WAN: three data centres with the reported RTT matrix."""
+    return SiteTopology(placement, WAN_ONE_WAY, intra_site=intra_site, jitter=jitter)

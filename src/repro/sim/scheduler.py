@@ -1,0 +1,366 @@
+"""The discrete-event scheduler: virtual time, FIFO channels, crashes, CPU.
+
+Design notes
+------------
+
+* Events live in a single heap keyed by ``(time, seq)``; ``seq`` is a
+  monotone counter so simultaneous events run in schedule order, which both
+  makes runs deterministic and preserves FIFO for zero-delay self-messages.
+* Reliable FIFO channels (the paper's network assumption) are enforced by
+  clamping each message's arrival to be no earlier than the previous arrival
+  scheduled on the same ``(src, dst)`` channel.
+* Crash-stop failures: a crashed process executes nothing, receives nothing
+  and its timers never fire.  There is no recovery of crashed processes
+  (the paper's model); *leader* recovery is a protocol-level concern.
+* Optional CPU model: each process serialises its message handling through
+  a single virtual core with a configurable per-message service time.  This
+  is what produces the throughput saturation of the paper's Figs. 7–8.
+  Timers fire on schedule regardless (they model OS timers, not work).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+from ..runtime import Runtime, TimerHandle
+from ..types import AmcastMessage, ProcessId
+from .network import DelayModel
+from .trace import SendRecord, Trace
+
+
+class CpuModel:
+    """Per-message CPU service time; override :meth:`cost`.
+
+    ``src`` is the message's sender; self-addressed messages (``src ==
+    pid``) are local steps that real implementations perform without
+    touching the network stack.
+    """
+
+    def cost(
+        self, pid: ProcessId, msg: Any, rng: random.Random, src: Optional[ProcessId] = None
+    ) -> float:
+        return 0.0
+
+
+class UniformCpu(CpuModel):
+    """Constant service time per handled message, with optional jitter.
+
+    ``per_message`` is the virtual-CPU time consumed to receive, process
+    and react to one protocol message; ``ack_cost`` (defaulting to a
+    quarter of it) applies to small acknowledgement-type messages, which
+    real network stacks handle far more cheaply than full protocol
+    messages; self-addressed messages are free (they are local steps).
+    Per-process overrides support asymmetric hardware.
+    """
+
+    #: Message class names treated as cheap acknowledgements.
+    ACK_TYPES = frozenset(
+        {
+            "AcceptAckMsg",
+            "PaxosAccepted",
+            "PaxosCommit",
+            "NewStateAckMsg",
+            "OrderedAckMsg",
+            "DeliveredAckMsg",
+            "HeartbeatMsg",
+        }
+    )
+
+    def __init__(
+        self,
+        per_message: float,
+        jitter: float = 0.0,
+        overrides: Optional[Dict[ProcessId, float]] = None,
+        ack_cost: Optional[float] = None,
+        free_self_messages: bool = True,
+    ) -> None:
+        self._per_message = per_message
+        self._jitter = jitter
+        self._overrides = overrides or {}
+        self._ack_cost = per_message / 4 if ack_cost is None else ack_cost
+        self._free_self = free_self_messages
+
+    def cost(
+        self, pid: ProcessId, msg: Any, rng: random.Random, src: Optional[ProcessId] = None
+    ) -> float:
+        if self._free_self and src == pid:
+            return 0.0
+        if type(msg).__name__ in self.ACK_TYPES:
+            base = self._ack_cost
+        else:
+            base = self._overrides.get(pid, self._per_message)
+        if self._jitter:
+            base *= 1.0 + rng.uniform(-self._jitter, self._jitter)
+        return base
+
+
+class _SimTimer(TimerHandle):
+    __slots__ = ("_cancelled", "fn")
+
+    def __init__(self, fn: Callable[[], None]) -> None:
+        self.fn = fn
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+
+class SimRuntime(Runtime):
+    """The :class:`Runtime` implementation handed to simulated processes."""
+
+    def __init__(self, sim: "Simulator", pid: ProcessId) -> None:
+        self._sim = sim
+        self._pid = pid
+        self._rng = random.Random((sim.seed << 20) ^ (pid * 2654435761 % 2**32))
+
+    @property
+    def pid(self) -> ProcessId:
+        return self._pid
+
+    def now(self) -> float:
+        return self._sim.now
+
+    def send(self, to: ProcessId, msg: Any) -> None:
+        self._sim.transmit(self._pid, to, msg)
+
+    def set_timer(self, delay: float, fn: Callable[[], None]) -> TimerHandle:
+        return self._sim.set_timer(self._pid, delay, fn)
+
+    def deliver(self, m: AmcastMessage) -> None:
+        self._sim.record_delivery(self._pid, m)
+
+    def record_multicast(self, m: AmcastMessage) -> None:
+        self._sim.record_multicast(self._pid, m)
+
+    @property
+    def rng(self) -> random.Random:
+        return self._rng
+
+
+class Simulator:
+    """Deterministic discrete-event simulator hosting protocol processes."""
+
+    def __init__(
+        self,
+        network: DelayModel,
+        seed: int = 0,
+        trace: Optional[Trace] = None,
+        cpu: Optional[CpuModel] = None,
+    ) -> None:
+        self.network = network
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.trace = trace if trace is not None else Trace()
+        self.cpu = cpu or CpuModel()
+        self.now = 0.0
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._processes: Dict[ProcessId, Any] = {}
+        self._runtimes: Dict[ProcessId, SimRuntime] = {}
+        self._alive: Dict[ProcessId, bool] = {}
+        self._last_arrival: Dict[Tuple[ProcessId, ProcessId], float] = {}
+        self._inbox: Dict[ProcessId, Deque[Tuple[ProcessId, Any]]] = {}
+        self._busy: Dict[ProcessId, bool] = {}
+        self._events_executed = 0
+        self._started = False
+
+    # -- topology / registration -------------------------------------------
+
+    def add_process(self, pid: ProcessId, factory: Callable[[SimRuntime], Any]) -> Any:
+        """Create and register the process for ``pid``.
+
+        ``factory`` receives the process's :class:`SimRuntime` and returns
+        the protocol object (anything with ``on_message(sender, msg)``; an
+        optional ``on_start()`` runs at simulation start).
+        """
+        if pid in self._processes:
+            raise SimulationError(f"process {pid} registered twice")
+        runtime = SimRuntime(self, pid)
+        proc = factory(runtime)
+        self._processes[pid] = proc
+        self._runtimes[pid] = runtime
+        self._alive[pid] = True
+        self._inbox[pid] = deque()
+        self._busy[pid] = False
+        return proc
+
+    def process(self, pid: ProcessId) -> Any:
+        return self._processes[pid]
+
+    def runtime_of(self, pid: ProcessId) -> SimRuntime:
+        return self._runtimes[pid]
+
+    @property
+    def processes(self) -> Dict[ProcessId, Any]:
+        return dict(self._processes)
+
+    def alive(self, pid: ProcessId) -> bool:
+        return self._alive.get(pid, False)
+
+    # -- event scheduling ----------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at ``now + delay`` (a raw event, no process semantics)."""
+        if delay < 0:
+            raise SimulationError("cannot schedule into the past")
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), fn))
+
+    def schedule_at(self, t: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at absolute virtual time ``t`` (>= now).
+
+        Used where exact times matter (FIFO arrival clamping): computing a
+        relative delay and re-adding ``now`` can perturb the time by a
+        floating-point ulp and reorder same-time arrivals.
+        """
+        if t < self.now:
+            raise SimulationError("cannot schedule into the past")
+        heapq.heappush(self._heap, (t, next(self._seq), fn))
+
+    def set_timer(self, pid: ProcessId, delay: float, fn: Callable[[], None]) -> TimerHandle:
+        timer = _SimTimer(fn)
+
+        def fire() -> None:
+            if timer.cancelled or not self._alive.get(pid, False):
+                return
+            fn()
+
+        self.schedule(delay, fire)
+        return timer
+
+    # -- messaging -------------------------------------------------------------
+
+    def transmit(self, src: ProcessId, dst: ProcessId, msg: Any) -> None:
+        """Send ``msg`` from ``src`` to ``dst`` through the network model."""
+        if not self._alive.get(src, False):
+            return  # a crashed process sends nothing
+        if dst not in self._processes:
+            raise SimulationError(f"message sent to unknown process {dst}")
+        size = getattr(msg, "size", None)
+        if size is None:
+            size = getattr(getattr(msg, "m", None), "size", 64) or 64
+        delay = self.network.delay(src, dst, size, self.now, self.rng)
+        arrival = self.now + delay
+        key = (src, dst)
+        prev = self._last_arrival.get(key, 0.0)
+        if arrival < prev:
+            arrival = prev  # FIFO clamp: never overtake an earlier message
+        self._last_arrival[key] = arrival
+        self.trace.on_send(SendRecord(self.now, arrival, src, dst, msg))
+        self.schedule_at(arrival, lambda: self._arrive(src, dst, msg))
+
+    def _arrive(self, src: ProcessId, dst: ProcessId, msg: Any) -> None:
+        if not self._alive.get(dst, False):
+            return
+        self._inbox[dst].append((src, msg))
+        if not self._busy[dst]:
+            self._work(dst)
+
+    def _work(self, pid: ProcessId) -> None:
+        """Drain one inbox item, charging CPU time, then chain to the next."""
+        if not self._alive.get(pid, False):
+            self._busy[pid] = False
+            self._inbox[pid].clear()
+            return
+        inbox = self._inbox[pid]
+        if not inbox:
+            self._busy[pid] = False
+            return
+        self._busy[pid] = True
+        src, msg = inbox.popleft()
+        cost = self.cpu.cost(pid, msg, self.rng, src)
+
+        def run() -> None:
+            if self._alive.get(pid, False):
+                self.trace.on_handle(self.now, pid, src, msg)
+                self._processes[pid].on_message(src, msg)
+            self._work(pid)
+
+        if cost > 0:
+            self.schedule(cost, run)
+        else:
+            run()
+
+    # -- failures -----------------------------------------------------------------
+
+    def crash(self, pid: ProcessId) -> None:
+        """Crash ``pid`` immediately (crash-stop; no recovery)."""
+        if not self._alive.get(pid, False):
+            return
+        self._alive[pid] = False
+        self._inbox[pid].clear()
+        self.trace.on_crash(self.now, pid)
+
+    def crash_at(self, pid: ProcessId, t: float) -> None:
+        """Schedule a crash of ``pid`` at absolute time ``t``."""
+        self.schedule_at(t, lambda: self.crash(pid))
+
+    # -- delivery bookkeeping -------------------------------------------------------
+
+    def record_multicast(self, pid: ProcessId, m: AmcastMessage) -> None:
+        self.trace.on_multicast(self.now, pid, m)
+
+    def record_delivery(self, pid: ProcessId, m: AmcastMessage) -> None:
+        self.trace.on_deliver(self.now, pid, m)
+
+    # -- main loop ---------------------------------------------------------------------
+
+    def _start_processes(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for pid, proc in self._processes.items():
+            start = getattr(proc, "on_start", None)
+            if start is not None and self._alive[pid]:
+                start()
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Run until the event queue drains or virtual time passes ``until``.
+
+        Returns the virtual time at which the run stopped.  ``max_events``
+        guards against protocol bugs that generate unbounded message storms.
+        """
+        self._start_processes()
+        while self._heap:
+            t, _, fn = self._heap[0]
+            if until is not None and t > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            if t < self.now:
+                raise SimulationError("time went backwards (scheduler bug)")
+            self.now = t
+            fn()
+            self._events_executed += 1
+            if self._events_executed > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; likely a livelock or message storm"
+                )
+        return self.now
+
+    def step(self) -> bool:
+        """Execute a single event; returns False when the queue is empty."""
+        self._start_processes()
+        if not self._heap:
+            return False
+        t, _, fn = heapq.heappop(self._heap)
+        self.now = t
+        fn()
+        self._events_executed += 1
+        return True
+
+    @property
+    def events_executed(self) -> int:
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,119 @@
+"""Structured traces of simulated runs.
+
+A :class:`Trace` records the externally observable events of a run —
+multicasts, deliveries, message sends, crashes, leader changes — in a form
+the correctness checkers (:mod:`repro.checking`) and the benchmark metrics
+(:mod:`repro.bench.metrics`) can consume.  Recording of the (potentially
+huge) per-message send log can be switched off for throughput benchmarks.
+
+Monitors can also be attached; they see every event as it happens, which is
+what lets the white-box invariant checkers inspect live protocol state
+mid-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from ..types import AmcastMessage, MessageId, ProcessId
+
+
+@dataclass(frozen=True, slots=True)
+class SendRecord:
+    """One protocol message on the wire."""
+
+    t_send: float
+    t_arrive: float
+    src: ProcessId
+    dst: ProcessId
+    msg: Any
+
+
+@dataclass(frozen=True, slots=True)
+class DeliveryRecord:
+    """One atomic-multicast delivery event at one process."""
+
+    t: float
+    pid: ProcessId
+    m: AmcastMessage
+
+
+@dataclass(frozen=True, slots=True)
+class MulticastRecord:
+    """One multicast(m) invocation."""
+
+    t: float
+    pid: ProcessId
+    m: AmcastMessage
+
+
+class Trace:
+    """Mutable event log for one run."""
+
+    def __init__(self, record_sends: bool = True) -> None:
+        self.record_sends = record_sends
+        self.multicasts: List[MulticastRecord] = []
+        self.deliveries: List[DeliveryRecord] = []
+        self.sends: List[SendRecord] = []
+        self.crashes: List[Tuple[float, ProcessId]] = []
+        self.send_count = 0
+        self.monitors: List[Any] = []
+
+    # -- recording (called by the scheduler) -------------------------------
+
+    def on_multicast(self, t: float, pid: ProcessId, m: AmcastMessage) -> None:
+        self.multicasts.append(MulticastRecord(t, pid, m))
+        for mon in self.monitors:
+            hook = getattr(mon, "on_multicast", None)
+            if hook is not None:
+                hook(t, pid, m)
+
+    def on_deliver(self, t: float, pid: ProcessId, m: AmcastMessage) -> None:
+        self.deliveries.append(DeliveryRecord(t, pid, m))
+        for mon in self.monitors:
+            hook = getattr(mon, "on_deliver", None)
+            if hook is not None:
+                hook(t, pid, m)
+
+    def on_send(self, rec: SendRecord) -> None:
+        self.send_count += 1
+        if self.record_sends:
+            self.sends.append(rec)
+        for mon in self.monitors:
+            hook = getattr(mon, "on_send", None)
+            if hook is not None:
+                hook(rec)
+
+    def on_crash(self, t: float, pid: ProcessId) -> None:
+        self.crashes.append((t, pid))
+        for mon in self.monitors:
+            hook = getattr(mon, "on_crash", None)
+            if hook is not None:
+                hook(t, pid)
+
+    def on_handle(self, t: float, pid: ProcessId, src: ProcessId, msg: Any) -> None:
+        for mon in self.monitors:
+            hook = getattr(mon, "on_handle", None)
+            if hook is not None:
+                hook(t, pid, src, msg)
+
+    # -- attachment ---------------------------------------------------------
+
+    def attach(self, monitor: Any) -> None:
+        """Attach a monitor object; it may define any of the ``on_*`` hooks."""
+        self.monitors.append(monitor)
+
+    # -- queries ------------------------------------------------------------
+
+    def deliveries_of(self, mid: MessageId) -> List[DeliveryRecord]:
+        return [d for d in self.deliveries if d.m.mid == mid]
+
+    def delivery_order_at(self, pid: ProcessId) -> List[MessageId]:
+        return [d.m.mid for d in self.deliveries if d.pid == pid]
+
+    def multicast_times(self) -> Dict[MessageId, float]:
+        return {r.m.mid: r.t for r in self.multicasts}
+
+    def crashed_pids(self) -> set:
+        return {pid for _, pid in self.crashes}

@@ -1,0 +1,110 @@
+"""Core value types shared by every protocol in the library.
+
+The paper orders messages by *timestamps* ``(t, g)`` — a logical-clock value
+paired with a group identifier — compared lexicographically, with a special
+bottom timestamp below everything (Section III).  Leader epochs are named by
+*ballots* ``(n, p)`` — an integer paired with a process identifier — likewise
+compared lexicographically with a bottom element (Section IV).
+
+Both are small frozen dataclasses so they can be used as dict keys, sorted,
+and sent over the wire (they pickle cleanly for the asyncio runtime).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Tuple
+
+ProcessId = int
+GroupId = int
+MessageId = Tuple[int, int]  # (origin process id, per-origin sequence number)
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Timestamp:
+    """A Skeen-style timestamp ``(time, group)``, ordered lexicographically.
+
+    ``time`` is a logical-clock value and ``group`` breaks ties between
+    groups, making timestamps issued by distinct groups distinct.  The
+    module-level :data:`TS_BOTTOM` is strictly below every timestamp a
+    protocol can issue (protocol clocks start at 0 and are incremented
+    before use, so issued timestamps always have ``time >= 1``).
+    """
+
+    time: int
+    group: GroupId
+
+    def __repr__(self) -> str:  # compact, for traces
+        return f"ts({self.time},{self.group})"
+
+
+TS_BOTTOM = Timestamp(-1, -1)
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Ballot:
+    """A leader-epoch identifier ``(round, pid)``, ordered lexicographically.
+
+    ``leader()`` names the process that owns the ballot, matching the
+    paper's ``leader(b)`` notation.  :data:`BALLOT_BOTTOM` is the initial
+    ballot, below every ballot a process can create.
+    """
+
+    round: int
+    pid: ProcessId
+
+    def leader(self) -> ProcessId:
+        return self.pid
+
+    def __repr__(self) -> str:
+        return f"bal({self.round},{self.pid})"
+
+
+BALLOT_BOTTOM = Ballot(-1, -1)
+
+
+@dataclass(frozen=True, slots=True)
+class AmcastMessage:
+    """An application message submitted to atomic multicast.
+
+    ``mid`` is globally unique (origin pid + origin-local sequence number);
+    ``dests`` is the set of destination *group* ids; ``payload`` is opaque to
+    every protocol and is handed back verbatim on delivery; ``size`` is the
+    nominal wire size in bytes, used only by bandwidth-aware delay models
+    (the paper's evaluation uses 20-byte messages).
+    """
+
+    mid: MessageId
+    dests: FrozenSet[GroupId]
+    payload: Any = None
+    size: int = 20
+
+    def __post_init__(self) -> None:
+        if not self.dests:
+            raise ValueError("an atomic multicast message needs at least one destination group")
+
+    def __repr__(self) -> str:
+        return f"m{self.mid}->{sorted(self.dests)}"
+
+
+class MessageIdAllocator:
+    """Allocates unique :data:`MessageId` values for one origin process."""
+
+    def __init__(self, origin: ProcessId) -> None:
+        self._origin = origin
+        self._counter = itertools.count()
+
+    def fresh(self) -> MessageId:
+        return (self._origin, next(self._counter))
+
+
+def make_message(
+    origin: ProcessId,
+    seq: int,
+    dests: FrozenSet[GroupId] | set | tuple | list,
+    payload: Any = None,
+    size: int = 20,
+) -> AmcastMessage:
+    """Convenience constructor normalising ``dests`` to a frozenset."""
+    return AmcastMessage(mid=(origin, seq), dests=frozenset(dests), payload=payload, size=size)

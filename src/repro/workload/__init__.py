@@ -1,0 +1,30 @@
+"""Workload generation: clients, destination-set strategies, tracking.
+
+The paper's evaluation drives every protocol with closed-loop clients:
+each client multicasts a small message to a fixed-size set of destination
+groups, waits until the message is *partially delivered* (first delivery
+in every destination group — the client-perceived completion the paper's
+latency metric uses), then immediately multicasts the next one.
+"""
+
+from .destinations import (
+    DestinationChooser,
+    FixedDestinations,
+    RandomKGroups,
+    RingNeighbours,
+    DisjointPairs,
+)
+from .clients import ClientOptions, ClosedLoopClient, OneShotClient
+from .tracker import DeliveryTracker
+
+__all__ = [
+    "ClientOptions",
+    "ClosedLoopClient",
+    "DeliveryTracker",
+    "DestinationChooser",
+    "DisjointPairs",
+    "FixedDestinations",
+    "OneShotClient",
+    "RandomKGroups",
+    "RingNeighbours",
+]

@@ -1,0 +1,87 @@
+"""Destination-set strategies for generated multicasts.
+
+Figures 7 and 8 of the paper sweep the *number of destination groups* each
+client multicasts to; :class:`RandomKGroups` reproduces that (a uniformly
+random set of k groups per message).  The others support ablations:
+fixed sets, ring neighbours (maximal overlap) and disjoint pairs (zero
+contention — where genuine multicast should scale and a sequencer should
+not).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import FrozenSet, List, Sequence
+
+from ..config import ClusterConfig
+from ..errors import ConfigError
+from ..types import GroupId
+
+
+class DestinationChooser(abc.ABC):
+    """Produces the destination-group set for each new message."""
+
+    @abc.abstractmethod
+    def choose(self, rng: random.Random) -> FrozenSet[GroupId]: ...
+
+
+class FixedDestinations(DestinationChooser):
+    """Every message goes to the same fixed set of groups."""
+
+    def __init__(self, dests: Sequence[GroupId]) -> None:
+        if not dests:
+            raise ConfigError("need at least one destination group")
+        self._dests = frozenset(dests)
+
+    def choose(self, rng: random.Random) -> FrozenSet[GroupId]:
+        return self._dests
+
+
+class RandomKGroups(DestinationChooser):
+    """A uniformly random set of ``k`` of the cluster's groups (the paper's
+    Figs. 7–8 workload)."""
+
+    def __init__(self, config: ClusterConfig, k: int) -> None:
+        if not 1 <= k <= config.num_groups:
+            raise ConfigError(f"k={k} out of range for {config.num_groups} groups")
+        self._gids: List[GroupId] = list(config.group_ids)
+        self._k = k
+
+    def choose(self, rng: random.Random) -> FrozenSet[GroupId]:
+        return frozenset(rng.sample(self._gids, self._k))
+
+
+class RingNeighbours(DestinationChooser):
+    """``k`` consecutive groups starting at a random offset: adjacent
+    messages overlap heavily, stressing the convoy effect."""
+
+    def __init__(self, config: ClusterConfig, k: int) -> None:
+        if not 1 <= k <= config.num_groups:
+            raise ConfigError(f"k={k} out of range for {config.num_groups} groups")
+        self._n = config.num_groups
+        self._k = k
+
+    def choose(self, rng: random.Random) -> FrozenSet[GroupId]:
+        start = rng.randrange(self._n)
+        return frozenset((start + i) % self._n for i in range(self._k))
+
+
+class DisjointPairs(DestinationChooser):
+    """Partition the groups into fixed disjoint pairs and pick one pair.
+
+    With one client per pair, messages to different pairs never conflict —
+    the scenario where a *genuine* protocol orders in parallel while a
+    sequencer-based one serialises everything.
+    """
+
+    def __init__(self, config: ClusterConfig, pair_index: int) -> None:
+        if config.num_groups < 2:
+            raise ConfigError("need at least two groups to form pairs")
+        pairs = config.num_groups // 2
+        self._pair = frozenset(
+            {(2 * (pair_index % pairs)), (2 * (pair_index % pairs) + 1)}
+        )
+
+    def choose(self, rng: random.Random) -> FrozenSet[GroupId]:
+        return self._pair

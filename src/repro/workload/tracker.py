@@ -1,0 +1,95 @@
+"""Delivery tracking: per-message latency and client completion callbacks.
+
+Attached to a simulation trace, the tracker watches deliveries and decides
+when each message becomes *partially delivered* — first delivery in every
+destination group — which is both the paper's latency metric (Section II:
+delivery latency is to the earliest delivery per group, reflecting the
+client-perceived latency) and the signal a closed-loop client waits for.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..config import ClusterConfig
+from ..types import AmcastMessage, GroupId, MessageId, ProcessId
+
+
+class DeliveryTracker:
+    """Trace monitor computing partial-delivery times and latencies."""
+
+    def __init__(self, config: ClusterConfig, sim=None) -> None:
+        self.config = config
+        self.sim = sim  # needed only for client wake-up callbacks
+        self.multicast_time: Dict[MessageId, float] = {}
+        self.dests: Dict[MessageId, frozenset] = {}
+        self.groups_pending: Dict[MessageId, Set[GroupId]] = {}
+        self.partial_time: Dict[MessageId, float] = {}
+        self.first_group_delivery: Dict[Tuple[MessageId, GroupId], float] = {}
+        self._waiters: Dict[MessageId, List[Callable[[MessageId, float], None]]] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def expect(
+        self,
+        m: AmcastMessage,
+        t_multicast: float,
+        callback: Optional[Callable[[MessageId, float], None]] = None,
+    ) -> None:
+        """Register ``m`` (called by clients just before sending)."""
+        self.multicast_time[m.mid] = t_multicast
+        self.dests[m.mid] = m.dests
+        self.groups_pending.setdefault(m.mid, set(m.dests))
+        if callback is not None:
+            self._waiters.setdefault(m.mid, []).append(callback)
+
+    # -- trace hooks -----------------------------------------------------------
+
+    def on_multicast(self, t: float, pid: ProcessId, m: AmcastMessage) -> None:
+        self.multicast_time.setdefault(m.mid, t)
+        self.dests.setdefault(m.mid, m.dests)
+        self.groups_pending.setdefault(m.mid, set(m.dests))
+
+    def on_deliver(self, t: float, pid: ProcessId, m: AmcastMessage) -> None:
+        gid = self.config.group_of(pid)
+        self.first_group_delivery.setdefault((m.mid, gid), t)
+        pending = self.groups_pending.get(m.mid)
+        if pending is None:
+            pending = set(m.dests)
+            self.groups_pending[m.mid] = pending
+        pending.discard(gid)
+        if not pending and m.mid not in self.partial_time:
+            self.partial_time[m.mid] = t
+            for callback in self._waiters.pop(m.mid, []):
+                if self.sim is not None:
+                    # Wake the client as a fresh event so its reaction does
+                    # not run inside the delivering process's handler.
+                    self.sim.schedule(0.0, lambda cb=callback, mid=m.mid, tt=t: cb(mid, tt))
+                else:
+                    callback(m.mid, t)
+
+    # -- results ----------------------------------------------------------------
+
+    def latency(self, mid: MessageId) -> Optional[float]:
+        t0 = self.multicast_time.get(mid)
+        t1 = self.partial_time.get(mid)
+        if t0 is None or t1 is None:
+            return None
+        return t1 - t0
+
+    def latencies(self) -> Dict[MessageId, float]:
+        out: Dict[MessageId, float] = {}
+        for mid in self.partial_time:
+            lat = self.latency(mid)
+            if lat is not None:
+                out[mid] = lat
+        return out
+
+    def completed_in_window(self, start: float, end: float) -> List[MessageId]:
+        return [
+            mid for mid, t in self.partial_time.items() if start <= t < end
+        ]
+
+    @property
+    def completed_count(self) -> int:
+        return len(self.partial_time)

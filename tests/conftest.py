@@ -1,0 +1,54 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.failure.detector import MonitorOptions
+from repro.sim import ConstantDelay, Simulator, Trace
+from repro.workload import DeliveryTracker
+
+
+#: Fast failure-detector settings for virtual-time tests.
+FAST_FD = MonitorOptions(
+    heartbeat_interval=0.005, suspect_timeout=0.02, stagger=0.01, max_timeout=0.3
+)
+
+#: One simulated message delay used throughout latency-sensitive tests.
+DELTA = 0.001
+
+
+@pytest.fixture
+def config_3x3():
+    return ClusterConfig.build(num_groups=3, group_size=3, num_clients=2)
+
+
+@pytest.fixture
+def config_2x3():
+    return ClusterConfig.build(num_groups=2, group_size=3, num_clients=2)
+
+
+def build_cluster(protocol_cls, config, network=None, seed=0, options=None, cpu=None):
+    """Wire a simulator with one protocol process per group member.
+
+    Returns (sim, trace, tracker, {pid: process}).
+    """
+    network = network or ConstantDelay(DELTA)
+    trace = Trace()
+    sim = Simulator(network, seed=seed, trace=trace, cpu=cpu)
+    tracker = DeliveryTracker(config, sim=sim)
+    trace.attach(tracker)
+    members = {}
+    for pid in config.all_members:
+        members[pid] = sim.add_process(
+            pid, lambda rt, p=pid: protocol_cls(p, config, rt, options=options)
+        )
+    return sim, trace, tracker, members
+
+
+def checks_ok(result, quiescent=True):
+    """Assert helper: all black-box property checks pass."""
+    failed = [c.describe() for c in result.check(quiescent=quiescent) if not c.ok]
+    assert not failed, failed
+    return True

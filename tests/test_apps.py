@@ -1,0 +1,122 @@
+"""Example applications: the partitioned KV store and the sharded bank."""
+
+import random
+
+import pytest
+
+from repro.apps import BankCluster, KvStoreCluster
+from repro.apps.kvstore import KvCommand, partition_of
+from repro.apps.bank import shard_of
+from repro.protocols import FastCastProcess, FtSkeenProcess, WbCastProcess
+
+
+class TestKvStore:
+    def test_single_key_put_get(self):
+        store = KvStoreCluster(num_groups=3)
+        store.put("alpha", 1)
+        store.put("beta", {"nested": True})
+        store.sync()
+        assert store.get("alpha") == 1
+        assert store.get("beta") == {"nested": True}
+
+    def test_read_from_any_replica(self):
+        store = KvStoreCluster(num_groups=2)
+        store.put("k", "v")
+        store.sync()
+        for replica in range(3):
+            assert store.get("k", replica_index=replica) == "v"
+
+    def test_delete(self):
+        store = KvStoreCluster()
+        store.put("gone", 1)
+        store.delete("gone")
+        store.sync()
+        assert store.get("gone") is None
+
+    def test_multi_put_spans_partitions_atomically(self):
+        store = KvStoreCluster(num_groups=3)
+        # Find two keys living on different partitions.
+        keys = [f"key{i}" for i in range(20)]
+        a = keys[0]
+        b = next(k for k in keys if partition_of(k, 3) != partition_of(a, 3))
+        store.multi_put({a: "A", b: "B"})
+        store.sync()
+        assert store.get(a) == "A" and store.get(b) == "B"
+
+    def test_last_writer_wins_within_total_order(self):
+        store = KvStoreCluster(num_groups=2)
+        for i in range(10):
+            store.put("counter", i)
+        store.sync()
+        assert store.get("counter") == 9
+        assert store.replicas_converged()
+
+    def test_replicas_converge_under_mixed_load(self):
+        store = KvStoreCluster(num_groups=3, seed=5)
+        rng = random.Random(5)
+        keys = [f"k{i}" for i in range(12)]
+        for step in range(60):
+            if rng.random() < 0.3:
+                sample = rng.sample(keys, 2)
+                store.multi_put({sample[0]: step, sample[1]: -step})
+            else:
+                store.put(rng.choice(keys), step)
+        store.sync()
+        assert store.replicas_converged()
+
+    @pytest.mark.parametrize("protocol_cls", [FtSkeenProcess, FastCastProcess])
+    def test_store_is_protocol_agnostic(self, protocol_cls):
+        store = KvStoreCluster(num_groups=2, protocol_cls=protocol_cls)
+        store.put("x", 1)
+        store.multi_put({"x": 2, "y": 3})
+        store.sync()
+        assert store.get("x") == 2 and store.get("y") == 3
+        assert store.replicas_converged()
+
+
+class TestBank:
+    OPENING = {f"acct{i}": 100 for i in range(8)}
+
+    def test_transfer_moves_money(self):
+        bank = BankCluster(self.OPENING, num_groups=3)
+        bank.transfer("acct0", "acct1", 30)
+        bank.settle()
+        assert bank.balance("acct0") == 70
+        assert bank.balance("acct1") == 130
+
+    def test_conservation_under_random_transfers(self):
+        bank = BankCluster(self.OPENING, num_groups=3, seed=11)
+        rng = random.Random(11)
+        accounts = list(self.OPENING)
+        for _ in range(80):
+            src, dst = rng.sample(accounts, 2)
+            bank.transfer(src, dst, rng.randint(1, 50))
+        bank.settle()
+        assert bank.conserved()
+        assert bank.replicas_converged()
+
+    def test_cross_shard_transfers_exist_in_workload(self):
+        """The interesting case: make sure some transfers really span
+        two different shards (otherwise the test proves nothing)."""
+        accounts = list(self.OPENING)
+        pairs = [
+            (a, b)
+            for a in accounts
+            for b in accounts
+            if a != b and shard_of(a, 3) != shard_of(b, 3)
+        ]
+        assert pairs
+        bank = BankCluster(self.OPENING, num_groups=3)
+        a, b = pairs[0]
+        bank.transfer(a, b, 10)
+        bank.settle()
+        assert bank.conserved()
+
+    def test_chain_of_dependent_transfers(self):
+        bank = BankCluster({"a": 100, "b": 0, "c": 0}, num_groups=3)
+        bank.transfer("a", "b", 100)
+        bank.transfer("b", "c", 100)
+        bank.settle()
+        assert bank.balance("a") == 0
+        assert bank.balance("c") == 100
+        assert bank.conserved()

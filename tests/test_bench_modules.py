@@ -1,0 +1,97 @@
+"""Benchmark machinery at test scale: sweeps, tables, ablation helpers."""
+
+import pytest
+
+from repro.bench.convoy import ConvoyPoint, format_convoy, run_convoy
+from repro.bench.latency_table import (
+    DELTA,
+    PAPER_LATENCIES,
+    LatencyRow,
+    format_latency_table,
+    measure_cfl,
+)
+from repro.bench.sweep import (
+    SweepConfig,
+    format_sweep,
+    headline_comparison,
+    run_point,
+    run_sweep,
+)
+from repro.bench.topologies import lan_testbed
+from repro.protocols import FastCastProcess, WbCastProcess
+
+
+TINY = SweepConfig(
+    num_groups=3,
+    group_size=3,
+    client_counts=(4,),
+    dest_ks=(2,),
+    messages_per_client=3,
+    cpu_cost=0.0,
+    cpu_jitter=0.0,
+    network_jitter=0.0,
+)
+
+
+class TestSweep:
+    def test_run_point_produces_metrics(self):
+        point = run_point(WbCastProcess, lan_testbed, TINY, dest_k=2, clients=4)
+        assert point.completed == 12
+        assert point.throughput > 0
+        assert point.mean_latency > 0
+        assert point.protocol == "WbCastProcess"
+
+    def test_run_sweep_covers_grid(self):
+        points = run_sweep(
+            {"wbcast": WbCastProcess, "fastcast": FastCastProcess},
+            lan_testbed,
+            TINY,
+        )
+        assert len(points) == 2  # 2 protocols x 1 dest_k x 1 client count
+
+    def test_format_and_headline(self):
+        points = run_sweep(
+            {"wbcast": WbCastProcess, "fastcast": FastCastProcess},
+            lan_testbed,
+            TINY,
+        )
+        table = format_sweep(points, "t")
+        assert "WbCast" in table and "msgs/s" in table
+        headline = headline_comparison(points)
+        assert "WbCast vs FastCast" in headline
+
+    def test_wbcast_faster_than_fastcast_even_tiny(self):
+        points = run_sweep(
+            {"wbcast": WbCastProcess, "fastcast": FastCastProcess},
+            lan_testbed,
+            TINY,
+        )
+        wb = next(p for p in points if p.protocol == "WbCastProcess")
+        fc = next(p for p in points if p.protocol == "FastCastProcess")
+        assert wb.mean_latency < fc.mean_latency
+
+
+class TestConvoyModule:
+    def test_selected_offsets(self):
+        points = run_convoy(offsets=[0.0, 1.0, 3.0])
+        by_offset = {p.offset_delta: p.latency_delta for p in points}
+        assert by_offset[0.0] == pytest.approx(2.0)
+        assert by_offset[1.0] == pytest.approx(3.0)
+        assert by_offset[3.0] == pytest.approx(2.0)
+
+    def test_format(self):
+        text = format_convoy([ConvoyPoint(0.0, 2.0)])
+        assert "convoy" in text and "2.0" in text
+
+
+class TestLatencyTableModule:
+    def test_paper_table_is_complete(self):
+        assert set(PAPER_LATENCIES) == {"skeen", "wbcast", "fastcast", "ftskeen"}
+
+    def test_format_contains_all_columns(self):
+        rows = [LatencyRow("wbcast", 3.0, 4.0, 5.0, 3, 5)]
+        text = format_latency_table(rows)
+        assert "wbcast" in text and "paper FFL" in text
+
+    def test_measure_cfl_is_deterministic(self):
+        assert measure_cfl(WbCastProcess) == measure_cfl(WbCastProcess)

@@ -1,0 +1,95 @@
+"""Cascading and compound failure scenarios for the white-box protocol."""
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.config import ClusterConfig
+from repro.protocols import WbCastProcess
+from repro.protocols.wbcast import Status, WbCastOptions
+from repro.sim import ConstantDelay, UniformDelay
+from repro.sim.faults import CrashSpec, FaultPlan
+from repro.workload import ClientOptions
+
+from tests.conftest import DELTA, FAST_FD, checks_ok
+
+OPTS = WbCastOptions(retry_interval=0.05, gc_interval=0.04)
+
+
+class TestCascades:
+    def test_two_successive_leaders_die_in_five_member_group(self):
+        """f=2: the original leader and its successor both crash; the third
+        leader finishes the workload."""
+        config = ClusterConfig.build(2, 5, 2)
+        res = run_workload(
+            WbCastProcess, config=config, messages_per_client=10, dest_k=2,
+            seed=21, network=ConstantDelay(DELTA), protocol_options=OPTS,
+            client_options=ClientOptions(num_messages=10, retry_timeout=0.08),
+            fault_plan=FaultPlan(crashes=[CrashSpec(0, 0.01), CrashSpec(1, 0.15)]),
+            attach_fd=True, fd_options=FAST_FD, drain_grace=0.5, max_time=20.0,
+        )
+        assert res.all_done
+        checks_ok(res)
+        survivors = [p for pid, p in res.members.items()
+                     if p.gid == 0 and res.sim.alive(pid)]
+        leaders = [p for p in survivors if p.status is Status.LEADER]
+        assert len(leaders) == 1
+        assert leaders[0].pid in (2, 3, 4)
+
+    def test_all_group_leaders_crash_simultaneously(self):
+        config = ClusterConfig.build(3, 3, 2)
+        plan = FaultPlan.crash_leaders(config, config.group_ids, at=0.012)
+        res = run_workload(
+            WbCastProcess, config=config, messages_per_client=8, dest_k=2,
+            seed=22, network=ConstantDelay(DELTA), protocol_options=OPTS,
+            client_options=ClientOptions(num_messages=8, retry_timeout=0.08),
+            fault_plan=plan, attach_fd=True, fd_options=FAST_FD,
+            drain_grace=0.5, max_time=20.0,
+        )
+        assert res.all_done
+        checks_ok(res)
+
+    def test_leader_and_follower_crash_in_same_group_is_fatal_only_beyond_f(self):
+        """Crashing one leader plus a follower of a different group keeps
+        every group at quorum; the run must complete."""
+        config = ClusterConfig.build(2, 3, 2)
+        res = run_workload(
+            WbCastProcess, config=config, messages_per_client=8, dest_k=2,
+            seed=23, network=ConstantDelay(DELTA), protocol_options=OPTS,
+            client_options=ClientOptions(num_messages=8, retry_timeout=0.08),
+            fault_plan=FaultPlan(crashes=[CrashSpec(0, 0.01), CrashSpec(4, 0.02)]),
+            attach_fd=True, fd_options=FAST_FD, drain_grace=0.5, max_time=20.0,
+        )
+        assert res.all_done
+        checks_ok(res)
+
+    def test_crash_timed_inside_recovery_window(self):
+        """The successor crashes while still RECOVERING (NEWLEADER sent,
+        NEW_STATE not yet acknowledged)."""
+        config = ClusterConfig.build(1, 5, 1)
+        from tests.test_wbcast_normal import build
+
+        sim, trace, tracker, procs, client = build(config)
+        sim.crash_at(0, 0.01)
+        sim.schedule(0.02, lambda: procs[1].recover())
+        sim.crash_at(1, 0.02 + 1.5 * DELTA)  # mid-recovery
+        sim.schedule(0.05, lambda: procs[2].recover())
+        sim.run()
+        assert procs[2].status is Status.LEADER
+        followers = [procs[p] for p in (3, 4)]
+        assert all(f.cballot == procs[2].cballot for f in followers)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_delays_with_paired_crashes(self, seed):
+        config = ClusterConfig.build(3, 3, 3)
+        res = run_workload(
+            WbCastProcess, config=config, messages_per_client=6, dest_k=2,
+            seed=seed, network=UniformDelay(0.0003, 0.0015),
+            protocol_options=OPTS,
+            client_options=ClientOptions(num_messages=6, retry_timeout=0.08),
+            fault_plan=FaultPlan(
+                crashes=[CrashSpec(0, 0.008 + seed * 0.003), CrashSpec(3, 0.02)]
+            ),
+            attach_fd=True, fd_options=FAST_FD, drain_grace=0.5, max_time=20.0,
+        )
+        assert res.all_done
+        checks_ok(res)

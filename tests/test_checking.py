@@ -1,0 +1,170 @@
+"""Black-box property checks on hand-crafted histories (Section II)."""
+
+import pytest
+
+from repro.checking import (
+    History,
+    check_integrity,
+    check_ordering,
+    check_termination,
+    check_validity,
+)
+from repro.checking.genuineness import GenuinenessMonitor, extract_mids
+from repro.checking.properties import assert_all
+from repro.config import ClusterConfig
+from repro.errors import PropertyViolation
+from repro.sim.trace import SendRecord
+from repro.types import make_message
+
+
+def history(config, multicasts, deliveries, crashed=()):
+    """deliveries: pid -> list of messages (times synthesised)."""
+    return History(
+        config=config,
+        multicasts={m.mid: (origin, t, m) for m, origin, t in multicasts},
+        deliveries={
+            pid: [(float(i), m) for i, m in enumerate(msgs)]
+            for pid, msgs in deliveries.items()
+        },
+        crashed=set(crashed),
+    )
+
+
+@pytest.fixture
+def config():
+    # Two singleton groups keep hand-written histories compact.
+    return ClusterConfig.build(num_groups=2, group_size=1, num_clients=1)
+
+
+M1 = make_message(2, 1, {0, 1})
+M2 = make_message(2, 2, {0, 1})
+M3 = make_message(2, 3, {0})
+
+
+class TestValidity:
+    def test_ok(self, config):
+        h = history(config, [(M1, 2, 0.0)], {0: [M1], 1: [M1]})
+        assert check_validity(h).ok
+
+    def test_never_multicast(self, config):
+        h = history(config, [], {0: [M1]})
+        assert not check_validity(h).ok
+
+    def test_wrong_destination(self, config):
+        h = history(config, [(M3, 2, 0.0)], {1: [M3]})  # M3 only targets group 0
+        assert not check_validity(h).ok
+
+    def test_non_member_delivery(self, config):
+        h = history(config, [(M1, 2, 0.0)], {2: [M1]})  # pid 2 is a client
+        assert not check_validity(h).ok
+
+
+class TestIntegrity:
+    def test_ok(self, config):
+        h = history(config, [(M1, 2, 0.0)], {0: [M1]})
+        assert check_integrity(h).ok
+
+    def test_duplicate_delivery(self, config):
+        h = history(config, [(M1, 2, 0.0)], {0: [M1, M1]})
+        assert not check_integrity(h).ok
+
+
+class TestOrdering:
+    def test_agreement_ok(self, config):
+        h = history(config, [(M1, 2, 0.0), (M2, 2, 0.0)],
+                    {0: [M1, M2], 1: [M1, M2]})
+        assert check_ordering(h).ok
+
+    def test_disagreement_detected(self, config):
+        h = history(config, [(M1, 2, 0.0), (M2, 2, 0.0)],
+                    {0: [M1, M2], 1: [M2, M1]})
+        assert not check_ordering(h).ok
+
+    def test_cycle_through_third_message(self, config):
+        a = make_message(2, 10, {0, 1})
+        b = make_message(2, 11, {0, 1})
+        c = make_message(2, 12, {0, 1})
+        # 0 sees a<b<c, 1 sees c<a: cycle a<b<c<a via transitivity.
+        h = history(config, [(a, 2, 0.0), (b, 2, 0.0), (c, 2, 0.0)],
+                    {0: [a, b, c], 1: [c, a]})
+        assert not check_ordering(h).ok
+
+    def test_disjoint_destinations_uncontrained(self, config):
+        a = make_message(2, 10, {0})
+        b = make_message(2, 11, {1})
+        h = history(config, [(a, 2, 0.0), (b, 2, 0.0)], {0: [a], 1: [b]})
+        assert check_ordering(h).ok
+
+
+class TestTermination:
+    def test_ok(self, config):
+        h = history(config, [(M1, 2, 0.0)], {0: [M1], 1: [M1]})
+        assert check_termination(h).ok
+
+    def test_missing_delivery_at_correct_member(self, config):
+        h = history(config, [(M1, 2, 0.0)], {0: [M1]})  # group 1 never delivers
+        assert not check_termination(h).ok
+
+    def test_crashed_member_excused(self, config):
+        h = history(config, [(M1, 2, 0.0)], {0: [M1]}, crashed={1})
+        assert check_termination(h).ok
+
+    def test_crashed_sender_excused_unless_delivered(self, config):
+        # Sender crashed and nobody delivered: no obligation.
+        h = history(config, [(M1, 2, 0.0)], {}, crashed={2})
+        assert check_termination(h).ok
+        # But a single delivery anywhere obligates everyone correct.
+        h2 = history(config, [(M1, 2, 0.0)], {0: [M1]}, crashed={2})
+        assert not check_termination(h2).ok
+
+    def test_assert_all_raises(self, config):
+        h = history(config, [(M1, 2, 0.0)], {0: [M1, M1]})
+        with pytest.raises(PropertyViolation):
+            assert_all(h)
+
+
+class TestGenuineness:
+    def test_extract_mids_variants(self):
+        class WithM:
+            m = M1
+
+        class WithMid:
+            mid = (1, 2)
+
+        class WithMids:
+            def mids(self):
+                return [(3, 4), (5, 6)]
+
+        assert extract_mids(WithM()) == [M1.mid]
+        assert extract_mids(WithMid()) == [(1, 2)]
+        assert extract_mids(WithMids()) == [(3, 4), (5, 6)]
+        assert extract_mids(object()) == []
+
+    def test_flags_outsider(self, config):
+        mon = GenuinenessMonitor(config)
+        mon.on_multicast(0.0, 2, M3)  # M3 targets group {0} only
+
+        class Tagged:
+            m = M3
+
+        # group 1's process participates: not genuine.
+        mon.on_send(SendRecord(0.0, 0.1, 1, 0, Tagged()))
+        assert not mon.is_genuine
+        assert mon.check()
+
+    def test_accepts_destination_traffic(self, config):
+        mon = GenuinenessMonitor(config)
+        mon.on_multicast(0.0, 2, M1)
+
+        class Tagged:
+            m = M1
+
+        mon.on_send(SendRecord(0.0, 0.1, 0, 1, Tagged()))
+        mon.on_send(SendRecord(0.0, 0.1, 2, 0, Tagged()))  # sender allowed
+        assert mon.is_genuine
+
+    def test_untagged_messages_ignored(self, config):
+        mon = GenuinenessMonitor(config)
+        mon.on_multicast(0.0, 2, M1)
+        mon.on_send(SendRecord(0.0, 0.1, 1, 0, object()))
+        assert mon.is_genuine

@@ -1,0 +1,82 @@
+"""Cluster configuration: disjoint 2f+1 groups plus clients (Section II)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import ClusterConfig
+from repro.errors import ConfigError
+
+
+class TestBuild:
+    def test_dense_layout(self):
+        config = ClusterConfig.build(num_groups=3, group_size=3, num_clients=2)
+        assert config.groups == ((0, 1, 2), (3, 4, 5), (6, 7, 8))
+        assert config.clients == (9, 10)
+
+    def test_rejects_even_group_size(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig.build(num_groups=1, group_size=2)
+
+    def test_rejects_empty_cluster(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(groups=())
+
+    def test_rejects_overlapping_groups(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(groups=((0, 1, 2), (2, 3, 4)))
+
+    def test_rejects_client_in_group(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(groups=((0, 1, 2),), clients=(2,))
+
+    def test_rejects_even_membership_list(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(groups=((0, 1),))
+
+
+class TestQueries:
+    @pytest.fixture
+    def config(self):
+        return ClusterConfig.build(num_groups=2, group_size=5, num_clients=3)
+
+    def test_group_of(self, config):
+        assert config.group_of(0) == 0
+        assert config.group_of(7) == 1
+        with pytest.raises(ConfigError):
+            config.group_of(10)  # a client, not a member
+
+    def test_f_and_quorum(self, config):
+        assert config.f(0) == 2
+        assert config.quorum_size(0) == 3
+
+    def test_members_and_all(self, config):
+        assert config.members(1) == (5, 6, 7, 8, 9)
+        assert len(config.all_members) == 10
+        assert len(config.all_processes) == 13
+
+    def test_default_leaders(self, config):
+        assert config.default_leader(0) == 0
+        assert config.default_leader(1) == 5
+        assert config.default_leaders() == {0: 0, 1: 5}
+
+    def test_leaders_for_sorted_dedup(self, config):
+        assert config.leaders_for([1, 0, 1]) == [0, 5]
+
+    def test_is_member(self, config):
+        assert config.is_member(9)
+        assert not config.is_member(12)
+
+
+@given(
+    num_groups=st.integers(1, 6),
+    f=st.integers(0, 2),
+    num_clients=st.integers(0, 5),
+)
+def test_quorum_majority_property(num_groups, f, num_clients):
+    """f+1 is always a strict majority of 2f+1, and two quorums intersect."""
+    config = ClusterConfig.build(num_groups, 2 * f + 1, num_clients)
+    for gid in config.group_ids:
+        q = config.quorum_size(gid)
+        n = len(config.members(gid))
+        assert 2 * q > n
+        assert q + q - n >= 1  # any two quorums share a process

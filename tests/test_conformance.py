@@ -1,0 +1,104 @@
+"""Protocol conformance battery: one specification, five implementations.
+
+Every atomic multicast implementation in the library must satisfy the
+same observable contract.  This file runs an identical scenario battery
+against all of them — a cheap way to keep the baselines honest as the
+code evolves (a baseline that quietly stopped satisfying the spec would
+invalidate every comparison benchmark).
+"""
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.checking.total_order import verify_witness, witness_order
+from repro.config import ClusterConfig
+from repro.protocols import (
+    FastCastProcess,
+    FtSkeenProcess,
+    SequencerProcess,
+    SkeenProcess,
+    WbCastProcess,
+)
+from repro.sim import ConstantDelay, UniformDelay
+from repro.workload import FixedDestinations
+
+from tests.conftest import DELTA, checks_ok
+
+ALL_PROTOCOLS = [
+    pytest.param(SkeenProcess, 1, id="skeen"),
+    pytest.param(WbCastProcess, 3, id="wbcast"),
+    pytest.param(FtSkeenProcess, 3, id="ftskeen"),
+    pytest.param(FastCastProcess, 3, id="fastcast"),
+    pytest.param(SequencerProcess, 3, id="sequencer"),
+]
+
+
+@pytest.mark.parametrize("protocol_cls,group_size", ALL_PROTOCOLS)
+class TestConformance:
+    def test_basic_spec(self, protocol_cls, group_size):
+        res = run_workload(protocol_cls, num_groups=3, group_size=group_size,
+                           num_clients=2, messages_per_client=6, dest_k=2,
+                           seed=1, network=ConstantDelay(DELTA))
+        assert res.all_done
+        checks_ok(res)
+
+    def test_witness_order_exists_and_verifies(self, protocol_cls, group_size):
+        res = run_workload(protocol_cls, num_groups=3, group_size=group_size,
+                           num_clients=2, messages_per_client=6, dest_k=2,
+                           seed=2, network=ConstantDelay(DELTA))
+        h = res.history()
+        order = witness_order(h)
+        assert not verify_witness(h, order, quiescent=True)
+
+    def test_single_group_destinations(self, protocol_cls, group_size):
+        res = run_workload(protocol_cls, num_groups=3, group_size=group_size,
+                           num_clients=2, messages_per_client=6, dest_k=1,
+                           seed=3, network=ConstantDelay(DELTA))
+        assert res.all_done
+        checks_ok(res)
+
+    def test_all_groups_destination(self, protocol_cls, group_size):
+        res = run_workload(protocol_cls, num_groups=3, group_size=group_size,
+                           num_clients=2, messages_per_client=5, dest_k=3,
+                           seed=4, network=ConstantDelay(DELTA))
+        assert res.all_done
+        checks_ok(res)
+
+    def test_random_delays(self, protocol_cls, group_size):
+        res = run_workload(protocol_cls, num_groups=3, group_size=group_size,
+                           num_clients=3, messages_per_client=6, dest_k=2,
+                           seed=5, network=UniformDelay(0.0002, 0.003))
+        assert res.all_done
+        checks_ok(res)
+
+    def test_hot_spot_contention(self, protocol_cls, group_size):
+        """Every client hammers the same two groups: maximal conflict rate;
+        ordering agreement must hold at both groups."""
+        res = run_workload(
+            protocol_cls, num_groups=3, group_size=group_size,
+            num_clients=4, messages_per_client=8, seed=6,
+            network=UniformDelay(0.0002, 0.002),
+            chooser_factory=lambda config, i: FixedDestinations([0, 1]),
+        )
+        assert res.all_done
+        checks_ok(res)
+        # Both groups delivered all 32 messages in the same relative order.
+        orders = []
+        for gid in (0, 1):
+            pid = res.config.members(gid)[0]
+            orders.append([mid for mid in res.trace.delivery_order_at(pid)])
+        assert orders[0] == orders[1]
+
+    def test_latencies_are_bounded_by_worst_case(self, protocol_cls, group_size):
+        """No delivery should exceed the protocol's failure-free bound
+        (with a collision-free workload, even the CFL bound holds)."""
+        bounds = {
+            "SkeenProcess": 2, "WbCastProcess": 3, "FastCastProcess": 4,
+            "FtSkeenProcess": 6, "SequencerProcess": 6,
+        }
+        res = run_workload(protocol_cls, num_groups=3, group_size=group_size,
+                           num_clients=1, messages_per_client=6, dest_k=2,
+                           seed=7, network=ConstantDelay(DELTA))
+        bound = bounds[protocol_cls.__name__] * DELTA
+        for latency in res.latencies():
+            assert latency <= bound + 1e-12

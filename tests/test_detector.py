@@ -1,0 +1,90 @@
+"""Heartbeat failure detection and leader election stabilisation."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.failure.detector import HeartbeatMsg, LeaderMonitor, MonitorOptions, attach_monitor
+from repro.protocols import WbCastProcess
+from repro.protocols.wbcast import Status, WbCastOptions
+from repro.sim import ConstantDelay, Simulator
+
+from tests.conftest import DELTA, FAST_FD
+
+
+def build_group(fd_options=FAST_FD, group_size=3, seed=0):
+    config = ClusterConfig.build(1, group_size, 0)
+    sim = Simulator(ConstantDelay(DELTA), seed=seed)
+    procs = {}
+    for pid in config.members(0):
+        proc = sim.add_process(
+            pid, lambda rt, p=pid: WbCastProcess(p, config, rt, options=WbCastOptions())
+        )
+        attach_monitor(proc, fd_options)
+        procs[pid] = proc
+    return sim, config, procs
+
+
+class TestHeartbeats:
+    def test_stable_leader_sends_heartbeats_and_nobody_recovers(self):
+        sim, config, procs = build_group()
+        sim.run(until=0.5)
+        assert procs[0].status is Status.LEADER
+        assert procs[1].status is Status.FOLLOWER
+        assert procs[0].cballot.round == 0  # no elections happened
+        beats = sum(1 for r in sim.trace.sends if isinstance(r.msg, HeartbeatMsg))
+        assert beats > 0
+
+    def test_leader_crash_triggers_takeover(self):
+        sim, config, procs = build_group()
+        sim.crash_at(0, 0.1)
+        sim.run(until=1.0)
+        live_leaders = [p for pid, p in procs.items()
+                        if sim.alive(pid) and p.status is Status.LEADER]
+        assert len(live_leaders) == 1
+        assert live_leaders[0].pid in (1, 2)
+        # The other survivor follows the same ballot.
+        other = [p for pid, p in procs.items()
+                 if sim.alive(pid) and p.status is Status.FOLLOWER]
+        assert other and other[0].cballot == live_leaders[0].cballot
+
+    def test_stagger_prefers_next_in_ring(self):
+        """With rank staggering, the member right after the dead leader
+        usually stands first and wins."""
+        sim, config, procs = build_group()
+        sim.crash_at(0, 0.1)
+        sim.run(until=1.0)
+        live_leaders = [p for pid, p in procs.items()
+                        if sim.alive(pid) and p.status is Status.LEADER]
+        assert live_leaders[0].pid == 1
+
+    def test_double_crash_in_five_member_group(self):
+        sim, config, procs = build_group(group_size=5)
+        sim.crash_at(0, 0.1)
+        sim.crash_at(1, 0.3)
+        sim.run(until=2.0)
+        live_leaders = [p for pid, p in procs.items()
+                        if sim.alive(pid) and p.status is Status.LEADER]
+        assert len(live_leaders) == 1
+
+    def test_followers_stay_quiet_while_leader_alive(self):
+        sim, config, procs = build_group()
+        sim.run(until=1.0)
+        # No NEWLEADER traffic at all in a healthy group.
+        from repro.protocols.wbcast.messages import NewLeaderMsg
+
+        assert not any(isinstance(r.msg, NewLeaderMsg) for r in sim.trace.sends)
+
+
+class TestMonitorOptions:
+    def test_backoff_grows_timeout(self):
+        sim, config, procs = build_group(
+            fd_options=MonitorOptions(
+                heartbeat_interval=0.005, suspect_timeout=0.02,
+                stagger=0.01, backoff_factor=2.0, max_timeout=0.08,
+            )
+        )
+        sim.crash_at(0, 0.05)
+        sim.run(until=1.5)
+        live_leaders = [p for pid, p in procs.items()
+                        if sim.alive(pid) and p.status is Status.LEADER]
+        assert len(live_leaders) == 1

@@ -1,0 +1,98 @@
+"""FastCast baseline: speculative consensus pipelining (Coelho et al.)."""
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.protocols import FastCastProcess
+from repro.protocols.fastcast import ConfirmMsg, FastCastOptions, FcDeliverMsg
+from repro.protocols.skeen import ProposeMsg
+from repro.sim import ConstantDelay
+from repro.sim.faults import CrashSpec, FaultPlan
+from repro.workload import ClientOptions
+
+from tests.conftest import DELTA, FAST_FD, checks_ok
+
+
+class TestNormalOperation:
+    def test_end_to_end_properties(self):
+        res = run_workload(FastCastProcess, num_groups=3, group_size=3, num_clients=3,
+                           messages_per_client=10, dest_k=2, seed=1,
+                           network=ConstantDelay(DELTA))
+        assert res.all_done
+        checks_ok(res)
+
+    def test_genuine(self):
+        res = run_workload(FastCastProcess, num_groups=4, group_size=3, num_clients=2,
+                           messages_per_client=8, dest_k=2, seed=2,
+                           network=ConstantDelay(DELTA), attach_genuineness=True)
+        assert res.genuineness.is_genuine
+
+    def test_propose_is_speculative(self):
+        """The defining FastCast property: PROPOSE leaves the leader
+        immediately (1δ), before consensus #1 finishes."""
+        res = run_workload(FastCastProcess, num_groups=2, group_size=3, num_clients=1,
+                           messages_per_client=1, dest_k=2, seed=0,
+                           network=ConstantDelay(DELTA))
+        proposes = [r for r in res.trace.sends if isinstance(r.msg, ProposeMsg)]
+        assert proposes
+        assert min(r.t_send for r in proposes) == pytest.approx(DELTA)
+
+    def test_confirms_exchanged_after_consensus1(self):
+        res = run_workload(FastCastProcess, num_groups=2, group_size=3, num_clients=1,
+                           messages_per_client=1, dest_k=2, seed=0,
+                           network=ConstantDelay(DELTA))
+        confirms = [r for r in res.trace.sends if isinstance(r.msg, ConfirmMsg)]
+        assert confirms
+        # Consensus #1 executes at 3δ; confirms go out then.
+        assert min(r.t_send for r in confirms) == pytest.approx(3 * DELTA)
+
+    def test_delivery_times_4_and_5_delta(self):
+        res = run_workload(FastCastProcess, num_groups=2, group_size=3, num_clients=1,
+                           messages_per_client=1, dest_k=2, seed=0,
+                           network=ConstantDelay(DELTA))
+        times = {d.pid: d.t for d in res.trace.deliveries}
+        assert times[0] == pytest.approx(4 * DELTA)
+        assert times[1] == pytest.approx(5 * DELTA)
+
+    def test_deliver_messages_carry_unique_gts(self):
+        res = run_workload(FastCastProcess, num_groups=3, group_size=3, num_clients=3,
+                           messages_per_client=8, dest_k=2, seed=5,
+                           network=ConstantDelay(DELTA))
+        owner = {}
+        for r in res.trace.sends:
+            if isinstance(r.msg, FcDeliverMsg):
+                assert owner.setdefault(r.msg.gts, r.msg.m.mid) == r.msg.m.mid
+                assert owner.setdefault(r.msg.m.mid, r.msg.gts) == r.msg.gts
+
+
+class TestFailover:
+    def test_leader_crash_completes_with_retries(self):
+        res = run_workload(
+            FastCastProcess, num_groups=2, group_size=3, num_clients=2,
+            messages_per_client=10, dest_k=2, seed=4,
+            network=ConstantDelay(DELTA),
+            protocol_options=FastCastOptions(retry_interval=0.05),
+            client_options=ClientOptions(num_messages=10, retry_timeout=0.08),
+            fault_plan=FaultPlan(crashes=[CrashSpec(0, 0.0117)]),
+            attach_fd=True, fd_options=FAST_FD, drain_grace=0.3, max_time=10.0,
+        )
+        assert res.all_done
+        checks_ok(res)
+
+    def test_crash_mid_speculation(self):
+        """Crash the leader between sending its speculative PROPOSE and
+        consensus #1 finishing: the tentative timestamp dies with it and
+        retries reassign a fresh one without breaking agreement."""
+        res = run_workload(
+            FastCastProcess, num_groups=2, group_size=3, num_clients=2,
+            messages_per_client=8, dest_k=2, seed=6,
+            network=ConstantDelay(DELTA),
+            protocol_options=FastCastOptions(retry_interval=0.05),
+            client_options=ClientOptions(num_messages=8, retry_timeout=0.08),
+            # 1.5δ after start: MULTICASTs arrived at 1δ, consensus #1
+            # completes at 3δ — the crash lands mid-speculation.
+            fault_plan=FaultPlan(crashes=[CrashSpec(0, 1.5 * DELTA)]),
+            attach_fd=True, fd_options=FAST_FD, drain_grace=0.3, max_time=10.0,
+        )
+        assert res.all_done
+        checks_ok(res)

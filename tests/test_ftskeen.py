@@ -1,0 +1,101 @@
+"""FT-Skeen baseline: black-box consensus version of Skeen's protocol."""
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.config import ClusterConfig
+from repro.protocols import FtSkeenProcess
+from repro.protocols.ftskeen import CmdGlobal, CmdLocal, FtSkeenOptions
+from repro.paxos.messages import PaxosAccept
+from repro.protocols.skeen import ProposeMsg
+from repro.sim import ConstantDelay
+from repro.sim.faults import CrashSpec, FaultPlan
+from repro.types import Timestamp, make_message
+from repro.workload import ClientOptions
+
+from tests.conftest import DELTA, FAST_FD, checks_ok
+
+
+class TestNormalOperation:
+    def test_end_to_end_properties(self):
+        res = run_workload(FtSkeenProcess, num_groups=3, group_size=3, num_clients=3,
+                           messages_per_client=10, dest_k=2, seed=1,
+                           network=ConstantDelay(DELTA))
+        assert res.all_done
+        checks_ok(res)
+
+    def test_genuine(self):
+        res = run_workload(FtSkeenProcess, num_groups=4, group_size=3, num_clients=2,
+                           messages_per_client=8, dest_k=2, seed=2,
+                           network=ConstantDelay(DELTA), attach_genuineness=True)
+        assert res.genuineness.is_genuine
+
+    def test_propose_sent_only_after_consensus(self):
+        """The defining black-box property: PROPOSE leaves a group only
+        once consensus #1 persisted the local timestamp (at 3δ, not 1δ)."""
+        res = run_workload(FtSkeenProcess, num_groups=2, group_size=3, num_clients=1,
+                           messages_per_client=1, dest_k=2, seed=0,
+                           network=ConstantDelay(DELTA))
+        proposes = [r for r in res.trace.sends if isinstance(r.msg, ProposeMsg)]
+        assert proposes
+        assert min(r.t_send for r in proposes) >= 3 * DELTA - 1e-12
+
+    def test_both_actions_go_through_the_log(self):
+        res = run_workload(FtSkeenProcess, num_groups=2, group_size=3, num_clients=1,
+                           messages_per_client=3, dest_k=2, seed=0,
+                           network=ConstantDelay(DELTA))
+        cmds = [r.msg.value for r in res.trace.sends if isinstance(r.msg, PaxosAccept)]
+        locals_ = [c for c in cmds if isinstance(c, CmdLocal)]
+        globals_ = [c for c in cmds if isinstance(c, CmdGlobal)]
+        assert len(locals_) >= 3 and len(globals_) >= 3
+
+    def test_followers_deliver_behind_leader(self):
+        res = run_workload(FtSkeenProcess, num_groups=2, group_size=3, num_clients=1,
+                           messages_per_client=1, dest_k=2, seed=0,
+                           network=ConstantDelay(DELTA))
+        times = {d.pid: d.t for d in res.trace.deliveries}
+        assert times[0] == pytest.approx(6 * DELTA)
+        assert times[1] == pytest.approx(7 * DELTA)
+
+    def test_single_destination_group(self):
+        res = run_workload(FtSkeenProcess, num_groups=3, group_size=3, num_clients=2,
+                           messages_per_client=6, dest_k=1, seed=3,
+                           network=ConstantDelay(DELTA))
+        assert res.all_done
+        checks_ok(res)
+
+
+class TestFailover:
+    def test_leader_crash_completes_with_retries(self):
+        res = run_workload(
+            FtSkeenProcess, num_groups=2, group_size=3, num_clients=2,
+            messages_per_client=10, dest_k=2, seed=4,
+            network=ConstantDelay(DELTA),
+            protocol_options=FtSkeenOptions(retry_interval=0.05),
+            client_options=ClientOptions(num_messages=10, retry_timeout=0.08),
+            fault_plan=FaultPlan(crashes=[CrashSpec(0, 0.0117)]),
+            attach_fd=True, fd_options=FAST_FD, drain_grace=0.3, max_time=10.0,
+        )
+        assert res.all_done
+        checks_ok(res)
+
+    def test_persisted_timestamp_reused_after_failover(self):
+        """A local timestamp chosen by consensus #1 must survive the leader
+        change verbatim (otherwise groups could disagree on gts)."""
+        res = run_workload(
+            FtSkeenProcess, num_groups=2, group_size=3, num_clients=2,
+            messages_per_client=6, dest_k=2, seed=8,
+            network=ConstantDelay(DELTA),
+            protocol_options=FtSkeenOptions(retry_interval=0.05),
+            client_options=ClientOptions(num_messages=6, retry_timeout=0.08),
+            fault_plan=FaultPlan(crashes=[CrashSpec(0, 0.009)]),
+            attach_fd=True, fd_options=FAST_FD, drain_grace=0.3, max_time=10.0,
+        )
+        assert res.all_done
+        checks_ok(res)
+        # Per (message, group), every PROPOSE ever sent carries one lts.
+        seen = {}
+        for r in res.trace.sends:
+            if isinstance(r.msg, ProposeMsg):
+                key = (r.msg.m.mid, r.msg.gid)
+                assert seen.setdefault(key, r.msg.lts) == r.msg.lts

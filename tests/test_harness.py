@@ -1,0 +1,128 @@
+"""The run_workload harness and benchmark support modules."""
+
+import math
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.bench.metrics import LatencySummary, in_delta_units, percentile, summarize_latencies
+from repro.bench.report import render_table
+from repro.bench.topologies import LAN_ONE_WAY, lan_testbed, wan_testbed
+from repro.config import ClusterConfig
+from repro.protocols import SkeenProcess, WbCastProcess
+from repro.sim import ConstantDelay, UniformCpu
+
+from tests.conftest import DELTA, checks_ok
+
+
+class TestRunWorkload:
+    def test_returns_complete_result(self):
+        res = run_workload(WbCastProcess, num_groups=2, group_size=3, num_clients=2,
+                           messages_per_client=4, dest_k=2, seed=0,
+                           network=ConstantDelay(DELTA))
+        assert res.all_done
+        assert res.completed == res.expected == 8
+        assert len(res.latencies()) == 8
+        assert res.throughput() > 0
+        assert len(res.members) == 6
+        assert len(res.clients) == 2
+
+    def test_history_round_trip(self):
+        res = run_workload(WbCastProcess, num_groups=2, group_size=3, num_clients=1,
+                           messages_per_client=3, dest_k=1, seed=1,
+                           network=ConstantDelay(DELTA))
+        history = res.history()
+        assert len(history.multicasts) == 3
+        assert set(history.deliveries) <= set(res.config.all_members)
+
+    def test_record_sends_off_keeps_counters(self):
+        res = run_workload(WbCastProcess, num_groups=2, group_size=3, num_clients=1,
+                           messages_per_client=3, dest_k=2, seed=1,
+                           network=ConstantDelay(DELTA), record_sends=False)
+        assert res.trace.sends == []
+        assert res.trace.send_count > 0
+
+    def test_cpu_model_increases_latency(self):
+        base = run_workload(WbCastProcess, num_groups=2, group_size=3, num_clients=4,
+                            messages_per_client=5, dest_k=2, seed=2,
+                            network=ConstantDelay(DELTA))
+        loaded = run_workload(WbCastProcess, num_groups=2, group_size=3, num_clients=4,
+                              messages_per_client=5, dest_k=2, seed=2,
+                              network=ConstantDelay(DELTA),
+                              cpu=UniformCpu(0.0005))
+        assert sum(loaded.latencies()) > sum(base.latencies())
+
+    def test_same_seed_reproducible(self):
+        a = run_workload(SkeenProcess, num_groups=3, group_size=1, num_clients=2,
+                         messages_per_client=5, dest_k=2, seed=7)
+        b = run_workload(SkeenProcess, num_groups=3, group_size=1, num_clients=2,
+                         messages_per_client=5, dest_k=2, seed=7)
+        assert a.latencies() == b.latencies()
+        assert [r.m.mid for r in a.trace.deliveries] == [r.m.mid for r in b.trace.deliveries]
+
+
+class TestMetrics:
+    def test_percentiles(self):
+        values = sorted(float(i) for i in range(1, 101))
+        assert percentile(values, 0.50) == 50.0
+        assert percentile(values, 0.95) == 95.0
+        assert percentile(values, 0.99) == 99.0
+
+    def test_summary(self):
+        summary = summarize_latencies([3.0, 1.0, 2.0])
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.max == 3.0
+
+    def test_empty_summary_is_none(self):
+        assert summarize_latencies([]) is None
+
+    def test_scaled(self):
+        summary = summarize_latencies([2.0]).scaled(0.5)
+        assert summary.mean == 1.0 and summary.count == 1
+
+    def test_delta_units(self):
+        assert in_delta_units(0.004, 0.001) == pytest.approx(4.0)
+        assert math.isnan(in_delta_units(1.0, 0.0))
+
+
+class TestTopologies:
+    def test_lan_uniform(self):
+        config = ClusterConfig.build(2, 3, 1)
+        topo = lan_testbed(config)
+        import random
+
+        assert topo.delay(0, 5, 20, 0.0, random.Random(0)) == pytest.approx(LAN_ONE_WAY)
+
+    def test_wan_places_replicas_across_sites(self):
+        config = ClusterConfig.build(2, 3, 2)
+        topo = wan_testbed(config)
+        # Member i of each group sits in DC i; leaders share DC 0.
+        assert topo.site_of(0) == 0 and topo.site_of(3) == 0
+        assert topo.site_of(1) == 1 and topo.site_of(4) == 1
+        assert topo.site_of(2) == 2
+        # Clients co-located with leaders in DC 0.
+        assert topo.site_of(6) == 0 and topo.site_of(7) == 0
+
+    def test_wan_leader_quorum_costs_nearest_rtt(self):
+        import random
+
+        config = ClusterConfig.build(1, 3, 0)
+        topo = wan_testbed(config)
+        rng = random.Random(0)
+        assert topo.delay(0, 1, 20, 0.0, rng) == pytest.approx(0.030)
+        assert topo.delay(0, 2, 20, 0.0, rng) == pytest.approx(0.065)
+
+
+class TestReport:
+    def test_render_alignment_and_formats(self):
+        table = render_table(
+            ["name", "value"],
+            [("a", 1.5), ("bbbb", 12345.0)],
+            title="T",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "12,345" in table
+        assert "1.50" in table

@@ -1,0 +1,124 @@
+"""The paper's §IV "Message recovery" scenarios, end to end.
+
+Two ways a message's processing can stall without any group losing
+quorum, and the two mechanisms that unstick it:
+
+* the *multicaster* crashes between sending MULTICAST(m) to different
+  leaders, so one group starts processing m and another never heard of
+  it — the receiving leader's retry (``retry(m)``, Fig. 4 lines 32-34)
+  re-multicasts to everyone;
+* a group's leader crashes holding an ACCEPTED message — the new leader
+  resumes it after recovery with the same mechanism.
+"""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.protocols import WbCastProcess
+from repro.protocols.base import MulticastMsg
+from repro.protocols.wbcast import Phase, Status, WbCastOptions
+from repro.sim import ConstantDelay, Simulator, Trace
+from repro.types import make_message
+from repro.workload import DeliveryTracker
+
+from tests.conftest import DELTA
+from tests.test_wbcast_normal import build
+
+
+def build_with_retry(config, retry_interval=0.03):
+    trace = Trace()
+    sim = Simulator(ConstantDelay(DELTA), seed=0, trace=trace)
+    tracker = DeliveryTracker(config, sim=sim)
+    trace.attach(tracker)
+    options = WbCastOptions(retry_interval=retry_interval)
+    procs = {
+        pid: sim.add_process(
+            pid, lambda rt, p=pid: WbCastProcess(p, config, rt, options=options)
+        )
+        for pid in config.all_members
+    }
+    client = config.clients[0]
+    sim.add_process(client, lambda rt: type("C", (), {"on_message": staticmethod(lambda *a: None)})())
+    return sim, trace, tracker, procs, client
+
+
+class TestClientCrashMidMulticast:
+    def test_partial_multicast_completes_via_leader_retry(self):
+        """The client reaches only group 0's leader, then dies.  Group 0's
+        leader holds m in PROPOSED; its periodic retry re-multicasts to
+        group 1 and the message completes everywhere."""
+        config = ClusterConfig.build(2, 3, 1)
+        sim, trace, tracker, procs, client = build_with_retry(config)
+        m = make_message(client, 0, {0, 1})
+        sim.record_multicast(client, m)
+        sim.schedule(0.0, lambda: sim.transmit(client, 0, MulticastMsg(m)))
+        sim.crash_at(client, 0.0005)  # dead before it could reach group 1
+        sim.run(until=0.2)
+        assert len(trace.deliveries_of(m.mid)) == 6
+        assert procs[3].records[m.mid].phase is Phase.COMMITTED
+
+    def test_without_retry_the_message_stalls(self):
+        """Control: with retries disabled, the same scenario never
+        completes — showing the retry really is the liveness mechanism."""
+        config = ClusterConfig.build(2, 3, 1)
+        sim, trace, tracker, procs, client = build(config)  # no retry timer
+        m = make_message(client, 0, {0, 1})
+        sim.record_multicast(client, m)
+        sim.schedule(0.0, lambda: sim.transmit(client, 0, MulticastMsg(m)))
+        sim.crash_at(client, 0.0005)
+        sim.run(until=0.2)
+        assert trace.deliveries_of(m.mid) == []
+        assert procs[0].records[m.mid].phase is Phase.PROPOSED
+
+    def test_retry_is_idempotent_when_all_groups_already_know(self):
+        config = ClusterConfig.build(2, 3, 1)
+        sim, trace, tracker, procs, client = build_with_retry(config, retry_interval=0.01)
+        m = make_message(client, 0, {0, 1})
+        sim.record_multicast(client, m)
+        for leader in (0, 3):
+            sim.schedule(0.0, lambda l=leader: sim.transmit(client, l, MulticastMsg(m)))
+        sim.run(until=0.3)
+        per_pid = {}
+        for d in trace.deliveries:
+            per_pid[d.pid] = per_pid.get(d.pid, 0) + 1
+        assert all(v == 1 for v in per_pid.values())
+
+
+class TestAcceptedMessageAfterLeaderChange:
+    def test_new_leader_resumes_accepted_message(self):
+        """m is ACCEPTED at group 0's followers when the leader dies; the
+        new leader recovers it as ACCEPTED and its retry completes it."""
+        config = ClusterConfig.build(2, 3, 1)
+        sim, trace, tracker, procs, client = build_with_retry(config)
+        m = make_message(client, 0, {0, 1})
+        sim.record_multicast(client, m)
+        for leader in (0, 3):
+            sim.schedule(0.0, lambda l=leader: sim.transmit(client, l, MulticastMsg(m)))
+        # Crash g0's leader at 2.5δ: followers accepted, commit never
+        # happened at it (acks land at 3δ).
+        sim.crash_at(0, 2.5 * DELTA)
+        sim.schedule(0.02, lambda: procs[1].recover())
+        sim.run(until=0.5)
+        assert procs[1].status is Status.LEADER
+        assert procs[1].records[m.mid].phase is Phase.COMMITTED
+        # Everyone alive delivered exactly once.
+        delivered_pids = [d.pid for d in trace.deliveries_of(m.mid)]
+        assert sorted(delivered_pids) == [1, 2, 3, 4, 5]
+
+    def test_committed_elsewhere_is_never_double_delivered(self):
+        """Group 1 commits and delivers m before group 0's leader change;
+        after recovery g0 completes m without re-delivering at g1."""
+        config = ClusterConfig.build(2, 3, 1)
+        sim, trace, tracker, procs, client = build_with_retry(config)
+        m = make_message(client, 0, {0, 1})
+        sim.record_multicast(client, m)
+        for leader in (0, 3):
+            sim.schedule(0.0, lambda l=leader: sim.transmit(client, l, MulticastMsg(m)))
+        sim.crash_at(0, 3.5 * DELTA)  # after commit+DELIVER left the leader
+        sim.schedule(0.02, lambda: procs[1].recover())
+        sim.run(until=0.5)
+        per_pid = {}
+        for d in trace.deliveries_of(m.mid):
+            per_pid[d.pid] = per_pid.get(d.pid, 0) + 1
+        assert all(v == 1 for v in per_pid.values())
+        assert set(per_pid) >= {3, 4, 5}  # group 1 fully delivered

@@ -1,0 +1,146 @@
+"""The asyncio TCP runtime: the same protocols over real localhost sockets."""
+
+import asyncio
+import pickle
+
+import pytest
+
+from repro.checking import check_all
+from repro.config import ClusterConfig
+from repro.failure.detector import MonitorOptions
+from repro.net import LocalCluster, decode_frame, encode_frame
+from repro.protocols import FtSkeenProcess, WbCastProcess
+from repro.protocols.wbcast import Status, WbCastOptions
+from repro.types import Ballot, Timestamp, make_message
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestCodec:
+    def test_round_trip(self):
+        msg = make_message(1, 2, {0, 1}, payload={"k": [1, 2, 3]})
+        frame = encode_frame(7, msg)
+        sender, decoded = decode_frame(frame[4:])
+        assert sender == 7 and decoded == msg
+
+    def test_protocol_messages_pickle(self):
+        from repro.protocols.wbcast.messages import AcceptMsg, DeliverMsg
+
+        m = make_message(0, 0, {0})
+        for msg in (
+            AcceptMsg(m, 0, Ballot(1, 2), Timestamp(3, 0)),
+            DeliverMsg(m, Ballot(1, 2), Timestamp(3, 0), Timestamp(4, 1)),
+        ):
+            assert pickle.loads(pickle.dumps(msg)) == msg
+
+    def test_oversized_frame_rejected(self):
+        from repro.net.codec import MAX_FRAME
+
+        with pytest.raises(ValueError):
+            encode_frame(0, b"x" * (MAX_FRAME + 1))
+
+
+class TestTcpWbCast:
+    def test_multicast_delivers_everywhere(self):
+        async def scenario():
+            config = ClusterConfig.build(2, 3, 1)
+            cluster = LocalCluster(config, WbCastProcess)
+            await cluster.start()
+            try:
+                m = cluster.multicast({0, 1}, payload="hello")
+                assert await cluster.wait_quiescent(6, timeout=5.0)
+                history = cluster.history()
+                failed = [c.describe() for c in check_all(history) if not c.ok]
+                assert not failed, failed
+                payloads = {mm.payload for _, mm, _ in cluster.deliveries}
+                assert payloads == {"hello"}
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_many_messages_total_order(self):
+        async def scenario():
+            config = ClusterConfig.build(3, 3, 1)
+            cluster = LocalCluster(config, WbCastProcess)
+            await cluster.start()
+            try:
+                mids = []
+                for i in range(20):
+                    m = cluster.multicast({i % 3, (i + 1) % 3})
+                    mids.append(m.mid)
+                for mid in mids:
+                    assert await cluster.wait_partial(mid, timeout=5.0)
+                # Let follower DELIVERs land, then check everything.
+                await asyncio.sleep(0.2)
+                history = cluster.history()
+                failed = [c.describe() for c in check_all(history) if not c.ok]
+                assert not failed, failed
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_leader_crash_failover_over_tcp(self):
+        async def scenario():
+            config = ClusterConfig.build(2, 3, 1)
+            fd = MonitorOptions(
+                heartbeat_interval=0.03, suspect_timeout=0.12, stagger=0.06
+            )
+            cluster = LocalCluster(
+                config,
+                WbCastProcess,
+                options=WbCastOptions(retry_interval=0.2),
+                attach_fd=True,
+                fd_options=fd,
+            )
+            await cluster.start()
+            try:
+                m1 = cluster.multicast({0, 1})
+                assert await cluster.wait_partial(m1.mid, timeout=5.0)
+                await cluster.kill(0)  # leader of group 0
+                await asyncio.sleep(0.6)  # let the detector elect a new one
+                m2 = cluster.multicast({0, 1})
+                done = await cluster.wait_partial(m2.mid, timeout=5.0)
+                if not done:
+                    cluster.resend(m2)
+                    done = await cluster.wait_partial(m2.mid, timeout=5.0)
+                assert done
+                survivors = [
+                    p for pid, p in cluster.processes.items()
+                    if pid not in cluster.killed and p.gid == 0
+                ]
+                assert any(p.status is Status.LEADER for p in survivors)
+                history = cluster.history()
+                failed = [
+                    c.describe()
+                    for c in check_all(history, quiescent=False)
+                    if not c.ok
+                ]
+                assert not failed, failed
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+
+class TestTcpBaseline:
+    def test_ftskeen_over_tcp(self):
+        async def scenario():
+            config = ClusterConfig.build(2, 3, 1)
+            cluster = LocalCluster(config, FtSkeenProcess)
+            await cluster.start()
+            try:
+                mids = [cluster.multicast({0, 1}).mid for _ in range(5)]
+                for mid in mids:
+                    assert await cluster.wait_partial(mid, timeout=5.0)
+                await asyncio.sleep(0.2)
+                history = cluster.history()
+                failed = [c.describe() for c in check_all(history) if not c.ok]
+                assert not failed, failed
+            finally:
+                await cluster.stop()
+
+        run(scenario())

@@ -1,0 +1,200 @@
+"""TCP transport unit behaviour: framing, FIFO, reconnect, loopback."""
+
+import asyncio
+
+import pytest
+
+from repro.net.codec import encode_frame, read_frame
+from repro.net.transport import NodeTransport
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def start_pair():
+    received = {1: [], 2: []}
+    addresses = {}
+    t1 = NodeTransport(1, addresses.__getitem__, lambda s, m: received[1].append((s, m)))
+    t2 = NodeTransport(2, addresses.__getitem__, lambda s, m: received[2].append((s, m)))
+    await t1.start()
+    await t2.start()
+    addresses[1] = (t1.host, t1.port)
+    addresses[2] = (t2.host, t2.port)
+    return t1, t2, received
+
+
+async def drain(received, key, count, timeout=3.0):
+    deadline = asyncio.get_event_loop().time() + timeout
+    while len(received[key]) < count:
+        if asyncio.get_event_loop().time() > deadline:
+            raise TimeoutError(f"only {len(received[key])}/{count} received")
+        await asyncio.sleep(0.005)
+
+
+class TestTransport:
+    def test_send_and_receive(self):
+        async def scenario():
+            t1, t2, received = await start_pair()
+            try:
+                t1.send(2, {"hello": "world"})
+                await drain(received, 2, 1)
+                assert received[2] == [(1, {"hello": "world"})]
+            finally:
+                await t1.close()
+                await t2.close()
+
+        run(scenario())
+
+    def test_fifo_order_preserved(self):
+        async def scenario():
+            t1, t2, received = await start_pair()
+            try:
+                for i in range(200):
+                    t1.send(2, i)
+                await drain(received, 2, 200)
+                assert [m for _, m in received[2]] == list(range(200))
+            finally:
+                await t1.close()
+                await t2.close()
+
+        run(scenario())
+
+    def test_bidirectional(self):
+        async def scenario():
+            t1, t2, received = await start_pair()
+            try:
+                t1.send(2, "ping")
+                t2.send(1, "pong")
+                await drain(received, 2, 1)
+                await drain(received, 1, 1)
+                assert received[1] == [(2, "pong")]
+            finally:
+                await t1.close()
+                await t2.close()
+
+        run(scenario())
+
+    def test_loopback_is_local(self):
+        async def scenario():
+            t1, t2, received = await start_pair()
+            try:
+                t1.send(1, "self")
+                await drain(received, 1, 1)
+                assert received[1] == [(1, "self")]
+            finally:
+                await t1.close()
+                await t2.close()
+
+        run(scenario())
+
+    def test_send_before_peer_listens_retries(self):
+        """Messages queued to a not-yet-started peer arrive once it is up."""
+
+        async def scenario():
+            received = {3: []}
+            addresses = {}
+            t1 = NodeTransport(1, lambda pid: addresses[pid], lambda s, m: None,
+                               connect_retry=0.02)
+            await t1.start()
+            addresses[1] = (t1.host, t1.port)
+            # Reserve an address for pid 3 that nothing listens on yet.
+            probe = NodeTransport(3, lambda pid: addresses[pid],
+                                  lambda s, m: received[3].append((s, m)))
+            await probe.start()
+            addresses[3] = (probe.host, probe.port)
+            await probe.close()  # now the port is dead
+            t1.send(3, "early")
+            await asyncio.sleep(0.1)
+            # Bring pid 3 back on the same port.
+            revived = NodeTransport(3, lambda pid: addresses[pid],
+                                    lambda s, m: received[3].append((s, m)))
+            await revived.start(port=addresses[3][1])
+            try:
+                await drain(received, 3, 1)
+                assert received[3] == [(1, "early")]
+            finally:
+                await t1.close()
+                await revived.close()
+
+        run(scenario())
+
+    def test_closed_transport_drops_sends(self):
+        async def scenario():
+            t1, t2, received = await start_pair()
+            await t1.close()
+            t1.send(2, "ghost")  # no exception, silently dropped
+            await asyncio.sleep(0.05)
+            await t2.close()
+            assert received[2] == []
+
+        run(scenario())
+
+    def test_handler_exception_does_not_kill_reader(self):
+        async def scenario():
+            calls = []
+
+            def flaky(sender, msg):
+                calls.append(msg)
+                if msg == "bad":
+                    raise RuntimeError("boom")
+
+            addresses = {}
+            t1 = NodeTransport(1, addresses.__getitem__, lambda s, m: None)
+            t2 = NodeTransport(2, addresses.__getitem__, flaky)
+            await t1.start()
+            await t2.start()
+            addresses[1] = (t1.host, t1.port)
+            addresses[2] = (t2.host, t2.port)
+            try:
+                t1.send(2, "bad")
+                t1.send(2, "good")
+                deadline = asyncio.get_event_loop().time() + 3
+                while len(calls) < 2 and asyncio.get_event_loop().time() < deadline:
+                    await asyncio.sleep(0.005)
+                assert calls == ["bad", "good"]
+            finally:
+                await t1.close()
+                await t2.close()
+
+        run(scenario())
+
+
+class TestFraming:
+    def test_read_frame_round_trip(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            frame = encode_frame(9, ["x", 1])
+            reader.feed_data(frame)
+            reader.feed_eof()
+            sender, msg = await read_frame(reader)
+            assert sender == 9 and msg == ["x", 1]
+
+        run(scenario())
+
+    def test_partial_frame_waits(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            frame = encode_frame(1, "payload")
+            reader.feed_data(frame[:3])
+
+            async def feed_rest():
+                await asyncio.sleep(0.02)
+                reader.feed_data(frame[3:])
+
+            feeder = asyncio.ensure_future(feed_rest())
+            sender, msg = await read_frame(reader)
+            await feeder
+            assert msg == "payload"
+
+        run(scenario())
+
+    def test_eof_mid_frame_raises(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame(1, "x")[:5])
+            reader.feed_eof()
+            with pytest.raises(asyncio.IncompleteReadError):
+                await read_frame(reader)
+
+        run(scenario())

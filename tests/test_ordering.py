@@ -1,0 +1,101 @@
+"""The timestamp-ordered delivery queue shared by all Skeen-family protocols."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.protocols.ordering import DeliveryQueue
+from repro.types import Timestamp, make_message
+
+
+def ts(t, g=0):
+    return Timestamp(t, g)
+
+
+def msg(i):
+    return make_message(0, i, {0})
+
+
+class TestDeliveryQueue:
+    def test_commit_then_deliver_in_gts_order(self):
+        q = DeliveryQueue()
+        q.commit(msg(2), ts(5))
+        q.commit(msg(1), ts(3))
+        out = [m.mid for m, _ in q.pop_deliverable()]
+        assert out == [(0, 1), (0, 2)]
+
+    def test_pending_blocks_higher_committed(self):
+        q = DeliveryQueue()
+        q.set_pending((0, 9), ts(2))
+        q.commit(msg(1), ts(4))  # gts 4 > pending lts 2: blocked
+        assert list(q.pop_deliverable()) == []
+        q.clear_pending((0, 9))
+        assert [m.mid for m, _ in q.pop_deliverable()] == [(0, 1)]
+
+    def test_pending_does_not_block_lower_committed(self):
+        q = DeliveryQueue()
+        q.set_pending((0, 9), ts(10))
+        q.commit(msg(1), ts(4))
+        assert [m.mid for m, _ in q.pop_deliverable()] == [(0, 1)]
+
+    def test_commit_clears_own_pending(self):
+        q = DeliveryQueue()
+        q.set_pending((0, 1), ts(4))
+        q.commit(msg(1), ts(4))
+        assert [m.mid for m, _ in q.pop_deliverable()] == [(0, 1)]
+
+    def test_unblocking_mid_iteration(self):
+        """Delivering the blocker releases messages behind it in one pass."""
+        q = DeliveryQueue()
+        q.set_pending((0, 1), ts(1))
+        q.commit(msg(2), ts(2))
+        q.commit(msg(3), ts(3))
+        assert list(q.pop_deliverable()) == []
+        q.commit(msg(1), ts(1))  # blocker commits with the lowest gts
+        out = [m.mid for m, _ in q.pop_deliverable()]
+        assert out == [(0, 1), (0, 2), (0, 3)]
+
+    def test_duplicate_commit_ignored(self):
+        q = DeliveryQueue()
+        q.commit(msg(1), ts(1))
+        q.commit(msg(1), ts(9))  # same mid again: ignored
+        out = list(q.pop_deliverable())
+        assert len(out) == 1 and out[0][1] == ts(1)
+
+    def test_is_committed_and_counts(self):
+        q = DeliveryQueue()
+        q.set_pending((0, 5), ts(9))
+        q.commit(msg(1), ts(1))
+        assert q.is_committed((0, 1))
+        assert not q.is_committed((0, 5))
+        assert q.pending_count == 1 and q.committed_count == 1
+
+    def test_peek_blocked(self):
+        q = DeliveryQueue()
+        q.set_pending((0, 9), ts(1))
+        q.commit(msg(1), ts(5))
+        assert q.peek_blocked() == [(0, 1)]
+
+
+@given(st.lists(st.integers(1, 100), min_size=1, max_size=40, unique=True),
+       st.integers(0, 2**30))
+@settings(max_examples=50, deadline=None)
+def test_random_interleavings_deliver_in_timestamp_order(times, seed):
+    """Whatever the interleaving of pending/commit ops, every message is
+    delivered exactly once and deliveries are globally in gts order."""
+    rng = random.Random(seed)
+    q = DeliveryQueue()
+    mids = {t: make_message(0, t, {0}) for t in times}
+    pendings = list(times)
+    rng.shuffle(pendings)
+    delivered = []
+    to_commit = list(times)
+    rng.shuffle(to_commit)
+    for t in pendings:
+        q.set_pending((0, t), ts(t))
+    for t in to_commit:
+        q.commit(mids[t], ts(t))
+        delivered.extend(g.time for _, g in q.pop_deliverable())
+    delivered.extend(g.time for _, g in q.pop_deliverable())
+    assert sorted(delivered) == sorted(times)
+    assert delivered == sorted(delivered)

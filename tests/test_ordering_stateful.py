@@ -1,0 +1,140 @@
+"""Model-based (stateful) testing of the delivery queue.
+
+Hypothesis drives random sequences of set_pending / clear_pending /
+commit / pop operations against :class:`DeliveryQueue` and cross-checks
+every observable against a brutally simple reference model.  This is the
+strongest guarantee we have that the component every protocol's ordering
+correctness rests on behaves exactly like its specification.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.protocols.ordering import DeliveryQueue
+from repro.types import Timestamp, make_message
+
+
+class QueueModel:
+    """The specification, executable: dictionaries and a sort.
+
+    Contract notes (matching the real component): a commit of a mid that
+    is *currently* committed is ignored, but a commit after the mid was
+    popped re-queues it — that is deliberate, recovery re-delivers
+    committed messages and receivers deduplicate.
+    """
+
+    def __init__(self):
+        self.pending = {}          # mid -> lts
+        self.committed = {}        # mid -> gts (not yet delivered)
+        self.delivered = []        # appended on pop
+
+    def set_pending(self, mid, lts):
+        self.pending[mid] = lts
+
+    def clear_pending(self, mid):
+        self.pending.pop(mid, None)
+
+    def commit(self, mid, gts):
+        if mid in self.committed:
+            return
+        self.pending.pop(mid, None)
+        self.committed[mid] = gts
+
+    def pop_deliverable(self):
+        out = []
+        while self.committed:
+            gts, mid = min((g, m) for m, g in self.committed.items())
+            floor = min(self.pending.values(), default=None)
+            if floor is not None and not gts < floor:
+                break
+            del self.committed[mid]
+            self.delivered.append((mid, gts))
+            out.append(mid)
+        return out
+
+
+class DeliveryQueueMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.queue = DeliveryQueue()
+        self.model = QueueModel()
+        self.next_id = 0
+        self.used_ts = set()
+
+    mids = Bundle("mids")
+
+    @rule(target=mids, t=st.integers(1, 50), g=st.integers(0, 3))
+    def new_pending(self, t, g):
+        ts = Timestamp(t, g)
+        if ts in self.used_ts:
+            return None  # timestamps are unique in the protocols
+        self.used_ts.add(ts)
+        mid = (0, self.next_id)
+        self.next_id += 1
+        # Mirror protocol usage: a mid gets a pending entry only before
+        # its commit (set_pending is never called on committed state).
+        self.queue.set_pending(mid, ts)
+        self.model.set_pending(mid, ts)
+        self._ts_of = getattr(self, "_ts_of", {})
+        self._ts_of[mid] = ts
+        return mid
+
+    @rule(mid=mids)
+    def commit_at_own_ts(self, mid):
+        if mid is None:
+            return
+        ts = self._ts_of.get(mid)
+        if ts is None:
+            return
+        m = make_message(0, mid[1], {0})
+        self.queue.commit(m, ts)
+        self.model.commit(mid, ts)
+
+    @rule(mid=mids, bump=st.integers(1, 30))
+    def commit_at_higher_ts(self, mid, bump):
+        if mid is None:
+            return
+        base = self._ts_of.get(mid)
+        if base is None:
+            return
+        gts = Timestamp(base.time + bump, base.group)
+        if gts in self.used_ts:
+            return
+        self.used_ts.add(gts)
+        m = make_message(0, mid[1], {0})
+        self.queue.commit(m, gts)
+        self.model.commit(mid, gts)
+
+    @rule(mid=mids)
+    def drop_pending(self, mid):
+        if mid is None:
+            return
+        self.queue.clear_pending(mid)
+        self.model.clear_pending(mid)
+
+    @rule()
+    def pop(self):
+        popped = list(self.queue.pop_deliverable())
+        actual = [m.mid for m, _ in popped]
+        expected = self.model.pop_deliverable()
+        assert actual == expected
+        # Each pop run is internally in gts order.
+        gts_seq = [g for _, g in popped]
+        assert gts_seq == sorted(gts_seq)
+
+    @invariant()
+    def counts_agree(self):
+        assert self.queue.pending_count == len(self.model.pending)
+        assert self.queue.committed_count == len(self.model.committed)
+
+
+DeliveryQueueMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)
+TestDeliveryQueueModel = DeliveryQueueMachine.TestCase

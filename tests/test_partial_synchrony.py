@@ -1,0 +1,79 @@
+"""End-to-end behaviour under partial synchrony (the GST model of §II)."""
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.protocols import FtSkeenProcess, WbCastProcess
+from repro.protocols.wbcast import WbCastOptions
+from repro.sim import ConstantDelay, PartialSynchrony
+from repro.sim.faults import CrashSpec, FaultPlan
+from repro.workload import ClientOptions
+
+from tests.conftest import DELTA, FAST_FD, checks_ok
+
+
+def chaotic_network(gst: float, inflation: float = 8.0):
+    return PartialSynchrony(ConstantDelay(DELTA), gst=gst, max_inflation=inflation)
+
+
+class TestPreGstChaos:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_wbcast_safe_and_live_through_gst(self, seed):
+        """Messages multicast before GST see wildly inflated delays; safety
+        must hold throughout and everything must complete after GST."""
+        res = run_workload(
+            WbCastProcess, num_groups=3, group_size=3, num_clients=3,
+            messages_per_client=8, dest_k=2, seed=seed,
+            network=chaotic_network(gst=0.05),
+            protocol_options=WbCastOptions(retry_interval=0.05),
+            client_options=ClientOptions(num_messages=8, retry_timeout=0.1),
+            drain_grace=0.3,
+        )
+        assert res.all_done
+        checks_ok(res)
+
+    def test_crash_before_gst(self):
+        """A leader crash during the chaotic period: the detector may
+        suspect wrongly and elect repeatedly, but once GST passes a single
+        leader stabilises and the run completes."""
+        res = run_workload(
+            WbCastProcess, num_groups=2, group_size=3, num_clients=2,
+            messages_per_client=8, dest_k=2, seed=3,
+            network=chaotic_network(gst=0.08),
+            protocol_options=WbCastOptions(retry_interval=0.05),
+            client_options=ClientOptions(num_messages=8, retry_timeout=0.1),
+            fault_plan=FaultPlan(crashes=[CrashSpec(0, 0.02)]),
+            attach_fd=True, fd_options=FAST_FD, drain_grace=0.5, max_time=20.0,
+        )
+        assert res.all_done
+        checks_ok(res)
+
+    def test_ftskeen_through_gst(self):
+        res = run_workload(
+            FtSkeenProcess, num_groups=2, group_size=3, num_clients=2,
+            messages_per_client=6, dest_k=2, seed=1,
+            network=chaotic_network(gst=0.05),
+            client_options=ClientOptions(num_messages=6, retry_timeout=0.1),
+            drain_grace=0.3,
+        )
+        assert res.all_done
+        checks_ok(res)
+
+    def test_post_gst_latency_returns_to_bound(self):
+        """After GST, the latency of fresh messages drops back to 3δ
+        (Lemma 1 / Theorem 3 are 'eventually' statements)."""
+        res = run_workload(
+            WbCastProcess, num_groups=2, group_size=3, num_clients=1,
+            messages_per_client=30, dest_k=2, seed=2,
+            network=chaotic_network(gst=0.05),
+            drain_grace=0.2,
+        )
+        assert res.all_done
+        late = [
+            res.tracker.latency(mid)
+            for mid, t in res.tracker.multicast_time.items()
+            if t >= 0.05
+        ]
+        assert late
+        for latency in late:
+            assert latency == pytest.approx(3 * DELTA)

@@ -1,0 +1,118 @@
+"""Multi-Paxos replica edge paths: commit-before-entry, status callbacks,
+promise merging with committed prefixes."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.paxos import NOOP, PaxosReplica, ReplicaStatus
+from repro.paxos.messages import PaxosAccept, PaxosCommit, PaxosPrepare, PaxosPromise
+from repro.sim import ConstantDelay, Simulator
+from repro.types import Ballot
+
+from tests.test_paxos import PaxosHost, build_group
+
+
+class TestExecutionOrdering:
+    def test_commit_before_entry_waits(self):
+        """A COMMIT referencing a slot we lack must not execute anything
+        until the entry arrives (possible across leader changes)."""
+        sim, config, hosts = build_group()
+        follower = hosts[2]
+        bal = Ballot(0, 0)
+        # Commit index 0 arrives before the accept for slot 0.
+        follower.on_message(0, PaxosCommit(0, 0))
+        assert follower.executed == []
+        follower.on_message(0, PaxosAccept(0, bal, 0, "late-entry"))
+        follower.replica._execute_ready()
+        assert follower.executed == [(0, "late-entry")]
+
+    def test_out_of_order_accepts_execute_in_order(self):
+        sim, config, hosts = build_group()
+        follower = hosts[2]
+        bal = Ballot(0, 0)
+        follower.on_message(0, PaxosAccept(0, bal, 1, "b"))
+        follower.on_message(0, PaxosAccept(0, bal, 0, "a"))
+        follower.on_message(0, PaxosCommit(0, 1))
+        assert follower.executed == [(0, "a"), (1, "b")]
+
+    def test_noop_is_skipped_in_execution(self):
+        sim, config, hosts = build_group()
+        follower = hosts[2]
+        bal = Ballot(0, 0)
+        follower.on_message(0, PaxosAccept(0, bal, 0, NOOP))
+        follower.on_message(0, PaxosAccept(0, bal, 1, "real"))
+        follower.on_message(0, PaxosCommit(0, 1))
+        assert follower.executed == [(1, "real")]
+
+
+class TestStatusCallbacks:
+    def test_follower_learns_leader_from_accept(self):
+        sim, config, hosts = build_group()
+        changes = []
+        hosts[2].replica.on_status_change = lambda s: changes.append(s)
+        # A new leader's first accept at a higher ballot demotes/updates.
+        hosts[2].on_message(1, PaxosAccept(0, Ballot(1, 1), 0, "x"))
+        assert hosts[2].replica.leader_hint == 1
+        assert changes == []  # follower stays follower: no transition
+
+    def test_prepare_from_self_marks_recovering(self):
+        sim, config, hosts = build_group()
+        changes = []
+        hosts[1].replica.on_status_change = lambda s: changes.append(s)
+        hosts[1].on_message(1, PaxosPrepare(0, Ballot(1, 1)))
+        assert hosts[1].replica.status is ReplicaStatus.RECOVERING
+        assert ReplicaStatus.RECOVERING in changes
+
+    def test_leader_demoted_by_higher_prepare(self):
+        sim, config, hosts = build_group()
+        changes = []
+        hosts[0].replica.on_status_change = lambda s: changes.append(s)
+        hosts[0].on_message(2, PaxosPrepare(0, Ballot(3, 2)))
+        assert hosts[0].replica.status is ReplicaStatus.FOLLOWER
+        assert hosts[0].replica.leader_hint == 2
+
+
+class TestPromiseMerging:
+    def test_new_leader_inherits_commit_index(self):
+        """A voter's commit index transfers: the new leader executes the
+        committed prefix immediately, without re-deciding it."""
+        sim, config, hosts = build_group()
+        sim.schedule(0.0, lambda: hosts[0].replica.propose("a"))
+        sim.schedule(0.0, lambda: hosts[0].replica.propose("b"))
+        sim.run()
+        # No crash needed: a direct takeover exercises the same path.
+        sim.schedule(0.0, lambda: hosts[1].replica.start_recovery())
+        sim.run()
+        assert hosts[1].replica.is_leader()
+        assert [v for _, v in hosts[1].executed] == ["a", "b"]
+        # And proposing continues after the inherited prefix.
+        sim.schedule(0.0, lambda: hosts[1].replica.propose("c"))
+        sim.run()
+        assert [v for _, v in hosts[2].executed] == ["a", "b", "c"]
+
+    def test_stale_promise_ignored(self):
+        sim, config, hosts = build_group()
+        sim.schedule(0.0, lambda: hosts[1].replica.start_recovery())
+        sim.run()
+        assert hosts[1].replica.is_leader()
+        ghost = PaxosPromise(0, Ballot(0, 0), {}, -1)
+        before = hosts[1].replica.next_index
+        hosts[1].on_message(2, ghost)
+        assert hosts[1].replica.next_index == before
+
+
+class TestOneShotClient:
+    def test_scripted_schedule_fires_at_times(self):
+        from repro.bench.latency_table import DELTA, _build
+        from repro.protocols import WbCastProcess
+        from repro.sim import ConstantDelay as CD
+
+        sim, config, trace, tracker, clients = _build(
+            WbCastProcess, CD(DELTA), [[(0.0, (0,)), (0.01, (0, 1))]]
+        )
+        sim.run()
+        client = clients[0]
+        assert len(client.sent) == 2
+        times = sorted(r.t for r in trace.multicasts)
+        assert times == pytest.approx([0.0, 0.01])
+        assert len(client.completed) == 2

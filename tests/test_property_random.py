@@ -1,0 +1,135 @@
+"""Randomized end-to-end property tests across all protocols.
+
+Every run — whatever the protocol, delays, workload mix or crash schedule —
+must satisfy the Section II specification.  These tests are the library's
+main safety net; the scenarios are seeded and deterministic.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bench.harness import run_workload
+from repro.checking.invariants import WbCastInvariantMonitor
+from repro.config import ClusterConfig
+from repro.protocols import (
+    FastCastProcess,
+    FtSkeenProcess,
+    SequencerProcess,
+    SkeenProcess,
+    WbCastProcess,
+)
+from repro.protocols.wbcast import WbCastOptions
+from repro.protocols.ftskeen import FtSkeenOptions
+from repro.protocols.fastcast import FastCastOptions
+from repro.protocols.sequencer import SequencerOptions
+from repro.sim import UniformDelay
+from repro.sim.faults import FaultPlan
+from repro.workload import ClientOptions
+
+from tests.conftest import FAST_FD, checks_ok
+
+REPLICATED = [
+    (WbCastProcess, WbCastOptions(retry_interval=0.05)),
+    (FtSkeenProcess, FtSkeenOptions(retry_interval=0.05)),
+    (FastCastProcess, FastCastOptions(retry_interval=0.05)),
+    (SequencerProcess, SequencerOptions(retry_interval=0.05)),
+]
+
+
+@pytest.mark.parametrize("protocol_cls,options", REPLICATED, ids=lambda p: getattr(p, "__name__", ""))
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_failure_free_random_delays(protocol_cls, options, seed):
+    res = run_workload(
+        protocol_cls, num_groups=3, group_size=3, num_clients=3,
+        messages_per_client=8, dest_k=2, seed=seed,
+        network=UniformDelay(0.0002, 0.002),
+    )
+    assert res.all_done
+    checks_ok(res)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_skeen_random_delays(seed):
+    res = run_workload(
+        SkeenProcess, num_groups=4, group_size=1, num_clients=3,
+        messages_per_client=10, dest_k=2, seed=seed,
+        network=UniformDelay(0.0002, 0.002),
+    )
+    assert res.all_done
+    checks_ok(res)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_wbcast_random_crashes(seed):
+    """Random f-bounded crash schedules with the failure detector on and
+    the message-level Fig. 6 invariants monitored throughout."""
+    rng = random.Random(seed)
+    config = ClusterConfig.build(3, 3, 3)
+    plan = FaultPlan.random_crashes(config, rng, max_total=3, window=(0.005, 0.05))
+    monitor = WbCastInvariantMonitor(config)
+    res = run_workload(
+        WbCastProcess, config=config, messages_per_client=8, dest_k=2,
+        network=UniformDelay(0.0005, 0.002), seed=seed,
+        protocol_options=WbCastOptions(retry_interval=0.04, gc_interval=0.03),
+        client_options=ClientOptions(num_messages=8, retry_timeout=0.06),
+        fault_plan=plan, attach_fd=True, fd_options=FAST_FD,
+        monitors=[monitor], drain_grace=0.4, max_time=10.0,
+    )
+    assert res.all_done, f"completed {res.completed}/{res.expected}"
+    checks_ok(res)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_wbcast_random_crashes_with_state_probe(seed):
+    """Same, with the Invariant 2 state probe inspecting live processes."""
+    rng = random.Random(1000 + seed)
+    config = ClusterConfig.build(2, 3, 2)
+    plan = FaultPlan.random_crashes(config, rng, max_total=2, window=(0.005, 0.04))
+    monitor = WbCastInvariantMonitor(config, processes={}, probe_interval=8)
+    res = run_workload(
+        WbCastProcess, config=config, messages_per_client=8, dest_k=2,
+        network=UniformDelay(0.0005, 0.002), seed=seed,
+        protocol_options=WbCastOptions(retry_interval=0.04),
+        client_options=ClientOptions(num_messages=8, retry_timeout=0.06),
+        fault_plan=plan, attach_fd=True, fd_options=FAST_FD,
+        monitors=[monitor], drain_grace=0.4, max_time=10.0,
+    )
+    assert res.all_done
+    checks_ok(res)
+
+
+@given(
+    seed=st.integers(0, 10**6),
+    dest_k=st.integers(1, 3),
+    num_clients=st.integers(1, 4),
+)
+@settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_wbcast_hypothesis_workloads(seed, dest_k, num_clients):
+    """Hypothesis-driven workload shapes, failure-free."""
+    res = run_workload(
+        WbCastProcess, num_groups=3, group_size=3, num_clients=num_clients,
+        messages_per_client=5, dest_k=dest_k, seed=seed,
+        network=UniformDelay(0.0002, 0.003),
+    )
+    assert res.all_done
+    checks_ok(res)
+
+
+@given(seed=st.integers(0, 10**6))
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_mixed_destination_sizes(seed):
+    """Clients with different fan-outs (1..all groups) in the same run."""
+    from repro.workload import RandomKGroups
+
+    rng = random.Random(seed)
+    ks = [rng.randint(1, 3) for _ in range(3)]
+    res = run_workload(
+        WbCastProcess, num_groups=3, group_size=3, num_clients=3,
+        messages_per_client=5, seed=seed,
+        network=UniformDelay(0.0002, 0.002),
+        chooser_factory=lambda config, i: RandomKGroups(config, ks[i]),
+    )
+    assert res.all_done
+    checks_ok(res)

@@ -1,0 +1,39 @@
+"""The atomic-broadcast special case: a single-group replicated log."""
+
+import pytest
+
+from repro.apps import ReplicatedLog
+from repro.protocols import FtSkeenProcess
+
+
+class TestReplicatedLog:
+    def test_appends_in_submission_order_from_one_client(self):
+        log = ReplicatedLog(group_size=3)
+        for i in range(5):
+            log.append(i)
+        log.sync()
+        assert log.read() == [0, 1, 2, 3, 4]
+
+    def test_all_replicas_converge(self):
+        log = ReplicatedLog(group_size=5)
+        for i in range(20):
+            log.append(f"e{i}")
+        log.sync()
+        assert log.replicas_converged()
+        for replica in range(5):
+            assert len(log.read(replica_index=replica)) == 20
+
+    def test_broadcast_is_protocol_agnostic(self):
+        log = ReplicatedLog(group_size=3, protocol_cls=FtSkeenProcess)
+        for i in range(5):
+            log.append(i)
+        log.sync()
+        assert log.read() == [0, 1, 2, 3, 4]
+        assert log.replicas_converged()
+
+    def test_payloads_preserved(self):
+        log = ReplicatedLog()
+        payload = {"op": "set", "key": "x", "value": [1, 2, 3]}
+        log.append(payload)
+        log.sync()
+        assert log.read()[0] == payload

@@ -1,0 +1,71 @@
+"""The runtime abstraction helpers and the SimRuntime implementation."""
+
+import pytest
+
+from repro.runtime import NullTimerHandle, cancel_timer
+from repro.sim import ConstantDelay, Simulator
+from repro.types import make_message
+
+
+class Probe:
+    def __init__(self, runtime):
+        self.runtime = runtime
+        self.got = []
+
+    def on_message(self, sender, msg):
+        self.got.append((sender, msg))
+
+
+class TestHelpers:
+    def test_null_timer(self):
+        handle = NullTimerHandle()
+        assert handle.cancelled
+        handle.cancel()  # idempotent, no error
+
+    def test_cancel_timer_none_safe(self):
+        cancel_timer(None)
+        cancel_timer(NullTimerHandle())
+
+
+class TestSimRuntime:
+    @pytest.fixture
+    def sim(self):
+        return Simulator(ConstantDelay(0.001), seed=5)
+
+    def test_pid_and_now(self, sim):
+        probe = sim.add_process(3, Probe)
+        assert probe.runtime.pid == 3
+        assert probe.runtime.now() == 0.0
+
+    def test_send_routes_through_network(self, sim):
+        a = sim.add_process(0, Probe)
+        b = sim.add_process(1, Probe)
+        sim.schedule(0.0, lambda: a.runtime.send(1, "x"))
+        sim.run()
+        assert b.got == [(0, "x")]
+
+    def test_per_process_rngs_differ_but_are_deterministic(self, sim):
+        a = sim.add_process(0, Probe)
+        b = sim.add_process(1, Probe)
+        seq_a = [a.runtime.rng.random() for _ in range(5)]
+        seq_b = [b.runtime.rng.random() for _ in range(5)]
+        assert seq_a != seq_b
+        sim2 = Simulator(ConstantDelay(0.001), seed=5)
+        a2 = sim2.add_process(0, Probe)
+        assert [a2.runtime.rng.random() for _ in range(5)] == seq_a
+
+    def test_deliver_and_multicast_recorded(self, sim):
+        probe = sim.add_process(0, Probe)
+        m = make_message(0, 0, {0})
+        probe.runtime.record_multicast(m)
+        probe.runtime.deliver(m)
+        assert sim.trace.multicasts[0].m == m
+        assert sim.trace.deliveries[0].m == m
+
+    def test_timer_cancel_via_runtime(self, sim):
+        probe = sim.add_process(0, Probe)
+        fired = []
+        handle = probe.runtime.set_timer(0.5, lambda: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == []

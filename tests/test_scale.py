@@ -1,0 +1,72 @@
+"""Paper-scale integration smoke tests (10 groups, many clients).
+
+The benchmarks run these shapes with CPU models and sweeps; these tests
+pin correctness (not performance) at the paper's cluster scale so a
+regression that only bites beyond toy sizes cannot hide.
+"""
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.bench.topologies import lan_testbed, wan_testbed
+from repro.config import ClusterConfig
+from repro.failure.detector import MonitorOptions
+from repro.protocols import FastCastProcess, WbCastProcess
+from repro.protocols.wbcast import WbCastOptions
+from repro.sim.faults import CrashSpec, FaultPlan
+from repro.workload import ClientOptions
+
+from tests.conftest import checks_ok
+
+
+class TestPaperScale:
+    def test_ten_groups_fifty_clients_lan(self):
+        config = ClusterConfig.build(10, 3, 50)
+        res = run_workload(
+            WbCastProcess, config=config, messages_per_client=4, dest_k=2,
+            network=lan_testbed(config, jitter=0.05), seed=42,
+            record_sends=False,
+        )
+        assert res.all_done
+        checks_ok(res)
+
+    def test_ten_groups_wan_with_jitter(self):
+        config = ClusterConfig.build(10, 3, 30)
+        res = run_workload(
+            WbCastProcess, config=config, messages_per_client=3, dest_k=6,
+            network=wan_testbed(config, jitter=0.05), seed=7,
+            record_sends=False,
+            drain_grace=0.5,  # follower DELIVERs cross data centres (~65 ms)
+        )
+        assert res.all_done
+        checks_ok(res)
+
+    def test_fastcast_at_scale(self):
+        config = ClusterConfig.build(10, 3, 30)
+        res = run_workload(
+            FastCastProcess, config=config, messages_per_client=3, dest_k=4,
+            network=lan_testbed(config, jitter=0.05), seed=13,
+            record_sends=False,
+        )
+        assert res.all_done
+        checks_ok(res)
+
+    def test_crash_at_scale_under_wan_delays(self):
+        """A leader crash in a 10-group WAN cluster with the detector's
+        timeouts scaled to WAN heartbeat latencies."""
+        config = ClusterConfig.build(10, 3, 10)
+        fd = MonitorOptions(
+            heartbeat_interval=0.08, suspect_timeout=0.4, stagger=0.2,
+            max_timeout=2.0,
+        )
+        res = run_workload(
+            WbCastProcess, config=config, messages_per_client=3, dest_k=2,
+            network=wan_testbed(config), seed=3,
+            protocol_options=WbCastOptions(retry_interval=0.5),
+            client_options=ClientOptions(num_messages=3, retry_timeout=1.0),
+            fault_plan=FaultPlan(crashes=[CrashSpec(0, 0.2)]),
+            attach_fd=True, fd_options=fd,
+            record_sends=False, drain_grace=2.0, max_time=60.0,
+        )
+        assert res.all_done
+        checks_ok(res)

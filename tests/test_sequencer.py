@@ -1,0 +1,82 @@
+"""Non-genuine sequencer baseline (for the genuineness ablation)."""
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.config import ClusterConfig
+from repro.protocols import SequencerProcess
+from repro.protocols.sequencer import SEQUENCER_GROUP, SequencerOptions
+from repro.sim import ConstantDelay
+from repro.sim.faults import CrashSpec, FaultPlan
+from repro.types import make_message
+from repro.workload import ClientOptions, DisjointPairs
+
+from tests.conftest import DELTA, FAST_FD, checks_ok
+
+
+class TestNormalOperation:
+    def test_end_to_end_properties(self):
+        res = run_workload(SequencerProcess, num_groups=3, group_size=3, num_clients=3,
+                           messages_per_client=10, dest_k=2, seed=1,
+                           network=ConstantDelay(DELTA))
+        assert res.all_done
+        checks_ok(res)
+
+    def test_targets_are_the_sequencer_leader(self):
+        config = ClusterConfig.build(3, 3, 1)
+        m = make_message(9, 0, {1, 2})
+        targets = SequencerProcess.multicast_targets(config, config.default_leaders(), m)
+        assert targets == [config.default_leader(SEQUENCER_GROUP)]
+
+    def test_not_genuine_by_construction(self):
+        """Messages not addressed to group 0 are still ordered by group 0:
+        the genuineness monitor must flag this protocol."""
+        res = run_workload(
+            SequencerProcess, num_groups=4, group_size=3, num_clients=2,
+            messages_per_client=8, seed=2, network=ConstantDelay(DELTA),
+            chooser_factory=lambda config, i: DisjointPairs(config, 1),  # {2, 3}
+            attach_genuineness=True,
+        )
+        assert res.all_done
+        assert not res.genuineness.is_genuine
+
+    def test_sequencer_group_as_destination(self):
+        res = run_workload(SequencerProcess, num_groups=2, group_size=3, num_clients=2,
+                           messages_per_client=6, dest_k=2, seed=3,
+                           network=ConstantDelay(DELTA))
+        assert res.all_done
+        checks_ok(res)
+
+    def test_projection_order_matches_global_sequence(self):
+        res = run_workload(SequencerProcess, num_groups=3, group_size=3, num_clients=2,
+                           messages_per_client=10, dest_k=2, seed=4,
+                           network=ConstantDelay(DELTA))
+        checks_ok(res)  # ordering check covers projections
+
+
+class TestFailover:
+    def test_sequencer_leader_crash(self):
+        res = run_workload(
+            SequencerProcess, num_groups=2, group_size=3, num_clients=2,
+            messages_per_client=10, dest_k=2, seed=4,
+            network=ConstantDelay(DELTA),
+            protocol_options=SequencerOptions(retry_interval=0.05),
+            client_options=ClientOptions(num_messages=10, retry_timeout=0.08),
+            fault_plan=FaultPlan(crashes=[CrashSpec(0, 0.0117)]),
+            attach_fd=True, fd_options=FAST_FD, drain_grace=0.3, max_time=10.0,
+        )
+        assert res.all_done
+        checks_ok(res)
+
+    def test_destination_leader_crash(self):
+        res = run_workload(
+            SequencerProcess, num_groups=2, group_size=3, num_clients=2,
+            messages_per_client=10, dest_k=2, seed=5,
+            network=ConstantDelay(DELTA),
+            protocol_options=SequencerOptions(retry_interval=0.05),
+            client_options=ClientOptions(num_messages=10, retry_timeout=0.08),
+            fault_plan=FaultPlan(crashes=[CrashSpec(3, 0.0117)]),  # leader of group 1
+            attach_fd=True, fd_options=FAST_FD, drain_grace=0.3, max_time=10.0,
+        )
+        assert res.all_done
+        checks_ok(res)

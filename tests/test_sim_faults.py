@@ -1,0 +1,61 @@
+"""Fault plans: validation against the f bound, application to a simulator."""
+
+import random
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.errors import ConfigError
+from repro.sim import ConstantDelay, Simulator
+from repro.sim.faults import CrashSpec, FaultPlan
+
+
+@pytest.fixture
+def config():
+    return ClusterConfig.build(num_groups=3, group_size=3, num_clients=1)
+
+
+class TestFaultPlan:
+    def test_none_plan_is_empty(self, config):
+        plan = FaultPlan.none()
+        plan.validate(config)
+        assert plan.crashed_pids == set()
+
+    def test_crash_leaders(self, config):
+        plan = FaultPlan.crash_leaders(config, [0, 2], at=0.5)
+        assert plan.crashed_pids == {0, 6}
+        assert all(spec.at == 0.5 for spec in plan.crashes)
+
+    def test_validate_rejects_quorum_loss(self, config):
+        plan = FaultPlan(crashes=[CrashSpec(0, 0.1), CrashSpec(1, 0.2)])
+        with pytest.raises(ConfigError):
+            plan.validate(config)
+
+    def test_validate_accepts_f_per_group(self, config):
+        plan = FaultPlan(crashes=[CrashSpec(0, 0.1), CrashSpec(3, 0.1), CrashSpec(8, 0.1)])
+        plan.validate(config)
+
+    def test_random_crashes_respect_f(self, config):
+        for seed in range(20):
+            rng = random.Random(seed)
+            plan = FaultPlan.random_crashes(config, rng, max_total=5, window=(0.0, 1.0))
+            plan.validate(config)  # must never raise
+            assert len(plan.crashes) <= 3  # f=1 per group, 3 groups
+
+    def test_random_crashes_spare_pid(self, config):
+        for seed in range(10):
+            rng = random.Random(seed)
+            plan = FaultPlan.random_crashes(
+                config, rng, max_total=9, window=(0.0, 1.0), spare_pid=4
+            )
+            assert 4 not in plan.crashed_pids
+
+    def test_apply_schedules_crashes(self, config):
+        sim = Simulator(ConstantDelay(0.001))
+        for pid in config.all_members:
+            sim.add_process(pid, lambda rt: type("P", (), {"on_message": lambda *_: None})())
+        plan = FaultPlan(crashes=[CrashSpec(0, 0.25)])
+        plan.apply(sim)
+        sim.run()
+        assert not sim.alive(0)
+        assert sim.trace.crashes == [(0.25, 0)]

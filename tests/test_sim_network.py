@@ -1,0 +1,118 @@
+"""Delay models: constant, uniform, site topologies, partial synchrony."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.sim.network import (
+    WAN_ONE_WAY,
+    BandwidthDelay,
+    ConstantDelay,
+    PartialSynchrony,
+    SiteTopology,
+    UniformDelay,
+    lan_topology,
+    wan_topology,
+)
+
+RNG = random.Random(0)
+
+
+class TestConstantDelay:
+    def test_constant(self):
+        model = ConstantDelay(0.01)
+        assert model.delay(0, 1, 20, 0.0, RNG) == 0.01
+        assert model.bound() == 0.01
+
+    def test_self_messages_local(self):
+        assert ConstantDelay(0.01).delay(3, 3, 20, 0.0, RNG) == 0.0
+        assert ConstantDelay(0.01, local=0.002).delay(3, 3, 20, 0.0, RNG) == 0.002
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            ConstantDelay(-1.0)
+
+
+class TestUniformDelay:
+    def test_within_bounds(self):
+        model = UniformDelay(0.001, 0.005)
+        rng = random.Random(7)
+        for _ in range(200):
+            d = model.delay(0, 1, 20, 0.0, rng)
+            assert 0.001 <= d <= 0.005
+        assert model.bound() == 0.005
+
+    def test_self_free(self):
+        assert UniformDelay(0.001, 0.005).delay(2, 2, 20, 0.0, RNG) == 0.0
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ConfigError):
+            UniformDelay(0.01, 0.001)
+
+
+class TestSiteTopology:
+    def test_symmetric_fill(self):
+        topo = SiteTopology({0: 0, 1: 1}, {(0, 1): 0.03})
+        assert topo.delay(0, 1, 20, 0.0, RNG) == 0.03
+        assert topo.delay(1, 0, 20, 0.0, RNG) == 0.03
+
+    def test_intra_site(self):
+        topo = SiteTopology({0: 0, 1: 0}, {(0, 1): 0.03}, intra_site=0.0001)
+        assert topo.delay(0, 1, 20, 0.0, RNG) == 0.0001
+
+    def test_unknown_process_raises(self):
+        topo = SiteTopology({0: 0}, {(0, 0): 0.0})
+        with pytest.raises(ConfigError):
+            topo.delay(0, 99, 20, 0.0, RNG)
+
+    def test_jitter_bounded(self):
+        topo = SiteTopology({0: 0, 1: 1}, {(0, 1): 0.03}, jitter=0.1)
+        rng = random.Random(3)
+        for _ in range(100):
+            d = topo.delay(0, 1, 20, 0.0, rng)
+            assert 0.027 <= d <= 0.033
+        assert topo.bound() >= 0.033
+
+    def test_lan_helper_uniform(self):
+        topo = lan_topology(range(5), one_way=0.00005)
+        assert topo.delay(0, 4, 20, 0.0, RNG) == pytest.approx(0.00005)
+
+    def test_wan_helper_uses_paper_rtts(self):
+        # R1=Oregon, R2=N.Virginia, R3=England; one-way = RTT/2.
+        topo = wan_topology({0: 0, 1: 1, 2: 2})
+        assert topo.delay(0, 1, 20, 0.0, RNG) == pytest.approx(0.030)
+        assert topo.delay(1, 2, 20, 0.0, RNG) == pytest.approx(0.0375)
+        assert topo.delay(0, 2, 20, 0.0, RNG) == pytest.approx(0.065)
+        assert WAN_ONE_WAY[(0, 2)] == 0.065
+
+
+class TestBandwidthDelay:
+    def test_adds_serialisation_term(self):
+        model = BandwidthDelay(ConstantDelay(0.01), bytes_per_second=1_000_000)
+        assert model.delay(0, 1, 1000, 0.0, RNG) == pytest.approx(0.011)
+
+    def test_self_messages_unaffected(self):
+        model = BandwidthDelay(ConstantDelay(0.01), bytes_per_second=1000)
+        assert model.delay(2, 2, 10**6, 0.0, RNG) == 0.0
+
+
+class TestPartialSynchrony:
+    def test_bounded_after_gst(self):
+        model = PartialSynchrony(ConstantDelay(0.01), gst=1.0, max_inflation=10)
+        assert model.delay(0, 1, 20, 1.0, RNG) == 0.01
+        assert model.delay(0, 1, 20, 5.0, RNG) == 0.01
+        assert model.bound() == 0.01
+
+    def test_inflated_but_finite_before_gst(self):
+        model = PartialSynchrony(ConstantDelay(0.01), gst=1.0, max_inflation=10)
+        rng = random.Random(1)
+        for _ in range(100):
+            d = model.delay(0, 1, 20, 0.5, rng)
+            assert 0.01 <= d <= 0.1
+
+    @given(now=st.floats(0, 10), gst=st.floats(0, 10))
+    def test_never_below_base(self, now, gst):
+        model = PartialSynchrony(ConstantDelay(0.01), gst=gst)
+        assert model.delay(0, 1, 20, now, random.Random(0)) >= 0.01

@@ -1,0 +1,211 @@
+"""The discrete-event scheduler: determinism, FIFO, timers, crashes, CPU."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import ConstantDelay, Simulator, Trace, UniformCpu, UniformDelay
+from repro.sim.scheduler import CpuModel
+
+
+class Recorder:
+    """Minimal process: records (time, sender, msg) of everything received."""
+
+    def __init__(self, runtime):
+        self.runtime = runtime
+        self.received = []
+
+    def on_message(self, sender, msg):
+        self.received.append((self.runtime.now(), sender, msg))
+
+
+def two_recorders(network=None, seed=0, cpu=None):
+    sim = Simulator(network or ConstantDelay(0.01), seed=seed, cpu=cpu)
+    a = sim.add_process(0, Recorder)
+    b = sim.add_process(1, Recorder)
+    return sim, a, b
+
+
+class TestEventLoop:
+    def test_messages_arrive_after_delay(self):
+        sim, a, b = two_recorders()
+        sim.schedule(0.0, lambda: sim.transmit(0, 1, "hello"))
+        sim.run()
+        assert b.received == [(0.01, 0, "hello")]
+
+    def test_same_time_events_run_in_schedule_order(self):
+        sim = Simulator(ConstantDelay(0.0))
+        order = []
+        sim.schedule(0.5, lambda: order.append("first"))
+        sim.schedule(0.5, lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_run_until_stops_clock(self):
+        sim, a, b = two_recorders()
+        sim.schedule(5.0, lambda: None)
+        assert sim.run(until=1.0) == 1.0
+        assert sim.pending_events == 1
+
+    def test_step_executes_one_event(self):
+        sim, a, b = two_recorders()
+        sim.schedule(0.0, lambda: None)
+        sim.schedule(0.0, lambda: None)
+        assert sim.step()
+        assert sim.events_executed == 1
+
+    def test_cannot_schedule_in_past(self):
+        sim, a, b = two_recorders()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_max_events_guard(self):
+        sim = Simulator(ConstantDelay(0.0))
+
+        def loop():
+            sim.schedule(0.001, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_duplicate_pid_rejected(self):
+        sim, a, b = two_recorders()
+        with pytest.raises(SimulationError):
+            sim.add_process(0, Recorder)
+
+    def test_unknown_destination_rejected(self):
+        sim, a, b = two_recorders()
+        sim.schedule(0.0, lambda: sim.transmit(0, 99, "x"))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestFifo:
+    def test_fifo_under_random_delays(self):
+        """Reliable FIFO channels: arrival order == send order per channel."""
+        sim, a, b = two_recorders(network=UniformDelay(0.001, 0.02), seed=3)
+        for i in range(50):
+            sim.schedule(i * 0.0001, lambda i=i: sim.transmit(0, 1, i))
+        sim.run()
+        assert [msg for _, _, msg in b.received] == list(range(50))
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_fifo_property(self, seed):
+        sim, a, b = two_recorders(network=UniformDelay(0.0, 0.05), seed=seed)
+        for i in range(20):
+            sim.schedule(i * 0.001, lambda i=i: sim.transmit(0, 1, i))
+        sim.run()
+        payloads = [msg for _, _, msg in b.received]
+        assert payloads == sorted(payloads)
+
+    def test_self_messages_are_instant_and_ordered(self):
+        sim, a, b = two_recorders()
+        sim.schedule(0.0, lambda: (sim.transmit(0, 0, "x"), sim.transmit(0, 0, "y")))
+        sim.run()
+        assert [(m, t) for t, _, m in a.received] == [("x", 0.0), ("y", 0.0)]
+
+
+class TestTimers:
+    def test_timer_fires(self):
+        sim, a, b = two_recorders()
+        fired = []
+        sim.set_timer(0, 0.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [0.5]
+
+    def test_cancelled_timer_does_not_fire(self):
+        sim, a, b = two_recorders()
+        fired = []
+        handle = sim.set_timer(0, 0.5, lambda: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == [] and handle.cancelled
+
+    def test_timer_of_crashed_process_does_not_fire(self):
+        sim, a, b = two_recorders()
+        fired = []
+        sim.set_timer(0, 0.5, lambda: fired.append(1))
+        sim.crash_at(0, 0.1)
+        sim.run()
+        assert fired == []
+
+
+class TestCrashes:
+    def test_crashed_process_receives_nothing(self):
+        sim, a, b = two_recorders()
+        sim.crash_at(1, 0.005)
+        sim.schedule(0.0, lambda: sim.transmit(0, 1, "late"))
+        sim.run()
+        assert b.received == []
+
+    def test_crashed_process_sends_nothing(self):
+        sim, a, b = two_recorders()
+        sim.crash_at(0, 0.0)
+        sim.schedule(0.001, lambda: sim.transmit(0, 1, "ghost"))
+        sim.run()
+        assert b.received == []
+
+    def test_crash_recorded_in_trace(self):
+        sim, a, b = two_recorders()
+        sim.crash_at(1, 0.25)
+        sim.run()
+        assert sim.trace.crashes == [(0.25, 1)]
+        assert not sim.alive(1) and sim.alive(0)
+
+    def test_double_crash_is_idempotent(self):
+        sim, a, b = two_recorders()
+        sim.crash_at(1, 0.1)
+        sim.crash_at(1, 0.2)
+        sim.run()
+        assert sim.trace.crashes == [(0.1, 1)]
+
+
+class TestCpuModel:
+    def test_service_time_serialises_handling(self):
+        cpu = UniformCpu(0.010, free_self_messages=False)
+        sim, a, b = two_recorders(network=ConstantDelay(0.001), cpu=cpu)
+        sim.schedule(0.0, lambda: [sim.transmit(0, 1, i) for i in range(3)])
+        sim.run()
+        times = [t for t, _, _ in b.received]
+        # Arrival at 1ms; each handling occupies 10ms of CPU, in series.
+        assert times == pytest.approx([0.011, 0.021, 0.031])
+
+    def test_zero_cost_is_transparent(self):
+        sim, a, b = two_recorders(cpu=CpuModel())
+        sim.schedule(0.0, lambda: sim.transmit(0, 1, "x"))
+        sim.run()
+        assert b.received[0][0] == pytest.approx(0.01)
+
+    def test_self_messages_free_by_default(self):
+        cpu = UniformCpu(0.010)
+        assert cpu.cost(0, "x", random.Random(0), src=0) == 0.0
+        assert cpu.cost(0, "x", random.Random(0), src=1) == 0.010
+
+    def test_ack_types_cheaper(self):
+        cpu = UniformCpu(0.008)
+
+        class AcceptAckMsg:  # name-based classification
+            pass
+
+        assert cpu.cost(0, AcceptAckMsg(), random.Random(0), src=1) == pytest.approx(0.002)
+
+    def test_overrides(self):
+        cpu = UniformCpu(0.010, overrides={5: 0.001})
+        assert cpu.cost(5, "x", random.Random(0), src=1) == pytest.approx(0.001)
+
+
+class TestDeterminism:
+    def test_same_seed_same_run(self):
+        def run(seed):
+            sim, a, b = two_recorders(network=UniformDelay(0.001, 0.02), seed=seed)
+            for i in range(20):
+                sim.schedule(0.0, lambda i=i: sim.transmit(0, 1, i))
+            sim.run()
+            return [t for t, _, _ in b.received]
+
+        assert run(42) == run(42)
+        assert run(42) != run(43)

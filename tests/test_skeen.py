@@ -1,0 +1,90 @@
+"""Skeen's protocol (Fig. 1): behaviour, latency, and the convoy effect."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.harness import run_workload
+from repro.checking.genuineness import GenuinenessMonitor
+from repro.config import ClusterConfig
+from repro.errors import ConfigError
+from repro.protocols.base import MulticastMsg
+from repro.protocols.skeen import ProposeMsg, SkeenProcess
+from repro.sim import ConstantDelay, Simulator, Trace
+from repro.types import Timestamp, make_message
+from repro.workload import ClientOptions, DeliveryTracker, OneShotClient
+
+from tests.conftest import DELTA, checks_ok
+
+
+def singleton_config(groups=3, clients=2):
+    return ClusterConfig.build(num_groups=groups, group_size=1, num_clients=clients)
+
+
+class TestConstruction:
+    def test_rejects_replicated_groups(self):
+        config = ClusterConfig.build(num_groups=1, group_size=3, num_clients=0)
+        sim = Simulator(ConstantDelay(DELTA))
+        with pytest.raises(ConfigError):
+            sim.add_process(0, lambda rt: SkeenProcess(0, config, rt))
+
+    def test_singleton_member_is_its_own_leader(self):
+        config = singleton_config()
+        sim = Simulator(ConstantDelay(DELTA))
+        proc = sim.add_process(0, lambda rt: SkeenProcess(0, config, rt))
+        assert proc.is_leader()
+
+
+class TestNormalOperation:
+    def test_end_to_end_properties(self):
+        res = run_workload(SkeenProcess, num_groups=4, group_size=1, num_clients=3,
+                           messages_per_client=10, dest_k=2, seed=1,
+                           network=ConstantDelay(DELTA))
+        assert res.all_done
+        checks_ok(res)
+
+    def test_genuine(self):
+        res = run_workload(SkeenProcess, num_groups=4, group_size=1, num_clients=2,
+                           messages_per_client=8, dest_k=2, seed=2,
+                           network=ConstantDelay(DELTA), attach_genuineness=True)
+        assert res.genuineness.is_genuine
+
+    def test_collision_free_latency_is_2_delta(self):
+        res = run_workload(SkeenProcess, num_groups=3, group_size=1, num_clients=1,
+                           messages_per_client=5, dest_k=2, seed=0,
+                           network=ConstantDelay(DELTA))
+        for latency in res.latencies():
+            assert latency == pytest.approx(2 * DELTA)
+
+    def test_single_group_message_still_two_delays(self):
+        # MULTICAST + self-PROPOSE exchange (degenerate but uniform).
+        res = run_workload(SkeenProcess, num_groups=2, group_size=1, num_clients=1,
+                           messages_per_client=3, dest_k=1, seed=0,
+                           network=ConstantDelay(DELTA))
+        for latency in res.latencies():
+            assert latency <= 2 * DELTA + 1e-12
+
+    def test_duplicate_multicast_delivered_once(self):
+        config = singleton_config(groups=2, clients=1)
+        trace = Trace()
+        sim = Simulator(ConstantDelay(DELTA), trace=trace)
+        procs = {pid: sim.add_process(pid, lambda rt, p=pid: SkeenProcess(p, config, rt))
+                 for pid in config.all_members}
+        m = make_message(2, 0, {0, 1})
+        sim.add_process(2, lambda rt: type("C", (), {"on_message": staticmethod(lambda *a: None)})())
+        sim.schedule(0.0, lambda: sim.transmit(2, 0, MulticastMsg(m)))
+        sim.schedule(0.0, lambda: sim.transmit(2, 1, MulticastMsg(m)))
+        sim.schedule(0.0005, lambda: sim.transmit(2, 0, MulticastMsg(m)))  # duplicate
+        sim.run()
+        assert len([d for d in trace.deliveries if d.pid == 0]) == 1
+        assert len([d for d in trace.deliveries if d.pid == 1]) == 1
+
+    def test_timestamps_unique_per_message(self):
+        """Global timestamps are unique: no two messages share one."""
+        res = run_workload(SkeenProcess, num_groups=3, group_size=1, num_clients=3,
+                           messages_per_client=10, dest_k=2, seed=5,
+                           network=ConstantDelay(DELTA))
+        proposals = [r.msg for r in res.trace.sends if isinstance(r.msg, ProposeMsg)]
+        by_group = {}
+        for p in proposals:
+            key = (p.gid, p.lts)
+            assert by_group.setdefault(key, p.m.mid) == p.m.mid

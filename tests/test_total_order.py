@@ -1,0 +1,97 @@
+"""Witness-order construction and verification."""
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.checking import History
+from repro.checking.total_order import (
+    order_statistics,
+    projection,
+    verify_witness,
+    witness_order,
+)
+from repro.config import ClusterConfig
+from repro.errors import PropertyViolation
+from repro.protocols import WbCastProcess
+from repro.sim import ConstantDelay
+from repro.types import make_message
+
+from tests.conftest import DELTA
+from tests.test_checking import history
+
+
+@pytest.fixture
+def config():
+    return ClusterConfig.build(num_groups=2, group_size=1, num_clients=1)
+
+
+M1 = make_message(2, 1, {0, 1})
+M2 = make_message(2, 2, {0, 1})
+M3 = make_message(2, 3, {0})
+
+
+class TestWitness:
+    def test_witness_respects_local_orders(self, config):
+        h = history(config, [(M1, 2, 0.0), (M2, 2, 0.0), (M3, 2, 0.0)],
+                    {0: [M1, M3, M2], 1: [M1, M2]})
+        order = witness_order(h)
+        assert order.index(M1.mid) < order.index(M2.mid)
+        assert order.index(M1.mid) < order.index(M3.mid)
+        assert not verify_witness(h, order, quiescent=False)
+
+    def test_witness_deterministic(self, config):
+        h = history(config, [(M1, 2, 0.0), (M2, 2, 0.0)], {0: [M1], 1: [M2]})
+        assert witness_order(h) == witness_order(h)
+
+    def test_cycle_raises(self, config):
+        h = history(config, [(M1, 2, 0.0), (M2, 2, 0.0)],
+                    {0: [M1, M2], 1: [M2, M1]})
+        with pytest.raises(PropertyViolation):
+            witness_order(h)
+
+    def test_verify_flags_deviation(self, config):
+        h = history(config, [(M1, 2, 0.0), (M2, 2, 0.0)],
+                    {0: [M1, M2], 1: [M1, M2]})
+        wrong = [M2.mid, M1.mid]
+        assert verify_witness(h, wrong, quiescent=False)
+
+    def test_verify_flags_skip_in_quiescent_run(self, config):
+        # Group 1 delivered M1 and M2; group 0 process delivered only M2
+        # although M1 (addressed to it, delivered elsewhere) came first.
+        h = history(config, [(M1, 2, 0.0), (M2, 2, 0.0)],
+                    {0: [M2], 1: [M1, M2]})
+        order = witness_order(h)
+        violations = verify_witness(h, order, quiescent=True)
+        assert any("skipped" in v for v in violations)
+
+    def test_projection(self, config):
+        h = history(config, [(M1, 2, 0.0), (M3, 2, 0.0)], {0: [M1, M3], 1: [M1]})
+        order = witness_order(h)
+        assert projection(h, order, 1) == [M1.mid]
+        assert set(projection(h, order, 0)) == {M1.mid, M3.mid}
+
+
+class TestOnRealRuns:
+    def test_witness_matches_wbcast_run(self):
+        res = run_workload(WbCastProcess, num_groups=3, group_size=3, num_clients=3,
+                           messages_per_client=10, dest_k=2, seed=9,
+                           network=ConstantDelay(DELTA))
+        h = res.history()
+        order = witness_order(h)
+        assert len(order) == 30
+        assert not verify_witness(h, order, quiescent=True)
+        stats = order_statistics(h)
+        assert stats["messages"] == 30
+        assert stats["processes_delivering"] > 0
+
+    def test_group_projections_are_subsequences(self):
+        res = run_workload(WbCastProcess, num_groups=3, group_size=3, num_clients=2,
+                           messages_per_client=8, dest_k=2, seed=4,
+                           network=ConstantDelay(DELTA))
+        h = res.history()
+        order = witness_order(h)
+        for gid in res.config.group_ids:
+            proj = projection(h, order, gid)
+            for pid in res.config.members(gid):
+                seq = h.delivery_order(pid)
+                assert seq == [mid for mid in proj if mid in set(seq)]

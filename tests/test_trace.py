@@ -1,0 +1,92 @@
+"""Trace recording, monitors and query helpers."""
+
+import pytest
+
+from repro.sim.trace import DeliveryRecord, MulticastRecord, SendRecord, Trace
+from repro.types import make_message
+
+
+M1 = make_message(5, 1, {0})
+M2 = make_message(5, 2, {0, 1})
+
+
+class TestRecording:
+    def test_multicast_and_delivery_queries(self):
+        trace = Trace()
+        trace.on_multicast(0.0, 5, M1)
+        trace.on_multicast(0.5, 5, M2)
+        trace.on_deliver(1.0, 0, M1)
+        trace.on_deliver(1.5, 0, M2)
+        trace.on_deliver(2.0, 1, M2)
+        assert trace.multicast_times() == {M1.mid: 0.0, M2.mid: 0.5}
+        assert [d.pid for d in trace.deliveries_of(M2.mid)] == [0, 1]
+        assert trace.delivery_order_at(0) == [M1.mid, M2.mid]
+
+    def test_send_recording_can_be_disabled(self):
+        trace = Trace(record_sends=False)
+        trace.on_send(SendRecord(0.0, 0.1, 0, 1, "m"))
+        assert trace.sends == []
+        assert trace.send_count == 1
+
+    def test_crashes(self):
+        trace = Trace()
+        trace.on_crash(1.0, 7)
+        assert trace.crashed_pids() == {7}
+
+
+class TestMonitors:
+    def test_all_hooks_invoked(self):
+        calls = []
+
+        class Monitor:
+            def on_multicast(self, t, pid, m):
+                calls.append(("mc", pid))
+
+            def on_deliver(self, t, pid, m):
+                calls.append(("dl", pid))
+
+            def on_send(self, rec):
+                calls.append(("tx", rec.src))
+
+            def on_crash(self, t, pid):
+                calls.append(("cr", pid))
+
+            def on_handle(self, t, pid, src, msg):
+                calls.append(("rx", pid))
+
+        trace = Trace()
+        trace.attach(Monitor())
+        trace.on_multicast(0.0, 5, M1)
+        trace.on_send(SendRecord(0.0, 0.1, 5, 0, "x"))
+        trace.on_handle(0.1, 0, 5, "x")
+        trace.on_deliver(0.2, 0, M1)
+        trace.on_crash(0.3, 2)
+        assert calls == [("mc", 5), ("tx", 5), ("rx", 0), ("dl", 0), ("cr", 2)]
+
+    def test_partial_monitors_are_fine(self):
+        class OnlyDeliver:
+            def on_deliver(self, t, pid, m):
+                self.seen = (pid, m.mid)
+
+        trace = Trace()
+        monitor = OnlyDeliver()
+        trace.attach(monitor)
+        trace.on_send(SendRecord(0.0, 0.1, 0, 1, "x"))  # no on_send hook: fine
+        trace.on_deliver(0.5, 3, M1)
+        assert monitor.seen == (3, M1.mid)
+
+    def test_multiple_monitors_all_called(self):
+        hits = []
+
+        class M:
+            def __init__(self, tag):
+                self.tag = tag
+
+            def on_deliver(self, t, pid, m):
+                hits.append(self.tag)
+
+        trace = Trace()
+        trace.attach(M("a"))
+        trace.attach(M("b"))
+        trace.on_deliver(0.0, 0, M1)
+        assert hits == ["a", "b"]

@@ -1,0 +1,106 @@
+"""Timestamps, ballots and message identities (Section III of the paper)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ReproError
+from repro.types import (
+    BALLOT_BOTTOM,
+    TS_BOTTOM,
+    AmcastMessage,
+    Ballot,
+    MessageIdAllocator,
+    Timestamp,
+    make_message,
+)
+
+times = st.integers(min_value=0, max_value=10**6)
+gids = st.integers(min_value=0, max_value=64)
+timestamps = st.builds(Timestamp, time=times, group=gids)
+ballots = st.builds(Ballot, round=times, pid=gids)
+
+
+class TestTimestamp:
+    def test_lexicographic_time_dominates(self):
+        assert Timestamp(1, 5) < Timestamp(2, 0)
+
+    def test_lexicographic_group_breaks_ties(self):
+        assert Timestamp(3, 1) < Timestamp(3, 2)
+
+    def test_bottom_below_everything_issuable(self):
+        assert TS_BOTTOM < Timestamp(0, 0)
+        assert TS_BOTTOM < Timestamp(1, 0)
+
+    def test_equality_and_hash(self):
+        assert Timestamp(4, 2) == Timestamp(4, 2)
+        assert hash(Timestamp(4, 2)) == hash(Timestamp(4, 2))
+        assert len({Timestamp(4, 2), Timestamp(4, 2), Timestamp(4, 3)}) == 2
+
+    def test_repr_is_compact(self):
+        assert repr(Timestamp(7, 1)) == "ts(7,1)"
+
+    @given(timestamps, timestamps)
+    def test_total_order(self, a, b):
+        assert (a < b) + (b < a) + (a == b) == 1
+
+    @given(timestamps, timestamps, timestamps)
+    def test_transitivity(self, a, b, c):
+        if a < b and b < c:
+            assert a < c
+
+    @given(timestamps, timestamps)
+    def test_matches_tuple_order(self, a, b):
+        assert (a < b) == ((a.time, a.group) < (b.time, b.group))
+
+
+class TestBallot:
+    def test_round_dominates(self):
+        assert Ballot(1, 99) < Ballot(2, 0)
+
+    def test_pid_breaks_ties(self):
+        assert Ballot(3, 1) < Ballot(3, 2)
+
+    def test_bottom_is_minimal(self):
+        assert BALLOT_BOTTOM < Ballot(0, 0)
+
+    def test_leader(self):
+        assert Ballot(5, 17).leader() == 17
+
+    @given(ballots, ballots)
+    def test_total_order(self, a, b):
+        assert (a < b) + (b < a) + (a == b) == 1
+
+
+class TestAmcastMessage:
+    def test_requires_destinations(self):
+        with pytest.raises(ValueError):
+            AmcastMessage(mid=(0, 0), dests=frozenset())
+
+    def test_make_message_normalises_dests(self):
+        m = make_message(3, 7, [2, 0, 2])
+        assert m.dests == frozenset({0, 2})
+        assert m.mid == (3, 7)
+
+    def test_default_size_is_paper_payload(self):
+        assert make_message(0, 0, {0}).size == 20
+
+    def test_frozen(self):
+        m = make_message(0, 0, {0})
+        with pytest.raises(Exception):
+            m.payload = "x"
+
+    def test_repr_mentions_dests(self):
+        assert "[0, 1]" in repr(make_message(5, 1, {1, 0}))
+
+
+class TestMessageIdAllocator:
+    def test_ids_unique_and_ordered(self):
+        alloc = MessageIdAllocator(9)
+        ids = [alloc.fresh() for _ in range(100)]
+        assert len(set(ids)) == 100
+        assert all(origin == 9 for origin, _ in ids)
+        assert [seq for _, seq in ids] == list(range(100))
+
+    def test_independent_origins_do_not_collide(self):
+        a, b = MessageIdAllocator(1), MessageIdAllocator(2)
+        assert a.fresh() != b.fresh()

@@ -1,0 +1,250 @@
+"""White-box protocol edge cases, driven message by message."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.protocols import WbCastProcess
+from repro.protocols.base import MulticastMsg
+from repro.protocols.wbcast import (
+    AcceptAckMsg,
+    AcceptMsg,
+    DeliverMsg,
+    GcPruneMsg,
+    GcReadyMsg,
+    NewLeaderAckMsg,
+    NewLeaderMsg,
+    NewStateMsg,
+    Phase,
+    Status,
+    WbCastOptions,
+)
+from repro.protocols.wbcast.messages import make_vector
+from repro.sim import ConstantDelay, Simulator, Trace
+from repro.types import Ballot, Timestamp, make_message
+
+from tests.conftest import DELTA
+from tests.test_wbcast_normal import build, submit
+
+
+@pytest.fixture
+def cluster():
+    config = ClusterConfig.build(2, 3, 1)
+    sim, trace, tracker, procs, client = build(config)
+    return config, sim, trace, tracker, procs, client
+
+
+class TestAcceptHandling:
+    def test_accept_buffered_until_all_groups_present(self, cluster):
+        config, sim, trace, tracker, procs, client = cluster
+        m = make_message(client, 0, {0, 1})
+        # Inject only group 1's ACCEPT at a group-0 follower.
+        accept = AcceptMsg(m, 1, Ballot(0, 3), Timestamp(1, 1))
+        sim.schedule(0.0, lambda: sim.transmit(3, 1, accept))
+        sim.run()
+        follower = procs[1]
+        assert m.mid in follower._accepts
+        assert m.mid not in follower.records  # no action yet
+        acks = [r for r in trace.sends if isinstance(r.msg, AcceptAckMsg)]
+        assert not acks
+
+    def test_own_group_accept_with_stale_ballot_not_acked(self, cluster):
+        config, sim, trace, tracker, procs, client = cluster
+        m = make_message(client, 0, {0, 1})
+        stale = AcceptMsg(m, 0, Ballot(-1, 0), Timestamp(1, 0))
+        fresh_remote = AcceptMsg(m, 1, Ballot(0, 3), Timestamp(1, 1))
+        sim.schedule(0.0, lambda: sim.transmit(0, 1, stale))
+        sim.schedule(0.0, lambda: sim.transmit(3, 1, fresh_remote))
+        sim.run()
+        acks = [r for r in trace.sends if isinstance(r.msg, AcceptAckMsg) and r.src == 1]
+        assert not acks
+
+    def test_remote_accept_updates_leader_guess(self, cluster):
+        config, sim, trace, tracker, procs, client = cluster
+        m = make_message(client, 0, {0, 1})
+        newer = AcceptMsg(m, 1, Ballot(5, 4), Timestamp(1, 1))
+        sim.schedule(0.0, lambda: sim.transmit(4, 1, newer))
+        sim.run()
+        assert procs[1].cur_leader[1] == 4
+
+    def test_higher_ballot_accept_replaces_buffered(self, cluster):
+        config, sim, trace, tracker, procs, client = cluster
+        m = make_message(client, 0, {0, 1})
+        old = AcceptMsg(m, 1, Ballot(0, 3), Timestamp(1, 1))
+        new = AcceptMsg(m, 1, Ballot(2, 4), Timestamp(7, 1))
+        sim.schedule(0.0, lambda: sim.transmit(3, 1, old))
+        sim.schedule(0.001, lambda: sim.transmit(4, 1, new))
+        sim.run()
+        assert procs[1]._accepts[m.mid][1].lts == Timestamp(7, 1)
+
+    def test_duplicate_accept_reacks_idempotently(self, cluster):
+        config, sim, trace, tracker, procs, client = cluster
+        m = make_message(client, 0, {0, 1})
+        sim.schedule(0.0, lambda: submit(sim, config, client, m))
+        sim.run()
+        # Re-deliver group 1's ACCEPT to follower 1: it must re-ack with
+        # the same vector, and nothing double-delivers.
+        accept = procs[1]._accepts[m.mid][1]
+        before = len(trace.deliveries)
+        sim.schedule(0.0, lambda: sim.transmit(3, 1, accept))
+        sim.run()
+        assert len(trace.deliveries) == before
+
+
+class TestAckHandling:
+    def test_ack_with_foreign_ballot_vector_ignored(self, cluster):
+        config, sim, trace, tracker, procs, client = cluster
+        m = make_message(client, 0, {0, 1})
+        sim.schedule(0.0, lambda: submit(sim, config, client, m))
+        sim.run(until=1.5 * DELTA)  # proposal made, acks not yet in
+        vector = make_vector({0: Ballot(9, 9), 1: Ballot(0, 3)})
+        rogue = AcceptAckMsg(m.mid, 0, vector)
+        sim.schedule(0.0, lambda: sim.transmit(1, 0, rogue))
+        sim.run(until=1.6 * DELTA)
+        rec = procs[0].records[m.mid]
+        assert rec.phase is not Phase.COMMITTED
+
+    def test_acks_for_unknown_message_ignored(self, cluster):
+        config, sim, trace, tracker, procs, client = cluster
+        vector = make_vector({0: procs[0].cballot, 1: Ballot(0, 3)})
+        ghost = AcceptAckMsg((77, 77), 0, vector)
+        sim.schedule(0.0, lambda: sim.transmit(1, 0, ghost))
+        sim.run()
+        assert (77, 77) not in procs[0].records
+
+
+class TestDeliverHandling:
+    def test_non_monotone_deliver_dropped(self, cluster):
+        config, sim, trace, tracker, procs, client = cluster
+        m1 = make_message(client, 0, {0, 1})
+        sim.schedule(0.0, lambda: submit(sim, config, client, m1))
+        sim.run()
+        follower = procs[1]
+        high_gts = follower.max_delivered_gts
+        stale = DeliverMsg(
+            make_message(client, 9, {0}),
+            follower.cballot,
+            Timestamp(0, 0),
+            Timestamp(0, 0),
+        )
+        before = len(trace.deliveries)
+        sim.schedule(0.0, lambda: sim.transmit(0, 1, stale))
+        sim.run()
+        assert len(trace.deliveries) == before
+        assert follower.max_delivered_gts == high_gts
+
+    def test_deliver_from_wrong_ballot_dropped(self, cluster):
+        config, sim, trace, tracker, procs, client = cluster
+        msg = DeliverMsg(
+            make_message(client, 9, {0}), Ballot(9, 9), Timestamp(1, 0), Timestamp(1, 0)
+        )
+        before = len(trace.deliveries)
+        sim.schedule(0.0, lambda: sim.transmit(0, 1, msg))
+        sim.run()
+        assert len(trace.deliveries) == before
+
+
+class TestRetry:
+    def test_retry_ignores_unknown_and_committed(self, cluster):
+        config, sim, trace, tracker, procs, client = cluster
+        m = make_message(client, 0, {0, 1})
+        sim.schedule(0.0, lambda: submit(sim, config, client, m))
+        sim.run()
+        sends_before = trace.send_count
+        procs[0].retry((42, 42))  # unknown
+        procs[0].retry(m.mid)  # committed: not retriable
+        sim.run()
+        assert trace.send_count == sends_before
+
+    def test_retry_resends_multicast_for_stuck_message(self, cluster):
+        config, sim, trace, tracker, procs, client = cluster
+        m = make_message(client, 0, {0, 1})
+        # Only group 0's leader hears about m: it stays PROPOSED.
+        sim.record_multicast(client, m)
+        sim.schedule(0.0, lambda: sim.transmit(client, 0, MulticastMsg(m)))
+        sim.run()
+        assert procs[0].records[m.mid].phase in (Phase.PROPOSED, Phase.ACCEPTED)
+        procs[0].retry(m.mid)
+        sim.run()
+        # The retry re-multicasts to group 1 too, unblocking everything.
+        assert procs[0].records[m.mid].phase is Phase.COMMITTED
+        assert len(trace.deliveries_of(m.mid)) == 6
+
+
+class TestRecoveryEdges:
+    def test_multicast_during_recovery_dropped(self, cluster):
+        config, sim, trace, tracker, procs, client = cluster
+        leader = procs[0]
+        leader.status = Status.RECOVERING
+        m = make_message(client, 0, {0, 1})
+        sim.schedule(0.0, lambda: sim.transmit(client, 0, MulticastMsg(m)))
+        sim.run(until=2 * DELTA)
+        assert m.mid not in leader.records
+
+    def test_duplicate_newleader_acks_do_not_double_rebuild(self, cluster):
+        config, sim, trace, tracker, procs, client = cluster
+        sim.schedule(0.0, lambda: procs[1].recover())
+        sim.run()
+        assert procs[1].status is Status.LEADER
+        clock = procs[1].clock
+        # A late duplicate vote must not re-run the rebuild.
+        dup = NewLeaderAckMsg(procs[1].cballot, Ballot(0, 0), 99, {}, None)
+        sim.schedule(0.0, lambda: sim.transmit(2, 1, dup))
+        sim.run()
+        assert procs[1].clock == clock
+
+    def test_new_state_with_wrong_ballot_ignored(self, cluster):
+        config, sim, trace, tracker, procs, client = cluster
+        follower = procs[1]
+        rogue = NewStateMsg(Ballot(9, 9), 42, {})
+        sim.schedule(0.0, lambda: sim.transmit(2, 1, rogue))
+        sim.run()
+        assert follower.status is Status.FOLLOWER
+        assert follower.clock == 0
+
+    def test_newleader_with_lower_ballot_rejected(self, cluster):
+        config, sim, trace, tracker, procs, client = cluster
+        sim.schedule(0.0, lambda: procs[1].recover())  # ballot (1,1)
+        sim.run()
+        low = NewLeaderMsg(Ballot(0, 2))
+        sim.schedule(0.0, lambda: sim.transmit(2, 1, low))
+        sim.run()
+        assert procs[1].status is Status.LEADER  # unimpressed
+
+    def test_recover_bumps_past_both_ballot_and_cballot(self, cluster):
+        config, sim, trace, tracker, procs, client = cluster
+        sim.schedule(0.0, lambda: procs[1].recover())
+        sim.run()
+        sim.schedule(0.0, lambda: procs[2].recover())
+        sim.run()
+        assert procs[2].cballot.round == 2
+        assert procs[2].status is Status.LEADER
+
+
+class TestGcEdges:
+    def test_gc_ready_keeps_max_watermark(self, cluster):
+        config, sim, trace, tracker, procs, client = cluster
+        leader = procs[0]
+        sim.schedule(0.0, lambda: sim.transmit(3, 0, GcReadyMsg(1, Timestamp(5, 1))))
+        sim.schedule(0.001, lambda: sim.transmit(3, 0, GcReadyMsg(1, Timestamp(3, 1))))
+        sim.run()
+        assert leader._group_watermarks[1] == Timestamp(5, 1)
+
+    def test_prune_for_undelivered_mid_ignored(self, cluster):
+        config, sim, trace, tracker, procs, client = cluster
+        m = make_message(client, 0, {0, 1})
+        sim.schedule(0.0, lambda: submit(sim, config, client, m))
+        sim.run()
+        follower = procs[1]
+        ghost = GcPruneMsg(((123, 456),))
+        sim.schedule(0.0, lambda: sim.transmit(0, 1, ghost))
+        sim.run()
+        assert m.mid in follower.records  # untouched
+
+    def test_introspection_helpers(self, cluster):
+        config, sim, trace, tracker, procs, client = cluster
+        m = make_message(client, 0, {0, 1})
+        sim.schedule(0.0, lambda: submit(sim, config, client, m))
+        sim.run()
+        assert procs[0].record_of(m.mid).phase is Phase.COMMITTED
+        assert procs[0].record_of((5, 5)) is None
+        assert procs[0].live_record_count() == 1

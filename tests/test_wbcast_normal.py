@@ -1,0 +1,214 @@
+"""White-box protocol, failure-free operation (Fig. 4 lines 1-31, Fig. 5)."""
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.config import ClusterConfig
+from repro.protocols import WbCastProcess
+from repro.protocols.base import MulticastMsg
+from repro.protocols.wbcast import (
+    AcceptAckMsg,
+    AcceptMsg,
+    DeliverMsg,
+    Phase,
+    Status,
+    WbCastOptions,
+)
+from repro.sim import ConstantDelay, Simulator, Trace
+from repro.types import Timestamp, make_message
+from repro.workload import DeliveryTracker
+
+from tests.conftest import DELTA, checks_ok
+
+
+def build(config, delta=DELTA, seed=0, options=None):
+    trace = Trace()
+    sim = Simulator(ConstantDelay(delta), seed=seed, trace=trace)
+    tracker = DeliveryTracker(config, sim=sim)
+    trace.attach(tracker)
+    procs = {
+        pid: sim.add_process(
+            pid, lambda rt, p=pid: WbCastProcess(p, config, rt, options=options)
+        )
+        for pid in config.all_members
+    }
+    client = config.clients[0]
+    sim.add_process(client, lambda rt: _NullClient())
+    return sim, trace, tracker, procs, client
+
+
+class _NullClient:
+    def on_message(self, sender, msg):
+        pass
+
+
+def submit(sim, config, client, m, to_leaders=True):
+    targets = (
+        [config.default_leader(g) for g in sorted(m.dests)]
+        if to_leaders
+        else [p for g in sorted(m.dests) for p in config.members(g)]
+    )
+    sim.record_multicast(client, m)
+    for t in targets:
+        sim.transmit(client, t, MulticastMsg(m))
+
+
+class TestRoles:
+    def test_initial_roles(self):
+        config = ClusterConfig.build(2, 3, 1)
+        sim, trace, tracker, procs, client = build(config)
+        assert procs[0].status is Status.LEADER
+        assert procs[1].status is Status.FOLLOWER
+        assert procs[3].status is Status.LEADER
+        assert procs[0].cballot == procs[1].cballot
+
+    def test_multicast_targets_are_leaders(self):
+        config = ClusterConfig.build(2, 3, 1)
+        m = make_message(6, 0, {0, 1})
+        assert WbCastProcess.multicast_targets(config, config.default_leaders(), m) == [0, 3]
+
+
+class TestMessageFlow:
+    """The Fig. 5 collision-free flow, hop by hop."""
+
+    def test_fig5_hop_times(self):
+        config = ClusterConfig.build(2, 3, 1)
+        sim, trace, tracker, procs, client = build(config)
+        m = make_message(client, 0, {0, 1})
+        sim.schedule(0.0, lambda: submit(sim, config, client, m))
+        sim.run()
+        accepts = [r for r in trace.sends if isinstance(r.msg, AcceptMsg)]
+        acks = [r for r in trace.sends if isinstance(r.msg, AcceptAckMsg)]
+        delivers = [r for r in trace.sends if isinstance(r.msg, DeliverMsg)]
+        # ACCEPTs leave leaders at 1δ, acks at 2δ, DELIVERs at 3δ.
+        assert {round(r.t_send / DELTA, 6) for r in accepts} == {1.0}
+        assert {round(r.t_send / DELTA, 6) for r in acks} == {2.0}
+        assert {round(r.t_send / DELTA, 6) for r in delivers} == {3.0}
+
+    def test_accept_fans_out_to_every_destination_process(self):
+        config = ClusterConfig.build(2, 3, 1)
+        sim, trace, tracker, procs, client = build(config)
+        m = make_message(client, 0, {0, 1})
+        sim.schedule(0.0, lambda: submit(sim, config, client, m))
+        sim.run()
+        accept_dsts = {(r.src, r.dst) for r in trace.sends if isinstance(r.msg, AcceptMsg)}
+        # Each of the 2 leaders sends ACCEPT to all 6 destination processes.
+        assert len(accept_dsts) == 12
+
+    def test_leaders_deliver_at_3_delta_followers_at_4(self):
+        config = ClusterConfig.build(2, 3, 1)
+        sim, trace, tracker, procs, client = build(config)
+        m = make_message(client, 0, {0, 1})
+        sim.schedule(0.0, lambda: submit(sim, config, client, m))
+        sim.run()
+        times = {d.pid: d.t for d in trace.deliveries}
+        assert times[0] == pytest.approx(3 * DELTA)  # leader g0
+        assert times[3] == pytest.approx(3 * DELTA)  # leader g1
+        for follower in (1, 2, 4, 5):
+            assert times[follower] == pytest.approx(4 * DELTA)
+
+    def test_single_group_message_follows_paxos_flow(self):
+        config = ClusterConfig.build(2, 3, 1)
+        sim, trace, tracker, procs, client = build(config)
+        m = make_message(client, 0, {0})
+        sim.schedule(0.0, lambda: submit(sim, config, client, m))
+        sim.run()
+        times = {d.pid: d.t for d in trace.deliveries}
+        assert times[0] == pytest.approx(3 * DELTA)
+        assert set(times) == {0, 1, 2}
+
+
+class TestStateMachine:
+    def test_phases_progress(self):
+        config = ClusterConfig.build(2, 3, 1)
+        sim, trace, tracker, procs, client = build(config)
+        m = make_message(client, 0, {0, 1})
+        sim.schedule(0.0, lambda: submit(sim, config, client, m))
+        sim.run(until=1.5 * DELTA)
+        assert procs[0].records[m.mid].phase is Phase.PROPOSED
+        sim.run(until=2.5 * DELTA)
+        assert procs[1].records[m.mid].phase is Phase.ACCEPTED
+        sim.run()
+        assert procs[0].records[m.mid].phase is Phase.COMMITTED
+        assert procs[0].records[m.mid].gts is not None
+
+    def test_speculative_clock_advance_at_followers(self):
+        """Line 14: every destination process's clock passes the implied
+        global timestamp as soon as it has the full ACCEPT set."""
+        config = ClusterConfig.build(2, 3, 1)
+        sim, trace, tracker, procs, client = build(config)
+        m = make_message(client, 0, {0, 1})
+        sim.schedule(0.0, lambda: submit(sim, config, client, m))
+        sim.run(until=2.5 * DELTA)
+        gts_time = max(
+            r.msg.lts.time for r in trace.sends if isinstance(r.msg, AcceptMsg)
+        )
+        for pid in config.all_members:
+            assert procs[pid].clock >= gts_time
+
+    def test_global_timestamp_is_max_of_locals(self):
+        config = ClusterConfig.build(2, 3, 1)
+        sim, trace, tracker, procs, client = build(config)
+        m = make_message(client, 0, {0, 1})
+        sim.schedule(0.0, lambda: submit(sim, config, client, m))
+        sim.run()
+        accepts = {r.msg.gid: r.msg.lts for r in trace.sends if isinstance(r.msg, AcceptMsg)}
+        assert procs[0].records[m.mid].gts == max(accepts.values())
+
+    def test_duplicate_multicast_is_idempotent(self):
+        config = ClusterConfig.build(2, 3, 1)
+        sim, trace, tracker, procs, client = build(config)
+        m = make_message(client, 0, {0, 1})
+        sim.schedule(0.0, lambda: submit(sim, config, client, m))
+        sim.schedule(5 * DELTA, lambda: submit(sim, config, client, m))
+        sim.run()
+        per_pid = {}
+        for d in trace.deliveries:
+            per_pid[d.pid] = per_pid.get(d.pid, 0) + 1
+        assert all(count == 1 for count in per_pid.values())
+        # Invariant 1: the resent ACCEPT reuses the stored timestamp.
+        lts_seen = {
+            r.msg.lts for r in trace.sends
+            if isinstance(r.msg, AcceptMsg) and r.msg.gid == 0
+        }
+        assert len(lts_seen) == 1
+
+    def test_follower_forwards_misdirected_multicast(self):
+        config = ClusterConfig.build(2, 3, 1)
+        sim, trace, tracker, procs, client = build(config)
+        m = make_message(client, 0, {0, 1})
+        sim.record_multicast(client, m)
+        # Send to a follower of g0 and the leader of g1.
+        sim.schedule(0.0, lambda: sim.transmit(client, 1, MulticastMsg(m)))
+        sim.schedule(0.0, lambda: sim.transmit(client, 3, MulticastMsg(m)))
+        sim.run()
+        assert len(trace.deliveries_of(m.mid)) == 6  # everyone delivers
+
+
+class TestEndToEnd:
+    def test_properties_and_latency_under_load(self):
+        res = run_workload(WbCastProcess, num_groups=3, group_size=3, num_clients=4,
+                           messages_per_client=12, dest_k=2, seed=3,
+                           network=ConstantDelay(DELTA))
+        assert res.all_done
+        checks_ok(res)
+
+    def test_genuineness(self):
+        res = run_workload(WbCastProcess, num_groups=4, group_size=3, num_clients=3,
+                           messages_per_client=8, dest_k=2, seed=5,
+                           network=ConstantDelay(DELTA), attach_genuineness=True)
+        assert res.genuineness.is_genuine
+
+    def test_five_member_groups(self):
+        res = run_workload(WbCastProcess, num_groups=2, group_size=5, num_clients=2,
+                           messages_per_client=8, dest_k=2, seed=6,
+                           network=ConstantDelay(DELTA))
+        assert res.all_done
+        checks_ok(res)
+
+    def test_all_groups_destination(self):
+        res = run_workload(WbCastProcess, num_groups=4, group_size=3, num_clients=2,
+                           messages_per_client=6, dest_k=4, seed=7,
+                           network=ConstantDelay(DELTA))
+        assert res.all_done
+        checks_ok(res)

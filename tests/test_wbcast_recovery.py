@@ -1,0 +1,240 @@
+"""White-box protocol leader recovery (Fig. 4 lines 35-68, §IV discussion)."""
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.config import ClusterConfig
+from repro.protocols import WbCastProcess
+from repro.protocols.base import MulticastMsg
+from repro.protocols.wbcast import (
+    NewLeaderMsg,
+    NewStateMsg,
+    Phase,
+    Status,
+    WbCastOptions,
+)
+from repro.sim import ConstantDelay, Simulator, Trace
+from repro.sim.faults import CrashSpec, FaultPlan
+from repro.types import Ballot, make_message
+from repro.workload import ClientOptions
+
+from tests.conftest import DELTA, FAST_FD, checks_ok
+from tests.test_wbcast_normal import build, submit
+
+
+RETRYING = WbCastOptions(retry_interval=0.05)
+CLIENT_RETRY = ClientOptions(num_messages=10, retry_timeout=0.08)
+
+
+class TestRecoveryRound:
+    def test_manual_recovery_transfers_leadership(self):
+        config = ClusterConfig.build(1, 3, 1)
+        sim, trace, tracker, procs, client = build(config)
+        sim.schedule(0.01, lambda: procs[1].recover())
+        sim.run()
+        assert procs[1].status is Status.LEADER
+        assert procs[0].status is Status.FOLLOWER  # deposed by higher ballot
+        assert procs[2].status is Status.FOLLOWER
+        assert procs[1].cballot == Ballot(1, 1)
+        assert procs[0].cballot == procs[1].cballot
+
+    def test_recovery_is_two_stage(self):
+        config = ClusterConfig.build(1, 3, 1)
+        sim, trace, tracker, procs, client = build(config)
+        sim.schedule(0.01, lambda: procs[1].recover())
+        sim.run()
+        newleader = [r for r in trace.sends if isinstance(r.msg, NewLeaderMsg)]
+        newstate = [r for r in trace.sends if isinstance(r.msg, NewStateMsg)]
+        assert newleader and newstate
+        assert min(r.t_send for r in newleader) < min(r.t_send for r in newstate)
+
+    def test_higher_ballot_wins_concurrent_candidates(self):
+        config = ClusterConfig.build(1, 3, 1)
+        sim, trace, tracker, procs, client = build(config)
+        sim.schedule(0.01, lambda: procs[1].recover())
+        sim.schedule(0.01, lambda: procs[2].recover())
+        sim.run()
+        assert procs[2].status is Status.LEADER  # Ballot(1,2) > Ballot(1,1)
+        assert procs[1].status is Status.FOLLOWER
+
+    def test_old_leader_messages_rejected_after_recovery(self):
+        """A deposed leader's DELIVERs carry a stale ballot and are dropped."""
+        config = ClusterConfig.build(1, 3, 1)
+        sim, trace, tracker, procs, client = build(config)
+        sim.schedule(0.01, lambda: procs[1].recover())
+        sim.run()
+        from repro.protocols.wbcast.messages import DeliverMsg
+        from repro.types import Timestamp
+
+        stale = DeliverMsg(
+            make_message(client, 99, {0}), Ballot(0, 0), Timestamp(1, 0), Timestamp(1, 0)
+        )
+        before = len(trace.deliveries)
+        sim.schedule(0.0, lambda: sim.transmit(0, 2, stale))
+        sim.run()
+        assert len(trace.deliveries) == before
+
+
+class TestStatePreservation:
+    def test_committed_message_survives_and_is_redelivered(self):
+        """Lines 47-50 and 66-68: committed state is never lost, and the new
+        leader re-delivers from the beginning (followers dedup)."""
+        config = ClusterConfig.build(2, 3, 1)
+        sim, trace, tracker, procs, client = build(config)
+        m = make_message(client, 0, {0, 1})
+        sim.schedule(0.0, lambda: submit(sim, config, client, m))
+        # Crash g0's leader after everyone delivered; recover on pid 1.
+        sim.schedule(0.01, lambda: sim.crash(0))
+        sim.schedule(0.02, lambda: procs[1].recover())
+        sim.run()
+        assert procs[1].records[m.mid].phase is Phase.COMMITTED
+        # No double delivery anywhere despite re-DELIVER.
+        per_pid = {}
+        for d in trace.deliveries:
+            per_pid[d.pid] = per_pid.get(d.pid, 0) + 1
+        assert all(v == 1 for v in per_pid.values())
+
+    def test_quorum_accepted_message_survives(self):
+        """Invariant 2: a message accepted by a quorum is recovered as
+        ACCEPTED with its exact local timestamp."""
+        config = ClusterConfig.build(2, 3, 1)
+        sim, trace, tracker, procs, client = build(config)
+        m = make_message(client, 0, {0, 1})
+        sim.schedule(0.0, lambda: submit(sim, config, client, m))
+        # Crash g0's leader right after acks are sent (2δ) but before it
+        # commits; followers have ACCEPTED.
+        sim.crash_at(0, 2.5 * DELTA)
+        lts_before = {}
+        def snapshot():
+            lts_before[0] = procs[1].records[m.mid].lts
+        sim.schedule(2.6 * DELTA, snapshot)
+        sim.schedule(0.02, lambda: procs[1].recover())
+        sim.run()
+        rec = procs[1].records[m.mid]
+        assert rec.phase in (Phase.ACCEPTED, Phase.COMMITTED)
+        assert rec.lts == lts_before[0]
+
+    def test_proposed_only_message_lost_until_retry(self):
+        """§IV "message recovery": a message the crashed leader never got
+        to replicate is dropped by recovery and resurrected by a client
+        retry broadcast to all group members."""
+        config = ClusterConfig.build(2, 3, 1)
+        sim, trace, tracker, procs, client = build(config)
+        m = make_message(client, 0, {0, 1})
+        sim.record_multicast(client, m)
+        sim.schedule(0.0, lambda: sim.transmit(client, 0, MulticastMsg(m)))
+        sim.crash_at(0, 0.5 * DELTA)  # before the leader even receives it
+        sim.schedule(0.02, lambda: procs[1].recover())
+        sim.run()
+        assert m.mid not in procs[1].records
+        # Client retries to every member; the new leader picks it up.
+        sim.schedule(0.0, lambda: submit(sim, config, client, m, to_leaders=False))
+        sim.run()
+        assert len(trace.deliveries_of(m.mid)) >= 4  # g1 all + g0 survivors
+        checks = [d.pid for d in trace.deliveries_of(m.mid)]
+        assert 1 in checks and 2 in checks
+
+    def test_clock_recovered_as_max_of_votes(self):
+        config = ClusterConfig.build(2, 3, 1)
+        sim, trace, tracker, procs, client = build(config)
+        for i in range(5):
+            mi = make_message(client, i, {0, 1})
+            sim.schedule(i * 5 * DELTA, lambda mm=mi: submit(sim, config, client, mm))
+        sim.schedule(0.1, lambda: sim.crash(0))
+        sim.schedule(0.11, lambda: procs[1].recover())
+        sim.run()
+        assert procs[1].clock >= procs[2].clock
+
+
+class TestPaperScenario:
+    def test_p1_p2_p3_lost_timestamp_never_resurrects(self):
+        """The §IV 'Discussion of leader recovery' scenario: p1 replicates
+        (m, lts) to one follower only; p2 recovers from a quorum that never
+        saw m and commits another message m'; p3 recovers next and must NOT
+        resurrect m's old timestamp (Invariant 5)."""
+        config = ClusterConfig.build(1, 3, 1)  # single group: p0, p1, p2
+        sim, trace, tracker, procs, client = build(config)
+        m = make_message(client, 0, {0})
+        mprime = make_message(client, 1, {0})
+
+        # p0 (the ballot-(0,0) leader) crashes before m makes any progress
+        # beyond it, so no quorum ever saw m or its timestamp.
+        sim.record_multicast(client, m)
+        sim.schedule(0.0, lambda: sim.transmit(client, 0, MulticastMsg(m)))
+        sim.crash_at(0, 0.5 * DELTA)  # m is PROPOSED nowhere but p0... never arrived
+        # p1 takes over (ballot (1,1)) and multicasts m'.
+        sim.schedule(0.01, lambda: procs[1].recover())
+        sim.schedule(0.02, lambda: submit_local(sim, config, client, mprime))
+        sim.run()
+        assert procs[1].records[mprime.mid].phase is Phase.COMMITTED
+        # p2 takes over (ballot (2,2)); m must not reappear, m' must persist.
+        sim.schedule(0.0, lambda: procs[2].recover())
+        sim.run()
+        assert procs[2].status is Status.LEADER
+        assert m.mid not in procs[2].records
+        assert procs[2].records[mprime.mid].phase is Phase.COMMITTED
+        checks_from_trace(config, trace)
+
+
+def submit_local(sim, config, client, m):
+    sim.record_multicast(client, m)
+    # after recovery the leader of group 0 is pid 1
+    for pid in config.members(0):
+        sim.transmit(client, pid, MulticastMsg(m))
+
+
+def checks_from_trace(config, trace):
+    from repro.checking import History, check_all
+
+    history = History.from_trace(config, trace)
+    failed = [c.describe() for c in check_all(history, quiescent=False) if not c.ok]
+    assert not failed, failed
+
+
+class TestEndToEndFailover:
+    def test_leader_crash_with_fd_completes_workload(self):
+        res = run_workload(
+            WbCastProcess, num_groups=3, group_size=3, num_clients=3,
+            messages_per_client=10, dest_k=2, seed=11,
+            network=ConstantDelay(DELTA), protocol_options=RETRYING,
+            client_options=CLIENT_RETRY,
+            fault_plan=FaultPlan(crashes=[CrashSpec(0, 0.0123)]),
+            attach_fd=True, fd_options=FAST_FD, drain_grace=0.3,
+        )
+        assert res.all_done
+        checks_ok(res)
+
+    def test_two_group_leaders_crash(self):
+        res = run_workload(
+            WbCastProcess, num_groups=3, group_size=3, num_clients=2,
+            messages_per_client=8, dest_k=2, seed=13,
+            network=ConstantDelay(DELTA), protocol_options=RETRYING,
+            client_options=ClientOptions(num_messages=8, retry_timeout=0.08),
+            fault_plan=FaultPlan(crashes=[CrashSpec(0, 0.011), CrashSpec(3, 0.017)]),
+            attach_fd=True, fd_options=FAST_FD, drain_grace=0.4,
+        )
+        assert res.all_done
+        checks_ok(res)
+
+    def test_follower_crash_is_invisible(self):
+        res = run_workload(
+            WbCastProcess, num_groups=2, group_size=3, num_clients=2,
+            messages_per_client=10, dest_k=2, seed=17,
+            network=ConstantDelay(DELTA),
+            fault_plan=FaultPlan(crashes=[CrashSpec(1, 0.005)]),
+            drain_grace=0.1,
+        )
+        assert res.all_done
+        checks_ok(res)
+
+    def test_crash_during_recovery(self):
+        """The first candidate crashes mid-election; another one finishes."""
+        config = ClusterConfig.build(1, 5, 1)
+        sim, trace, tracker, procs, client = build(config)
+        sim.crash_at(0, 0.01)
+        sim.schedule(0.02, lambda: procs[1].recover())
+        sim.crash_at(1, 0.02 + 0.5 * DELTA)  # dies right after NEWLEADER
+        sim.schedule(0.05, lambda: procs[2].recover())
+        sim.run()
+        assert procs[2].status is Status.LEADER
+        assert procs[3].cballot == procs[2].cballot

@@ -1,0 +1,148 @@
+"""Clients, destination choosers and the delivery tracker."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.harness import run_workload
+from repro.config import ClusterConfig
+from repro.errors import ConfigError
+from repro.protocols import WbCastProcess
+from repro.sim import ConstantDelay
+from repro.types import make_message
+from repro.workload import (
+    ClientOptions,
+    DeliveryTracker,
+    DisjointPairs,
+    FixedDestinations,
+    RandomKGroups,
+    RingNeighbours,
+)
+
+from tests.conftest import DELTA
+
+
+@pytest.fixture
+def config():
+    return ClusterConfig.build(4, 3, 2)
+
+
+class TestChoosers:
+    def test_fixed(self):
+        chooser = FixedDestinations([2, 0])
+        assert chooser.choose(random.Random(0)) == frozenset({0, 2})
+        with pytest.raises(ConfigError):
+            FixedDestinations([])
+
+    def test_random_k_size_and_range(self, config):
+        chooser = RandomKGroups(config, 2)
+        rng = random.Random(1)
+        seen = set()
+        for _ in range(100):
+            dests = chooser.choose(rng)
+            assert len(dests) == 2
+            assert all(0 <= g < 4 for g in dests)
+            seen.add(dests)
+        assert len(seen) > 1  # actually random
+
+    def test_random_k_bounds_checked(self, config):
+        with pytest.raises(ConfigError):
+            RandomKGroups(config, 0)
+        with pytest.raises(ConfigError):
+            RandomKGroups(config, 5)
+
+    def test_ring_neighbours_consecutive(self, config):
+        chooser = RingNeighbours(config, 3)
+        rng = random.Random(2)
+        for _ in range(50):
+            dests = chooser.choose(rng)
+            assert len(dests) == 3
+            assert any(
+                dests == frozenset((start + i) % 4 for i in range(3))
+                for start in range(4)
+            )
+
+    def test_disjoint_pairs_are_disjoint(self, config):
+        p0 = DisjointPairs(config, 0).choose(random.Random(0))
+        p1 = DisjointPairs(config, 1).choose(random.Random(0))
+        assert p0 == frozenset({0, 1})
+        assert p1 == frozenset({2, 3})
+        assert not (p0 & p1)
+
+
+class TestTracker:
+    def test_partial_delivery_needs_every_group(self, config):
+        tracker = DeliveryTracker(config)
+        m = make_message(12, 0, {0, 1})
+        tracker.expect(m, 0.0)
+        tracker.on_deliver(1.0, 0, m)  # group 0 only
+        assert tracker.latency(m.mid) is None
+        tracker.on_deliver(2.0, 3, m)  # group 1: partial delivery complete
+        assert tracker.latency(m.mid) == pytest.approx(2.0)
+
+    def test_first_delivery_per_group_wins(self, config):
+        tracker = DeliveryTracker(config)
+        m = make_message(12, 0, {0})
+        tracker.expect(m, 0.0)
+        tracker.on_deliver(1.0, 0, m)
+        tracker.on_deliver(2.0, 1, m)  # same group, later: ignored
+        assert tracker.latency(m.mid) == pytest.approx(1.0)
+
+    def test_callback_fired_once(self, config):
+        tracker = DeliveryTracker(config)
+        m = make_message(12, 0, {0})
+        fired = []
+        tracker.expect(m, 0.0, callback=lambda mid, t: fired.append((mid, t)))
+        tracker.on_deliver(1.0, 0, m)
+        tracker.on_deliver(1.5, 1, m)
+        assert fired == [(m.mid, 1.0)]
+
+    def test_completed_in_window(self, config):
+        tracker = DeliveryTracker(config)
+        for i, t in enumerate((1.0, 2.0, 3.0)):
+            m = make_message(12, i, {0})
+            tracker.expect(m, 0.0)
+            tracker.on_deliver(t, 0, m)
+        assert len(tracker.completed_in_window(1.5, 3.0)) == 1
+
+
+class TestClients:
+    def test_closed_loop_is_sequential(self):
+        """A closed-loop client never has two multicasts outstanding."""
+        res = run_workload(WbCastProcess, num_groups=2, group_size=3, num_clients=1,
+                           messages_per_client=5, dest_k=2, seed=0,
+                           network=ConstantDelay(DELTA))
+        client = res.clients[0]
+        assert client.done
+        mc_times = sorted(r.t for r in res.trace.multicasts)
+        completions = sorted(t for _, t in client.completed)
+        for next_send, prev_done in zip(mc_times[1:], completions):
+            assert next_send >= prev_done
+
+    def test_think_time_spaces_sends(self):
+        res = run_workload(
+            WbCastProcess, num_groups=2, group_size=3, num_clients=1,
+            messages_per_client=3, dest_k=2, seed=0, network=ConstantDelay(DELTA),
+            client_options=ClientOptions(num_messages=3, think_time=0.05),
+        )
+        mc_times = sorted(r.t for r in res.trace.multicasts)
+        assert all(b - a >= 0.05 for a, b in zip(mc_times, mc_times[1:]))
+
+    def test_start_delay(self):
+        res = run_workload(
+            WbCastProcess, num_groups=2, group_size=3, num_clients=1,
+            messages_per_client=1, dest_k=2, seed=0, network=ConstantDelay(DELTA),
+            client_options=ClientOptions(num_messages=1, start_delay=0.1),
+        )
+        assert min(r.t for r in res.trace.multicasts) >= 0.1
+
+    def test_retry_broadcast_reaches_new_leader(self):
+        """Retries go to every member, so a stale leader guess only costs
+        time, not liveness (covered further in recovery tests)."""
+        res = run_workload(
+            WbCastProcess, num_groups=2, group_size=3, num_clients=1,
+            messages_per_client=4, dest_k=2, seed=0, network=ConstantDelay(DELTA),
+            client_options=ClientOptions(num_messages=4, retry_timeout=0.02),
+        )
+        assert res.all_done
