@@ -14,11 +14,34 @@ Quickstart::
     assert all(check.ok for check in result.check())
     print(result.latencies())
 
+Leader-side batching (beyond the paper): under heavy traffic the protocol
+saturates on its one-ACCEPT-round-per-message cost.  :class:`BatchingOptions`
+lets WbCast leaders accumulate pending multicasts per destination-group set
+and replicate them in batched rounds, with followers acking whole batches —
+delivery order, genuineness and recovery semantics are unchanged::
+
+    from repro import BatchingOptions
+
+    result = run_workload(
+        WbCastProcess, num_groups=3, group_size=3, num_clients=50,
+        messages_per_client=10, dest_k=2,
+        batching=BatchingOptions(max_batch=16, max_linger=0.0005,
+                                 pipeline_depth=4))
+
+The three knobs: ``max_batch`` (assignments per ``AcceptBatchMsg``),
+``max_linger`` (longest virtual-time wait for co-batched company) and
+``pipeline_depth`` (in-flight batches per destination set; backpressure is
+linger-bounded to stay deadlock-free across groups).  The same knobs are
+exposed as ``--batch-size`` / ``--batch-linger`` / ``--pipeline-depth`` on
+``python -m repro run``, and ``python -m repro bench-batching`` regenerates
+the throughput-vs-batch-size ablation (≈2x peak throughput at batch 16 on
+the Fig. 7 LAN testbed).
+
 See ``examples/`` for runnable scenarios and ``DESIGN.md`` for the full
 system inventory.
 """
 
-from .config import ClusterConfig
+from .config import BatchingOptions, ClusterConfig
 from .errors import (
     ConfigError,
     InvariantViolation,
@@ -58,6 +81,7 @@ __all__ = [
     "AmcastMessage",
     "BALLOT_BOTTOM",
     "Ballot",
+    "BatchingOptions",
     "ClusterConfig",
     "ConfigError",
     "ConstantDelay",

@@ -1,0 +1,185 @@
+"""Batching ablation: throughput scaling vs. batch size (Fig. 7 topology).
+
+The paper's protocol issues one ACCEPT quorum round trip per multicast, so
+Figs. 7–8 saturate on per-message handling cost.  Leader-side batching
+(``BatchingOptions``) amortises that cost: the leader replicates up to
+``max_batch`` local-timestamp assignments per ``AcceptBatchMsg``, followers
+ack whole batches, and consecutive DELIVER decisions share one wire
+message.  This ablation sweeps the batch size on the Fig. 7 LAN testbed
+(identical CPU model, client loop and topology for every point, so the
+only varying factor is the batch size) and reports the peak throughput
+scaling — the acceptance bar is ≥2× at batch 16 vs. the per-message
+protocol.
+
+Run ``python -m repro.bench.batching`` (or ``python -m repro
+bench-batching``) for the default grid; ``REPRO_BENCH_FULL=1`` enables the
+paper-scale one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..config import BatchingOptions
+from ..protocols import WbCastProcess
+from .report import render_table
+from .sweep import DEFAULT_CPU_COST, SweepConfig, full_sweep_enabled
+from .sweep import run_point as sweep_run_point
+from .topologies import LAN_ONE_WAY, lan_testbed
+
+#: Batch sizes swept by default; 1 is the paper's per-message protocol.
+BATCH_SIZES = (1, 2, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class BatchingPoint:
+    """One (batch size, client count) measurement."""
+
+    batch: int
+    clients: int
+    throughput: float
+    mean_latency: float
+    p95_latency: float
+    completed: int
+
+
+@dataclass
+class BatchingSweepConfig:
+    batch_sizes: Sequence[int] = BATCH_SIZES
+    client_counts: Sequence[int] = (100, 300)
+    num_groups: int = 6
+    group_size: int = 3
+    dest_k: int = 2
+    messages_per_client: int = 6
+    cpu_cost: float = DEFAULT_CPU_COST
+    cpu_jitter: float = 0.1
+    network_jitter: float = 0.05
+    #: Linger several LAN one-way delays so batches fill under load (0.5 ms
+    #: against a ~5 ms saturated mean latency: cheap for what it buys).
+    max_linger: float = 10 * LAN_ONE_WAY
+    pipeline_depth: int = 4
+    #: Outstanding multicasts per client; >1 sustains per-leader pressure.
+    client_window: int = 4
+    seed: int = 42
+
+
+def default_sweep() -> BatchingSweepConfig:
+    if full_sweep_enabled():
+        return BatchingSweepConfig(
+            client_counts=(100, 300, 600, 1000),
+            num_groups=10,
+            messages_per_client=10,
+        )
+    return BatchingSweepConfig()
+
+
+def batching_options(sweep: BatchingSweepConfig, batch: int) -> BatchingOptions:
+    """The knob settings for one swept batch size (1 = batching off)."""
+    if batch <= 1:
+        return BatchingOptions()
+    return BatchingOptions(
+        max_batch=batch,
+        max_linger=sweep.max_linger,
+        pipeline_depth=sweep.pipeline_depth,
+    )
+
+
+def run_point(sweep: BatchingSweepConfig, batch: int, clients: int) -> BatchingPoint:
+    # One measurement = one point of the generic sweep harness; only the
+    # batching knobs vary between grid cells.
+    point = sweep_run_point(
+        WbCastProcess,
+        lambda config: lan_testbed(config, jitter=sweep.network_jitter),
+        SweepConfig(
+            num_groups=sweep.num_groups,
+            group_size=sweep.group_size,
+            messages_per_client=sweep.messages_per_client,
+            cpu_cost=sweep.cpu_cost,
+            cpu_jitter=sweep.cpu_jitter,
+            network_jitter=sweep.network_jitter,
+            seed=sweep.seed,
+            batching=batching_options(sweep, batch),
+            client_window=sweep.client_window,
+        ),
+        dest_k=sweep.dest_k,
+        clients=clients,
+    )
+    return BatchingPoint(
+        batch=batch,
+        clients=clients,
+        throughput=point.throughput,
+        mean_latency=point.mean_latency,
+        p95_latency=point.p95_latency,
+        completed=point.completed,
+    )
+
+
+def run_batching(sweep: Optional[BatchingSweepConfig] = None) -> List[BatchingPoint]:
+    sweep = sweep or default_sweep()
+    points: List[BatchingPoint] = []
+    for batch in sweep.batch_sizes:
+        for clients in sweep.client_counts:
+            points.append(run_point(sweep, batch, clients))
+    return points
+
+
+def peak_throughputs(points: List[BatchingPoint]) -> Dict[int, float]:
+    """Best throughput per batch size across the swept client counts."""
+    peaks: Dict[int, float] = {}
+    for p in points:
+        peaks[p.batch] = max(peaks.get(p.batch, 0.0), p.throughput)
+    return peaks
+
+
+def peak_speedup(points: List[BatchingPoint], batch: int = 16) -> float:
+    """Peak-throughput ratio of ``batch`` over the per-message protocol."""
+    peaks = peak_throughputs(points)
+    base = peaks.get(1, 0.0)
+    if base <= 0:
+        return float("nan")
+    return peaks.get(batch, 0.0) / base
+
+
+def batching_table(points: List[BatchingPoint]) -> str:
+    rows = [
+        (
+            p.batch,
+            p.clients,
+            p.throughput,
+            p.mean_latency * 1000,
+            p.p95_latency * 1000,
+            p.completed,
+        )
+        for p in points
+    ]
+    return render_table(
+        ["batch", "clients", "msgs/s", "mean lat (ms)", "p95 lat (ms)", "completed"],
+        rows,
+        title="Batching ablation — WbCast throughput vs batch size (Fig. 7 LAN)",
+    )
+
+
+def headline(points: List[BatchingPoint]) -> str:
+    peaks = peak_throughputs(points)
+    base = peaks.get(1, 0.0)
+    lines = []
+    for batch in sorted(peaks):
+        if batch == 1 or base <= 0:
+            continue
+        lines.append(
+            f"batch={batch}: peak {peaks[batch]:,.0f} msgs/s "
+            f"({peaks[batch] / base:.2f}x over per-message)"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    points = run_batching()
+    print(batching_table(points))
+    print()
+    print(headline(points))
+
+
+if __name__ == "__main__":
+    main()

@@ -9,12 +9,12 @@ finish (plus a drain grace period so followers catch up), and returns a
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..checking import History, check_all
 from ..checking.genuineness import GenuinenessMonitor
-from ..config import ClusterConfig
+from ..config import BatchingOptions, ClusterConfig
 from ..errors import SimulationError
 from ..sim import ConstantDelay, CpuModel, Simulator, Trace
 from ..sim.faults import FaultPlan
@@ -66,6 +66,22 @@ def _default_protocol_options(protocol_cls, client_retry: Optional[float]):
     return None
 
 
+def _apply_batching(protocol_cls, protocol_options: Any, batching: BatchingOptions) -> Any:
+    """Fold a ``batching`` knob into the protocol options, where supported.
+
+    Protocols that don't understand batching (everything but WbCast today)
+    silently ignore the knob, so sweeps can pass one ``batching`` value
+    across a heterogeneous protocol grid.
+    """
+    if protocol_options is not None and hasattr(protocol_options, "batching"):
+        return replace(protocol_options, batching=batching)
+    if protocol_options is None and getattr(protocol_cls, "SUPPORTS_BATCHING", False):
+        from ..protocols.wbcast import WbCastOptions
+
+        return WbCastOptions(batching=batching)
+    return protocol_options
+
+
 def run_workload(
     protocol_cls,
     num_groups: int = 2,
@@ -89,15 +105,21 @@ def run_workload(
     max_events: int = 50_000_000,
     max_time: Optional[float] = None,
     config: Optional[ClusterConfig] = None,
+    batching: Optional[BatchingOptions] = None,
 ) -> RunResult:
     """Run ``num_clients`` closed-loop clients against ``protocol_cls``.
 
     Returns once every client finished all its messages (or ``max_time`` /
     ``max_events`` was hit), after an extra ``drain_grace`` of virtual time
     so in-flight DELIVERs reach followers and the run is quiescent.
+
+    ``batching`` folds leader-side batching knobs into the protocol options
+    for protocols that support them (ignored by the rest).
     """
     if config is None:
         config = ClusterConfig.build(num_groups, group_size, num_clients)
+    if batching is not None:
+        protocol_options = _apply_batching(protocol_cls, protocol_options, batching)
     if network is None:
         network = ConstantDelay(0.001)
     trace = Trace(record_sends=record_sends)

@@ -14,7 +14,7 @@ import os
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
-from ..config import ClusterConfig
+from ..config import BatchingOptions, ClusterConfig
 from ..sim import UniformCpu
 from ..sim.network import DelayModel
 from ..workload import ClientOptions
@@ -49,6 +49,11 @@ class SweepConfig:
     cpu_jitter: float = 0.1
     network_jitter: float = 0.05
     seed: int = 42
+    #: Leader-side batching knobs, applied to protocols that support them
+    #: (None: the paper's per-message protocol everywhere).
+    batching: Optional[BatchingOptions] = None
+    #: Outstanding multicasts per closed-loop client (1 = paper's loop).
+    client_window: int = 1
 
 
 def full_sweep_enabled() -> bool:
@@ -74,7 +79,10 @@ def run_point(
         network=network,
         seed=sweep.seed,
         cpu=cpu,
-        client_options=ClientOptions(num_messages=sweep.messages_per_client),
+        client_options=ClientOptions(
+            num_messages=sweep.messages_per_client, window=sweep.client_window
+        ),
+        batching=sweep.batching,
         record_sends=False,
         drain_grace=0.0,
     )

@@ -2,10 +2,14 @@
 
 Commands map one-to-one onto the library's experiment modules:
 
-* ``run`` — run a workload against any protocol/topology and verify it;
+* ``run`` — run a workload against any protocol/topology and verify it
+  (``--batch-size`` / ``--batch-linger`` / ``--pipeline-depth`` enable
+  leader-side batching for protocols that support it);
 * ``flow`` — trace one multicast hop by hop (the Fig. 5 view);
 * ``latency-table`` / ``convoy`` / ``figure7`` / ``figure8`` /
-  ``ablations`` / ``complexity`` — regenerate the paper's tables.
+  ``ablations`` / ``complexity`` — regenerate the paper's tables;
+* ``bench-batching`` — the batch-size throughput ablation (beyond the
+  paper's own evaluation).
 """
 
 from __future__ import annotations
@@ -18,6 +22,20 @@ from .bench.harness import run_workload
 from .bench.metrics import summarize_latencies
 from .protocols import PROTOCOLS
 from .sim import ConstantDelay
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonneg_float(text: str) -> float:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -39,6 +57,14 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--topology", choices=["constant", "lan", "wan"],
                        default="constant")
     run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--batch-size", type=_positive_int, default=1, metavar="N",
+                       help="leader-side batch size (1: per-message protocol)")
+    run_p.add_argument("--batch-linger", type=_nonneg_float, default=0.0,
+                       metavar="SECS",
+                       help="max virtual time a multicast lingers for co-batching")
+    run_p.add_argument("--pipeline-depth", type=_positive_int, default=1,
+                       metavar="N",
+                       help="max in-flight leader batches per destination set")
 
     flow_p = sub.add_parser("flow", help="trace one multicast hop by hop (Fig. 5 view)")
     flow_p.add_argument("--protocol", choices=sorted(PROTOCOLS), default="wbcast")
@@ -51,6 +77,8 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("figure8", help="Fig. 8 WAN sweep (REPRO_BENCH_FULL=1 for full grid)")
     sub.add_parser("ablations", help="speculation / genuineness / group-size ablations")
     sub.add_parser("complexity", help="message-complexity table")
+    sub.add_parser("bench-batching",
+                   help="batch-size throughput ablation (REPRO_BENCH_FULL=1 for full grid)")
     return parser
 
 
@@ -73,6 +101,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         network = ConstantDelay(args.delta)
         delta = args.delta
+    batching = None
+    if args.batch_size > 1 or args.batch_linger > 0:
+        from .config import BatchingOptions
+
+        batching = BatchingOptions(
+            max_batch=args.batch_size,
+            max_linger=args.batch_linger,
+            pipeline_depth=args.pipeline_depth,
+        )
+    elif args.pipeline_depth > 1:
+        print(
+            "note: --pipeline-depth has no effect without "
+            "--batch-size/--batch-linger",
+            file=sys.stderr,
+        )
     result = run_workload(
         protocol_cls,
         config=config,
@@ -80,9 +123,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         dest_k=min(args.dest_k, args.groups),
         network=network,
         seed=args.seed,
+        batching=batching,
     )
     print(f"protocol  : {args.protocol}")
     print(f"cluster   : {args.groups} groups x {group_size}, {args.clients} clients")
+    if batching is not None:
+        supported = getattr(protocol_cls, "SUPPORTS_BATCHING", False)
+        note = "" if supported else " (ignored: protocol does not batch)"
+        print(
+            f"batching  : max_batch={batching.max_batch} "
+            f"linger={batching.max_linger}s depth={batching.pipeline_depth}{note}"
+        )
     print(f"completed : {result.completed}/{result.expected}")
     ok = True
     for check in result.check():
@@ -147,6 +198,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .bench import complexity
 
         complexity.main()
+    elif args.command == "bench-batching":
+        from .bench import batching
+
+        batching.main()
     return 0
 
 

@@ -13,10 +13,59 @@ array-friendly and makes configurations trivially reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from .errors import ConfigError
 from .types import GroupId, ProcessId
+
+
+@dataclass(frozen=True)
+class BatchingOptions:
+    """Leader-side batching and pipelining knobs.
+
+    A leader accumulates pending multicasts per destination-group set and
+    replicates them in a single ``AcceptBatchMsg``; followers acknowledge
+    whole batches.  The defaults disable batching (one ACCEPT round per
+    message, the paper's wire protocol).
+
+    Attributes:
+        max_batch: most ``(m, lts)`` assignments replicated per batch; 1
+            keeps the per-message protocol.
+        max_linger: longest *virtual* time a pending multicast may wait in
+            the leader's buffer for co-batched company.  0 flushes every
+            proposal on the spot, so multi-entry ACCEPT batches never
+            form (holding a buffer for a free pipeline slot instead
+            could deadlock two leaders on each other's proposals) and
+            aggregation comes only from whole-batch acks and coalesced
+            DELIVERs; a positive linger is what lets batches fill.
+        pipeline_depth: most flushed-but-uncommitted batches a leader keeps
+            in flight per destination-group set before buffering further
+            multicasts.  Backpressure is bounded by ``max_linger``: an
+            overdue buffer flushes past the depth limit, because holding
+            it indefinitely could deadlock two leaders waiting on each
+            other's proposals for the same messages.
+    """
+
+    max_batch: int = 1
+    max_linger: float = 0.0
+    pipeline_depth: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ConfigError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_linger < 0:
+            raise ConfigError(f"max_linger must be >= 0, got {self.max_linger}")
+        if self.pipeline_depth < 1:
+            raise ConfigError(f"pipeline_depth must be >= 1, got {self.pipeline_depth}")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any aggregation beyond the per-message protocol happens."""
+        return self.max_batch > 1 or self.max_linger > 0.0
+
+
+#: Shared "batching off" instance used as the default everywhere.
+BATCHING_OFF = BatchingOptions()
 
 
 @dataclass(frozen=True)
@@ -26,10 +75,14 @@ class ClusterConfig:
     Attributes:
         groups: tuple of groups; each group is a tuple of process ids.
         clients: tuple of client process ids (disjoint from all groups).
+        batching: cluster-wide default batching knobs for protocols that
+            support leader-side batching (``None``: batching off unless a
+            process's own options say otherwise).
     """
 
     groups: Tuple[Tuple[ProcessId, ...], ...]
     clients: Tuple[ProcessId, ...] = ()
+    batching: Optional[BatchingOptions] = None
 
     def __post_init__(self) -> None:
         seen: set = set()
@@ -54,7 +107,12 @@ class ClusterConfig:
     # -- construction -----------------------------------------------------
 
     @staticmethod
-    def build(num_groups: int, group_size: int, num_clients: int = 0) -> "ClusterConfig":
+    def build(
+        num_groups: int,
+        group_size: int,
+        num_clients: int = 0,
+        batching: Optional[BatchingOptions] = None,
+    ) -> "ClusterConfig":
         """Build the canonical dense-ids layout used throughout the repo."""
         if group_size % 2 == 0 or group_size < 1:
             raise ConfigError("group_size must be odd (2f+1)")
@@ -64,7 +122,7 @@ class ClusterConfig:
             groups.append(tuple(range(pid, pid + group_size)))
             pid += group_size
         clients = tuple(range(pid, pid + num_clients))
-        return ClusterConfig(groups=tuple(groups), clients=clients)
+        return ClusterConfig(groups=tuple(groups), clients=clients, batching=batching)
 
     # -- queries ----------------------------------------------------------
 

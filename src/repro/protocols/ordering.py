@@ -15,16 +15,25 @@ that check once:
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..types import AmcastMessage, MessageId, Timestamp
 
 
 class DeliveryQueue:
-    """Tracks provisional and final timestamps; yields deliverable messages."""
+    """Tracks provisional and final timestamps; yields deliverable messages.
+
+    The minimum provisional timestamp is maintained with a lazy min-heap
+    (stale entries are discarded on inspection against the authoritative
+    dict), so the delivery check is O(log n) amortised instead of a full
+    scan per delivered message — the difference shows under batched heavy
+    traffic, where hundreds of provisional timestamps coexist.
+    """
 
     def __init__(self) -> None:
         self._pending: Dict[MessageId, Timestamp] = {}
+        # Lazy min-heap over pending timestamps; the dict is the truth.
+        self._pending_heap: List[Tuple[Timestamp, MessageId]] = []
         self._committed: Dict[MessageId, Tuple[Timestamp, AmcastMessage]] = {}
         self._heap: List[Tuple[Timestamp, MessageId]] = []
 
@@ -33,9 +42,27 @@ class DeliveryQueue:
     def set_pending(self, mid: MessageId, lts: Timestamp) -> None:
         """Record that ``mid`` holds provisional timestamp ``lts``."""
         self._pending[mid] = lts
+        heapq.heappush(self._pending_heap, (lts, mid))
+
+    def set_pending_many(self, pairs: Iterable[Tuple[MessageId, Timestamp]]) -> None:
+        """Batch variant of :meth:`set_pending` (one heapify, not n pushes)."""
+        fresh = list(pairs)
+        if not fresh:
+            return
+        self._pending.update(fresh)
+        if self._pending_heap:
+            for mid, lts in fresh:
+                heapq.heappush(self._pending_heap, (lts, mid))
+        else:
+            self._pending_heap = [(lts, mid) for mid, lts in fresh]
+            heapq.heapify(self._pending_heap)
 
     def clear_pending(self, mid: MessageId) -> None:
-        """Drop ``mid``'s provisional timestamp (message lost or recovered)."""
+        """Drop ``mid``'s provisional timestamp (message lost or recovered).
+
+        The heap entry stays behind and is lazily discarded by
+        :meth:`_min_pending` once it surfaces.
+        """
         self._pending.pop(mid, None)
 
     def pending_lts(self, mid: MessageId) -> Optional[Timestamp]:
@@ -59,7 +86,13 @@ class DeliveryQueue:
     def _min_pending(self) -> Optional[Timestamp]:
         if not self._pending:
             return None
-        return min(self._pending.values())
+        heap = self._pending_heap
+        while heap:
+            lts, mid = heap[0]
+            if self._pending.get(mid) == lts:
+                return lts
+            heapq.heappop(heap)  # stale: cleared, committed or re-stamped
+        return None
 
     def pop_deliverable(self) -> Iterator[Tuple[AmcastMessage, Timestamp]]:
         """Yield committed messages deliverable *now*, in gts order.

@@ -20,8 +20,11 @@ new leader resumes, then all committed messages are re-delivered (dedup by
 """
 
 from .messages import (
+    AcceptAckBatchMsg,
     AcceptAckMsg,
+    AcceptBatchMsg,
     AcceptMsg,
+    DeliverBatchMsg,
     DeliverMsg,
     DeliveredAckMsg,
     GcPruneMsg,
@@ -31,12 +34,15 @@ from .messages import (
     NewStateAckMsg,
     NewStateMsg,
 )
-from .state import MsgRecord, Phase, Status
+from .state import MsgRecord, PendingBatch, Phase, Status
 from .protocol import WbCastOptions, WbCastProcess
 
 __all__ = [
+    "AcceptAckBatchMsg",
     "AcceptAckMsg",
+    "AcceptBatchMsg",
     "AcceptMsg",
+    "DeliverBatchMsg",
     "DeliverMsg",
     "DeliveredAckMsg",
     "GcPruneMsg",
@@ -46,6 +52,7 @@ __all__ = [
     "NewLeaderMsg",
     "NewStateAckMsg",
     "NewStateMsg",
+    "PendingBatch",
     "Phase",
     "Status",
     "WbCastOptions",

@@ -14,7 +14,7 @@ proposals (Invariant 1 ⇒ one set of timestamps per vector).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ...types import AmcastMessage, Ballot, GroupId, MessageId, Timestamp
 from .state import StateSnapshot
@@ -49,6 +49,48 @@ class AcceptAckMsg:
 
 
 @dataclass(frozen=True, slots=True)
+class AcceptBatchMsg:
+    """``ACCEPT_BATCH(g, b, ⟨(m, lts), ...⟩)``: group ``g``'s leader (at
+    ballot ``b``) proposes local timestamps for several messages sharing one
+    destination-group set in a single round.
+
+    Semantically equivalent to one :class:`AcceptMsg` per entry; batching
+    only aggregates the wire traffic and amortises per-message handling
+    cost.  All entries address the same destination groups, so the batch
+    flows strictly inside ``dest(m)`` — genuineness is preserved.
+    """
+
+    gid: GroupId
+    bal: Ballot
+    entries: Tuple[Tuple[AmcastMessage, Timestamp], ...]
+
+    def mids(self) -> List[MessageId]:
+        return [m.mid for m, _ in self.entries]
+
+    @property
+    def size(self) -> int:
+        """Nominal wire size: header plus per-entry payload + timestamp."""
+        return 24 + sum((m.size or 64) + 16 for m, _ in self.entries)
+
+
+@dataclass(frozen=True, slots=True)
+class AcceptAckBatchMsg:
+    """``ACCEPT_ACK_BATCH(g, ⟨(mid, Bal), ...⟩)``: a process of group
+    ``gid`` acknowledges a whole batch of proposal sets to one leader,
+    coalescing the per-message :class:`AcceptAckMsg` traffic."""
+
+    gid: GroupId
+    entries: Tuple[Tuple[MessageId, BallotVector], ...]
+
+    def mids(self) -> List[MessageId]:
+        return [mid for mid, _ in self.entries]
+
+    @property
+    def size(self) -> int:
+        return 16 + 24 * len(self.entries)
+
+
+@dataclass(frozen=True, slots=True)
 class DeliverMsg:
     """``DELIVER(m, b, lts, gts)``: the leader of ballot ``b`` orders its
     group to deliver ``m`` with final timestamp ``gts`` (line 23)."""
@@ -57,6 +99,27 @@ class DeliverMsg:
     bal: Ballot
     lts: Timestamp
     gts: Timestamp
+
+
+@dataclass(frozen=True, slots=True)
+class DeliverBatchMsg:
+    """``DELIVER_BATCH(b, ⟨(m, lts, gts), ...⟩)``: one wire message carrying
+    several consecutive DELIVER decisions in global-timestamp order.
+
+    Delivery itself stays per message: receivers unpack the batch and run
+    the ordinary DELIVER handler entry by entry, so ordering and dedup
+    (``max_delivered_gts``) are untouched.
+    """
+
+    bal: Ballot
+    entries: Tuple[Tuple[AmcastMessage, Timestamp, Timestamp], ...]
+
+    def mids(self) -> List[MessageId]:
+        return [m.mid for m, _, _ in self.entries]
+
+    @property
+    def size(self) -> int:
+        return 24 + sum((m.size or 64) + 32 for m, _, _ in self.entries)
 
 
 @dataclass(frozen=True, slots=True)

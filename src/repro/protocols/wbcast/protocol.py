@@ -18,10 +18,10 @@ intra-group replication:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from ...config import ClusterConfig
-from ...runtime import Runtime
+from ...config import BATCHING_OFF, BatchingOptions, ClusterConfig
+from ...runtime import Runtime, TimerHandle
 from ...types import (
     BALLOT_BOTTOM,
     AmcastMessage,
@@ -34,9 +34,12 @@ from ...types import (
 from ..base import AtomicMulticastProcess, MulticastMsg
 from ..ordering import DeliveryQueue
 from .messages import (
+    AcceptAckBatchMsg,
     AcceptAckMsg,
+    AcceptBatchMsg,
     AcceptMsg,
     BallotVector,
+    DeliverBatchMsg,
     DeliverMsg,
     DeliveredAckMsg,
     GcPruneMsg,
@@ -47,7 +50,7 @@ from .messages import (
     NewStateMsg,
     make_vector,
 )
-from .state import MsgRecord, Phase, Status, snapshot_copy
+from .state import MsgRecord, PendingBatch, Phase, Status, snapshot_copy
 
 
 @dataclass(frozen=True)
@@ -59,15 +62,22 @@ class WbCastOptions:
     ``speculative_clock`` disables the paper's white-box clock advance when
     False — used only by the ablation benchmark, which shows the failure-
     free latency degrading without it.
+    ``batching`` configures leader-side ACCEPT batching and pipelining;
+    ``None`` inherits the cluster-wide default from
+    :attr:`repro.config.ClusterConfig.batching` (off when that is unset).
     """
 
     retry_interval: Optional[float] = None
     gc_interval: Optional[float] = None
     speculative_clock: bool = True
+    batching: Optional[BatchingOptions] = None
 
 
 class WbCastProcess(AtomicMulticastProcess):
     """One group member running the white-box protocol."""
+
+    #: Harness hint: this protocol understands :class:`BatchingOptions`.
+    SUPPORTS_BATCHING = True
 
     def __init__(
         self,
@@ -78,6 +88,13 @@ class WbCastProcess(AtomicMulticastProcess):
     ) -> None:
         super().__init__(pid, config, runtime)
         self.options = options or WbCastOptions()
+        # Effective batching knobs: per-process options win, then the
+        # cluster-wide default, then off (the paper's per-message protocol).
+        self.batching: BatchingOptions = (
+            self.options.batching
+            if self.options.batching is not None
+            else (config.batching or BATCHING_OFF)
+        )
         # -- Fig. 3 variables ------------------------------------------------
         self.clock: int = 0
         self.records: Dict[MessageId, MsgRecord] = {}
@@ -107,11 +124,31 @@ class WbCastProcess(AtomicMulticastProcess):
         self._group_watermarks: Dict[GroupId, Timestamp] = {}
         # Progress stamps for the retry timer.
         self._touched: Dict[MessageId, float] = {}
+        # -- leader-side batching (volatile; see PendingBatch) -----------------
+        # Unsent multicasts accumulating per destination-group set, in
+        # local-timestamp (= arrival) order, plus an O(1) membership set.
+        self._batch_buf: Dict[FrozenSet[GroupId], List[MessageId]] = {}
+        self._batch_queued: Set[MessageId] = set()
+        # Flushed-but-uncommitted batches per destination set (pipelining).
+        self._batch_inflight: Dict[FrozenSet[GroupId], Dict[int, PendingBatch]] = {}
+        self._mid_batch: Dict[MessageId, PendingBatch] = {}
+        self._batch_timers: Dict[FrozenSet[GroupId], TimerHandle] = {}
+        self._batch_due: Set[FrozenSet[GroupId]] = set()
+        self._batch_seq = 0
+        # When handling an ACCEPT batch, _try_accept routes its acks here so
+        # they can be coalesced into one ACCEPT_ACK_BATCH per leader.
+        self._ack_sink: Optional[List[Tuple[ProcessId, AcceptAckMsg]]] = None
+        # While a whole-batch ack is being tallied, commits pile up in the
+        # delivery queue and drain once at the end (one DELIVER_BATCH).
+        self._drain_deferred = False
         self._handlers = {
             MulticastMsg: self._on_multicast,
             AcceptMsg: self._on_accept,
+            AcceptBatchMsg: self._on_accept_batch,
             AcceptAckMsg: self._on_accept_ack,
+            AcceptAckBatchMsg: self._on_accept_ack_batch,
             DeliverMsg: self._on_deliver,
+            DeliverBatchMsg: self._on_deliver_batch,
             NewLeaderMsg: self._on_new_leader,
             NewLeaderAckMsg: self._on_new_leader_ack,
             NewStateMsg: self._on_new_state,
@@ -147,20 +184,142 @@ class WbCastProcess(AtomicMulticastProcess):
         if m.mid in self.delivered_ids and m.mid not in self.records:
             return  # garbage-collected: every destination group is done with m
         rec = self.records.get(m.mid)
-        if rec is None or rec.phase is Phase.START:
-            # First receipt (line 5): assign a fresh local timestamp.
+        fresh = rec is None or rec.phase is Phase.START
+        if fresh:
+            # First receipt (line 5): assign a fresh local timestamp.  Under
+            # batching the timestamp is still assigned *now*, so buffering
+            # never reorders proposals and Invariant 1 is untouched.
             self.clock += 1
             lts = Timestamp(self.clock, self.gid)
             rec = MsgRecord(m, Phase.PROPOSED, lts=lts)
             self.records[m.mid] = rec
             self.queue.set_pending(m.mid, lts)
         self._touch(m.mid)
-        # (Re)send ACCEPT with the locally stored data (line 9); duplicates
-        # re-use the stored timestamp, preserving Invariant 1.
-        accept = AcceptMsg(m, self.gid, self.cballot, rec.lts)
-        for g in sorted(m.dests):
+        if self.batching.enabled:
+            if fresh:
+                self._enqueue_batch(m)
+            elif m.mid not in self._batch_queued:
+                # Duplicate/retry of a message already proposed and no longer
+                # buffered: resend its proposal alone with the stored
+                # timestamp (Invariant 1).  Buffered messages flush with
+                # their batch, so duplicates need no action.
+                self._send_accept(rec)
+            return
+        self._send_accept(rec)
+
+    def _send_accept(self, rec: MsgRecord) -> None:
+        """(Re)send ACCEPT with the locally stored data (line 9); duplicates
+        re-use the stored timestamp, preserving Invariant 1."""
+        accept = AcceptMsg(rec.m, self.gid, self.cballot, rec.lts)
+        for g in sorted(rec.m.dests):
             for p in self.config.members(g):
                 self.send(p, accept)
+
+    # ------------------------------------------------------- leader-side batching
+
+    def _enqueue_batch(self, m: AmcastMessage) -> None:
+        """Buffer a freshly proposed message for batched replication."""
+        self._batch_buf.setdefault(m.dests, []).append(m.mid)
+        self._batch_queued.add(m.mid)
+        self._pump_batches(m.dests)
+
+    def _pump_batches(self, key: FrozenSet[GroupId]) -> None:
+        """Flush as many batches for ``key`` as size/linger/depth allow.
+
+        Depth backpressure is *bounded by the linger*: once a buffer is due
+        (its linger expired, or no linger is configured) it flushes even
+        past ``pipeline_depth``.  Holding it longer would risk a
+        cross-group deadlock — leader A's in-flight batch can only commit
+        once leader B proposes the same messages, and B's proposal may sit
+        in a depth-blocked buffer waiting, circularly, on A.
+        """
+        b = self.batching
+        while True:
+            buf = self._batch_buf.get(key)
+            if not buf:
+                break
+            due = b.max_linger <= 0 or key in self._batch_due
+            full = len(self._batch_inflight.get(key, ())) >= b.pipeline_depth
+            if not due and (full or len(buf) < b.max_batch):
+                break  # linger: wait for company or a free pipeline slot
+            self._flush_batch(key)
+        if self._batch_buf.get(key):
+            if b.max_linger > 0 and key not in self._batch_timers:
+                self._batch_timers[key] = self.runtime.set_timer(
+                    b.max_linger, lambda k=key: self._on_batch_linger(k)
+                )
+        else:
+            self._batch_due.discard(key)
+            timer = self._batch_timers.pop(key, None)
+            if timer is not None:
+                timer.cancel()
+
+    def _on_batch_linger(self, key: FrozenSet[GroupId]) -> None:
+        """Linger expired: the buffered batch is due, full or not."""
+        self._batch_timers.pop(key, None)
+        if self.status is not Status.LEADER or not self.batching.enabled:
+            return
+        self._batch_due.add(key)
+        self._pump_batches(key)
+
+    def _flush_batch(self, key: FrozenSet[GroupId]) -> None:
+        """Replicate up to ``max_batch`` buffered proposals in one round."""
+        buf = self._batch_buf[key]
+        take = buf[: self.batching.max_batch]
+        del buf[: len(take)]
+        if not buf:
+            del self._batch_buf[key]  # _pump_batches clears the due mark
+        batch = PendingBatch(seq=self._batch_seq, dests=key)
+        self._batch_seq += 1
+        entries: List[Tuple[AmcastMessage, Timestamp]] = []
+        for mid in take:
+            self._batch_queued.discard(mid)
+            rec = self.records.get(mid)
+            if rec is None or rec.phase not in (Phase.PROPOSED, Phase.ACCEPTED):
+                continue  # committed or pruned while buffered
+            entries.append((rec.m, rec.lts))
+            batch.outstanding.add(mid)
+            self._mid_batch[mid] = batch
+        if not entries:
+            return
+        self._batch_inflight.setdefault(key, {})[batch.seq] = batch
+        msg = AcceptBatchMsg(self.gid, self.cballot, tuple(entries))
+        for g in sorted(key):
+            for p in self.config.members(g):
+                self.send(p, msg)
+
+    def _note_batch_done(self, mid: MessageId) -> None:
+        """A message left the accept pipeline: maybe free its batch's slot."""
+        batch = self._mid_batch.pop(mid, None)
+        if batch is None:
+            return
+        batch.outstanding.discard(mid)
+        if not batch.done:
+            return
+        group = self._batch_inflight.get(batch.dests)
+        if group is not None:
+            group.pop(batch.seq, None)
+            if not group:
+                del self._batch_inflight[batch.dests]
+        self._pump_batches(batch.dests)
+
+    def _reset_batching(self) -> None:
+        """Drop all volatile batching state (leadership or epoch changed).
+
+        Safe because batches are transport aggregation only: every entry's
+        durable state lives in per-message records, which recovery
+        (NEWLEADER / NEW_STATE) transfers independently of batch
+        boundaries — the committed prefix of any in-flight batch survives,
+        unreplicated buffer tails are re-driven by client/leader retries.
+        """
+        self._batch_buf.clear()
+        self._batch_queued.clear()
+        self._batch_due.clear()
+        self._batch_inflight.clear()
+        self._mid_batch.clear()
+        for timer in self._batch_timers.values():
+            timer.cancel()
+        self._batch_timers.clear()
 
     def _on_accept(self, sender: ProcessId, msg: AcceptMsg) -> None:
         """Buffer one group's proposal; act when the set completes (line 10)."""
@@ -170,6 +329,32 @@ class WbCastProcess(AtomicMulticastProcess):
         if prev is None or msg.bal >= prev.bal:
             buf[msg.gid] = msg
         self._try_accept(msg.m)
+
+    def _on_accept_batch(self, sender: ProcessId, msg: AcceptBatchMsg) -> None:
+        """Unpack a batch of proposals, then ack whole batches per leader.
+
+        Each entry goes through the exact per-message ACCEPT logic; only
+        the resulting acknowledgements are coalesced (one
+        ``ACCEPT_ACK_BATCH`` per distinct proposing leader).
+        """
+        sink: List[Tuple[ProcessId, AcceptAckMsg]] = []
+        self._ack_sink = sink
+        try:
+            for m, lts in msg.entries:
+                # One source of truth: each entry runs the per-message
+                # ACCEPT handler; only the acks are rerouted to the sink.
+                self._on_accept(sender, AcceptMsg(m, msg.gid, msg.bal, lts))
+        finally:
+            self._ack_sink = None
+        per_leader: Dict[ProcessId, List[Tuple[MessageId, BallotVector]]] = {}
+        for target, ack in sink:
+            per_leader.setdefault(target, []).append((ack.mid, ack.vector))
+        for target, pairs in per_leader.items():
+            if len(pairs) == 1:
+                mid, vector = pairs[0]
+                self.send(target, AcceptAckMsg(mid, self.gid, vector))
+            else:
+                self.send(target, AcceptAckBatchMsg(self.gid, tuple(pairs)))
 
     def _try_accept(self, m: AmcastMessage) -> None:
         """Fig. 4 lines 10–16, once ACCEPTs from every destination group are
@@ -201,25 +386,48 @@ class WbCastProcess(AtomicMulticastProcess):
             # the same round trip as the timestamp itself.
             implied_gts = max(a.lts for a in buf.values())
             self.clock = max(self.clock, implied_gts.time)
-        # Lines 15–16: acknowledge to the proposing leader of every group.
+        # Lines 15–16: acknowledge to the proposing leader of every group
+        # (coalesced into per-leader batch acks when handling a batch).
         vector = make_vector({g: a.bal for g, a in buf.items()})
         ack = AcceptAckMsg(m.mid, self.gid, vector)
         for g, a in buf.items():
-            self.send(a.bal.leader(), ack)
+            if self._ack_sink is not None:
+                self._ack_sink.append((a.bal.leader(), ack))
+            else:
+                self.send(a.bal.leader(), ack)
 
     def _on_accept_ack(self, sender: ProcessId, msg: AcceptAckMsg) -> None:
         """Fig. 4 lines 17–23: tally acks; commit on quorums everywhere."""
+        self._tally_ack(sender, msg.mid, msg.gid, msg.vector)
+
+    def _on_accept_ack_batch(self, sender: ProcessId, msg: AcceptAckBatchMsg) -> None:
+        """A whole-batch acknowledgement: tally each entry individually.
+
+        The delivery drain is deferred until every entry is tallied so that
+        the commits this ack completes leave in one ``DELIVER_BATCH``
+        instead of a train of per-message DELIVERs.
+        """
+        self._drain_deferred = True
+        try:
+            for mid, vector in msg.entries:
+                self._tally_ack(sender, mid, msg.gid, vector)
+        finally:
+            self._drain_deferred = False
+        self._drain_deliveries()
+
+    def _tally_ack(
+        self, sender: ProcessId, mid: MessageId, gid: GroupId, vector: BallotVector
+    ) -> None:
         if self.status is not Status.LEADER:
             return
-        vector = dict(msg.vector)
-        if vector.get(self.gid) != self.cballot:  # line 18 precondition
+        if dict(vector).get(self.gid) != self.cballot:  # line 18 precondition
             return
-        rec = self.records.get(msg.mid)
+        rec = self.records.get(mid)
         if rec is None or rec.phase is Phase.COMMITTED:
             return
-        tally = self._acks.setdefault(msg.mid, {}).setdefault(msg.vector, {})
-        tally.setdefault(msg.gid, set()).add(sender)
-        self._try_commit(rec.m, msg.vector, tally)
+        tally = self._acks.setdefault(mid, {}).setdefault(vector, {})
+        tally.setdefault(gid, set()).add(sender)
+        self._try_commit(rec.m, vector, tally)
 
     def _try_commit(
         self,
@@ -245,18 +453,41 @@ class WbCastProcess(AtomicMulticastProcess):
         self.queue.commit(m, gts)
         self._acks.pop(m.mid, None)
         self._touch(m.mid)
+        self._note_batch_done(m.mid)
         self._drain_deliveries()
 
     def _drain_deliveries(self) -> None:
         """Fig. 4 lines 21–23 (and 66–68 after recovery): send DELIVER for
-        every committed message no proposed/accepted message can precede."""
+        every committed message no proposed/accepted message can precede.
+
+        The delivery *decision* stays per message in :class:`DeliveryQueue`;
+        under batching, consecutive decisions drained together share one
+        ``DELIVER_BATCH`` wire message (entries in gts order).
+        """
+        if self._drain_deferred:
+            return  # a batch ack is mid-tally; it drains once at the end
+        out: List[Tuple[AmcastMessage, Timestamp, Timestamp]] = []
         for m, gts in self.queue.pop_deliverable():
             rec = self.records.get(m.mid)
             if rec is None:
                 continue  # pruned by GC: every destination group already has it
-            dmsg = DeliverMsg(m, self.cballot, rec.lts, gts)
+            out.append((m, rec.lts, gts))
+        if not out:
+            return
+        if self.batching.enabled and len(out) > 1:
+            bmsg = DeliverBatchMsg(self.cballot, tuple(out))
             for p in self.group:  # includes ourselves, for uniformity
+                self.send(p, bmsg)
+            return
+        for m, lts, gts in out:
+            dmsg = DeliverMsg(m, self.cballot, lts, gts)
+            for p in self.group:
                 self.send(p, dmsg)
+
+    def _on_deliver_batch(self, sender: ProcessId, msg: DeliverBatchMsg) -> None:
+        """Unpack a DELIVER batch; each entry runs the per-message handler."""
+        for m, lts, gts in msg.entries:
+            self._on_deliver(sender, DeliverMsg(m, msg.bal, lts, gts))
 
     def _on_deliver(self, sender: ProcessId, msg: DeliverMsg) -> None:
         """Fig. 4 lines 24–31: store the decision and deliver, at most once."""
@@ -315,6 +546,7 @@ class WbCastProcess(AtomicMulticastProcess):
         self.status = Status.RECOVERING
         self.ballot = msg.bal
         self._observe_ballot(self.gid, msg.bal)
+        self._reset_batching()  # any in-flight batches belong to the old epoch
         ack = NewLeaderAckMsg(
             bal=msg.bal,
             cballot=self.cballot,
@@ -382,6 +614,7 @@ class WbCastProcess(AtomicMulticastProcess):
         self._rebuild_queue()
         self._acks.clear()
         self._touched.clear()
+        self._reset_batching()
         state = NewStateMsg(bal, self.clock, snapshot_copy(self.records))
         for p in self.group:
             if p != self.pid:
@@ -391,10 +624,14 @@ class WbCastProcess(AtomicMulticastProcess):
 
     def _rebuild_queue(self) -> None:
         self.queue = DeliveryQueue()
+        accepted = [
+            (rec.mid, rec.lts)
+            for rec in self.records.values()
+            if rec.phase is Phase.ACCEPTED
+        ]
+        self.queue.set_pending_many(accepted)
         for rec in self.records.values():
-            if rec.phase is Phase.ACCEPTED:
-                self.queue.set_pending(rec.mid, rec.lts)
-            elif rec.phase is Phase.COMMITTED:
+            if rec.phase is Phase.COMMITTED:
                 # Every committed message re-enters the queue so the new
                 # leader re-DELIVERs from the beginning (line 66); followers
                 # deduplicate via max_delivered_gts.
@@ -410,6 +647,7 @@ class WbCastProcess(AtomicMulticastProcess):
         self.records = snapshot_copy(msg.records)
         self.cur_leader[self.gid] = msg.bal.leader()
         self.queue = DeliveryQueue()
+        self._reset_batching()
         self.send(sender, NewStateAckMsg(msg.bal))
         self._rescan_accept_buffers()
 
@@ -501,6 +739,7 @@ class WbCastProcess(AtomicMulticastProcess):
             self._accepts.pop(mid, None)
             self._acks.pop(mid, None)
             self._touched.pop(mid, None)
+            self._note_batch_done(mid)
         prune = GcPruneMsg(tuple(prunable))
         for p in self.group:
             if p != self.pid:
@@ -538,3 +777,11 @@ class WbCastProcess(AtomicMulticastProcess):
 
     def live_record_count(self) -> int:
         return len(self.records)
+
+    def buffered_multicast_count(self) -> int:
+        """Proposals assigned a timestamp but not yet flushed in a batch."""
+        return len(self._batch_queued)
+
+    def inflight_batch_count(self) -> int:
+        """Flushed ACCEPT batches not yet fully committed (pipelining)."""
+        return sum(len(group) for group in self._batch_inflight.values())

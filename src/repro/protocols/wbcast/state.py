@@ -3,10 +3,10 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
-from typing import Dict, Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Optional, Set
 
-from ...types import AmcastMessage, MessageId, Timestamp
+from ...types import AmcastMessage, GroupId, MessageId, Timestamp
 
 
 class Phase(enum.IntEnum):
@@ -52,6 +52,26 @@ class MsgRecord:
     @property
     def mid(self) -> MessageId:
         return self.m.mid
+
+
+@dataclass
+class PendingBatch:
+    """One flushed-but-uncommitted ACCEPT batch at its proposing leader.
+
+    Volatile pipelining bookkeeping only — never replicated.  The durable
+    protocol state stays per message in :class:`MsgRecord`, which is what
+    makes recovery independent of batch boundaries: a new leader rebuilds
+    per-message records from a quorum, so exactly the committed prefix of
+    any in-flight batch survives a crash.
+    """
+
+    seq: int
+    dests: FrozenSet[GroupId]
+    outstanding: Set[MessageId] = field(default_factory=set)
+
+    @property
+    def done(self) -> bool:
+        return not self.outstanding
 
 
 StateSnapshot = Dict[MessageId, MsgRecord]

@@ -37,9 +37,12 @@ class FaultPlan:
     def crash_leaders(
         config: ClusterConfig, gids: Iterable[GroupId], at: float
     ) -> "FaultPlan":
-        """Crash the default (initial) leader of each listed group at ``at``."""
+        """Crash the default (initial) leader of each listed group at ``at``.
+
+        Repeated group ids are collapsed: one process crashes at most once.
+        """
         return FaultPlan(
-            crashes=[CrashSpec(config.default_leader(g), at) for g in gids]
+            crashes=[CrashSpec(config.default_leader(g), at) for g in sorted(set(gids))]
         )
 
     @staticmethod
@@ -76,9 +79,20 @@ class FaultPlan:
         return FaultPlan(crashes=crashes)
 
     def validate(self, config: ClusterConfig) -> None:
-        """Raise :class:`ConfigError` if the plan kills a quorum anywhere."""
+        """Raise :class:`ConfigError` if the plan kills a quorum anywhere.
+
+        Duplicate specs for one pid are rejected outright: a process only
+        crashes once, so a duplicate either mis-states the scenario or
+        skews the per-group ``f`` accounting below.
+        """
+        seen: set = set()
         per_group: dict = {}
         for spec in self.crashes:
+            if spec.pid in seen:
+                raise ConfigError(
+                    f"fault plan crashes process {spec.pid} more than once"
+                )
+            seen.add(spec.pid)
             if config.is_member(spec.pid):
                 gid = config.group_of(spec.pid)
                 per_group[gid] = per_group.get(gid, 0) + 1

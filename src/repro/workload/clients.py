@@ -30,6 +30,10 @@ class ClientOptions:
     retry_timeout: Optional[float] = None  # None: never retry
     start_delay: float = 0.0
     think_time: float = 0.0  # extra delay between completion and next send
+    #: Multicasts a closed-loop client keeps outstanding at once.  1 is the
+    #: paper's load generator; larger windows provide the sustained pressure
+    #: that lets leader-side batching fill its batches.
+    window: int = 1
 
 
 class _ClientBase(ProtocolProcess):
@@ -101,7 +105,13 @@ class _ClientBase(ProtocolProcess):
 
 
 class ClosedLoopClient(_ClientBase):
-    """The paper's load generator: one outstanding multicast at a time."""
+    """The paper's load generator: a fixed window of outstanding multicasts.
+
+    With ``options.window == 1`` (the default) this is exactly the paper's
+    one-outstanding-message closed loop; larger windows keep several
+    multicasts in flight per client, the sustained per-leader pressure the
+    batching benchmarks need.
+    """
 
     def __init__(
         self,
@@ -116,15 +126,21 @@ class ClosedLoopClient(_ClientBase):
         super().__init__(pid, config, runtime, protocol_cls, tracker, options or ClientOptions())
         self.chooser = chooser
         self._remaining = self.options.num_messages
+        self._outstanding = 0
 
     def on_start(self) -> None:
         if self._remaining > 0:
-            self.runtime.set_timer(self.options.start_delay, self._send_next)
+            self.runtime.set_timer(self.options.start_delay, self._fill_window)
+
+    def _fill_window(self) -> None:
+        while self._remaining > 0 and self._outstanding < max(1, self.options.window):
+            self._send_next()
 
     def _send_next(self) -> None:
         if self._remaining <= 0:
             return
         self._remaining -= 1
+        self._outstanding += 1
         dests = self.chooser.choose(self.runtime.rng)
         m = make_message(
             self.pid, self._next_mid_payload(), dests, size=self.options.payload_size
@@ -132,11 +148,12 @@ class ClosedLoopClient(_ClientBase):
         self._submit(m)
 
     def _after_completion(self, mid: MessageId, t: float) -> None:
+        self._outstanding -= 1
         if self._remaining > 0:
             if self.options.think_time > 0:
-                self.runtime.set_timer(self.options.think_time, self._send_next)
+                self.runtime.set_timer(self.options.think_time, self._fill_window)
             else:
-                self._send_next()
+                self._fill_window()
 
     @property
     def done(self) -> bool:

@@ -1,0 +1,147 @@
+"""Randomized stateful conformance suite for leader-side batching.
+
+Batching is transport aggregation: a batched run must satisfy exactly the
+same observable contract as the paper's per-message protocol.  This suite
+sweeps batch size × pipelining depth × client load (both on fixed grids
+and on seed-randomized configurations), asserting the four black-box
+properties (total order via ``check_ordering``/witness, exactly-once via
+``check_integrity`` + ``check_termination``) and wire-level genuineness
+for batched and unbatched WbCast alike — plus set-equality of deliveries
+between the two modes on identical seeded workloads.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.checking.total_order import verify_witness, witness_order
+from repro.config import BatchingOptions
+from repro.protocols import WbCastProcess
+from repro.sim import UniformCpu, UniformDelay
+from repro.workload import ClientOptions
+
+from tests.conftest import DELTA, checks_ok
+
+
+def run_batched(
+    seed,
+    batching,
+    clients=4,
+    messages=6,
+    window=2,
+    dest_k=2,
+    num_groups=3,
+    cpu=None,
+):
+    res = run_workload(
+        WbCastProcess,
+        num_groups=num_groups,
+        group_size=3,
+        num_clients=clients,
+        messages_per_client=messages,
+        dest_k=dest_k,
+        seed=seed,
+        network=UniformDelay(0.0002, 2 * DELTA),
+        cpu=cpu,
+        batching=batching,
+        client_options=ClientOptions(num_messages=messages, window=window),
+        attach_genuineness=True,
+    )
+    assert res.all_done, f"{res.completed}/{res.expected} with batching={batching}"
+    checks_ok(res)
+    assert not res.genuineness.violations, res.genuineness.violations
+    return res
+
+
+class TestBatchDepthGrid:
+    """Fixed grid: every batch size × pipelining depth combination."""
+
+    @pytest.mark.parametrize("batch", [2, 4, 8, 16])
+    @pytest.mark.parametrize("depth", [1, 2, 4])
+    def test_invariants_hold(self, batch, depth):
+        batching = BatchingOptions(
+            max_batch=batch, max_linger=2 * DELTA, pipeline_depth=depth
+        )
+        run_batched(seed=100 * batch + depth, batching=batching)
+
+    @pytest.mark.parametrize("batch", [4, 16])
+    def test_witness_order_exists_and_verifies(self, batch):
+        batching = BatchingOptions(
+            max_batch=batch, max_linger=2 * DELTA, pipeline_depth=2
+        )
+        res = run_batched(seed=batch, batching=batching, clients=3, messages=8)
+        h = res.history()
+        order = witness_order(h)
+        assert not verify_witness(h, order, quiescent=True)
+
+    def test_zero_linger_batches_flush_immediately(self):
+        """max_linger=0 must never stall: batches form only from same-event
+        arrivals and the run completes like the per-message protocol."""
+        batching = BatchingOptions(max_batch=8, max_linger=0.0, pipeline_depth=4)
+        run_batched(seed=7, batching=batching, clients=6, window=4)
+
+
+class TestRandomizedLoad:
+    """Seed-randomized load: each seed draws a configuration and runs it
+    both batched and unbatched; both must satisfy the full contract and
+    deliver the *same message sets* at every process."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_batched_vs_unbatched_same_contract(self, seed):
+        rng = random.Random(seed)
+        clients = rng.choice([2, 4, 6])
+        messages = rng.choice([4, 6, 8])
+        window = rng.choice([1, 2, 4])
+        num_groups = rng.choice([2, 3, 4])
+        dest_k = rng.randint(1, num_groups)
+        batching = BatchingOptions(
+            max_batch=rng.choice([2, 4, 8, 16]),
+            max_linger=rng.choice([DELTA, 2 * DELTA, 5 * DELTA]),
+            pipeline_depth=rng.choice([1, 2, 4]),
+        )
+        results = {}
+        for label, b in (("unbatched", None), ("batched", batching)):
+            results[label] = run_batched(
+                seed,
+                b,
+                clients=clients,
+                messages=messages,
+                window=window,
+                dest_k=dest_k,
+                num_groups=num_groups,
+            )
+        # Same seeded workload => identical delivered-message sets per
+        # process, whatever the wire aggregation did to the timing.
+        for pid in results["unbatched"].config.all_members:
+            unbatched = set(results["unbatched"].trace.delivery_order_at(pid))
+            batched = set(results["batched"].trace.delivery_order_at(pid))
+            assert unbatched == batched, f"delivery sets diverge at {pid}"
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_batched_under_cpu_saturation(self, seed):
+        """Under a CPU model the leaders queue and batches actually fill;
+        ordering/genuineness must survive saturation."""
+        batching = BatchingOptions(
+            max_batch=8, max_linger=2 * DELTA, pipeline_depth=4
+        )
+        run_batched(
+            seed,
+            batching,
+            clients=8,
+            messages=4,
+            window=4,
+            cpu=UniformCpu(0.0001, jitter=0.1),
+        )
+
+    def test_exactly_once_under_batching(self):
+        """Explicit exactly-once: every correct member of every destination
+        group delivers each message exactly once (not just at-most-once)."""
+        batching = BatchingOptions(max_batch=8, max_linger=2 * DELTA, pipeline_depth=2)
+        res = run_batched(seed=3, batching=batching, clients=4, messages=6)
+        h = res.history()
+        for mid, (_, _, m) in h.multicasts.items():
+            for gid in m.dests:
+                for pid in res.config.members(gid):
+                    count = h.delivery_order(pid).count(mid)
+                    assert count == 1, f"{pid} delivered {mid} {count} times"

@@ -1,0 +1,188 @@
+"""Fault injection for leader-side batching (recovery × batching).
+
+Batches are volatile transport aggregation; the durable protocol state
+stays per message.  These tests crash leaders *mid-batch* — while ACCEPT
+batches are buffered or in flight — and assert the recovery contract:
+the committed prefix of any in-flight batch survives leader failover,
+nothing is delivered twice, and nothing a client keeps retrying is lost.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.config import BatchingOptions, ClusterConfig
+from repro.protocols import WbCastProcess
+from repro.protocols.wbcast import AcceptBatchMsg, Phase, Status, WbCastOptions
+from repro.sim import ConstantDelay, UniformDelay
+from repro.sim.faults import FaultPlan
+from repro.types import make_message
+from repro.workload import ClientOptions
+
+from tests.conftest import DELTA, FAST_FD, checks_ok
+from tests.test_wbcast_normal import build, submit
+from tests.test_wbcast_recovery import checks_from_trace
+
+#: Aggressive batching so crashes reliably land while batches exist.
+BATCHED = BatchingOptions(max_batch=8, max_linger=2 * DELTA, pipeline_depth=4)
+RETRYING = WbCastOptions(retry_interval=0.05, batching=BATCHED)
+CLIENT_RETRY = ClientOptions(num_messages=8, retry_timeout=0.08, window=4)
+
+
+def run_with_crashes(seed, fault_plan_for, num_groups=3, clients=3):
+    """Batched workload under a fault plan; full black-box contract."""
+    config = ClusterConfig.build(num_groups, 3, clients)
+    plan = fault_plan_for(config)
+    res = run_workload(
+        WbCastProcess,
+        config=config,
+        messages_per_client=CLIENT_RETRY.num_messages,
+        dest_k=2,
+        seed=seed,
+        network=ConstantDelay(DELTA),
+        protocol_options=RETRYING,
+        client_options=CLIENT_RETRY,
+        fault_plan=plan,
+        attach_fd=True,
+        fd_options=FAST_FD,
+        drain_grace=0.4,
+    )
+    assert res.all_done, f"{res.completed}/{res.expected} under {plan.crashes}"
+    checks_ok(res)  # total order + integrity (no dup) + termination (no loss)
+    return res
+
+
+class TestLeaderCrashMidBatch:
+    def test_one_leader_crashes_mid_batch(self):
+        """Crash g0's leader while its pipeline is busy; the failover must
+        preserve every committed batch prefix and lose/dup nothing."""
+        run_with_crashes(
+            seed=21, fault_plan_for=lambda c: FaultPlan.crash_leaders(c, [0], at=0.004)
+        )
+
+    def test_two_leaders_crash_mid_batch(self):
+        run_with_crashes(
+            seed=23,
+            fault_plan_for=lambda c: FaultPlan.crash_leaders(c, [0, 2], at=0.0045),
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_randomized_crash_times(self, seed):
+        """Seeded sweep: the crash lands at a random point of the run (batch
+        buffering, ACCEPT_BATCH in flight, ack tally, DELIVER_BATCH...)."""
+        rng = random.Random(seed)
+        at = rng.uniform(0.001, 0.02)
+        gid = rng.randrange(3)
+        run_with_crashes(
+            seed=seed, fault_plan_for=lambda c: FaultPlan.crash_leaders(c, [gid], at=at)
+        )
+
+    def test_exactly_once_across_failover(self):
+        """Explicit per-message accounting on top of the property checks:
+        every correct destination member delivers each message exactly once
+        even though the new leader re-DELIVERs from the beginning."""
+        res = run_with_crashes(
+            seed=29, fault_plan_for=lambda c: FaultPlan.crash_leaders(c, [1], at=0.005)
+        )
+        crashed = {pid for _, pid in res.trace.crashes}
+        h = res.history()
+        for mid, (_, _, m) in h.multicasts.items():
+            for gid in m.dests:
+                for pid in res.config.members(gid):
+                    if pid in crashed:
+                        continue
+                    count = h.delivery_order(pid).count(mid)
+                    assert count == 1, f"{pid} delivered {mid} {count} times"
+
+
+class TestCommittedPrefixSurvives:
+    def test_committed_batch_prefix_survives_failover(self):
+        """A full batch commits and the DELIVER_BATCH goes out; the leader
+        then crashes.  After failover the whole committed prefix is still
+        COMMITTED at the new leader and delivered exactly once everywhere."""
+        config = ClusterConfig.build(1, 3, 1)
+        options = WbCastOptions(batching=BATCHED)
+        sim, trace, tracker, procs, client = build(config, options=options)
+        msgs = [make_message(client, i, {0}) for i in range(4)]
+        for m in msgs:
+            sim.schedule(0.0, lambda mm=m: submit(sim, config, client, mm))
+        # Timeline: arrive δ, linger fires 3δ, batch ACCEPT 4δ, batch acks
+        # 5δ (leader commits, DELIVER_BATCH leaves), followers deliver 6δ.
+        sim.crash_at(0, 5.5 * DELTA)  # after commit, DELIVER_BATCH in flight
+        sim.schedule(0.02, lambda: procs[1].recover())
+        sim.run()
+        # The scenario really went down the batched path: one ACCEPT_BATCH
+        # carried all four messages.
+        batches = [r.msg for r in trace.sends if isinstance(r.msg, AcceptBatchMsg)]
+        assert batches and {mid for b in batches for mid in b.mids()} == {
+            m.mid for m in msgs
+        }
+        assert procs[1].status is Status.LEADER
+        for m in msgs:
+            assert procs[1].records[m.mid].phase is Phase.COMMITTED
+            assert procs[2].records[m.mid].phase is Phase.COMMITTED
+            for pid in (1, 2):
+                count = [d.pid for d in trace.deliveries_of(m.mid)].count(pid)
+                assert count == 1, f"{pid} delivered {m.mid} {count} times"
+        checks_from_trace(config, trace)
+
+    def test_unflushed_buffer_tail_recovered_by_retry(self):
+        """A crash before the linger fires loses the buffered (unreplicated)
+        tail — exactly like an unreplicated message in the per-message
+        protocol — and a client retry to all members resurrects it."""
+        config = ClusterConfig.build(1, 3, 1)
+        options = WbCastOptions(batching=BATCHED)
+        sim, trace, tracker, procs, client = build(config, options=options)
+        m = make_message(client, 0, {0})
+        sim.schedule(0.0, lambda: submit(sim, config, client, m))
+        # Arrives at δ and sits in the batch buffer (linger fires at 3δ).
+        sim.crash_at(0, 2 * DELTA)
+        sim.schedule(0.02, lambda: procs[1].recover())
+        sim.run()
+        assert m.mid not in procs[1].records  # never replicated: legally lost
+        sim.schedule(0.0, lambda: submit(sim, config, client, m, to_leaders=False))
+        sim.run()
+        assert {d.pid for d in trace.deliveries_of(m.mid)} >= {1, 2}
+        checks_from_trace(config, trace)
+
+    def test_deposed_leader_drops_volatile_batch_state(self):
+        """NEWLEADER resets batching: the old leader keeps no buffered or
+        in-flight batches once a higher ballot takes over."""
+        config = ClusterConfig.build(1, 3, 1)
+        options = WbCastOptions(batching=BATCHED)
+        sim, trace, tracker, procs, client = build(config, options=options)
+        for i in range(3):
+            m = make_message(client, i, {0})
+            sim.schedule(0.0, lambda mm=m: submit(sim, config, client, mm))
+        # Depose p0 while its batch is still buffered (linger fires at 3δ).
+        sim.schedule(1.5 * DELTA, lambda: procs[1].recover())
+        sim.run()
+        assert procs[0].status is Status.FOLLOWER
+        assert procs[0].buffered_multicast_count() == 0
+        assert procs[0].inflight_batch_count() == 0
+        assert procs[1].buffered_multicast_count() == 0
+        assert procs[1].inflight_batch_count() == 0
+
+
+class TestFaultPlanBatchingInteraction:
+    def test_jittered_network_failover(self):
+        """Batching + jittered delays + a mid-run leader crash: the
+        nondeterministic interleaving must not break the contract."""
+        config = ClusterConfig.build(3, 3, 3)
+        res = run_workload(
+            WbCastProcess,
+            config=config,
+            messages_per_client=6,
+            dest_k=2,
+            seed=31,
+            network=UniformDelay(0.0002, 2 * DELTA),
+            protocol_options=RETRYING,
+            client_options=ClientOptions(num_messages=6, retry_timeout=0.08, window=2),
+            fault_plan=FaultPlan.crash_leaders(config, [2], at=0.006),
+            attach_fd=True,
+            fd_options=FAST_FD,
+            drain_grace=0.4,
+        )
+        assert res.all_done
+        checks_ok(res)

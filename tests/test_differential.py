@@ -1,0 +1,108 @@
+"""Cross-protocol differential battery: one workload, every implementation.
+
+The per-protocol suites each probe their own corner cases; this file runs
+*identical seeded workloads* through WbCast (batched and unbatched),
+Skeen, FtSkeen and FastCast and asserts the full checking contract for
+every one of them.  A regression that slips past a protocol's own tests —
+say an ordering bug only visible under a workload shape another protocol's
+suite happens to use — trips here, because every variant faces the exact
+same scenarios.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.checking.total_order import verify_witness, witness_order
+from repro.config import BatchingOptions
+from repro.protocols import (
+    FastCastProcess,
+    FtSkeenProcess,
+    SkeenProcess,
+    WbCastProcess,
+)
+from repro.sim import UniformDelay
+from repro.workload import ClientOptions
+
+from tests.conftest import DELTA, checks_ok
+
+#: Batching knobs for the batched-WbCast variant; other protocols ignore
+#: the ``batching`` argument entirely (harness folds it in only where
+#: supported), so one parameter grid covers the whole family.
+BATCHED = BatchingOptions(max_batch=8, max_linger=2 * DELTA, pipeline_depth=2)
+
+VARIANTS = [
+    pytest.param(SkeenProcess, 1, None, id="skeen"),
+    pytest.param(WbCastProcess, 3, None, id="wbcast"),
+    pytest.param(WbCastProcess, 3, BATCHED, id="wbcast-batched"),
+    pytest.param(FtSkeenProcess, 3, None, id="ftskeen"),
+    pytest.param(FastCastProcess, 3, None, id="fastcast"),
+]
+
+
+def run_variant(protocol_cls, group_size, batching, seed, **overrides):
+    kwargs = dict(
+        num_groups=3,
+        group_size=group_size,
+        num_clients=3,
+        messages_per_client=6,
+        dest_k=2,
+        seed=seed,
+        network=UniformDelay(0.0002, 2 * DELTA),
+        batching=batching,
+        attach_genuineness=True,
+    )
+    kwargs.update(overrides)
+    res = run_workload(protocol_cls, **kwargs)
+    assert res.all_done, (
+        f"{protocol_cls.__name__} completed {res.completed}/{res.expected}"
+    )
+    return res
+
+
+@pytest.mark.parametrize("protocol_cls,group_size,batching", VARIANTS)
+class TestDifferential:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_seeded_workload_full_contract(self, protocol_cls, group_size, batching, seed):
+        """Same seeds for every variant: total order, integrity,
+        termination and genuineness must hold across the board."""
+        res = run_variant(protocol_cls, group_size, batching, seed)
+        checks_ok(res)
+        assert res.genuineness.is_genuine, res.genuineness.violations
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_witness_order_verifies(self, protocol_cls, group_size, batching, seed):
+        res = run_variant(protocol_cls, group_size, batching, seed)
+        h = res.history()
+        assert not verify_witness(h, witness_order(h), quiescent=True)
+
+    def test_randomized_shape(self, protocol_cls, group_size, batching):
+        """A randomly drawn workload shape, identical across variants."""
+        rng = random.Random(99)
+        clients = rng.choice([2, 4])
+        messages = rng.choice([4, 8])
+        dest_k = rng.randint(1, 3)
+        window = rng.choice([1, 3])
+        res = run_variant(
+            protocol_cls, group_size, batching, seed=99,
+            num_clients=clients, messages_per_client=messages, dest_k=dest_k,
+            client_options=ClientOptions(num_messages=messages, window=window),
+        )
+        checks_ok(res)
+
+
+class TestBatchedMatchesUnbatched:
+    """The batched wire protocol is observably the per-message protocol."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_same_delivery_sets(self, seed):
+        sets = {}
+        for label, batching in (("unbatched", None), ("batched", BATCHED)):
+            res = run_variant(WbCastProcess, 3, batching, seed)
+            checks_ok(res)
+            sets[label] = {
+                pid: frozenset(res.trace.delivery_order_at(pid))
+                for pid in res.config.all_members
+            }
+        assert sets["unbatched"] == sets["batched"]

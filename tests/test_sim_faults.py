@@ -35,6 +35,22 @@ class TestFaultPlan:
         plan = FaultPlan(crashes=[CrashSpec(0, 0.1), CrashSpec(3, 0.1), CrashSpec(8, 0.1)])
         plan.validate(config)
 
+    def test_validate_rejects_duplicate_pid(self):
+        """Regression: two specs for one pid used to double-count toward the
+        per-group budget yet still describe only ONE real crash — with
+        f >= 2 the duplicate sneaked past validation.  Duplicates are now
+        rejected outright."""
+        config = ClusterConfig.build(num_groups=1, group_size=5)  # f = 2
+        plan = FaultPlan(crashes=[CrashSpec(0, 0.1), CrashSpec(0, 0.2)])
+        with pytest.raises(ConfigError, match="more than once"):
+            plan.validate(config)
+
+    def test_crash_leaders_collapses_duplicate_groups(self, config):
+        plan = FaultPlan.crash_leaders(config, [0, 0, 2, 2], at=0.5)
+        assert plan.crashed_pids == {0, 6}
+        assert len(plan.crashes) == 2
+        plan.validate(config)  # dedup keeps the plan within the f bound
+
     def test_random_crashes_respect_f(self, config):
         for seed in range(20):
             rng = random.Random(seed)
