@@ -1,28 +1,33 @@
 """Batching ablation: throughput scaling vs. batch size (Fig. 7 topology).
 
-The paper's protocol issues one ACCEPT quorum round trip per multicast, so
-Figs. 7–8 saturate on per-message handling cost.  Leader-side batching
-(``BatchingOptions``) amortises that cost: the leader replicates up to
-``max_batch`` local-timestamp assignments per ``AcceptBatchMsg``, followers
-ack whole batches, and consecutive DELIVER decisions share one wire
-message.  This ablation sweeps the batch size on the Fig. 7 LAN testbed
-(identical CPU model, client loop and topology for every point, so the
-only varying factor is the batch size) and reports the peak throughput
-scaling — the acceptance bar is ≥2× at batch 16 vs. the per-message
-protocol.
+The paper's protocols issue per-message rounds — WbCast one ACCEPT quorum
+round trip per multicast, FtSkeen/FastCast one or two consensus commands —
+so Figs. 7–8 saturate on per-message handling cost.  The protocol-agnostic
+:class:`~repro.protocols.batching.Batcher` amortises that cost for all
+three implementations, which lets this ablation attribute throughput to
+the *protocol* rather than to who happens to batch: every (protocol,
+linger mode, batch size, client count) grid cell runs the identical
+Fig. 7 LAN testbed (same CPU model, client loop and topology), so the
+only varying factors are the batching knobs.
+
+Acceptance bars: batched WbCast ≥2x its per-message peak at batch 16;
+batched FtSkeen and FastCast ≥1.5x theirs.
 
 Run ``python -m repro.bench.batching`` (or ``python -m repro
-bench-batching``) for the default grid; ``REPRO_BENCH_FULL=1`` enables the
-paper-scale one.
+bench-batching``) for the default grid.  ``--protocol`` narrows the
+protocol axis, ``--linger-mode adaptive``/``both`` adds the adaptive
+linger axis, ``--quick`` runs a CI-sized smoke grid, and
+``REPRO_BENCH_FULL=1`` enables the paper-scale grid.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import argparse
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
 from ..config import BatchingOptions
-from ..protocols import WbCastProcess
+from ..protocols import BATCHING_PROTOCOLS, PROTOCOLS
 from .report import render_table
 from .sweep import DEFAULT_CPU_COST, SweepConfig, full_sweep_enabled
 from .sweep import run_point as sweep_run_point
@@ -34,8 +39,10 @@ BATCH_SIZES = (1, 2, 4, 8, 16)
 
 @dataclass(frozen=True)
 class BatchingPoint:
-    """One (batch size, client count) measurement."""
+    """One (protocol, linger mode, batch size, client count) measurement."""
 
+    protocol: str
+    linger_mode: str
     batch: int
     clients: int
     throughput: float
@@ -46,6 +53,8 @@ class BatchingPoint:
 
 @dataclass
 class BatchingSweepConfig:
+    protocols: Sequence[str] = BATCHING_PROTOCOLS
+    linger_modes: Sequence[str] = ("fixed",)
     batch_sizes: Sequence[int] = BATCH_SIZES
     client_counts: Sequence[int] = (100, 300)
     num_groups: int = 6
@@ -74,7 +83,18 @@ def default_sweep() -> BatchingSweepConfig:
     return BatchingSweepConfig()
 
 
-def batching_options(sweep: BatchingSweepConfig, batch: int) -> BatchingOptions:
+def quick_sweep() -> BatchingSweepConfig:
+    """A CI-smoke grid: per-message vs. one batched point per protocol."""
+    return BatchingSweepConfig(
+        batch_sizes=(1, 8),
+        client_counts=(100,),
+        messages_per_client=4,
+    )
+
+
+def batching_options(
+    sweep: BatchingSweepConfig, batch: int, linger_mode: str = "fixed"
+) -> BatchingOptions:
     """The knob settings for one swept batch size (1 = batching off)."""
     if batch <= 1:
         return BatchingOptions()
@@ -82,14 +102,21 @@ def batching_options(sweep: BatchingSweepConfig, batch: int) -> BatchingOptions:
         max_batch=batch,
         max_linger=sweep.max_linger,
         pipeline_depth=sweep.pipeline_depth,
+        linger_mode=linger_mode,
     )
 
 
-def run_point(sweep: BatchingSweepConfig, batch: int, clients: int) -> BatchingPoint:
+def run_point(
+    sweep: BatchingSweepConfig,
+    protocol: str,
+    batch: int,
+    clients: int,
+    linger_mode: str = "fixed",
+) -> BatchingPoint:
     # One measurement = one point of the generic sweep harness; only the
-    # batching knobs vary between grid cells.
+    # protocol and the batching knobs vary between grid cells.
     point = sweep_run_point(
-        WbCastProcess,
+        PROTOCOLS[protocol],
         lambda config: lan_testbed(config, jitter=sweep.network_jitter),
         SweepConfig(
             num_groups=sweep.num_groups,
@@ -99,13 +126,15 @@ def run_point(sweep: BatchingSweepConfig, batch: int, clients: int) -> BatchingP
             cpu_jitter=sweep.cpu_jitter,
             network_jitter=sweep.network_jitter,
             seed=sweep.seed,
-            batching=batching_options(sweep, batch),
+            batching=batching_options(sweep, batch, linger_mode),
             client_window=sweep.client_window,
         ),
         dest_k=sweep.dest_k,
         clients=clients,
     )
     return BatchingPoint(
+        protocol=protocol,
+        linger_mode=linger_mode if batch > 1 else "-",
         batch=batch,
         clients=clients,
         throughput=point.throughput,
@@ -118,23 +147,45 @@ def run_point(sweep: BatchingSweepConfig, batch: int, clients: int) -> BatchingP
 def run_batching(sweep: Optional[BatchingSweepConfig] = None) -> List[BatchingPoint]:
     sweep = sweep or default_sweep()
     points: List[BatchingPoint] = []
-    for batch in sweep.batch_sizes:
-        for clients in sweep.client_counts:
-            points.append(run_point(sweep, batch, clients))
+    for protocol in sweep.protocols:
+        for batch in sweep.batch_sizes:
+            modes = ("fixed",) if batch <= 1 else tuple(sweep.linger_modes)
+            for mode in modes:
+                for clients in sweep.client_counts:
+                    points.append(run_point(sweep, protocol, batch, clients, mode))
     return points
 
 
-def peak_throughputs(points: List[BatchingPoint]) -> Dict[int, float]:
-    """Best throughput per batch size across the swept client counts."""
+def peak_throughputs(
+    points: List[BatchingPoint],
+    protocol: Optional[str] = None,
+    linger_mode: Optional[str] = None,
+) -> Dict[int, float]:
+    """Best throughput per batch size across client counts.
+
+    ``protocol`` filters to one protocol; ``linger_mode`` to one mode
+    (the batch-1 per-message baseline, recorded with mode ``"-"``, always
+    passes the mode filter so speedups stay comparable).  ``None`` keeps
+    the all-points behaviour.
+    """
     peaks: Dict[int, float] = {}
     for p in points:
+        if protocol is not None and p.protocol != protocol:
+            continue
+        if linger_mode is not None and p.linger_mode not in ("-", linger_mode):
+            continue
         peaks[p.batch] = max(peaks.get(p.batch, 0.0), p.throughput)
     return peaks
 
 
-def peak_speedup(points: List[BatchingPoint], batch: int = 16) -> float:
+def peak_speedup(
+    points: List[BatchingPoint],
+    batch: int = 16,
+    protocol: Optional[str] = None,
+    linger_mode: Optional[str] = None,
+) -> float:
     """Peak-throughput ratio of ``batch`` over the per-message protocol."""
-    peaks = peak_throughputs(points)
+    peaks = peak_throughputs(points, protocol=protocol, linger_mode=linger_mode)
     base = peaks.get(1, 0.0)
     if base <= 0:
         return float("nan")
@@ -144,6 +195,8 @@ def peak_speedup(points: List[BatchingPoint], batch: int = 16) -> float:
 def batching_table(points: List[BatchingPoint]) -> str:
     rows = [
         (
+            p.protocol,
+            p.linger_mode,
             p.batch,
             p.clients,
             p.throughput,
@@ -154,31 +207,91 @@ def batching_table(points: List[BatchingPoint]) -> str:
         for p in points
     ]
     return render_table(
-        ["batch", "clients", "msgs/s", "mean lat (ms)", "p95 lat (ms)", "completed"],
+        [
+            "protocol",
+            "linger",
+            "batch",
+            "clients",
+            "msgs/s",
+            "mean lat (ms)",
+            "p95 lat (ms)",
+            "completed",
+        ],
         rows,
-        title="Batching ablation — WbCast throughput vs batch size (Fig. 7 LAN)",
+        title="Batching ablation — throughput vs batch size per protocol (Fig. 7 LAN)",
     )
 
 
 def headline(points: List[BatchingPoint]) -> str:
-    peaks = peak_throughputs(points)
-    base = peaks.get(1, 0.0)
+    # One line per (protocol, batch size); when several linger modes were
+    # swept, one line per mode too — merging them would silently credit
+    # whichever mode happened to win the peak.
+    modes = [m for m in dict.fromkeys(p.linger_mode for p in points) if m != "-"]
     lines = []
-    for batch in sorted(peaks):
-        if batch == 1 or base <= 0:
-            continue
-        lines.append(
-            f"batch={batch}: peak {peaks[batch]:,.0f} msgs/s "
-            f"({peaks[batch] / base:.2f}x over per-message)"
-        )
+    for protocol in dict.fromkeys(p.protocol for p in points):
+        for mode in modes or [None]:
+            peaks = peak_throughputs(points, protocol=protocol, linger_mode=mode)
+            base = peaks.get(1, 0.0)
+            tag = f" [{mode}]" if len(modes) > 1 else ""
+            for batch in sorted(peaks):
+                if batch == 1 or base <= 0:
+                    continue
+                lines.append(
+                    f"{protocol}{tag} batch={batch}: peak {peaks[batch]:,.0f} msgs/s "
+                    f"({peaks[batch] / base:.2f}x over per-message)"
+                )
     return "\n".join(lines)
 
 
-def main() -> None:
-    points = run_batching()
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """The ablation's options — shared with the ``repro`` CLI subcommand
+    so the two entry points can never drift."""
+    parser.add_argument(
+        "--protocol",
+        choices=(*BATCHING_PROTOCOLS, "all"),
+        default="all",
+        help="protocol axis (default: all batching-capable protocols)",
+    )
+    parser.add_argument(
+        "--linger-mode",
+        choices=("fixed", "adaptive", "both"),
+        default="fixed",
+        help="linger mode axis: fixed max_linger, adaptive (EWMA of "
+        "inter-arrival times, bounded by min/max linger), or both",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke grid (per-message vs one batched point)",
+    )
+
+
+def sweep_from_args(args: argparse.Namespace) -> BatchingSweepConfig:
+    sweep = quick_sweep() if args.quick else default_sweep()
+    if args.protocol != "all":
+        sweep = replace(sweep, protocols=(args.protocol,))
+    if args.linger_mode == "both":
+        sweep = replace(sweep, linger_modes=("fixed", "adaptive"))
+    else:
+        sweep = replace(sweep, linger_modes=(args.linger_mode,))
+    return sweep
+
+
+def run_main(args: argparse.Namespace) -> None:
+    """Run the ablation for an already-parsed argument namespace."""
+    points = run_batching(sweep_from_args(args))
     print(batching_table(points))
     print()
     print(headline(points))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="repro bench-batching",
+        description="batch-size throughput ablation across protocols",
+    )
+    add_arguments(parser)
+    run_main(parser.parse_args(argv))
 
 
 if __name__ == "__main__":

@@ -69,16 +69,18 @@ def _default_protocol_options(protocol_cls, client_retry: Optional[float]):
 def _apply_batching(protocol_cls, protocol_options: Any, batching: BatchingOptions) -> Any:
     """Fold a ``batching`` knob into the protocol options, where supported.
 
-    Protocols that don't understand batching (everything but WbCast today)
+    Protocols that don't understand batching (Skeen, the sequencer)
     silently ignore the knob, so sweeps can pass one ``batching`` value
-    across a heterogeneous protocol grid.
+    across a heterogeneous protocol grid.  Supporting protocols declare
+    ``SUPPORTS_BATCHING`` plus their options dataclass as ``OPTIONS_CLS``
+    (WbCast, FtSkeen and FastCast today).
     """
     if protocol_options is not None and hasattr(protocol_options, "batching"):
         return replace(protocol_options, batching=batching)
     if protocol_options is None and getattr(protocol_cls, "SUPPORTS_BATCHING", False):
-        from ..protocols.wbcast import WbCastOptions
-
-        return WbCastOptions(batching=batching)
+        # AttributeError here means a protocol declared SUPPORTS_BATCHING
+        # without naming its options dataclass — fail loudly, don't guess.
+        return protocol_cls.OPTIONS_CLS(batching=batching)
     return protocol_options
 
 

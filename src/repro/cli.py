@@ -4,12 +4,15 @@ Commands map one-to-one onto the library's experiment modules:
 
 * ``run`` — run a workload against any protocol/topology and verify it
   (``--batch-size`` / ``--batch-linger`` / ``--pipeline-depth`` enable
-  leader-side batching for protocols that support it);
+  leader-side batching for protocols that support it — WbCast, FtSkeen
+  and FastCast; ``--linger-mode adaptive`` scales the linger to the
+  observed arrival rate, bounded by ``--min-linger``/``--batch-linger``);
 * ``flow`` — trace one multicast hop by hop (the Fig. 5 view);
 * ``latency-table`` / ``convoy`` / ``figure7`` / ``figure8`` /
   ``ablations`` / ``complexity`` — regenerate the paper's tables;
-* ``bench-batching`` — the batch-size throughput ablation (beyond the
-  paper's own evaluation).
+* ``bench-batching`` — the batch-size throughput ablation across the
+  batching-capable protocols and linger modes (beyond the paper's own
+  evaluation; ``--protocol``/``--linger-mode``/``--quick``).
 """
 
 from __future__ import annotations
@@ -65,6 +68,16 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--pipeline-depth", type=_positive_int, default=1,
                        metavar="N",
                        help="max in-flight leader batches per destination set")
+    run_p.add_argument("--linger-mode", choices=["fixed", "adaptive"],
+                       default="fixed",
+                       help="'fixed' always waits --batch-linger; 'adaptive' "
+                            "scales the wait to an EWMA of observed "
+                            "inter-arrival times (grows toward --batch-linger "
+                            "under bursts, shrinks toward --min-linger under "
+                            "sparse load)")
+    run_p.add_argument("--min-linger", type=_nonneg_float, default=0.0,
+                       metavar="SECS",
+                       help="lower bound of the adaptive linger (default 0)")
 
     flow_p = sub.add_parser("flow", help="trace one multicast hop by hop (Fig. 5 view)")
     flow_p.add_argument("--protocol", choices=sorted(PROTOCOLS), default="wbcast")
@@ -77,8 +90,13 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("figure8", help="Fig. 8 WAN sweep (REPRO_BENCH_FULL=1 for full grid)")
     sub.add_parser("ablations", help="speculation / genuineness / group-size ablations")
     sub.add_parser("complexity", help="message-complexity table")
-    sub.add_parser("bench-batching",
-                   help="batch-size throughput ablation (REPRO_BENCH_FULL=1 for full grid)")
+    bb_p = sub.add_parser(
+        "bench-batching",
+        help="batch-size throughput ablation across protocols "
+             "(REPRO_BENCH_FULL=1 for full grid)")
+    from .bench.batching import add_arguments as add_bench_batching_arguments
+
+    add_bench_batching_arguments(bb_p)  # one option set for both entry points
     return parser
 
 
@@ -103,17 +121,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         delta = args.delta
     batching = None
     if args.batch_size > 1 or args.batch_linger > 0:
+        if args.min_linger > args.batch_linger:
+            print(
+                "error: --min-linger must not exceed --batch-linger",
+                file=sys.stderr,
+            )
+            return 2
         from .config import BatchingOptions
 
         batching = BatchingOptions(
             max_batch=args.batch_size,
             max_linger=args.batch_linger,
             pipeline_depth=args.pipeline_depth,
+            linger_mode=args.linger_mode,
+            min_linger=args.min_linger,
         )
-    elif args.pipeline_depth > 1:
+    elif args.pipeline_depth > 1 or args.min_linger > 0 or args.linger_mode != "fixed":
         print(
-            "note: --pipeline-depth has no effect without "
-            "--batch-size/--batch-linger",
+            "note: --pipeline-depth/--linger-mode/--min-linger have no "
+            "effect without --batch-size/--batch-linger",
             file=sys.stderr,
         )
     result = run_workload(
@@ -130,9 +156,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if batching is not None:
         supported = getattr(protocol_cls, "SUPPORTS_BATCHING", False)
         note = "" if supported else " (ignored: protocol does not batch)"
+        linger = f"linger={batching.max_linger}s"
+        if batching.linger_mode == "adaptive":
+            linger = (
+                f"linger=adaptive[{batching.min_linger}s, {batching.max_linger}s]"
+            )
         print(
             f"batching  : max_batch={batching.max_batch} "
-            f"linger={batching.max_linger}s depth={batching.pipeline_depth}{note}"
+            f"{linger} depth={batching.pipeline_depth}{note}"
         )
     print(f"completed : {result.completed}/{result.expected}")
     ok = True
@@ -201,7 +232,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "bench-batching":
         from .bench import batching
 
-        batching.main()
+        batching.run_main(args)
     return 0
 
 

@@ -44,11 +44,25 @@ class BatchingOptions:
             overdue buffer flushes past the depth limit, because holding
             it indefinitely could deadlock two leaders waiting on each
             other's proposals for the same messages.
+        linger_mode: ``"fixed"`` always waits the full ``max_linger``;
+            ``"adaptive"`` scales the wait to an EWMA of the observed
+            inter-arrival time per destination set — under bursts the
+            linger grows toward ``max_linger`` (company is coming anyway,
+            the batch fills before the timer matters), under sparse load
+            it shrinks toward ``min_linger`` (waiting would only add
+            latency, no companion is due within the window).
+        min_linger: lower bound of the adaptive linger (``0``: flush
+            immediately once load turns sparse).  Ignored in fixed mode.
+        ewma_alpha: smoothing factor of the adaptive inter-arrival EWMA
+            (weight of the newest sample; higher adapts faster).
     """
 
     max_batch: int = 1
     max_linger: float = 0.0
     pipeline_depth: int = 1
+    linger_mode: str = "fixed"
+    min_linger: float = 0.0
+    ewma_alpha: float = 0.25
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -57,6 +71,19 @@ class BatchingOptions:
             raise ConfigError(f"max_linger must be >= 0, got {self.max_linger}")
         if self.pipeline_depth < 1:
             raise ConfigError(f"pipeline_depth must be >= 1, got {self.pipeline_depth}")
+        if self.linger_mode not in ("fixed", "adaptive"):
+            raise ConfigError(
+                f"linger_mode must be 'fixed' or 'adaptive', got {self.linger_mode!r}"
+            )
+        if self.min_linger < 0:
+            raise ConfigError(f"min_linger must be >= 0, got {self.min_linger}")
+        if self.min_linger > self.max_linger:
+            raise ConfigError(
+                f"min_linger ({self.min_linger}) must not exceed "
+                f"max_linger ({self.max_linger})"
+            )
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ConfigError(f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}")
 
     @property
     def enabled(self) -> bool:

@@ -12,9 +12,13 @@
   [10]; 4δ collision-free via speculative consensus pipelining).
 * :mod:`repro.protocols.sequencer` — non-genuine baseline: a global
   sequencer group orders everything (used by the genuineness ablation).
+* :mod:`repro.protocols.batching` — the protocol-agnostic leader-side
+  :class:`~repro.protocols.batching.Batcher` (buffers, linger — fixed or
+  adaptive — and pipelining) shared by WbCast, FtSkeen and FastCast.
 """
 
 from .base import AtomicMulticastProcess, MulticastMsg, ProtocolProcess
+from .batching import Batcher
 from .skeen import SkeenProcess
 from .wbcast import WbCastProcess
 from .ftskeen import FtSkeenProcess
@@ -23,6 +27,7 @@ from .sequencer import SequencerProcess
 
 __all__ = [
     "AtomicMulticastProcess",
+    "Batcher",
     "FastCastProcess",
     "FtSkeenProcess",
     "MulticastMsg",
@@ -39,3 +44,9 @@ PROTOCOLS = {
     "fastcast": FastCastProcess,
     "sequencer": SequencerProcess,
 }
+
+#: Protocols whose processes understand :class:`~repro.config.BatchingOptions`
+#: — derived from the registry so CLI/benchmark choices can never drift.
+BATCHING_PROTOCOLS = tuple(
+    name for name, cls in PROTOCOLS.items() if getattr(cls, "SUPPORTS_BATCHING", False)
+)

@@ -1,0 +1,351 @@
+"""Protocol-agnostic leader-side batching: the :class:`Batcher` component.
+
+PR 1 hard-wired buffer/linger/pipeline bookkeeping into the WbCast leader;
+this module extracts it so every protocol whose leaders replicate
+per-message work — WbCast's ACCEPT rounds, FtSkeen's consensus #1/#2
+commands, FastCast's speculative announce rounds — can amortise it behind
+the same :class:`~repro.config.BatchingOptions` knobs.  The split of
+responsibilities is deliberate:
+
+* the **Batcher** owns the *volatile* aggregation state: per-key buffers
+  (keys are destination-group sets, so batches never widen a message's
+  participant set and genuineness is preserved), the linger timers, the
+  pipeline-depth accounting and the adaptive-linger estimator;
+* the **host protocol** owns the wire format and all *durable* state: the
+  flush callback turns a list of buffered items into one wire/consensus
+  batch and returns a handle, and the host reports the handle back via
+  :meth:`Batcher.complete` when that batch has left the pipeline.  Recovery
+  therefore stays batch-agnostic — a new leader rebuilds per-message
+  records and never needs to know the old leader's batch boundaries.
+
+Depth backpressure is *bounded by the linger*: once a buffer is due (its
+linger expired, or the effective linger is zero) it flushes even past
+``pipeline_depth``.  Holding it longer would risk a cross-group deadlock —
+leader A's in-flight batch can only commit once leader B proposes the same
+messages, and B's proposal may sit in a depth-blocked buffer waiting,
+circularly, on A.
+
+Adaptive linger (``linger_mode="adaptive"``) keeps one EWMA of message
+inter-arrival times per key and sets the effective linger to
+``clamp(max_linger - ewma, min_linger, max_linger)``: under bursts the
+EWMA collapses toward zero and the linger grows toward ``max_linger``
+(stragglers are worth waiting for — the batch usually fills first anyway);
+under sparse load the EWMA exceeds the window and the linger shrinks to
+``min_linger``, so a lone multicast never idles for company that is not
+coming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from ..config import BatchingOptions
+from ..runtime import Runtime, TimerHandle
+from ..types import AmcastMessage, GroupId, MessageId, Timestamp
+
+#: A batching key: the destination-group set the buffered items share.
+BatchKey = Hashable
+
+#: The host's flush callback: ``flush(key, items)`` sends/proposes one
+#: batch and returns an opaque handle (reported back via ``complete`` when
+#: the batch leaves the pipeline) or ``None`` when nothing went out.
+FlushFn = Callable[[BatchKey, List[Any]], Optional[Any]]
+
+
+class Batcher:
+    """Accumulates per-key items and flushes them under size/linger/depth.
+
+    All state here is volatile leader-side aggregation; :meth:`reset` drops
+    it wholesale on leadership/epoch changes, which is safe because every
+    buffered item's durable protocol state lives in the host's per-message
+    records (client/leader retries re-drive anything a reset loses).
+    """
+
+    def __init__(
+        self,
+        options: BatchingOptions,
+        runtime: Runtime,
+        flush: FlushFn,
+        item_key: Callable[[Any], Hashable] = lambda item: item,
+    ) -> None:
+        self.options = options
+        self.runtime = runtime
+        self._flush_cb = flush
+        # Membership is tracked by ``item_key(item)``: hosts whose items
+        # embed whole application messages (whose payloads are opaque and
+        # need not be hashable) key by message id instead.
+        self._item_key = item_key
+        self._buf: Dict[BatchKey, List[Any]] = {}
+        self._buffered: Set[Hashable] = set()
+        self._due: Set[BatchKey] = set()
+        self._timers: Dict[BatchKey, TimerHandle] = {}
+        # In-flight flush handles: id(handle) -> (key, handle).  Keyed by
+        # identity because host handles need not be hashable; the handle
+        # reference is kept alive here so ids cannot be recycled.
+        self._inflight: Dict[int, Tuple[BatchKey, Any]] = {}
+        self._inflight_per_key: Dict[BatchKey, int] = {}
+        # Adaptive-linger estimator state (per key).
+        self._last_arrival: Dict[BatchKey, float] = {}
+        self._ewma: Dict[BatchKey, float] = {}
+
+    # -- buffering ---------------------------------------------------------
+
+    def add(self, key: BatchKey, item: Any) -> None:
+        """Buffer ``item`` under ``key`` and flush whatever is ripe."""
+        if self.options.linger_mode == "adaptive":
+            self._observe_arrival(key)  # fixed mode never reads the EWMA
+        self._buf.setdefault(key, []).append(item)
+        self._buffered.add(self._item_key(item))
+        self.pump(key)
+
+    def __contains__(self, item_key: Hashable) -> bool:
+        """Whether an item with this key is still buffered (not flushed)."""
+        return item_key in self._buffered
+
+    # -- flushing ----------------------------------------------------------
+
+    def pump(self, key: BatchKey) -> None:
+        """Flush as many batches for ``key`` as size/linger/depth allow."""
+        b = self.options
+        while True:
+            buf = self._buf.get(key)
+            if not buf:
+                break
+            due = self.effective_linger(key) <= 0 or key in self._due
+            full = self._inflight_per_key.get(key, 0) >= b.pipeline_depth
+            if not due and (full or len(buf) < b.max_batch):
+                break  # linger: wait for company or a free pipeline slot
+            self._flush(key)
+        if self._buf.get(key):
+            linger = self.effective_linger(key)
+            if linger > 0 and key not in self._timers:
+                self._timers[key] = self.runtime.set_timer(
+                    linger, lambda k=key: self._on_linger(k)
+                )
+        else:
+            self._due.discard(key)
+            timer = self._timers.pop(key, None)
+            if timer is not None:
+                timer.cancel()
+
+    def _flush(self, key: BatchKey) -> None:
+        buf = self._buf[key]
+        take = buf[: self.options.max_batch]
+        del buf[: len(take)]
+        if not buf:
+            del self._buf[key]  # pump() clears the due mark afterwards
+        for item in take:
+            self._buffered.discard(self._item_key(item))
+        handle = self._flush_cb(key, take)
+        if handle is not None:
+            self._inflight[id(handle)] = (key, handle)
+            self._inflight_per_key[key] = self._inflight_per_key.get(key, 0) + 1
+
+    def _on_linger(self, key: BatchKey) -> None:
+        """Linger expired: the buffered batch is due, full or not."""
+        self._timers.pop(key, None)
+        if not self._buf.get(key):
+            return  # emptied (or reset) since the timer was armed
+        self._due.add(key)
+        self.pump(key)
+
+    def complete(self, handle: Any) -> None:
+        """The host finished the batch behind ``handle``: free its slot.
+
+        Unknown handles are ignored — after a leadership change a consensus
+        batch proposed by the *old* leader may execute at the new one,
+        whose batcher never saw it.
+        """
+        entry = self._inflight.pop(id(handle), None)
+        if entry is None:
+            return
+        key, _ = entry
+        remaining = self._inflight_per_key.get(key, 0) - 1
+        if remaining > 0:
+            self._inflight_per_key[key] = remaining
+        else:
+            self._inflight_per_key.pop(key, None)
+        self.pump(key)
+
+    def reset(self) -> None:
+        """Drop all volatile batching state (leadership or epoch changed)."""
+        self._buf.clear()
+        self._buffered.clear()
+        self._due.clear()
+        self._inflight.clear()
+        self._inflight_per_key.clear()
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+        self._last_arrival.clear()
+        self._ewma.clear()
+
+    # -- adaptive linger ---------------------------------------------------
+
+    def _observe_arrival(self, key: BatchKey) -> None:
+        now = self.runtime.now()
+        last = self._last_arrival.get(key)
+        self._last_arrival[key] = now
+        if last is None:
+            return
+        dt = now - last
+        prev = self._ewma.get(key)
+        alpha = self.options.ewma_alpha
+        self._ewma[key] = dt if prev is None else alpha * dt + (1 - alpha) * prev
+
+    def interarrival_ewma(self, key: BatchKey) -> Optional[float]:
+        """The current inter-arrival EWMA for ``key`` (None: <2 arrivals)."""
+        return self._ewma.get(key)
+
+    def effective_linger(self, key: BatchKey) -> float:
+        """The linger currently applied to ``key``'s buffer.
+
+        Fixed mode returns ``max_linger`` unconditionally.  Adaptive mode
+        returns ``clamp(max_linger - ewma, min_linger, max_linger)`` — see
+        the module docstring for why the bound tightens under sparse load.
+        """
+        b = self.options
+        if b.linger_mode != "adaptive" or b.max_linger <= 0:
+            return b.max_linger
+        ewma = self._ewma.get(key)
+        if ewma is None:
+            return b.max_linger  # no signal yet: stay patient, let load teach us
+        return min(b.max_linger, max(b.min_linger, b.max_linger - ewma))
+
+    # -- introspection -----------------------------------------------------
+
+    def buffered_count(self) -> int:
+        """Items added but not yet flushed in any batch."""
+        return len(self._buffered)
+
+    def inflight_count(self) -> int:
+        """Flushed batches whose handles have not completed (pipelining)."""
+        return len(self._inflight)
+
+
+# -- shared batch wire messages ---------------------------------------------
+#
+# FtSkeen and FastCast both announce persisted/tentative local timestamps
+# leader-to-leader via Skeen-style PROPOSE messages; one coalesced wire
+# message per destination leader replaces a train of per-message ones.
+# Entries always share one destination-group set (the Batcher key), so the
+# batch flows strictly inside ``dest(m)`` and genuineness is preserved.
+
+
+@dataclass(frozen=True, slots=True)
+class ProposeBatchMsg:
+    """``PROPOSE_BATCH(g, ⟨(m, lts), ...⟩)``: group ``g``'s leader announces
+    local timestamps for several messages sharing one destination set."""
+
+    gid: GroupId
+    entries: Tuple[Tuple[AmcastMessage, Timestamp], ...]
+
+    def mids(self) -> List[MessageId]:
+        return [m.mid for m, _ in self.entries]
+
+    @property
+    def size(self) -> int:
+        return 24 + sum((m.size or 64) + 16 for m, _ in self.entries)
+
+
+@dataclass(frozen=True, slots=True)
+class CmdLocalBatch:
+    """Consensus #1 batch command: persist several local timestamps in one
+    Multi-Paxos slot (one quorum exchange for the whole batch).
+
+    Semantically one per-message command per entry; batching only
+    amortises the consensus round.  Shared by FtSkeen and FastCast — a
+    replica's log only ever holds its own protocol's commands, so the
+    host's ``_execute`` dispatch stays unambiguous.
+    """
+
+    entries: Tuple[Tuple[AmcastMessage, Timestamp], ...]
+
+    def mids(self) -> List[MessageId]:
+        return [m.mid for m, _ in self.entries]
+
+
+@dataclass(frozen=True, slots=True)
+class CmdGlobalBatch:
+    """Consensus #2 batch command: persist several global timestamps (one
+    ``(group, lts)`` vector per message) in one Multi-Paxos slot."""
+
+    entries: Tuple[
+        Tuple[AmcastMessage, Tuple[Tuple[GroupId, Timestamp], ...]], ...
+    ]
+
+    def mids(self) -> List[MessageId]:
+        return [m.mid for m, _ in self.entries]
+
+
+@dataclass(frozen=True, slots=True)
+class BatchDeliverMsg:
+    """One wire message carrying several consecutive leader-to-group
+    DELIVER decisions ``(m, gts)`` in global-timestamp order."""
+
+    entries: Tuple[Tuple[AmcastMessage, Timestamp], ...]
+
+    def mids(self) -> List[MessageId]:
+        return [m.mid for m, _ in self.entries]
+
+    @property
+    def size(self) -> int:
+        return 24 + sum((m.size or 64) + 16 for m, _ in self.entries)
+
+
+class ConsensusBatchingHost:
+    """Mixin: the shared half of the batch plumbing for consensus-based
+    hosts (FtSkeen, FastCast).
+
+    Expects the host to provide ``_on_propose(sender, ProposeMsg)``,
+    ``_on_deliver(sender, DELIVER_MSG)``, and the ``_local_batcher`` /
+    ``_global_batcher`` pair; ``DELIVER_MSG`` names the host's per-message
+    deliver dataclass.  Batch unpacking funnels every entry through the
+    per-message handlers, so the batched wire protocol stays observably
+    identical to the paper's.
+    """
+
+    #: The host's per-message ``(m, gts)`` deliver message class.
+    DELIVER_MSG: type
+
+    def _on_propose_batch(self, sender, msg: ProposeBatchMsg) -> None:
+        """Unpack a PROPOSE batch; each entry runs the per-message handler."""
+        from .skeen import ProposeMsg  # deferred: skeen hosts import us
+
+        for m, lts in msg.entries:
+            self._on_propose(sender, ProposeMsg(m, msg.gid, lts))
+
+    def _on_deliver_batch(self, sender, msg: BatchDeliverMsg) -> None:
+        """Unpack a DELIVER batch; each entry runs the per-message handler."""
+        for m, gts in msg.entries:
+            self._on_deliver(sender, self.DELIVER_MSG(m, gts))
+
+    # -- introspection (tests / monitors) ----------------------------------
+
+    def buffered_multicast_count(self) -> int:
+        """Multicasts buffered for a consensus #1 or #2 batch."""
+        return (
+            self._local_batcher.buffered_count()
+            + self._global_batcher.buffered_count()
+        )
+
+    def inflight_batch_count(self) -> int:
+        """Flushed batch commands not yet executed (pipelining)."""
+        return (
+            self._local_batcher.inflight_count()
+            + self._global_batcher.inflight_count()
+        )
+
+    def effective_linger(self, dests) -> float:
+        """The linger currently applied to ``dests`` (adaptive-aware)."""
+        return self._local_batcher.effective_linger(dests)

@@ -30,9 +30,9 @@ agreement on the final timestamps is preserved.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
-from ..config import ClusterConfig
+from ..config import BATCHING_OFF, BatchingOptions, ClusterConfig
 from ..runtime import Runtime
 from ..types import AmcastMessage, GroupId, MessageId, ProcessId, Timestamp
 from ..paxos import PaxosReplica, ReplicaStatus
@@ -44,6 +44,14 @@ from ..paxos.messages import (
     PaxosPromise,
 )
 from .base import AtomicMulticastProcess, MulticastMsg
+from .batching import (
+    Batcher,
+    BatchDeliverMsg,
+    CmdGlobalBatch,
+    CmdLocalBatch,
+    ConsensusBatchingHost,
+    ProposeBatchMsg,
+)
 from .ordering import DeliveryQueue
 from .skeen import ProposeMsg
 from .wbcast.state import MsgRecord, Phase
@@ -75,6 +83,22 @@ class ConfirmMsg:
 
 
 @dataclass(frozen=True, slots=True)
+class ConfirmBatchMsg:
+    """A whole batch of confirmations to one leader: consensus #1 chose
+    these local timestamps here (coalesced :class:`ConfirmMsg` traffic)."""
+
+    gid: GroupId
+    entries: Tuple[Tuple[MessageId, Timestamp], ...]
+
+    def mids(self) -> List[MessageId]:
+        return [mid for mid, _ in self.entries]
+
+    @property
+    def size(self) -> int:
+        return 16 + 24 * len(self.entries)
+
+
+@dataclass(frozen=True, slots=True)
 class FcDeliverMsg:
     """Leader orders its followers to deliver ``m`` at ``gts``."""
 
@@ -84,11 +108,25 @@ class FcDeliverMsg:
 
 @dataclass(frozen=True)
 class FastCastOptions:
+    """Tunables of a FastCast process.
+
+    ``batching`` configures leader-side batching of the speculative
+    announce rounds (consensus #1/#2 commands, PROPOSE/CONFIRM/DELIVER
+    wire traffic); ``None`` inherits the cluster-wide default from
+    :attr:`repro.config.ClusterConfig.batching` (off when that is unset).
+    """
+
     retry_interval: Optional[float] = None
+    batching: Optional[BatchingOptions] = None
 
 
-class FastCastProcess(AtomicMulticastProcess):
+class FastCastProcess(ConsensusBatchingHost, AtomicMulticastProcess):
     """One group member of the FastCast protocol."""
+
+    #: Harness hint: this protocol understands :class:`BatchingOptions`.
+    SUPPORTS_BATCHING = True
+    OPTIONS_CLS = FastCastOptions
+    DELIVER_MSG = FcDeliverMsg
 
     def __init__(
         self,
@@ -99,6 +137,11 @@ class FastCastProcess(AtomicMulticastProcess):
     ) -> None:
         super().__init__(pid, config, runtime)
         self.options = options or FastCastOptions()
+        self.batching: BatchingOptions = (
+            self.options.batching
+            if self.options.batching is not None
+            else (config.batching or BATCHING_OFF)
+        )
         self.replica = PaxosReplica(
             host=self,
             gid=self.gid,
@@ -123,11 +166,27 @@ class FastCastProcess(AtomicMulticastProcess):
         # Delivery bookkeeping (per process).
         self.delivered_ids: Set[MessageId] = set()
         self.max_delivered_gts: Optional[Timestamp] = None
+        # Leader-side batching.  ``_speculative_hold`` lists mids whose
+        # consensus #1 command is still buffered: speculation must not
+        # start consensus #2 before #1 occupies an earlier log slot, or a
+        # quiet run would execute #2 first and drop the speculation on the
+        # floor (only a retry would redo it).
+        mid_of = lambda item: item[0].mid  # items embed opaque payloads
+        self._local_batcher = Batcher(
+            self.batching, runtime, self._flush_local_batch, item_key=mid_of
+        )
+        self._global_batcher = Batcher(
+            self.batching, runtime, self._flush_global_batch, item_key=mid_of
+        )
+        self._speculative_hold: Set[MessageId] = set()
         self._handlers = {
             MulticastMsg: self._on_multicast,
             ProposeMsg: self._on_propose,
+            ProposeBatchMsg: self._on_propose_batch,
             ConfirmMsg: self._on_confirm,
+            ConfirmBatchMsg: self._on_confirm_batch,
             FcDeliverMsg: self._on_deliver,
+            BatchDeliverMsg: self._on_deliver_batch,
             PaxosPrepare: self._on_paxos,
             PaxosPromise: self._on_paxos,
             PaxosAccept: self._on_paxos,
@@ -152,6 +211,12 @@ class FastCastProcess(AtomicMulticastProcess):
 
     def _on_replica_status(self, status: ReplicaStatus) -> None:
         self.cur_leader[self.gid] = self.replica.leader_hint
+        # Any role change invalidates the volatile aggregation state; batch
+        # commands already in the Paxos log ride recovery, buffer tails are
+        # re-driven by retries.
+        self._local_batcher.reset()
+        self._global_batcher.reset()
+        self._speculative_hold.clear()
         if status is ReplicaStatus.LEADER:
             self._rebuild_leader_state()
 
@@ -207,23 +272,101 @@ class FastCastProcess(AtomicMulticastProcess):
         lts = Timestamp(self._tentative_clock, self.gid)
         self._tentative[m.mid] = lts
         self.queue.set_pending(m.mid, lts)
+        self._proposals.setdefault(m.mid, {})[self.gid] = lts
+        if self.batching.enabled:
+            # Buffer the whole announce round: consensus #1 and the PROPOSE
+            # fan-out leave together at flush time.  Until then the message
+            # is on speculative hold (see __init__).
+            self._speculative_hold.add(m.mid)
+            self._local_batcher.add(m.dests, (m, lts))
+            return
         self.replica.propose(FcLocal(m, lts))
         propose = ProposeMsg(m, self.gid, lts)
         for g in sorted(m.dests):
             if g != self.gid:
                 self.send(self.cur_leader.get(g, self.config.default_leader(g)), propose)
-        self._proposals.setdefault(m.mid, {})[self.gid] = lts
         self._maybe_globalize(m)
 
-    def _announce(self, rec: MsgRecord) -> None:
-        """Resend PROPOSE (and CONFIRM once persisted) for a known message."""
+    # -- leader-side batching ---------------------------------------------------
+
+    def _flush_local_batch(self, key, items):
+        """Batcher flush callback: one consensus #1 slot plus one PROPOSE
+        batch per destination leader for the whole announce round."""
+        # Release the hold for *every* buffered item, stale ones included —
+        # a mid left on hold would block its _maybe_globalize forever.
+        for m, _ in items:
+            self._speculative_hold.discard(m.mid)
+        entries = tuple(
+            (m, lts) for m, lts in items if self._tentative.get(m.mid) == lts
+        )
+        if not entries:
+            for m, _ in items:
+                self._maybe_globalize(m)  # stale: consensus #1 already logged
+            return None
+        cmd = CmdLocalBatch(entries)
+        if not self.replica.propose(cmd):
+            return None  # deposed with items still buffered; retries re-drive
+        if len(entries) == 1:
+            m, lts = entries[0]
+            propose = ProposeMsg(m, self.gid, lts)
+            for g in sorted(m.dests):
+                if g != self.gid:
+                    self.send(
+                        self.cur_leader.get(g, self.config.default_leader(g)), propose
+                    )
+        else:
+            dests = entries[0][0].dests  # all entries share the batch's key
+            pmsg = ProposeBatchMsg(self.gid, entries)
+            for g in sorted(dests):
+                if g != self.gid:
+                    self.send(
+                        self.cur_leader.get(g, self.config.default_leader(g)), pmsg
+                    )
+        for m, _ in items:
+            # Re-drive speculation for everything just released from the
+            # hold — including stale-filtered entries whose consensus #1
+            # already executed through an adopted log slot.
+            self._maybe_globalize(m)
+        return cmd
+
+    def _flush_global_batch(self, key, items):
+        """Batcher flush callback: one consensus #2 slot for the batch."""
+        entries = []
+        for m, vector in items:
+            if m.mid in self._committed or m.mid in self.delivered_ids:
+                self._inflight_global.discard(m.mid)
+                continue  # went stale while buffered
+            entries.append((m, vector))
+        if not entries:
+            return None
+        cmd = CmdGlobalBatch(tuple(entries))
+        if not self.replica.propose(cmd):
+            for m, _ in entries:
+                self._inflight_global.discard(m.mid)
+            return None
+        return cmd
+
+    def _announce(self, rec: MsgRecord, to_all: bool = False) -> None:
+        """Resend PROPOSE (and CONFIRM once persisted) for a known message.
+
+        Steady state targets the believed leader of each group; retries
+        broadcast to *all* members — a stale ``Cur_leader`` guess may
+        point at a crashed process, and with several groups' leaders
+        replaced simultaneously neither side would ever learn the other's
+        address (mutual blackhole).  Followers simply buffer the state.
+        """
         propose = ProposeMsg(rec.m, self.gid, rec.lts)
         confirm = ConfirmMsg(rec.mid, self.gid, rec.lts)
         for g in sorted(rec.m.dests):
-            leader = self.cur_leader.get(g, self.config.default_leader(g))
-            if g != self.gid:
-                self.send(leader, propose)
-            self.send(leader, confirm)
+            targets = (
+                self.config.members(g)
+                if to_all
+                else (self.cur_leader.get(g, self.config.default_leader(g)),)
+            )
+            for target in targets:
+                if g != self.gid:
+                    self.send(target, propose)
+                self.send(target, confirm)
 
     def _request_remote(self, m: AmcastMessage) -> None:
         msg = MulticastMsg(m)
@@ -243,6 +386,8 @@ class FastCastProcess(AtomicMulticastProcess):
             return
         if m.mid in self._committed or m.mid in self.delivered_ids:
             return
+        if m.mid in self._speculative_hold:
+            return  # consensus #1 not in the log yet; flush will re-call us
         proposals = self._proposals.get(m.mid, {})
         if set(proposals) != set(m.dests):
             return
@@ -250,7 +395,10 @@ class FastCastProcess(AtomicMulticastProcess):
         if self._executed_vector.get(m.mid) == vector:
             return  # this exact vector is already persisted
         self._inflight_global.add(m.mid)
-        self.replica.propose(FcGlobal(m, vector))
+        if self.batching.enabled:
+            self._global_batcher.add(m.dests, (m, vector))
+        else:
+            self.replica.propose(FcGlobal(m, vector))
 
     def _on_confirm(self, sender: ProcessId, msg: ConfirmMsg) -> None:
         self._observe_sender(sender)
@@ -262,6 +410,11 @@ class FastCastProcess(AtomicMulticastProcess):
         rec = self.records.get(msg.mid)
         if rec is not None:
             self._maybe_commit(rec.m)
+
+    def _on_confirm_batch(self, sender: ProcessId, msg: ConfirmBatchMsg) -> None:
+        """Unpack a CONFIRM batch; each entry runs the per-message handler."""
+        for mid, lts in msg.entries:
+            self._on_confirm(sender, ConfirmMsg(mid, msg.gid, lts))
 
     def _maybe_commit(self, m: AmcastMessage) -> None:
         if not self.is_leader() or m.mid in self._committed:
@@ -287,7 +440,15 @@ class FastCastProcess(AtomicMulticastProcess):
         self._drain()
 
     def _drain(self) -> None:
-        for m, gts in self.queue.pop_deliverable():
+        out = list(self.queue.pop_deliverable())
+        if not out:
+            return
+        if self.batching.enabled and len(out) > 1:
+            bmsg = BatchDeliverMsg(tuple(out))
+            for p in self.group:  # includes ourselves
+                self.send(p, bmsg)
+            return
+        for m, gts in out:
             dmsg = FcDeliverMsg(m, gts)
             for p in self.group:  # includes ourselves
                 self.send(p, dmsg)
@@ -306,33 +467,74 @@ class FastCastProcess(AtomicMulticastProcess):
             self._exec_local(cmd)
         elif isinstance(cmd, FcGlobal):
             self._exec_global(cmd)
+        elif isinstance(cmd, CmdLocalBatch):
+            self._exec_local_batch(cmd)
+        elif isinstance(cmd, CmdGlobalBatch):
+            self._exec_global_batch(cmd)
 
     def _exec_local(self, cmd: FcLocal) -> None:
-        m = cmd.m
+        if self._apply_local(cmd.m, cmd.lts) and self.is_leader():
+            confirm = ConfirmMsg(cmd.m.mid, self.gid, cmd.lts)
+            for g in sorted(cmd.m.dests):
+                self.send(self.cur_leader.get(g, self.config.default_leader(g)), confirm)
+            self._maybe_commit(cmd.m)
+
+    def _exec_local_batch(self, cmd: CmdLocalBatch) -> None:
+        """One consensus #1 slot carrying a whole batch: apply each entry,
+        then confirm the surviving ones in one CONFIRM batch per leader."""
+        applied = [(m, lts) for m, lts in cmd.entries if self._apply_local(m, lts)]
+        if applied and self.is_leader():
+            dests = applied[0][0].dests  # all entries share the batch's key
+            if len(applied) == 1:
+                m, lts = applied[0]
+                out = ConfirmMsg(m.mid, self.gid, lts)
+            else:
+                out = ConfirmBatchMsg(
+                    self.gid, tuple((m.mid, lts) for m, lts in applied)
+                )
+            for g in sorted(dests):
+                self.send(self.cur_leader.get(g, self.config.default_leader(g)), out)
+            for m, _ in applied:
+                self._maybe_commit(m)
+        self._local_batcher.complete(cmd)
+
+    def _apply_local(self, m: AmcastMessage, lts: Timestamp) -> bool:
         rec = self.records.get(m.mid)
         if rec is not None and rec.phase is not Phase.START:
-            return  # at most one persisted local timestamp per message
-        self.records[m.mid] = MsgRecord(m, Phase.PROPOSED, lts=cmd.lts)
-        self.clock = max(self.clock, cmd.lts.time)
+            return False  # at most one persisted local timestamp per message
+        self.records[m.mid] = MsgRecord(m, Phase.PROPOSED, lts=lts)
+        self.clock = max(self.clock, lts.time)
         self._tentative.pop(m.mid, None)
-        if self.is_leader():
-            confirm = ConfirmMsg(m.mid, self.gid, cmd.lts)
-            for g in sorted(m.dests):
-                self.send(self.cur_leader.get(g, self.config.default_leader(g)), confirm)
-            self._maybe_commit(m)
+        if self.is_leader() and m.mid not in self.delivered_ids:
+            # Register (or correct) the pending entry.  Crucial after a
+            # leader change: a slot adopted from the old leader's log may
+            # execute *after* the queue was rebuilt, and without a pending
+            # entry its (possibly small) timestamp would never block later
+            # commits — the new leader could deliver out of gts order.
+            # In-log execution order guarantees this runs before any
+            # later-slot consensus #2 commits at this leader.
+            self.queue.set_pending(m.mid, lts)
+        return True
 
     def _exec_global(self, cmd: FcGlobal) -> None:
-        m = cmd.m
+        self._apply_global(cmd.m, cmd.lts_vector)
+
+    def _exec_global_batch(self, cmd: CmdGlobalBatch) -> None:
+        for m, vector in cmd.entries:
+            self._apply_global(m, vector)
+        self._global_batcher.complete(cmd)
+
+    def _apply_global(self, m: AmcastMessage, lts_vector) -> None:
         self._inflight_global.discard(m.mid)
         rec = self.records.get(m.mid)
         if rec is None or rec.phase is Phase.START:
             return  # local timestamp not persisted yet; a retry will redo this
         if m.mid in self.delivered_ids or m.mid in self._committed:
             return
-        gts = max(lts for _, lts in cmd.lts_vector)
+        gts = max(lts for _, lts in lts_vector)
         self.clock = max(self.clock, gts.time)
         self.records[m.mid] = rec.with_phase(Phase.ACCEPTED, gts=gts)
-        self._executed_vector[m.mid] = cmd.lts_vector
+        self._executed_vector[m.mid] = lts_vector
         if self.is_leader():
             self._maybe_commit(m)
 
@@ -346,7 +548,7 @@ class FastCastProcess(AtomicMulticastProcess):
                 if mid in self.delivered_ids:
                     continue
                 if rec.phase in (Phase.PROPOSED, Phase.ACCEPTED):
-                    self._announce(rec)
+                    self._announce(rec, to_all=True)
                     self._request_remote(rec.m)
                     self._maybe_globalize(rec.m)
                     self._maybe_commit(rec.m)

@@ -31,7 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Set, Tuple
 
-from ..config import ClusterConfig
+from ..config import BATCHING_OFF, BatchingOptions, ClusterConfig
 from ..runtime import Runtime
 from ..types import AmcastMessage, GroupId, MessageId, ProcessId, Timestamp
 from ..paxos import PaxosReplica, ReplicaStatus
@@ -43,6 +43,14 @@ from ..paxos.messages import (
     PaxosPromise,
 )
 from .base import AtomicMulticastProcess, MulticastMsg
+from .batching import (
+    Batcher,
+    BatchDeliverMsg,
+    CmdGlobalBatch,
+    CmdLocalBatch,
+    ConsensusBatchingHost,
+    ProposeBatchMsg,
+)
 from .ordering import DeliveryQueue
 from .skeen import ProposeMsg
 from .wbcast.state import MsgRecord, Phase
@@ -75,11 +83,25 @@ class FtDeliverMsg:
 
 @dataclass(frozen=True)
 class FtSkeenOptions:
+    """Tunables of an FtSkeen process.
+
+    ``batching`` configures leader-side batching of consensus #1/#2
+    commands (plus coalesced PROPOSE/DELIVER wire traffic); ``None``
+    inherits the cluster-wide default from
+    :attr:`repro.config.ClusterConfig.batching` (off when that is unset).
+    """
+
     retry_interval: Optional[float] = None
+    batching: Optional[BatchingOptions] = None
 
 
-class FtSkeenProcess(AtomicMulticastProcess):
+class FtSkeenProcess(ConsensusBatchingHost, AtomicMulticastProcess):
     """One group member of the black-box fault-tolerant Skeen protocol."""
+
+    #: Harness hint: this protocol understands :class:`BatchingOptions`.
+    SUPPORTS_BATCHING = True
+    OPTIONS_CLS = FtSkeenOptions
+    DELIVER_MSG = FtDeliverMsg
 
     def __init__(
         self,
@@ -90,6 +112,11 @@ class FtSkeenProcess(AtomicMulticastProcess):
     ) -> None:
         super().__init__(pid, config, runtime)
         self.options = options or FtSkeenOptions()
+        self.batching: BatchingOptions = (
+            self.options.batching
+            if self.options.batching is not None
+            else (config.batching or BATCHING_OFF)
+        )
         self.replica = PaxosReplica(
             host=self,
             gid=self.gid,
@@ -109,10 +136,22 @@ class FtSkeenProcess(AtomicMulticastProcess):
         self._inflight_global: Set[MessageId] = set()
         # Delivery bookkeeping (per process).
         self.delivered_ids: Set[MessageId] = set()
+        # Leader-side batching: consensus #1 buffers freshly timestamped
+        # multicasts, consensus #2 buffers fully proposed ones; both are
+        # keyed by destination-group set so PROPOSE announcements coalesce.
+        mid_of = lambda item: item[0].mid  # items embed opaque payloads
+        self._local_batcher = Batcher(
+            self.batching, runtime, self._flush_local_batch, item_key=mid_of
+        )
+        self._global_batcher = Batcher(
+            self.batching, runtime, self._flush_global_batch, item_key=mid_of
+        )
         self._handlers = {
             MulticastMsg: self._on_multicast,
             ProposeMsg: self._on_propose,
+            ProposeBatchMsg: self._on_propose_batch,
             FtDeliverMsg: self._on_deliver,
+            BatchDeliverMsg: self._on_deliver_batch,
             PaxosPrepare: self._on_paxos,
             PaxosPromise: self._on_paxos,
             PaxosAccept: self._on_paxos,
@@ -137,6 +176,11 @@ class FtSkeenProcess(AtomicMulticastProcess):
 
     def _on_replica_status(self, status: ReplicaStatus) -> None:
         self.cur_leader[self.gid] = self.replica.leader_hint
+        # Any role change invalidates the volatile aggregation state: batch
+        # commands already in the Paxos log survive (they ride recovery),
+        # unflushed buffer tails are re-driven by client/leader retries.
+        self._local_batcher.reset()
+        self._global_batcher.reset()
         if status is ReplicaStatus.LEADER:
             self._rebuild_leader_state()
 
@@ -183,15 +227,76 @@ class FtSkeenProcess(AtomicMulticastProcess):
         lts = Timestamp(self._tentative_clock, self.gid)
         self._tentative[m.mid] = lts
         self.queue.set_pending(m.mid, lts)
-        self.replica.propose(CmdLocal(m, lts))
+        if self.batching.enabled:
+            self._local_batcher.add(m.dests, (m, lts))
+        else:
+            self.replica.propose(CmdLocal(m, lts))
+
+    # -- leader-side batching ------------------------------------------------------
+
+    def _flush_local_batch(self, key, items):
+        """Batcher flush callback: one consensus #1 slot for the batch."""
+        entries = tuple(
+            (m, lts) for m, lts in items if self._tentative.get(m.mid) == lts
+        )
+        if not entries:
+            return None
+        cmd = CmdLocalBatch(entries)
+        if not self.replica.propose(cmd):
+            return None  # deposed with items still buffered; retries re-drive
+        return cmd
+
+    def _flush_global_batch(self, key, items):
+        """Batcher flush callback: one consensus #2 slot for the batch."""
+        entries = []
+        for m, vector in items:
+            rec = self.records.get(m.mid)
+            if rec is None or rec.phase is not Phase.PROPOSED:
+                self._inflight_global.discard(m.mid)
+                continue  # went stale while buffered
+            entries.append((m, vector))
+        if not entries:
+            return None
+        cmd = CmdGlobalBatch(tuple(entries))
+        if not self.replica.propose(cmd):
+            for m, _ in entries:
+                self._inflight_global.discard(m.mid)
+            return None
+        return cmd
 
     # -- inter-group exchange ------------------------------------------------------
 
-    def _broadcast_propose(self, rec: MsgRecord) -> None:
+    def _broadcast_propose(self, rec: MsgRecord, to_all: bool = False) -> None:
+        """Announce our persisted local timestamp to remote destinations.
+
+        Steady state targets the believed leader of each group (the 6δ
+        cost model); retries broadcast to *all* members instead — a stale
+        ``Cur_leader`` guess may point at a crashed process, and with both
+        groups' leaders replaced simultaneously neither side would ever
+        learn the other's address (mutual blackhole).  Whoever currently
+        leads the group handles it; followers just buffer the proposal.
+        """
         propose = ProposeMsg(rec.m, self.gid, rec.lts)
         for g in sorted(rec.m.dests):
-            if g != self.gid:
+            if g == self.gid:
+                continue
+            if to_all:
+                for p in self.config.members(g):
+                    self.send(p, propose)
+            else:
                 self.send(self.cur_leader.get(g, self.config.default_leader(g)), propose)
+
+    def _broadcast_propose_batch(self, entries) -> None:
+        """Announce a whole batch of persisted local timestamps per leader."""
+        if len(entries) == 1:
+            m, _ = entries[0]
+            self._broadcast_propose(self.records[m.mid])
+            return
+        dests = entries[0][0].dests  # all entries share the batch's key
+        msg = ProposeBatchMsg(self.gid, tuple(entries))
+        for g in sorted(dests):
+            if g != self.gid:
+                self.send(self.cur_leader.get(g, self.config.default_leader(g)), msg)
 
     def _request_remote(self, m: AmcastMessage) -> None:
         msg = MulticastMsg(m)
@@ -223,7 +328,10 @@ class FtSkeenProcess(AtomicMulticastProcess):
             return
         vector = tuple(sorted(proposals.items()))
         self._inflight_global.add(m.mid)
-        self.replica.propose(CmdGlobal(m, vector))
+        if self.batching.enabled:
+            self._global_batcher.add(m.dests, (m, vector))
+        else:
+            self.replica.propose(CmdGlobal(m, vector))
 
     # -- replicated execution -----------------------------------------------------------
 
@@ -232,41 +340,80 @@ class FtSkeenProcess(AtomicMulticastProcess):
             self._exec_local(cmd)
         elif isinstance(cmd, CmdGlobal):
             self._exec_global(cmd)
+        elif isinstance(cmd, CmdLocalBatch):
+            self._exec_local_batch(cmd)
+        elif isinstance(cmd, CmdGlobalBatch):
+            self._exec_global_batch(cmd)
 
     def _exec_local(self, cmd: CmdLocal) -> None:
-        m = cmd.m
+        if self._apply_local(cmd.m, cmd.lts) and self.is_leader():
+            self._broadcast_propose(self.records[cmd.m.mid])
+            self._maybe_globalize(cmd.m)
+
+    def _exec_local_batch(self, cmd: CmdLocalBatch) -> None:
+        """One consensus #1 slot carrying a whole batch: apply each entry,
+        then announce the surviving ones in one PROPOSE batch per leader."""
+        applied = [(m, lts) for m, lts in cmd.entries if self._apply_local(m, lts)]
+        if applied and self.is_leader():
+            self._broadcast_propose_batch(applied)
+            for m, _ in applied:
+                self._maybe_globalize(m)
+        # The proposing leader's pipeline slot frees up (no-op elsewhere:
+        # the cmd object is only known to the batcher that flushed it).
+        self._local_batcher.complete(cmd)
+
+    def _apply_local(self, m: AmcastMessage, lts: Timestamp) -> bool:
         rec = self.records.get(m.mid)
         if rec is not None and rec.phase is not Phase.START:
-            return  # at most one persisted local timestamp per message
-        self.records[m.mid] = MsgRecord(m, Phase.PROPOSED, lts=cmd.lts)
-        self.clock = max(self.clock, cmd.lts.time)
+            return False  # at most one persisted local timestamp per message
+        self.records[m.mid] = MsgRecord(m, Phase.PROPOSED, lts=lts)
+        self.clock = max(self.clock, lts.time)
         self._tentative.pop(m.mid, None)
         if self.is_leader():
             # Correct the pending entry in case a retry raced and a
             # different tentative value lost consensus #1.
-            self.queue.set_pending(m.mid, cmd.lts)
-            self._proposals.setdefault(m.mid, {})[self.gid] = cmd.lts
-            self._broadcast_propose(self.records[m.mid])
-            self._maybe_globalize(m)
+            self.queue.set_pending(m.mid, lts)
+            self._proposals.setdefault(m.mid, {})[self.gid] = lts
+        return True
 
     def _exec_global(self, cmd: CmdGlobal) -> None:
-        m = cmd.m
+        self._apply_global(cmd.m, cmd.lts_vector)
+        if self.is_leader():
+            self._drain()
+
+    def _exec_global_batch(self, cmd: CmdGlobalBatch) -> None:
+        """One consensus #2 slot for a batch; commits drain once at the end
+        so consecutive decisions share one DELIVER batch."""
+        for m, vector in cmd.entries:
+            self._apply_global(m, vector)
+        if self.is_leader():
+            self._drain()
+        self._global_batcher.complete(cmd)
+
+    def _apply_global(self, m: AmcastMessage, lts_vector) -> None:
         self._inflight_global.discard(m.mid)
         rec = self.records.get(m.mid)
         if rec is None or rec.phase is not Phase.PROPOSED:
             return  # duplicate command
-        gts = max(lts for _, lts in cmd.lts_vector)
+        gts = max(lts for _, lts in lts_vector)
         self.clock = max(self.clock, gts.time)
         self.records[m.mid] = rec.with_phase(Phase.COMMITTED, gts=gts)
         self._proposals.pop(m.mid, None)
         if self.is_leader():
             self.queue.commit(m, gts)
-            self._drain()
 
     # -- delivery --------------------------------------------------------------------------
 
     def _drain(self) -> None:
-        for m, gts in self.queue.pop_deliverable():
+        out = list(self.queue.pop_deliverable())
+        if not out:
+            return
+        if self.batching.enabled and len(out) > 1:
+            bmsg = BatchDeliverMsg(tuple(out))
+            for p in self.group:  # includes ourselves
+                self.send(p, bmsg)
+            return
+        for m, gts in out:
             dmsg = FtDeliverMsg(m, gts)
             for p in self.group:  # includes ourselves
                 self.send(p, dmsg)
@@ -285,7 +432,7 @@ class FtSkeenProcess(AtomicMulticastProcess):
         if self.is_leader():
             for mid, rec in list(self.records.items()):
                 if rec.phase is Phase.PROPOSED:
-                    self._broadcast_propose(rec)
+                    self._broadcast_propose(rec, to_all=True)
                     self._request_remote(rec.m)
                     self._maybe_globalize(rec.m)
         self.runtime.set_timer(self.options.retry_interval, self._retry_tick)

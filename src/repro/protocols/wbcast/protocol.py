@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ...config import BATCHING_OFF, BatchingOptions, ClusterConfig
-from ...runtime import Runtime, TimerHandle
+from ...runtime import Runtime
 from ...types import (
     BALLOT_BOTTOM,
     AmcastMessage,
@@ -32,6 +32,7 @@ from ...types import (
     Timestamp,
 )
 from ..base import AtomicMulticastProcess, MulticastMsg
+from ..batching import Batcher
 from ..ordering import DeliveryQueue
 from .messages import (
     AcceptAckBatchMsg,
@@ -78,6 +79,7 @@ class WbCastProcess(AtomicMulticastProcess):
 
     #: Harness hint: this protocol understands :class:`BatchingOptions`.
     SUPPORTS_BATCHING = True
+    OPTIONS_CLS = WbCastOptions
 
     def __init__(
         self,
@@ -125,16 +127,16 @@ class WbCastProcess(AtomicMulticastProcess):
         # Progress stamps for the retry timer.
         self._touched: Dict[MessageId, float] = {}
         # -- leader-side batching (volatile; see PendingBatch) -----------------
-        # Unsent multicasts accumulating per destination-group set, in
-        # local-timestamp (= arrival) order, plus an O(1) membership set.
-        self._batch_buf: Dict[FrozenSet[GroupId], List[MessageId]] = {}
-        self._batch_queued: Set[MessageId] = set()
-        # Flushed-but-uncommitted batches per destination set (pipelining).
-        self._batch_inflight: Dict[FrozenSet[GroupId], Dict[int, PendingBatch]] = {}
+        # The Batcher owns buffers/linger/pipelining; this process owns the
+        # wire format (flush callback) and per-message durable state.
+        self._batcher = Batcher(self.batching, runtime, self._flush_batch)
         self._mid_batch: Dict[MessageId, PendingBatch] = {}
-        self._batch_timers: Dict[FrozenSet[GroupId], TimerHandle] = {}
-        self._batch_due: Set[FrozenSet[GroupId]] = set()
         self._batch_seq = 0
+        # Batch-aware GC bookkeeping: which mids were replicated together,
+        # so prune rounds coalesce whole committed batches (never dropping
+        # a message whose batch-mate is still undelivered somewhere).
+        self._gc_batch_of: Dict[MessageId, int] = {}
+        self._gc_batch_members: Dict[int, Set[MessageId]] = {}
         # When handling an ACCEPT batch, _try_accept routes its acks here so
         # they can be coalesced into one ACCEPT_ACK_BATCH per leader.
         self._ack_sink: Optional[List[Tuple[ProcessId, AcceptAckMsg]]] = None
@@ -197,8 +199,8 @@ class WbCastProcess(AtomicMulticastProcess):
         self._touch(m.mid)
         if self.batching.enabled:
             if fresh:
-                self._enqueue_batch(m)
-            elif m.mid not in self._batch_queued:
+                self._batcher.add(m.dests, m.mid)
+            elif m.mid not in self._batcher:
                 # Duplicate/retry of a message already proposed and no longer
                 # buffered: resend its proposal alone with the stored
                 # timestamp (Invariant 1).  Buffered messages flush with
@@ -217,63 +219,14 @@ class WbCastProcess(AtomicMulticastProcess):
 
     # ------------------------------------------------------- leader-side batching
 
-    def _enqueue_batch(self, m: AmcastMessage) -> None:
-        """Buffer a freshly proposed message for batched replication."""
-        self._batch_buf.setdefault(m.dests, []).append(m.mid)
-        self._batch_queued.add(m.mid)
-        self._pump_batches(m.dests)
-
-    def _pump_batches(self, key: FrozenSet[GroupId]) -> None:
-        """Flush as many batches for ``key`` as size/linger/depth allow.
-
-        Depth backpressure is *bounded by the linger*: once a buffer is due
-        (its linger expired, or no linger is configured) it flushes even
-        past ``pipeline_depth``.  Holding it longer would risk a
-        cross-group deadlock — leader A's in-flight batch can only commit
-        once leader B proposes the same messages, and B's proposal may sit
-        in a depth-blocked buffer waiting, circularly, on A.
-        """
-        b = self.batching
-        while True:
-            buf = self._batch_buf.get(key)
-            if not buf:
-                break
-            due = b.max_linger <= 0 or key in self._batch_due
-            full = len(self._batch_inflight.get(key, ())) >= b.pipeline_depth
-            if not due and (full or len(buf) < b.max_batch):
-                break  # linger: wait for company or a free pipeline slot
-            self._flush_batch(key)
-        if self._batch_buf.get(key):
-            if b.max_linger > 0 and key not in self._batch_timers:
-                self._batch_timers[key] = self.runtime.set_timer(
-                    b.max_linger, lambda k=key: self._on_batch_linger(k)
-                )
-        else:
-            self._batch_due.discard(key)
-            timer = self._batch_timers.pop(key, None)
-            if timer is not None:
-                timer.cancel()
-
-    def _on_batch_linger(self, key: FrozenSet[GroupId]) -> None:
-        """Linger expired: the buffered batch is due, full or not."""
-        self._batch_timers.pop(key, None)
-        if self.status is not Status.LEADER or not self.batching.enabled:
-            return
-        self._batch_due.add(key)
-        self._pump_batches(key)
-
-    def _flush_batch(self, key: FrozenSet[GroupId]) -> None:
-        """Replicate up to ``max_batch`` buffered proposals in one round."""
-        buf = self._batch_buf[key]
-        take = buf[: self.batching.max_batch]
-        del buf[: len(take)]
-        if not buf:
-            del self._batch_buf[key]  # _pump_batches clears the due mark
+    def _flush_batch(self, key: FrozenSet[GroupId], mids: List[MessageId]):
+        """Batcher flush callback: replicate the buffered proposals in one
+        ACCEPT round; returns the :class:`PendingBatch` handle (None when
+        every entry went stale while buffered)."""
         batch = PendingBatch(seq=self._batch_seq, dests=key)
         self._batch_seq += 1
         entries: List[Tuple[AmcastMessage, Timestamp]] = []
-        for mid in take:
-            self._batch_queued.discard(mid)
+        for mid in mids:
             rec = self.records.get(mid)
             if rec is None or rec.phase not in (Phase.PROPOSED, Phase.ACCEPTED):
                 continue  # committed or pruned while buffered
@@ -281,12 +234,19 @@ class WbCastProcess(AtomicMulticastProcess):
             batch.outstanding.add(mid)
             self._mid_batch[mid] = batch
         if not entries:
-            return
-        self._batch_inflight.setdefault(key, {})[batch.seq] = batch
+            return None
+        if len(entries) > 1:
+            # GC remembers co-replicated messages so prune rounds later
+            # coalesce the whole batch (singletons need no tracking).
+            members = set(batch.outstanding)
+            self._gc_batch_members[batch.seq] = members
+            for mid in members:
+                self._gc_batch_of[mid] = batch.seq
         msg = AcceptBatchMsg(self.gid, self.cballot, tuple(entries))
         for g in sorted(key):
             for p in self.config.members(g):
                 self.send(p, msg)
+        return batch
 
     def _note_batch_done(self, mid: MessageId) -> None:
         """A message left the accept pipeline: maybe free its batch's slot."""
@@ -294,14 +254,8 @@ class WbCastProcess(AtomicMulticastProcess):
         if batch is None:
             return
         batch.outstanding.discard(mid)
-        if not batch.done:
-            return
-        group = self._batch_inflight.get(batch.dests)
-        if group is not None:
-            group.pop(batch.seq, None)
-            if not group:
-                del self._batch_inflight[batch.dests]
-        self._pump_batches(batch.dests)
+        if batch.done:
+            self._batcher.complete(batch)
 
     def _reset_batching(self) -> None:
         """Drop all volatile batching state (leadership or epoch changed).
@@ -311,15 +265,13 @@ class WbCastProcess(AtomicMulticastProcess):
         (NEWLEADER / NEW_STATE) transfers independently of batch
         boundaries — the committed prefix of any in-flight batch survives,
         unreplicated buffer tails are re-driven by client/leader retries.
+        The GC batch map goes too: a new leader prunes per message, which
+        is safe, just less coalesced.
         """
-        self._batch_buf.clear()
-        self._batch_queued.clear()
-        self._batch_due.clear()
-        self._batch_inflight.clear()
+        self._batcher.reset()
         self._mid_batch.clear()
-        for timer in self._batch_timers.values():
-            timer.cancel()
-        self._batch_timers.clear()
+        self._gc_batch_of.clear()
+        self._gc_batch_members.clear()
 
     def _on_accept(self, sender: ProcessId, msg: AcceptMsg) -> None:
         """Buffer one group's proposal; act when the set completes (line 10)."""
@@ -722,8 +674,15 @@ class WbCastProcess(AtomicMulticastProcess):
         group-widely delivered past its gts, so nobody can ever again need
         our ACCEPT resends or re-DELIVERs for it.  The message id stays in
         ``delivered_ids`` to keep duplicate MULTICASTs idempotent.
+
+        Batch-aware coalescing: messages replicated together (one ACCEPT
+        batch) are pruned together.  If any batch-mate's record is still
+        live but not yet watermark-covered — e.g. a destination group has
+        delivered the batch's head but not its tail — the whole batch
+        waits, so one ``GcPruneMsg`` round later retires the batch in one
+        piece instead of dribbling per-message rounds across GC ticks.
         """
-        prunable: List[MessageId] = []
+        covered: List[MessageId] = []
         for mid, rec in self.records.items():
             if rec.phase is not Phase.COMMITTED or mid not in self.delivered_ids:
                 continue
@@ -731,10 +690,29 @@ class WbCastProcess(AtomicMulticastProcess):
                 g in self._group_watermarks and not self._group_watermarks[g] < rec.gts
                 for g in rec.m.dests
             ):
-                prunable.append(mid)
+                covered.append(mid)
+        if not covered:
+            return
+        covered_set = set(covered)
+        prunable: List[MessageId] = []
+        for mid in covered:
+            seq = self._gc_batch_of.get(mid)
+            if seq is not None and any(
+                mate in self.records and mate not in covered_set
+                for mate in self._gc_batch_members.get(seq, ())
+            ):
+                continue  # a batch-mate is not fully delivered yet: hold the batch
+            prunable.append(mid)
         if not prunable:
             return
         for mid in prunable:
+            seq = self._gc_batch_of.pop(mid, None)
+            if seq is not None:
+                members = self._gc_batch_members.get(seq)
+                if members is not None:
+                    members.discard(mid)
+                    if not members:
+                        del self._gc_batch_members[seq]
             self.records.pop(mid, None)
             self._accepts.pop(mid, None)
             self._acks.pop(mid, None)
@@ -780,8 +758,12 @@ class WbCastProcess(AtomicMulticastProcess):
 
     def buffered_multicast_count(self) -> int:
         """Proposals assigned a timestamp but not yet flushed in a batch."""
-        return len(self._batch_queued)
+        return self._batcher.buffered_count()
 
     def inflight_batch_count(self) -> int:
         """Flushed ACCEPT batches not yet fully committed (pipelining)."""
-        return sum(len(group) for group in self._batch_inflight.values())
+        return self._batcher.inflight_count()
+
+    def effective_linger(self, dests: FrozenSet[GroupId]) -> float:
+        """The linger currently applied to ``dests`` (adaptive-aware)."""
+        return self._batcher.effective_linger(dests)

@@ -57,13 +57,18 @@ class UniformCpu(CpuModel):
     messages; self-addressed messages are free (they are local steps).
     Per-process overrides support asymmetric hardware.
 
-    Batch messages (anything exposing an ``entries`` tuple, e.g. the
-    WbCast ``AcceptBatchMsg`` / ``DeliverBatchMsg`` / ``AcceptAckBatchMsg``)
+    Batch messages — anything exposing an ``entries`` tuple (the WbCast
+    ``AcceptBatchMsg`` / ``DeliverBatchMsg``, the shared ``ProposeBatchMsg``
+    / ``ConfirmBatchMsg`` / ``BatchDeliverMsg``, and any future batch wire
+    message; detection is duck-typed so new ones need no registration) —
     are charged the full per-class cost for the *first* entry plus a much
     smaller ``batch_entry_cost`` for each additional one: syscalls, wakeups
     and header parsing are paid once per wire message, while per-entry work
-    is a short in-memory loop.  This is the amortisation that lets batched
-    leaders climb past the per-message saturation point of Figs. 7–8.
+    is a short in-memory loop.  A ``PaxosAccept`` whose log value is a
+    batch command (``CmdLocalBatch`` etc.) amortises the same way — one
+    consensus slot carries the batch.  This is the amortisation that lets
+    batched leaders climb past the per-message saturation point of
+    Figs. 7–8.
     """
 
     #: Message class names treated as cheap acknowledgements.
@@ -78,9 +83,6 @@ class UniformCpu(CpuModel):
             "HeartbeatMsg",
         }
     )
-
-    #: Batch message class names whose first entry costs a full message.
-    BATCH_TYPES = frozenset({"AcceptBatchMsg", "DeliverBatchMsg"})
 
     #: Batch message class names whose first entry costs an ack.
     BATCH_ACK_TYPES = frozenset({"AcceptAckBatchMsg"})
@@ -109,14 +111,21 @@ class UniformCpu(CpuModel):
         if self._free_self and src == pid:
             return 0.0
         name = type(msg).__name__
-        if name in self.BATCH_TYPES:
-            extra = max(0, len(getattr(msg, "entries", ())) - 1)
-            base = self._overrides.get(pid, self._per_message) + self._batch_entry_cost * extra
-        elif name in self.BATCH_ACK_TYPES:
+        if name in self.BATCH_ACK_TYPES:
             extra = max(0, len(getattr(msg, "entries", ())) - 1)
             base = self._ack_cost + (self._batch_entry_cost / 4) * extra
         elif name in self.ACK_TYPES:
             base = self._ack_cost
+        elif name == "PaxosAccept":
+            # A consensus slot carrying a batch command amortises like a
+            # batch wire message (non-batch values have no ``entries``).
+            extra = max(0, len(getattr(msg.value, "entries", ())) - 1)
+            base = self._overrides.get(pid, self._per_message) + self._batch_entry_cost * extra
+        elif hasattr(msg, "entries"):
+            # Duck-typed batch wire message: full cost for the first entry,
+            # the amortised rate for the rest.
+            extra = max(0, len(msg.entries) - 1)
+            base = self._overrides.get(pid, self._per_message) + self._batch_entry_cost * extra
         else:
             base = self._overrides.get(pid, self._per_message)
         if self._jitter:

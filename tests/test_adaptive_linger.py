@@ -1,0 +1,236 @@
+"""Randomized conformance suite for the adaptive linger.
+
+``linger_mode="adaptive"`` scales the batching linger to an EWMA of the
+observed inter-arrival times: bursty load grows it toward ``max_linger``,
+sparse load shrinks it toward ``min_linger``.  This suite checks the
+estimator in isolation (a stub runtime feeding arrivals at controlled
+times) and end to end (Poisson arrival schedules through WbCast, FtSkeen
+and FastCast), asserting on every run that
+
+* the effective linger stays inside ``[min_linger, max_linger]`` and
+  converges toward the right bound for the offered load, and
+* the full black-box contract (total order, integrity, termination) and
+  wire-level genuineness from :mod:`repro.checking` hold regardless of
+  what the estimator decided.
+"""
+
+import random
+
+import pytest
+
+from repro.checking import History, check_all
+from repro.checking.genuineness import GenuinenessMonitor
+from repro.config import BatchingOptions, ClusterConfig
+from repro.protocols import FastCastProcess, FtSkeenProcess, WbCastProcess
+from repro.protocols.batching import Batcher
+from repro.sim import ConstantDelay, UniformDelay
+from repro.workload import OneShotClient
+
+from tests.conftest import DELTA, build_cluster
+
+MAX_LINGER = 2 * DELTA
+MIN_LINGER = DELTA / 4
+
+ADAPTIVE = BatchingOptions(
+    max_batch=8,
+    max_linger=MAX_LINGER,
+    pipeline_depth=2,
+    linger_mode="adaptive",
+    min_linger=MIN_LINGER,
+)
+
+PROTOCOLS = [
+    pytest.param(WbCastProcess, id="wbcast"),
+    pytest.param(FtSkeenProcess, id="ftskeen"),
+    pytest.param(FastCastProcess, id="fastcast"),
+]
+
+
+# -- estimator in isolation ---------------------------------------------------
+
+
+class _StubTimer:
+    def __init__(self):
+        self._cancelled = False
+
+    def cancel(self):
+        self._cancelled = True
+
+    @property
+    def cancelled(self):
+        return self._cancelled
+
+
+class _StubRuntime:
+    """Just enough Runtime for a Batcher: a clock and inert timers."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def now(self):
+        return self.t
+
+    def set_timer(self, delay, fn):
+        return _StubTimer()
+
+
+def feed(batcher, runtime, gaps, key=frozenset({0, 1})):
+    """Add one item per gap, advancing the stub clock between adds."""
+    for i, gap in enumerate(gaps):
+        runtime.t += gap
+        batcher.add(key, ("item", runtime.t, i))
+    return key
+
+
+def make_batcher(**overrides):
+    opts = dict(
+        max_batch=4,
+        max_linger=MAX_LINGER,
+        pipeline_depth=2,
+        linger_mode="adaptive",
+        min_linger=MIN_LINGER,
+    )
+    opts.update(overrides)
+    runtime = _StubRuntime()
+    batcher = Batcher(BatchingOptions(**opts), runtime, lambda key, items: None)
+    return batcher, runtime
+
+
+class TestEstimator:
+    def test_no_signal_stays_at_max(self):
+        """Before two arrivals there is no inter-arrival sample: stay
+        patient at max_linger rather than guessing."""
+        batcher, runtime = make_batcher()
+        key = frozenset({0, 1})
+        assert batcher.effective_linger(key) == MAX_LINGER
+        feed(batcher, runtime, [0.0])
+        assert batcher.effective_linger(key) == MAX_LINGER
+
+    def test_bursty_converges_to_max(self):
+        batcher, runtime = make_batcher()
+        key = feed(batcher, runtime, [MAX_LINGER / 50] * 40)
+        assert batcher.effective_linger(key) >= 0.9 * MAX_LINGER
+
+    def test_sparse_converges_to_min(self):
+        batcher, runtime = make_batcher()
+        key = feed(batcher, runtime, [10 * MAX_LINGER] * 10)
+        assert batcher.effective_linger(key) == MIN_LINGER
+
+    def test_burst_after_sparse_recovers(self):
+        """The EWMA tracks load shifts: a burst after a quiet spell pulls
+        the linger back up toward max_linger."""
+        batcher, runtime = make_batcher(ewma_alpha=0.5)
+        key = feed(batcher, runtime, [10 * MAX_LINGER] * 5)
+        assert batcher.effective_linger(key) == MIN_LINGER
+        feed(batcher, runtime, [MAX_LINGER / 100] * 30, key=key)
+        assert batcher.effective_linger(key) >= 0.9 * MAX_LINGER
+
+    def test_fixed_mode_ignores_arrivals(self):
+        batcher, runtime = make_batcher(linger_mode="fixed")
+        key = feed(batcher, runtime, [10 * MAX_LINGER] * 10)
+        assert batcher.effective_linger(key) == MAX_LINGER
+
+    def test_per_key_estimates_are_independent(self):
+        batcher, runtime = make_batcher()
+        sparse = frozenset({0})
+        bursty = frozenset({1})
+        for _ in range(20):
+            runtime.t += MAX_LINGER / 50
+            batcher.add(bursty, ("b", runtime.t, id(object())))
+        for _ in range(5):
+            runtime.t += 10 * MAX_LINGER
+            batcher.add(sparse, ("s", runtime.t, id(object())))
+        assert batcher.effective_linger(bursty) >= 0.9 * MAX_LINGER
+        assert batcher.effective_linger(sparse) == MIN_LINGER
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_poisson_linger_always_within_bounds(self, seed):
+        """Whatever a Poisson process throws at it, the effective linger
+        never leaves [min_linger, max_linger]."""
+        rng = random.Random(seed)
+        mean_gap = rng.choice([MAX_LINGER / 20, MAX_LINGER, 20 * MAX_LINGER])
+        batcher, runtime = make_batcher()
+        key = frozenset({0, 1})
+        for i in range(50):
+            runtime.t += rng.expovariate(1.0 / mean_gap)
+            batcher.add(key, ("m", runtime.t, i))
+            linger = batcher.effective_linger(key)
+            assert MIN_LINGER <= linger <= MAX_LINGER, (seed, i, linger)
+
+
+# -- end to end ---------------------------------------------------------------
+
+
+def run_poisson(
+    protocol_cls,
+    mean_gap,
+    seed,
+    num_msgs=24,
+    network=None,
+    batching=ADAPTIVE,
+):
+    """One Poisson-arrival workload on a 3-group cluster, fully checked."""
+    config = ClusterConfig.build(num_groups=3, group_size=3, num_clients=1)
+    options = protocol_cls.OPTIONS_CLS(batching=batching)
+    sim, trace, tracker, members = build_cluster(
+        protocol_cls, config, network=network, seed=seed, options=options
+    )
+    genuineness = GenuinenessMonitor(config)
+    trace.attach(genuineness)
+    rng = random.Random(seed)
+    t = 0.0
+    schedule = []
+    for _ in range(num_msgs):
+        t += rng.expovariate(1.0 / mean_gap)
+        schedule.append((t, (0, 1)))  # one key so the estimator converges
+    client = config.clients[0]
+    sim.add_process(
+        client,
+        lambda rt: OneShotClient(client, config, rt, protocol_cls, tracker, schedule),
+    )
+    sim.run()
+    history = History.from_trace(config, trace)
+    failed = [c.describe() for c in check_all(history, quiescent=True) if not c.ok]
+    assert not failed, failed
+    assert genuineness.is_genuine, genuineness.violations
+    assert trace.deliveries, "nothing was delivered"
+    return members
+
+
+class TestAdaptiveEndToEnd:
+    @pytest.mark.parametrize("protocol_cls", PROTOCOLS)
+    def test_bursty_load_converges_high(self, protocol_cls):
+        """Back-to-back Poisson arrivals: the leader's linger for the hot
+        destination set climbs toward max_linger."""
+        members = run_poisson(
+            protocol_cls, mean_gap=MAX_LINGER / 40, seed=11,
+            network=ConstantDelay(DELTA),
+        )
+        linger = members[0].effective_linger(frozenset({0, 1}))
+        assert linger >= 0.75 * MAX_LINGER, linger
+
+    @pytest.mark.parametrize("protocol_cls", PROTOCOLS)
+    def test_sparse_load_converges_low(self, protocol_cls):
+        """Arrivals far apart: lingering is pointless, so the effective
+        linger bottoms out at min_linger."""
+        members = run_poisson(
+            protocol_cls, mean_gap=25 * MAX_LINGER, seed=13, num_msgs=12,
+            network=ConstantDelay(DELTA),
+        )
+        linger = members[0].effective_linger(frozenset({0, 1}))
+        assert linger == pytest.approx(MIN_LINGER), linger
+
+    @pytest.mark.parametrize("protocol_cls", PROTOCOLS)
+    @pytest.mark.parametrize("seed", range(4))
+    def test_randomized_poisson_full_contract(self, protocol_cls, seed):
+        """Seed-randomized Poisson load (bursty, matched or sparse) under
+        jittered delays: ordering/genuineness must hold on every run and
+        the linger must respect its bounds."""
+        rng = random.Random(seed)
+        mean_gap = rng.choice([MAX_LINGER / 20, MAX_LINGER, 10 * MAX_LINGER])
+        members = run_poisson(
+            protocol_cls, mean_gap=mean_gap, seed=seed, num_msgs=16,
+            network=UniformDelay(0.0002, 2 * DELTA),
+        )
+        linger = members[0].effective_linger(frozenset({0, 1}))
+        assert MIN_LINGER <= linger <= MAX_LINGER, (seed, linger)

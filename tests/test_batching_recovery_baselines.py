@@ -1,0 +1,241 @@
+"""Fault injection for batched FtSkeen and FastCast (recovery × batching).
+
+Mirrors ``tests/test_batching_recovery.py`` for the two consensus-based
+baselines: batches are volatile transport aggregation (one Multi-Paxos
+slot carries a whole ``CmdLocalBatch``), while recovery
+stays per message — batch commands already in the replicated log ride
+Paxos leader change, unflushed buffer tails die with the leader and are
+re-driven by client/leader retries.  These tests crash leaders mid-batch —
+including in the gap *between consensus #1 and consensus #2 of the same
+batch* — and assert the black-box contract: nothing delivered twice,
+nothing a client keeps retrying lost, total order preserved.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.config import BatchingOptions, ClusterConfig
+from repro.paxos.messages import PaxosAccept
+from repro.protocols import FastCastProcess, FtSkeenProcess
+from repro.protocols.batching import CmdGlobalBatch, CmdLocalBatch
+from repro.protocols.fastcast import FastCastOptions, FcGlobal
+from repro.protocols.ftskeen import CmdGlobal, FtSkeenOptions
+from repro.sim import ConstantDelay, UniformDelay
+from repro.sim.faults import CrashSpec, FaultPlan
+from repro.workload import ClientOptions
+
+from tests.conftest import DELTA, FAST_FD, checks_ok
+
+#: Aggressive batching so crashes reliably land while batches exist.
+BATCHED = BatchingOptions(max_batch=8, max_linger=2 * DELTA, pipeline_depth=4)
+CLIENT_RETRY = ClientOptions(num_messages=8, retry_timeout=0.08, window=4)
+
+PROTOCOLS = [
+    pytest.param(
+        FtSkeenProcess,
+        FtSkeenOptions(retry_interval=0.05, batching=BATCHED),
+        id="ftskeen",
+    ),
+    pytest.param(
+        FastCastProcess,
+        FastCastOptions(retry_interval=0.05, batching=BATCHED),
+        id="fastcast",
+    ),
+]
+
+
+def run_with_crashes(
+    protocol_cls, options, seed, fault_plan_for, num_groups=3, clients=3
+):
+    """Batched workload under a fault plan; full black-box contract."""
+    config = ClusterConfig.build(num_groups, 3, clients)
+    plan = fault_plan_for(config)
+    res = run_workload(
+        protocol_cls,
+        config=config,
+        messages_per_client=CLIENT_RETRY.num_messages,
+        dest_k=2,
+        seed=seed,
+        network=ConstantDelay(DELTA),
+        protocol_options=options,
+        client_options=CLIENT_RETRY,
+        fault_plan=plan,
+        attach_fd=True,
+        fd_options=FAST_FD,
+        drain_grace=0.4,
+        max_time=10.0,
+    )
+    assert res.all_done, (
+        f"{protocol_cls.__name__}: {res.completed}/{res.expected} under {plan.crashes}"
+    )
+    checks_ok(res)  # total order + integrity (no dup) + termination (no loss)
+    return res
+
+
+def batch_commands(trace, classes):
+    """All Multi-Paxos slot values of the given batch-command classes."""
+    return [
+        (r.t_send, r.msg.value)
+        for r in trace.sends
+        if isinstance(r.msg, PaxosAccept) and isinstance(r.msg.value, classes)
+    ]
+
+
+@pytest.mark.parametrize("protocol_cls,options", PROTOCOLS)
+class TestLeaderCrashMidBatch:
+    def test_one_leader_crashes_mid_batch(self, protocol_cls, options):
+        """Crash g0's leader while batched consensus commands are in
+        flight; the Paxos failover must lose/dup nothing."""
+        res = run_with_crashes(
+            protocol_cls, options, seed=21,
+            fault_plan_for=lambda c: FaultPlan.crash_leaders(c, [0], at=0.004),
+        )
+        # The scenario really went down the batched path: at least one
+        # multi-entry consensus #1 batch hit the wire.
+        locals_ = batch_commands(res.trace, CmdLocalBatch)
+        assert any(len(cmd.entries) > 1 for _, cmd in locals_)
+
+    def test_two_leaders_crash_mid_batch(self, protocol_cls, options):
+        run_with_crashes(
+            protocol_cls, options, seed=23,
+            fault_plan_for=lambda c: FaultPlan.crash_leaders(c, [0, 2], at=0.0045),
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_randomized_crash_times(self, protocol_cls, options, seed):
+        """Seeded sweep: the crash lands at a random point of the run
+        (batch buffering, consensus #1 in flight, the #1→#2 gap, DELIVER
+        batch propagation...)."""
+        rng = random.Random(seed)
+        at = rng.uniform(0.001, 0.02)
+        gid = rng.randrange(3)
+        run_with_crashes(
+            protocol_cls, options, seed=seed,
+            fault_plan_for=lambda c: FaultPlan.crash_leaders(c, [gid], at=at),
+        )
+
+    def test_exactly_once_across_failover(self, protocol_cls, options):
+        """Explicit per-message accounting on top of the property checks:
+        every correct destination member delivers each message exactly
+        once even though the new leader re-delivers from its rebuilt log."""
+        res = run_with_crashes(
+            protocol_cls, options, seed=29,
+            fault_plan_for=lambda c: FaultPlan.crash_leaders(c, [1], at=0.005),
+        )
+        crashed = {pid for _, pid in res.trace.crashes}
+        h = res.history()
+        for mid, (_, _, m) in h.multicasts.items():
+            for gid in m.dests:
+                for pid in res.config.members(gid):
+                    if pid in crashed:
+                        continue
+                    count = h.delivery_order(pid).count(mid)
+                    assert count == 1, f"{pid} delivered {mid} {count} times"
+
+    def test_jittered_network_failover(self, protocol_cls, options):
+        """Batching + jittered delays + a mid-run leader crash: the
+        nondeterministic interleaving must not break the contract."""
+        config = ClusterConfig.build(3, 3, 3)
+        res = run_workload(
+            protocol_cls,
+            config=config,
+            messages_per_client=6,
+            dest_k=2,
+            seed=31,
+            network=UniformDelay(0.0002, 2 * DELTA),
+            protocol_options=options,
+            client_options=ClientOptions(num_messages=6, retry_timeout=0.08, window=2),
+            fault_plan=FaultPlan.crash_leaders(config, [2], at=0.006),
+            attach_fd=True,
+            fd_options=FAST_FD,
+            drain_grace=0.4,
+            max_time=10.0,
+        )
+        assert res.all_done
+        checks_ok(res)
+
+
+class TestConsensusGapCrash:
+    """Crashes landing between consensus #1 and consensus #2 of one batch.
+
+    Single destination group, four messages submitted together, constant
+    δ network — the whole batch goes through consensus #1 in one slot, and
+    the leader dies before consensus #2 of that same batch is proposed.
+    The local timestamps chosen by consensus #1 are in the replicated log,
+    so the new leader must finish the batch from there (retries drive the
+    re-globalization), delivering everything exactly once.
+    """
+
+    def _run(self, protocol_cls, options, crash_at):
+        config = ClusterConfig.build(1, 3, 1)
+        res = run_workload(
+            protocol_cls,
+            config=config,
+            messages_per_client=4,
+            dest_k=1,
+            seed=7,
+            network=ConstantDelay(DELTA),
+            protocol_options=options,
+            client_options=ClientOptions(num_messages=4, retry_timeout=0.08, window=4),
+            fault_plan=FaultPlan(crashes=[CrashSpec(0, crash_at)]),
+            attach_fd=True,
+            fd_options=FAST_FD,
+            drain_grace=0.4,
+            max_time=10.0,
+        )
+        assert res.all_done, f"{res.completed}/{res.expected}"
+        checks_ok(res)
+        return res
+
+    @pytest.mark.parametrize(
+        "protocol_cls,options,crash_at,local_cls,global_cls",
+        [
+            # FtSkeen timeline: batch flush 3δ, consensus #1 executes 5δ,
+            # consensus #2 flushes 7δ — crash at 5.5δ is inside the gap.
+            pytest.param(
+                FtSkeenProcess,
+                FtSkeenOptions(retry_interval=0.05, batching=BATCHED),
+                5.5 * DELTA,
+                CmdLocalBatch,
+                (CmdGlobal, CmdGlobalBatch),
+                id="ftskeen",
+            ),
+            # FastCast timeline: announce flush 3δ (consensus #1 proposed),
+            # speculative consensus #2 flushes 5δ — crash at 4δ is inside
+            # the gap.
+            pytest.param(
+                FastCastProcess,
+                FastCastOptions(retry_interval=0.05, batching=BATCHED),
+                4 * DELTA,
+                CmdLocalBatch,
+                (FcGlobal, CmdGlobalBatch),
+                id="fastcast",
+            ),
+        ],
+    )
+    def test_crash_between_consensus1_and_consensus2(
+        self, protocol_cls, options, crash_at, local_cls, global_cls
+    ):
+        res = self._run(protocol_cls, options, crash_at)
+        # Consensus #1 of the whole batch was proposed before the crash...
+        locals_ = batch_commands(res.trace, local_cls)
+        pre_crash = [cmd for t, cmd in locals_ if t < crash_at]
+        assert pre_crash and max(len(c.entries) for c in pre_crash) == 4
+        # ...and no consensus #2 command hit the wire until after it: the
+        # crash really landed in the #1→#2 gap of that batch.
+        globals_ = batch_commands(res.trace, global_cls)
+        assert globals_, "consensus #2 never ran"
+        assert all(t >= crash_at for t, _ in globals_), globals_
+        # The new leader finished the batch: everyone alive delivered all
+        # four messages exactly once.
+        crashed = {pid for _, pid in res.trace.crashes}
+        h = res.history()
+        assert len(h.multicasts) == 4
+        for mid in h.multicasts:
+            for pid in res.config.members(0):
+                if pid in crashed:
+                    continue
+                count = h.delivery_order(pid).count(mid)
+                assert count == 1, f"{pid} delivered {mid} {count} times"

@@ -37,6 +37,35 @@ class TestCli:
         code = main(["run", "--topology", "lan", "--clients", "1", "--messages", "2"])
         assert code == 0
 
+    @pytest.mark.parametrize("protocol", ["wbcast", "ftskeen", "fastcast"])
+    def test_run_batched_protocols(self, capsys, protocol):
+        """Every batching-capable protocol accepts the batching knobs."""
+        code = main(["run", "--protocol", protocol, "--groups", "2",
+                     "--clients", "2", "--messages", "4",
+                     "--batch-size", "4", "--batch-linger", "0.002",
+                     "--pipeline-depth", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "max_batch=4" in out
+        assert "ignored" not in out
+
+    def test_run_adaptive_linger(self, capsys):
+        code = main(["run", "--protocol", "wbcast", "--groups", "2",
+                     "--clients", "2", "--messages", "4",
+                     "--batch-size", "4", "--batch-linger", "0.002",
+                     "--linger-mode", "adaptive", "--min-linger", "0.0005"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "linger=adaptive[0.0005s, 0.002s]" in out
+
+    def test_bench_batching_quick(self, capsys):
+        """The CI smoke path: one protocol, tiny grid, table + headline."""
+        code = main(["bench-batching", "--protocol", "ftskeen", "--quick"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ftskeen" in out and "batch" in out
+        assert "x over per-message" in out
+
     def test_flow_command(self, capsys):
         code = main(["flow", "--protocol", "wbcast", "--dest-k", "2"])
         out = capsys.readouterr().out

@@ -80,3 +80,41 @@ def test_quorum_majority_property(num_groups, f, num_clients):
         n = len(config.members(gid))
         assert 2 * q > n
         assert q + q - n >= 1  # any two quorums share a process
+
+
+class TestBatchingOptions:
+    """Validation of the batching knobs, including the adaptive linger."""
+
+    def test_defaults_are_off(self):
+        from repro.config import BATCHING_OFF, BatchingOptions
+
+        assert not BatchingOptions().enabled
+        assert BATCHING_OFF.linger_mode == "fixed"
+
+    def test_adaptive_mode_accepted(self):
+        from repro.config import BatchingOptions
+
+        b = BatchingOptions(
+            max_batch=8, max_linger=0.002, linger_mode="adaptive",
+            min_linger=0.0005, ewma_alpha=0.5,
+        )
+        assert b.enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_batch": 0},
+            {"max_linger": -0.1},
+            {"pipeline_depth": 0},
+            {"linger_mode": "auto"},
+            {"min_linger": -0.001},
+            {"max_linger": 0.001, "min_linger": 0.002},
+            {"ewma_alpha": 0.0},
+            {"ewma_alpha": 1.5},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        from repro.config import BatchingOptions
+
+        with pytest.raises(ConfigError):
+            BatchingOptions(**kwargs)

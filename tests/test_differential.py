@@ -1,12 +1,12 @@
 """Cross-protocol differential battery: one workload, every implementation.
 
 The per-protocol suites each probe their own corner cases; this file runs
-*identical seeded workloads* through WbCast (batched and unbatched),
-Skeen, FtSkeen and FastCast and asserts the full checking contract for
-every one of them.  A regression that slips past a protocol's own tests —
-say an ordering bug only visible under a workload shape another protocol's
-suite happens to use — trips here, because every variant faces the exact
-same scenarios.
+*identical seeded workloads* through WbCast, FtSkeen and FastCast (each
+batched and unbatched, through the shared protocol-agnostic Batcher) plus
+Skeen, and asserts the full checking contract for every one of them.  A
+regression that slips past a protocol's own tests — say an ordering bug
+only visible under a workload shape another protocol's suite happens to
+use — trips here, because every variant faces the exact same scenarios.
 """
 
 import random
@@ -27,17 +27,26 @@ from repro.workload import ClientOptions
 
 from tests.conftest import DELTA, checks_ok
 
-#: Batching knobs for the batched-WbCast variant; other protocols ignore
-#: the ``batching`` argument entirely (harness folds it in only where
-#: supported), so one parameter grid covers the whole family.
+#: Batching knobs shared by every batched variant: the harness folds the
+#: same ``batching`` argument into WbCast, FtSkeen and FastCast options
+#: (protocols without Batcher support ignore it), so one parameter grid
+#: covers the whole family.
 BATCHED = BatchingOptions(max_batch=8, max_linger=2 * DELTA, pipeline_depth=2)
+
+#: An adaptive-linger flavour of the same knobs for the WbCast variant.
+ADAPTIVE = BatchingOptions(
+    max_batch=8, max_linger=2 * DELTA, pipeline_depth=2, linger_mode="adaptive"
+)
 
 VARIANTS = [
     pytest.param(SkeenProcess, 1, None, id="skeen"),
     pytest.param(WbCastProcess, 3, None, id="wbcast"),
     pytest.param(WbCastProcess, 3, BATCHED, id="wbcast-batched"),
+    pytest.param(WbCastProcess, 3, ADAPTIVE, id="wbcast-adaptive"),
     pytest.param(FtSkeenProcess, 3, None, id="ftskeen"),
+    pytest.param(FtSkeenProcess, 3, BATCHED, id="ftskeen-batched"),
     pytest.param(FastCastProcess, 3, None, id="fastcast"),
+    pytest.param(FastCastProcess, 3, BATCHED, id="fastcast-batched"),
 ]
 
 
@@ -92,14 +101,65 @@ class TestDifferential:
         checks_ok(res)
 
 
-class TestBatchedMatchesUnbatched:
-    """The batched wire protocol is observably the per-message protocol."""
+class TestOpaquePayloads:
+    """Payloads are opaque (need not be hashable): batching must buffer
+    by message id, never by hashing whole ``(m, ...)`` items."""
 
+    @pytest.mark.parametrize(
+        "protocol_cls",
+        [WbCastProcess, FtSkeenProcess, FastCastProcess],
+        ids=["wbcast", "ftskeen", "fastcast"],
+    )
+    def test_unhashable_payload_batches_fine(self, protocol_cls):
+        from repro.config import ClusterConfig
+        from repro.sim import ConstantDelay
+        from repro.types import make_message
+
+        from tests.conftest import build_cluster
+
+        config = ClusterConfig.build(2, 3, 1)
+        options = protocol_cls.OPTIONS_CLS(batching=BATCHED)
+        sim, trace, tracker, members = build_cluster(
+            protocol_cls, config, network=ConstantDelay(DELTA), options=options
+        )
+        client = config.clients[0]
+
+        class _Null:
+            def on_message(self, sender, msg):
+                pass
+
+        sim.add_process(client, lambda rt: _Null())
+        from repro.protocols.base import MulticastMsg
+
+        for i in range(4):
+            m = make_message(client, i, {0, 1}, payload={"k": i})  # unhashable
+            sim.record_multicast(client, m)
+            for g in (0, 1):
+                sim.schedule(
+                    0.0,
+                    lambda mm=m, t=config.default_leader(g): sim.transmit(
+                        client, t, MulticastMsg(mm)
+                    ),
+                )
+        sim.run()
+        delivered = {d.m.mid for d in trace.deliveries}
+        assert len(delivered) == 4
+
+
+class TestBatchedMatchesUnbatched:
+    """The batched wire protocol is observably the per-message protocol —
+    for every implementation that batches, not just WbCast."""
+
+    @pytest.mark.parametrize(
+        "protocol_cls",
+        [WbCastProcess, FtSkeenProcess, FastCastProcess],
+        ids=["wbcast", "ftskeen", "fastcast"],
+    )
     @pytest.mark.parametrize("seed", range(3))
-    def test_same_delivery_sets(self, seed):
+    def test_same_delivery_sets(self, protocol_cls, seed):
         sets = {}
         for label, batching in (("unbatched", None), ("batched", BATCHED)):
-            res = run_variant(WbCastProcess, 3, batching, seed)
+            res = run_variant(protocol_cls, 3, batching, seed)
             checks_ok(res)
             sets[label] = {
                 pid: frozenset(res.trace.delivery_order_at(pid))

@@ -3,16 +3,20 @@
 import pytest
 
 from repro.bench.harness import run_workload
-from repro.config import ClusterConfig
+from repro.config import BatchingOptions, ClusterConfig
 from repro.protocols import WbCastProcess
-from repro.protocols.wbcast import WbCastOptions
+from repro.protocols.wbcast import GcPruneMsg, WbCastOptions
 from repro.sim import ConstantDelay
 from repro.sim.faults import CrashSpec, FaultPlan
+from repro.types import make_message
 from repro.workload import ClientOptions
 
 from tests.conftest import DELTA, FAST_FD, checks_ok
+from tests.test_wbcast_normal import build, submit
 
 GC = WbCastOptions(retry_interval=0.05, gc_interval=0.01)
+BATCHED = BatchingOptions(max_batch=8, max_linger=2 * DELTA, pipeline_depth=4)
+GC_BATCHED = WbCastOptions(retry_interval=0.05, gc_interval=0.01, batching=BATCHED)
 
 
 class TestPruning:
@@ -67,6 +71,105 @@ class TestPruning:
                            messages_per_client=10, dest_k=2, seed=6,
                            network=ConstantDelay(DELTA), protocol_options=GC,
                            client_options=ClientOptions(num_messages=10, retry_timeout=0.08),
+                           fault_plan=FaultPlan(crashes=[CrashSpec(0, 0.015)]),
+                           attach_fd=True, fd_options=FAST_FD, drain_grace=0.5)
+        assert res.all_done
+        checks_ok(res)
+
+class TestBatchAwareGc:
+    """Prune rounds coalesce whole replicated batches (batch-aware GC).
+
+    The regression contract: prune must never drop a message whose
+    batch-mate is still undelivered at some destination group — the whole
+    batch waits and then retires in one ``GcPruneMsg`` round.
+    """
+
+    def _delivered_batch(self, n=4):
+        """One n-message batch through a 1-group cluster, fully delivered.
+
+        Returns (sim, trace, procs, msgs-in-gts-order); GC timers are off,
+        so the test drives ``_prune`` with synthetic group watermarks.
+        """
+        config = ClusterConfig.build(1, 3, 1)
+        options = WbCastOptions(batching=BATCHED)
+        sim, trace, tracker, procs, client = build(config, options=options)
+        msgs = [make_message(client, i, {0}) for i in range(n)]
+        for m in msgs:
+            sim.schedule(0.0, lambda mm=m: submit(sim, config, client, mm))
+        sim.run()
+        leader = procs[0]
+        for m in msgs:
+            assert m.mid in leader.delivered_ids
+        msgs.sort(key=lambda m: leader.records[m.mid].gts)
+        return sim, trace, procs, msgs
+
+    def test_partial_watermark_holds_the_whole_batch(self):
+        """Group watermark covers only the batch's head: nothing prunes —
+        a per-message GC would have dropped the head while its batch-mates
+        are still undelivered somewhere."""
+        sim, trace, procs, msgs = self._delivered_batch()
+        leader = procs[0]
+        # The whole submission really formed one replicated batch.
+        assert len(leader._gc_batch_members) == 1
+        leader._group_watermarks[0] = leader.records[msgs[1].mid].gts
+        leader._prune()
+        assert leader.live_record_count() == len(msgs)
+        assert not [r for r in trace.sends if isinstance(r.msg, GcPruneMsg)]
+
+    def test_full_watermark_prunes_the_batch_in_one_round(self):
+        sim, trace, procs, msgs = self._delivered_batch()
+        leader = procs[0]
+        leader._group_watermarks[0] = leader.records[msgs[-1].mid].gts
+        leader._prune()
+        assert leader.live_record_count() == 0
+        assert not leader._gc_batch_of and not leader._gc_batch_members
+        prunes = [r.msg for r in trace.sends if isinstance(r.msg, GcPruneMsg)]
+        assert prunes and all(
+            set(p.mids) == {m.mid for m in msgs} for p in prunes
+        ), prunes
+        sim.run()  # let followers process the prune
+        for pid in (1, 2):
+            assert procs[pid].live_record_count() == 0
+
+    def test_unbatched_prune_stays_per_message(self):
+        """Without batching the per-message watermark semantics are
+        untouched: a partial watermark prunes exactly the covered prefix."""
+        config = ClusterConfig.build(1, 3, 1)
+        sim, trace, tracker, procs, client = build(config, options=WbCastOptions())
+        msgs = [make_message(client, i, {0}) for i in range(4)]
+        for m in msgs:
+            sim.schedule(0.0, lambda mm=m: submit(sim, config, client, mm))
+        sim.run()
+        leader = procs[0]
+        msgs.sort(key=lambda m: leader.records[m.mid].gts)
+        leader._group_watermarks[0] = leader.records[msgs[1].mid].gts
+        leader._prune()
+        assert leader.live_record_count() == 2
+        assert leader.record_of(msgs[0].mid) is None
+        assert leader.record_of(msgs[-1].mid) is not None
+
+    def test_batched_gc_prunes_everything_end_to_end(self):
+        """The batched twin of ``test_records_pruned_after_full_delivery``:
+        with real GC rounds every record eventually retires everywhere."""
+        res = run_workload(WbCastProcess, num_groups=3, group_size=3, num_clients=2,
+                           messages_per_client=15, dest_k=2, seed=3,
+                           network=ConstantDelay(DELTA), protocol_options=GC_BATCHED,
+                           client_options=ClientOptions(num_messages=15, window=4),
+                           drain_grace=0.5)
+        assert res.all_done
+        checks_ok(res)
+        for proc in res.members.values():
+            assert proc.live_record_count() == 0
+            assert len(proc.delivered_ids) > 0  # ids retained for integrity
+
+    def test_batched_gc_with_failover(self):
+        """Batch-aware GC state is volatile: after a leader crash the new
+        leader still prunes (per message) and correctness holds."""
+        res = run_workload(WbCastProcess, num_groups=2, group_size=3, num_clients=2,
+                           messages_per_client=10, dest_k=2, seed=6,
+                           network=ConstantDelay(DELTA), protocol_options=GC_BATCHED,
+                           client_options=ClientOptions(num_messages=10,
+                                                        retry_timeout=0.08, window=4),
                            fault_plan=FaultPlan(crashes=[CrashSpec(0, 0.015)]),
                            attach_fd=True, fd_options=FAST_FD, drain_grace=0.5)
         assert res.all_done
