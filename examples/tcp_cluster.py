@@ -2,15 +2,20 @@
 """The same protocol objects over real TCP sockets (asyncio runtime).
 
 Starts a 2-groups x 3-replicas WbCast cluster on localhost ephemeral
-ports, multicasts a handful of messages, kills a leader, lets the
-failure detector elect a new one, and verifies the history.
+ports and drives it through the first-class :class:`repro.AmcastClient`
+session — the exact code path the simulator's workload clients use:
+submissions coalesce client-side into MULTICAST_BATCH wire messages,
+leaders ack them, and after a leader kill the session retransmits with
+stable message ids (no manual resend API) until the new leader registers
+them — exactly once.
 
     python examples/tcp_cluster.py
 """
 
 import asyncio
 
-from repro import ClusterConfig, WbCastOptions, WbCastProcess, check_all
+from repro import AmcastClientOptions, BatchingOptions, ClusterConfig
+from repro import WbCastOptions, WbCastProcess, check_all
 from repro.failure.detector import MonitorOptions
 from repro.net import LocalCluster
 
@@ -25,26 +30,29 @@ async def main() -> None:
         fd_options=MonitorOptions(
             heartbeat_interval=0.03, suspect_timeout=0.12, stagger=0.06
         ),
+        client_options=AmcastClientOptions(
+            retry_timeout=0.2,
+            ingress=BatchingOptions(max_batch=8, max_linger=0.002),
+        ),
     )
     await cluster.start()
     try:
         print("cluster up:", {pid: addr for pid, addr in sorted(cluster.addresses.items())})
 
         first = [cluster.multicast({0, 1}, payload=f"msg-{i}") for i in range(5)]
-        for m in first:
-            ok = await cluster.wait_partial(m.mid, timeout=5.0)
-            print(f"  {m.payload}: partially delivered = {ok}")
+        for handle in first:
+            ok = await cluster.wait_partial(handle.mid, timeout=5.0)
+            print(f"  {handle.payload}: delivered={ok} acked_by={sorted(handle.acked_groups)}")
 
         print("\nkilling pid 0 (leader of group 0) ...")
         await cluster.kill(0)
         await asyncio.sleep(0.6)  # failure detection + recovery
 
-        m = cluster.multicast({0, 1}, payload="after-failover")
-        ok = await cluster.wait_partial(m.mid, timeout=5.0)
-        if not ok:  # a retry may be needed while leadership settles
-            cluster.resend(m)
-            ok = await cluster.wait_partial(m.mid, timeout=5.0)
-        print(f"  after-failover: partially delivered = {ok}")
+        handle = cluster.multicast({0, 1}, payload="after-failover")
+        ok = await cluster.wait_partial(handle.mid, timeout=10.0)
+        print(f"  after-failover: delivered={ok} after {handle.retries} retransmissions")
+        print(f"  session leader map (learned from acks/redirects): "
+              f"{dict(cluster.client.cur_leader)}")
 
         leaders = [
             pid for pid, proc in cluster.processes.items()

@@ -37,8 +37,23 @@ exposed as ``--batch-size`` / ``--batch-linger`` / ``--pipeline-depth`` on
 the throughput-vs-batch-size ablation (≈2x peak throughput at batch 16 on
 the Fig. 7 LAN testbed).
 
-See ``examples/`` for runnable scenarios and ``DESIGN.md`` for the full
-system inventory.
+Client ingress (beyond the paper): submissions enter through the
+first-class :class:`AmcastClient` session (:mod:`repro.client`) — client
+id + per-session sequence numbers, completion handles resolved by leader
+``SUBMIT_ACK`` traffic, leader tracking from acks/redirects, windowed
+backpressure, and client-side coalescing of submissions into
+``MULTICAST_BATCH`` wire messages (``AmcastClientOptions.ingress``, CLI
+``--ingress-batch``).  Retransmission keeps message ids stable and
+leaders dedup against replicated / epoch-transferred state, so
+resubmission after a crash is exactly-once.  The same session drives the
+simulator's workload clients and the asyncio TCP runtime
+(``python -m repro run --runtime net``)::
+
+    from repro.client import AmcastClient, AmcastClientOptions
+
+See ``examples/`` for runnable scenarios (``client_session.py`` and
+``tcp_cluster.py`` showcase the session both ways) and ``DESIGN.md`` for
+the full system inventory.
 """
 
 from .config import BatchingOptions, ClusterConfig
@@ -71,6 +86,7 @@ from .protocols import (
     WbCastProcess,
 )
 from .protocols.wbcast import WbCastOptions
+from .client import AmcastClient, AmcastClientOptions, SubmitHandle
 from .sim import ConstantDelay, SiteTopology, Simulator, Trace, UniformCpu, UniformDelay
 from .checking import History, check_all
 from .bench import run_workload
@@ -78,6 +94,8 @@ from .bench import run_workload
 __version__ = "1.0.0"
 
 __all__ = [
+    "AmcastClient",
+    "AmcastClientOptions",
     "AmcastMessage",
     "BALLOT_BOTTOM",
     "Ballot",
@@ -102,6 +120,7 @@ __all__ = [
     "SiteTopology",
     "Simulator",
     "SkeenProcess",
+    "SubmitHandle",
     "TS_BOTTOM",
     "Timestamp",
     "Trace",

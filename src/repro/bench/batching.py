@@ -16,15 +16,20 @@ batched FtSkeen and FastCast ≥1.5x theirs.
 Run ``python -m repro.bench.batching`` (or ``python -m repro
 bench-batching``) for the default grid.  ``--protocol`` narrows the
 protocol axis, ``--linger-mode adaptive``/``both`` adds the adaptive
-linger axis, ``--quick`` runs a CI-sized smoke grid, and
-``REPRO_BENCH_FULL=1`` enables the paper-scale grid.
+linger axis, ``--ingress-batch 1,16`` adds the client-side ingress
+coalescing axis (AmcastClient sessions batching their submissions per
+destination leader — the remaining per-message saturation term after the
+leader-side batching of PRs 1–2), ``--client-window`` widens the
+closed-loop window so ingress batches have company to coalesce with,
+``--quick`` runs a CI-sized smoke grid, and ``REPRO_BENCH_FULL=1``
+enables the paper-scale grid.
 """
 
 from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import BatchingOptions
 from ..protocols import BATCHING_PROTOCOLS, PROTOCOLS
@@ -39,11 +44,12 @@ BATCH_SIZES = (1, 2, 4, 8, 16)
 
 @dataclass(frozen=True)
 class BatchingPoint:
-    """One (protocol, linger mode, batch size, client count) measurement."""
+    """One (protocol, linger mode, batch, ingress batch, clients) point."""
 
     protocol: str
     linger_mode: str
     batch: int
+    ingress: int
     clients: int
     throughput: float
     mean_latency: float
@@ -56,6 +62,11 @@ class BatchingSweepConfig:
     protocols: Sequence[str] = BATCHING_PROTOCOLS
     linger_modes: Sequence[str] = ("fixed",)
     batch_sizes: Sequence[int] = BATCH_SIZES
+    #: Client-side ingress coalescing axis (1 = one MULTICAST per message,
+    #: the paper's ingress; >1 lets AmcastClient sessions coalesce
+    #: submissions per destination leader, amortising the leader's
+    #: per-message ingress CPU — the remaining saturation term after PR 2).
+    ingress_batches: Sequence[int] = (1,)
     client_counts: Sequence[int] = (100, 300)
     num_groups: int = 6
     group_size: int = 3
@@ -106,12 +117,22 @@ def batching_options(
     )
 
 
+def ingress_options(
+    sweep: BatchingSweepConfig, ingress: int
+) -> Optional[BatchingOptions]:
+    """Client-session coalescing knobs for one swept ingress batch size."""
+    if ingress <= 1:
+        return None
+    return BatchingOptions(max_batch=ingress, max_linger=sweep.max_linger)
+
+
 def run_point(
     sweep: BatchingSweepConfig,
     protocol: str,
     batch: int,
     clients: int,
     linger_mode: str = "fixed",
+    ingress: int = 1,
 ) -> BatchingPoint:
     # One measurement = one point of the generic sweep harness; only the
     # protocol and the batching knobs vary between grid cells.
@@ -128,6 +149,7 @@ def run_point(
             seed=sweep.seed,
             batching=batching_options(sweep, batch, linger_mode),
             client_window=sweep.client_window,
+            ingress=ingress_options(sweep, ingress),
         ),
         dest_k=sweep.dest_k,
         clients=clients,
@@ -136,6 +158,7 @@ def run_point(
         protocol=protocol,
         linger_mode=linger_mode if batch > 1 else "-",
         batch=batch,
+        ingress=ingress,
         clients=clients,
         throughput=point.throughput,
         mean_latency=point.mean_latency,
@@ -151,8 +174,11 @@ def run_batching(sweep: Optional[BatchingSweepConfig] = None) -> List[BatchingPo
         for batch in sweep.batch_sizes:
             modes = ("fixed",) if batch <= 1 else tuple(sweep.linger_modes)
             for mode in modes:
-                for clients in sweep.client_counts:
-                    points.append(run_point(sweep, protocol, batch, clients, mode))
+                for ingress in sweep.ingress_batches:
+                    for clients in sweep.client_counts:
+                        points.append(
+                            run_point(sweep, protocol, batch, clients, mode, ingress)
+                        )
     return points
 
 
@@ -160,19 +186,23 @@ def peak_throughputs(
     points: List[BatchingPoint],
     protocol: Optional[str] = None,
     linger_mode: Optional[str] = None,
+    ingress: Optional[int] = None,
 ) -> Dict[int, float]:
     """Best throughput per batch size across client counts.
 
     ``protocol`` filters to one protocol; ``linger_mode`` to one mode
     (the batch-1 per-message baseline, recorded with mode ``"-"``, always
-    passes the mode filter so speedups stay comparable).  ``None`` keeps
-    the all-points behaviour.
+    passes the mode filter so speedups stay comparable); ``ingress`` to
+    one client-side ingress batch size.  ``None`` keeps the all-points
+    behaviour.
     """
     peaks: Dict[int, float] = {}
     for p in points:
         if protocol is not None and p.protocol != protocol:
             continue
         if linger_mode is not None and p.linger_mode not in ("-", linger_mode):
+            continue
+        if ingress is not None and p.ingress != ingress:
             continue
         peaks[p.batch] = max(peaks.get(p.batch, 0.0), p.throughput)
     return peaks
@@ -198,6 +228,7 @@ def batching_table(points: List[BatchingPoint]) -> str:
             p.protocol,
             p.linger_mode,
             p.batch,
+            p.ingress,
             p.clients,
             p.throughput,
             p.mean_latency * 1000,
@@ -211,6 +242,7 @@ def batching_table(points: List[BatchingPoint]) -> str:
             "protocol",
             "linger",
             "batch",
+            "ingress",
             "clients",
             "msgs/s",
             "mean lat (ms)",
@@ -223,24 +255,41 @@ def batching_table(points: List[BatchingPoint]) -> str:
 
 
 def headline(points: List[BatchingPoint]) -> str:
-    # One line per (protocol, batch size); when several linger modes were
-    # swept, one line per mode too — merging them would silently credit
-    # whichever mode happened to win the peak.
+    # One line per (protocol, batch size); when several linger modes or
+    # ingress batch sizes were swept, one line per combination too —
+    # merging them would silently credit whichever axis won the peak.
     modes = [m for m in dict.fromkeys(p.linger_mode for p in points) if m != "-"]
+    ingresses = sorted({p.ingress for p in points})
     lines = []
     for protocol in dict.fromkeys(p.protocol for p in points):
         for mode in modes or [None]:
-            peaks = peak_throughputs(points, protocol=protocol, linger_mode=mode)
-            base = peaks.get(1, 0.0)
-            tag = f" [{mode}]" if len(modes) > 1 else ""
-            for batch in sorted(peaks):
-                if batch == 1 or base <= 0:
-                    continue
-                lines.append(
-                    f"{protocol}{tag} batch={batch}: peak {peaks[batch]:,.0f} msgs/s "
-                    f"({peaks[batch] / base:.2f}x over per-message)"
+            for ingress in ingresses:
+                peaks = peak_throughputs(
+                    points, protocol=protocol, linger_mode=mode, ingress=ingress
                 )
+                base = peaks.get(1, 0.0)
+                tag = f" [{mode}]" if len(modes) > 1 else ""
+                itag = f" ingress={ingress}" if len(ingresses) > 1 else ""
+                for batch in sorted(peaks):
+                    if batch == 1 or base <= 0:
+                        continue
+                    lines.append(
+                        f"{protocol}{tag}{itag} batch={batch}: "
+                        f"peak {peaks[batch]:,.0f} msgs/s "
+                        f"({peaks[batch] / base:.2f}x over per-message)"
+                    )
     return "\n".join(lines)
+
+
+def _int_list(text: str) -> Tuple[int, ...]:
+    """Parse a comma-separated list of positive ints (e.g. ``1,16``)."""
+    try:
+        values = tuple(int(part) for part in text.split(","))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"not a comma-separated int list: {text!r}") from exc
+    if not values or any(v < 1 for v in values):
+        raise argparse.ArgumentTypeError(f"values must be >= 1, got {text!r}")
+    return values
 
 
 def add_arguments(parser: argparse.ArgumentParser) -> None:
@@ -260,6 +309,23 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         "inter-arrival times, bounded by min/max linger), or both",
     )
     parser.add_argument(
+        "--ingress-batch",
+        type=_int_list,
+        default=None,
+        metavar="N[,N...]",
+        help="client-side ingress coalescing axis: AmcastClient batch "
+        "sizes to sweep, e.g. '1,16' (default: 1 — one MULTICAST per "
+        "message, the paper's ingress)",
+    )
+    parser.add_argument(
+        "--client-window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="outstanding multicasts per closed-loop client (default: 4; "
+        "raise it to give ingress batches company to coalesce with)",
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
         help="CI smoke grid (per-message vs one batched point)",
@@ -274,6 +340,10 @@ def sweep_from_args(args: argparse.Namespace) -> BatchingSweepConfig:
         sweep = replace(sweep, linger_modes=("fixed", "adaptive"))
     else:
         sweep = replace(sweep, linger_modes=(args.linger_mode,))
+    if args.ingress_batch is not None:
+        sweep = replace(sweep, ingress_batches=args.ingress_batch)
+    if args.client_window is not None:
+        sweep = replace(sweep, client_window=max(1, args.client_window))
     return sweep
 
 

@@ -66,14 +66,15 @@ def _default_protocol_options(protocol_cls, client_retry: Optional[float]):
     return None
 
 
-def _apply_batching(protocol_cls, protocol_options: Any, batching: BatchingOptions) -> Any:
+def apply_batching(protocol_cls, protocol_options: Any, batching: BatchingOptions) -> Any:
     """Fold a ``batching`` knob into the protocol options, where supported.
 
     Protocols that don't understand batching (Skeen, the sequencer)
     silently ignore the knob, so sweeps can pass one ``batching`` value
     across a heterogeneous protocol grid.  Supporting protocols declare
     ``SUPPORTS_BATCHING`` plus their options dataclass as ``OPTIONS_CLS``
-    (WbCast, FtSkeen and FastCast today).
+    (WbCast, FtSkeen and FastCast today).  Public: the CLI's net runtime
+    folds options through it too.
     """
     if protocol_options is not None and hasattr(protocol_options, "batching"):
         return replace(protocol_options, batching=batching)
@@ -121,7 +122,7 @@ def run_workload(
     if config is None:
         config = ClusterConfig.build(num_groups, group_size, num_clients)
     if batching is not None:
-        protocol_options = _apply_batching(protocol_cls, protocol_options, batching)
+        protocol_options = apply_batching(protocol_cls, protocol_options, batching)
     if network is None:
         network = ConstantDelay(0.001)
     trace = Trace(record_sends=record_sends)

@@ -54,6 +54,9 @@ class SweepConfig:
     batching: Optional[BatchingOptions] = None
     #: Outstanding multicasts per closed-loop client (1 = paper's loop).
     client_window: int = 1
+    #: Client-side ingress coalescing knobs (None: one MULTICAST per
+    #: message, the paper's wire protocol).
+    ingress: Optional[BatchingOptions] = None
 
 
 def full_sweep_enabled() -> bool:
@@ -80,7 +83,9 @@ def run_point(
         seed=sweep.seed,
         cpu=cpu,
         client_options=ClientOptions(
-            num_messages=sweep.messages_per_client, window=sweep.client_window
+            num_messages=sweep.messages_per_client,
+            window=sweep.client_window,
+            ingress=sweep.ingress,
         ),
         batching=sweep.batching,
         record_sends=False,

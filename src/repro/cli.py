@@ -6,7 +6,10 @@ Commands map one-to-one onto the library's experiment modules:
   (``--batch-size`` / ``--batch-linger`` / ``--pipeline-depth`` enable
   leader-side batching for protocols that support it — WbCast, FtSkeen
   and FastCast; ``--linger-mode adaptive`` scales the linger to the
-  observed arrival rate, bounded by ``--min-linger``/``--batch-linger``);
+  observed arrival rate, bounded by ``--min-linger``/``--batch-linger``;
+  ``--ingress-batch`` coalesces client submissions per destination
+  leader through the ``AmcastClient`` session; ``--runtime net`` runs
+  the same workload over a real asyncio TCP cluster on localhost);
 * ``flow`` — trace one multicast hop by hop (the Fig. 5 view);
 * ``latency-table`` / ``convoy`` / ``figure7`` / ``figure8`` /
   ``ablations`` / ``complexity`` — regenerate the paper's tables;
@@ -50,16 +53,33 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run_p = sub.add_parser("run", help="run a workload and verify it")
     run_p.add_argument("--protocol", choices=sorted(PROTOCOLS), default="wbcast")
+    run_p.add_argument("--runtime", choices=["sim", "net"], default="sim",
+                       help="'sim': deterministic virtual-time simulator; "
+                            "'net': a real asyncio TCP cluster on localhost "
+                            "ephemeral ports, driven through the same "
+                            "AmcastClient session API")
     run_p.add_argument("--groups", type=int, default=3)
     run_p.add_argument("--group-size", type=int, default=3)
     run_p.add_argument("--clients", type=int, default=2)
     run_p.add_argument("--messages", type=int, default=10)
     run_p.add_argument("--dest-k", type=int, default=2)
     run_p.add_argument("--delta", type=float, default=0.001,
-                       help="one-way delay in seconds (default 1 ms)")
+                       help="one-way delay in seconds (default 1 ms; sim only)")
     run_p.add_argument("--topology", choices=["constant", "lan", "wan"],
                        default="constant")
     run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--ingress-batch", type=_positive_int, default=1,
+                       metavar="N",
+                       help="client-side ingress coalescing: AmcastClient "
+                            "sessions buffer submissions per destination "
+                            "leader and send MULTICAST_BATCH wire messages "
+                            "of up to N entries (1: one MULTICAST per "
+                            "message, the paper's ingress)")
+    run_p.add_argument("--ingress-linger", type=_nonneg_float, default=None,
+                       metavar="SECS",
+                       help="max time a submission lingers client-side for "
+                            "co-batching (default: --batch-linger, or 2ms "
+                            "when that is 0)")
     run_p.add_argument("--batch-size", type=_positive_int, default=1, metavar="N",
                        help="leader-side batch size (1: per-message protocol)")
     run_p.add_argument("--batch-linger", type=_nonneg_float, default=0.0,
@@ -100,12 +120,68 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _ingress_options(args: argparse.Namespace):
+    """Client-session coalescing knobs implied by the run arguments."""
+    if args.ingress_batch <= 1:
+        if args.ingress_linger is not None:
+            print(
+                "note: --ingress-linger has no effect without "
+                "--ingress-batch > 1",
+                file=sys.stderr,
+            )
+        return None
+    from .config import BatchingOptions
+
+    linger = args.ingress_linger
+    if linger is None:
+        linger = args.batch_linger if args.batch_linger > 0 else 0.002
+    return BatchingOptions(max_batch=args.ingress_batch, max_linger=linger)
+
+
+def _print_ingress(ingress) -> None:
+    """The one-line ingress summary shared by the sim and net branches."""
+    if ingress is not None:
+        print(
+            f"ingress   : max_batch={ingress.max_batch} "
+            f"linger={ingress.max_linger}s (client-side coalescing)"
+        )
+
+
+def _batching_options(args: argparse.Namespace):
+    """Leader-side batching knobs implied by the run arguments.
+
+    Returns ``(options_or_None, error_message_or_None)`` — one validation
+    path shared by the sim and net branches, so the flags can never drift.
+    """
+    if args.batch_size > 1 or args.batch_linger > 0:
+        if args.min_linger > args.batch_linger:
+            return None, "--min-linger must not exceed --batch-linger"
+        from .config import BatchingOptions
+
+        return BatchingOptions(
+            max_batch=args.batch_size,
+            max_linger=args.batch_linger,
+            pipeline_depth=args.pipeline_depth,
+            linger_mode=args.linger_mode,
+            min_linger=args.min_linger,
+        ), None
+    if args.pipeline_depth > 1 or args.min_linger > 0 or args.linger_mode != "fixed":
+        print(
+            "note: --pipeline-depth/--linger-mode/--min-linger have no "
+            "effect without --batch-size/--batch-linger",
+            file=sys.stderr,
+        )
+    return None, None
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     protocol_cls = PROTOCOLS[args.protocol]
     group_size = 1 if args.protocol == "skeen" else args.group_size
     from .config import ClusterConfig
 
     config = ClusterConfig.build(args.groups, group_size, args.clients)
+    if args.runtime == "net":
+        return _cmd_run_net(args, protocol_cls, config)
     if args.topology == "lan":
         from .bench.topologies import lan_testbed
 
@@ -119,29 +195,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         network = ConstantDelay(args.delta)
         delta = args.delta
-    batching = None
-    if args.batch_size > 1 or args.batch_linger > 0:
-        if args.min_linger > args.batch_linger:
-            print(
-                "error: --min-linger must not exceed --batch-linger",
-                file=sys.stderr,
-            )
-            return 2
-        from .config import BatchingOptions
+    batching, error = _batching_options(args)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    ingress = _ingress_options(args)
+    client_options = None
+    if ingress is not None:
+        from .workload import ClientOptions
 
-        batching = BatchingOptions(
-            max_batch=args.batch_size,
-            max_linger=args.batch_linger,
-            pipeline_depth=args.pipeline_depth,
-            linger_mode=args.linger_mode,
-            min_linger=args.min_linger,
-        )
-    elif args.pipeline_depth > 1 or args.min_linger > 0 or args.linger_mode != "fixed":
-        print(
-            "note: --pipeline-depth/--linger-mode/--min-linger have no "
-            "effect without --batch-size/--batch-linger",
-            file=sys.stderr,
-        )
+        client_options = ClientOptions(num_messages=args.messages, ingress=ingress)
     result = run_workload(
         protocol_cls,
         config=config,
@@ -150,9 +213,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         network=network,
         seed=args.seed,
         batching=batching,
+        client_options=client_options,
     )
     print(f"protocol  : {args.protocol}")
     print(f"cluster   : {args.groups} groups x {group_size}, {args.clients} clients")
+    _print_ingress(ingress)
     if batching is not None:
         supported = getattr(protocol_cls, "SUPPORTS_BATCHING", False)
         note = "" if supported else " (ignored: protocol does not batch)"
@@ -178,6 +243,87 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     print(f"throughput: {result.throughput():,.0f} msgs/s (virtual time)")
     return 0 if (ok and result.all_done) else 1
+
+
+def _cmd_run_net(args: argparse.Namespace, protocol_cls, config) -> int:
+    """Run the workload over the asyncio TCP runtime (localhost sockets).
+
+    The same :class:`~repro.client.AmcastClient` session API the simulator
+    uses drives a real cluster here: submissions are coalesced client-side
+    (``--ingress-batch``), acked by leaders, retransmitted on a timer, and
+    the resulting history is verified with the standard checkers.
+    """
+    import asyncio
+    import random
+    import time
+
+    from .bench.harness import apply_batching
+    from .checking import check_all
+    from .client import AmcastClientOptions
+    from .net import LocalCluster
+
+    if args.topology != "constant" or args.delta != 0.001:
+        print(
+            "note: --topology/--delta model simulated networks; the net "
+            "runtime runs on real localhost sockets and ignores them",
+            file=sys.stderr,
+        )
+    batching, error = _batching_options(args)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    protocol_options = (
+        apply_batching(protocol_cls, None, batching) if batching is not None else None
+    )
+    ingress = _ingress_options(args)
+    client_options = AmcastClientOptions(retry_timeout=0.25, ingress=ingress)
+    total = args.clients * args.messages
+    dest_k = min(args.dest_k, args.groups)
+    rng = random.Random(args.seed)
+
+    async def scenario():
+        cluster = LocalCluster(
+            config,
+            protocol_cls,
+            options=protocol_options,
+            seed=args.seed,
+            client_options=client_options,
+        )
+        await cluster.start()
+        try:
+            t0 = time.monotonic()
+            handles = [
+                cluster.multicast(frozenset(rng.sample(range(args.groups), dest_k)))
+                for _ in range(total)
+            ]
+            expected = sum(
+                len(config.members(g)) for h in handles for g in h.message.dests
+            )
+            done = await cluster.wait_quiescent(
+                expected, timeout=max(10.0, 0.05 * total)
+            )
+            elapsed = time.monotonic() - t0
+            completed = sum(1 for h in handles if h.completed)
+            checks = check_all(cluster.history(), quiescent=done)
+            return done, completed, elapsed, checks
+        finally:
+            await cluster.stop()
+
+    done, completed, elapsed, checks = asyncio.run(scenario())
+    print(f"protocol  : {args.protocol} (asyncio TCP runtime, localhost)")
+    print(
+        f"cluster   : {args.groups} groups x "
+        f"{len(config.members(0))}, 1 session, {total} submissions"
+    )
+    _print_ingress(ingress)
+    print(f"completed : {completed}/{total}")
+    ok = True
+    for check in checks:
+        print(f"check     : {check.describe()}")
+        ok = ok and check.ok
+    if elapsed > 0:
+        print(f"throughput: {completed / elapsed:,.0f} msgs/s (wall clock)")
+    return 0 if (ok and completed == total) else 1
 
 
 def _cmd_flow(args: argparse.Namespace) -> int:

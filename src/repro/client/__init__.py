@@ -1,0 +1,69 @@
+"""First-class client submission API for atomic multicast.
+
+:class:`AmcastClient` is the one ingress path of this repo: the same
+session object drives the deterministic simulator (the workload clients in
+:mod:`repro.workload` are thin subclasses) and the asyncio TCP runtime
+(:class:`repro.net.LocalCluster` embeds one).  It replaces the two ad-hoc
+submission paths that grew before it — hand-rolled retry/leader-guessing in
+the workload clients and a duplicate in ``LocalCluster`` — with one
+retransmission-safe, exactly-once protocol.
+
+A session owns:
+
+* the **client id and per-session sequence numbers** — message ids are
+  ``(client id, seq)`` and never change across retransmission, which is
+  what leaders key their dedup state on;
+* a **leader map corrected by traffic**: every ``SUBMIT_ACK`` and
+  ``SUBMIT_REDIRECT`` names the current leader of a group, so retries stop
+  guessing;
+* **windowed backpressure**: at most ``window`` submissions in flight,
+  the rest queue locally;
+* the **ingress batcher** (the PR 2 :class:`~repro.protocols.batching.Batcher`
+  applied client-side): submissions buffer per ingress group and leave as
+  one ``MULTICAST_BATCH`` per leader, amortising the leader's per-message
+  ingress cost — the last per-message term of the saturation model.
+
+The submit/ack sequence, failure-free (two destination groups)::
+
+    client                     leader(g1)                 leader(g2)
+      | submit(m1..mk)            |                          |
+      |--- MULTICAST_BATCH ------>|                          |
+      |--- MULTICAST_BATCH ------------------------------4-->|
+      |                           | (protocol runs: ACCEPT / consensus ...)
+      |<-- SUBMIT_ACK(g1, mids) --|                          |
+      |<-- SUBMIT_ACK(g2, mids) --------------------------4--|
+      |   handle.acked            |                          |
+      |                        ...deliveries...              |
+      |   handle.completed  (partial delivery seen by the tracker)
+
+and with a stale leader guess or a crash::
+
+    client                     follower(g1)            new leader(g1)
+      |--- MULTICAST ------------>|                          |
+      |                           |---- MULTICAST (fwd) ---->|
+      |<-- SUBMIT_REDIRECT(g1) ---|                          |
+      |   (leader map updated)    |                          |
+      |--- MULTICAST (retry, same mid) ---------------------->|
+      |<-- SUBMIT_ACK(g1) -----------------------------------|
+      |        the duplicate is absorbed by the leader's records
+      |        (consensus-replicated / epoch-transferred): exactly once.
+
+Exactly-once rests on two halves: the session never reuses or renumbers a
+message id, and every leader registers submissions idempotently against
+state that survives failover (Multi-Paxos logs for FtSkeen/FastCast, the
+NEWLEADER/NEW_STATE exchange — including the delivered-id dedup table —
+for WbCast).  Retransmit as often as you like; delivery happens once.
+
+Quickstart (simulator and TCP runtime share this code path)::
+
+    from repro.client import AmcastClient, AmcastClientOptions
+
+    session = AmcastClient(pid, config, runtime, WbCastProcess, tracker,
+                           AmcastClientOptions(window=4, retry_timeout=0.05))
+    handle = session.submit({0, 1}, payload=b"...")
+    handle.on_complete(lambda h: print(h.mid, "delivered at", h.completed_at))
+"""
+
+from .session import AmcastClient, AmcastClientOptions, SubmitHandle
+
+__all__ = ["AmcastClient", "AmcastClientOptions", "SubmitHandle"]

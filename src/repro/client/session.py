@@ -1,0 +1,353 @@
+"""The :class:`AmcastClient` session: runtime-agnostic submission API.
+
+See the package docstring (:mod:`repro.client`) for the protocol sketch.
+The session is a sans-IO :class:`~repro.protocols.base.ProtocolProcess`
+like every protocol state machine in this repo, so the exact same code
+drives the deterministic simulator and the asyncio TCP runtime — the host
+environment only supplies a :class:`~repro.runtime.Runtime` and feeds
+``on_message``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Deque,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from ..config import BATCHING_OFF, BatchingOptions, ClusterConfig
+from ..protocols.base import (
+    MulticastBatchMsg,
+    MulticastMsg,
+    ProtocolProcess,
+    SubmitAckMsg,
+    SubmitRedirectMsg,
+)
+from ..protocols.batching import Batcher
+from ..runtime import Runtime, TimerHandle
+from ..types import AmcastMessage, GroupId, MessageId, ProcessId, make_message
+
+if TYPE_CHECKING:  # the tracker is used duck-typed; avoids an import cycle
+    from ..workload.tracker import DeliveryTracker
+
+
+@dataclass(frozen=True)
+class AmcastClientOptions:
+    """Tunables of one client session.
+
+    Attributes:
+        window: most submissions launched but not yet completed; further
+            ``submit`` calls queue locally and launch as completions free
+            slots (``None``: unbounded — scripted workloads that need
+            exact submission times use this).
+        retry_timeout: seconds between retransmissions of an incomplete
+            submission (``None``: never retransmit — the protocols' own
+            leader retries are then the only recovery driver).
+        targeted_retries: how many retransmissions go to the believed
+            leaders of the still-unacked ingress groups before falling
+            back to broadcasting to every member of every ingress group
+            (the paper's answer to stale ``Cur_leader`` guesses).  The
+            default broadcasts from the first retry, which is the most
+            robust setting; sessions that trust their ack-driven leader
+            map can raise it to keep retry traffic small.
+        payload_size: nominal wire size of submitted messages (the
+            paper's evaluation uses 20-byte messages).
+        retain_completed: how many *completed* handles (with their full
+            messages and payloads) the session keeps addressable via
+            :meth:`AmcastClient.handle_of`; older ones are evicted in
+            completion order so a long-lived session's memory stays
+            bounded by the window plus this history (``None``: keep
+            everything — bench/test runs that inspect every handle).
+        ingress: client-side coalescing knobs (the PR 2 ``Batcher``
+            applied at the ingress): submissions buffer per ingress
+            *group* and leave as one ``MULTICAST_BATCH`` per leader, so
+            batches coalesce across heterogeneous destination sets while
+            every wire hop stays inside each entry's destination groups
+            (genuineness).  ``None`` disables coalescing — one
+            ``MULTICAST`` per message, the paper's wire protocol.
+    """
+
+    window: Optional[int] = None
+    retry_timeout: Optional[float] = None
+    targeted_retries: int = 0
+    payload_size: int = 20
+    retain_completed: Optional[int] = 1024
+    ingress: Optional[BatchingOptions] = None
+
+
+@dataclass
+class SubmitHandle:
+    """One submission's lifecycle, resolved by ack and delivery traffic.
+
+    ``acked`` flips once every ingress group's leader acknowledged the
+    submission (``SUBMIT_ACK``); ``completed`` flips at partial delivery
+    (first delivery in every destination group — the client-perceived
+    completion the paper's latency metric uses).
+    """
+
+    message: AmcastMessage
+    required_acks: FrozenSet[GroupId]
+    submitted_at: float
+    launched_at: Optional[float] = None
+    acked_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    acked_groups: Set[GroupId] = field(default_factory=set)
+    retries: int = 0
+    _ack_callbacks: List[Callable[["SubmitHandle"], None]] = field(default_factory=list)
+    _done_callbacks: List[Callable[["SubmitHandle"], None]] = field(default_factory=list)
+
+    @property
+    def mid(self) -> MessageId:
+        return self.message.mid
+
+    @property
+    def payload(self):
+        return self.message.payload
+
+    @property
+    def launched(self) -> bool:
+        return self.launched_at is not None
+
+    @property
+    def acked(self) -> bool:
+        return self.acked_at is not None
+
+    @property
+    def completed(self) -> bool:
+        return self.completed_at is not None
+
+    def on_ack(self, fn: Callable[["SubmitHandle"], None]) -> None:
+        """Run ``fn(handle)`` once every ingress group acked (or now)."""
+        if self.acked:
+            fn(self)
+        else:
+            self._ack_callbacks.append(fn)
+
+    def on_complete(self, fn: Callable[["SubmitHandle"], None]) -> None:
+        """Run ``fn(handle)`` at partial delivery (or now if done)."""
+        if self.completed:
+            fn(self)
+        else:
+            self._done_callbacks.append(fn)
+
+
+class AmcastClient(ProtocolProcess):
+    """One client session submitting atomic multicasts to a cluster.
+
+    The session owns the client id and per-session sequence numbers (so
+    message ids — ``(client id, seq)`` — are stable across retransmission
+    and resubmission: exactly-once hinges on it), tracks per-group leaders
+    from ``SUBMIT_ACK`` / ``SUBMIT_REDIRECT`` traffic, applies windowed
+    backpressure, and retransmits incomplete submissions with the same
+    message ids, which leaders deduplicate against their replicated /
+    epoch-transferred records.
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        config: ClusterConfig,
+        runtime: Runtime,
+        protocol_cls,
+        tracker: "DeliveryTracker",
+        options: Optional[AmcastClientOptions] = None,
+    ) -> None:
+        super().__init__(pid, config, runtime)
+        self.protocol_cls = protocol_cls
+        self.tracker = tracker
+        self.session_options = options or AmcastClientOptions()
+        #: Believed current leader per group, corrected by ack/redirect
+        #: traffic — submissions never guess from liveness heuristics.
+        self.cur_leader: Dict[GroupId, ProcessId] = config.default_leaders()
+        self.sent: List[MessageId] = []
+        self.completed: List[Tuple[MessageId, float]] = []
+        self._seq = 0
+        self._handles: Dict[MessageId, SubmitHandle] = {}
+        self._completed_order: Deque[MessageId] = deque()
+        self._backlog: Deque[SubmitHandle] = deque()
+        self._outstanding = 0
+        self._retry_handles: Dict[MessageId, TimerHandle] = {}
+        # Client-side ingress coalescing: one buffer per ingress group, so
+        # a message with k destination groups joins k buffers and each
+        # leader receives its own projection of the traffic.
+        ingress = self.session_options.ingress or BATCHING_OFF
+        self._batcher = Batcher(
+            ingress, runtime, self._flush_ingress, item_key=lambda m: m.mid
+        )
+        self._handlers = {
+            SubmitAckMsg: self._on_submit_ack,
+            SubmitRedirectMsg: self._on_submit_redirect,
+        }
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, dests, payload=None, size: Optional[int] = None) -> SubmitHandle:
+        """Submit a fresh multicast; returns its :class:`SubmitHandle`.
+
+        Never blocks: past the backpressure window the submission queues
+        locally and launches once a completion frees a slot.
+        """
+        seq = self._seq  # dense from 0, so dedup watermarks stay compact
+        self._seq += 1
+        m = make_message(
+            self.pid,
+            seq,
+            dests,
+            payload,
+            size=self.session_options.payload_size if size is None else size,
+        )
+        handle = SubmitHandle(
+            message=m,
+            required_acks=frozenset(
+                self.protocol_cls.ingress_groups(self.config, m)
+            ),
+            submitted_at=self.now(),
+        )
+        self._handles[m.mid] = handle
+        window = self.session_options.window
+        if window is not None and self._outstanding >= max(1, window):
+            self._backlog.append(handle)
+        else:
+            self._launch(handle)
+        return handle
+
+    def _launch(self, handle: SubmitHandle) -> None:
+        m = handle.message
+        handle.launched_at = self.now()
+        self._outstanding += 1
+        self.runtime.record_multicast(m)
+        self.tracker.expect(m, handle.launched_at, self._on_partial_delivery)
+        self.sent.append(m.mid)
+        for g in sorted(handle.required_acks):
+            self._batcher.add(g, m)
+        if self.session_options.retry_timeout is not None:
+            self._retry_handles[m.mid] = self.runtime.set_timer(
+                self.session_options.retry_timeout,
+                lambda h=handle: self._retry(h),
+            )
+
+    def _flush_ingress(self, gid: GroupId, messages: List[AmcastMessage]):
+        """Batcher flush callback: one wire message to ``gid``'s leader.
+
+        A single pending message keeps the paper's per-message
+        ``MULTICAST``; companions share one ``MULTICAST_BATCH``.
+        """
+        if len(messages) == 1:
+            wire = MulticastMsg(messages[0])
+        else:
+            wire = MulticastBatchMsg(tuple(messages))
+        self.send(self._leader_of(gid), wire)
+        return None  # no pipelining at the ingress: acks gate via retries
+
+    def _leader_of(self, gid: GroupId) -> ProcessId:
+        return self.cur_leader.get(gid, self.config.default_leader(gid))
+
+    # -- retransmission ----------------------------------------------------
+
+    def _retry(self, handle: SubmitHandle) -> None:
+        """Retransmit an incomplete submission with its original id.
+
+        Early retries target the believed leaders of the groups that have
+        not acked yet; later ones broadcast ``MULTICAST`` to every member
+        of every ingress group (followers forward to their current leader
+        and redirect us).  Leaders deduplicate by message id, so however
+        many copies land, the message is delivered exactly once.
+        """
+        if handle.completed:
+            return
+        m = handle.message
+        handle.retries += 1
+        wire = MulticastMsg(m)
+        if handle.retries <= self.session_options.targeted_retries:
+            # Unacked groups first; when everything acked but delivery
+            # still hangs (an ack is not durable — the leader may have
+            # died right after sending it), re-target every ingress
+            # leader rather than sending nothing this cycle.
+            groups = sorted(handle.required_acks - handle.acked_groups) or sorted(
+                handle.required_acks
+            )
+            for g in groups:
+                self.send(self._leader_of(g), wire)
+        else:
+            for g in sorted(handle.required_acks):
+                for pid in self.config.members(g):
+                    self.send(pid, wire)
+        self._retry_handles[m.mid] = self.runtime.set_timer(
+            self.session_options.retry_timeout, lambda h=handle: self._retry(h)
+        )
+
+    # -- resolution --------------------------------------------------------
+
+    def _on_submit_ack(self, sender: ProcessId, msg: SubmitAckMsg) -> None:
+        self.cur_leader[msg.gid] = msg.leader
+        for mid in msg.acked:
+            handle = self._handles.get(mid)
+            if handle is None or handle.acked:
+                continue
+            handle.acked_groups.add(msg.gid)
+            if handle.required_acks <= handle.acked_groups:
+                handle.acked_at = self.now()
+                callbacks, handle._ack_callbacks = handle._ack_callbacks, []
+                for fn in callbacks:
+                    fn(handle)
+
+    def _on_submit_redirect(self, sender: ProcessId, msg: SubmitRedirectMsg) -> None:
+        self.cur_leader[msg.gid] = msg.leader
+
+    def _on_partial_delivery(self, mid: MessageId, t: float) -> None:
+        handle = self._handles.get(mid)
+        if handle is None or handle.completed:
+            return
+        handle.completed_at = t
+        timer = self._retry_handles.pop(mid, None)
+        if timer is not None:
+            timer.cancel()
+        self.completed.append((mid, t))
+        self._outstanding -= 1
+        callbacks, handle._done_callbacks = handle._done_callbacks, []
+        for fn in callbacks:
+            fn(handle)
+        # Bound the session's memory: evict the oldest completed handles
+        # (the handle object itself stays valid for whoever holds it).
+        limit = self.session_options.retain_completed
+        if limit is not None:
+            self._completed_order.append(mid)
+            while len(self._completed_order) > limit:
+                self._handles.pop(self._completed_order.popleft(), None)
+        while self._backlog and (
+            self.session_options.window is None
+            or self._outstanding < max(1, self.session_options.window)
+        ):
+            self._launch(self._backlog.popleft())
+        self._after_completion(mid, t)
+
+    def _after_completion(self, mid: MessageId, t: float) -> None:
+        """Hook for workload subclasses (closed-loop refill etc.)."""
+
+    # -- introspection -----------------------------------------------------
+
+    def handle_of(self, mid: MessageId) -> Optional[SubmitHandle]:
+        return self._handles.get(mid)
+
+    @property
+    def outstanding(self) -> int:
+        """Submissions launched but not yet completed."""
+        return self._outstanding
+
+    @property
+    def backlog_size(self) -> int:
+        """Submissions queued behind the backpressure window."""
+        return len(self._backlog)
+
+    def buffered_ingress_count(self) -> int:
+        """Distinct messages currently buffered for ingress coalescing."""
+        return self._batcher.buffered_count()

@@ -2,9 +2,12 @@
 
 :class:`LocalCluster` starts one :class:`~repro.net.transport.NodeTransport`
 per group member (ephemeral ports), binds the protocol processes to
-:class:`~repro.net.runtime.NetRuntime`, and offers a minimal client API:
-``multicast()`` submits a message to the proper protocol entry points and
-``wait_partial()`` / ``wait_quiescent()`` await delivery.
+:class:`~repro.net.runtime.NetRuntime`, and fronts them with the same
+:class:`~repro.client.AmcastClient` session that drives the simulator:
+``multicast()`` submits through the session (batched ingress, leader
+tracking from ack/redirect traffic, timer-driven retransmission with
+stable message ids) and ``wait_partial()`` / ``wait_quiescent()`` await
+delivery.
 
 Deliveries and multicasts are recorded so runs can be verified with the
 same :mod:`repro.checking` machinery as simulated ones.
@@ -13,15 +16,35 @@ same :mod:`repro.checking` machinery as simulated ones.
 from __future__ import annotations
 
 import asyncio
-import itertools
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..checking import History
+from ..client import AmcastClient, AmcastClientOptions, SubmitHandle
 from ..config import ClusterConfig
-from ..types import AmcastMessage, GroupId, MessageId, ProcessId, make_message
-from ..protocols.base import MulticastMsg
+from ..types import AmcastMessage, MessageId, ProcessId
+from ..workload.tracker import DeliveryTracker
 from .runtime import NetRuntime
 from .transport import NodeTransport
+
+
+class _LiveMemberTransport:
+    """Send-side liveness filter wrapped around the client's transport.
+
+    Killed members' servers are closed, so frames queued for them would
+    sit behind a reconnect loop that can never succeed — every session
+    broadcast retry would grow those dead-peer queues.  The cluster knows
+    who it killed; drop such sends at the source (the role the old
+    ``_send_to_targets`` killed-filter played before the session API).
+    """
+
+    def __init__(self, inner: NodeTransport, killed: Set[ProcessId]) -> None:
+        self._inner = inner
+        self._killed = killed  # shared, live reference to LocalCluster.killed
+
+    def send(self, to: ProcessId, msg) -> None:
+        if to in self._killed:
+            return
+        self._inner.send(to, msg)
 
 
 class LocalCluster:
@@ -35,6 +58,7 @@ class LocalCluster:
         seed: int = 0,
         attach_fd: bool = False,
         fd_options: Any = None,
+        client_options: Optional[AmcastClientOptions] = None,
     ) -> None:
         self.config = config
         self.protocol_cls = protocol_cls
@@ -42,14 +66,20 @@ class LocalCluster:
         self.seed = seed
         self.attach_fd = attach_fd
         self.fd_options = fd_options
+        #: Session knobs for the embedded client; the default retransmits,
+        #: so a submission survives leader crashes without manual resends.
+        self.client_options = client_options or AmcastClientOptions(
+            retry_timeout=0.25
+        )
         self.transports: Dict[ProcessId, NodeTransport] = {}
         self.processes: Dict[ProcessId, Any] = {}
         self.addresses: Dict[ProcessId, Tuple[str, int]] = {}
         self.deliveries: List[Tuple[ProcessId, AmcastMessage, float]] = []
         self.multicasts: Dict[MessageId, Tuple[ProcessId, float, AmcastMessage]] = {}
         self.killed: Set[ProcessId] = set()
+        self.tracker = DeliveryTracker(config)  # completion source for the session
+        self.client: Optional[AmcastClient] = None
         self._delivery_event = asyncio.Event()
-        self._client_seq = itertools.count()
         self._client_transport: Optional[NodeTransport] = None
         self._client_pid: Optional[ProcessId] = None
 
@@ -63,20 +93,36 @@ class LocalCluster:
             await transport.start()
             self.transports[pid] = transport
             self.addresses[pid] = (transport.host, transport.port)
-        # A lightweight client endpoint (first configured client id, or an
-        # id above every member).
+        # The client endpoint (first configured client id, or an id above
+        # every member) runs one AmcastClient session over its own
+        # transport — the exact code path the simulator's clients use.
         self._client_pid = (
             self.config.clients[0]
             if self.config.clients
             else max(self.config.all_members) + 1
         )
         self._client_transport = NodeTransport(
-            self._client_pid, self.addresses.__getitem__, lambda s, m: None
+            self._client_pid, self.addresses.__getitem__, self._client_dispatch
         )
         await self._client_transport.start()
         self.addresses[self._client_pid] = (
             self._client_transport.host,
             self._client_transport.port,
+        )
+        client_runtime = NetRuntime(
+            self._client_pid,
+            _LiveMemberTransport(self._client_transport, self.killed),
+            self._record_delivery,
+            on_multicast=self._record_multicast,
+            seed=self.seed,
+        )
+        self.client = AmcastClient(
+            self._client_pid,
+            self.config,
+            client_runtime,
+            self.protocol_cls,
+            self.tracker,
+            self.client_options,
         )
         # Bind protocols only once every address is known.
         for pid in self.config.all_members:
@@ -91,6 +137,7 @@ class LocalCluster:
             self.processes[pid] = proc
         for proc in self.processes.values():
             proc.on_start()
+        self.client.on_start()
 
     def _make_dispatch(self, pid: ProcessId):
         def dispatch(sender: ProcessId, msg: Any) -> None:
@@ -99,6 +146,10 @@ class LocalCluster:
             self.processes[pid].on_message(sender, msg)
 
         return dispatch
+
+    def _client_dispatch(self, sender: ProcessId, msg: Any) -> None:
+        if self.client is not None:
+            self.client.on_message(sender, msg)
 
     async def stop(self) -> None:
         for transport in self.transports.values():
@@ -117,55 +168,22 @@ class LocalCluster:
 
     def _record_delivery(self, pid: ProcessId, m: AmcastMessage, t: float) -> None:
         self.deliveries.append((pid, m, t))
+        self.tracker.on_deliver(t, pid, m)
         self._delivery_event.set()
+
+    def _record_multicast(self, pid: ProcessId, m: AmcastMessage, t: float) -> None:
+        self.multicasts[m.mid] = (pid, t, m)
 
     # -- client API -----------------------------------------------------------------
 
-    def multicast(self, dests, payload: Any = None) -> AmcastMessage:
-        """Submit a fresh message to its destination leaders."""
-        m = make_message(self._client_pid, next(self._client_seq), dests, payload)
-        loop = asyncio.get_event_loop()
-        self.multicasts[m.mid] = (self._client_pid, loop.time(), m)
-        self._send_to_targets(m, broadcast=False)
-        return m
-
-    def resend(self, m: AmcastMessage) -> None:
-        """Retry an in-flight message, broadcasting to all members."""
-        self._send_to_targets(m, broadcast=True)
-
-    def _send_to_targets(self, m: AmcastMessage, broadcast: bool) -> None:
-        leader_map = {
-            g: self._live_leader_guess(g) for g in self.config.group_ids
-        }
-        if broadcast:
-            targets = [p for g in sorted(m.dests) for p in self.config.members(g)]
-        else:
-            targets = self.protocol_cls.multicast_targets(self.config, leader_map, m)
-        msg = MulticastMsg(m)
-        for pid in targets:
-            if pid not in self.killed:
-                self._client_transport.send(pid, msg)
-
-    def _live_leader_guess(self, gid: GroupId) -> ProcessId:
-        default = self.config.default_leader(gid)
-        if default not in self.killed:
-            return default
-        for pid in self.config.members(gid):
-            if pid not in self.killed:
-                return pid
-        return default
+    def multicast(self, dests, payload: Any = None) -> SubmitHandle:
+        """Submit a fresh message through the session; returns its handle."""
+        return self.client.submit(dests, payload)
 
     # -- waiting --------------------------------------------------------------------
 
     def partially_delivered(self, mid: MessageId) -> bool:
-        entry = self.multicasts.get(mid)
-        if entry is None:
-            return False
-        m = entry[2]
-        groups_seen = {
-            self.config.group_of(pid) for pid, d, _ in self.deliveries if d.mid == mid
-        }
-        return set(m.dests) <= groups_seen
+        return mid in self.tracker.partial_time
 
     async def wait_partial(self, mid: MessageId, timeout: float = 5.0) -> bool:
         deadline = asyncio.get_event_loop().time() + timeout

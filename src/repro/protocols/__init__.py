@@ -17,7 +17,14 @@
   adaptive — and pipelining) shared by WbCast, FtSkeen and FastCast.
 """
 
-from .base import AtomicMulticastProcess, MulticastMsg, ProtocolProcess
+from .base import (
+    AtomicMulticastProcess,
+    MulticastBatchMsg,
+    MulticastMsg,
+    ProtocolProcess,
+    SubmitAckMsg,
+    SubmitRedirectMsg,
+)
 from .batching import Batcher
 from .skeen import SkeenProcess
 from .wbcast import WbCastProcess
@@ -30,10 +37,13 @@ __all__ = [
     "Batcher",
     "FastCastProcess",
     "FtSkeenProcess",
+    "MulticastBatchMsg",
     "MulticastMsg",
     "ProtocolProcess",
     "SequencerProcess",
     "SkeenProcess",
+    "SubmitAckMsg",
+    "SubmitRedirectMsg",
     "WbCastProcess",
 ]
 

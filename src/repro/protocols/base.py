@@ -4,21 +4,36 @@ Every protocol process is a sans-IO state machine: construction takes the
 process id, the cluster configuration and a :class:`~repro.runtime.Runtime`;
 all interaction happens through ``on_start`` / ``on_message`` / timers.
 
-The ``MULTICAST(m)`` message that clients send to initiate a multicast is
-shared by all protocols, so clients are protocol-agnostic: each protocol
-class reports where the message should go via :meth:`multicast_targets`
-and handles forwarding when a non-leader receives it.
+The client-facing ingress is shared by all protocols, so clients are
+protocol-agnostic:
+
+* ``MULTICAST(m)`` submits one message; ``MULTICAST_BATCH`` submits a
+  client-side coalesced batch (one wire message, one amortised CPU charge
+  at the receiving leader — the ingress analogue of the leader-side
+  ACCEPT/consensus batches).
+* each protocol class reports which groups' leaders accept submissions
+  via :meth:`ingress_groups` / :meth:`multicast_targets`;
+* leaders acknowledge client submissions with ``SUBMIT_ACK`` and
+  non-leaders answer with ``SUBMIT_REDIRECT`` while forwarding, so a
+  :class:`~repro.client.AmcastClient` session learns current leaders from
+  the ack/redirect traffic instead of guessing.
+
+Submission acks piggyback dedup semantics: a leader acks duplicates too
+(its records — replicated in consensus state or epoch-transferred during
+recovery — make re-registration idempotent), which is what turns client
+resubmission after a crash into exactly-once rather than
+at-most-once-with-luck.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Type
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Type
 
 from ..config import ClusterConfig
 from ..errors import ProtocolError
 from ..runtime import Runtime
-from ..types import AmcastMessage, GroupId, ProcessId
+from ..types import AmcastMessage, GroupId, MessageId, ProcessId
 
 
 @dataclass(frozen=True, slots=True)
@@ -26,6 +41,69 @@ class MulticastMsg:
     """``MULTICAST(m)``: a client (or a retrying leader) submits ``m``."""
 
     m: AmcastMessage
+
+
+@dataclass(frozen=True, slots=True)
+class MulticastBatchMsg:
+    """``MULTICAST_BATCH(⟨m, ...⟩)``: a client submits several messages in
+    one wire message.
+
+    The batch is a *per-leader projection*: every entry counts the
+    receiving group among its destinations (the client coalesces per
+    ingress group, not per destination set), so the batch flows strictly
+    inside each entry's ``dest(m)`` and genuineness is preserved.  The
+    receiver funnels every entry through the ordinary per-message
+    ``MULTICAST`` handler; only the wire/CPU cost is amortised.
+    """
+
+    entries: Tuple[AmcastMessage, ...]
+
+    def mids(self) -> List[MessageId]:
+        return [m.mid for m in self.entries]
+
+    @property
+    def size(self) -> int:
+        """Nominal wire size: header plus the coalesced payloads."""
+        return 16 + sum((m.size or 64) + 8 for m in self.entries)
+
+
+@dataclass(frozen=True, slots=True)
+class SubmitAckMsg:
+    """``SUBMIT_ACK(g, leader, mids)``: group ``g``'s leader registered
+    these submissions (first receipt or idempotent duplicate alike).
+
+    ``leader`` names the acking process so client sessions can retarget
+    future submissions without guessing.
+    """
+
+    gid: GroupId
+    leader: ProcessId
+    acked: Tuple[MessageId, ...]
+
+    def mids(self) -> List[MessageId]:
+        return list(self.acked)
+
+    @property
+    def size(self) -> int:
+        return 16 + 12 * len(self.acked)
+
+
+@dataclass(frozen=True, slots=True)
+class SubmitRedirectMsg:
+    """``SUBMIT_REDIRECT(g, leader, mids)``: a non-leader received these
+    submissions and forwarded them to ``leader`` (its current guess for
+    group ``g``'s leader); the client should retarget."""
+
+    gid: GroupId
+    leader: ProcessId
+    forwarded: Tuple[MessageId, ...]
+
+    def mids(self) -> List[MessageId]:
+        return list(self.forwarded)
+
+    @property
+    def size(self) -> int:
+        return 16 + 12 * len(self.forwarded)
 
 
 class ProtocolProcess:
@@ -86,8 +164,21 @@ class AtomicMulticastProcess(ProtocolProcess):
         # Best-effort guess of every group's current leader (the paper's
         # Cur_leader map); updated when leadership changes become known.
         self.cur_leader: Dict[GroupId, ProcessId] = config.default_leaders()
+        # While a MULTICAST_BATCH is being unpacked the per-entry acks are
+        # suppressed and one coalesced SUBMIT_ACK leaves at the end.
+        self._submit_ack_suppressed = False
 
     # -- client-facing API ------------------------------------------------------
+
+    @classmethod
+    def ingress_groups(cls, config: ClusterConfig, m: AmcastMessage) -> List[GroupId]:
+        """The groups whose leaders accept submissions of ``m``.
+
+        Default: every destination group.  A client session considers a
+        submission acknowledged once each of these groups acked it.
+        Protocols with a different entry point (the sequencer) override.
+        """
+        return sorted(m.dests)
 
     @classmethod
     def multicast_targets(
@@ -96,15 +187,95 @@ class AtomicMulticastProcess(ProtocolProcess):
         leader_map: Dict[GroupId, ProcessId],
         m: AmcastMessage,
     ) -> List[ProcessId]:
-        """Where a client should send ``MULTICAST(m)``.
-
-        Default: the believed current leader of every destination group.
-        Protocols with different entry points override this.
-        """
-        return [leader_map[g] for g in sorted(m.dests)]
+        """Where a client should send ``MULTICAST(m)``: the believed
+        current leader of every ingress group."""
+        return [leader_map[g] for g in cls.ingress_groups(config, m)]
 
     def is_leader(self) -> bool:
         raise NotImplementedError
+
+    # -- submission ingress (shared by all protocols) ---------------------------
+
+    def _ingress_forward_target(self) -> Optional[ProcessId]:
+        """Whom a non-leader forwards client submissions to (None: drop)."""
+        return self.cur_leader.get(self.gid)
+
+    def _ingress_may_forward(self) -> bool:
+        """Whether a non-leader may forward/redirect submissions at all.
+
+        Default yes; protocols whose per-message path gates forwarding on
+        a stable role (WbCast forwards only as FOLLOWER — a recovering
+        process's leader guess points at the very leader being replaced)
+        override to match, so batches never redirect clients to a corpse.
+        """
+        return True
+
+    def _ingress_redirect(self) -> Tuple[GroupId, Optional[ProcessId]]:
+        """The (group, believed leader) a redirected client should learn."""
+        return self.gid, self._ingress_forward_target()
+
+    def _accepts_ingress(self) -> bool:
+        """Whether this process currently accepts client submissions."""
+        return self.is_leader()
+
+    def _ack_submission(self, sender: ProcessId, mids: Iterable[MessageId]) -> None:
+        """Ack a client submission towards the session that made it.
+
+        Direct submissions are acked to the sender.  A submission that
+        arrived via a member — a follower's forward, or a leader-to-leader
+        retry — is acked to the *origin* client embedded in the message id
+        instead (all ids in one batch share it), so a session whose first
+        hop missed the leader still resolves its handle without waiting
+        for a retransmission to connect directly.  Ids originated by
+        members (protocol-internal traffic) are never acked.
+        """
+        if self._submit_ack_suppressed:
+            return
+        acked = tuple(mids)
+        if not acked:
+            return
+        target = sender
+        if self.config.is_member(target):
+            target = acked[0][0]
+            if self.config.is_member(target):
+                return
+        self.send(target, SubmitAckMsg(self.gid, self.pid, acked))
+
+    def _redirect_submission(self, sender: ProcessId, mids: Iterable[MessageId]) -> None:
+        """Tell a client its submission was forwarded (and to whom)."""
+        if self.config.is_member(sender):
+            return
+        gid, leader = self._ingress_redirect()
+        if leader is not None and leader != self.pid:
+            self.send(sender, SubmitRedirectMsg(gid, leader, tuple(mids)))
+
+    def _on_multicast_batch(self, sender: ProcessId, msg: MulticastBatchMsg) -> None:
+        """Unpack a client ingress batch through the per-message handler.
+
+        Every entry runs the protocol's ordinary ``MULTICAST`` logic (one
+        source of truth — dedup, forwarding and retry semantics cannot
+        drift); the per-entry acks are coalesced into one ``SUBMIT_ACK``.
+        Non-leaders forward the whole batch unbroken and redirect the
+        client.
+        """
+        if not self._accepts_ingress():
+            if not self._ingress_may_forward():
+                return  # mid-election: any forward/redirect would name a corpse
+            target = self._ingress_forward_target()
+            if target is not None and target != self.pid:
+                self.send(target, msg)
+                self._redirect_submission(sender, msg.mids())
+            return
+        self._submit_ack_suppressed = True
+        try:
+            for m in msg.entries:
+                self._on_multicast(sender, MulticastMsg(m))
+        finally:
+            self._submit_ack_suppressed = False
+        self._ack_submission(sender, msg.mids())
+
+    def _on_multicast(self, sender: ProcessId, msg: MulticastMsg) -> None:
+        raise NotImplementedError  # every protocol registers its own handler
 
     def quorum_size(self) -> int:
         return self.config.quorum_size(self.gid)

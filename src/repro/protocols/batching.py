@@ -33,6 +33,19 @@ EWMA collapses toward zero and the linger grows toward ``max_linger``
 under sparse load the EWMA exceeds the window and the linger shrinks to
 ``min_linger``, so a lone multicast never idles for company that is not
 coming.
+
+Cold keys fall back to a *shared per-node estimator*: a key with fewer
+than two arrivals has no EWMA of its own, and starting it at
+``max_linger`` would make every fresh destination set pay the full wait
+regardless of how quiet the node actually is.  Instead the Batcher also
+feeds every observed per-key inter-arrival sample into one shared EWMA —
+"what a typical key's gap looks like right now" — and a cold key adopts
+that estimate.  On a node whose keys are hot the estimate stays small and
+the cold key lingers patiently; on a sparse node it exceeds the window
+immediately and the first lone multicast on a new key flushes after
+``min_linger`` instead of ``max_linger``.  Because the estimator is an
+EWMA of recent samples (not a count of keys ever seen), it tracks load
+shifts: keys that went quiet stop influencing it.
 """
 
 from __future__ import annotations
@@ -86,7 +99,11 @@ class Batcher:
         # need not be hashable) key by message id instead.
         self._item_key = item_key
         self._buf: Dict[BatchKey, List[Any]] = {}
-        self._buffered: Set[Hashable] = set()
+        # Reference-counted membership: one item may be buffered under
+        # several keys at once (the client ingress adds each message to
+        # every ingress group's buffer), so flushing one key must not
+        # erase the item's membership under the others.
+        self._buffered: Dict[Hashable, int] = {}
         self._due: Set[BatchKey] = set()
         self._timers: Dict[BatchKey, TimerHandle] = {}
         # In-flight flush handles: id(handle) -> (key, handle).  Keyed by
@@ -94,9 +111,12 @@ class Batcher:
         # reference is kept alive here so ids cannot be recycled.
         self._inflight: Dict[int, Tuple[BatchKey, Any]] = {}
         self._inflight_per_key: Dict[BatchKey, int] = {}
-        # Adaptive-linger estimator state (per key).
+        # Adaptive-linger estimator state (per key), plus the shared
+        # per-node estimator cold keys fall back to (an EWMA over every
+        # per-key inter-arrival sample, whatever key produced it).
         self._last_arrival: Dict[BatchKey, float] = {}
         self._ewma: Dict[BatchKey, float] = {}
+        self._shared_ewma: Optional[float] = None
 
     # -- buffering ---------------------------------------------------------
 
@@ -105,11 +125,12 @@ class Batcher:
         if self.options.linger_mode == "adaptive":
             self._observe_arrival(key)  # fixed mode never reads the EWMA
         self._buf.setdefault(key, []).append(item)
-        self._buffered.add(self._item_key(item))
+        ikey = self._item_key(item)
+        self._buffered[ikey] = self._buffered.get(ikey, 0) + 1
         self.pump(key)
 
     def __contains__(self, item_key: Hashable) -> bool:
-        """Whether an item with this key is still buffered (not flushed)."""
+        """Whether an item with this key is still buffered under any key."""
         return item_key in self._buffered
 
     # -- flushing ----------------------------------------------------------
@@ -145,7 +166,12 @@ class Batcher:
         if not buf:
             del self._buf[key]  # pump() clears the due mark afterwards
         for item in take:
-            self._buffered.discard(self._item_key(item))
+            ikey = self._item_key(item)
+            remaining = self._buffered.get(ikey, 0) - 1
+            if remaining > 0:
+                self._buffered[ikey] = remaining
+            else:
+                self._buffered.pop(ikey, None)
         handle = self._flush_cb(key, take)
         if handle is not None:
             self._inflight[id(handle)] = (key, handle)
@@ -189,23 +215,36 @@ class Batcher:
         self._timers.clear()
         self._last_arrival.clear()
         self._ewma.clear()
+        self._shared_ewma = None
 
     # -- adaptive linger ---------------------------------------------------
 
     def _observe_arrival(self, key: BatchKey) -> None:
         now = self.runtime.now()
+        alpha = self.options.ewma_alpha
         last = self._last_arrival.get(key)
         self._last_arrival[key] = now
         if last is None:
             return
         dt = now - last
         prev = self._ewma.get(key)
-        alpha = self.options.ewma_alpha
         self._ewma[key] = dt if prev is None else alpha * dt + (1 - alpha) * prev
+        # Every per-key sample also feeds the shared cold-key estimator:
+        # "what a typical key's inter-arrival gap looks like right now".
+        self._shared_ewma = (
+            dt
+            if self._shared_ewma is None
+            else alpha * dt + (1 - alpha) * self._shared_ewma
+        )
 
     def interarrival_ewma(self, key: BatchKey) -> Optional[float]:
         """The current inter-arrival EWMA for ``key`` (None: <2 arrivals)."""
         return self._ewma.get(key)
+
+    def shared_interarrival_ewma(self) -> Optional[float]:
+        """The shared per-key-gap EWMA cold keys fall back to (None: no
+        key has produced two arrivals yet)."""
+        return self._shared_ewma
 
     def effective_linger(self, key: BatchKey) -> float:
         """The linger currently applied to ``key``'s buffer.
@@ -213,19 +252,24 @@ class Batcher:
         Fixed mode returns ``max_linger`` unconditionally.  Adaptive mode
         returns ``clamp(max_linger - ewma, min_linger, max_linger)`` — see
         the module docstring for why the bound tightens under sparse load.
+        Keys without an EWMA of their own use the shared per-node cold-key
+        estimate so a fresh destination set on a sparse node does not start
+        at ``max_linger``.
         """
         b = self.options
         if b.linger_mode != "adaptive" or b.max_linger <= 0:
             return b.max_linger
         ewma = self._ewma.get(key)
         if ewma is None:
-            return b.max_linger  # no signal yet: stay patient, let load teach us
+            ewma = self._shared_ewma  # cold key: adopt the typical gap
+        if ewma is None:
+            return b.max_linger  # no signal at all: stay patient, let load teach us
         return min(b.max_linger, max(b.min_linger, b.max_linger - ewma))
 
     # -- introspection -----------------------------------------------------
 
     def buffered_count(self) -> int:
-        """Items added but not yet flushed in any batch."""
+        """Distinct items still buffered under at least one key."""
         return len(self._buffered)
 
     def inflight_count(self) -> int:

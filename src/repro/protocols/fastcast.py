@@ -43,7 +43,7 @@ from ..paxos.messages import (
     PaxosPrepare,
     PaxosPromise,
 )
-from .base import AtomicMulticastProcess, MulticastMsg
+from .base import AtomicMulticastProcess, MulticastBatchMsg, MulticastMsg
 from .batching import (
     Batcher,
     BatchDeliverMsg,
@@ -181,6 +181,7 @@ class FastCastProcess(ConsensusBatchingHost, AtomicMulticastProcess):
         self._speculative_hold: Set[MessageId] = set()
         self._handlers = {
             MulticastMsg: self._on_multicast,
+            MulticastBatchMsg: self._on_multicast_batch,
             ProposeMsg: self._on_propose,
             ProposeBatchMsg: self._on_propose_batch,
             ConfirmMsg: self._on_confirm,
@@ -250,6 +251,9 @@ class FastCastProcess(ConsensusBatchingHost, AtomicMulticastProcess):
             if gid != self.gid:
                 self.cur_leader[gid] = sender
 
+    def _ingress_forward_target(self) -> Optional[ProcessId]:
+        return self.replica.leader_hint
+
     def _on_multicast(self, sender: ProcessId, msg: MulticastMsg) -> None:
         m = msg.m
         self._observe_sender(sender)
@@ -257,7 +261,11 @@ class FastCastProcess(ConsensusBatchingHost, AtomicMulticastProcess):
             target = self.replica.leader_hint
             if target != self.pid:
                 self.send(target, msg)
+                self._redirect_submission(sender, (m.mid,))
             return
+        # Registration is idempotent (records are consensus-replicated and a
+        # new leader rebuilds them from the log), so duplicates ack too.
+        self._ack_submission(sender, (m.mid,))
         rec = self.records.get(m.mid)
         if rec is not None and rec.phase is not Phase.START:
             self._announce(rec)  # duplicate: re-announce persisted state

@@ -42,7 +42,7 @@ from ..paxos.messages import (
     PaxosPrepare,
     PaxosPromise,
 )
-from .base import AtomicMulticastProcess, MulticastMsg
+from .base import AtomicMulticastProcess, MulticastBatchMsg, MulticastMsg
 from .batching import (
     Batcher,
     BatchDeliverMsg,
@@ -148,6 +148,7 @@ class FtSkeenProcess(ConsensusBatchingHost, AtomicMulticastProcess):
         )
         self._handlers = {
             MulticastMsg: self._on_multicast,
+            MulticastBatchMsg: self._on_multicast_batch,
             ProposeMsg: self._on_propose,
             ProposeBatchMsg: self._on_propose_batch,
             FtDeliverMsg: self._on_deliver,
@@ -204,6 +205,9 @@ class FtSkeenProcess(ConsensusBatchingHost, AtomicMulticastProcess):
 
     # -- client-facing ----------------------------------------------------------
 
+    def _ingress_forward_target(self) -> Optional[ProcessId]:
+        return self.replica.leader_hint
+
     def _on_multicast(self, sender: ProcessId, msg: MulticastMsg) -> None:
         m = msg.m
         self._observe_sender(sender)
@@ -211,7 +215,11 @@ class FtSkeenProcess(ConsensusBatchingHost, AtomicMulticastProcess):
             target = self.replica.leader_hint
             if target != self.pid:
                 self.send(target, msg)
+                self._redirect_submission(sender, (m.mid,))
             return
+        # Registration is idempotent (records are consensus-replicated and a
+        # new leader rebuilds them from the log), so duplicates ack too.
+        self._ack_submission(sender, (m.mid,))
         rec = self.records.get(m.mid)
         if rec is not None and rec.phase is not Phase.START:
             # Duplicate (a retry): re-announce our persisted local timestamp.

@@ -30,7 +30,7 @@ from ..paxos.messages import (
     PaxosPrepare,
     PaxosPromise,
 )
-from .base import AtomicMulticastProcess, MulticastMsg
+from .base import AtomicMulticastProcess, MulticastBatchMsg, MulticastMsg
 
 #: The group that sequences everything.
 SEQUENCER_GROUP: GroupId = 0
@@ -115,6 +115,7 @@ class SequencerProcess(AtomicMulticastProcess):
         self.delivered_ids: Set[MessageId] = set()
         self._handlers = {
             MulticastMsg: self._on_multicast,
+            MulticastBatchMsg: self._on_multicast_batch,
             OrderedMsg: self._on_ordered,
             OrderedAckMsg: self._on_ordered_ack,
             PaxosPrepare: self._on_paxos,
@@ -127,9 +128,20 @@ class SequencerProcess(AtomicMulticastProcess):
     # -- client-facing --------------------------------------------------------
 
     @classmethod
-    def multicast_targets(cls, config, leader_map, m) -> List[ProcessId]:
+    def ingress_groups(cls, config, m) -> List[GroupId]:
         """All multicasts enter through the sequencer group's leader."""
-        return [leader_map[SEQUENCER_GROUP]]
+        return [SEQUENCER_GROUP]
+
+    def _accepts_ingress(self) -> bool:
+        return self.gid == SEQUENCER_GROUP and self.is_leader()
+
+    def _ingress_forward_target(self) -> Optional[ProcessId]:
+        if self.gid == SEQUENCER_GROUP:
+            return self.replica.leader_hint
+        return self.cur_leader.get(SEQUENCER_GROUP)
+
+    def _ingress_redirect(self) -> Tuple[GroupId, Optional[ProcessId]]:
+        return SEQUENCER_GROUP, self._ingress_forward_target()
 
     def on_start(self) -> None:
         if self.options.retry_interval is not None:
@@ -158,12 +170,16 @@ class SequencerProcess(AtomicMulticastProcess):
 
     def _on_multicast(self, sender: ProcessId, msg: MulticastMsg) -> None:
         if self.gid != SEQUENCER_GROUP:
-            return  # misdirected; the client retries via the sequencer
+            # Misdirected: point the client at the sequencer group.
+            self._redirect_submission(sender, (msg.m.mid,))
+            return
         if not self.is_leader():
             target = self.replica.leader_hint
             if target != self.pid:
                 self.send(target, msg)
+                self._redirect_submission(sender, (msg.m.mid,))
             return
+        self._ack_submission(sender, (msg.m.mid,))
         if msg.m.mid in self._sequenced:
             return
         self.replica.propose(SeqOrder(msg.m))

@@ -19,7 +19,7 @@ from ..config import ClusterConfig
 from ..errors import ConfigError
 from ..runtime import Runtime
 from ..types import AmcastMessage, GroupId, MessageId, ProcessId, Timestamp
-from .base import AtomicMulticastProcess, MulticastMsg
+from .base import AtomicMulticastProcess, MulticastBatchMsg, MulticastMsg
 from .ordering import DeliveryQueue
 
 
@@ -54,6 +54,7 @@ class SkeenProcess(AtomicMulticastProcess):
         self._delivered: Set[MessageId] = set()
         self._handlers = {
             MulticastMsg: self._on_multicast,
+            MulticastBatchMsg: self._on_multicast_batch,
             ProposeMsg: self._on_propose,
         }
 
@@ -64,6 +65,7 @@ class SkeenProcess(AtomicMulticastProcess):
 
     def _on_multicast(self, sender: ProcessId, msg: MulticastMsg) -> None:
         m = msg.m
+        self._ack_submission(sender, (m.mid,))
         if m.mid in self._proposed or m.mid in self._delivered:
             return  # duplicate MULTICAST: local timestamp already assigned
         self.clock += 1

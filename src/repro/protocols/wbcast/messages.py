@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ...types import AmcastMessage, Ballot, GroupId, MessageId, Timestamp
-from .state import StateSnapshot
+from .state import DeliveredLog, StateSnapshot
 
 #: Sorted-by-group tuple of (group id, ballot its leader proposed in).
 BallotVector = Tuple[Tuple[GroupId, Ballot], ...]
@@ -132,23 +132,33 @@ class NewLeaderMsg:
 @dataclass(frozen=True, slots=True)
 class NewLeaderAckMsg:
     """``NEWLEADER_ACK``: a vote for ballot ``bal`` carrying the voter's
-    full multicast state (line 41)."""
+    full multicast state (line 41).
+
+    ``delivered`` is the voter's submission-dedup table (watermark-
+    compacted ids of every message it has delivered): the new leader
+    adopts the union, so a client resubmitting after a crash can never
+    re-run a message the group is already done with — even one GC has
+    pruned the records of.
+    """
 
     bal: Ballot
     cballot: Ballot
     clock: int
     records: StateSnapshot
     max_delivered_gts: Optional[Timestamp]
+    delivered: Optional[DeliveredLog] = None
 
 
 @dataclass(frozen=True, slots=True)
 class NewStateMsg:
     """``NEW_STATE``: the recovered initial state of ballot ``bal``
-    pushed to followers before normal operation resumes (line 56)."""
+    pushed to followers before normal operation resumes (line 56).
+    ``delivered`` carries the epoch-transferred dedup table."""
 
     bal: Ballot
     clock: int
     records: StateSnapshot
+    delivered: Optional[DeliveredLog] = None
 
 
 @dataclass(frozen=True, slots=True)

@@ -31,7 +31,7 @@ from ...types import (
     ProcessId,
     Timestamp,
 )
-from ..base import AtomicMulticastProcess, MulticastMsg
+from ..base import AtomicMulticastProcess, MulticastBatchMsg, MulticastMsg
 from ..batching import Batcher
 from ..ordering import DeliveryQueue
 from .messages import (
@@ -51,7 +51,7 @@ from .messages import (
     NewStateMsg,
     make_vector,
 )
-from .state import MsgRecord, PendingBatch, Phase, Status, snapshot_copy
+from .state import DeliveredLog, MsgRecord, PendingBatch, Phase, Status, snapshot_copy
 
 
 @dataclass(frozen=True)
@@ -107,7 +107,10 @@ class WbCastProcess(AtomicMulticastProcess):
         self.max_delivered_gts: Optional[Timestamp] = None
         # -- derived / bookkeeping --------------------------------------------
         self.queue = DeliveryQueue()  # leader-side delivery ordering
-        self.delivered_ids: Set[MessageId] = set()
+        # Submission-dedup table: watermark-compacted delivered message ids
+        # (kept past GC pruning so duplicate MULTICASTs stay idempotent,
+        # and epoch-transferred during recovery).
+        self.delivered_ids = DeliveredLog()
         # Latest ACCEPT received per (message, destination group).
         self._accepts: Dict[MessageId, Dict[GroupId, AcceptMsg]] = {}
         # ACCEPT_ACK tallies: mid -> ballot vector -> group -> ack senders.
@@ -145,6 +148,7 @@ class WbCastProcess(AtomicMulticastProcess):
         self._drain_deferred = False
         self._handlers = {
             MulticastMsg: self._on_multicast,
+            MulticastBatchMsg: self._on_multicast_batch,
             AcceptMsg: self._on_accept,
             AcceptBatchMsg: self._on_accept_batch,
             AcceptAckMsg: self._on_accept_ack,
@@ -173,6 +177,14 @@ class WbCastProcess(AtomicMulticastProcess):
 
     # --------------------------------------------------------- normal operation
 
+    def _accepts_ingress(self) -> bool:
+        return self.status is Status.LEADER
+
+    def _ingress_may_forward(self) -> bool:
+        # Mirrors the per-message path: only a settled FOLLOWER forwards;
+        # a RECOVERING process's Cur_leader still names the old leader.
+        return self.status is Status.FOLLOWER
+
     def _on_multicast(self, sender: ProcessId, msg: MulticastMsg) -> None:
         """Fig. 4 lines 3–9 (plus leader forwarding for wrong guesses)."""
         m = msg.m
@@ -182,7 +194,11 @@ class WbCastProcess(AtomicMulticastProcess):
             target = self.cur_leader.get(self.gid)
             if self.status is Status.FOLLOWER and target is not None and target != self.pid:
                 self.send(target, msg)
+                self._redirect_submission(sender, (m.mid,))
             return
+        # Registered (or already done with) — either way the submission is
+        # safe with this leader: ack so the client session stops retrying.
+        self._ack_submission(sender, (m.mid,))
         if m.mid in self.delivered_ids and m.mid not in self.records:
             return  # garbage-collected: every destination group is done with m
         rec = self.records.get(m.mid)
@@ -505,6 +521,7 @@ class WbCastProcess(AtomicMulticastProcess):
             clock=self.clock,
             records=snapshot_copy(self.records),
             max_delivered_gts=self.max_delivered_gts,
+            delivered=self.delivered_ids.snapshot(),
         )
         self.send(sender, ack)
 
@@ -563,11 +580,19 @@ class WbCastProcess(AtomicMulticastProcess):
         self.clock = max(v.clock for v in votes)  # preserves Invariant 2(c)
         self.cballot = bal
         self.cur_leader[self.gid] = self.pid
+        # Adopt the union of the voters' dedup tables: any message a quorum
+        # member delivered must stay idempotent against resubmission here,
+        # even when GC pruned its record before the leader change.
+        for v in votes:
+            if v.delivered is not None:
+                self.delivered_ids.update(v.delivered)
         self._rebuild_queue()
         self._acks.clear()
         self._touched.clear()
         self._reset_batching()
-        state = NewStateMsg(bal, self.clock, snapshot_copy(self.records))
+        state = NewStateMsg(
+            bal, self.clock, snapshot_copy(self.records), self.delivered_ids.snapshot()
+        )
         for p in self.group:
             if p != self.pid:
                 self.send(p, state)
@@ -597,6 +622,8 @@ class WbCastProcess(AtomicMulticastProcess):
         self.cballot = msg.bal
         self.clock = msg.clock
         self.records = snapshot_copy(msg.records)
+        if msg.delivered is not None:
+            self.delivered_ids.update(msg.delivered)
         self.cur_leader[self.gid] = msg.bal.leader()
         self.queue = DeliveryQueue()
         self._reset_batching()

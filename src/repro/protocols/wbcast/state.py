@@ -80,3 +80,88 @@ StateSnapshot = Dict[MessageId, MsgRecord]
 def snapshot_copy(records: StateSnapshot) -> StateSnapshot:
     """A shallow copy is a true snapshot because records are immutable."""
     return dict(records)
+
+
+class DeliveredLog:
+    """The submission-dedup table: delivered message ids, compacted.
+
+    Message ids are ``(origin, seq)`` with per-session sequence numbers
+    allocated densely from 0, so the delivered set per origin converges to
+    a contiguous prefix.  Storing a per-origin watermark (every seq ``<=``
+    it is delivered) plus the sparse out-of-order residue keeps membership
+    O(1) and — crucially — keeps the copy shipped in every NEWLEADER_ACK /
+    NEW_STATE bounded by O(origins + in-flight residue) instead of one id
+    per message ever delivered over the cluster's lifetime.
+
+    Ids from other allocation schemes (tests hand-pick seqs) simply stay
+    in the residue: correct, just uncompacted.
+    """
+
+    __slots__ = ("_watermark", "_sparse")
+
+    def __init__(self) -> None:
+        self._watermark: Dict[int, int] = {}  # origin -> highest dense seq
+        self._sparse: Dict[int, Set[int]] = {}  # origin -> seqs above it
+
+    def add(self, mid: MessageId) -> None:
+        origin, seq = mid
+        if seq <= self._watermark.get(origin, -1):
+            return
+        self._sparse.setdefault(origin, set()).add(seq)
+        self._absorb(origin)
+
+    def _absorb(self, origin: int) -> None:
+        """Advance the watermark over any now-contiguous sparse seqs."""
+        sparse = self._sparse.get(origin)
+        if not sparse:
+            return
+        w = self._watermark.get(origin, -1)
+        while w + 1 in sparse:
+            w += 1
+            sparse.discard(w)
+        self._watermark[origin] = w
+        if not sparse:
+            del self._sparse[origin]
+        if w < 0:
+            self._watermark.pop(origin, None)
+
+    def update(self, other: "DeliveredLog") -> None:
+        """Merge another log (vote/state-transfer snapshot) into this one."""
+        for origin, w in other._watermark.items():
+            if w > self._watermark.get(origin, -1):
+                self._watermark[origin] = w
+                mine = self._sparse.get(origin)
+                if mine:
+                    kept = {s for s in mine if s > w}
+                    if kept:
+                        self._sparse[origin] = kept
+                    else:
+                        del self._sparse[origin]
+        for origin, seqs in other._sparse.items():
+            w = self._watermark.get(origin, -1)
+            fresh = {s for s in seqs if s > w}
+            if fresh:
+                self._sparse.setdefault(origin, set()).update(fresh)
+        for origin in set(other._watermark) | set(other._sparse):
+            self._absorb(origin)
+
+    def snapshot(self) -> "DeliveredLog":
+        """An independent copy, safe to ship inside a wire message."""
+        copy = DeliveredLog()
+        copy._watermark = dict(self._watermark)
+        copy._sparse = {origin: set(s) for origin, s in self._sparse.items()}
+        return copy
+
+    def __contains__(self, mid: MessageId) -> bool:
+        origin, seq = mid
+        if seq <= self._watermark.get(origin, -1):
+            return True
+        return seq in self._sparse.get(origin, ())
+
+    def __len__(self) -> int:
+        return sum(w + 1 for w in self._watermark.values()) + sum(
+            len(s) for s in self._sparse.values()
+        )
+
+    def __repr__(self) -> str:  # compact, for debugging
+        return f"DeliveredLog(watermarks={self._watermark}, sparse={self._sparse})"

@@ -81,6 +81,10 @@ class UniformCpu(CpuModel):
             "OrderedAckMsg",
             "DeliveredAckMsg",
             "HeartbeatMsg",
+            # Client-session traffic: submission acks/redirects are tiny
+            # mid-list frames handled by client processes.
+            "SubmitAckMsg",
+            "SubmitRedirectMsg",
         }
     )
 

@@ -1,24 +1,27 @@
 """Client processes generating multicast load.
 
-:class:`ClosedLoopClient` reproduces the paper's load generator: multicast,
-wait for partial delivery, repeat.  :class:`OneShotClient` submits a fixed
-scripted batch at given times — used by the latency experiments, which need
-precisely timed (sometimes adversarially timed) messages.
+Both load generators are thin drivers over the first-class
+:class:`~repro.client.AmcastClient` session — submission, retransmission,
+leader tracking and windowed backpressure all live there, shared with the
+asyncio TCP runtime.  These classes only decide *when* to submit *what*:
 
-Both retry undelivered messages: first to the believed leaders, then by
-broadcasting ``MULTICAST`` to every member of the destination groups (the
-paper's answer to stale ``Cur_leader`` guesses and lost messages).
+* :class:`ClosedLoopClient` reproduces the paper's load generator:
+  multicast, wait for partial delivery, repeat (optionally with a wider
+  window to sustain per-leader pressure for the batching benchmarks);
+* :class:`OneShotClient` submits a fixed scripted batch at given times —
+  used by the latency experiments, which need precisely timed (sometimes
+  adversarially timed) messages.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
-from ..config import ClusterConfig
-from ..runtime import Runtime, TimerHandle
-from ..types import AmcastMessage, GroupId, MessageId, ProcessId, make_message
-from ..protocols.base import MulticastMsg, ProtocolProcess
+from ..client import AmcastClient, AmcastClientOptions
+from ..config import BatchingOptions, ClusterConfig
+from ..runtime import Runtime
+from ..types import GroupId, MessageId, ProcessId
 from .destinations import DestinationChooser
 from .tracker import DeliveryTracker
 
@@ -34,77 +37,21 @@ class ClientOptions:
     #: paper's load generator; larger windows provide the sustained pressure
     #: that lets leader-side batching fill its batches.
     window: int = 1
+    #: Client-side ingress coalescing knobs (``None``: one MULTICAST per
+    #: message, the paper's wire protocol).  See ``AmcastClientOptions``.
+    ingress: Optional[BatchingOptions] = None
+
+    def session_options(self, window: Optional[int]) -> AmcastClientOptions:
+        """The :class:`AmcastClientOptions` this workload config implies."""
+        return AmcastClientOptions(
+            window=window,
+            retry_timeout=self.retry_timeout,
+            payload_size=self.payload_size,
+            ingress=self.ingress,
+        )
 
 
-class _ClientBase(ProtocolProcess):
-    """Shared plumbing: submission, tracking, retries."""
-
-    def __init__(
-        self,
-        pid: ProcessId,
-        config: ClusterConfig,
-        runtime: Runtime,
-        protocol_cls,
-        tracker: DeliveryTracker,
-        options: ClientOptions,
-    ) -> None:
-        super().__init__(pid, config, runtime)
-        self.protocol_cls = protocol_cls
-        self.tracker = tracker
-        self.options = options
-        self.leader_map: Dict[GroupId, ProcessId] = config.default_leaders()
-        self.sent: List[MessageId] = []
-        self.completed: List[Tuple[MessageId, float]] = []
-        self._seq = 0
-        self._retry_handles: Dict[MessageId, TimerHandle] = {}
-        self._handlers = {}
-
-    # Clients receive no protocol messages; completion comes via the tracker.
-    def on_message(self, sender: ProcessId, msg) -> None:  # pragma: no cover
-        pass
-
-    def _submit(self, m: AmcastMessage) -> None:
-        self.runtime.record_multicast(m)
-        self.tracker.expect(m, self.runtime.now(), self._on_partial_delivery)
-        self.sent.append(m.mid)
-        targets = self.protocol_cls.multicast_targets(self.config, self.leader_map, m)
-        msg = MulticastMsg(m)
-        for pid in targets:
-            self.send(pid, msg)
-        if self.options.retry_timeout is not None:
-            self._retry_handles[m.mid] = self.runtime.set_timer(
-                self.options.retry_timeout, lambda mid=m.mid, mm=m: self._retry(mm)
-            )
-
-    def _retry(self, m: AmcastMessage) -> None:
-        """Message not yet partially delivered: broadcast to all members."""
-        if m.mid in {mid for mid, _ in self.completed}:
-            return
-        msg = MulticastMsg(m)
-        for g in sorted(m.dests):
-            for pid in self.config.members(g):
-                self.send(pid, msg)
-        if self.options.retry_timeout is not None:
-            self._retry_handles[m.mid] = self.runtime.set_timer(
-                self.options.retry_timeout, lambda mm=m: self._retry(mm)
-            )
-
-    def _on_partial_delivery(self, mid: MessageId, t: float) -> None:
-        handle = self._retry_handles.pop(mid, None)
-        if handle is not None:
-            handle.cancel()
-        self.completed.append((mid, t))
-        self._after_completion(mid, t)
-
-    def _after_completion(self, mid: MessageId, t: float) -> None:
-        """Hook for subclasses."""
-
-    def _next_mid_payload(self) -> int:
-        self._seq += 1
-        return self._seq
-
-
-class ClosedLoopClient(_ClientBase):
+class ClosedLoopClient(AmcastClient):
     """The paper's load generator: a fixed window of outstanding multicasts.
 
     With ``options.window == 1`` (the default) this is exactly the paper's
@@ -123,32 +70,25 @@ class ClosedLoopClient(_ClientBase):
         chooser: DestinationChooser,
         options: Optional[ClientOptions] = None,
     ) -> None:
-        super().__init__(pid, config, runtime, protocol_cls, tracker, options or ClientOptions())
+        opts = options or ClientOptions()
+        super().__init__(
+            pid, config, runtime, protocol_cls, tracker,
+            opts.session_options(window=max(1, opts.window)),
+        )
+        self.options = opts
         self.chooser = chooser
-        self._remaining = self.options.num_messages
-        self._outstanding = 0
+        self._remaining = opts.num_messages
 
     def on_start(self) -> None:
         if self._remaining > 0:
             self.runtime.set_timer(self.options.start_delay, self._fill_window)
 
     def _fill_window(self) -> None:
-        while self._remaining > 0 and self._outstanding < max(1, self.options.window):
-            self._send_next()
-
-    def _send_next(self) -> None:
-        if self._remaining <= 0:
-            return
-        self._remaining -= 1
-        self._outstanding += 1
-        dests = self.chooser.choose(self.runtime.rng)
-        m = make_message(
-            self.pid, self._next_mid_payload(), dests, size=self.options.payload_size
-        )
-        self._submit(m)
+        while self._remaining > 0 and self.outstanding < max(1, self.options.window):
+            self._remaining -= 1
+            self.submit(self.chooser.choose(self.runtime.rng))
 
     def _after_completion(self, mid: MessageId, t: float) -> None:
-        self._outstanding -= 1
         if self._remaining > 0:
             if self.options.think_time > 0:
                 self.runtime.set_timer(self.options.think_time, self._fill_window)
@@ -160,8 +100,12 @@ class ClosedLoopClient(_ClientBase):
         return self._remaining == 0 and len(self.completed) == len(self.sent)
 
 
-class OneShotClient(_ClientBase):
-    """Submits a scripted batch: a list of (time, destination set) pairs."""
+class OneShotClient(AmcastClient):
+    """Submits a scripted batch: a list of (time, destination set) pairs.
+
+    The session window is unbounded so scripted submission times are hit
+    exactly, adversarial schedules included.
+    """
 
     def __init__(
         self,
@@ -173,18 +117,16 @@ class OneShotClient(_ClientBase):
         schedule: Sequence[Tuple[float, Sequence[GroupId]]],
         options: Optional[ClientOptions] = None,
     ) -> None:
-        super().__init__(pid, config, runtime, protocol_cls, tracker, options or ClientOptions())
+        opts = options or ClientOptions()
+        super().__init__(
+            pid, config, runtime, protocol_cls, tracker,
+            opts.session_options(window=None),
+        )
+        self.options = opts
         self.schedule = list(schedule)
 
     def on_start(self) -> None:
         for at, dests in self.schedule:
             self.runtime.set_timer(
-                at, lambda d=tuple(dests): self._submit(
-                    make_message(
-                        self.pid,
-                        self._next_mid_payload(),
-                        frozenset(d),
-                        size=self.options.payload_size,
-                    )
-                )
+                at, lambda d=tuple(dests): self.submit(frozenset(d))
             )

@@ -143,6 +143,46 @@ class TestEstimator:
         assert batcher.effective_linger(bursty) >= 0.9 * MAX_LINGER
         assert batcher.effective_linger(sparse) == MIN_LINGER
 
+    def test_cold_key_falls_back_to_shared_estimate_when_sparse(self):
+        """ROADMAP follow-up: a key with no EWMA of its own must not start
+        at max_linger on a demonstrably sparse node — it adopts the
+        shared typical-gap estimate instead."""
+        batcher, runtime = make_batcher()
+        hot = frozenset({0})
+        feed(batcher, runtime, [10 * MAX_LINGER] * 10, key=hot)  # sparse node
+        cold = frozenset({1, 2})
+        assert batcher.effective_linger(cold) == MIN_LINGER
+
+    def test_cold_key_stays_patient_on_a_hot_node(self):
+        """On a bursty node the shared estimate stays small, so a fresh
+        key lingers for company just like the established ones."""
+        batcher, runtime = make_batcher()
+        hot = frozenset({0})
+        feed(batcher, runtime, [MAX_LINGER / 100] * 40, key=hot)
+        cold = frozenset({1, 2})
+        assert batcher.effective_linger(cold) >= 0.9 * MAX_LINGER
+
+    def test_stale_keys_stop_skewing_the_cold_estimate(self):
+        """The shared estimator is an EWMA of recent per-key gaps, not a
+        count of keys ever seen: after a wide scatter phase goes quiet and
+        traffic concentrates on one hot key, a fresh key must linger like
+        the hot one rather than flush instantly."""
+        batcher, runtime = make_batcher()
+        for i in range(50):  # scatter phase: 50 one-shot keys, never again
+            runtime.t += MAX_LINGER / 10
+            batcher.add(frozenset({100 + i}), ("scatter", runtime.t, i))
+        feed(batcher, runtime, [MAX_LINGER / 100] * 40, key=frozenset({0}))
+        cold = frozenset({1, 2})
+        assert batcher.effective_linger(cold) >= 0.9 * MAX_LINGER
+
+    def test_reset_clears_shared_estimator(self):
+        batcher, runtime = make_batcher()
+        feed(batcher, runtime, [10 * MAX_LINGER] * 10)
+        assert batcher.shared_interarrival_ewma() is not None
+        batcher.reset()
+        assert batcher.shared_interarrival_ewma() is None
+        assert batcher.effective_linger(frozenset({5})) == MAX_LINGER
+
     @pytest.mark.parametrize("seed", range(8))
     def test_poisson_linger_always_within_bounds(self, seed):
         """Whatever a Poisson process throws at it, the effective linger

@@ -1,0 +1,484 @@
+"""The AmcastClient session API: handles, acks, backpressure, coalescing.
+
+One submission path drives the simulator and the asyncio runtime; this
+suite exercises it in the simulator where every wire message is traceable:
+handle lifecycle (acked by every ingress leader, completed at partial
+delivery), windowed backpressure, ack/redirect-driven leader tracking,
+client-side ingress coalescing (MULTICAST_BATCH wire messages, genuine
+per-leader projections), and exactly-once resubmission across leader
+crashes for all batching-capable protocols.
+"""
+
+import pytest
+
+from repro.client import AmcastClient, AmcastClientOptions
+from repro.config import BatchingOptions, ClusterConfig
+from repro.bench.harness import run_workload
+from repro.protocols import (
+    FastCastProcess,
+    FtSkeenProcess,
+    SequencerProcess,
+    WbCastProcess,
+)
+from repro.protocols.base import MulticastBatchMsg, MulticastMsg
+from repro.sim import ConstantDelay, Simulator, Trace
+from repro.sim.faults import FaultPlan
+from repro.workload import ClientOptions, DeliveryTracker
+
+from tests.conftest import DELTA, FAST_FD, checks_ok
+
+INGRESS = BatchingOptions(max_batch=8, max_linger=2 * DELTA)
+
+PROTOCOLS = [
+    pytest.param(WbCastProcess, id="wbcast"),
+    pytest.param(FtSkeenProcess, id="ftskeen"),
+    pytest.param(FastCastProcess, id="fastcast"),
+]
+
+
+def build_session(
+    config, protocol_cls=WbCastProcess, options=None, protocol_options=None, seed=0
+):
+    trace = Trace()
+    sim = Simulator(ConstantDelay(DELTA), seed=seed, trace=trace)
+    tracker = DeliveryTracker(config, sim=sim)
+    trace.attach(tracker)
+    procs = {
+        pid: sim.add_process(
+            pid, lambda rt, p=pid: protocol_cls(p, config, rt, options=protocol_options)
+        )
+        for pid in config.all_members
+    }
+    client_pid = config.clients[0]
+    session = sim.add_process(
+        client_pid,
+        lambda rt: AmcastClient(client_pid, config, rt, protocol_cls, tracker, options),
+    )
+    return sim, trace, tracker, procs, session
+
+
+class TestHandleLifecycle:
+    def test_ack_then_completion(self):
+        config = ClusterConfig.build(2, 3, 1)
+        sim, trace, tracker, procs, session = build_session(config)
+        done, acked = [], []
+        handle = session.submit({0, 1}, payload="x")
+        handle.on_ack(lambda h: acked.append(sim.now))
+        handle.on_complete(lambda h: done.append(sim.now))
+        sim.run()
+        assert handle.acked and handle.completed
+        assert handle.acked_groups == {0, 1}
+        assert acked and done
+        # Acks return one hop after the leaders got the submission; the
+        # protocol needs more rounds before partial delivery completes.
+        assert handle.acked_at <= handle.completed_at
+        assert handle.payload == "x"
+
+    def test_session_owns_sequence_numbers(self):
+        config = ClusterConfig.build(2, 3, 1)
+        sim, trace, tracker, procs, session = build_session(config)
+        h1 = session.submit({0})
+        h2 = session.submit({0, 1})
+        assert h1.mid == (config.clients[0], 0)
+        assert h2.mid == (config.clients[0], 1)
+        sim.run()
+        assert session.completed and len(session.completed) == 2
+
+    def test_callbacks_on_resolved_handles_fire_immediately(self):
+        config = ClusterConfig.build(2, 3, 1)
+        sim, trace, tracker, procs, session = build_session(config)
+        handle = session.submit({0, 1})
+        sim.run()
+        fired = []
+        handle.on_ack(lambda h: fired.append("ack"))
+        handle.on_complete(lambda h: fired.append("done"))
+        assert fired == ["ack", "done"]
+
+
+class TestBackpressure:
+    def test_window_bounds_outstanding(self):
+        config = ClusterConfig.build(2, 3, 1)
+        sim, trace, tracker, procs, session = build_session(
+            config, options=AmcastClientOptions(window=2)
+        )
+        handles = [session.submit({0, 1}) for _ in range(6)]
+        assert session.outstanding == 2
+        assert session.backlog_size == 4
+        assert sum(1 for h in handles if h.launched) == 2
+        sim.run()
+        assert all(h.completed for h in handles)
+        assert session.backlog_size == 0
+        # Backlogged submissions launch only as completions free slots.
+        launch_times = sorted(h.launched_at for h in handles)
+        completions = sorted(h.completed_at for h in handles)
+        assert launch_times[2] >= completions[0]
+
+    def test_unbounded_window_launches_everything(self):
+        config = ClusterConfig.build(2, 3, 1)
+        sim, trace, tracker, procs, session = build_session(
+            config, options=AmcastClientOptions(window=None)
+        )
+        handles = [session.submit({0, 1}) for _ in range(6)]
+        assert session.outstanding == 6
+        sim.run()
+        assert all(h.completed for h in handles)
+
+
+class TestLeaderTracking:
+    def test_acks_confirm_current_leaders(self):
+        config = ClusterConfig.build(2, 3, 1)
+        sim, trace, tracker, procs, session = build_session(config)
+        session.submit({0, 1})
+        sim.run()
+        assert session.cur_leader[0] == 0
+        assert session.cur_leader[1] == 3
+
+    def test_redirects_reteach_leader_after_crash(self):
+        """Crash g0's leader; the broadcast retry reaches followers, whose
+        redirects teach the session the new leader — no liveness guessing."""
+        config = ClusterConfig.build(2, 3, 1)
+        sim, trace, tracker, procs, session = build_session(
+            config, options=AmcastClientOptions(retry_timeout=0.01)
+        )
+        sim.crash(0)
+        sim.schedule(0.005, lambda: procs[1].recover())
+        handle = session.submit({0, 1})
+        sim.run(until=0.2)
+        assert handle.completed
+        assert session.cur_leader[0] == 1
+        # A follow-up submission goes straight to the new leader: no
+        # broadcast needed, first wire hop targets pid 1.
+        h2 = session.submit({0})
+        first_hop = next(
+            r
+            for r in trace.sends
+            if isinstance(r.msg, (MulticastMsg, MulticastBatchMsg))
+            and r.src == session.pid
+            and h2.mid in (r.msg.mids() if hasattr(r.msg, "mids") else [r.msg.m.mid])
+        )
+        assert first_hop.dst == 1
+
+    def test_sequencer_ingress_acks_from_group_zero_only(self):
+        config = ClusterConfig.build(3, 3, 1)
+        sim, trace, tracker, procs, session = build_session(
+            config, protocol_cls=SequencerProcess
+        )
+        handle = session.submit({1, 2})
+        assert handle.required_acks == frozenset({0})
+        sim.run()
+        assert handle.completed and handle.acked_groups == {0}
+
+
+class TestIngressCoalescing:
+    def _client_wire(self, trace, session):
+        return [
+            r
+            for r in trace.sends
+            if r.src == session.pid
+            and isinstance(r.msg, (MulticastMsg, MulticastBatchMsg))
+        ]
+
+    def test_batches_coalesce_across_destination_sets(self):
+        """Per-leader projections: submissions to different destination
+        sets still share MULTICAST_BATCH wire messages per ingress group."""
+        config = ClusterConfig.build(3, 3, 1)
+        sim, trace, tracker, procs, session = build_session(
+            config, options=AmcastClientOptions(ingress=INGRESS)
+        )
+        dest_sets = [{0, 1}, {0, 2}, {1, 2}, {0, 1}, {0, 2}, {1, 2}]
+        handles = [session.submit(d) for d in dest_sets]
+        sim.run()
+        assert all(h.completed for h in handles)
+        wire = self._client_wire(trace, session)
+        batches = [r for r in wire if isinstance(r.msg, MulticastBatchMsg)]
+        assert batches, "expected MULTICAST_BATCH wire messages"
+        # Without coalescing the client sends one MULTICAST per (message,
+        # destination group) = 12 wire messages; batching must beat that.
+        assert len(wire) < 12
+        # Every batch is a genuine per-leader projection: each entry counts
+        # the receiving group among its destinations.
+        for r in batches:
+            gid = config.group_of(r.dst)
+            for m in r.msg.entries:
+                assert gid in m.dests
+
+    def test_ingress_run_is_genuine_and_ordered(self):
+        monitor_holder = {}
+
+        def run():
+            res = run_workload(
+                WbCastProcess,
+                num_groups=3,
+                group_size=3,
+                num_clients=3,
+                messages_per_client=6,
+                dest_k=2,
+                seed=7,
+                network=ConstantDelay(DELTA),
+                client_options=ClientOptions(
+                    num_messages=6, window=4, ingress=INGRESS
+                ),
+                attach_genuineness=True,
+            )
+            monitor_holder["m"] = res.genuineness
+            return res
+
+        res = run()
+        assert res.all_done
+        checks_ok(res)
+        assert monitor_holder["m"].is_genuine, monitor_holder["m"].violations
+
+    def test_singleton_flush_keeps_per_message_wire(self):
+        """With coalescing off the session speaks the paper's protocol:
+        plain MULTICAST, no batch wrapper."""
+        config = ClusterConfig.build(2, 3, 1)
+        sim, trace, tracker, procs, session = build_session(config)
+        session.submit({0, 1})
+        sim.run()
+        wire = self._client_wire(trace, session)
+        assert wire and all(isinstance(r.msg, MulticastMsg) for r in wire)
+
+
+class TestExactlyOnce:
+    @pytest.mark.parametrize("protocol_cls", PROTOCOLS)
+    def test_crash_during_submission_resubmits_exactly_once(self, protocol_cls):
+        """Kill a destination leader while submissions are in flight; the
+        session retransmits with stable ids until completion.  Integrity
+        (at-most-once per process) plus all_done (at-least-once) = exactly
+        once, checked per process below on top of the black-box checker."""
+        batched = BatchingOptions(max_batch=8, max_linger=2 * DELTA, pipeline_depth=4)
+        opts_cls = protocol_cls.OPTIONS_CLS
+        config = ClusterConfig.build(3, 3, 3)
+        res = run_workload(
+            protocol_cls,
+            config=config,
+            messages_per_client=8,
+            dest_k=2,
+            seed=11,
+            network=ConstantDelay(DELTA),
+            protocol_options=opts_cls(retry_interval=0.05, batching=batched),
+            client_options=ClientOptions(
+                num_messages=8, retry_timeout=0.08, window=4, ingress=INGRESS
+            ),
+            fault_plan=FaultPlan.crash_leaders(config, [0], at=0.004),
+            attach_fd=True,
+            fd_options=FAST_FD,
+            drain_grace=0.4,
+        )
+        assert res.all_done, f"{res.completed}/{res.expected}"
+        checks_ok(res)
+        # Per-process duplicate scan: no process delivered any mid twice.
+        per_pid = {}
+        for d in res.trace.deliveries:
+            key = (d.pid, d.m.mid)
+            per_pid[key] = per_pid.get(key, 0) + 1
+        dups = {k: v for k, v in per_pid.items() if v > 1}
+        assert not dups, dups
+
+    def test_wbcast_dedup_survives_epoch_transfer(self):
+        """A duplicate submission arriving *after* the leader changed must
+        be absorbed: the delivered-id dedup table rides NEWLEADER/NEW_STATE."""
+        config = ClusterConfig.build(2, 3, 1)
+        sim, trace, tracker, procs, session = build_session(
+            config,
+            options=AmcastClientOptions(retry_timeout=0.05),
+            protocol_options=None,
+        )
+        handle = session.submit({0, 1})
+        sim.run(until=0.02)
+        assert handle.completed
+        # Leader change in g0, then replay the original submission at the
+        # new leader: delivered_ids arrived with the epoch transfer.
+        sim.schedule(0.0, lambda: procs[1].recover())
+        sim.run(until=0.08)
+        assert procs[1].is_leader()
+        assert handle.mid in procs[1].delivered_ids
+        sim.schedule(0.0, lambda: sim.transmit(
+            session.pid, 1, MulticastMsg(handle.message)
+        ))
+        sim.run(until=0.2)
+        # Recovery may re-DELIVER to catch followers up, but no process
+        # ends up with a duplicate delivery of the message.
+        per_pid = {}
+        for d in trace.deliveries:
+            if d.m.mid == handle.mid:
+                per_pid[d.pid] = per_pid.get(d.pid, 0) + 1
+        assert all(v == 1 for v in per_pid.values()), per_pid
+
+
+class TestHandleRetention:
+    def test_completed_handles_evicted_past_limit(self):
+        config = ClusterConfig.build(2, 3, 1)
+        sim, trace, tracker, procs, session = build_session(
+            config, options=AmcastClientOptions(retain_completed=3)
+        )
+        handles = [session.submit({0, 1}) for _ in range(8)]
+        sim.run()
+        assert all(h.completed for h in handles)  # eviction never drops state
+        retained = [h.mid for h in handles if session.handle_of(h.mid) is not None]
+        assert len(retained) == 3
+        assert retained == [h.mid for h in handles[-3:]]
+
+
+class TestRecoveringProcessDropsIngress:
+    def test_batch_to_recovering_member_is_not_redirected_to_corpse(self):
+        """A WbCast process mid-election must not forward a batch to (or
+        redirect the client toward) the dead leader its stale Cur_leader
+        still names — mirroring the per-message FOLLOWER gate."""
+        from repro.protocols.wbcast import Status
+
+        config = ClusterConfig.build(2, 3, 1)
+        sim, trace, tracker, procs, session = build_session(
+            config,
+            options=AmcastClientOptions(
+                retry_timeout=0.02,
+                ingress=INGRESS,
+            ),
+        )
+        sim.crash(0)
+        sim.schedule(0.001, lambda: procs[1].recover())
+        handle = session.submit({0, 1})
+        sim.run(until=0.2)
+        assert handle.completed
+        # At no point did anyone point the session at the dead leader
+        # after it learned better — the final map names the new leader.
+        assert session.cur_leader[0] == 1
+        assert procs[1].status is Status.LEADER
+
+
+class TestTargetedRetries:
+    def test_all_acked_but_incomplete_still_retransmits(self):
+        """An ack is not durable: when every ingress group acked but the
+        delivery hangs, a targeted retry must re-target the leaders
+        rather than sending nothing for the whole targeted budget."""
+        from repro.protocols.base import SubmitAckMsg
+
+        config = ClusterConfig.build(2, 3, 1)
+        sim, trace, tracker, procs, session = build_session(
+            config,
+            options=AmcastClientOptions(retry_timeout=0.05, targeted_retries=2),
+        )
+        handle = session.submit({0, 1})
+        session.on_message(0, SubmitAckMsg(0, 0, (handle.mid,)))
+        session.on_message(3, SubmitAckMsg(1, 3, (handle.mid,)))
+        assert handle.acked and not handle.completed
+        before = len(trace.sends)
+        session._retry(handle)
+        sent = [
+            r
+            for r in trace.sends[before:]
+            if r.src == session.pid and isinstance(r.msg, MulticastMsg)
+        ]
+        assert {r.dst for r in sent} == {0, 3}  # both believed leaders
+
+
+class TestForwardedSubmissionAcks:
+    def test_submission_to_follower_still_resolves_ack(self):
+        """A stale leader map sends the submission to a follower; the
+        forward carries it to the leader, which acks the *origin* client
+        embedded in the message id — the handle resolves without a single
+        retransmission (retry disabled here on purpose)."""
+        config = ClusterConfig.build(2, 3, 1)
+        sim, trace, tracker, procs, session = build_session(config)
+        session.cur_leader[0] = 1  # wrong: pid 1 is a follower of g0
+        handle = session.submit({0, 1})
+        sim.run()
+        assert handle.acked and handle.completed
+        assert handle.acked_groups == {0, 1}
+        assert handle.retries == 0
+        # The redirect/ack traffic corrected the map for the next submit.
+        assert session.cur_leader[0] == 0
+
+
+class TestDeliveredLog:
+    def test_dense_sequences_compact_to_watermarks(self):
+        from repro.protocols.wbcast.state import DeliveredLog
+
+        log = DeliveredLog()
+        for seq in range(1000):
+            log.add((7, seq))
+        assert (7, 999) in log and (7, 0) in log
+        assert (7, 1000) not in log and (8, 0) not in log
+        assert len(log) == 1000
+        assert not log._sparse  # fully absorbed into the watermark
+
+    def test_out_of_order_residue_absorbs_later(self):
+        from repro.protocols.wbcast.state import DeliveredLog
+
+        log = DeliveredLog()
+        log.add((3, 2))
+        assert (3, 2) in log and (3, 0) not in log
+        log.add((3, 0))
+        log.add((3, 1))
+        assert not log._sparse and log._watermark[3] == 2
+
+    def test_update_merges_watermarks_and_residue(self):
+        from repro.protocols.wbcast.state import DeliveredLog
+
+        a, b = DeliveredLog(), DeliveredLog()
+        for seq in range(5):
+            a.add((1, seq))
+        b.add((1, 5))
+        b.add((2, 0))
+        a.update(b)
+        assert (1, 5) in a and (2, 0) in a
+        assert a._watermark[1] == 5  # residue contiguous with watermark
+
+    def test_snapshot_is_independent(self):
+        from repro.protocols.wbcast.state import DeliveredLog
+
+        log = DeliveredLog()
+        log.add((1, 0))
+        snap = log.snapshot()
+        log.add((1, 1))
+        assert (1, 1) in log and (1, 1) not in snap
+
+    def test_recovery_messages_stay_compact(self):
+        """The dedup table shipped in NEWLEADER_ACK is watermark-sized,
+        not one id per message ever delivered."""
+        res = run_workload(
+            WbCastProcess, num_groups=2, group_size=3, num_clients=2,
+            messages_per_client=20, dest_k=2, seed=5, network=ConstantDelay(DELTA),
+        )
+        assert res.all_done
+        leader = res.members[0]
+        snap = leader.delivered_ids.snapshot()
+        assert len(snap) == len(leader.delivered_ids)
+        # Dense session seqs: everything absorbed, residue empty or tiny.
+        assert sum(len(s) for s in snap._sparse.values()) <= 2
+
+
+class TestCliValidation:
+    def test_net_runtime_rejects_bad_linger_bounds(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "run", "--runtime", "net", "--batch-size", "4",
+            "--batch-linger", "0.001", "--min-linger", "0.01",
+            "--linger-mode", "adaptive",
+        ])
+        assert code == 2
+        assert "min-linger" in capsys.readouterr().err
+
+
+class TestWorkloadClientsAreThin:
+    def test_closed_loop_exposes_session_api(self):
+        res = run_workload(
+            WbCastProcess, num_groups=2, group_size=3, num_clients=1,
+            messages_per_client=4, dest_k=2, seed=0, network=ConstantDelay(DELTA),
+        )
+        client = res.clients[0]
+        assert isinstance(client, AmcastClient)
+        assert client.done
+        for mid in client.sent:
+            handle = client.handle_of(mid)
+            assert handle is not None and handle.completed and handle.acked
+
+    def test_no_duplicated_retry_logic(self):
+        """The old hand-rolled client retry helpers are gone for good."""
+        from repro.workload import clients as workload_clients
+        from repro.net import cluster as net_cluster
+
+        assert not hasattr(workload_clients, "_ClientBase")
+        assert not hasattr(net_cluster.LocalCluster, "resend")
+        assert not hasattr(net_cluster.LocalCluster, "_live_leader_guess")

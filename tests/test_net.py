@@ -49,13 +49,17 @@ class TestTcpWbCast:
             cluster = LocalCluster(config, WbCastProcess)
             await cluster.start()
             try:
-                m = cluster.multicast({0, 1}, payload="hello")
+                handle = cluster.multicast({0, 1}, payload="hello")
                 assert await cluster.wait_quiescent(6, timeout=5.0)
                 history = cluster.history()
                 failed = [c.describe() for c in check_all(history) if not c.ok]
                 assert not failed, failed
                 payloads = {mm.payload for _, mm, _ in cluster.deliveries}
                 assert payloads == {"hello"}
+                # The session resolved the handle: acked by both destination
+                # leaders, completed at partial delivery.
+                assert handle.completed
+                assert handle.acked_groups == {0, 1}
             finally:
                 await cluster.stop()
 
@@ -102,11 +106,10 @@ class TestTcpWbCast:
                 assert await cluster.wait_partial(m1.mid, timeout=5.0)
                 await cluster.kill(0)  # leader of group 0
                 await asyncio.sleep(0.6)  # let the detector elect a new one
+                # The session retransmits on its own (stable message id,
+                # broadcast fallback) — no manual resend API needed.
                 m2 = cluster.multicast({0, 1})
-                done = await cluster.wait_partial(m2.mid, timeout=5.0)
-                if not done:
-                    cluster.resend(m2)
-                    done = await cluster.wait_partial(m2.mid, timeout=5.0)
+                done = await cluster.wait_partial(m2.mid, timeout=8.0)
                 assert done
                 survivors = [
                     p for pid, p in cluster.processes.items()

