@@ -4,13 +4,30 @@ A conflicting message injected τ after ``m`` (over an adversarially fast
 link, with group 1's clock pre-skewed) delays m's delivery linearly in τ
 until the convoy window closes at 2δ — peaking just under the paper's 4δ
 worst case, double the collision-free 2δ.
+
+Beyond the paper, the batching/sharding ablation (``--batch-size`` /
+``--shards`` axes of ``python -m repro convoy``, recorded here into
+``results/convoy_batching.txt``) asks: *does batching widen the convoy
+window C?*  It does — a leader lingering a proposal for co-batched
+company delays its commit point, extending the interval in which a
+conflicting message can still take a lower timestamp by roughly the
+linger itself.
 """
 
 import pytest
 
 from conftest import run_once, save_result
 
-from repro.bench.convoy import format_convoy, run_convoy
+from repro.bench.convoy import (
+    ConvoyVariant,
+    format_convoy,
+    format_convoy_ablation,
+    run_convoy,
+    run_convoy_ablation,
+)
+from repro.bench.latency_table import DELTA
+from repro.config import BatchingOptions
+from repro.protocols import SkeenProcess, WbCastProcess
 
 
 def test_convoy_effect_fig2(benchmark):
@@ -26,3 +43,40 @@ def test_convoy_effect_fig2(benchmark):
     # ... and snaps back to 2δ once the window closes.
     after = [p.latency_delta for p in points if p.offset_delta >= 2.0]
     assert all(v == pytest.approx(2.0) for v in after)
+
+
+def test_convoy_batching_ablation(benchmark):
+    """The batching-enabled convoy ablation: C widens with the linger."""
+
+    def batched(linger_deltas):
+        return BatchingOptions(max_batch=8, max_linger=linger_deltas * DELTA)
+
+    variants = [
+        ConvoyVariant("skeen per-message", SkeenProcess),
+        ConvoyVariant("wbcast per-message", WbCastProcess),
+        ConvoyVariant("wbcast batch=8 linger=1δ", WbCastProcess, batched(1)),
+        ConvoyVariant("wbcast batch=8 linger=2δ", WbCastProcess, batched(2)),
+        ConvoyVariant("wbcast shards=2", WbCastProcess, shards=2),
+        ConvoyVariant(
+            "wbcast batch=8 linger=2δ shards=2", WbCastProcess, batched(2), shards=2
+        ),
+    ]
+    rows = run_once(benchmark, lambda: run_convoy_ablation(variants))
+    save_result("convoy_batching", format_convoy_ablation(rows))
+    by_label = {r.label: r for r in rows}
+    # The paper's baselines keep their shape.
+    assert by_label["skeen per-message"].base_delta == pytest.approx(2.0)
+    assert by_label["wbcast per-message"].base_delta == pytest.approx(3.0)
+    # Batching widens the convoy window, monotonically in the linger:
+    # the lingered proposal commits later, so the conflicting m' has
+    # roughly `linger` more time to sneak under m's global timestamp.
+    w0 = by_label["wbcast per-message"].window_delta
+    w1 = by_label["wbcast batch=8 linger=1δ"].window_delta
+    w2 = by_label["wbcast batch=8 linger=2δ"].window_delta
+    assert w0 < w1 < w2
+    assert w2 >= w0 + 1.5  # ≈ w0 + linger (2δ), with slack for grid step
+    # ...and it costs collision-free latency too (the linger itself).
+    assert (
+        by_label["wbcast batch=8 linger=2δ"].base_delta
+        > by_label["wbcast per-message"].base_delta
+    )

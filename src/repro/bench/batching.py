@@ -44,7 +44,7 @@ BATCH_SIZES = (1, 2, 4, 8, 16)
 
 @dataclass(frozen=True)
 class BatchingPoint:
-    """One (protocol, linger mode, batch, ingress batch, clients) point."""
+    """One (protocol, linger mode, batch, ingress, shards, clients) point."""
 
     protocol: str
     linger_mode: str
@@ -55,6 +55,11 @@ class BatchingPoint:
     mean_latency: float
     p95_latency: float
     completed: int
+    #: Ordering lanes per group (sharded multi-leader groups; 1 = paper).
+    shards: int = 1
+    #: SUBMIT_ACK-driven latency split: launch→acked and acked→delivered.
+    mean_ack_latency: float = float("nan")
+    mean_post_ack_latency: float = float("nan")
 
 
 @dataclass
@@ -67,6 +72,10 @@ class BatchingSweepConfig:
     #: submissions per destination leader, amortising the leader's
     #: per-message ingress CPU — the remaining saturation term after PR 2).
     ingress_batches: Sequence[int] = (1,)
+    #: Sharded multi-leader axis: ordering lanes per group (1 = the
+    #: paper's single leader per group, the saturation term left after
+    #: PR 3's ingress batching).
+    shards: Sequence[int] = (1,)
     client_counts: Sequence[int] = (100, 300)
     num_groups: int = 6
     group_size: int = 3
@@ -133,9 +142,10 @@ def run_point(
     clients: int,
     linger_mode: str = "fixed",
     ingress: int = 1,
+    shards: int = 1,
 ) -> BatchingPoint:
     # One measurement = one point of the generic sweep harness; only the
-    # protocol and the batching knobs vary between grid cells.
+    # protocol and the batching/sharding knobs vary between grid cells.
     point = sweep_run_point(
         PROTOCOLS[protocol],
         lambda config: lan_testbed(config, jitter=sweep.network_jitter),
@@ -150,6 +160,7 @@ def run_point(
             batching=batching_options(sweep, batch, linger_mode),
             client_window=sweep.client_window,
             ingress=ingress_options(sweep, ingress),
+            shards_per_group=shards,
         ),
         dest_k=sweep.dest_k,
         clients=clients,
@@ -164,6 +175,9 @@ def run_point(
         mean_latency=point.mean_latency,
         p95_latency=point.p95_latency,
         completed=point.completed,
+        shards=shards,
+        mean_ack_latency=point.mean_ack_latency,
+        mean_post_ack_latency=point.mean_post_ack_latency,
     )
 
 
@@ -171,14 +185,20 @@ def run_batching(sweep: Optional[BatchingSweepConfig] = None) -> List[BatchingPo
     sweep = sweep or default_sweep()
     points: List[BatchingPoint] = []
     for protocol in sweep.protocols:
+        sharding = getattr(PROTOCOLS[protocol], "SUPPORTS_SHARDING", False)
+        shard_counts = tuple(sweep.shards) if sharding else (1,)
         for batch in sweep.batch_sizes:
             modes = ("fixed",) if batch <= 1 else tuple(sweep.linger_modes)
             for mode in modes:
                 for ingress in sweep.ingress_batches:
-                    for clients in sweep.client_counts:
-                        points.append(
-                            run_point(sweep, protocol, batch, clients, mode, ingress)
-                        )
+                    for shards in shard_counts:
+                        for clients in sweep.client_counts:
+                            points.append(
+                                run_point(
+                                    sweep, protocol, batch, clients, mode,
+                                    ingress, shards,
+                                )
+                            )
     return points
 
 
@@ -187,14 +207,15 @@ def peak_throughputs(
     protocol: Optional[str] = None,
     linger_mode: Optional[str] = None,
     ingress: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> Dict[int, float]:
     """Best throughput per batch size across client counts.
 
     ``protocol`` filters to one protocol; ``linger_mode`` to one mode
     (the batch-1 per-message baseline, recorded with mode ``"-"``, always
     passes the mode filter so speedups stay comparable); ``ingress`` to
-    one client-side ingress batch size.  ``None`` keeps the all-points
-    behaviour.
+    one client-side ingress batch size; ``shards`` to one lane count.
+    ``None`` keeps the all-points behaviour.
     """
     peaks: Dict[int, float] = {}
     for p in points:
@@ -204,8 +225,26 @@ def peak_throughputs(
             continue
         if ingress is not None and p.ingress != ingress:
             continue
+        if shards is not None and p.shards != shards:
+            continue
         peaks[p.batch] = max(peaks.get(p.batch, 0.0), p.throughput)
     return peaks
+
+
+def shard_speedup(
+    points: List[BatchingPoint],
+    shards: int,
+    batch: int = 16,
+    ingress: int = 16,
+    protocol: Optional[str] = None,
+) -> float:
+    """Peak-throughput ratio of ``shards`` lanes over the single-leader
+    protocol at the same batching knobs (the sharding acceptance bar)."""
+    base = peak_throughputs(points, protocol=protocol, ingress=ingress, shards=1)
+    sharded = peak_throughputs(points, protocol=protocol, ingress=ingress, shards=shards)
+    if base.get(batch, 0.0) <= 0:
+        return float("nan")
+    return sharded.get(batch, 0.0) / base[batch]
 
 
 def peak_speedup(
@@ -229,9 +268,12 @@ def batching_table(points: List[BatchingPoint]) -> str:
             p.linger_mode,
             p.batch,
             p.ingress,
+            p.shards,
             p.clients,
             p.throughput,
             p.mean_latency * 1000,
+            p.mean_ack_latency * 1000,
+            p.mean_post_ack_latency * 1000,
             p.p95_latency * 1000,
             p.completed,
         )
@@ -243,9 +285,12 @@ def batching_table(points: List[BatchingPoint]) -> str:
             "linger",
             "batch",
             "ingress",
+            "shards",
             "clients",
             "msgs/s",
             "mean lat (ms)",
+            "ack leg (ms)",
+            "order leg (ms)",
             "p95 lat (ms)",
             "completed",
         ],
@@ -255,28 +300,51 @@ def batching_table(points: List[BatchingPoint]) -> str:
 
 
 def headline(points: List[BatchingPoint]) -> str:
-    # One line per (protocol, batch size); when several linger modes or
-    # ingress batch sizes were swept, one line per combination too —
-    # merging them would silently credit whichever axis won the peak.
+    # One line per (protocol, batch size); when several linger modes,
+    # ingress batch sizes or shard counts were swept, one line per
+    # combination too — merging them would silently credit whichever axis
+    # won the peak.
     modes = [m for m in dict.fromkeys(p.linger_mode for p in points) if m != "-"]
     ingresses = sorted({p.ingress for p in points})
+    shard_counts = sorted({p.shards for p in points})
     lines = []
     for protocol in dict.fromkeys(p.protocol for p in points):
         for mode in modes or [None]:
             for ingress in ingresses:
-                peaks = peak_throughputs(
-                    points, protocol=protocol, linger_mode=mode, ingress=ingress
+                for shards in shard_counts:
+                    peaks = peak_throughputs(
+                        points, protocol=protocol, linger_mode=mode,
+                        ingress=ingress, shards=shards,
+                    )
+                    base = peaks.get(1, 0.0)
+                    tag = f" [{mode}]" if len(modes) > 1 else ""
+                    itag = f" ingress={ingress}" if len(ingresses) > 1 else ""
+                    stag = f" shards={shards}" if len(shard_counts) > 1 else ""
+                    for batch in sorted(peaks):
+                        if batch == 1 or base <= 0:
+                            continue
+                        lines.append(
+                            f"{protocol}{tag}{itag}{stag} batch={batch}: "
+                            f"peak {peaks[batch]:,.0f} msgs/s "
+                            f"({peaks[batch] / base:.2f}x over per-message)"
+                        )
+    # The sharding acceptance bar: lanes vs the single leader at the same
+    # (largest) batching knobs.
+    if len(shard_counts) > 1:
+        batch = max(p.batch for p in points)
+        ingress = max(ingresses)
+        for protocol in dict.fromkeys(p.protocol for p in points):
+            for shards in shard_counts:
+                if shards == 1:
+                    continue
+                ratio = shard_speedup(
+                    points, shards, batch=batch, ingress=ingress, protocol=protocol
                 )
-                base = peaks.get(1, 0.0)
-                tag = f" [{mode}]" if len(modes) > 1 else ""
-                itag = f" ingress={ingress}" if len(ingresses) > 1 else ""
-                for batch in sorted(peaks):
-                    if batch == 1 or base <= 0:
-                        continue
+                if ratio == ratio:  # skip NaN (protocol without sharding)
                     lines.append(
-                        f"{protocol}{tag}{itag} batch={batch}: "
-                        f"peak {peaks[batch]:,.0f} msgs/s "
-                        f"({peaks[batch] / base:.2f}x over per-message)"
+                        f"{protocol} shards={shards}: "
+                        f"{ratio:.2f}x peak over single-leader "
+                        f"(batch {batch}, ingress {ingress})"
                     )
     return "\n".join(lines)
 
@@ -326,6 +394,38 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         "raise it to give ingress batches company to coalesce with)",
     )
     parser.add_argument(
+        "--shards",
+        type=_int_list,
+        default=None,
+        metavar="N[,N...]",
+        help="sharded multi-leader axis: ordering lanes per group to "
+        "sweep, e.g. '1,4' (default: 1 — the paper's single leader per "
+        "group; applies to protocols with sharding support, today WbCast)",
+    )
+    parser.add_argument(
+        "--group-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="members per group (odd, default 3; the sharding ablation "
+        "uses 5 so four lanes deal onto four distinct members)",
+    )
+    parser.add_argument(
+        "--clients",
+        type=_int_list,
+        default=None,
+        metavar="N[,N...]",
+        help="client-count axis override (default: 100,300; peaks need "
+        "deeper saturation, e.g. '300,600,1000')",
+    )
+    parser.add_argument(
+        "--batch-sizes",
+        type=_int_list,
+        default=None,
+        metavar="N[,N...]",
+        help="batch-size axis override (default: 1,2,4,8,16)",
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
         help="CI smoke grid (per-message vs one batched point)",
@@ -344,6 +444,14 @@ def sweep_from_args(args: argparse.Namespace) -> BatchingSweepConfig:
         sweep = replace(sweep, ingress_batches=args.ingress_batch)
     if args.client_window is not None:
         sweep = replace(sweep, client_window=max(1, args.client_window))
+    if args.shards is not None:
+        sweep = replace(sweep, shards=args.shards)
+    if args.group_size is not None:
+        sweep = replace(sweep, group_size=args.group_size)
+    if args.clients is not None:
+        sweep = replace(sweep, client_counts=args.clients)
+    if args.batch_sizes is not None:
+        sweep = replace(sweep, batch_sizes=args.batch_sizes)
     return sweep
 
 

@@ -9,14 +9,24 @@ latency from 2δ to 4δ.
 We sweep the arrival offset of m' and report m's delivery latency at each
 offset, showing the characteristic step: 2δ without interference, rising
 towards 4δ as m' arrives ever closer to m's commit point.
+
+Beyond the paper: :func:`run_convoy` takes batching and sharding knobs,
+and :func:`run_convoy_ablation` sweeps them — *does batching widen the
+convoy window C?*  A leader lingering a proposal for co-batched company
+delays its commit point by up to the linger, which extends the interval
+in which a conflicting ``m'`` can still sneak under ``m``'s global
+timestamp; sharding instead routes ``m`` and ``m'`` to hash-chosen lanes,
+so the collision only forms when they share one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Type
+from typing import List, Optional, Sequence, Type
 
+from ..config import BatchingOptions
 from ..protocols.skeen import SkeenProcess
+from .harness import apply_batching
 from .latency_table import DELTA, _FastLink, _build
 from .report import render_table
 
@@ -31,8 +41,13 @@ def run_convoy(
     protocol_cls: Optional[Type] = None,
     delta: float = DELTA,
     offsets: Optional[List[float]] = None,
+    batching: Optional[BatchingOptions] = None,
+    shards: int = 1,
 ) -> List[ConvoyPoint]:
     protocol_cls = protocol_cls or SkeenProcess
+    options = (
+        apply_batching(protocol_cls, None, batching) if batching is not None else None
+    )
     if offsets is None:
         offsets = [i * 0.25 for i in range(0, 17)]  # 0δ .. 4δ
     t0 = 20 * delta
@@ -44,6 +59,8 @@ def run_convoy(
             protocol_cls,
             _FastLink(delta, fast_src=None, fast_dst=None, eps=delta / 1000),
             [warmup, [(t0, (0, 1))], [(t0 + tau, (0, 1))]],
+            options=options,
+            shards_per_group=shards,
         )
         # The fast link races m' from its client to group 0's leader.
         network = _FastLink(delta, fast_src=config.clients[2], fast_dst=0, eps=delta / 1000)
@@ -53,6 +70,88 @@ def run_convoy(
         latency = tracker.latency(mid)
         points.append(ConvoyPoint(off, latency / delta if latency else float("nan")))
     return points
+
+
+def convoy_window(points: List[ConvoyPoint], tolerance: float = 0.05) -> float:
+    """The convoy window C in δ: the widest injection offset still
+    observed inflating m's latency beyond the collision-free baseline.
+
+    When even the sweep's largest offset is inflated, the window never
+    closed within the sweep — the honest answer is ``inf`` (right-
+    censored), not the sweep edge masquerading as a measurement.
+    """
+    finite = [p for p in points if p.latency_delta == p.latency_delta]
+    if not finite:
+        return float("nan")
+    base = min(p.latency_delta for p in finite)
+    inflated = [p.offset_delta for p in finite if p.latency_delta > base + tolerance]
+    if not inflated:
+        return 0.0
+    if max(inflated) >= max(p.offset_delta for p in finite):
+        return float("inf")
+    return max(inflated)
+
+
+@dataclass(frozen=True)
+class ConvoyVariant:
+    """One row of the batching/sharding convoy ablation."""
+
+    label: str
+    protocol_cls: Type
+    batching: Optional[BatchingOptions] = None
+    shards: int = 1
+
+
+@dataclass(frozen=True)
+class ConvoyAblationRow:
+    label: str
+    base_delta: float  # collision-free latency (δ)
+    worst_delta: float  # worst latency under the adversarial m' (δ)
+    window_delta: float  # convoy window C (δ)
+
+
+def run_convoy_ablation(
+    variants: Sequence[ConvoyVariant],
+    delta: float = DELTA,
+    sweep_to: float = 8.0,
+    step: float = 0.25,
+) -> List[ConvoyAblationRow]:
+    offsets = [i * step for i in range(int(sweep_to / step) + 1)]
+    rows: List[ConvoyAblationRow] = []
+    for v in variants:
+        points = run_convoy(
+            v.protocol_cls, delta, offsets, batching=v.batching, shards=v.shards
+        )
+        finite = [p.latency_delta for p in points if p.latency_delta == p.latency_delta]
+        rows.append(
+            ConvoyAblationRow(
+                label=v.label,
+                base_delta=min(finite) if finite else float("nan"),
+                worst_delta=max(finite) if finite else float("nan"),
+                window_delta=convoy_window(points),
+            )
+        )
+    return rows
+
+
+def format_convoy_ablation(rows: List[ConvoyAblationRow]) -> str:
+    def window(value: float) -> str:
+        if value == float("inf"):
+            return "unclosed in sweep"
+        return str(round(value, 3))
+
+    return render_table(
+        ["variant", "collision-free (δ)", "worst (δ)", "window C (δ)"],
+        [
+            (r.label, round(r.base_delta, 3), round(r.worst_delta, 3),
+             window(r.window_delta))
+            for r in rows
+        ],
+        title=(
+            "Convoy ablation — does batching widen the convoy window C? "
+            "(adversarial m' offset sweep, Fig. 2 construction)"
+        ),
+    )
 
 
 def format_convoy(points: List[ConvoyPoint], protocol_name: str = "Skeen") -> str:
@@ -66,13 +165,90 @@ def format_convoy(points: List[ConvoyPoint], protocol_name: str = "Skeen") -> st
     )
 
 
-def main() -> None:
-    points = run_convoy()
-    print(format_convoy(points))
-    worst = max(p.latency_delta for p in points)
-    base = min(p.latency_delta for p in points)
-    print(f"\ncollision-free: {base:.2f}δ, worst under collision: {worst:.2f}δ "
-          f"(paper: 2δ → 4δ)")
+def add_arguments(parser) -> None:
+    """The sweep's options — shared with the ``repro convoy`` subcommand
+    so the two entry points can never drift."""
+    from ..protocols import PROTOCOLS
+
+    def positive_int(text):
+        import argparse
+
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+        return value
+
+    def nonneg_float(text):
+        import argparse
+
+        value = float(text)
+        if value < 0:
+            raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+        return value
+
+    parser.add_argument("--protocol", choices=sorted(PROTOCOLS), default="skeen")
+    parser.add_argument("--batch-size", type=positive_int, default=1, metavar="N",
+                        help="leader-side batch size (1: per-message protocol)")
+    parser.add_argument("--batch-linger", type=nonneg_float, default=0.0,
+                        metavar="SECS",
+                        help="leader-side linger; the knob that widens C")
+    parser.add_argument("--shards", type=positive_int, default=1, metavar="S",
+                        help="ordering lanes per group (wbcast)")
+
+
+def run_main(args) -> None:
+    """Run the sweep for an already-parsed argument namespace."""
+    import sys
+
+    from ..protocols import PROTOCOLS
+
+    protocol_cls = PROTOCOLS[args.protocol]
+    batches = getattr(protocol_cls, "SUPPORTS_BATCHING", False)
+    shards_supported = getattr(protocol_cls, "SUPPORTS_SHARDING", False)
+    batching = None
+    if args.batch_size > 1 or args.batch_linger > 0:
+        if batches:
+            batching = BatchingOptions(
+                max_batch=max(1, args.batch_size), max_linger=args.batch_linger
+            )
+        else:
+            print(
+                f"note: --batch-size/--batch-linger have no effect on "
+                f"{args.protocol} (no batching support)",
+                file=sys.stderr,
+            )
+    shards = args.shards
+    if shards > 1 and not shards_supported:
+        print(
+            f"note: --shards has no effect on {args.protocol} "
+            "(no sharding support)",
+            file=sys.stderr,
+        )
+        shards = 1
+    points = run_convoy(protocol_cls, batching=batching, shards=shards)
+    # Label only the knobs that actually applied, so a recorded table
+    # never claims a configuration the run did not execute.
+    name = args.protocol
+    if batching is not None:
+        name += f" batch={args.batch_size} linger={args.batch_linger}s"
+    if shards > 1:
+        name += f" shards={shards}"
+    print(format_convoy(points, name))
+    finite = [p.latency_delta for p in points if p.latency_delta == p.latency_delta]
+    print(f"\ncollision-free: {min(finite):.2f}δ, worst under collision: "
+          f"{max(finite):.2f}δ, window C: {convoy_window(points):.2f}δ "
+          f"(paper, Skeen per-message: 2δ → 4δ)")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro convoy",
+        description="Fig. 2 convoy-effect sweep (with batching/sharding axes)",
+    )
+    add_arguments(parser)
+    run_main(parser.parse_args(argv))
 
 
 if __name__ == "__main__":

@@ -51,6 +51,24 @@ class RunResult:
     def latencies(self) -> List[float]:
         return sorted(self.tracker.latencies().values())
 
+    def completed_handles(self) -> List[Any]:
+        """Every completed :class:`~repro.client.SubmitHandle` still
+        retained by the sessions (all of them, at bench retention)."""
+        handles = []
+        for client in self.clients:
+            for mid, _ in client.completed:
+                h = client.handle_of(mid)
+                if h is not None:
+                    handles.append(h)
+        return handles
+
+    def latency_split(self):
+        """End-to-end latency split at the SUBMIT_ACK boundary (see
+        :func:`repro.bench.metrics.split_latencies`)."""
+        from .metrics import split_latencies
+
+        return split_latencies(self.completed_handles())
+
     def throughput(self) -> float:
         """Completed multicasts per second of virtual time."""
         if self.duration <= 0:

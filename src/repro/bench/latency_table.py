@@ -65,16 +65,27 @@ def _group_size_for(protocol_cls) -> int:
     return 1 if protocol_cls.__name__ == "SkeenProcess" else 3
 
 
-def _build(protocol_cls, network, schedules, num_groups: int = 2):
+def _build(
+    protocol_cls,
+    network,
+    schedules,
+    num_groups: int = 2,
+    options=None,
+    shards_per_group: int = 1,
+):
     """One simulator with OneShot clients following ``schedules``."""
     group_size = _group_size_for(protocol_cls)
-    config = ClusterConfig.build(num_groups, group_size, len(schedules))
+    config = ClusterConfig.build(
+        num_groups, group_size, len(schedules), shards_per_group=shards_per_group
+    )
     trace = Trace()
     sim = Simulator(network, seed=0, trace=trace)
     tracker = DeliveryTracker(config, sim=sim)
     trace.attach(tracker)
     for pid in config.all_members:
-        sim.add_process(pid, lambda rt, p=pid: protocol_cls(p, config, rt, options=None))
+        sim.add_process(
+            pid, lambda rt, p=pid: protocol_cls(p, config, rt, options=options)
+        )
     clients = []
     for pid, schedule in zip(config.clients, schedules):
         clients.append(

@@ -1,10 +1,20 @@
-"""Latency and throughput summaries for benchmark output."""
+"""Latency and throughput summaries for benchmark output.
+
+Besides the end-to-end (submit → partial delivery) summaries, the module
+splits client-perceived latency at the ``SUBMIT_ACK`` boundary: the
+*ack* leg (launch → every ingress leader acknowledged the submission)
+prices the ingress path — wire hops, leader inbox queueing, dedup — while
+the *post-ack* leg (ack → first delivery in every destination group)
+prices the ordering machinery itself.  Under batching the split shows
+where a linger knob buys its throughput: client-side coalescing stretches
+the ack leg, leader-side batching the post-ack leg.
+"""
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Iterable, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -55,3 +65,47 @@ def summarize_latencies(latencies: Sequence[float]) -> Optional[LatencySummary]:
 def in_delta_units(seconds: float, delta: float) -> float:
     """Convert a latency to multiples of the one-way delay δ."""
     return seconds / delta if delta > 0 else math.nan
+
+
+@dataclass(frozen=True)
+class LatencySplit:
+    """End-to-end latency split at the ``SUBMIT_ACK`` boundary.
+
+    ``ack`` summarises launch → fully acked; ``post_ack`` acked → first
+    delivery in every destination group.  Either side may be ``None``
+    when no handle carried the corresponding stamps (e.g. a run whose
+    handles never resolved an ack before completing).
+    """
+
+    ack: Optional[LatencySummary]
+    post_ack: Optional[LatencySummary]
+
+
+def split_latencies(handles: Iterable) -> LatencySplit:
+    """Split completed :class:`~repro.client.SubmitHandle` latencies.
+
+    Handles that completed without ever being fully acked (every ack
+    outran by the deliveries, or the acking leader died) contribute to
+    neither leg — the split reports what the ack traffic actually
+    measured rather than guessing.
+    """
+    ack: list = []
+    post_ack: list = []
+    for h in handles:
+        if h.completed_at is None or h.launched_at is None:
+            continue
+        if h.acked_at is None:
+            continue
+        ack.append(h.acked_at - h.launched_at)
+        post_ack.append(max(0.0, h.completed_at - h.acked_at))
+    return LatencySplit(
+        ack=summarize_latencies(ack), post_ack=summarize_latencies(post_ack)
+    )
+
+
+def mean_split(split: LatencySplit) -> Tuple[float, float]:
+    """(mean ack leg, mean post-ack leg) in seconds; NaN when unmeasured."""
+    return (
+        split.ack.mean if split.ack else math.nan,
+        split.post_ack.mean if split.post_ack else math.nan,
+    )

@@ -36,6 +36,10 @@ class SweepPoint:
     p95_latency: float
     throughput: float
     completed: int
+    #: SUBMIT_ACK-driven split of the end-to-end latency: launch → fully
+    #: acked, and acked → first delivery everywhere (NaN when unmeasured).
+    mean_ack_latency: float = float("nan")
+    mean_post_ack_latency: float = float("nan")
 
 
 @dataclass
@@ -57,6 +61,9 @@ class SweepConfig:
     #: Client-side ingress coalescing knobs (None: one MULTICAST per
     #: message, the paper's wire protocol).
     ingress: Optional[BatchingOptions] = None
+    #: Ordering lanes per group (1 = the paper's single leader; honoured
+    #: by protocols declaring SUPPORTS_SHARDING, ignored by the rest).
+    shards_per_group: int = 1
 
 
 def full_sweep_enabled() -> bool:
@@ -71,7 +78,12 @@ def run_point(
     dest_k: int,
     clients: int,
 ) -> SweepPoint:
-    config = ClusterConfig.build(sweep.num_groups, sweep.group_size, clients)
+    config = ClusterConfig.build(
+        sweep.num_groups,
+        sweep.group_size,
+        clients,
+        shards_per_group=sweep.shards_per_group,
+    )
     network = topology_factory(config)
     cpu = UniformCpu(sweep.cpu_cost, jitter=sweep.cpu_jitter)
     result = run_workload(
@@ -92,6 +104,9 @@ def run_point(
         drain_grace=0.0,
     )
     summary = summarize_latencies(result.latencies())
+    from .metrics import mean_split
+
+    ack_mean, post_ack_mean = mean_split(result.latency_split())
     return SweepPoint(
         protocol=protocol_cls.__name__,
         dest_k=dest_k,
@@ -100,6 +115,8 @@ def run_point(
         p95_latency=summary.p95 if summary else float("nan"),
         throughput=result.throughput(),
         completed=result.completed,
+        mean_ack_latency=ack_mean,
+        mean_post_ack_latency=post_ack_mean,
     )
 
 

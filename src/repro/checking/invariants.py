@@ -68,9 +68,19 @@ class WbCastInvariantMonitor:
     # -- trace hooks ---------------------------------------------------------
 
     def on_send(self, rec) -> None:
-        from ..protocols.wbcast.messages import AcceptAckMsg, AcceptMsg, DeliverMsg
+        from ..protocols.wbcast.messages import (
+            AcceptAckMsg,
+            AcceptMsg,
+            DeliverMsg,
+            LaneMsg,
+        )
 
         msg = rec.msg
+        while isinstance(msg, LaneMsg):
+            # Sharded lane traffic: the invariants hold per lane on the
+            # inner messages (timestamps carry the lane in their tie-break
+            # component, so cross-lane checks compose without extra keys).
+            msg = msg.inner
         if isinstance(msg, AcceptMsg):
             self._check_inv1(msg)
         elif isinstance(msg, AcceptAckMsg):
@@ -157,6 +167,11 @@ class WbCastInvariantMonitor:
                 proc = self.processes.get(pid)
                 if proc is None:
                     continue
+                if hasattr(proc, "lane_for"):
+                    # Sharded member: the per-message state (records,
+                    # cballot) lives in the lane that owns ``mid``; the
+                    # clock clause still reads the shared process clock.
+                    proc = proc.lane_for(mid)
                 if not proc.cballot > bal:
                     continue
                 rec = proc.records.get(mid)

@@ -95,6 +95,55 @@ def projection(history: History, order: List[MessageId], gid: int) -> List[Messa
     return out
 
 
+def projection_by_lane(history: History, order: List[MessageId], lane: int) -> List[MessageId]:
+    """The witness order restricted to one ordering lane of a sharded
+    cluster (``ClusterConfig.lane_of`` names each message's lane)."""
+    return [mid for mid in order if history.config.lane_of(mid) == lane]
+
+
+def verify_lane_projections(history: History, order: List[MessageId]) -> List[str]:
+    """Check every process's delivery sequence lane by lane.
+
+    Each process's deliveries restricted to one lane must follow the
+    witness order, and the interleaving *across* lanes must too (the
+    merged sequence is exactly the per-process check of
+    :func:`verify_witness`).  The per-lane restriction is implied by the
+    global property — its value is diagnostic: a failure here names the
+    lane whose stream went astray, separating lane-routing bugs from
+    cross-lane merge bugs.
+    """
+    violations: List[str] = []
+    position = {mid: i for i, mid in enumerate(order)}
+    shards = history.config.shards_per_group
+    for pid in history.deliveries:
+        seq = history.delivery_order(pid)
+        for lane in range(shards):
+            indices = [
+                position[mid]
+                for mid in seq
+                if mid in position and history.config.lane_of(mid) == lane
+            ]
+            if indices != sorted(indices):
+                violations.append(
+                    f"{pid}: lane-{lane} delivery subsequence deviates from the witness"
+                )
+        merged = [position[mid] for mid in seq if mid in position]
+        if merged != sorted(merged):
+            violations.append(
+                f"{pid}: cross-lane interleaving deviates from the witness order"
+            )
+    return violations
+
+
+def lane_statistics(history: History) -> Dict[int, int]:
+    """Delivered-message count per ordering lane (for balance checks)."""
+    counts: Dict[int, int] = {}
+    for mid in history.delivered_anywhere():
+        lane = history.config.lane_of(mid)
+        counts[lane] = counts.get(lane, 0) + 1
+    return counts
+
+
 def order_statistics(history: History) -> Dict[str, float]:
     """Quick shape metrics of a run's order (for reports and debugging)."""
     order = witness_order(history)

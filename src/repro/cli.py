@@ -60,6 +60,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             "AmcastClient session API")
     run_p.add_argument("--groups", type=int, default=3)
     run_p.add_argument("--group-size", type=int, default=3)
+    run_p.add_argument("--shards", type=_positive_int, default=1, metavar="S",
+                       help="ordering lanes per group (sharded multi-leader "
+                            "groups: each lane has its own leader, timestamps "
+                            "and recovery; 1 keeps the paper's single leader; "
+                            "honoured by protocols with sharding support, "
+                            "today wbcast)")
     run_p.add_argument("--clients", type=int, default=2)
     run_p.add_argument("--messages", type=int, default=10)
     run_p.add_argument("--dest-k", type=int, default=2)
@@ -105,7 +111,13 @@ def _build_parser() -> argparse.ArgumentParser:
     flow_p.add_argument("--lanes", action="store_true", help="lane diagram view")
 
     sub.add_parser("latency-table", help="CFL/FFL table (Theorems 3-4)")
-    sub.add_parser("convoy", help="Fig. 2 convoy-effect sweep")
+    convoy_p = sub.add_parser(
+        "convoy",
+        help="Fig. 2 convoy-effect sweep "
+             "(--protocol/--batch-size/--batch-linger/--shards axes)")
+    from .bench.convoy import add_arguments as add_convoy_arguments
+
+    add_convoy_arguments(convoy_p)  # one option set for both entry points
     sub.add_parser("figure7", help="Fig. 7 LAN sweep (REPRO_BENCH_FULL=1 for full grid)")
     sub.add_parser("figure8", help="Fig. 8 WAN sweep (REPRO_BENCH_FULL=1 for full grid)")
     sub.add_parser("ablations", help="speculation / genuineness / group-size ablations")
@@ -179,7 +191,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     group_size = 1 if args.protocol == "skeen" else args.group_size
     from .config import ClusterConfig
 
-    config = ClusterConfig.build(args.groups, group_size, args.clients)
+    if args.shards > 1 and not getattr(protocol_cls, "SUPPORTS_SHARDING", False):
+        print(
+            f"note: --shards has no effect on {args.protocol} "
+            "(no sharding support); running single-leader groups",
+            file=sys.stderr,
+        )
+    config = ClusterConfig.build(
+        args.groups, group_size, args.clients, shards_per_group=args.shards
+    )
     if args.runtime == "net":
         return _cmd_run_net(args, protocol_cls, config)
     if args.topology == "lan":
@@ -217,6 +237,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     print(f"protocol  : {args.protocol}")
     print(f"cluster   : {args.groups} groups x {group_size}, {args.clients} clients")
+    if config.shards_per_group > 1:
+        print(
+            f"sharding  : {config.shards_per_group} ordering lanes/group "
+            f"(lane leaders dealt round-robin over members)"
+        )
     _print_ingress(ingress)
     if batching is not None:
         supported = getattr(protocol_cls, "SUPPORTS_BATCHING", False)
@@ -315,6 +340,8 @@ def _cmd_run_net(args: argparse.Namespace, protocol_cls, config) -> int:
         f"cluster   : {args.groups} groups x "
         f"{len(config.members(0))}, 1 session, {total} submissions"
     )
+    if config.shards_per_group > 1:
+        print(f"sharding  : {config.shards_per_group} ordering lanes/group")
     _print_ingress(ingress)
     print(f"completed : {completed}/{total}")
     ok = True
@@ -358,7 +385,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "convoy":
         from .bench import convoy
 
-        convoy.main()
+        convoy.run_main(args)
     elif args.command == "figure7":
         from .bench import figure7
 

@@ -168,6 +168,21 @@ class AmcastClient(ProtocolProcess):
         #: Believed current leader per group, corrected by ack/redirect
         #: traffic — submissions never guess from liveness heuristics.
         self.cur_leader: Dict[GroupId, ProcessId] = config.default_leaders()
+        #: Sharded clusters (protocols that honour ``shards_per_group``)
+        #: run several ordering lanes per group, each with its own leader;
+        #: submissions then route per (group, lane-of-message) and acks
+        #: teach us leaders per (group, lane).  Protocols without sharding
+        #: support collapse to one lane regardless of the config knob.
+        self.shards: int = (
+            config.shards_per_group
+            if getattr(protocol_cls, "SUPPORTS_SHARDING", False)
+            else 1
+        )
+        self.lane_leader: Dict[Tuple[GroupId, int], ProcessId] = {
+            (g, lane): config.lane_leader(g, lane)
+            for g in config.group_ids
+            for lane in range(self.shards)
+        }
         self.sent: List[MessageId] = []
         self.completed: List[Tuple[MessageId, float]] = []
         self._seq = 0
@@ -227,28 +242,39 @@ class AmcastClient(ProtocolProcess):
         self.runtime.record_multicast(m)
         self.tracker.expect(m, handle.launched_at, self._on_partial_delivery)
         self.sent.append(m.mid)
+        lane = self.config.lane_of(m.mid) if self.shards > 1 else 0
         for g in sorted(handle.required_acks):
-            self._batcher.add(g, m)
+            # Coalescing key: ingress group, refined by ordering lane on
+            # sharded clusters so every wire batch lands wholly at one
+            # lane leader (the batch stays a per-leader projection).
+            self._batcher.add(g if self.shards == 1 else (g, lane), m)
         if self.session_options.retry_timeout is not None:
             self._retry_handles[m.mid] = self.runtime.set_timer(
                 self.session_options.retry_timeout,
                 lambda h=handle: self._retry(h),
             )
 
-    def _flush_ingress(self, gid: GroupId, messages: List[AmcastMessage]):
-        """Batcher flush callback: one wire message to ``gid``'s leader.
+    def _flush_ingress(self, key, messages: List[AmcastMessage]):
+        """Batcher flush callback: one wire message to the keyed leader.
 
-        A single pending message keeps the paper's per-message
-        ``MULTICAST``; companions share one ``MULTICAST_BATCH``.
+        ``key`` is the ingress group (plain sessions) or a (group, lane)
+        pair (sharded clusters).  A single pending message keeps the
+        paper's per-message ``MULTICAST``; companions share one
+        ``MULTICAST_BATCH``.
         """
+        gid, lane = key if isinstance(key, tuple) else (key, 0)
         if len(messages) == 1:
             wire = MulticastMsg(messages[0])
         else:
             wire = MulticastBatchMsg(tuple(messages))
-        self.send(self._leader_of(gid), wire)
+        self.send(self._leader_of(gid, lane), wire)
         return None  # no pipelining at the ingress: acks gate via retries
 
-    def _leader_of(self, gid: GroupId) -> ProcessId:
+    def _leader_of(self, gid: GroupId, lane: int = 0) -> ProcessId:
+        if self.shards > 1:
+            return self.lane_leader.get(
+                (gid, lane), self.config.lane_leader(gid, lane)
+            )
         return self.cur_leader.get(gid, self.config.default_leader(gid))
 
     # -- retransmission ----------------------------------------------------
@@ -272,11 +298,12 @@ class AmcastClient(ProtocolProcess):
             # still hangs (an ack is not durable — the leader may have
             # died right after sending it), re-target every ingress
             # leader rather than sending nothing this cycle.
+            lane = self.config.lane_of(m.mid) if self.shards > 1 else 0
             groups = sorted(handle.required_acks - handle.acked_groups) or sorted(
                 handle.required_acks
             )
             for g in groups:
-                self.send(self._leader_of(g), wire)
+                self.send(self._leader_of(g, lane), wire)
         else:
             for g in sorted(handle.required_acks):
                 for pid in self.config.members(g):
@@ -289,6 +316,7 @@ class AmcastClient(ProtocolProcess):
 
     def _on_submit_ack(self, sender: ProcessId, msg: SubmitAckMsg) -> None:
         self.cur_leader[msg.gid] = msg.leader
+        self.lane_leader[(msg.gid, msg.lane)] = msg.leader
         for mid in msg.acked:
             handle = self._handles.get(mid)
             if handle is None or handle.acked:
@@ -302,6 +330,7 @@ class AmcastClient(ProtocolProcess):
 
     def _on_submit_redirect(self, sender: ProcessId, msg: SubmitRedirectMsg) -> None:
         self.cur_leader[msg.gid] = msg.leader
+        self.lane_leader[(msg.gid, msg.lane)] = msg.leader
 
     def _on_partial_delivery(self, mid: MessageId, t: float) -> None:
         handle = self._handles.get(mid)

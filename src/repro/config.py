@@ -105,13 +105,26 @@ class ClusterConfig:
         batching: cluster-wide default batching knobs for protocols that
             support leader-side batching (``None``: batching off unless a
             process's own options say otherwise).
+        shards_per_group: number of intra-group ordering lanes (shards)
+            run by protocols that support sharding.  Each lane has its own
+            leader (``lane_leader``), timestamp counter and replicated
+            per-message state; a message's lane is a stable hash of its id
+            (``lane_of``), identical in every destination group, so the
+            lane partition is consistent cluster-wide.  1 (the default) is
+            the paper's one-leader-per-group protocol; protocols without
+            sharding support ignore the knob.
     """
 
     groups: Tuple[Tuple[ProcessId, ...], ...]
     clients: Tuple[ProcessId, ...] = ()
     batching: Optional[BatchingOptions] = None
+    shards_per_group: int = 1
 
     def __post_init__(self) -> None:
+        if self.shards_per_group < 1:
+            raise ConfigError(
+                f"shards_per_group must be >= 1, got {self.shards_per_group}"
+            )
         seen: set = set()
         if not self.groups:
             raise ConfigError("a cluster needs at least one group")
@@ -139,6 +152,7 @@ class ClusterConfig:
         group_size: int,
         num_clients: int = 0,
         batching: Optional[BatchingOptions] = None,
+        shards_per_group: int = 1,
     ) -> "ClusterConfig":
         """Build the canonical dense-ids layout used throughout the repo."""
         if group_size % 2 == 0 or group_size < 1:
@@ -149,7 +163,12 @@ class ClusterConfig:
             groups.append(tuple(range(pid, pid + group_size)))
             pid += group_size
         clients = tuple(range(pid, pid + num_clients))
-        return ClusterConfig(groups=tuple(groups), clients=clients, batching=batching)
+        return ClusterConfig(
+            groups=tuple(groups),
+            clients=clients,
+            batching=batching,
+            shards_per_group=shards_per_group,
+        )
 
     # -- queries ----------------------------------------------------------
 
@@ -198,6 +217,51 @@ class ClusterConfig:
 
     def leaders_for(self, dests: Iterable[GroupId]) -> List[ProcessId]:
         return [self.default_leader(g) for g in sorted(set(dests))]
+
+    # -- intra-group sharding (ordering lanes) -----------------------------
+
+    #: Consecutive sequence numbers of one origin share a lane in blocks
+    #: of this size.  Lane-coherent blocks keep a session's window burst
+    #: on one lane leader, so client ingress batches and the leader's
+    #: ACCEPT batches fill exactly as in the unsharded protocol (hashing
+    #: per message would shred every batch S ways); different origins —
+    #: and successive blocks of one origin — still spread over all lanes.
+    LANE_BLOCK = 16
+
+    def lane_of(self, mid: Tuple[int, int]) -> int:
+        """The ordering lane a message id maps to: a stable hash, identical
+        at every process (no reliance on Python's randomized ``hash``).
+
+        The same lane index is used in *every* destination group, so one
+        message involves exactly one lane per group and the per-lane
+        timestamp partition stays consistent cluster-wide.
+        """
+        shards = self.shards_per_group
+        if shards <= 1:
+            return 0
+        origin, seq = mid
+        return (origin * 2654435761 + (seq // self.LANE_BLOCK) * 40503) % shards
+
+    def lane_leader(self, gid: GroupId, lane: int) -> ProcessId:
+        """The initial leader of lane ``lane`` in group ``gid``: lanes are
+        dealt round-robin across the group's members, so the per-message
+        leader work of a saturated group spreads over all of them."""
+        members = self.groups[gid]
+        return members[lane % len(members)]
+
+    def lane_leaders(self, lane: int) -> Dict[GroupId, ProcessId]:
+        """Initial lane-``lane`` leader of every group (lane 0 of an
+        unsharded cluster is exactly :meth:`default_leaders`)."""
+        return {gid: self.lane_leader(gid, lane) for gid in self.group_ids}
+
+    def lane_timestamp_group(self, gid: GroupId, lane: int) -> int:
+        """The tie-break component lane ``lane`` of group ``gid`` stamps
+        into its timestamps.  Lanes of one group must issue distinct
+        timestamps (each lane runs an independent logical clock), so the
+        group component of a :class:`~repro.types.Timestamp` becomes a
+        dense (group, lane) encoding; with one shard it degenerates to the
+        plain group id, keeping unsharded timestamps byte-identical."""
+        return gid * self.shards_per_group + lane
 
     # -- internals --------------------------------------------------------
 

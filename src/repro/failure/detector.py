@@ -27,9 +27,15 @@ from ..types import GroupId, ProcessId
 
 @dataclass(frozen=True, slots=True)
 class HeartbeatMsg:
-    """``HEARTBEAT``: the sender claims to lead group ``gid``."""
+    """``HEARTBEAT``: the sender claims to lead group ``gid``.
+
+    ``lane`` scopes the claim to one ordering lane of a sharded group
+    (always 0 for unsharded protocols): each lane elects independently,
+    so each lane's leadership is monitored independently too.
+    """
 
     gid: GroupId
+    lane: int = 0
 
 
 @dataclass(frozen=True)
@@ -70,14 +76,14 @@ class LeaderMonitor:
 
     def _beat_tick(self) -> None:
         if self.proc.is_leader():
-            beat = HeartbeatMsg(self.proc.gid)
+            beat = HeartbeatMsg(self.proc.gid, getattr(self.proc, "lane", 0))
             for p in self.proc.group:
                 if p != self.proc.pid:
                     self.proc.runtime.send(p, beat)
         self.proc.runtime.set_timer(self.options.heartbeat_interval, self._beat_tick)
 
     def _on_heartbeat(self, sender: ProcessId, msg: HeartbeatMsg) -> None:
-        if msg.gid != self.proc.gid:
+        if msg.gid != self.proc.gid or msg.lane != getattr(self.proc, "lane", 0):
             return
         self._last_heard = self.proc.runtime.now()
 
@@ -127,18 +133,25 @@ class LeaderMonitor:
         self.proc.runtime.set_timer(self.options.heartbeat_interval, self._check_tick)
 
 
-def attach_monitor(proc, options: Optional[MonitorOptions] = None) -> LeaderMonitor:
-    """Create, start-on-start and return a monitor for ``proc``.
+def attach_monitor(proc, options: Optional[MonitorOptions] = None):
+    """Create, start-on-start and return monitor(s) for ``proc``.
 
-    Wraps the protocol's ``on_start`` so the monitor's timers begin with
-    the process.
+    Wraps the protocol's ``on_start`` so the monitors' timers begin with
+    the process.  A sharded host (anything exposing per-lane state
+    machines via ``lanes``) gets one monitor per lane: lanes elect
+    independently, and the host routes lane-tagged heartbeats to the lane
+    peer whose monitor registered the handler.
     """
-    monitor = LeaderMonitor(proc, options)
+    lanes = getattr(proc, "lanes", None)
+    monitors = [LeaderMonitor(lane, options) for lane in lanes] if lanes else [
+        LeaderMonitor(proc, options)
+    ]
     original_on_start = proc.on_start
 
     def on_start() -> None:
         original_on_start()
-        monitor.start()
+        for monitor in monitors:
+            monitor.start()
 
     proc.on_start = on_start
-    return monitor
+    return monitors if lanes else monitors[0]

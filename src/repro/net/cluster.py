@@ -48,7 +48,14 @@ class _LiveMemberTransport:
 
 
 class LocalCluster:
-    """All group members of one protocol, on 127.0.0.1 ephemeral ports."""
+    """All group members of one protocol, on 127.0.0.1 ephemeral ports.
+
+    Fronted by ``num_sessions`` concurrent :class:`AmcastClient` sessions
+    (one transport and one client id each), so multi-tenant ingress —
+    several independent submitters hitting the same leaders — runs over
+    real sockets exactly as it does in the simulator.  ``multicast()``
+    takes a ``session`` index; the single-session API is unchanged.
+    """
 
     def __init__(
         self,
@@ -59,29 +66,51 @@ class LocalCluster:
         attach_fd: bool = False,
         fd_options: Any = None,
         client_options: Optional[AmcastClientOptions] = None,
+        num_sessions: int = 1,
     ) -> None:
+        if num_sessions < 1:
+            raise ValueError(f"num_sessions must be >= 1, got {num_sessions}")
         self.config = config
         self.protocol_cls = protocol_cls
         self.options = options
         self.seed = seed
         self.attach_fd = attach_fd
         self.fd_options = fd_options
-        #: Session knobs for the embedded client; the default retransmits,
+        self.num_sessions = num_sessions
+        #: Session knobs for the embedded clients; the default retransmits,
         #: so a submission survives leader crashes without manual resends.
-        self.client_options = client_options or AmcastClientOptions(
-            retry_timeout=0.25
-        )
+        #: One options object per session, or a single one shared by all.
+        if isinstance(client_options, (list, tuple)):
+            if len(client_options) != num_sessions:
+                raise ValueError(
+                    f"{len(client_options)} client_options for {num_sessions} sessions"
+                )
+            self.client_options = list(client_options)
+        else:
+            self.client_options = [
+                client_options or AmcastClientOptions(retry_timeout=0.25)
+            ] * num_sessions
         self.transports: Dict[ProcessId, NodeTransport] = {}
         self.processes: Dict[ProcessId, Any] = {}
         self.addresses: Dict[ProcessId, Tuple[str, int]] = {}
         self.deliveries: List[Tuple[ProcessId, AmcastMessage, float]] = []
         self.multicasts: Dict[MessageId, Tuple[ProcessId, float, AmcastMessage]] = {}
         self.killed: Set[ProcessId] = set()
-        self.tracker = DeliveryTracker(config)  # completion source for the session
-        self.client: Optional[AmcastClient] = None
+        self.tracker = DeliveryTracker(config)  # completion source for sessions
+        self.sessions: List[AmcastClient] = []
         self._delivery_event = asyncio.Event()
-        self._client_transport: Optional[NodeTransport] = None
-        self._client_pid: Optional[ProcessId] = None
+        self._session_transports: List[NodeTransport] = []
+        self._session_pids: List[ProcessId] = []
+
+    @property
+    def client(self) -> Optional[AmcastClient]:
+        """The first session (the original single-session API)."""
+        return self.sessions[0] if self.sessions else None
+
+    @property
+    def _client_transport(self) -> Optional[NodeTransport]:
+        """First session's transport (kept for the single-session API)."""
+        return self._session_transports[0] if self._session_transports else None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -93,37 +122,44 @@ class LocalCluster:
             await transport.start()
             self.transports[pid] = transport
             self.addresses[pid] = (transport.host, transport.port)
-        # The client endpoint (first configured client id, or an id above
-        # every member) runs one AmcastClient session over its own
-        # transport — the exact code path the simulator's clients use.
-        self._client_pid = (
-            self.config.clients[0]
-            if self.config.clients
-            else max(self.config.all_members) + 1
-        )
-        self._client_transport = NodeTransport(
-            self._client_pid, self.addresses.__getitem__, self._client_dispatch
-        )
-        await self._client_transport.start()
-        self.addresses[self._client_pid] = (
-            self._client_transport.host,
-            self._client_transport.port,
-        )
-        client_runtime = NetRuntime(
-            self._client_pid,
-            _LiveMemberTransport(self._client_transport, self.killed),
-            self._record_delivery,
-            on_multicast=self._record_multicast,
-            seed=self.seed,
-        )
-        self.client = AmcastClient(
-            self._client_pid,
-            self.config,
-            client_runtime,
-            self.protocol_cls,
-            self.tracker,
-            self.client_options,
-        )
+        # Session endpoints: configured client ids first, then fresh ids
+        # above every configured process (members AND clients — seeding
+        # from the members alone would collide with client ids).  Each
+        # session runs one AmcastClient over its own transport — the
+        # exact code path the simulator's clients use.
+        fresh = max(self.config.all_processes) + 1
+        for i in range(self.num_sessions):
+            if i < len(self.config.clients):
+                pid = self.config.clients[i]
+            else:
+                pid = fresh
+                fresh += 1
+            self._session_pids.append(pid)
+        for i, pid in enumerate(self._session_pids):
+            transport = NodeTransport(
+                pid, self.addresses.__getitem__, self._make_session_dispatch(i)
+            )
+            await transport.start()
+            self._session_transports.append(transport)
+            self.addresses[pid] = (transport.host, transport.port)
+        for i, pid in enumerate(self._session_pids):
+            runtime = NetRuntime(
+                pid,
+                _LiveMemberTransport(self._session_transports[i], self.killed),
+                self._record_delivery,
+                on_multicast=self._record_multicast,
+                seed=self.seed + i,
+            )
+            self.sessions.append(
+                AmcastClient(
+                    pid,
+                    self.config,
+                    runtime,
+                    self.protocol_cls,
+                    self.tracker,
+                    self.client_options[i],
+                )
+            )
         # Bind protocols only once every address is known.
         for pid in self.config.all_members:
             runtime = NetRuntime(
@@ -137,7 +173,8 @@ class LocalCluster:
             self.processes[pid] = proc
         for proc in self.processes.values():
             proc.on_start()
-        self.client.on_start()
+        for session in self.sessions:
+            session.on_start()
 
     def _make_dispatch(self, pid: ProcessId):
         def dispatch(sender: ProcessId, msg: Any) -> None:
@@ -147,15 +184,18 @@ class LocalCluster:
 
         return dispatch
 
-    def _client_dispatch(self, sender: ProcessId, msg: Any) -> None:
-        if self.client is not None:
-            self.client.on_message(sender, msg)
+    def _make_session_dispatch(self, index: int):
+        def dispatch(sender: ProcessId, msg: Any) -> None:
+            if index < len(self.sessions):
+                self.sessions[index].on_message(sender, msg)
+
+        return dispatch
 
     async def stop(self) -> None:
         for transport in self.transports.values():
             await transport.close()
-        if self._client_transport is not None:
-            await self._client_transport.close()
+        for transport in self._session_transports:
+            await transport.close()
 
     async def kill(self, pid: ProcessId) -> None:
         """Crash-stop a member: close its transport, drop its messages."""
@@ -176,9 +216,9 @@ class LocalCluster:
 
     # -- client API -----------------------------------------------------------------
 
-    def multicast(self, dests, payload: Any = None) -> SubmitHandle:
-        """Submit a fresh message through the session; returns its handle."""
-        return self.client.submit(dests, payload)
+    def multicast(self, dests, payload: Any = None, session: int = 0) -> SubmitHandle:
+        """Submit a fresh message through one session; returns its handle."""
+        return self.sessions[session].submit(dests, payload)
 
     # -- waiting --------------------------------------------------------------------
 

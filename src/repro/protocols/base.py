@@ -73,12 +73,15 @@ class SubmitAckMsg:
     these submissions (first receipt or idempotent duplicate alike).
 
     ``leader`` names the acking process so client sessions can retarget
-    future submissions without guessing.
+    future submissions without guessing; ``lane`` names the ordering lane
+    it leads (always 0 for unsharded protocols), so sessions facing a
+    sharded group learn leaders per (group, lane).
     """
 
     gid: GroupId
     leader: ProcessId
     acked: Tuple[MessageId, ...]
+    lane: int = 0
 
     def mids(self) -> List[MessageId]:
         return list(self.acked)
@@ -97,6 +100,7 @@ class SubmitRedirectMsg:
     gid: GroupId
     leader: ProcessId
     forwarded: Tuple[MessageId, ...]
+    lane: int = 0
 
     def mids(self) -> List[MessageId]:
         return list(self.forwarded)
@@ -239,7 +243,9 @@ class AtomicMulticastProcess(ProtocolProcess):
             target = acked[0][0]
             if self.config.is_member(target):
                 return
-        self.send(target, SubmitAckMsg(self.gid, self.pid, acked))
+        self.send(
+            target, SubmitAckMsg(self.gid, self.pid, acked, getattr(self, "lane", 0))
+        )
 
     def _redirect_submission(self, sender: ProcessId, mids: Iterable[MessageId]) -> None:
         """Tell a client its submission was forwarded (and to whom)."""
@@ -247,7 +253,10 @@ class AtomicMulticastProcess(ProtocolProcess):
             return
         gid, leader = self._ingress_redirect()
         if leader is not None and leader != self.pid:
-            self.send(sender, SubmitRedirectMsg(gid, leader, tuple(mids)))
+            self.send(
+                sender,
+                SubmitRedirectMsg(gid, leader, tuple(mids), getattr(self, "lane", 0)),
+            )
 
     def _on_multicast_batch(self, sender: ProcessId, msg: MulticastBatchMsg) -> None:
         """Unpack a client ingress batch through the per-message handler.

@@ -29,6 +29,11 @@ from .messages import (
     DeliveredAckMsg,
     GcPruneMsg,
     GcReadyMsg,
+    LaneAdvanceAckMsg,
+    LaneAdvanceMsg,
+    LaneMsg,
+    LaneProbeMsg,
+    LaneWatermarkMsg,
     NewLeaderAckMsg,
     NewLeaderMsg,
     NewStateAckMsg,
@@ -36,6 +41,7 @@ from .messages import (
 )
 from .state import MsgRecord, PendingBatch, Phase, Status
 from .protocol import WbCastOptions, WbCastProcess
+from .sharding import LaneMergeQueue, ShardedWbCastProcess
 
 __all__ = [
     "AcceptAckBatchMsg",
@@ -47,6 +53,12 @@ __all__ = [
     "DeliveredAckMsg",
     "GcPruneMsg",
     "GcReadyMsg",
+    "LaneAdvanceAckMsg",
+    "LaneAdvanceMsg",
+    "LaneMergeQueue",
+    "LaneMsg",
+    "LaneProbeMsg",
+    "LaneWatermarkMsg",
     "MsgRecord",
     "NewLeaderAckMsg",
     "NewLeaderMsg",
@@ -54,6 +66,7 @@ __all__ = [
     "NewStateMsg",
     "PendingBatch",
     "Phase",
+    "ShardedWbCastProcess",
     "Status",
     "WbCastOptions",
     "WbCastProcess",

@@ -190,3 +190,81 @@ class GcPruneMsg:
     """GC support: leader instructs followers to prune these records."""
 
     mids: Tuple[MessageId, ...]
+
+
+# -- intra-group sharding (ordering lanes) ----------------------------------
+
+
+class LaneMsg:
+    """Envelope routing a protocol message to one ordering lane.
+
+    Sharded groups run several independent WbCast lanes side by side on
+    the same members; every lane-internal wire message travels inside this
+    envelope so the hosting process can dispatch it to the right lane
+    state machine.  Accounting attributes of the inner message (``size``,
+    batch ``entries``, attribution via ``m``/``mid``/``mids``) are
+    forwarded so delay models, CPU models and the genuineness monitor see
+    through the envelope.
+    """
+
+    __slots__ = ("lane", "inner")
+
+    #: Inner attributes forwarded for size/CPU/attribution accounting.
+    _FORWARDED = frozenset({"size", "entries", "m", "mid", "mids"})
+
+    def __init__(self, lane: int, inner: object) -> None:
+        self.lane = lane
+        self.inner = inner
+
+    def __getattr__(self, name: str):
+        if name in LaneMsg._FORWARDED:
+            return getattr(self.inner, name)
+        raise AttributeError(name)
+
+    def __reduce__(self):  # explicit, so pickling never consults __getattr__
+        return (LaneMsg, (self.lane, self.inner))
+
+    def __repr__(self) -> str:
+        return f"lane[{self.lane}]({self.inner!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class LaneProbeMsg:
+    """``LANE_PROBE(l, need)``: a group member's delivery merge is blocked
+    waiting on lane ``l`` and asks its leader for a watermark covering the
+    global timestamp ``need``."""
+
+    lane: int
+    need: Timestamp
+
+
+@dataclass(frozen=True, slots=True)
+class LaneAdvanceMsg:
+    """``LANE_ADVANCE(b, t)``: the lane leader at ballot ``b`` replicates
+    the clock floor ``t`` to its group before promising a watermark.
+
+    The white-box trick applied to sharding: a watermark promise ("this
+    lane will never deliver at or below W") is only crash-safe once a
+    quorum's clocks are at least ``t`` — any successor leader then recovers
+    a clock ≥ ``t`` and can never assign a violating timestamp."""
+
+    bal: Ballot
+    time: int
+
+
+@dataclass(frozen=True, slots=True)
+class LaneAdvanceAckMsg:
+    """``LANE_ADVANCE_ACK(b, t)``: a member raised its clock to ≥ ``t``."""
+
+    bal: Ballot
+    time: int
+
+
+@dataclass(frozen=True, slots=True)
+class LaneWatermarkMsg:
+    """``LANE_WATERMARK(l, w)``: lane ``l``'s leader promises that every
+    future delivery of the lane has a global timestamp strictly above
+    ``w`` (the promise is quorum-backed via ``LANE_ADVANCE``)."""
+
+    lane: int
+    watermark: Timestamp

@@ -45,6 +45,11 @@ from .messages import (
     DeliveredAckMsg,
     GcPruneMsg,
     GcReadyMsg,
+    LaneAdvanceAckMsg,
+    LaneAdvanceMsg,
+    LaneMsg,
+    LaneProbeMsg,
+    LaneWatermarkMsg,
     NewLeaderAckMsg,
     NewLeaderMsg,
     NewStateAckMsg,
@@ -52,6 +57,12 @@ from .messages import (
     make_vector,
 )
 from .state import DeliveredLog, MsgRecord, PendingBatch, Phase, Status, snapshot_copy
+
+#: Tie-break component strictly above every real (group, lane) encoding —
+#: used to build watermark timestamps ``(t, TS_TIE_MAX)`` that sit between
+#: clock values: above every timestamp of time ``t``, below every one of
+#: time ``t + 1``.
+TS_TIE_MAX = 1 << 30
 
 
 @dataclass(frozen=True)
@@ -72,14 +83,57 @@ class WbCastOptions:
     gc_interval: Optional[float] = None
     speculative_clock: bool = True
     batching: Optional[BatchingOptions] = None
+    #: How long a sharded member's delivery merge waits on an empty lane
+    #: before probing that lane's leader for a watermark.  Under steady
+    #: load the lane's next DELIVER usually arrives first and no probe is
+    #: ever sent; the delay only prices the idle-lane case (probe frames
+    #: are ack-sized, so erring short costs little).
+    lane_probe_delay: float = 0.0001
 
 
 class WbCastProcess(AtomicMulticastProcess):
-    """One group member running the white-box protocol."""
+    """One group member running the white-box protocol.
+
+    With ``config.shards_per_group > 1`` this class is also the per-lane
+    state machine of a sharded group: constructing it through the public
+    ``WbCastProcess(...)`` call transparently builds a
+    :class:`~repro.protocols.wbcast.sharding.ShardedWbCastProcess` host
+    that runs one ``WbCastProcess`` instance per ordering lane (passing
+    ``lane``/``shard_host`` explicitly).  A lane instance differs from the
+    standalone protocol only in addressing: timestamps carry a (group,
+    lane) tie-break component, leaders are the lane's leaders, member
+    traffic travels inside a :class:`LaneMsg` envelope, the white-box
+    clock is shared across the lanes of one process, and deliveries are
+    handed to the host's cross-lane merge instead of the runtime.
+    """
 
     #: Harness hint: this protocol understands :class:`BatchingOptions`.
     SUPPORTS_BATCHING = True
+    #: Harness/client hint: ``config.shards_per_group`` is honoured.
+    SUPPORTS_SHARDING = True
     OPTIONS_CLS = WbCastOptions
+
+    def __new__(
+        cls,
+        pid: ProcessId = None,
+        config: ClusterConfig = None,
+        runtime: Runtime = None,
+        options: Optional[WbCastOptions] = None,
+        lane: int = 0,
+        shard_host: Optional[object] = None,
+    ):
+        if (
+            cls is WbCastProcess
+            and shard_host is None
+            and config is not None
+            and config.shards_per_group > 1
+        ):
+            # Public construction of a sharded group member: hand back the
+            # multi-lane host (not a subclass, so __init__ below is skipped).
+            from .sharding import ShardedWbCastProcess
+
+            return ShardedWbCastProcess(pid, config, runtime, options)
+        return super().__new__(cls)
 
     def __init__(
         self,
@@ -87,8 +141,19 @@ class WbCastProcess(AtomicMulticastProcess):
         config: ClusterConfig,
         runtime: Runtime,
         options: Optional[WbCastOptions] = None,
+        lane: int = 0,
+        shard_host: Optional[object] = None,
     ) -> None:
+        # Lane identity first: the clock property and send() consult it.
+        self.lane = lane
+        self._shard_host = shard_host
+        self._clock = 0
         super().__init__(pid, config, runtime)
+        # Lane-aware addressing (degenerates to the unsharded layout at
+        # one shard: lane 0's leaders are the default leaders and the
+        # timestamp component is the plain group id).
+        self.cur_leader = config.lane_leaders(lane)
+        self._ts_group = config.lane_timestamp_group(self.gid, lane)
         self.options = options or WbCastOptions()
         # Effective batching knobs: per-process options win, then the
         # cluster-wide default, then off (the paper's per-message protocol).
@@ -98,9 +163,8 @@ class WbCastProcess(AtomicMulticastProcess):
             else (config.batching or BATCHING_OFF)
         )
         # -- Fig. 3 variables ------------------------------------------------
-        self.clock: int = 0
         self.records: Dict[MessageId, MsgRecord] = {}
-        initial = Ballot(0, self.config.default_leader(self.gid))
+        initial = Ballot(0, self.config.lane_leader(self.gid, lane))
         self.status: Status = Status.LEADER if initial.leader() == pid else Status.FOLLOWER
         self.cballot: Ballot = initial
         self.ballot: Ballot = initial
@@ -115,10 +179,18 @@ class WbCastProcess(AtomicMulticastProcess):
         self._accepts: Dict[MessageId, Dict[GroupId, AcceptMsg]] = {}
         # ACCEPT_ACK tallies: mid -> ballot vector -> group -> ack senders.
         self._acks: Dict[MessageId, Dict[BallotVector, Dict[GroupId, Set[ProcessId]]]] = {}
-        # Best known ballot of every group (for Cur_leader guesses).
+        # Best known ballot of every group's same-index lane (for
+        # Cur_leader guesses; a lane only ever talks to its own lane).
         self._group_ballots: Dict[GroupId, Ballot] = {
-            g: Ballot(0, self.config.default_leader(g)) for g in config.group_ids
+            g: Ballot(0, self.config.lane_leader(g, lane)) for g in config.group_ids
         }
+        # Lane watermark state (sharded groups; idle standalone): stashed
+        # probes awaiting a satisfiable promise, and the highest clock
+        # floor this leader has replicated to a quorum.
+        self._probe_waiters: Dict[ProcessId, Timestamp] = {}
+        self._advanced_floor: int = 0
+        self._advance_pending: Optional[int] = None
+        self._advance_acks: Set[ProcessId] = set()
         # Recovery state (volatile, per candidate ballot).
         self._nl_acks: Dict[ProcessId, NewLeaderAckMsg] = {}
         self._nl_ballot: Optional[Ballot] = None
@@ -162,9 +234,43 @@ class WbCastProcess(AtomicMulticastProcess):
             DeliveredAckMsg: self._on_delivered_ack,
             GcReadyMsg: self._on_gc_ready,
             GcPruneMsg: self._on_gc_prune,
+            LaneProbeMsg: self._on_lane_probe,
+            LaneAdvanceMsg: self._on_lane_advance,
+            LaneAdvanceAckMsg: self._on_lane_advance_ack,
         }
 
     # ------------------------------------------------------------------ wiring
+
+    @property
+    def clock(self) -> int:
+        """The white-box logical clock.
+
+        Lanes hosted by one process share a single clock (held by the
+        shard host): a member that handles any lane's DELIVER thereby
+        advances the clock *all* its lanes assign from, which is what lets
+        an idle lane promise watermarks past the busy lanes' traffic.
+        Standalone processes keep their own counter, exactly as before.
+        """
+        host = self._shard_host
+        return self._clock if host is None else host.clock
+
+    @clock.setter
+    def clock(self, value: int) -> None:
+        host = self._shard_host
+        if host is None:
+            self._clock = value
+        else:
+            host.clock = value
+
+    def send(self, to: ProcessId, msg) -> None:
+        """Member-bound traffic of a sharded lane travels enveloped so the
+        receiving host can route it to its lane peer; client-bound frames
+        (submission acks/redirects) stay bare — clients are lane-agnostic
+        on the wire and learn lanes from the ack metadata instead."""
+        if self._shard_host is not None and self.config.is_member(to):
+            self.runtime.send(to, LaneMsg(self.lane, msg))
+        else:
+            self.runtime.send(to, msg)
 
     def on_start(self) -> None:
         if self.options.retry_interval is not None:
@@ -208,7 +314,7 @@ class WbCastProcess(AtomicMulticastProcess):
             # batching the timestamp is still assigned *now*, so buffering
             # never reorders proposals and Invariant 1 is untouched.
             self.clock += 1
-            lts = Timestamp(self.clock, self.gid)
+            lts = Timestamp(self.clock, self._ts_group)
             rec = MsgRecord(m, Phase.PROPOSED, lts=lts)
             self.records[m.mid] = rec
             self.queue.set_pending(m.mid, lts)
@@ -288,6 +394,12 @@ class WbCastProcess(AtomicMulticastProcess):
         self._mid_batch.clear()
         self._gc_batch_of.clear()
         self._gc_batch_members.clear()
+        # Stashed lane probes and the in-flight advance round die with the
+        # epoch too: blocked members re-probe whoever leads next (the
+        # replicated floor itself survives in the quorum's clocks).
+        self._probe_waiters.clear()
+        self._advance_pending = None
+        self._advance_acks = set()
 
     def _on_accept(self, sender: ProcessId, msg: AcceptMsg) -> None:
         """Buffer one group's proposal; act when the set completes (line 10)."""
@@ -470,7 +582,14 @@ class WbCastProcess(AtomicMulticastProcess):
         self.clock = max(self.clock, msg.gts.time)
         self.max_delivered_gts = msg.gts
         self.delivered_ids.add(m.mid)
-        self.deliver(m)
+        if self._shard_host is not None:
+            # Sharded: the lane's (strictly gts-ascending) delivery stream
+            # feeds the host's cross-lane merge, which interleaves the
+            # group's lanes in global-timestamp order before the
+            # application sees anything.
+            self._shard_host.lane_delivered(self.lane, m, msg.gts)
+        else:
+            self.deliver(m)
 
     # -------------------------------------------------------------- retry (§IV)
 
@@ -480,7 +599,7 @@ class WbCastProcess(AtomicMulticastProcess):
         if rec is None or rec.phase not in (Phase.PROPOSED, Phase.ACCEPTED):
             return
         for g in sorted(rec.m.dests):
-            self.send(self.cur_leader.get(g, self.config.default_leader(g)),
+            self.send(self.cur_leader.get(g, self.config.lane_leader(g, self.lane)),
                       MulticastMsg(rec.m))
 
     def _retry_tick(self) -> None:
@@ -577,7 +696,10 @@ class WbCastProcess(AtomicMulticastProcess):
             # Messages only PROPOSED anywhere are deliberately dropped; the
             # multicaster (or another group's leader) will retry them.
         self.records = new_records
-        self.clock = max(v.clock for v in votes)  # preserves Invariant 2(c)
+        # Preserves Invariant 2(c); the max with the current clock matters
+        # under sharding, where lanes share it and a sibling lane may have
+        # advanced it past every vote while this lane was electing.
+        self.clock = max(self.clock, max(v.clock for v in votes))
         self.cballot = bal
         self.cur_leader[self.gid] = self.pid
         # Adopt the union of the voters' dedup tables: any message a quorum
@@ -620,7 +742,7 @@ class WbCastProcess(AtomicMulticastProcess):
             return
         self.status = Status.FOLLOWER
         self.cballot = msg.bal
-        self.clock = msg.clock
+        self.clock = max(self.clock, msg.clock)  # clocks are floors: never regress
         self.records = snapshot_copy(msg.records)
         if msg.delivered is not None:
             self.delivered_ids.update(msg.delivered)
@@ -691,7 +813,9 @@ class WbCastProcess(AtomicMulticastProcess):
             peer_gids.discard(self.gid)
             ready = GcReadyMsg(self.gid, group_watermark)
             for g in sorted(peer_gids):
-                self.send(self.cur_leader.get(g, self.config.default_leader(g)), ready)
+                self.send(
+                    self.cur_leader.get(g, self.config.lane_leader(g, self.lane)), ready
+                )
         self._prune()
 
     def _prune(self) -> None:
@@ -767,6 +891,100 @@ class WbCastProcess(AtomicMulticastProcess):
                 self.records.pop(mid, None)
                 self._accepts.pop(mid, None)
                 self._touched.pop(mid, None)
+
+    # ----------------------------------------------- lane watermarks (sharding)
+    #
+    # A sharded member's delivery merge may block on a lane with no
+    # queued DELIVERs: it cannot know whether that lane is idle or merely
+    # slow.  The lane leader answers with a *watermark* — a promise that
+    # every future delivery of the lane carries a global timestamp
+    # strictly above W.  The promise is only crash-safe once a quorum of
+    # the group stores a clock ≥ W.time (any successor leader then
+    # recovers a clock at least that high and can never assign a lower
+    # local timestamp), so the leader first replicates the clock floor in
+    # a LANE_ADVANCE round — the white-box clock trick, re-applied to
+    # sharding.
+
+    def _on_lane_probe(self, sender: ProcessId, msg: LaneProbeMsg) -> None:
+        if self.status is not Status.LEADER:
+            return  # the prober re-probes whoever leads after the election
+        prev = self._probe_waiters.get(sender)
+        if prev is None or prev < msg.need:
+            self._probe_waiters[sender] = msg.need
+        self._service_probes()
+
+    def _promise_bound(self) -> Timestamp:
+        """The highest watermark this leader could currently promise.
+
+        Any still-deliverable local timestamp of this lane lives in this
+        leader's records (it assigned the live ones itself; quorum-accepted
+        survivors of older ballots were transferred by recovery — Invariant
+        2 — and anything recovery dropped can only re-enter with a fresh,
+        higher timestamp).  Below the minimum undelivered one, nothing can
+        ever be delivered again; with no pending work the clock itself is
+        the bound, since future assignments start at ``clock + 1``.
+        """
+        pending = [
+            rec.lts
+            for rec in self.records.values()
+            if rec.phase in (Phase.PROPOSED, Phase.ACCEPTED)
+        ]
+        if pending:
+            return Timestamp(min(pending).time - 1, TS_TIE_MAX)
+        return Timestamp(self.clock, TS_TIE_MAX)
+
+    def _service_probes(self) -> None:
+        """Answer stashed probes whose need a replicated floor can cover."""
+        if not self._probe_waiters or self.status is not Status.LEADER:
+            return
+        self._drain_deliveries()  # flush deliverable commits first: they
+        # travel ahead of the watermark on the same FIFO channels
+        bound = self._promise_bound()
+        if self._advanced_floor >= bound.time:
+            self._reply_watermarks(
+                Timestamp(min(self._advanced_floor, bound.time), TS_TIE_MAX)
+            )
+            return
+        if not any(bound.time >= need.time for need in self._probe_waiters.values()):
+            return  # no waiter satisfiable yet; re-serviced as state moves
+        if self._advance_pending is not None and self._advance_pending >= bound.time:
+            return  # a round covering this floor is already in flight
+        self._advance_pending = bound.time
+        self._advance_acks = {self.pid}
+        adv = LaneAdvanceMsg(self.cballot, bound.time)
+        for p in self.group:
+            if p != self.pid:
+                self.send(p, adv)
+        self._maybe_finish_advance()
+
+    def _on_lane_advance(self, sender: ProcessId, msg: LaneAdvanceMsg) -> None:
+        if msg.bal != self.cballot or self.status is Status.RECOVERING:
+            return
+        self.clock = max(self.clock, msg.time)
+        self.send(sender, LaneAdvanceAckMsg(msg.bal, msg.time))
+
+    def _on_lane_advance_ack(self, sender: ProcessId, msg: LaneAdvanceAckMsg) -> None:
+        if self.status is not Status.LEADER or msg.bal != self.cballot:
+            return
+        if self._advance_pending is None or msg.time < self._advance_pending:
+            return
+        self._advance_acks.add(sender)
+        self._maybe_finish_advance()
+
+    def _maybe_finish_advance(self) -> None:
+        if self._advance_pending is None or len(self._advance_acks) < self.quorum_size():
+            return
+        self._advanced_floor = max(self._advanced_floor, self._advance_pending)
+        self._advance_pending = None
+        self._advance_acks = set()
+        self._reply_watermarks(Timestamp(self._advanced_floor, TS_TIE_MAX))
+
+    def _reply_watermarks(self, w: Timestamp) -> None:
+        for sender in [s for s, need in self._probe_waiters.items() if not w < need]:
+            del self._probe_waiters[sender]
+            # Bare send: the prober's *host* (merge layer) consumes this,
+            # not its lane peer, so it must not wear the lane envelope.
+            self.runtime.send(sender, LaneWatermarkMsg(self.lane, w))
 
     # ------------------------------------------------------------------ misc
 

@@ -1,0 +1,288 @@
+"""Intra-group sharding: one WbCast group as ``S`` independent ordering lanes.
+
+The single leader per group is the saturation term left after batching
+(PRs 1–3): every multicast touching a group serialises through one
+process.  Sharding splits the group's ordering work across ``S`` *lanes*
+— each lane a full white-box protocol instance with its own leader
+(dealt round-robin over the members), ballot, records, batcher and GC —
+while the group's *delivery* order stays total:
+
+* a message's lane is a stable hash of its id
+  (:meth:`~repro.config.ClusterConfig.lane_of`), the same in every
+  destination group, so one message involves exactly one lane per group
+  and lanes never share per-message state;
+* lane timestamps carry a dense (group, lane) tie-break component
+  (:meth:`~repro.config.ClusterConfig.lane_timestamp_group`), keeping
+  global timestamps unique across lanes — with one shard the encoding
+  degenerates to the plain group id, so unsharded runs are untouched;
+* every member funnels its lanes' (per-lane gts-ascending) DELIVER
+  streams through a :class:`LaneMergeQueue` that releases messages in
+  global-timestamp order.  A lane with queued deliveries gates the merge
+  by its head; an *empty* lane is covered by a quorum-replicated
+  watermark from its leader (``LANE_PROBE`` / ``LANE_ADVANCE`` /
+  ``LANE_WATERMARK`` — see :mod:`.protocol`), so idle lanes cannot stall
+  the group and a crashed lane leader cannot have promised anything its
+  successor could contradict.
+
+Because each member pops the globally minimal head and only when no
+other lane can still deliver anything smaller, every member emits the
+same gts-sorted sequence — the same argument that makes the unsharded
+protocol totally ordered, applied per lane.  Recovery stays per lane:
+a lane leader crash re-elects *that* lane; sibling lanes (and their
+leaders on other members) keep running undisturbed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
+
+from ...config import ClusterConfig
+from ...errors import ProtocolError
+from ...runtime import Runtime
+from ...types import TS_BOTTOM, AmcastMessage, MessageId, ProcessId, Timestamp
+from ..base import AtomicMulticastProcess, MulticastBatchMsg, MulticastMsg
+from .messages import LaneMsg, LaneProbeMsg, LaneWatermarkMsg
+from .protocol import WbCastOptions, WbCastProcess
+
+
+class LaneMergeQueue:
+    """Merges per-lane delivery streams into one gts-ascending sequence.
+
+    Each lane's stream arrives in strictly increasing global-timestamp
+    order (the lane leader delivers in gts order over FIFO channels, and
+    the lane's ``max_delivered_gts`` filter drops duplicates).  A queued
+    head may be released once every *other* lane provably cannot deliver
+    anything smaller: a non-empty lane is bounded by its own head, an
+    empty lane by its ``floor`` — the last delivery seen from it, or an
+    explicit leader watermark (both promise strictly larger future
+    deliveries).  Releases are therefore globally gts-sorted, whatever
+    the floors' timing, so all members agree on the merged order.
+    """
+
+    def __init__(self, lanes: int) -> None:
+        self._queues: List[Deque[Tuple[AmcastMessage, Timestamp]]] = [
+            deque() for _ in range(lanes)
+        ]
+        self._floor: List[Timestamp] = [TS_BOTTOM] * lanes
+
+    def push(self, lane: int, m: AmcastMessage, gts: Timestamp) -> None:
+        self._queues[lane].append((m, gts))
+        if gts > self._floor[lane]:
+            self._floor[lane] = gts
+
+    def advance(self, lane: int, watermark: Timestamp) -> None:
+        if watermark > self._floor[lane]:
+            self._floor[lane] = watermark
+
+    def drain(self) -> Tuple[List[AmcastMessage], List[int]]:
+        """Pop every releasable message; also report which empty lanes
+        block the current minimal head (candidates for a probe)."""
+        out: List[AmcastMessage] = []
+        while True:
+            best: Optional[int] = None
+            best_gts: Optional[Timestamp] = None
+            for lane, q in enumerate(self._queues):
+                if q and (best_gts is None or q[0][1] < best_gts):
+                    best, best_gts = lane, q[0][1]
+            if best is None:
+                return out, []
+            blockers = [
+                lane
+                for lane, q in enumerate(self._queues)
+                if lane != best and not q and self._floor[lane] < best_gts
+            ]
+            if blockers:
+                return out, blockers
+            out.append(self._queues[best].popleft()[0])
+
+    def blocked_need(self, lane: int) -> Optional[Timestamp]:
+        """The gts lane ``lane`` currently blocks (None when it doesn't)."""
+        if self._queues[lane]:
+            return None
+        heads = [q[0][1] for q in self._queues if q]
+        if not heads:
+            return None
+        need = min(heads)
+        return need if self._floor[lane] < need else None
+
+    @property
+    def queued_count(self) -> int:
+        return sum(len(q) for q in self._queues)
+
+
+class ShardedWbCastProcess(AtomicMulticastProcess):
+    """One group member hosting ``shards_per_group`` WbCast lanes.
+
+    Constructed transparently by ``WbCastProcess(...)`` whenever the
+    cluster config asks for more than one shard.  The host owns three
+    things the lanes share: the white-box clock (so any lane's DELIVER
+    advances the clock every lane assigns from), the client-facing
+    ingress routing (a submission goes to the lane its message id hashes
+    to), and the cross-lane delivery merge.  Everything else — ballots,
+    records, batching, GC, recovery — lives per lane, which is what makes
+    a lane-leader crash a single-lane event.
+    """
+
+    SUPPORTS_BATCHING = True
+    SUPPORTS_SHARDING = True
+    OPTIONS_CLS = WbCastOptions
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        config: ClusterConfig,
+        runtime: Runtime,
+        options: Optional[WbCastOptions] = None,
+    ) -> None:
+        super().__init__(pid, config, runtime)
+        self.options = options or WbCastOptions()
+        self.shards = config.shards_per_group
+        #: The shared white-box clock (lanes proxy their ``clock`` here).
+        self.clock: int = 0
+        self.lanes: List[WbCastProcess] = [
+            WbCastProcess(pid, config, runtime, options, lane=lane, shard_host=self)
+            for lane in range(self.shards)
+        ]
+        self.merge = LaneMergeQueue(self.shards)
+        #: Lanes with a probe timer armed (blocked merges probe lazily:
+        #: under load the lane's next DELIVER usually wins the race).
+        self._probe_armed: Set[int] = set()
+        self._handlers = {
+            LaneMsg: self._on_lane_msg,
+            MulticastMsg: self._on_multicast,
+            MulticastBatchMsg: self._on_multicast_batch,
+            LaneWatermarkMsg: self._on_lane_watermark,
+        }
+
+    # -- wiring ------------------------------------------------------------
+
+    def on_start(self) -> None:
+        for lane in self.lanes:
+            lane.on_start()
+
+    def on_message(self, sender: ProcessId, msg: Any) -> None:
+        handler = self._handlers.get(type(msg))
+        if handler is not None:
+            handler(sender, msg)
+        else:
+            # Anything else carrying a lane tag (heartbeats of a per-lane
+            # failure detector, say) routes straight to its lane peer.
+            lane = getattr(msg, "lane", None)
+            if lane is None:
+                raise ProtocolError(
+                    f"{type(self).__name__} at {self.pid} has no handler for "
+                    f"{type(msg).__name__}"
+                )
+            self.lanes[lane].on_message(sender, msg)
+        self._post_route()
+
+    def _on_lane_msg(self, sender: ProcessId, msg: LaneMsg) -> None:
+        self.lanes[msg.lane].on_message(sender, msg.inner)
+
+    def _post_route(self) -> None:
+        """After every routed message: service lane promises and drain the
+        merge.  A message handled by one lane can unblock another (the
+        shared clock moved, a commit freed a pending timestamp), so every
+        lane's stashed probes are revisited."""
+        for lane in self.lanes:
+            if lane._probe_waiters:
+                lane._service_probes()
+        self._drain_merge()
+
+    # -- client-facing ingress ----------------------------------------------
+
+    def is_leader(self) -> bool:
+        """Whether this member leads *any* lane (harness-facing)."""
+        return any(lane.is_leader() for lane in self.lanes)
+
+    def _on_multicast(self, sender: ProcessId, msg: MulticastMsg) -> None:
+        self.lanes[self.config.lane_of(msg.m.mid)].on_message(sender, msg)
+
+    def _on_multicast_batch(self, sender: ProcessId, msg: MulticastBatchMsg) -> None:
+        """Split a client ingress batch into per-lane projections.
+
+        Sessions aware of sharding already coalesce per (group, lane), so
+        the common case is a single projection; a mixed batch (lane-blind
+        client, broadcast retry) still lands correctly, entry by entry.
+        """
+        per_lane: Dict[int, List[AmcastMessage]] = {}
+        for m in msg.entries:
+            per_lane.setdefault(self.config.lane_of(m.mid), []).append(m)
+        for lane, entries in per_lane.items():
+            self.lanes[lane].on_message(sender, MulticastBatchMsg(tuple(entries)))
+
+    # -- the cross-lane delivery merge ----------------------------------------
+
+    def lane_delivered(self, lane: int, m: AmcastMessage, gts: Timestamp) -> None:
+        """A lane decided a delivery: enqueue it for the ordered merge.
+
+        Called by the lane's DELIVER handler, i.e. always from inside
+        :meth:`on_message`, whose post-route hook drains the merge.
+        """
+        self.merge.push(lane, m, gts)
+
+    def _drain_merge(self) -> None:
+        ready, blockers = self.merge.drain()
+        for m in ready:
+            self.deliver(m)
+        for lane in blockers:
+            self._arm_probe(lane)
+
+    def _arm_probe(self, lane: int) -> None:
+        if lane in self._probe_armed:
+            return
+        self._probe_armed.add(lane)
+        self.runtime.set_timer(
+            self.options.lane_probe_delay, lambda l=lane: self._probe_fire(l)
+        )
+
+    def _probe_fire(self, lane: int) -> None:
+        """Probe a lane still blocking the merge after the grace delay.
+
+        Re-arms itself only while the blockage persists (so a quiesced
+        simulation drains), and always re-reads the believed lane leader —
+        a probe lost to a deposed leader is retried against its successor
+        once the lane's NEW_STATE taught us who that is.
+        """
+        self._probe_armed.discard(lane)
+        need = self.merge.blocked_need(lane)
+        if need is None:
+            return  # unblocked in the meantime (delivery or watermark won)
+        target = self.lanes[lane].cur_leader.get(self.gid)
+        if target is not None:
+            self.send(target, LaneMsg(lane, LaneProbeMsg(lane, need)))
+        self._arm_probe(lane)
+
+    def _on_lane_watermark(self, sender: ProcessId, msg: LaneWatermarkMsg) -> None:
+        self.merge.advance(msg.lane, msg.watermark)
+
+    # -- recovery / introspection ----------------------------------------------
+
+    def recover(self, lane: Optional[int] = None) -> None:
+        """Stand for election: one lane, or every lane when unspecified."""
+        if lane is not None:
+            self.lanes[lane].recover()
+        else:
+            for lane_proc in self.lanes:
+                lane_proc.recover()
+
+    def lane_for(self, mid: MessageId) -> WbCastProcess:
+        """The lane state machine responsible for message ``mid``."""
+        return self.lanes[self.config.lane_of(mid)]
+
+    def record_of(self, mid: MessageId):
+        return self.lane_for(mid).record_of(mid)
+
+    def live_record_count(self) -> int:
+        return sum(lane.live_record_count() for lane in self.lanes)
+
+    def buffered_multicast_count(self) -> int:
+        return sum(lane.buffered_multicast_count() for lane in self.lanes)
+
+    def inflight_batch_count(self) -> int:
+        return sum(lane.inflight_batch_count() for lane in self.lanes)
+
+    def merged_backlog(self) -> int:
+        """Deliveries decided by lanes but still held by the merge."""
+        return self.merge.queued_count

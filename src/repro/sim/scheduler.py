@@ -85,6 +85,12 @@ class UniformCpu(CpuModel):
             # mid-list frames handled by client processes.
             "SubmitAckMsg",
             "SubmitRedirectMsg",
+            # Lane-watermark coordination of sharded groups: fixed-size
+            # timestamp frames, no payloads.
+            "LaneProbeMsg",
+            "LaneAdvanceMsg",
+            "LaneAdvanceAckMsg",
+            "LaneWatermarkMsg",
         }
     )
 
@@ -114,6 +120,12 @@ class UniformCpu(CpuModel):
     ) -> float:
         if self._free_self and src == pid:
             return 0.0
+        while type(msg).__name__ == "LaneMsg":
+            # Sharded groups wrap lane traffic in a routing envelope; the
+            # CPU price is the inner message's (an enveloped ack is still
+            # an ack — charging envelopes full price would tax sharding
+            # for its framing rather than its work).
+            msg = msg.inner
         name = type(msg).__name__
         if name in self.BATCH_ACK_TYPES:
             extra = max(0, len(getattr(msg, "entries", ())) - 1)

@@ -1,0 +1,191 @@
+"""Sharded groups and concurrent sessions over the asyncio TCP runtime.
+
+Two satellite batteries of the sharding PR:
+
+* **multi-session ingress** — a ``LocalCluster`` fronts several
+  concurrent :class:`AmcastClient` sessions; the fairness regression
+  pins the property that a modest session is not starved at the leader
+  ingress while an aggressive one floods it;
+* **sharded leader-kill** — killing one lane's leader on real sockets
+  must stall only that lane: the failure detector re-elects it, the
+  session resubmits with stable ids, and the sibling lane keeps its
+  epoch-0 ballot throughout.
+
+Every scenario is ``asyncio.wait_for``-bounded so a wedged cluster fails
+the test instead of hanging the suite.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.checking import check_all
+from repro.client import AmcastClientOptions
+from repro.config import BatchingOptions, ClusterConfig
+from repro.failure.detector import MonitorOptions
+from repro.net import LocalCluster
+from repro.protocols import WbCastProcess
+from repro.protocols.wbcast import WbCastOptions
+
+#: Real-time failure-detector knobs for localhost sockets.
+NET_FD = MonitorOptions(
+    heartbeat_interval=0.05, suspect_timeout=0.25, stagger=0.1, max_timeout=2.0
+)
+
+INGRESS = BatchingOptions(max_batch=8, max_linger=0.003)
+
+
+def expected_deliveries(config, handles):
+    return sum(len(config.members(g)) for h in handles for g in h.message.dests)
+
+
+def assert_no_duplicate_deliveries(cluster):
+    per_pid = {}
+    for pid, m, _t in cluster.deliveries:
+        key = (pid, m.mid)
+        per_pid[key] = per_pid.get(key, 0) + 1
+    dups = {k: v for k, v in per_pid.items() if v > 1}
+    assert not dups, dups
+
+
+def assert_checks(cluster, quiescent):
+    failed = [
+        c.describe() for c in check_all(cluster.history(), quiescent=quiescent) if not c.ok
+    ]
+    assert not failed, failed
+
+
+class TestMultiSession:
+    def test_two_sessions_share_one_cluster(self):
+        async def scenario():
+            # One configured client only: the second session must mint a
+            # fresh id above every configured process (members AND
+            # clients) — seeding from the members alone would hand both
+            # sessions the same pid and silently cross their ack traffic.
+            config = ClusterConfig.build(2, 3, 1, shards_per_group=2)
+            cluster = LocalCluster(
+                config,
+                WbCastProcess,
+                num_sessions=2,
+                client_options=AmcastClientOptions(retry_timeout=0.25, ingress=INGRESS),
+            )
+            await cluster.start()
+            try:
+                assert len({s.pid for s in cluster.sessions}) == 2
+                handles = [
+                    cluster.multicast({0, 1}, session=i % 2) for i in range(12)
+                ]
+                done = await cluster.wait_quiescent(
+                    expected_deliveries(config, handles), timeout=20.0
+                )
+                assert done
+                assert all(h.completed for h in handles)
+                assert_no_duplicate_deliveries(cluster)
+                assert_checks(cluster, quiescent=True)
+                # Message ids stay disjoint across sessions (exactly-once
+                # hinges on per-session id spaces).
+                assert set(cluster.sessions[0].sent).isdisjoint(
+                    cluster.sessions[1].sent
+                )
+            finally:
+                await cluster.stop()
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=60.0))
+
+    def test_modest_session_not_starved_by_flood(self):
+        """Per-session fairness at the leader ingress: while session 1
+        floods the leaders with a wide window, session 0's handful of
+        submissions must still complete promptly — a leader serving one
+        session's queue exhaustively before touching the other's would
+        blow the (generous) bound and fail here."""
+
+        async def scenario():
+            config = ClusterConfig.build(2, 3, 2, shards_per_group=2)
+            cluster = LocalCluster(
+                config,
+                WbCastProcess,
+                num_sessions=2,
+                client_options=[
+                    AmcastClientOptions(retry_timeout=0.5, window=2),
+                    AmcastClientOptions(
+                        retry_timeout=0.5, window=16, ingress=INGRESS
+                    ),
+                ],
+            )
+            await cluster.start()
+            try:
+                flood = [cluster.multicast({0, 1}, session=1) for _ in range(60)]
+                await asyncio.sleep(0)  # let the flood hit the wire first
+                modest = [cluster.multicast({0, 1}, session=0) for _ in range(6)]
+                done, pending = await asyncio.wait(
+                    [
+                        asyncio.ensure_future(
+                            cluster.wait_partial(h.mid, timeout=20.0)
+                        )
+                        for h in modest
+                    ],
+                    timeout=25.0,
+                )
+                assert not pending and all(f.result() for f in done), (
+                    f"modest session starved: "
+                    f"{sum(1 for h in modest if h.completed)}/6 completed "
+                    f"while flood did {sum(1 for h in flood if h.completed)}/60"
+                )
+                # The flood itself must still finish (fairness, not theft).
+                for h in flood:
+                    assert await cluster.wait_partial(h.mid, timeout=20.0)
+                assert_no_duplicate_deliveries(cluster)
+                assert_checks(cluster, quiescent=False)
+            finally:
+                await cluster.stop()
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=120.0))
+
+
+class TestShardedLeaderKill:
+    def test_lane_leader_kill_recovers_that_lane_only(self):
+        async def scenario():
+            config = ClusterConfig.build(2, 3, 1, shards_per_group=2)
+            cluster = LocalCluster(
+                config,
+                WbCastProcess,
+                options=WbCastOptions(retry_interval=0.2),
+                attach_fd=True,
+                fd_options=NET_FD,
+                client_options=AmcastClientOptions(retry_timeout=0.25, ingress=INGRESS),
+            )
+            await cluster.start()
+            try:
+                session_pid = cluster.sessions[0].pid
+                # The session's first block of submissions all ride one
+                # lane; kill that lane's group-0 leader mid-burst.
+                lane = config.lane_of((session_pid, 0))
+                victim = config.lane_leader(0, lane)
+                sibling = 1 - lane
+                warm = cluster.multicast({0, 1})
+                assert await cluster.wait_partial(warm.mid, timeout=10.0)
+                handles = [cluster.multicast({0, 1}) for _ in range(6)]
+                await cluster.kill(victim)
+                for h in handles:
+                    assert await cluster.wait_partial(h.mid, timeout=20.0), (
+                        f"lane-{lane} submission {h.mid} never delivered "
+                        f"after its leader {victim} was killed"
+                    )
+                assert_no_duplicate_deliveries(cluster)
+                assert_checks(cluster, quiescent=False)
+                survivors = [
+                    p for pid, p in cluster.processes.items()
+                    if pid in config.members(0) and pid != victim
+                ]
+                # The killed lane re-elected away from the victim...
+                assert all(
+                    p.lanes[lane].cur_leader[0] != victim for p in survivors
+                )
+                # ...while the sibling lane never left its initial epoch.
+                assert all(p.lanes[sibling].cballot.round == 0 for p in survivors)
+                # The session learned the new lane leader from the traffic.
+                assert cluster.sessions[0].lane_leader[(0, lane)] != victim
+            finally:
+                await cluster.stop()
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=90.0))

@@ -1,0 +1,447 @@
+"""Sharded multi-leader groups: conformance, recovery and differential tests.
+
+The sharding battery covers the three ways lanes can go wrong:
+
+* **routing** — a message handled by the wrong lane (or a client batch
+  split across lane leaders) breaks per-lane timestamp uniqueness;
+* **merging** — members interleaving their lanes' DELIVER streams
+  differently breaks total order, which the randomized cross-lane
+  conformance tests (mixed destination sets, S ∈ {1, 2, 4}, batched and
+  not) would trip;
+* **recovery** — a lane-leader crash must re-elect *that lane only*, and
+  the quorum-replicated lane watermarks must survive the change (a stale
+  promise after failover is exactly the cross-member divergence the
+  differential checks hunt).
+
+Plus the acceptance bar: shard-1 runs are *byte-identical* to the
+unsharded protocols — same classes, same timestamps, same delivery
+sequences.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.checking import WbCastInvariantMonitor
+from repro.checking.total_order import (
+    lane_statistics,
+    projection_by_lane,
+    verify_lane_projections,
+    verify_witness,
+    witness_order,
+)
+from repro.config import BatchingOptions, ClusterConfig
+from repro.errors import ConfigError
+from repro.protocols import (
+    FastCastProcess,
+    FtSkeenProcess,
+    SkeenProcess,
+    WbCastProcess,
+)
+from repro.protocols.base import MulticastBatchMsg
+from repro.protocols.wbcast import (
+    LaneMergeQueue,
+    LaneMsg,
+    ShardedWbCastProcess,
+    WbCastOptions,
+)
+from repro.sim import UniformDelay
+from repro.sim.faults import CrashSpec, FaultPlan
+from repro.types import TS_BOTTOM, Timestamp
+from repro.workload import ClientOptions
+
+from tests.conftest import DELTA, FAST_FD, checks_ok
+
+BATCHED = BatchingOptions(max_batch=8, max_linger=2 * DELTA, pipeline_depth=2)
+INGRESS = BatchingOptions(max_batch=8, max_linger=2 * DELTA)
+
+
+def run_sharded(shards, seed, batching=None, ingress=None, **overrides):
+    config = ClusterConfig.build(3, 3, 3, shards_per_group=shards)
+    kwargs = dict(
+        config=config,
+        messages_per_client=6,
+        dest_k=2,
+        seed=seed,
+        network=UniformDelay(0.0002, 2 * DELTA),
+        batching=batching,
+        attach_genuineness=True,
+    )
+    if ingress is not None:
+        kwargs["client_options"] = ClientOptions(
+            num_messages=6, window=4, ingress=ingress
+        )
+    kwargs.update(overrides)
+    res = run_workload(WbCastProcess, **kwargs)
+    assert res.all_done, f"S={shards}: completed {res.completed}/{res.expected}"
+    return res
+
+
+class TestLaneConfig:
+    def test_lane_of_is_stable_and_spreads(self):
+        config = ClusterConfig.build(2, 3, 2, shards_per_group=4)
+        lanes = [config.lane_of((100, seq)) for seq in range(64)]
+        assert lanes == [config.lane_of((100, seq)) for seq in range(64)]
+        assert set(lanes) == {0, 1, 2, 3}  # four blocks hit every lane
+        # Block-sticky: a window burst of consecutive seqs shares a lane.
+        block = ClusterConfig.LANE_BLOCK
+        assert len({config.lane_of((100, s)) for s in range(block)}) == 1
+        # Distinct origins spread even within one block.
+        assert len({config.lane_of((o, 0)) for o in range(8)}) == 4
+
+    def test_one_shard_degenerates_to_unsharded_layout(self):
+        config = ClusterConfig.build(2, 3, 2)
+        assert config.lane_of((7, 3)) == 0
+        assert config.lane_leaders(0) == config.default_leaders()
+        assert config.lane_timestamp_group(1, 0) == 1
+
+    def test_lane_leaders_round_robin(self):
+        config = ClusterConfig.build(2, 3, 0, shards_per_group=4)
+        assert [config.lane_leader(0, lane) for lane in range(4)] == [0, 1, 2, 0]
+        assert [config.lane_leader(1, lane) for lane in range(4)] == [3, 4, 5, 3]
+
+    def test_shards_validated(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig.build(2, 3, 0, shards_per_group=0)
+
+    def test_sharded_construction_dispatches_to_host(self, config_2x3):
+        from tests.conftest import build_cluster
+
+        sharded = ClusterConfig.build(2, 3, 0, shards_per_group=2)
+        sim, trace, tracker, members = build_cluster(WbCastProcess, sharded)
+        assert all(isinstance(p, ShardedWbCastProcess) for p in members.values())
+        assert all(len(p.lanes) == 2 for p in members.values())
+        # One shard: the plain per-lane class, no host, no envelopes.
+        sim, trace, tracker, members = build_cluster(WbCastProcess, config_2x3)
+        assert all(type(p) is WbCastProcess for p in members.values())
+
+
+class TestLaneMergeQueue:
+    def ts(self, t, g=0):
+        return Timestamp(t, g)
+
+    def test_single_lane_passes_through(self):
+        q = LaneMergeQueue(1)
+        q.push(0, "a", self.ts(1))
+        q.push(0, "b", self.ts(2))
+        assert q.drain() == (["a", "b"], [])
+
+    def test_empty_lane_blocks_until_watermark(self):
+        q = LaneMergeQueue(2)
+        q.push(0, "a", self.ts(5, 0))
+        out, blockers = q.drain()
+        assert out == [] and blockers == [1]
+        assert q.blocked_need(1) == self.ts(5, 0)
+        q.advance(1, self.ts(4, 99))  # not enough: future of lane 1 > (4,99) < (5,0)
+        assert q.drain() == ([], [1])
+        q.advance(1, self.ts(5, 99))
+        assert q.drain() == (["a"], [])
+        assert q.blocked_need(1) is None
+
+    def test_merge_releases_in_gts_order_across_lanes(self):
+        q = LaneMergeQueue(2)
+        q.push(0, "a", self.ts(1, 0))
+        q.push(1, "b", self.ts(2, 1))
+        q.push(0, "c", self.ts(3, 0))
+        q.push(1, "d", self.ts(4, 1))
+        out, blockers = q.drain()
+        # "d" stays queued: lane 0 is empty with floor (3,0) < (4,1).
+        assert out == ["a", "b", "c"] and blockers == [0]
+        q.advance(0, self.ts(4, 99))
+        assert q.drain() == (["d"], [])
+
+    def test_floor_tracks_own_deliveries(self):
+        q = LaneMergeQueue(2)
+        q.push(0, "a", self.ts(1, 0))
+        q.push(1, "b", self.ts(2, 1))
+        # "b" still blocks: lane 0's floor (1,0) does not rule out a
+        # future lane-0 delivery at (2,0) < (2,1).
+        assert q.drain() == (["a"], [0])
+        q.push(0, "c", self.ts(2, 0))
+        # Lane 1's queued head (2,1) bounds lane 1, so "c" releases; then
+        # lane 0's own floor (2,0) has moved past nothing — "b" waits on
+        # a watermark strictly covering it.
+        assert q.drain() == (["c"], [0])
+        q.advance(0, self.ts(2, 99))
+        assert q.drain() == (["b"], [])
+        assert q._floor[1] > TS_BOTTOM
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+class TestShardedConformance:
+    """Randomized cross-lane total order: mixed destination sets, every
+    check of the contract, at one, two and four lanes per group."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_full_contract_unbatched(self, shards, seed):
+        res = run_sharded(shards, seed)
+        checks_ok(res)
+        assert res.genuineness.is_genuine, res.genuineness.violations
+        h = res.history()
+        order = witness_order(h)
+        assert not verify_witness(h, order, quiescent=True)
+        assert not verify_lane_projections(h, order)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_full_contract_batched_with_ingress(self, shards, seed):
+        res = run_sharded(shards, seed, batching=BATCHED, ingress=INGRESS)
+        checks_ok(res)
+        assert res.genuineness.is_genuine, res.genuineness.violations
+        h = res.history()
+        assert not verify_lane_projections(h, witness_order(h))
+
+    def test_lanes_actually_share_the_load(self, shards):
+        res = run_sharded(shards, seed=7)
+        stats = lane_statistics(res.history())
+        assert sum(stats.values()) == res.completed
+        # Lanes are block-sticky per origin (LANE_BLOCK): three sessions
+        # of six messages each occupy one block apiece, so at most three
+        # distinct lanes can appear — and the hash must not collide them.
+        assert len(stats) == min(shards, len(res.config.clients))
+
+    def test_randomized_shape(self, shards):
+        rng = random.Random(1000 + shards)
+        messages = rng.choice([4, 8])
+        dest_k = rng.randint(1, 3)
+        res = run_sharded(
+            shards,
+            seed=11,
+            messages_per_client=messages,
+            dest_k=dest_k,
+            client_options=ClientOptions(num_messages=messages, window=rng.choice([1, 3])),
+        )
+        checks_ok(res)
+
+
+class TestShardedInvariants:
+    def test_fig6_invariants_hold_across_lanes(self):
+        config = ClusterConfig.build(3, 3, 3, shards_per_group=2)
+        monitor = WbCastInvariantMonitor(config)
+        res = run_workload(
+            WbCastProcess,
+            config=config,
+            messages_per_client=6,
+            dest_k=2,
+            seed=13,
+            network=UniformDelay(0.0002, 2 * DELTA),
+            monitors=[monitor],
+        )
+        assert res.all_done
+        stats = monitor.stats()
+        # The monitor must actually see through the lane envelopes.
+        assert stats["proposals"] > 0
+        assert stats["delivers_checked"] > 0
+
+    def test_lane_timestamps_partition(self):
+        """Every delivered witness position belongs to exactly one lane."""
+        res = run_sharded(4, seed=17)
+        h = res.history()
+        order = witness_order(h)
+        per_lane = [projection_by_lane(h, order, lane) for lane in range(4)]
+        assert sorted(mid for lane in per_lane for mid in lane) == sorted(order)
+
+
+class TestClientLaneRouting:
+    def test_ingress_batches_are_single_lane_projections(self):
+        """Client-coalesced wire batches must never mix lanes: a mixed
+        batch would land entries at a leader that does not own them."""
+        res = run_sharded(2, seed=19, ingress=INGRESS)
+        config = res.config
+        batches = [
+            rec
+            for rec in res.trace.sends
+            if isinstance(rec.msg, MulticastBatchMsg)
+            and not config.is_member(rec.src)
+        ]
+        assert batches, "expected client-side MULTICAST_BATCH coalescing"
+        for rec in batches:
+            lanes = {config.lane_of(m.mid) for m in rec.msg.entries}
+            assert len(lanes) == 1
+            (lane,) = lanes
+            # ...and they land at that lane's believed leader-side member.
+            assert config.is_member(rec.dst)
+
+    def test_session_learns_lane_leaders_from_acks(self):
+        res = run_sharded(2, seed=23)
+        client = res.clients[0]
+        assert client.shards == 2
+        config = res.config
+        for (gid, lane), leader in client.lane_leader.items():
+            assert leader in config.members(gid)
+
+
+class TestLaneRecovery:
+    """A lane-leader crash is a single-lane event."""
+
+    def crash_run(self, victim, at, shards=2, seed=29, batching=None, **overrides):
+        config = ClusterConfig.build(2, 3, 2, shards_per_group=shards)
+        kwargs = dict(
+            config=config,
+            messages_per_client=8,
+            dest_k=2,
+            seed=seed,
+            network=UniformDelay(0.0002, 2 * DELTA),
+            protocol_options=WbCastOptions(
+                retry_interval=0.05, batching=batching
+            ),
+            client_options=ClientOptions(num_messages=8, retry_timeout=0.08),
+            fault_plan=FaultPlan(crashes=[CrashSpec(victim, at)]),
+            attach_fd=True,
+            fd_options=FAST_FD,
+            max_time=6.0,
+            drain_grace=0.1,
+        )
+        kwargs.update(overrides)
+        res = run_workload(WbCastProcess, **kwargs)
+        assert res.all_done, f"completed {res.completed}/{res.expected}"
+        return res
+
+    def test_lane_leader_crash_reelects_only_that_lane(self):
+        # pid 1 initially leads lane 1 of group 0 (round-robin deal).
+        res = self.crash_run(victim=1, at=0.004)
+        checks_ok(res, quiescent=False)
+        survivor = res.members[0]  # pid 0: leads lane 0, follows lane 1
+        assert survivor.lanes[0].cballot.round == 0  # lane 0 undisturbed
+        assert survivor.lanes[1].cballot.round > 0  # lane 1 re-elected
+        assert survivor.lanes[1].cur_leader[0] != 1
+
+    def test_lane_leader_crash_mid_batch(self):
+        """Crash while ACCEPT batches are buffered/in flight: the committed
+        prefix survives per message, the tail is re-driven by retries."""
+        res = self.crash_run(victim=1, at=0.0035, batching=BATCHED, seed=31)
+        checks_ok(res, quiescent=False)
+        h = res.history()
+        assert not verify_lane_projections(h, witness_order(h))
+
+    def test_cross_group_same_lane_crash(self):
+        """Kill the same lane's leader in *both* groups simultaneously."""
+        config = ClusterConfig.build(2, 3, 2, shards_per_group=2)
+        res = self.crash_run(
+            victim=1,
+            at=0.004,
+            seed=37,
+            fault_plan=FaultPlan(crashes=[CrashSpec(1, 0.004), CrashSpec(4, 0.004)]),
+            config=config,
+        )
+        checks_ok(res, quiescent=False)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_randomized_crashes_under_sharding(self, seed):
+        rng = random.Random(seed)
+        config = ClusterConfig.build(3, 3, 2, shards_per_group=2)
+        plan = FaultPlan.random_crashes(
+            config, rng, max_total=2, window=(0.003, 0.01)
+        )
+        res = self.crash_run(
+            victim=0,
+            at=0.004,
+            seed=41 + seed,
+            config=config,
+            fault_plan=plan,
+        )
+        checks_ok(res, quiescent=False)
+
+
+class TestShard1Differential:
+    """The acceptance bar: one shard must be *byte-identical* to the
+    unsharded protocol — same process classes, same wire behaviour, same
+    per-process delivery sequences."""
+
+    def delivery_sequences(self, res):
+        return {
+            pid: tuple(res.trace.delivery_order_at(pid))
+            for pid in res.config.all_members
+        }
+
+    @pytest.mark.parametrize(
+        "protocol_cls",
+        [WbCastProcess, FtSkeenProcess, FastCastProcess, SkeenProcess],
+        ids=["wbcast", "ftskeen", "fastcast", "skeen"],
+    )
+    @pytest.mark.parametrize("seed", range(3))
+    def test_shard1_equals_unsharded(self, protocol_cls, seed):
+        group_size = 1 if protocol_cls is SkeenProcess else 3
+        sequences = {}
+        for label, shards in (("unsharded", None), ("shard-1", 1)):
+            config = ClusterConfig.build(
+                3, group_size, 3, shards_per_group=shards or 1
+            )
+            res = run_workload(
+                protocol_cls,
+                config=config,
+                messages_per_client=6,
+                dest_k=2,
+                seed=seed,
+                network=UniformDelay(0.0002, 2 * DELTA),
+            )
+            assert res.all_done
+            checks_ok(res)
+            sequences[label] = self.delivery_sequences(res)
+        assert sequences["unsharded"] == sequences["shard-1"]
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_shard1_batched_equals_unsharded_batched(self, seed):
+        sequences = {}
+        for label, shards in (("unsharded", 1), ("shard-1", 1)):
+            config = ClusterConfig.build(3, 3, 3, shards_per_group=shards)
+            res = run_workload(
+                WbCastProcess,
+                config=config,
+                messages_per_client=6,
+                dest_k=2,
+                seed=seed,
+                network=UniformDelay(0.0002, 2 * DELTA),
+                batching=BATCHED,
+                client_options=ClientOptions(num_messages=6, window=4, ingress=INGRESS),
+            )
+            assert res.all_done
+            sequences[label] = self.delivery_sequences(res)
+        assert sequences["unsharded"] == sequences["shard-1"]
+
+    def test_sharded_delivers_same_message_sets_as_unsharded(self):
+        """S=2 cannot be order-identical to S=1 (different timestamps) but
+        must deliver exactly the same message sets at every process."""
+        sets = {}
+        for shards in (1, 2):
+            config = ClusterConfig.build(3, 3, 3, shards_per_group=shards)
+            res = run_workload(
+                WbCastProcess,
+                config=config,
+                messages_per_client=6,
+                dest_k=2,
+                seed=3,
+                network=UniformDelay(0.0002, 2 * DELTA),
+            )
+            assert res.all_done
+            checks_ok(res)
+            sets[shards] = {
+                pid: frozenset(res.trace.delivery_order_at(pid))
+                for pid in config.all_members
+            }
+        assert sets[1] == sets[2]
+
+
+class TestLaneEnvelope:
+    def test_lane_msg_forwards_accounting_attributes(self):
+        from repro.protocols.wbcast.messages import AcceptBatchMsg
+        from repro.types import Ballot, make_message
+
+        m = make_message(9, 0, {0, 1})
+        inner = AcceptBatchMsg(0, Ballot(0, 0), ((m, Timestamp(1, 0)),))
+        wrapped = LaneMsg(1, inner)
+        assert wrapped.entries == inner.entries
+        assert wrapped.size == inner.size
+        assert wrapped.mids() == [m.mid]
+        with pytest.raises(AttributeError):
+            wrapped.no_such_attribute
+
+    def test_lane_msg_pickles_without_consulting_inner(self):
+        import pickle
+
+        from repro.protocols.wbcast.messages import LaneProbeMsg
+
+        wrapped = LaneMsg(2, LaneProbeMsg(2, Timestamp(5, 1)))
+        clone = pickle.loads(pickle.dumps(wrapped))
+        assert isinstance(clone, LaneMsg)
+        assert clone.lane == 2 and clone.inner == wrapped.inner
