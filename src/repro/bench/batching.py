@@ -91,6 +91,11 @@ class BatchingSweepConfig:
     #: Outstanding multicasts per client; >1 sustains per-leader pressure.
     client_window: int = 4
     seed: int = 42
+    #: Testbed: ``"lan"`` (Fig. 7 CloudLab analogue) or ``"wan"`` (the
+    #: Fig. 8 three-data-centre analogue) — the WAN axis is what the
+    #: ROADMAP's paper-scale *sharded WAN grid* records: lanes spread the
+    #: per-message leader work even when δ, not CPU, dominates latency.
+    topology: str = "lan"
 
 
 def default_sweep() -> BatchingSweepConfig:
@@ -146,9 +151,15 @@ def run_point(
 ) -> BatchingPoint:
     # One measurement = one point of the generic sweep harness; only the
     # protocol and the batching/sharding knobs vary between grid cells.
+    if sweep.topology == "wan":
+        from .topologies import wan_testbed
+
+        topology = lambda config: wan_testbed(config, jitter=sweep.network_jitter)  # noqa: E731
+    else:
+        topology = lambda config: lan_testbed(config, jitter=sweep.network_jitter)  # noqa: E731
     point = sweep_run_point(
         PROTOCOLS[protocol],
-        lambda config: lan_testbed(config, jitter=sweep.network_jitter),
+        topology,
         SweepConfig(
             num_groups=sweep.num_groups,
             group_size=sweep.group_size,
@@ -261,7 +272,8 @@ def peak_speedup(
     return peaks.get(batch, 0.0) / base
 
 
-def batching_table(points: List[BatchingPoint]) -> str:
+def batching_table(points: List[BatchingPoint], topology: str = "lan") -> str:
+    testbed = "Fig. 8 WAN" if topology == "wan" else "Fig. 7 LAN"
     rows = [
         (
             p.protocol,
@@ -295,7 +307,7 @@ def batching_table(points: List[BatchingPoint]) -> str:
             "completed",
         ],
         rows,
-        title="Batching ablation — throughput vs batch size per protocol (Fig. 7 LAN)",
+        title=f"Batching ablation — throughput vs batch size per protocol ({testbed})",
     )
 
 
@@ -426,6 +438,13 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         help="batch-size axis override (default: 1,2,4,8,16)",
     )
     parser.add_argument(
+        "--topology",
+        choices=("lan", "wan"),
+        default="lan",
+        help="testbed: the Fig. 7 LAN (default) or the Fig. 8 "
+        "three-data-centre WAN (sharded WAN grid)",
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
         help="CI smoke grid (per-message vs one batched point)",
@@ -452,13 +471,21 @@ def sweep_from_args(args: argparse.Namespace) -> BatchingSweepConfig:
         sweep = replace(sweep, client_counts=args.clients)
     if args.batch_sizes is not None:
         sweep = replace(sweep, batch_sizes=args.batch_sizes)
+    if args.topology != "lan":
+        # WAN: one-way delays are ~1000x LAN, so the linger window that
+        # lets batches fill scales with them (0.5 ms would be invisible
+        # against a 65 ms hop).
+        from .topologies import WAN_MAX_LINGER
+
+        sweep = replace(sweep, topology=args.topology, max_linger=WAN_MAX_LINGER)
     return sweep
 
 
 def run_main(args: argparse.Namespace) -> None:
     """Run the ablation for an already-parsed argument namespace."""
-    points = run_batching(sweep_from_args(args))
-    print(batching_table(points))
+    sweep = sweep_from_args(args)
+    points = run_batching(sweep)
+    print(batching_table(points, topology=sweep.topology))
     print()
     print(headline(points))
 

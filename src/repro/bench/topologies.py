@@ -25,6 +25,10 @@ from ..types import ProcessId
 #: One-way LAN latency (the paper reports ~0.1 ms RTT).
 LAN_ONE_WAY = 0.00005
 
+#: Batching linger used on the WAN testbed: a few ms against the 30-65 ms
+#: one-way delays — long enough to fill batches, invisible in the latency.
+WAN_MAX_LINGER = 0.005
+
 
 def lan_testbed(config: ClusterConfig, jitter: float = 0.0) -> SiteTopology:
     """Every process on its own machine; uniform 0.05 ms one-way delay."""

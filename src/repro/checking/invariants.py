@@ -46,8 +46,16 @@ class WbCastInvariantMonitor:
         self.processes = processes
         self.probe_interval = max(1, probe_interval)
         self._events_seen = 0
-        # Invariant 1: (mid, gid, ballot) -> lts
-        self._proposed: Dict[Tuple[MessageId, GroupId, Ballot], Timestamp] = {}
+        # Invariant 1, epoch-aware: (mid, gid, ballot, config epoch) -> lts.
+        # A message fenced out of one configuration epoch is legitimately
+        # re-proposed with a fresh timestamp in the next (same ballot!), so
+        # uniqueness is per epoch; without reconfiguration every proposal
+        # carries epoch 0 and the keying is exactly the paper's.
+        self._proposed: Dict[Tuple[MessageId, GroupId, Ballot, int], Timestamp] = {}
+        # All timestamps ever proposed per (mid, gid, ballot) — the ack
+        # premise lookup (acks carry no epoch, so a premise is only
+        # established when the proposal timestamp is unambiguous).
+        self._proposed_lts: Dict[Tuple[MessageId, GroupId, Ballot], Set[Timestamp]] = {}
         # Invariant 3a: (mid, dst group) -> lts; 3b: mid -> gts
         self._deliver_lts: Dict[Tuple[MessageId, GroupId], Timestamp] = {}
         self._deliver_gts: Dict[MessageId, Timestamp] = {}
@@ -58,8 +66,10 @@ class WbCastInvariantMonitor:
         self._accept_sets: Dict[Tuple[MessageId, Tuple], Dict[GroupId, Timestamp]] = {}
         self._ack_tally: Dict[Tuple[MessageId, Tuple], Dict[GroupId, Set[ProcessId]]] = {}
         # Established premises to re-check on every probe:
-        # (mid, gid, ballot of gid, lts of gid, implied gts)
-        self._established: Set[Tuple[MessageId, GroupId, Ballot, Timestamp, Timestamp]] = set()
+        # (mid, gid, admission lane, ballot of gid, lts of gid, implied gts)
+        self._established: Set[
+            Tuple[MessageId, GroupId, int, Ballot, Timestamp, Timestamp]
+        ] = set()
 
     def bind_processes(self, processes: Dict[ProcessId, Any]) -> None:
         """Late-bind live process objects (called by the harness)."""
@@ -96,7 +106,7 @@ class WbCastInvariantMonitor:
     # -- invariant 1 -----------------------------------------------------------
 
     def _check_inv1(self, msg) -> None:
-        key = (msg.m.mid, msg.gid, msg.bal)
+        key = (msg.m.mid, msg.gid, msg.bal, getattr(msg, "epoch", 0))
         prev = self._proposed.get(key)
         if prev is None:
             self._proposed[key] = msg.lts
@@ -104,12 +114,22 @@ class WbCastInvariantMonitor:
             raise InvariantViolation(
                 f"Invariant 1: {key} proposed both {prev} and {msg.lts}"
             )
+        self._proposed_lts.setdefault(key[:3], set()).add(msg.lts)
         # Remember the proposal set per (mid, ballot-of-group) for Inv 2.
 
     # -- invariants 3 and 4 --------------------------------------------------------
 
+    def _gid_of(self, pid: ProcessId) -> Optional[GroupId]:
+        """Group attribution, dynamic members included (None: unknown)."""
+        if self.config.is_member(pid):
+            return self.config.group_of(pid)
+        proc = (self.processes or {}).get(pid)
+        return getattr(proc, "gid", None)
+
     def _check_inv3_inv4(self, rec, msg) -> None:
-        gid = self.config.group_of(rec.dst)
+        gid = self._gid_of(rec.dst)
+        if gid is None:
+            return  # DELIVER to a process we cannot attribute (no premise)
         mid = msg.m.mid
         key = (mid, gid)
         prev_lts = self._deliver_lts.get(key)
@@ -142,10 +162,12 @@ class WbCastInvariantMonitor:
         vector = ack.vector
         lts_by_group = {}
         for gid, bal in vector:
-            lts = self._proposed.get((ack.mid, gid, bal))
-            if lts is None:
-                return  # haven't seen all proposals yet; skip premise tracking
-            lts_by_group[gid] = lts
+            candidates = self._proposed_lts.get((ack.mid, gid, bal))
+            if candidates is None or len(candidates) != 1:
+                # Unseen, or ambiguous across config epochs (acks carry no
+                # epoch): skip premise tracking for this vector.
+                return
+            lts_by_group[gid] = next(iter(candidates))
         key = (ack.mid, vector)
         self._accept_sets[key] = lts_by_group
         tally = self._ack_tally.setdefault(key, {})
@@ -155,23 +177,54 @@ class WbCastInvariantMonitor:
         if len(tally[gid]) >= quorum:
             bal_of_gid = dict(vector)[gid]
             implied_gts = max(lts_by_group.values())
+            # The admission lane is encoded in the proposal timestamp's
+            # tie-break component (gid * capacity + lane): premises are
+            # per lane — ballots of different lanes are incomparable.
+            lane = lts_by_group[gid].group - gid * self.config.shards_per_group
             self._established.add(
-                (ack.mid, gid, bal_of_gid, lts_by_group[gid], implied_gts)
+                (ack.mid, gid, lane, bal_of_gid, lts_by_group[gid], implied_gts)
             )
+
+    def _members_of(self, gid: GroupId):
+        """Live probe targets of group ``gid``, reconfiguration-aware.
+
+        The build-time membership is extended with any bound process that
+        *claims* the group (a dynamic joiner), and probes skip processes
+        that retired (a leaver stops updating its state) or have not
+        installed their state transfer yet (a joiner's wrapper exposes
+        ``protocol=None`` until then).
+        """
+        out = []
+        for proc in self.processes.values():
+            target = getattr(proc, "protocol", proc)
+            if target is None:
+                continue  # joiner mid-transfer: no state to hold anything
+            if getattr(target, "retired", False):
+                continue  # left the configuration: its state is frozen
+            if getattr(target, "gid", None) == gid:
+                out.append(target)
+        return out
 
     def _probe_inv2(self) -> None:
         from ..protocols.wbcast.state import Phase
 
-        for mid, gid, bal, lts, gts in self._established:
-            for pid in self.config.members(gid):
-                proc = self.processes.get(pid)
-                if proc is None:
-                    continue
-                if hasattr(proc, "lane_for"):
+        # One membership scan per probe, not per premise: the premise set
+        # grows with message count, the process map does not.
+        members_by_gid: Dict[GroupId, list] = {}
+        for mid, gid, lane, bal, lts, gts in self._established:
+            if gid not in members_by_gid:
+                members_by_gid[gid] = self._members_of(gid)
+            for proc in members_by_gid[gid]:
+                if hasattr(proc, "lanes"):
                     # Sharded member: the per-message state (records,
-                    # cballot) lives in the lane that owns ``mid``; the
-                    # clock clause still reads the shared process clock.
-                    proc = proc.lane_for(mid)
+                    # cballot) lives in the premise's *admission* lane —
+                    # encoded in the proposal timestamp, so the probe
+                    # stays pinned to it whatever later epochs did to the
+                    # lane hash; the clock clause still reads the shared
+                    # process clock.
+                    if not 0 <= lane < len(proc.lanes):
+                        continue
+                    proc = proc.lanes[lane]
                 if not proc.cballot > bal:
                     continue
                 rec = proc.records.get(mid)
@@ -179,18 +232,18 @@ class WbCastInvariantMonitor:
                     continue  # garbage-collected after full delivery: fine
                 if rec is None or rec.phase not in (Phase.ACCEPTED, Phase.COMMITTED):
                     raise InvariantViolation(
-                        f"Invariant 2a: {pid} at cballot {proc.cballot} > {bal} "
+                        f"Invariant 2a: {proc.pid} at cballot {proc.cballot} > {bal} "
                         f"lost quorum-accepted message {mid} (record={rec})"
                     )
                 if rec.lts != lts:
                     raise InvariantViolation(
-                        f"Invariant 2b: {pid} stores lts {rec.lts} for {mid}, "
+                        f"Invariant 2b: {proc.pid} stores lts {rec.lts} for {mid}, "
                         f"quorum accepted {lts}"
                     )
                 if proc.clock < gts.time:
                     raise InvariantViolation(
-                        f"Invariant 2c: {pid}'s clock {proc.clock} is below the "
-                        f"implied global timestamp {gts} of {mid}"
+                        f"Invariant 2c: {proc.pid}'s clock {proc.clock} is below "
+                        f"the implied global timestamp {gts} of {mid}"
                     )
 
     # -- summary ------------------------------------------------------------------------

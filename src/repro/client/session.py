@@ -32,6 +32,7 @@ from ..protocols.base import (
     SubmitAckMsg,
     SubmitRedirectMsg,
 )
+from ..reconfig.messages import EpochFenceMsg
 from ..protocols.batching import Batcher
 from ..runtime import Runtime, TimerHandle
 from ..types import AmcastMessage, GroupId, MessageId, ProcessId, make_message
@@ -82,6 +83,19 @@ class AmcastClientOptions:
     payload_size: int = 20
     retain_completed: Optional[int] = 1024
     ingress: Optional[BatchingOptions] = None
+    #: Flow-control weight of this session at the leader ingress.  The
+    #: default 1 keeps the legacy FIFO service byte-identical; any session
+    #: with a different weight switches the shared leaders to
+    #: deficit-round-robin service, where concurrent sessions' backlogged
+    #: submissions are admitted proportionally to their weights.
+    weight: int = 1
+    #: Stamp submissions with the session's configuration epoch so leaders
+    #: of a later epoch fence them (answering with a config refresh the
+    #: session applies before its retry re-drives the submission).  Off by
+    #: default: the paper's wire protocol carries no epochs.  Sessions on
+    #: dynamically reconfigured clusters should enable this *and* set
+    #: ``retry_timeout`` — the retry is what re-drives fenced submissions.
+    fence_epoch: bool = False
 
 
 @dataclass
@@ -201,7 +215,82 @@ class AmcastClient(ProtocolProcess):
         self._handlers = {
             SubmitAckMsg: self._on_submit_ack,
             SubmitRedirectMsg: self._on_submit_redirect,
+            EpochFenceMsg: self._on_epoch_fence,
         }
+
+    # -- dynamic reconfiguration -------------------------------------------
+
+    @property
+    def wire_epoch(self) -> Optional[int]:
+        """The epoch stamped on outgoing submissions (None: unfenced)."""
+        return self.config.epoch if self.session_options.fence_epoch else None
+
+    def update_config(self, config: ClusterConfig) -> None:
+        """Adopt a newer cluster configuration (epoch refresh).
+
+        Applied when a leader fences a stale-epoch submission, or directly
+        by a driver that knows the cluster reconfigured.  Learned leader
+        state is kept — acks and redirects remain the authority — and only
+        the *defaults* for unknown (group, lane) pairs refresh; the lane
+        capacity is config-build-time constant, so the routing tables keep
+        their shape.
+        """
+        if config.epoch <= self.config.epoch:
+            return  # stale or duplicate refresh
+        self.config = config
+        shards = (
+            config.shards_per_group
+            if getattr(self.protocol_cls, "SUPPORTS_SHARDING", False)
+            else 1
+        )
+        self.shards = shards
+        for g in config.group_ids:
+            for lane in range(shards):
+                self.lane_leader.setdefault((g, lane), config.lane_leader(g, lane))
+            self.cur_leader.setdefault(g, config.default_leader(g))
+        # Drop leader guesses that point at processes no longer in the
+        # cluster (a leave): fall back to the new config's deal.
+        members = set(config.all_members)
+        for key, leader in list(self.lane_leader.items()):
+            if leader not in members:
+                g, lane = key
+                self.lane_leader[key] = config.lane_leader(g, lane)
+        for g, leader in list(self.cur_leader.items()):
+            if leader not in members:
+                self.cur_leader[g] = config.default_leader(g)
+
+    def _wire_single(self, m: AmcastMessage):
+        """One-message wire frame for retransmissions and re-drives.
+
+        Weighted sessions frame singletons as one-entry batches so their
+        flow-control weight reaches the leader — a bare retry would jump
+        the leader's weighted service queue exactly when retries are most
+        frequent (contention).
+        """
+        if self.session_options.weight == 1:
+            return MulticastMsg(m, self.wire_epoch)
+        return MulticastBatchMsg((m,), self.wire_epoch, self.session_options.weight)
+
+    def _on_epoch_fence(self, sender: ProcessId, msg) -> None:
+        """A leader rejected a stale-epoch submission: refresh and re-drive.
+
+        The refresh retargets the session's routing; the fenced handles
+        are then retransmitted *immediately* at the new epoch — waiting
+        for the retry timer would turn every epoch flip into a
+        retry-interval-long throughput hole.  The retry timer stays armed
+        as the loss backstop, and a fence for an epoch we already adopted
+        re-drives the handles anyway (another group may still be behind).
+        """
+        self.update_config(msg.config)
+        for mid in msg.fenced:
+            handle = self._handles.get(mid)
+            if handle is None or not handle.launched or handle.completed:
+                continue
+            m = handle.message
+            wire = self._wire_single(m)
+            lane = self.config.lane_of(m.mid) if self.shards > 1 else 0
+            for g in sorted(handle.required_acks):
+                self.send(self._leader_of(g, lane), wire)
 
     # -- submission --------------------------------------------------------
 
@@ -263,10 +352,14 @@ class AmcastClient(ProtocolProcess):
         ``MULTICAST_BATCH``.
         """
         gid, lane = key if isinstance(key, tuple) else (key, 0)
-        if len(messages) == 1:
-            wire = MulticastMsg(messages[0])
+        if len(messages) == 1 and self.session_options.weight == 1:
+            wire = MulticastMsg(messages[0], self.wire_epoch)
         else:
-            wire = MulticastBatchMsg(tuple(messages))
+            # A weighted session always submits batch-framed (singletons
+            # included) so its flow-control weight reaches the leader.
+            wire = MulticastBatchMsg(
+                tuple(messages), self.wire_epoch, self.session_options.weight
+            )
         self.send(self._leader_of(gid, lane), wire)
         return None  # no pipelining at the ingress: acks gate via retries
 
@@ -292,7 +385,7 @@ class AmcastClient(ProtocolProcess):
             return
         m = handle.message
         handle.retries += 1
-        wire = MulticastMsg(m)
+        wire = self._wire_single(m)
         if handle.retries <= self.session_options.targeted_retries:
             # Unacked groups first; when everything acked but delivery
             # still hangs (an ack is not durable — the leader may have

@@ -12,7 +12,7 @@ array-friendly and makes configurations trivially reproducible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from .errors import ConfigError
@@ -97,7 +97,7 @@ BATCHING_OFF = BatchingOptions()
 
 @dataclass(frozen=True)
 class ClusterConfig:
-    """Immutable description of a cluster.
+    """Immutable description of a cluster *at one configuration epoch*.
 
     Attributes:
         groups: tuple of groups; each group is a tuple of process ids.
@@ -112,18 +112,55 @@ class ClusterConfig:
             (``lane_of``), identical in every destination group, so the
             lane partition is consistent cluster-wide.  1 (the default) is
             the paper's one-leader-per-group protocol; protocols without
-            sharding support ignore the knob.
+            sharding support ignore the knob.  This is the lane *capacity*
+            fixed at build time (it sizes the timestamp tie-break
+            encoding); ``active_shards`` can dial usage down at runtime.
+        epoch: the configuration epoch.  0 is the build-time configuration;
+            every reconfiguration command (:mod:`repro.reconfig`) delivered
+            through the multicast total order produces a successor config
+            with ``epoch + 1``.  Instances are immutable — reconfiguration
+            *replaces* the config object at the epoch boundary.
+        active_shards: how many of the ``shards_per_group`` lanes accept
+            *new* message traffic (``None``: all of them).  Deactivated
+            lanes stay constructed (their watermark machinery keeps the
+            delivery merge live) but ``lane_of`` stops hashing fresh ids
+            to them.  Keeping the capacity fixed keeps the timestamp
+            encoding (``lane_timestamp_group``) stable across epochs, so
+            timestamps issued in different epochs can never collide.
+        lane_weights: per-member lane-deal weights ``((pid, weight), ...)``.
+            Empty (the default) keeps the legacy round-robin deal
+            byte-identical; any entry switches ``lane_leader`` to a
+            proportional largest-remainder deal, so heterogeneous members
+            lead lane counts proportional to their weight (weight 0: the
+            member follows every lane and leads none).
+        allow_even_groups: accept groups of even size.  The paper's model
+            is 2f+1, which build-time configs enforce; membership changes
+            (a join before the matching leave) transit through even sizes,
+            where quorums are plain majorities.
     """
 
     groups: Tuple[Tuple[ProcessId, ...], ...]
     clients: Tuple[ProcessId, ...] = ()
     batching: Optional[BatchingOptions] = None
     shards_per_group: int = 1
+    epoch: int = 0
+    active_shards: Optional[int] = None
+    lane_weights: Tuple[Tuple[ProcessId, int], ...] = ()
+    allow_even_groups: bool = False
 
     def __post_init__(self) -> None:
         if self.shards_per_group < 1:
             raise ConfigError(
                 f"shards_per_group must be >= 1, got {self.shards_per_group}"
+            )
+        if self.epoch < 0:
+            raise ConfigError(f"epoch must be >= 0, got {self.epoch}")
+        if self.active_shards is not None and not (
+            1 <= self.active_shards <= self.shards_per_group
+        ):
+            raise ConfigError(
+                f"active_shards must be in [1, {self.shards_per_group}], "
+                f"got {self.active_shards}"
             )
         seen: set = set()
         if not self.groups:
@@ -131,7 +168,7 @@ class ClusterConfig:
         for gid, members in enumerate(self.groups):
             if not members:
                 raise ConfigError(f"group {gid} is empty")
-            if len(members) % 2 == 0:
+            if len(members) % 2 == 0 and not self.allow_even_groups:
                 raise ConfigError(
                     f"group {gid} has {len(members)} members; groups must have 2f+1 members"
                 )
@@ -143,6 +180,16 @@ class ClusterConfig:
             if pid in seen:
                 raise ConfigError(f"client {pid} is also a group member")
             seen.add(pid)
+        weighted: set = set()
+        for entry in self.lane_weights:
+            pid, weight = entry
+            if pid in weighted:
+                raise ConfigError(f"lane_weights names process {pid} twice")
+            weighted.add(pid)
+            if pid not in self._group_index():
+                raise ConfigError(f"lane_weights names non-member process {pid}")
+            if weight < 0:
+                raise ConfigError(f"lane weight of {pid} must be >= 0, got {weight}")
 
     # -- construction -----------------------------------------------------
 
@@ -205,8 +252,13 @@ class ClusterConfig:
         return (len(self.groups[gid]) - 1) // 2
 
     def quorum_size(self, gid: GroupId) -> int:
-        """Quorum size f+1 (a majority of 2f+1)."""
-        return self.f(gid) + 1
+        """Quorum size: a plain majority.
+
+        For the paper's odd 2f+1 groups this is exactly f+1; even-size
+        groups (transient states of a membership change) take the strict
+        majority, so any two quorums still intersect.
+        """
+        return len(self.groups[gid]) // 2 + 1
 
     def default_leader(self, gid: GroupId) -> ProcessId:
         """The initial leader of a group: its lowest-id member."""
@@ -228,26 +280,88 @@ class ClusterConfig:
     #: and successive blocks of one origin — still spread over all lanes.
     LANE_BLOCK = 16
 
+    @property
+    def effective_shards(self) -> int:
+        """Lanes accepting new traffic: ``active_shards`` capped by capacity."""
+        return self.active_shards if self.active_shards is not None else self.shards_per_group
+
     def lane_of(self, mid: Tuple[int, int]) -> int:
         """The ordering lane a message id maps to: a stable hash, identical
         at every process (no reliance on Python's randomized ``hash``).
 
         The same lane index is used in *every* destination group, so one
         message involves exactly one lane per group and the per-lane
-        timestamp partition stays consistent cluster-wide.
+        timestamp partition stays consistent cluster-wide.  The hash spans
+        the *active* lanes only — an epoch that dials ``active_shards``
+        down idles the tail lanes for fresh ids (in-flight ids admitted in
+        an earlier epoch stay in their admission lane via the hosts'
+        record-sticky routing).
         """
-        shards = self.shards_per_group
+        shards = self.effective_shards
         if shards <= 1:
             return 0
         origin, seq = mid
         return (origin * 2654435761 + (seq // self.LANE_BLOCK) * 40503) % shards
 
     def lane_leader(self, gid: GroupId, lane: int) -> ProcessId:
-        """The initial leader of lane ``lane`` in group ``gid``: lanes are
-        dealt round-robin across the group's members, so the per-message
-        leader work of a saturated group spreads over all of them."""
+        """The initial leader of lane ``lane`` in group ``gid``.
+
+        Without ``lane_weights`` lanes are dealt round-robin across the
+        group's members (the legacy, byte-identical deal).  With weights,
+        members receive lane counts proportional to their weight (largest
+        remainder), interleaved so no member's lanes cluster — the fix for
+        heterogeneous members, where the round-robin deal caps speedup on
+        whoever draws the extra lane.
+        """
         members = self.groups[gid]
+        if self.lane_weights:
+            deal = self._lane_deal(gid)
+            return deal[lane % len(deal)]
         return members[lane % len(members)]
+
+    def _lane_deal(self, gid: GroupId) -> Tuple[ProcessId, ...]:
+        """The weighted lane→leader deal of group ``gid`` (cached).
+
+        Largest-remainder apportionment of the ``shards_per_group`` lanes
+        over the members' weights, then dealt round-robin over members
+        still owed lanes so each member's lanes spread across the index
+        space.  All-equal weights reproduce the legacy round-robin deal
+        exactly.
+        """
+        cache = self.__dict__.setdefault("_lane_deal_cache", {})
+        deal = cache.get(gid)
+        if deal is not None:
+            return deal
+        members = self.groups[gid]
+        wmap = dict(self.lane_weights)
+        weights = [wmap.get(p, 1) for p in members]
+        total = sum(weights)
+        if total <= 0:
+            weights = [1] * len(members)
+            total = len(members)
+        shards = self.shards_per_group
+        quotas = [shards * w / total for w in weights]
+        counts = [int(q) for q in quotas]
+        leftover = shards - sum(counts)
+        by_remainder = sorted(
+            range(len(members)), key=lambda i: (-(quotas[i] - counts[i]), i)
+        )
+        for i in by_remainder[:leftover]:
+            counts[i] += 1
+        owed = list(counts)
+        out: List[ProcessId] = []
+        while len(out) < shards:
+            for i, pid in enumerate(members):
+                if owed[i] > 0 and len(out) < shards:
+                    owed[i] -= 1
+                    out.append(pid)
+        deal = tuple(out)
+        cache[gid] = deal
+        return deal
+
+    def member_weight(self, pid: ProcessId) -> int:
+        """The lane-deal weight of ``pid`` (1 unless overridden)."""
+        return dict(self.lane_weights).get(pid, 1)
 
     def lane_leaders(self, lane: int) -> Dict[GroupId, ProcessId]:
         """Initial lane-``lane`` leader of every group (lane 0 of an
@@ -262,6 +376,56 @@ class ClusterConfig:
         dense (group, lane) encoding; with one shard it degenerates to the
         plain group id, keeping unsharded timestamps byte-identical."""
         return gid * self.shards_per_group + lane
+
+    # -- reconfiguration transforms ----------------------------------------
+    #
+    # Each transform returns the *successor epoch's* configuration; the
+    # instance itself never mutates.  ``allow_even_groups`` is switched on
+    # for every successor: membership changes legitimately transit through
+    # even group sizes, where ``quorum_size`` is a strict majority.
+
+    def _successor(self, **changes) -> "ClusterConfig":
+        changes.setdefault("epoch", self.epoch + 1)
+        changes.setdefault("allow_even_groups", True)
+        return replace(self, **changes)
+
+    def with_join(self, gid: GroupId, pid: ProcessId) -> "ClusterConfig":
+        """``pid`` joins group ``gid`` (appended; quorums grow immediately,
+        but the joiner only *counts* once its state transfer lets it ack)."""
+        if pid in self._group_index() or pid in self.clients:
+            raise ConfigError(f"process {pid} already exists in the cluster")
+        if not 0 <= gid < len(self.groups):
+            raise ConfigError(f"no group {gid} to join")
+        groups = tuple(
+            members + (pid,) if g == gid else members
+            for g, members in enumerate(self.groups)
+        )
+        return self._successor(groups=groups)
+
+    def with_leave(self, pid: ProcessId) -> "ClusterConfig":
+        """``pid`` leaves its group (quorums shrink at epoch activation)."""
+        gid = self.group_of(pid)  # raises ConfigError for non-members
+        if len(self.groups[gid]) <= 1:
+            raise ConfigError(f"process {pid} is group {gid}'s last member")
+        groups = tuple(
+            tuple(p for p in members if p != pid) if g == gid else members
+            for g, members in enumerate(self.groups)
+        )
+        lane_weights = tuple(
+            (p, w) for p, w in self.lane_weights if p != pid
+        )
+        return self._successor(groups=groups, lane_weights=lane_weights)
+
+    def with_lane_weights(
+        self, weights: Iterable[Tuple[ProcessId, int]]
+    ) -> "ClusterConfig":
+        """Replace the lane-deal weights (validated by ``__post_init__``)."""
+        return self._successor(lane_weights=tuple(sorted(weights)))
+
+    def with_active_shards(self, active: int) -> "ClusterConfig":
+        """Dial the number of lanes accepting new traffic up or down within
+        the build-time capacity (the timestamp encoding stays fixed)."""
+        return self._successor(active_shards=active)
 
     # -- internals --------------------------------------------------------
 

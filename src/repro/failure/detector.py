@@ -75,6 +75,8 @@ class LeaderMonitor:
     # -- heartbeat side -------------------------------------------------------
 
     def _beat_tick(self) -> None:
+        if getattr(self.proc, "retired", False):
+            return  # left the configuration: fall silent so peers re-elect
         if self.proc.is_leader():
             beat = HeartbeatMsg(self.proc.gid, getattr(self.proc, "lane", 0))
             for p in self.proc.group:
@@ -113,6 +115,8 @@ class LeaderMonitor:
         )
 
     def _check_tick(self) -> None:
+        if getattr(self.proc, "retired", False):
+            return  # a retired member neither suspects nor stands
         now = self.proc.runtime.now()
         signature = self._signature()
         if signature != self._ballot_signature:

@@ -67,6 +67,7 @@ class LocalCluster:
         fd_options: Any = None,
         client_options: Optional[AmcastClientOptions] = None,
         num_sessions: int = 1,
+        attach_reconfig: bool = False,
     ) -> None:
         if num_sessions < 1:
             raise ValueError(f"num_sessions must be >= 1, got {num_sessions}")
@@ -77,6 +78,11 @@ class LocalCluster:
         self.attach_fd = attach_fd
         self.fd_options = fd_options
         self.num_sessions = num_sessions
+        #: Dynamic reconfiguration: attach a ReconfigManager to every
+        #: member (epoch activation through the delivery order), run the
+        #: embedded sessions epoch-fenced, and enable ``add_member`` /
+        #: ``submit_reconfig``.
+        self.attach_reconfig = attach_reconfig
         #: Session knobs for the embedded clients; the default retransmits,
         #: so a submission survives leader crashes without manual resends.
         #: One options object per session, or a single one shared by all.
@@ -90,6 +96,12 @@ class LocalCluster:
             self.client_options = [
                 client_options or AmcastClientOptions(retry_timeout=0.25)
             ] * num_sessions
+        if attach_reconfig:
+            from dataclasses import replace as _replace
+
+            self.client_options = [
+                _replace(opts, fence_epoch=True) for opts in self.client_options
+            ]
         self.transports: Dict[ProcessId, NodeTransport] = {}
         self.processes: Dict[ProcessId, Any] = {}
         self.addresses: Dict[ProcessId, Tuple[str, int]] = {}
@@ -98,6 +110,7 @@ class LocalCluster:
         self.killed: Set[ProcessId] = set()
         self.tracker = DeliveryTracker(config)  # completion source for sessions
         self.sessions: List[AmcastClient] = []
+        self.managers: Dict[ProcessId, Any] = {}  # pid -> ReconfigManager
         self._delivery_event = asyncio.Event()
         self._session_transports: List[NodeTransport] = []
         self._session_pids: List[ProcessId] = []
@@ -170,6 +183,10 @@ class LocalCluster:
                 from ..failure.detector import attach_monitor
 
                 attach_monitor(proc, self.fd_options)
+            if self.attach_reconfig:
+                from ..reconfig import ReconfigManager
+
+                self.managers[pid] = ReconfigManager.attach(proc, self.config)
             self.processes[pid] = proc
         for proc in self.processes.values():
             proc.on_start()
@@ -219,6 +236,61 @@ class LocalCluster:
     def multicast(self, dests, payload: Any = None, session: int = 0) -> SubmitHandle:
         """Submit a fresh message through one session; returns its handle."""
         return self.sessions[session].submit(dests, payload)
+
+    # -- dynamic reconfiguration ------------------------------------------------------
+
+    async def add_member(self, gid: int, pid: Optional[ProcessId] = None) -> ProcessId:
+        """Boot a joining member (transport + dormant process) for group
+        ``gid``; returns its pid.  The process waits for its state-transfer
+        snapshots — submit the matching ``JoinCmd`` via
+        :meth:`submit_reconfig` to actually admit it.
+        """
+        if not self.attach_reconfig:
+            raise RuntimeError("add_member requires attach_reconfig=True")
+        from ..reconfig import JoiningMember
+
+        if pid is None:
+            # Above every live transport AND every configured process id —
+            # configured-but-unused client ids are still reserved.
+            pid = max(max(self.addresses), max(self.config.all_processes)) + 1
+        transport = NodeTransport(
+            pid, self.addresses.__getitem__, self._make_dispatch(pid)
+        )
+        await transport.start()
+        self.transports[pid] = transport
+        self.addresses[pid] = (transport.host, transport.port)
+        runtime = NetRuntime(
+            pid, transport, self._record_delivery, seed=self.seed + pid
+        )
+        proc = JoiningMember(
+            pid,
+            self.config,
+            runtime,
+            gid,
+            self.protocol_cls,
+            options=self.options,
+            request_interval=0.1,
+        )
+        self.processes[pid] = proc
+        self.tracker.note_member(pid, gid)
+        proc.on_start()
+        return pid
+
+    def submit_reconfig(self, cmd: Any, session: int = 0) -> SubmitHandle:
+        """Submit a config command to every group through one session."""
+        if not self.attach_reconfig:
+            raise RuntimeError("submit_reconfig requires attach_reconfig=True")
+        return self.sessions[session].submit(frozenset(self.config.group_ids), cmd)
+
+    async def wait_installed(self, pid: ProcessId, timeout: float = 10.0) -> bool:
+        """Await a joiner's full state-transfer installation."""
+        deadline = asyncio.get_event_loop().time() + timeout
+        proc = self.processes[pid]
+        while not getattr(proc, "installed", False):
+            if asyncio.get_event_loop().time() >= deadline:
+                return False
+            await asyncio.sleep(0.01)
+        return True
 
     # -- waiting --------------------------------------------------------------------
 

@@ -27,8 +27,9 @@ at-most-once-with-luck.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Type
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple, Type
 
 from ..config import ClusterConfig
 from ..errors import ProtocolError
@@ -38,9 +39,18 @@ from ..types import AmcastMessage, GroupId, MessageId, ProcessId
 
 @dataclass(frozen=True, slots=True)
 class MulticastMsg:
-    """``MULTICAST(m)``: a client (or a retrying leader) submits ``m``."""
+    """``MULTICAST(m)``: a client (or a retrying leader) submits ``m``.
+
+    ``epoch`` carries the submitter's configuration epoch when its session
+    is reconfiguration-aware (``None``: unfenced, the paper's wire
+    protocol).  A leader at a later epoch rejects fresh stale-epoch
+    admissions and answers with a config refresh, so every destination
+    group admits a given message id in the *same* epoch — the property
+    that keeps the epoch-dependent lane hash consistent cluster-wide.
+    """
 
     m: AmcastMessage
+    epoch: Optional[int] = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -54,9 +64,16 @@ class MulticastBatchMsg:
     inside each entry's ``dest(m)`` and genuineness is preserved.  The
     receiver funnels every entry through the ordinary per-message
     ``MULTICAST`` handler; only the wire/CPU cost is amortised.
+
+    ``epoch`` fences the whole batch (all entries share the submitting
+    session's epoch); ``weight`` is the session's flow-control weight,
+    honoured by the leader's deficit-round-robin ingress service when any
+    session requests a non-default share.
     """
 
     entries: Tuple[AmcastMessage, ...]
+    epoch: Optional[int] = None
+    weight: int = 1
 
     def mids(self) -> List[MessageId]:
         return [m.mid for m in self.entries]
@@ -171,6 +188,35 @@ class AtomicMulticastProcess(ProtocolProcess):
         # While a MULTICAST_BATCH is being unpacked the per-entry acks are
         # suppressed and one coalesced SUBMIT_ACK leaves at the end.
         self._submit_ack_suppressed = False
+        # Dynamic reconfiguration (see repro.reconfig): an attached
+        # ReconfigManager observes deliveries for epoch boundaries; a
+        # member that left the active configuration is ``retired`` — it
+        # ignores all traffic, like a graceful crash.
+        self.reconfig = None
+        self.retired = False
+        # Everyone who was ever a member across the epochs this process
+        # saw: wire-framing decisions (lane envelopes) key off this, not
+        # current membership — a leaver still receives member-framed
+        # stragglers during the activation skew window.
+        self.ever_members = set(config.all_members)
+        self._ever_group: Dict[GroupId, set] = {
+            g: set(config.members(g)) for g in config.group_ids
+        }
+        # Weighted ingress flow control (deficit round robin per client
+        # session); engages only once a batch carries a non-default weight,
+        # so the legacy FIFO path stays byte-identical otherwise.
+        self._drr_queues: Dict[ProcessId, Deque[Tuple[ProcessId, AmcastMessage]]] = {}
+        self._drr_weights: Dict[ProcessId, int] = {}
+        self._drr_deficit: Dict[ProcessId, float] = {}
+        self._drr_order: List[ProcessId] = []
+        self._drr_armed = False
+        # Submissions from sessions *ahead* of our configuration epoch
+        # (their refresh raced our command delivery).  Admitting them now
+        # could split their lane across groups; dropping them prices the
+        # race at a client retry interval.  Since the command is already
+        # committed somewhere (or the client could not know the epoch), we
+        # WILL deliver it — stash and replay at our own activation.
+        self._epoch_stash: Deque[Tuple[ProcessId, Any]] = deque(maxlen=4096)
 
     # -- client-facing API ------------------------------------------------------
 
@@ -198,6 +244,209 @@ class AtomicMulticastProcess(ProtocolProcess):
     def is_leader(self) -> bool:
         raise NotImplementedError
 
+    # -- dynamic reconfiguration hooks ------------------------------------------
+
+    def on_message(self, sender: ProcessId, msg: Any) -> None:
+        if self.retired:
+            return  # left the configuration: behave like a graceful crash
+        mgr = self.reconfig
+        if mgr is not None and mgr.handles(type(msg)):
+            mgr.on_member_message(self, sender, msg)
+            return
+        super().on_message(sender, msg)
+
+    def retire(self) -> None:
+        """Leave the active configuration: ignore all future traffic.
+
+        The process object stays constructed (introspection keeps working,
+        which the invariant monitors rely on) but handles nothing, sends
+        nothing and lets its timers no-op — the epoch-activated successors
+        recover any in-flight state it led via the ordinary NEWLEADER /
+        NEW_STATE machinery.
+        """
+        self.retired = True
+
+    def apply_epoch(self, config: ClusterConfig) -> None:
+        """Adopt the configuration of a newly activated epoch.
+
+        The base class refreshes the membership-derived state every
+        protocol shares; protocols with more derived state (lane deals,
+        admission records) override and extend.
+        """
+        self.config = config
+        self.ever_members.update(config.all_members)
+        for g in config.group_ids:
+            self._ever_group.setdefault(g, set()).update(config.members(g))
+        if self.pid not in config.all_members:
+            self.retire()
+            return
+        self.group = config.members(self.gid)
+        # Un-admitted DRR backlog belongs to the old epoch: its entries
+        # were fenced against the old config and split by the old lane
+        # hash.  Drop it — nothing in it was acked, so the sessions'
+        # retries re-drive every entry with a fresh (fence-checked) epoch.
+        self._drr_reset()
+
+    def _replay_epoch_stash(self) -> None:
+        """Replay submissions that were ahead of our epoch (now caught up).
+
+        Routed through the hosting process (a sharded lane's host) so the
+        admission lane is recomputed under the *new* mapping; anything
+        still ahead (several commands in flight) re-stashes via the fence.
+        Protocols call this at the end of their ``apply_epoch``, after
+        stale-lane record hygiene.
+        """
+        if not self._epoch_stash:
+            return
+        stash, self._epoch_stash = list(self._epoch_stash), deque(maxlen=4096)
+        host = getattr(self, "_shard_host", None) or self
+        for sender, msg in stash:
+            host.on_message(sender, msg)
+
+    def wire_members(self, gid: GroupId) -> Tuple[ProcessId, ...]:
+        """Recipients of group-``gid``-bound protocol broadcasts: current
+        members first, then every departed one.
+
+        Departed members keep receiving proposals and delivery decisions
+        because epoch activation is per-member: between one group's
+        activation of a leave and the leaver's own, the leaver may still
+        be the lane leader other groups' messages must complete at —
+        skipping it would wedge its lane's pre-leave suffix forever.  The
+        cut happens receiver-side (retirement), and quorum-counted rounds
+        (elections, lane advances, GC watermarks) stay on current
+        membership, so departed members never count toward anything.
+
+        The departed set is never pruned: safe, but each leave adds one
+        permanent recipient per broadcast.  Pruning needs an "every group
+        activated epoch e" barrier (a ROADMAP follow-up); deployments that
+        cycle membership heavily pay O(historical leaves) fan-out until
+        then.
+        """
+        current = self.config.members(gid)
+        extra = self._ever_group.get(gid, ()) - set(current)
+        if not extra:
+            return current
+        return current + tuple(sorted(extra))
+
+    def _fence_ingress(self, sender: ProcessId, msg: Any) -> bool:
+        """Reject a stale-epoch client submission (True: fenced, dropped).
+
+        Only *fresh* admissions are fenced — the caller checks this is not
+        a duplicate of something already admitted — and only submissions
+        that carry an epoch at all (``None`` is the unfenced legacy wire
+        protocol, including leader-to-leader retries).  The attached
+        manager answers with a config refresh the client session applies
+        before resubmitting.
+        """
+        mgr = self.reconfig
+        if mgr is None:
+            return False
+        epoch = getattr(msg, "epoch", None)
+        if epoch is None or epoch == mgr.epoch:
+            return False
+        if self._ingress_all_known(msg):
+            # Pure retransmission: every entry is already admitted or
+            # delivered here, so the normal path just acks idempotently —
+            # fencing would cost the session a needless refresh round.
+            return False
+        if epoch > mgr.epoch:
+            # The client's refresh raced our command delivery: hold the
+            # submission until our own activation catches up (replayed by
+            # apply_epoch), so the race costs the command's remaining
+            # delivery latency instead of a client retry interval.
+            self._epoch_stash.append((sender, msg))
+            return True
+        # Behind-us submissions get a config refresh — the manager
+        # resolves the origin session even when the submission arrived
+        # through a member's forward.
+        mgr.fence(self, sender, msg)
+        return True
+
+    # -- weighted ingress flow control (deficit round robin) --------------------
+
+    def _drr_active(self, msg: MulticastBatchMsg) -> bool:
+        """Whether this batch goes through weighted service.
+
+        Engages on the first batch carrying a non-default weight and stays
+        engaged while any backlog exists, so one weighted session pulls
+        every concurrent session into the same (fair-by-weight) queue
+        discipline; clusters where nobody sets a weight never enter it.
+        """
+        return msg.weight != 1 or bool(self._drr_queues)
+
+    def _drr_enqueue(self, sender: ProcessId, msg: MulticastBatchMsg) -> None:
+        origin = msg.entries[0].mid[0]
+        self._drr_weights[origin] = max(1, msg.weight)
+        if origin not in self._drr_queues:
+            self._drr_queues[origin] = deque()
+            self._drr_order.append(origin)
+        queue = self._drr_queues[origin]
+        for m in msg.entries:
+            queue.append((sender, m))
+
+    #: Pacing of DRR continuation rounds (virtual seconds).  Under load,
+    #: rounds are driven by ingress arrivals themselves; the timer only
+    #: drains a leftover backlog once arrivals quiesce.  A zero delay
+    #: would drain the whole backlog between two arrivals and collapse
+    #: the discipline back to FIFO-by-arrival.
+    DRR_PACE = 5e-5
+
+    def _drr_tick(self) -> None:
+        """The paced continuation: clears the armed flag, serves a round."""
+        self._drr_armed = False
+        self._drr_pump()
+
+    def _drr_pump(self) -> None:
+        """Serve one deficit-round-robin round over the session queues.
+
+        Each round credits every backlogged session its weight and admits
+        that many entries, so concurrent sessions are served proportionally
+        to their weights rather than in arrival order.  One round per
+        ingress arrival (plus the paced drain timer) is what lets later
+        arrivals interleave by weight instead of the first batch
+        monopolising the leader.  Direct (arrival-driven) invocations
+        leave any pending pace timer armed — re-arming per arrival would
+        accumulate timers and collapse the pacing back to FIFO drain.
+        """
+        if self.retired or not self._accepts_ingress():
+            # Leadership moved mid-backlog: drop the queues; client
+            # retries re-drive the entries at whoever leads now.
+            self._drr_reset()
+            return
+        for origin in list(self._drr_order):
+            queue = self._drr_queues.get(origin)
+            if not queue:
+                continue
+            self._drr_deficit[origin] = (
+                self._drr_deficit.get(origin, 0.0) + self._drr_weights.get(origin, 1)
+            )
+            take = min(len(queue), int(self._drr_deficit[origin]))
+            if take <= 0:
+                continue
+            self._drr_deficit[origin] -= take
+            chunk = [queue.popleft() for _ in range(take)]
+            acked: Dict[ProcessId, List[MessageId]] = {}
+            self._submit_ack_suppressed = True
+            try:
+                for src, m in chunk:
+                    self._on_multicast(src, MulticastMsg(m))
+                    acked.setdefault(src, []).append(m.mid)
+            finally:
+                self._submit_ack_suppressed = False
+            for src, mids in acked.items():
+                self._ack_submission(src, mids)
+        if any(self._drr_queues.values()):
+            if not self._drr_armed:
+                self._drr_armed = True
+                self.runtime.set_timer(self.DRR_PACE, self._drr_tick)
+        else:
+            self._drr_reset()
+
+    def _drr_reset(self) -> None:
+        self._drr_queues.clear()
+        self._drr_deficit.clear()
+        self._drr_order.clear()
+
     # -- submission ingress (shared by all protocols) ---------------------------
 
     def _ingress_forward_target(self) -> Optional[ProcessId]:
@@ -221,6 +470,19 @@ class AtomicMulticastProcess(ProtocolProcess):
     def _accepts_ingress(self) -> bool:
         """Whether this process currently accepts client submissions."""
         return self.is_leader()
+
+    def _stash_ingress(self, sender: ProcessId, msg: Any) -> None:
+        """Hold (or drop) ingress that can neither admit nor forward.
+
+        Default: drop, the pre-stash behaviour — client retries re-drive
+        it.  Protocols with an election stash (WbCast) override.
+        """
+
+    def _ingress_all_known(self, msg: Any) -> bool:
+        """Whether every entry of an ingress message is a duplicate of
+        something this process already admitted or delivered (protocols
+        with per-message records override; default: unknown → False)."""
+        return False
 
     def _ack_submission(self, sender: ProcessId, mids: Iterable[MessageId]) -> None:
         """Ack a client submission towards the session that made it.
@@ -269,11 +531,21 @@ class AtomicMulticastProcess(ProtocolProcess):
         """
         if not self._accepts_ingress():
             if not self._ingress_may_forward():
-                return  # mid-election: any forward/redirect would name a corpse
+                # Mid-election: any forward/redirect would name a corpse.
+                # Protocols with an ingress stash hold the batch instead
+                # of dropping it (replayed when the role settles).
+                self._stash_ingress(sender, msg)
+                return
             target = self._ingress_forward_target()
             if target is not None and target != self.pid:
                 self.send(target, msg)
                 self._redirect_submission(sender, msg.mids())
+            return
+        if self._fence_ingress(sender, msg):
+            return
+        if self._drr_active(msg):
+            self._drr_enqueue(sender, msg)
+            self._drr_pump()
             return
         self._submit_ack_suppressed = True
         try:
@@ -290,5 +562,17 @@ class AtomicMulticastProcess(ProtocolProcess):
         return self.config.quorum_size(self.gid)
 
     def deliver(self, m: AmcastMessage) -> None:
-        """Record an application-level delivery of ``m``."""
+        """Record an application-level delivery of ``m``.
+
+        With a reconfiguration manager attached the delivery point doubles
+        as the epoch boundary: a delivered config command activates the
+        successor epoch *here*, i.e. at the same position of the delivery
+        total order on every member of every group.
+        """
         self.runtime.deliver(m)
+        # The manager hook runs *after* the delivery is recorded: epoch
+        # activation may cascade into further work (state transfer, stash
+        # replays) whose own deliveries must sequence behind this one.
+        mgr = self.reconfig
+        if mgr is not None:
+            mgr.on_local_deliver(self, m)

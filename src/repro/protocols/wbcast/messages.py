@@ -30,12 +30,19 @@ def make_vector(ballots: Dict[GroupId, Ballot]) -> BallotVector:
 @dataclass(frozen=True, slots=True)
 class AcceptMsg:
     """``ACCEPT(m, g, b, lts)``: group ``g``'s leader (at ballot ``b``)
-    proposes local timestamp ``lts`` for ``m`` (Fig. 4 line 9)."""
+    proposes local timestamp ``lts`` for ``m`` (Fig. 4 line 9).
+
+    ``epoch`` names the configuration epoch the proposal was issued in
+    (always 0 without dynamic reconfiguration).  Epoch-aware invariant
+    monitors key Invariant 1 per epoch: a message fenced out of one epoch
+    is legitimately re-proposed with a fresh timestamp in the next.
+    """
 
     m: AmcastMessage
     gid: GroupId
     bal: Ballot
     lts: Timestamp
+    epoch: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -63,6 +70,7 @@ class AcceptBatchMsg:
     gid: GroupId
     bal: Ballot
     entries: Tuple[Tuple[AmcastMessage, Timestamp], ...]
+    epoch: int = 0
 
     def mids(self) -> List[MessageId]:
         return [m.mid for m, _ in self.entries]
@@ -264,7 +272,15 @@ class LaneAdvanceAckMsg:
 class LaneWatermarkMsg:
     """``LANE_WATERMARK(l, w)``: lane ``l``'s leader promises that every
     future delivery of the lane has a global timestamp strictly above
-    ``w`` (the promise is quorum-backed via ``LANE_ADVANCE``)."""
+    ``w`` (the promise is quorum-backed via ``LANE_ADVANCE``).
+
+    ``assumes`` is the leader's delivery watermark at promise time: "past"
+    in the promise means *delivered up to here*.  A receiver whose own
+    lane has not applied that prefix (its DELIVERs were dropped during a
+    leader change and will be re-delivered by the successor) must ignore
+    the watermark — advancing its merge floor past deliveries it never
+    applied would release other lanes' messages out of order."""
 
     lane: int
     watermark: Timestamp
+    assumes: Optional[Timestamp] = None

@@ -17,8 +17,9 @@ intra-group replication:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Any, Deque, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ...config import BATCHING_OFF, BatchingOptions, ClusterConfig
 from ...runtime import Runtime
@@ -89,6 +90,19 @@ class WbCastOptions:
     #: ever sent; the delay only prices the idle-lane case (probe frames
     #: are ack-sized, so erring short costs little).
     lane_probe_delay: float = 0.0001
+    #: ``"fixed"`` always waits ``lane_probe_delay``; ``"adaptive"`` scales
+    #: the wait to an EWMA of the lane's observed inter-DELIVER gaps
+    #: (mirroring the adaptive batching linger): a busy lane's next DELIVER
+    #: is usually due within its typical gap, so waiting about that long
+    #: avoids needless probes, while a lane whose gap estimate is tiny
+    #: probes almost immediately once it *does* fall idle.  The estimate is
+    #: clamped to [``lane_probe_min``, ``lane_probe_max``]; a lane with no
+    #: samples yet uses ``lane_probe_delay``.
+    lane_probe_mode: str = "fixed"
+    lane_probe_min: float = 0.00002
+    lane_probe_max: float = 0.002
+    #: Smoothing factor of the inter-DELIVER EWMA (newest-sample weight).
+    lane_probe_alpha: float = 0.25
 
 
 class WbCastProcess(AtomicMulticastProcess):
@@ -154,6 +168,9 @@ class WbCastProcess(AtomicMulticastProcess):
         # timestamp component is the plain group id).
         self.cur_leader = config.lane_leaders(lane)
         self._ts_group = config.lane_timestamp_group(self.gid, lane)
+        #: Configuration epoch of the config currently applied (stamped
+        #: into ACCEPTs so epoch-aware monitors can key invariants by it).
+        self.config_epoch = config.epoch
         self.options = options or WbCastOptions()
         # Effective batching knobs: per-process options win, then the
         # cluster-wide default, then off (the paper's per-message protocol).
@@ -169,6 +186,12 @@ class WbCastProcess(AtomicMulticastProcess):
         self.cballot: Ballot = initial
         self.ballot: Ballot = initial
         self.max_delivered_gts: Optional[Timestamp] = None
+        # Highest gts this process has *broadcast* a delivery decision for
+        # (as leader).  Trails into watermark ``assumes``: a promise's
+        # notion of "past deliveries" must cover everything sent — the
+        # leader's own loopback copy may still be in flight, and a clock-
+        # based promise would otherwise jump over it.
+        self._max_decided_gts: Optional[Timestamp] = None
         # -- derived / bookkeeping --------------------------------------------
         self.queue = DeliveryQueue()  # leader-side delivery ordering
         # Submission-dedup table: watermark-compacted delivered message ids
@@ -191,6 +214,22 @@ class WbCastProcess(AtomicMulticastProcess):
         self._advanced_floor: int = 0
         self._advance_pending: Optional[int] = None
         self._advance_acks: Set[ProcessId] = set()
+        # Ingress received while RECOVERING: neither admissible (we may
+        # not be leader) nor forwardable (Cur_leader names the very leader
+        # being replaced), but dropping it prices every election at one
+        # client retry interval of stalled submissions.  Stash and replay
+        # once the role settles; the bound caps memory, and anything aged
+        # out is re-driven by client retries as before.
+        self._ingress_stash: Deque[Tuple[ProcessId, Any]] = deque(maxlen=4096)
+        # A deposed leader's PROPOSED-only admissions: recovery drops them
+        # (their timestamps were never quorum-replicated), and in a crash
+        # only client retries can re-drive them.  In a *planned* handoff
+        # the deposed leader is alive — it re-submits them to its
+        # successor the moment NEW_STATE names it, shrinking the epoch
+        # flip's throughput dip from a client retry interval to the
+        # election's own latency.  Dedup makes the re-submission
+        # idempotent whatever the clients do in parallel.
+        self._handoff_redrive: List[AmcastMessage] = []
         # Recovery state (volatile, per candidate ballot).
         self._nl_acks: Dict[ProcessId, NewLeaderAckMsg] = {}
         self._nl_ballot: Optional[Ballot] = None
@@ -267,7 +306,9 @@ class WbCastProcess(AtomicMulticastProcess):
         receiving host can route it to its lane peer; client-bound frames
         (submission acks/redirects) stay bare — clients are lane-agnostic
         on the wire and learn lanes from the ack metadata instead."""
-        if self._shard_host is not None and self.config.is_member(to):
+        if self._shard_host is not None and (
+            self.config.is_member(to) or to in self.ever_members
+        ):
             self.runtime.send(to, LaneMsg(self.lane, msg))
         else:
             self.runtime.send(to, msg)
@@ -295,6 +336,9 @@ class WbCastProcess(AtomicMulticastProcess):
         """Fig. 4 lines 3–9 (plus leader forwarding for wrong guesses)."""
         m = msg.m
         if self.status is not Status.LEADER:
+            if self.status is Status.RECOVERING:
+                self._stash_ingress(sender, msg)
+                return
             # The client's Cur_leader guess was stale: forward to whoever we
             # currently believe leads our group (§IV "normal operation").
             target = self.cur_leader.get(self.gid)
@@ -302,13 +346,19 @@ class WbCastProcess(AtomicMulticastProcess):
                 self.send(target, msg)
                 self._redirect_submission(sender, (m.mid,))
             return
+        if m.mid in self.delivered_ids and m.mid not in self.records:
+            # Garbage-collected: every destination group is done with m.
+            # Duplicates are acked whatever their epoch — re-fencing a
+            # finished message would only prolong the client's retries.
+            self._ack_submission(sender, (m.mid,))
+            return
+        rec = self.records.get(m.mid)
+        fresh = rec is None or rec.phase is Phase.START
+        if fresh and self._fence_ingress(sender, msg):
+            return  # stale-epoch fresh admission: the client refreshes first
         # Registered (or already done with) — either way the submission is
         # safe with this leader: ack so the client session stops retrying.
         self._ack_submission(sender, (m.mid,))
-        if m.mid in self.delivered_ids and m.mid not in self.records:
-            return  # garbage-collected: every destination group is done with m
-        rec = self.records.get(m.mid)
-        fresh = rec is None or rec.phase is Phase.START
         if fresh:
             # First receipt (line 5): assign a fresh local timestamp.  Under
             # batching the timestamp is still assigned *now*, so buffering
@@ -334,9 +384,9 @@ class WbCastProcess(AtomicMulticastProcess):
     def _send_accept(self, rec: MsgRecord) -> None:
         """(Re)send ACCEPT with the locally stored data (line 9); duplicates
         re-use the stored timestamp, preserving Invariant 1."""
-        accept = AcceptMsg(rec.m, self.gid, self.cballot, rec.lts)
+        accept = AcceptMsg(rec.m, self.gid, self.cballot, rec.lts, self.config_epoch)
         for g in sorted(rec.m.dests):
-            for p in self.config.members(g):
+            for p in self.wire_members(g):
                 self.send(p, accept)
 
     # ------------------------------------------------------- leader-side batching
@@ -364,9 +414,9 @@ class WbCastProcess(AtomicMulticastProcess):
             self._gc_batch_members[batch.seq] = members
             for mid in members:
                 self._gc_batch_of[mid] = batch.seq
-        msg = AcceptBatchMsg(self.gid, self.cballot, tuple(entries))
+        msg = AcceptBatchMsg(self.gid, self.cballot, tuple(entries), self.config_epoch)
         for g in sorted(key):
-            for p in self.config.members(g):
+            for p in self.wire_members(g):
                 self.send(p, msg)
         return batch
 
@@ -423,7 +473,7 @@ class WbCastProcess(AtomicMulticastProcess):
             for m, lts in msg.entries:
                 # One source of truth: each entry runs the per-message
                 # ACCEPT handler; only the acks are rerouted to the sink.
-                self._on_accept(sender, AcceptMsg(m, msg.gid, msg.bal, lts))
+                self._on_accept(sender, AcceptMsg(m, msg.gid, msg.bal, lts, msg.epoch))
         finally:
             self._ack_sink = None
         per_leader: Dict[ProcessId, List[Tuple[MessageId, BallotVector]]] = {}
@@ -554,14 +604,17 @@ class WbCastProcess(AtomicMulticastProcess):
             out.append((m, rec.lts, gts))
         if not out:
             return
+        top = out[-1][2]  # pop_deliverable yields in ascending gts order
+        if self._max_decided_gts is None or self._max_decided_gts < top:
+            self._max_decided_gts = top
         if self.batching.enabled and len(out) > 1:
             bmsg = DeliverBatchMsg(self.cballot, tuple(out))
-            for p in self.group:  # includes ourselves, for uniformity
+            for p in self.wire_members(self.gid):  # includes ourselves
                 self.send(p, bmsg)
             return
         for m, lts, gts in out:
             dmsg = DeliverMsg(m, self.cballot, lts, gts)
-            for p in self.group:
+            for p in self.wire_members(self.gid):
                 self.send(p, dmsg)
 
     def _on_deliver_batch(self, sender: ProcessId, msg: DeliverBatchMsg) -> None:
@@ -603,7 +656,7 @@ class WbCastProcess(AtomicMulticastProcess):
                       MulticastMsg(rec.m))
 
     def _retry_tick(self) -> None:
-        if self.options.retry_interval is None:
+        if self.options.retry_interval is None or self.retired:
             return
         interval = self.options.retry_interval
         if self.status is Status.LEADER:
@@ -621,6 +674,8 @@ class WbCastProcess(AtomicMulticastProcess):
 
     def recover(self) -> None:
         """Fig. 4 lines 35–36: stand for election with a fresh ballot."""
+        if self.retired:
+            return  # left the configuration between scheduling and firing
         round_ = max(self.ballot.round, self.cballot.round) + 1
         bal = Ballot(round_, self.pid)
         for p in self.group:  # includes ourselves
@@ -630,6 +685,14 @@ class WbCastProcess(AtomicMulticastProcess):
         """Fig. 4 lines 37–41: join the higher ballot, ship our state."""
         if not msg.bal > self.ballot:
             return
+        if self.status is Status.LEADER:
+            # Being deposed: remember our un-replicated admissions so we
+            # can re-drive them at the winner (planned-handoff fast path).
+            self._handoff_redrive = [
+                rec.m
+                for rec in self.records.values()
+                if rec.phase is Phase.PROPOSED
+            ]
         self.status = Status.RECOVERING
         self.ballot = msg.bal
         self._observe_ballot(self.gid, msg.bal)
@@ -751,6 +814,16 @@ class WbCastProcess(AtomicMulticastProcess):
         self._reset_batching()
         self.send(sender, NewStateAckMsg(msg.bal))
         self._rescan_accept_buffers()
+        self._replay_ingress_stash()
+        if self._handoff_redrive:
+            redrive, self._handoff_redrive = self._handoff_redrive, []
+            leader = msg.bal.leader()
+            for m in redrive:
+                # Skip what the transfer already carried; the rest lost
+                # their (never-replicated) timestamps with our deposition
+                # and re-enter admission at the successor.
+                if m.mid not in self.records and m.mid not in self.delivered_ids:
+                    self.send(leader, MulticastMsg(m))
 
     def _on_new_state_ack(self, sender: ProcessId, msg: NewStateAckMsg) -> None:
         """Fig. 4 lines 63–68."""
@@ -773,6 +846,29 @@ class WbCastProcess(AtomicMulticastProcess):
             if rec.phase is Phase.ACCEPTED:
                 self.retry(rec.mid)
         self._rescan_accept_buffers()
+        self._replay_ingress_stash()
+
+    def _stash_ingress(self, sender: ProcessId, msg: Any) -> None:
+        """Hold client ingress that arrived mid-election (see __init__)."""
+        self._ingress_stash.append((sender, msg))
+
+    def _ingress_all_known(self, msg: Any) -> bool:
+        mids = msg.mids() if hasattr(msg, "mids") else [msg.m.mid]
+        return all(mid in self.records or mid in self.delivered_ids for mid in mids)
+
+    def _replay_ingress_stash(self) -> None:
+        """Re-run stashed ingress now that the role settled.
+
+        As LEADER the entries admit; as FOLLOWER they forward to the new
+        leader with a client redirect — either way the client sees an
+        answer within the election's own latency instead of a retry
+        interval later.
+        """
+        if not self._ingress_stash:
+            return
+        stash, self._ingress_stash = list(self._ingress_stash), deque(maxlen=4096)
+        for sender, msg in stash:
+            self.on_message(sender, msg)
 
     def _rescan_accept_buffers(self) -> None:
         """Re-evaluate buffered proposal sets after a status/ballot change."""
@@ -785,7 +881,7 @@ class WbCastProcess(AtomicMulticastProcess):
     # ------------------------------------------------------------ garbage collection
 
     def _gc_tick(self) -> None:
-        if self.options.gc_interval is None:
+        if self.options.gc_interval is None or self.retired:
             return
         if self.status is Status.FOLLOWER and self.max_delivered_gts is not None:
             leader = self.cur_leader.get(self.gid)
@@ -947,8 +1043,13 @@ class WbCastProcess(AtomicMulticastProcess):
             return
         if not any(bound.time >= need.time for need in self._probe_waiters.values()):
             return  # no waiter satisfiable yet; re-serviced as state moves
-        if self._advance_pending is not None and self._advance_pending >= bound.time:
-            return  # a round covering this floor is already in flight
+        if self._advance_pending is not None:
+            # A round is already in flight: let it complete.  Superseding
+            # it with every clock tick resets the ack tally and livelocks
+            # the watermark under sustained load (the bound then only
+            # stabilises once traffic drains); completion re-services the
+            # waiters and starts the next round at the higher bound.
+            return
         self._advance_pending = bound.time
         self._advance_acks = {self.pid}
         adv = LaneAdvanceMsg(self.cballot, bound.time)
@@ -978,13 +1079,77 @@ class WbCastProcess(AtomicMulticastProcess):
         self._advance_pending = None
         self._advance_acks = set()
         self._reply_watermarks(Timestamp(self._advanced_floor, TS_TIE_MAX))
+        if self._probe_waiters:
+            # Waiters above the just-replicated floor: chase them with a
+            # fresh round at the current (higher) bound.
+            self._service_probes()
 
     def _reply_watermarks(self, w: Timestamp) -> None:
         for sender in [s for s, need in self._probe_waiters.items() if not w < need]:
             del self._probe_waiters[sender]
             # Bare send: the prober's *host* (merge layer) consumes this,
             # not its lane peer, so it must not wear the lane envelope.
-            self.runtime.send(sender, LaneWatermarkMsg(self.lane, w))
+            # ``assumes`` pins the delivery prefix the promise takes as
+            # past — everything this leader has *broadcast* (not merely
+            # self-applied) — so a prober that missed any of it (dropped
+            # DELIVERs during a leader change, or a decision still in
+            # flight) rejects the watermark instead of releasing other
+            # lanes' traffic over a hole.
+            assumes = self.max_delivered_gts
+            if assumes is None or (
+                self._max_decided_gts is not None and assumes < self._max_decided_gts
+            ):
+                assumes = self._max_decided_gts
+            self.runtime.send(sender, LaneWatermarkMsg(self.lane, w, assumes))
+
+    # ------------------------------------------------- dynamic reconfiguration
+
+    def apply_epoch(self, config: ClusterConfig) -> None:
+        """Activate a successor configuration epoch on this (lane) process.
+
+        Runs at the config command's delivery point, so every group member
+        applies it at the same position of the delivery total order.  On
+        top of the base membership refresh:
+
+        * records still only PROPOSED whose *fresh-admission* lane moved
+          (an ``active_shards`` change) are dropped — their proposal sets
+          can never complete because some destination group fenced the
+          submission; the client's epoch-refreshed resubmission re-admits
+          them cleanly.  ACCEPTED/COMMITTED records stay and finish in
+          their admission lane (the per-lane epoch handoff) — a complete
+          proposal set proves every group admitted them pre-flip.
+        * if the epoch's lane deal hands this lane to this process, it
+          stands for election — the ordinary NEWLEADER / NEW_STATE rounds
+          are the state handoff, draining the old leader's in-flight
+          messages instead of dropping them.
+        """
+        old = self.config
+        super().apply_epoch(config)
+        self.config_epoch = config.epoch
+        if self.retired:
+            return
+        if old.effective_shards != config.effective_shards:
+            for mid, rec in list(self.records.items()):
+                if rec.phase is Phase.PROPOSED and config.lane_of(mid) != self.lane:
+                    del self.records[mid]
+                    self.queue.clear_pending(mid)
+                    self._touched.pop(mid, None)
+                    self._note_batch_done(mid)
+        self._epoch_handoff(old, config)
+        self._replay_epoch_stash()
+
+    def _epoch_handoff(self, old: ClusterConfig, config: ClusterConfig) -> None:
+        """Stand for election when the new epoch's lane deal names us."""
+        new_leader = config.lane_leader(self.gid, self.lane)
+        old_leader = old.lane_leader(self.gid, self.lane)
+        if (
+            new_leader == self.pid
+            and new_leader != old_leader
+            and self.status is not Status.LEADER
+        ):
+            # Deferred: activation runs inside a delivery handler, and an
+            # election fires a NEWLEADER broadcast plus state rounds.
+            self.runtime.set_timer(0.0, self.recover)
 
     # ------------------------------------------------------------------ misc
 

@@ -75,26 +75,40 @@ class LaneMergeQueue:
         if watermark > self._floor[lane]:
             self._floor[lane] = watermark
 
+    def pop_next(self) -> Tuple[Optional[AmcastMessage], List[int]]:
+        """Pop the single next releasable message, or report the empty
+        lanes blocking the current minimal head (probe candidates).
+
+        One at a time on purpose: the host runs delivery side effects
+        between pops (epoch activation hooks cut state-transfer snapshots
+        mid-stream), so the queue state must stay consistent with the
+        application log at every release.
+        """
+        best: Optional[int] = None
+        best_gts: Optional[Timestamp] = None
+        for lane, q in enumerate(self._queues):
+            if q and (best_gts is None or q[0][1] < best_gts):
+                best, best_gts = lane, q[0][1]
+        if best is None:
+            return None, []
+        blockers = [
+            lane
+            for lane, q in enumerate(self._queues)
+            if lane != best and not q and self._floor[lane] < best_gts
+        ]
+        if blockers:
+            return None, blockers
+        return self._queues[best].popleft()[0], []
+
     def drain(self) -> Tuple[List[AmcastMessage], List[int]]:
         """Pop every releasable message; also report which empty lanes
         block the current minimal head (candidates for a probe)."""
         out: List[AmcastMessage] = []
         while True:
-            best: Optional[int] = None
-            best_gts: Optional[Timestamp] = None
-            for lane, q in enumerate(self._queues):
-                if q and (best_gts is None or q[0][1] < best_gts):
-                    best, best_gts = lane, q[0][1]
-            if best is None:
-                return out, []
-            blockers = [
-                lane
-                for lane, q in enumerate(self._queues)
-                if lane != best and not q and self._floor[lane] < best_gts
-            ]
-            if blockers:
+            m, blockers = self.pop_next()
+            if m is None:
                 return out, blockers
-            out.append(self._queues[best].popleft()[0])
+            out.append(m)
 
     def blocked_need(self, lane: int) -> Optional[Timestamp]:
         """The gts lane ``lane`` currently blocks (None when it doesn't)."""
@@ -109,6 +123,11 @@ class LaneMergeQueue:
     @property
     def queued_count(self) -> int:
         return sum(len(q) for q in self._queues)
+
+    def lane_snapshot(self, lane: int) -> List[Tuple[AmcastMessage, Timestamp]]:
+        """Entries lane ``lane`` has delivered but the merge still holds —
+        the cut-consistency complement a joiner's state transfer ships."""
+        return list(self._queues[lane])
 
 
 class ShardedWbCastProcess(AtomicMulticastProcess):
@@ -145,9 +164,16 @@ class ShardedWbCastProcess(AtomicMulticastProcess):
             for lane in range(self.shards)
         ]
         self.merge = LaneMergeQueue(self.shards)
+        self.config_epoch = config.epoch
         #: Lanes with a probe timer armed (blocked merges probe lazily:
         #: under load the lane's next DELIVER usually wins the race).
         self._probe_armed: Set[int] = set()
+        # Adaptive lane-probe estimator: per-lane EWMA of inter-DELIVER
+        # gaps (mirroring the adaptive batching linger), read by
+        # :meth:`probe_delay` when ``options.lane_probe_mode`` is adaptive.
+        self._lane_last_deliver: List[Optional[float]] = [None] * self.shards
+        self._lane_gap_ewma: List[Optional[float]] = [None] * self.shards
+        self._draining = False
         self._handlers = {
             LaneMsg: self._on_lane_msg,
             MulticastMsg: self._on_multicast,
@@ -162,6 +188,12 @@ class ShardedWbCastProcess(AtomicMulticastProcess):
             lane.on_start()
 
     def on_message(self, sender: ProcessId, msg: Any) -> None:
+        if self.retired:
+            return  # left the configuration: behave like a graceful crash
+        mgr = self.reconfig
+        if mgr is not None and mgr.handles(type(msg)):
+            mgr.on_member_message(self, sender, msg)
+            return
         handler = self._handlers.get(type(msg))
         if handler is not None:
             handler(sender, msg)
@@ -178,7 +210,16 @@ class ShardedWbCastProcess(AtomicMulticastProcess):
         self._post_route()
 
     def _on_lane_msg(self, sender: ProcessId, msg: LaneMsg) -> None:
-        self.lanes[msg.lane].on_message(sender, msg.inner)
+        inner = msg.inner
+        if type(inner) in (MulticastMsg, MulticastBatchMsg):
+            # Client ingress forwarded by a lane follower arrives wearing
+            # the *forwarder's* lane — re-route through the admission path
+            # instead: under reconfiguration the forwarder's epoch (hence
+            # its lane hash) may be stale, and admission must follow the
+            # receiver's current mapping plus record-sticky routing.
+            self._handlers[type(inner)](sender, inner)
+            return
+        self.lanes[msg.lane].on_message(sender, inner)
 
     def _post_route(self) -> None:
         """After every routed message: service lane promises and drain the
@@ -196,8 +237,27 @@ class ShardedWbCastProcess(AtomicMulticastProcess):
         """Whether this member leads *any* lane (harness-facing)."""
         return any(lane.is_leader() for lane in self.lanes)
 
+    def _route_lane(self, mid: MessageId) -> int:
+        """The lane a submission of ``mid`` belongs to.
+
+        Without reconfiguration this is exactly the stable hash.  With a
+        manager attached, routing is *record-sticky*: a message admitted
+        (or delivered) in some lane before an epoch changed the hash keeps
+        landing there, so duplicates and retries can never split one
+        message's state across lanes — the epoch handoff drains in-flight
+        messages in their admission lane instead of dropping them.
+        """
+        if self.reconfig is not None:
+            for lane_proc in self.lanes:
+                if mid in lane_proc.records:
+                    return lane_proc.lane
+            for lane_proc in self.lanes:
+                if mid in lane_proc.delivered_ids:
+                    return lane_proc.lane
+        return self.config.lane_of(mid)
+
     def _on_multicast(self, sender: ProcessId, msg: MulticastMsg) -> None:
-        self.lanes[self.config.lane_of(msg.m.mid)].on_message(sender, msg)
+        self.lanes[self._route_lane(msg.m.mid)].on_message(sender, msg)
 
     def _on_multicast_batch(self, sender: ProcessId, msg: MulticastBatchMsg) -> None:
         """Split a client ingress batch into per-lane projections.
@@ -205,12 +265,16 @@ class ShardedWbCastProcess(AtomicMulticastProcess):
         Sessions aware of sharding already coalesce per (group, lane), so
         the common case is a single projection; a mixed batch (lane-blind
         client, broadcast retry) still lands correctly, entry by entry.
+        The epoch fence and flow-control weight ride along unchanged — the
+        lanes' shared ingress path enforces both.
         """
         per_lane: Dict[int, List[AmcastMessage]] = {}
         for m in msg.entries:
-            per_lane.setdefault(self.config.lane_of(m.mid), []).append(m)
+            per_lane.setdefault(self._route_lane(m.mid), []).append(m)
         for lane, entries in per_lane.items():
-            self.lanes[lane].on_message(sender, MulticastBatchMsg(tuple(entries)))
+            self.lanes[lane].on_message(
+                sender, MulticastBatchMsg(tuple(entries), msg.epoch, msg.weight)
+            )
 
     # -- the cross-lane delivery merge ----------------------------------------
 
@@ -218,23 +282,71 @@ class ShardedWbCastProcess(AtomicMulticastProcess):
         """A lane decided a delivery: enqueue it for the ordered merge.
 
         Called by the lane's DELIVER handler, i.e. always from inside
-        :meth:`on_message`, whose post-route hook drains the merge.
+        :meth:`on_message`, whose post-route hook drains the merge.  Also
+        feeds the adaptive lane-probe estimator (per-lane inter-DELIVER
+        gap EWMA).
         """
+        if self.options.lane_probe_mode == "adaptive":
+            now = self.runtime.now()
+            last = self._lane_last_deliver[lane]
+            self._lane_last_deliver[lane] = now
+            if last is not None:
+                gap = now - last
+                prev = self._lane_gap_ewma[lane]
+                alpha = self.options.lane_probe_alpha
+                self._lane_gap_ewma[lane] = (
+                    gap if prev is None else alpha * gap + (1 - alpha) * prev
+                )
         self.merge.push(lane, m, gts)
 
+    def probe_delay(self, lane: int) -> float:
+        """How long a blocked merge waits before probing lane ``lane``.
+
+        Fixed mode returns ``lane_probe_delay``.  Adaptive mode returns
+        the lane's inter-DELIVER gap EWMA clamped to
+        [``lane_probe_min``, ``lane_probe_max``] — if the lane typically
+        delivers every g seconds, its next DELIVER is due within about g,
+        so probing sooner is wasted traffic and probing much later is
+        idle-lane latency; lanes with no samples yet keep the fixed
+        default.
+        """
+        opts = self.options
+        if opts.lane_probe_mode != "adaptive":
+            return opts.lane_probe_delay
+        ewma = self._lane_gap_ewma[lane]
+        if ewma is None:
+            return opts.lane_probe_delay
+        return min(opts.lane_probe_max, max(opts.lane_probe_min, ewma))
+
     def _drain_merge(self) -> None:
-        ready, blockers = self.merge.drain()
-        for m in ready:
-            self.deliver(m)
-        for lane in blockers:
-            self._arm_probe(lane)
+        # One release per iteration (not a batch pop): deliver() runs the
+        # reconfiguration hook, and an epoch activation must observe the
+        # merge exactly as of its own delivery position — messages ordered
+        # after the command stay queued, where a join's state-transfer
+        # snapshot can see them.  Non-reentrant: an activation's cascade
+        # (stash replays routed through on_message) post-routes back here,
+        # and a nested pop would emit the *next* message before the outer
+        # deliver() returns — the outer loop drains everything anyway.
+        if self._draining:
+            return
+        self._draining = True
+        try:
+            while True:
+                m, blockers = self.merge.pop_next()
+                if m is None:
+                    for lane in blockers:
+                        self._arm_probe(lane)
+                    return
+                self.deliver(m)
+        finally:
+            self._draining = False
 
     def _arm_probe(self, lane: int) -> None:
         if lane in self._probe_armed:
             return
         self._probe_armed.add(lane)
         self.runtime.set_timer(
-            self.options.lane_probe_delay, lambda l=lane: self._probe_fire(l)
+            self.probe_delay(lane), lambda l=lane: self._probe_fire(l)
         )
 
     def _probe_fire(self, lane: int) -> None:
@@ -255,7 +367,34 @@ class ShardedWbCastProcess(AtomicMulticastProcess):
         self._arm_probe(lane)
 
     def _on_lane_watermark(self, sender: ProcessId, msg: LaneWatermarkMsg) -> None:
+        if msg.assumes is not None:
+            applied = self.lanes[msg.lane].max_delivered_gts
+            if applied is None or applied < msg.assumes:
+                # The promise presumes deliveries this lane has not applied
+                # (they were dropped mid-election and will be re-delivered
+                # by the successor): premature — the armed probe retries.
+                return
         self.merge.advance(msg.lane, msg.watermark)
+
+    # -- dynamic reconfiguration ------------------------------------------------
+
+    def apply_epoch(self, config) -> None:
+        """Activate a successor epoch on this member and all its lanes.
+
+        Record hygiene AND the epoch lane handoff (standing for election
+        on lanes the new deal hands this member) both happen per lane —
+        each lane's ``apply_epoch`` owns its own handoff, so the outgoing
+        leader's in-flight state transfers through the ordinary
+        NEWLEADER / NEW_STATE rounds.
+        """
+        super().apply_epoch(config)
+        self.config_epoch = config.epoch
+        if self.retired:
+            for lane_proc in self.lanes:
+                lane_proc.retire()
+            return
+        for lane_proc in self.lanes:
+            lane_proc.apply_epoch(config)
 
     # -- recovery / introspection ----------------------------------------------
 

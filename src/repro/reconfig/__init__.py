@@ -1,0 +1,60 @@
+"""Dynamic reconfiguration: epoch-based membership and topology changes.
+
+The white-box insight, applied to reconfiguration itself: a configuration
+change is an ordinary atomic multicast addressed to every group whose
+payload is a :mod:`~repro.reconfig.commands` command.  The delivery total
+order *is* the epoch boundary — every member of every group activates the
+successor :class:`~repro.config.ClusterConfig` at the same position of
+the delivery sequence, with no auxiliary consensus.
+
+Subsystem map:
+
+* :mod:`.commands` — the command payloads and the deterministic
+  config-transition function;
+* :mod:`.manager` — the per-member :class:`ReconfigManager`: epoch
+  activation at the delivery point, joiner state transfer, stale-epoch
+  fencing;
+* :mod:`.member` — :class:`JoiningMember`, the process that bootstraps
+  itself from ``JOIN_STATE`` snapshots (NEWLEADER/NEW_STATE, extended);
+* :mod:`.messages` — the (few) wire messages: state transfer and fences;
+* :mod:`.checking` — epoch-aware restatements of the four properties plus
+  joiner-coverage assertions;
+* :mod:`.harness` — ``run_elastic_workload``: scripted join / leave /
+  reweight / reshard under closed-loop load in the simulator (imported
+  explicitly; it pulls in the workload stack).
+"""
+
+from .commands import (
+    ConfigCommand,
+    JoinCmd,
+    LeaveCmd,
+    SetLaneWeightsCmd,
+    SetShardsCmd,
+    apply_command,
+    is_config_command,
+)
+from .manager import EpochActivation, ReconfigManager
+from .member import JoiningMember
+from .messages import (
+    EpochFenceMsg,
+    JoinInstalledMsg,
+    JoinRequestMsg,
+    JoinStateMsg,
+)
+
+__all__ = [
+    "ConfigCommand",
+    "JoinCmd",
+    "LeaveCmd",
+    "SetLaneWeightsCmd",
+    "SetShardsCmd",
+    "apply_command",
+    "is_config_command",
+    "EpochActivation",
+    "ReconfigManager",
+    "JoiningMember",
+    "EpochFenceMsg",
+    "JoinInstalledMsg",
+    "JoinRequestMsg",
+    "JoinStateMsg",
+]

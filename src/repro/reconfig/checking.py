@@ -1,0 +1,190 @@
+"""Epoch-aware verification of reconfigured runs.
+
+The black-box checkers of :mod:`repro.checking` assume one immutable
+membership.  A reconfigured run has several: a joiner legitimately starts
+delivering mid-history, a leaver legitimately stops, and the genuineness
+participant sets grow with the group.  This module re-states the four
+properties against the *epoch chain*:
+
+* **Validity** — a delivery is valid if the deliverer was a member of a
+  destination group in *some* epoch of the run (membership is monotone
+  per process here: a pid joins one group and never migrates).
+* **Integrity / Ordering** — unchanged: at-most-once and a global total
+  order are epoch-independent statements, and they are exactly where a
+  botched epoch boundary (two members flipping at different delivery
+  indices) shows up, as a cross-member order inversion.
+* **Termination** — the liveness obligation is scoped to *core* members:
+  processes that were members in both the first and last epoch.  Joiners
+  owe nothing before their state transfer; leavers owe nothing after
+  retiring (their delivery obligation ends at the leave, like a crash's).
+  Joiner coverage is asserted separately from the managers' activation
+  indices (see :func:`check_joiner_coverage`), which is *stronger* than a
+  termination clause: it pins the exact suffix the joiner owes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..checking.genuineness import GenuinenessMonitor
+from ..checking.history import History
+from ..checking.properties import (
+    CheckResult,
+    check_integrity,
+    check_ordering,
+    check_termination,
+)
+from ..config import ClusterConfig
+from ..types import GroupId, MessageId, ProcessId
+from .commands import apply_command, is_config_command
+from .manager import ReconfigManager
+
+
+def epoch_chain(initial: ClusterConfig, manager: ReconfigManager) -> List[ClusterConfig]:
+    """The run's configuration sequence, reconstructed from one member's
+    activation log (all members observe the same command sequence)."""
+    chain = [initial]
+    for act in manager.activations:
+        chain.append(apply_command(chain[-1], act.command))
+    return chain
+
+
+def reference_manager(
+    managers: Dict[ProcessId, ReconfigManager],
+    joiners: Iterable[ProcessId] = (),
+) -> ReconfigManager:
+    """The manager with the most complete activation log.
+
+    A leaver's log truncates at its own leave and a joiner's starts at
+    its snapshot seed, so 'lowest pid' is not a safe choice — picking the
+    longest log (ties to the lowest pid) always yields the full chain:
+    at least one member survives every epoch.
+    """
+    skip = set(joiners)
+    pid, manager = max(
+        ((p, m) for p, m in managers.items() if p not in skip),
+        key=lambda item: (len(item[1].activations), -item[0]),
+    )
+    return manager
+
+
+def union_membership(epochs: Iterable[ClusterConfig]) -> Dict[ProcessId, GroupId]:
+    """pid → gid over every epoch (pids never migrate between groups)."""
+    out: Dict[ProcessId, GroupId] = {}
+    for config in epochs:
+        for gid in config.group_ids:
+            for pid in config.members(gid):
+                out.setdefault(pid, gid)
+    return out
+
+
+def core_members(epochs: Sequence[ClusterConfig]) -> Set[ProcessId]:
+    """Members of both the first and the last epoch (no joiners/leavers)."""
+    return set(epochs[0].all_members) & set(epochs[-1].all_members)
+
+
+def check_elastic_validity(
+    history: History, epochs: Sequence[ClusterConfig]
+) -> CheckResult:
+    membership = union_membership(epochs)
+    violations: List[str] = []
+    for pid, recs in history.deliveries.items():
+        gid = membership.get(pid)
+        if gid is None:
+            violations.append(f"never-member {pid} delivered a message")
+            continue
+        for _, m in recs:
+            if m.mid not in history.multicasts:
+                violations.append(f"{pid} delivered never-multicast {m.mid}")
+            elif gid not in m.dests:
+                violations.append(
+                    f"{pid} in group {gid} delivered {m.mid} not addressed to it"
+                )
+    return CheckResult("validity[elastic]", not violations, violations)
+
+
+def check_elastic(
+    history: History,
+    epochs: Sequence[ClusterConfig],
+    quiescent: bool = True,
+) -> List[CheckResult]:
+    """The four properties, restated against the epoch chain."""
+    results = [
+        check_elastic_validity(history, epochs),
+        check_integrity(history),
+        check_ordering(history),
+    ]
+    if quiescent:
+        core = core_members(epochs)
+        scoped = History(
+            config=epochs[0],
+            multicasts=history.multicasts,
+            deliveries={
+                pid: recs
+                for pid, recs in history.deliveries.items()
+                if pid in core
+            },
+            crashed=set(history.crashed) | (set(epochs[0].all_members) - core),
+        )
+        term = check_termination(scoped)
+        results.append(
+            CheckResult("termination[core]", term.ok, term.violations)
+        )
+    return results
+
+
+def check_joiner_coverage(
+    joiner_manager: ReconfigManager,
+    mate_manager: ReconfigManager,
+    join_epoch: int,
+) -> List[str]:
+    """The joiner's delivery obligation, pinned by activation indices.
+
+    Everything a core group-mate delivered *after* the join activated must
+    be visible at the joiner — either delivered by it post-install or
+    seeded by its state transfer — and everything before must be readable
+    via the transferred application log.
+    """
+    violations: List[str] = []
+    joiner_seen = set(joiner_manager.delivered_mids())
+    owed = [
+        mid
+        for mid in mate_manager.mids_after_activation(join_epoch)
+        if not is_config_command(mate_manager.read(mid).payload)
+    ]
+    for mid in owed:
+        if mid not in joiner_seen:
+            violations.append(f"joiner missed post-join message {mid}")
+    idx = mate_manager.activation_index(join_epoch)
+    pre_join = [] if idx is None else mate_manager.app_log[:idx]
+    for m in pre_join:
+        if joiner_manager.read(m.mid) is None:
+            violations.append(f"joiner cannot read pre-join message {m.mid}")
+    return violations
+
+
+class ElasticGenuinenessMonitor(GenuinenessMonitor):
+    """Genuineness against the epoch chain's union membership.
+
+    A joiner ordering messages addressed to its group is not a minimality
+    violation — it *is* a destination-group member, just of a later
+    epoch.  Control traffic (state transfer, fences, join requests) stays
+    out of scope exactly as before: it carries no message attribution.
+    """
+
+    def __init__(self, config: ClusterConfig) -> None:
+        super().__init__(config)
+        self._extra_members: Dict[GroupId, Set[ProcessId]] = {}
+
+    def note_member(self, pid: ProcessId, gid: GroupId) -> None:
+        self._extra_members.setdefault(gid, set()).add(pid)
+
+    def note_epochs(self, epochs: Iterable[ClusterConfig]) -> None:
+        for pid, gid in union_membership(epochs).items():
+            self.note_member(pid, gid)
+
+    def _allowed(self, mid: MessageId) -> Set[ProcessId]:
+        allowed = super()._allowed(mid)
+        for gid in self.dests.get(mid, frozenset()):
+            allowed.update(self._extra_members.get(gid, ()))
+        return allowed

@@ -1,0 +1,111 @@
+"""Configuration commands: membership and topology changes as payloads.
+
+A reconfiguration is an ordinary atomic multicast addressed to *every*
+group whose payload is one of the command dataclasses below.  Delivering
+the command through the protocol's own total order is the entire trick:
+every member of every group delivers it at the same position of the
+delivery sequence, so "apply the command here" yields a consistent epoch
+boundary without any auxiliary consensus — the white-box insight applied
+to reconfiguration itself.
+
+Commands are pure data; :func:`apply_command` is the (deterministic)
+transition function from one :class:`~repro.config.ClusterConfig` to its
+successor.  Every member applies the same function to the same config at
+the same delivery index, hence computes the same successor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from ..config import ClusterConfig
+from ..errors import ConfigError
+from ..types import GroupId, ProcessId
+
+
+@dataclass(frozen=True, slots=True)
+class JoinCmd:
+    """``join(g, p)``: process ``p`` becomes a member of group ``g``.
+
+    Quorum arithmetic includes the joiner from activation on, but the
+    joiner only *counts* once its state-transfer snapshot (sent by the
+    group's lane leaders at activation) lets it acknowledge anything —
+    until then the old members must supply the quorums by themselves.
+    """
+
+    gid: GroupId
+    pid: ProcessId
+
+
+@dataclass(frozen=True, slots=True)
+class LeaveCmd:
+    """``leave(p)``: process ``p`` leaves its group.
+
+    The leaver retires at its own activation point (a graceful crash);
+    quorums shrink only once the epoch activates, and any lane the leaver
+    led is handed off by an epoch-triggered election at its successor.
+    """
+
+    pid: ProcessId
+
+
+@dataclass(frozen=True, slots=True)
+class SetLaneWeightsCmd:
+    """``set_lane_weights(w)``: re-deal ordering lanes proportionally.
+
+    ``weights`` is a ``((pid, weight), ...)`` map; members absent from it
+    keep weight 1.  Lanes whose leader moves under the new deal are handed
+    off via the ordinary NEWLEADER / NEW_STATE rounds at activation, so
+    their in-flight messages drain instead of dropping.
+    """
+
+    weights: Tuple[Tuple[ProcessId, int], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class SetShardsCmd:
+    """``set_shards(n)``: dial the active ordering lanes per group.
+
+    ``n`` must stay within the build-time lane capacity
+    (``shards_per_group``), which keeps the timestamp tie-break encoding
+    stable across epochs.  Changing the active count changes the fresh-id
+    lane hash, so this is the one command that relies on epoch fencing:
+    every group must admit a given message id in the same epoch, or its
+    lanes would diverge across groups.
+    """
+
+    shards: int
+
+
+ConfigCommand = Union[JoinCmd, LeaveCmd, SetLaneWeightsCmd, SetShardsCmd]
+
+_COMMAND_TYPES = (JoinCmd, LeaveCmd, SetLaneWeightsCmd, SetShardsCmd)
+
+
+def is_config_command(payload: object) -> bool:
+    """Whether a delivered payload is a reconfiguration command."""
+    return isinstance(payload, _COMMAND_TYPES)
+
+
+def apply_command(config: ClusterConfig, cmd: ConfigCommand) -> ClusterConfig:
+    """The deterministic epoch transition: ``config`` + ``cmd`` → successor."""
+    if isinstance(cmd, JoinCmd):
+        return config.with_join(cmd.gid, cmd.pid)
+    if isinstance(cmd, LeaveCmd):
+        return config.with_leave(cmd.pid)
+    if isinstance(cmd, SetLaneWeightsCmd):
+        return config.with_lane_weights(cmd.weights)
+    if isinstance(cmd, SetShardsCmd):
+        if cmd.shards > config.shards_per_group:
+            raise ConfigError(
+                f"set_shards({cmd.shards}) exceeds the lane capacity "
+                f"{config.shards_per_group} fixed at build time"
+            )
+        return config.with_active_shards(cmd.shards)
+    raise ConfigError(f"unknown config command {cmd!r}")
+
+
+def validate_command(config: ClusterConfig, cmd: ConfigCommand) -> None:
+    """Raise :class:`ConfigError` if ``cmd`` cannot apply to ``config``."""
+    apply_command(config, cmd)  # the transforms carry the validation

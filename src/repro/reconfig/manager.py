@@ -1,0 +1,294 @@
+"""The per-member reconfiguration manager: epoch boundaries in the order.
+
+One :class:`ReconfigManager` attaches to each group member (and, on
+sharded members, is shared with every lane).  It observes the member's
+application deliveries; when a delivered payload is a
+:mod:`~repro.reconfig.commands` command it computes the successor
+configuration and activates it *at that delivery index* — the same index
+on every member of every group, because the command rode the multicast
+total order.  Everything else the subsystem does hangs off that boundary:
+
+* the member's :meth:`apply_epoch` refreshes membership-derived state,
+  retires leavers, drops un-completable stale-lane proposals and stands
+  for election on lanes the new deal hands it (the per-lane epoch
+  handoff);
+* leaders of the joined group cut and ship state-transfer snapshots
+  (:class:`~repro.reconfig.messages.JoinStateMsg`) to the joiner;
+* stale-epoch client submissions are fenced with a config refresh
+  (:class:`~repro.reconfig.messages.EpochFenceMsg`).
+
+The manager also keeps the member's *application log* (delivered messages
+in order).  That log is what a joiner's snapshot seeds from — the joiner
+can then serve reads of messages delivered before it existed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..config import ClusterConfig
+from ..errors import ConfigError
+from ..types import AmcastMessage, MessageId, ProcessId
+from .commands import ConfigCommand, JoinCmd, apply_command, is_config_command
+from .messages import (
+    EpochFenceMsg,
+    JoinInstalledMsg,
+    JoinRequestMsg,
+    JoinStateMsg,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class EpochActivation:
+    """One epoch flip as observed by one member."""
+
+    epoch: int
+    delivery_index: int  # position in this member's delivery sequence (1-based)
+    command: ConfigCommand
+
+
+#: Message types routed to the manager instead of the protocol handlers.
+_MANAGED = (JoinRequestMsg, JoinInstalledMsg)
+
+
+class ReconfigManager:
+    """Epoch state, activation hooks and joiner state transfer for one member.
+
+    ``app_log_retain`` bounds the application log (None: keep everything —
+    the joiner-read guarantee then covers the whole history; a bound keeps
+    long-lived members' memory and state-transfer sizes O(retain), at the
+    cost of pre-join reads only reaching that far back).
+    """
+
+    def __init__(
+        self,
+        member: Any,
+        config: ClusterConfig,
+        app_log_retain: Optional[int] = None,
+    ) -> None:
+        self.member = member
+        self.config = config
+        self.epoch = config.epoch
+        self.app_log_retain = app_log_retain
+        #: Delivered application messages, in this member's delivery order
+        #: (the retained suffix, when a bound is set).
+        self.app_log: List[AmcastMessage] = []
+        self._app_index: Dict[MessageId, AmcastMessage] = {}
+        #: Epoch flips observed here, in order.
+        self.activations: List[EpochActivation] = []
+        #: Commands delivered but rejected by their precondition (e.g. a
+        #: reordered concurrent script); rejection is deterministic — all
+        #: members evaluate the same command against the same config at
+        #: the same delivery index, so all reject identically.
+        self.rejected: List[ConfigCommand] = []
+        #: Joiners that reported full installation (informational).
+        self.installed_joiners: Set[ProcessId] = set()
+        self._deliveries = 0
+
+    # -- wiring ------------------------------------------------------------
+
+    @staticmethod
+    def attach(member: Any, config: ClusterConfig) -> "ReconfigManager":
+        """Create a manager and attach it to ``member`` (and its lanes)."""
+        manager = ReconfigManager(member, config)
+        member.reconfig = manager
+        for lane_proc in ReconfigManager._lanes_of(member):
+            lane_proc.reconfig = manager
+        return manager
+
+    @staticmethod
+    def _lanes_of(member: Any):
+        return member.lanes if hasattr(member, "lanes") else [member]
+
+    def handles(self, msg_type: type) -> bool:
+        """Whether a wire message type is consumed by the manager."""
+        return msg_type in _MANAGED
+
+    # -- the epoch boundary --------------------------------------------------
+
+    def on_local_deliver(self, proc: Any, m: AmcastMessage) -> None:
+        """Hook run at every application delivery of the member.
+
+        Non-command deliveries only extend the application log.  A command
+        delivery is the epoch boundary: compute the successor config,
+        apply it to the member, and (for joins) ship the state-transfer
+        snapshots from whichever lanes this member leads.
+        """
+        self._deliveries += 1
+        self.app_log.append(m)
+        self._app_index[m.mid] = m
+        retain = self.app_log_retain
+        if retain is not None and len(self.app_log) > retain:
+            evicted = self.app_log[: len(self.app_log) - retain]
+            del self.app_log[: len(self.app_log) - retain]
+            for old in evicted:
+                self._app_index.pop(old.mid, None)
+        payload = m.payload
+        if not is_config_command(payload):
+            return
+        try:
+            new_config = apply_command(self.config, payload)
+        except ConfigError:
+            # Precondition failed against the *delivered* order (two
+            # concurrent commands arrived in an order the script never
+            # validated, or a duplicate).  Deterministic at every member
+            # — same command, same config, same index — so everyone
+            # rejects it and the epoch does not advance.
+            self.rejected.append(payload)
+            return
+        self.config = new_config
+        self.epoch = new_config.epoch
+        self.activations.append(
+            EpochActivation(new_config.epoch, self._deliveries, payload)
+        )
+        self.member.apply_epoch(new_config)
+        if isinstance(payload, JoinCmd) and not self.member.retired:
+            if payload.gid == self.member.gid:
+                self.send_join_state(payload.pid)
+
+    # -- joiner state transfer ------------------------------------------------
+
+    def send_join_state(self, joiner: ProcessId) -> None:
+        """Ship a snapshot of every lane this member currently leads.
+
+        Sent bare (no lane envelope): the receiving joiner is not a lane
+        host yet.  ``max_delivered_gts`` marks the snapshot cut; DELIVERs
+        sent after the cut follow it on the same FIFO channel.
+        """
+        member = self.member
+        merge = getattr(member, "merge", None)
+        app_log_sent = False
+        for lane_proc in self._lanes_of(member):
+            if not lane_proc.is_leader():
+                continue
+            lane = getattr(lane_proc, "lane", 0)
+            backlog: Tuple = ()
+            if merge is not None:
+                backlog = tuple(merge.lane_snapshot(lane))
+            # The application log is member-level (one delivery sequence),
+            # so a member leading several lanes ships it once — the
+            # joiner's install takes the longest log it received anyway.
+            app_log = () if app_log_sent else tuple(self.app_log)
+            app_log_sent = True
+            snap = JoinStateMsg(
+                gid=member.gid,
+                lane=lane,
+                epoch=self.epoch,
+                config=self.config,
+                cballot=lane_proc.cballot,
+                clock=lane_proc.clock,
+                records=dict(lane_proc.records),  # records are immutable
+                max_delivered_gts=lane_proc.max_delivered_gts,
+                delivered=lane_proc.delivered_ids.snapshot(),
+                app_log=app_log,
+                merge_backlog=backlog,
+            )
+            member.runtime.send(joiner, snap)
+            self._resend_boundary_delivers(lane_proc, joiner)
+
+    def _resend_boundary_delivers(self, lane_proc: Any, joiner: ProcessId) -> None:
+        """Re-send DELIVERs broadcast just before the epoch boundary.
+
+        A DELIVER the leader broadcast *before* activating the join went to
+        the old membership; if the leader has not yet handled its own copy
+        (so the message sits above the snapshot cut), the joiner would
+        never see it.  Recovery's answer — re-deliver, let
+        ``max_delivered_gts`` deduplicate — applies, scoped to the joiner:
+        every COMMITTED record above the cut whose delivery decision has
+        already left the queue is re-sent in gts order, on the same FIFO
+        channel as (hence behind) the snapshot.  Still-queued commits need
+        nothing: their broadcast happens post-activation to the new
+        membership.
+        """
+        from ..protocols.wbcast.messages import DeliverMsg, LaneMsg
+        from ..protocols.wbcast.state import Phase
+
+        cut = lane_proc.max_delivered_gts
+        boundary = sorted(
+            (
+                rec
+                for rec in lane_proc.records.values()
+                if rec.phase is Phase.COMMITTED
+                and rec.gts is not None
+                and (cut is None or cut < rec.gts)
+                and not lane_proc.queue.is_committed(rec.mid)
+            ),
+            key=lambda rec: rec.gts,
+        )
+        sharded = getattr(lane_proc, "_shard_host", None) is not None
+        for rec in boundary:
+            deliver = DeliverMsg(rec.m, lane_proc.cballot, rec.lts, rec.gts)
+            if sharded:
+                self.member.runtime.send(joiner, LaneMsg(lane_proc.lane, deliver))
+            else:
+                self.member.runtime.send(joiner, deliver)
+
+    def on_member_message(self, proc: Any, sender: ProcessId, msg: Any) -> None:
+        """Handle manager-routed wire messages arriving at the member."""
+        if isinstance(msg, JoinRequestMsg):
+            if msg.gid != self.member.gid:
+                return
+            if sender not in self.config.members(msg.gid):
+                return  # the join has not activated here yet: not ours to seed
+            self.send_join_state(sender)
+        elif isinstance(msg, JoinInstalledMsg):
+            self.installed_joiners.add(msg.pid)
+
+    # -- epoch fencing ---------------------------------------------------------
+
+    def fence(self, proc: Any, sender: ProcessId, msg: Any) -> None:
+        """Answer a stale-epoch submission with a config refresh.
+
+        A submission *ahead* of us (the command is still in flight to this
+        member) is dropped without an answer — we have nothing newer to
+        teach, and the client's retry outlives our catch-up.  Forwarded
+        submissions resolve the refresh target to the origin session
+        embedded in the message ids (the ``_ack_submission`` rule).
+        """
+        epoch = getattr(msg, "epoch", None)
+        if epoch is None or epoch >= self.epoch:
+            return
+        mids_fn = getattr(msg, "mids", None)
+        fenced = tuple(mids_fn()) if callable(mids_fn) else (msg.m.mid,)
+        target = sender
+        if target in proc.ever_members or proc.config.is_member(target):
+            origin = fenced[0][0]
+            if origin in proc.ever_members or proc.config.is_member(origin):
+                return  # member-originated (protocol-internal): no fence
+            target = origin
+        self.member.runtime.send(
+            target, EpochFenceMsg(self.member.gid, self.epoch, self.config, fenced)
+        )
+
+    # -- seeding (joiner side) -------------------------------------------------
+
+    def seed(self, app_log: List[AmcastMessage], deliveries: int) -> None:
+        """Initialise from a state-transfer snapshot (joiner install)."""
+        self.app_log = list(app_log)
+        self._app_index = {m.mid: m for m in self.app_log}
+        self._deliveries = deliveries
+
+    # -- reads / introspection --------------------------------------------------
+
+    def read(self, mid: MessageId) -> Optional[AmcastMessage]:
+        """The delivered message ``mid``, from this member's app log (state
+        transfer included) — the "joiner serves pre-join reads" API."""
+        return self._app_index.get(mid)
+
+    def delivered_mids(self) -> List[MessageId]:
+        return [m.mid for m in self.app_log]
+
+    def activation_index(self, epoch: int) -> Optional[int]:
+        """This member's delivery index at which ``epoch`` activated."""
+        for act in self.activations:
+            if act.epoch == epoch:
+                return act.delivery_index
+        return None
+
+    def mids_after_activation(self, epoch: int) -> List[MessageId]:
+        """Application mids this member delivered after ``epoch`` activated."""
+        idx = self.activation_index(epoch)
+        if idx is None:
+            return []
+        return [m.mid for m in self.app_log[idx:]]

@@ -1,0 +1,195 @@
+"""The joining member: a process that bootstraps itself by state transfer.
+
+A :class:`JoiningMember` is registered in the hosting runtime *before* the
+join command is submitted (a real deployment boots the binary first and
+reconfigures second).  Until the join activates, the cluster ignores it
+and it pesters nobody except a periodic ``JOIN_REQUEST`` no member answers
+before activation.  Once the group's lane leaders ship their
+``JOIN_STATE`` snapshots it:
+
+1. buffers all other incoming traffic (the snapshots for different lanes
+   are cut at different instants — replaying the buffered interval closes
+   the gap between the earliest and latest cut);
+2. constructs the real protocol process from the snapshot's activated
+   config (the lane capacity, membership and deal all come from there);
+3. installs every lane's replicated state exactly as a NEW_STATE round
+   would (status FOLLOWER, cballot, records, clock floor, dedup table,
+   delivery watermark), seeds the cross-lane merge with the shipped
+   backlogs, and seeds its application log so pre-join reads work;
+4. replays the buffered traffic through the installed process (duplicate
+   DELIVERs fall to the ``max_delivered_gts`` dedup) and from then on is
+   a transparent proxy in front of an ordinary member.
+
+Quorum safety never depends on any of this: the joiner acknowledges
+nothing before installation, so it simply does not count until it can.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from ..config import ClusterConfig
+from ..protocols.base import ProtocolProcess
+from ..runtime import Runtime
+from ..types import AmcastMessage, GroupId, MessageId, ProcessId
+from .manager import ReconfigManager
+from .messages import JoinInstalledMsg, JoinRequestMsg, JoinStateMsg
+
+#: Upper bound on buffered pre-install messages (backstop, not a tunable).
+_BUFFER_CAP = 100_000
+
+
+class JoiningMember(ProtocolProcess):
+    """A not-yet-member process waiting for (then proxying) its group role."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        base_config: ClusterConfig,
+        runtime: Runtime,
+        gid: GroupId,
+        protocol_cls,
+        options: Any = None,
+        request_interval: float = 0.02,
+    ) -> None:
+        # Deliberately NOT AtomicMulticastProcess: this pid is no member of
+        # the base config; the inner process built at install time is.
+        super().__init__(pid, base_config, runtime)
+        self.gid = gid
+        self.protocol_cls = protocol_cls
+        self.options = options
+        self.request_interval = request_interval
+        #: The real protocol process once installed (monitors introspect it).
+        self.protocol: Optional[Any] = None
+        self.reconfig: Optional[ReconfigManager] = None
+        self.installed = False
+        self.retired = False
+        self._lane_states: Dict[int, JoinStateMsg] = {}
+        self._buffer: Deque[Tuple[ProcessId, Any]] = deque(maxlen=_BUFFER_CAP)
+
+    # -- wiring -------------------------------------------------------------
+
+    def on_start(self) -> None:
+        self._request_tick()
+
+    def _request_tick(self) -> None:
+        if self.installed:
+            return
+        for member in self.config.members(self.gid):
+            self.send(member, JoinRequestMsg(self.gid))
+        self.runtime.set_timer(self.request_interval, self._request_tick)
+
+    def on_message(self, sender: ProcessId, msg: Any) -> None:
+        if isinstance(msg, JoinStateMsg):
+            self._on_join_state(sender, msg)
+            return
+        if self.installed:
+            self.protocol.on_message(sender, msg)
+            return
+        # Pre-install protocol traffic: buffer for the post-install replay.
+        self._buffer.append((sender, msg))
+
+    # -- state transfer --------------------------------------------------------
+
+    def _on_join_state(self, sender: ProcessId, msg: JoinStateMsg) -> None:
+        if self.installed:
+            return  # late duplicate (a re-requested snapshot raced install)
+        prev = self._lane_states.get(msg.lane)
+        if prev is None or msg.cballot >= prev.cballot:
+            self._lane_states[msg.lane] = msg
+        expected = self._expected_lanes(msg.config)
+        if all(lane in self._lane_states for lane in range(expected)):
+            self._install()
+
+    def _expected_lanes(self, config: ClusterConfig) -> int:
+        if getattr(self.protocol_cls, "SUPPORTS_SHARDING", False):
+            return config.shards_per_group
+        return 1
+
+    def _latest_config(self) -> ClusterConfig:
+        return max(
+            (s.config for s in self._lane_states.values()), key=lambda c: c.epoch
+        )
+
+    def _install(self) -> None:
+        from ..protocols.wbcast.state import Status, snapshot_copy
+
+        config = self._latest_config()
+        proc = self.protocol_cls(self.pid, config, self.runtime, options=self.options)
+        lanes = proc.lanes if hasattr(proc, "lanes") else [proc]
+        # Seed the application state from the freshest snapshot (all
+        # members of one group share the delivery sequence, so any
+        # snapshot's log is a prefix of any fresher one).
+        app_log = max((s.app_log for s in self._lane_states.values()), key=len)
+        app_seen = {m.mid for m in app_log}
+        manager = ReconfigManager(proc, config)
+        manager.seed(list(app_log), len(app_log))
+        proc.reconfig = manager
+        for lane_proc in lanes:
+            lane_proc.reconfig = manager
+        merge = getattr(proc, "merge", None)
+        for lane_proc in lanes:
+            state = self._lane_states[getattr(lane_proc, "lane", 0)]
+            lane_proc.status = Status.FOLLOWER
+            lane_proc.ballot = state.cballot
+            lane_proc.cballot = state.cballot
+            lane_proc.records = snapshot_copy(state.records)
+            lane_proc.max_delivered_gts = state.max_delivered_gts
+            lane_proc.delivered_ids.update(state.delivered)
+            lane_proc.clock = max(lane_proc.clock, state.clock)
+            lane_proc.cur_leader[self.gid] = state.cballot.leader()
+            if merge is not None:
+                lane = lane_proc.lane
+                if state.max_delivered_gts is not None:
+                    # The cut is a floor: future lane DELIVERs are above it.
+                    merge.advance(lane, state.max_delivered_gts)
+                for m, gts in state.merge_backlog:
+                    if m.mid not in app_seen:
+                        merge.push(lane, m, gts)
+        self.protocol = proc
+        self.reconfig = manager
+        self.config = config
+        self.installed = True
+        proc.on_start()
+        # Replay the buffered pre-install interval; duplicates fall to the
+        # per-lane max_delivered_gts dedup, gaps between unevenly-timed
+        # lane cuts are filled.
+        buffered, self._buffer = list(self._buffer), deque(maxlen=_BUFFER_CAP)
+        for sender, msg in buffered:
+            proc.on_message(sender, msg)
+        if merge is not None:
+            proc._drain_merge()
+        # If the activated deal already names us a lane leader (a weighted
+        # join), stand for election now that we can.
+        for lane_proc in lanes:
+            if (
+                config.lane_leader(self.gid, getattr(lane_proc, "lane", 0)) == self.pid
+                and not lane_proc.is_leader()
+            ):
+                self.runtime.set_timer(0.0, lane_proc.recover)
+        for member in config.members(self.gid):
+            if member != self.pid:
+                self.send(member, JoinInstalledMsg(self.gid, self.pid))
+
+    # -- introspection (delegated to the installed process) ---------------------
+
+    def is_leader(self) -> bool:
+        return self.protocol is not None and self.protocol.is_leader()
+
+    def read(self, mid: MessageId) -> Optional[AmcastMessage]:
+        """Serve a read of a delivered message (pre-join history included)."""
+        if self.reconfig is None:
+            return None
+        return self.reconfig.read(mid)
+
+    def delivered_mids(self) -> List[MessageId]:
+        return [] if self.reconfig is None else self.reconfig.delivered_mids()
+
+    def __getattr__(self, name: str):
+        # Post-install, unknown attributes resolve against the real member
+        # (records, lane_for, cballot, ... — whatever monitors ask for).
+        protocol = self.__dict__.get("protocol")
+        if protocol is not None:
+            return getattr(protocol, name)
+        raise AttributeError(name)

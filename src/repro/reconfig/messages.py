@@ -1,0 +1,106 @@
+"""Wire messages of the reconfiguration subsystem.
+
+Deliberately few: the epoch *boundary* itself needs no messages (it rides
+the delivery total order of an ordinary multicast), so what remains is
+joiner state transfer — an extension of the NEWLEADER / NEW_STATE shape —
+and the stale-epoch fence that refreshes client sessions.
+
+None of these expose ``m`` / ``mid`` / ``mids`` attribution, so the
+genuineness monitor classifies them as group-local state transfer /
+control traffic, outside the minimality definition — correctly, because
+state transfer only ever flows between members of one group (plus its
+joiner) and fences flow leader→client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..config import ClusterConfig
+from ..types import AmcastMessage, Ballot, GroupId, ProcessId, Timestamp
+
+
+@dataclass(frozen=True, slots=True)
+class EpochFenceMsg:
+    """``EPOCH_FENCE(g, e, config)``: a leader of group ``g`` at epoch
+    ``e`` rejected a stale-epoch submission; ``config`` is the active
+    configuration the client session should adopt before retrying (the
+    ``SUBMIT_REDIRECT`` idea, applied to configuration instead of
+    leadership).  ``fenced`` lists the affected submission ids so the
+    session can re-drive them immediately instead of waiting out its
+    retry timer — the difference between a millisecond epoch blip and a
+    retry-interval throughput hole."""
+
+    gid: GroupId
+    epoch: int
+    config: ClusterConfig
+    fenced: Tuple = ()
+
+
+@dataclass(frozen=True, slots=True)
+class JoinRequestMsg:
+    """``JOIN_REQUEST(g)``: a joining process asks group ``g``'s members
+    for its state-transfer snapshot(s).
+
+    The normal path is proactive — lane leaders ship snapshots the moment
+    the join activates — so this is the retry/fallback: a snapshot lost to
+    a crash, or a lane that was mid-election at activation, is re-requested
+    until the joiner is fully installed.  Members that have not activated
+    the join yet simply ignore it.
+    """
+
+    gid: GroupId
+
+
+@dataclass(frozen=True, slots=True)
+class JoinStateMsg:
+    """``JOIN_STATE``: one lane's state-transfer snapshot for a joiner.
+
+    The NEWLEADER_ACK / NEW_STATE payload shape extended with everything a
+    fresh member needs that recovery's peers already share out-of-band:
+
+    * ``config`` / ``epoch`` — the activated configuration the snapshot
+      was cut under (the joiner builds its protocol processes from it);
+    * ``cballot`` / ``clock`` / ``records`` / ``max_delivered_gts`` /
+      ``delivered`` — the lane's replicated protocol state, exactly as a
+      NEW_STATE round would push it to a follower;
+    * ``app_log`` — the sender's delivered application messages (in
+      delivery order), so the joiner can serve reads of pre-join messages
+      it will never see DELIVERs for.
+
+    ``max_delivered_gts`` doubles as the snapshot cut: DELIVERs the lane
+    leader sends after cutting the snapshot arrive behind it on the same
+    FIFO channel and are applied normally; everything at or below the cut
+    is deduplicated.
+
+    ``merge_backlog`` closes the sharded cut-consistency gap: entries the
+    sending member's lane had delivered (so the cut covers them) but its
+    cross-lane merge had not yet released to the application (so they are
+    absent from ``app_log``).  The joiner seeds its own merge with them;
+    without this, a message ordered after the join but lane-delivered
+    before the cut would be invisible to the joiner forever.
+    """
+
+    gid: GroupId
+    lane: int
+    epoch: int
+    config: ClusterConfig
+    cballot: Ballot
+    clock: int
+    records: dict
+    max_delivered_gts: Optional[Timestamp]
+    delivered: object  # DeliveredLog snapshot
+    app_log: Tuple[AmcastMessage, ...] = ()
+    merge_backlog: Tuple[Tuple[AmcastMessage, Timestamp], ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class JoinInstalledMsg:
+    """``JOIN_INSTALLED(g, p)``: the joiner finished installing every
+    lane's snapshot and now participates fully (purely informational —
+    quorum arithmetic never depends on it; useful for drivers that want to
+    wait for a "healthy" cluster before the next reconfiguration)."""
+
+    gid: GroupId
+    pid: ProcessId

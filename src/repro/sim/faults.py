@@ -1,14 +1,21 @@
-"""Declarative fault schedules for failure-injection tests.
+"""Declarative fault and reconfiguration schedules for injection tests.
 
 A :class:`FaultPlan` is a list of crash specifications validated against a
 cluster configuration (never crash more than ``f`` members of any group)
 and applied to a simulator before a run.
+
+A :class:`ReconfigPlan` is the elastic analogue: scripted join / leave /
+lane-reweight / active-shard events, validated up front and executed by
+:func:`repro.reconfig.harness.run_elastic_workload` by submitting the
+matching :mod:`repro.reconfig.commands` through a client session — the
+events reach the cluster via the multicast total order, not via simulator
+fiat, exactly as a production operator console would issue them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple, Union
 
 from ..config import ClusterConfig
 from ..errors import ConfigError
@@ -110,3 +117,88 @@ class FaultPlan:
     @property
     def crashed_pids(self) -> set:
         return {spec.pid for spec in self.crashes}
+
+
+# -- scripted reconfiguration events -----------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class JoinSpec:
+    """Submit ``join(gid, pid)`` at virtual time ``at``.
+
+    ``pid`` of ``None`` lets the harness allocate a fresh id above every
+    configured process (the common case); an explicit pid must not collide
+    with any existing process.
+    """
+
+    at: float
+    gid: GroupId
+    pid: Optional[ProcessId] = None
+
+
+@dataclass(frozen=True, slots=True)
+class LeaveSpec:
+    """Submit ``leave(pid)`` at virtual time ``at``."""
+
+    at: float
+    pid: ProcessId
+
+
+@dataclass(frozen=True, slots=True)
+class LaneWeightSpec:
+    """Submit ``set_lane_weights(weights)`` at virtual time ``at``."""
+
+    at: float
+    weights: Tuple[Tuple[ProcessId, int], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class ShardSpec:
+    """Submit ``set_shards(shards)`` at virtual time ``at``."""
+
+    at: float
+    shards: int
+
+
+ReconfigSpec = Union[JoinSpec, LeaveSpec, LaneWeightSpec, ShardSpec]
+
+
+@dataclass
+class ReconfigPlan:
+    """A validated, time-ordered script of reconfiguration events."""
+
+    events: List[ReconfigSpec] = field(default_factory=list)
+
+    @staticmethod
+    def none() -> "ReconfigPlan":
+        return ReconfigPlan(events=[])
+
+    def sorted_events(self) -> List[ReconfigSpec]:
+        return sorted(self.events, key=lambda e: e.at)
+
+    def validate(self, config: ClusterConfig) -> None:
+        """Replay the script against ``config``; raise on any illegal step.
+
+        Uses the same transforms the live cluster applies, so a plan that
+        validates here activates cleanly there when delivered in script
+        order.  Near-simultaneous commands can be *delivered* in another
+        order; a reordering that breaks a command's precondition (e.g.
+        weights naming a member a reordered leave already removed) is
+        rejected deterministically at every member by the manager — the
+        epoch simply does not advance for it.  Space commands apart when
+        the script's order is semantically load-bearing.
+        """
+        from ..reconfig.commands import apply_command
+        from ..reconfig.harness import command_of
+
+        current = config
+        for spec in self.sorted_events():
+            current = apply_command(current, command_of(current, spec))
+
+    @property
+    def join_specs(self) -> List[JoinSpec]:
+        return [e for e in self.events if isinstance(e, JoinSpec)]
+
+    @property
+    def leaver_pids(self) -> set:
+        return {e.pid for e in self.events if isinstance(e, LeaveSpec)}

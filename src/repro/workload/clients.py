@@ -40,6 +40,12 @@ class ClientOptions:
     #: Client-side ingress coalescing knobs (``None``: one MULTICAST per
     #: message, the paper's wire protocol).  See ``AmcastClientOptions``.
     ingress: Optional[BatchingOptions] = None
+    #: Flow-control weight of this client's session at the leader ingress
+    #: (see :attr:`~repro.client.AmcastClientOptions.weight`).
+    weight: int = 1
+    #: Stamp submissions with the session's config epoch (dynamically
+    #: reconfigured clusters; see ``AmcastClientOptions.fence_epoch``).
+    fence_epoch: bool = False
 
     def session_options(self, window: Optional[int]) -> AmcastClientOptions:
         """The :class:`AmcastClientOptions` this workload config implies."""
@@ -48,6 +54,8 @@ class ClientOptions:
             retry_timeout=self.retry_timeout,
             payload_size=self.payload_size,
             ingress=self.ingress,
+            weight=self.weight,
+            fence_epoch=self.fence_epoch,
         )
 
 

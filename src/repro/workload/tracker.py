@@ -27,6 +27,13 @@ class DeliveryTracker:
         self.partial_time: Dict[MessageId, float] = {}
         self.first_group_delivery: Dict[Tuple[MessageId, GroupId], float] = {}
         self._waiters: Dict[MessageId, List[Callable[[MessageId, float], None]]] = {}
+        # Members beyond the build-time config (dynamic joins): the tracker
+        # must attribute their deliveries to the right group.
+        self._extra_members: Dict[ProcessId, GroupId] = {}
+
+    def note_member(self, pid: ProcessId, gid: GroupId) -> None:
+        """Register a dynamically joined member's group attribution."""
+        self._extra_members[pid] = gid
 
     # -- registration -------------------------------------------------------
 
@@ -51,7 +58,13 @@ class DeliveryTracker:
         self.groups_pending.setdefault(m.mid, set(m.dests))
 
     def on_deliver(self, t: float, pid: ProcessId, m: AmcastMessage) -> None:
-        gid = self.config.group_of(pid)
+        if self.config.is_member(pid):
+            gid = self.config.group_of(pid)
+        else:
+            extra = self._extra_members.get(pid)
+            if extra is None:
+                return  # unknown deliverer (no attribution): ignore
+            gid = extra
         self.first_group_delivery.setdefault((m.mid, gid), t)
         pending = self.groups_pending.get(m.mid)
         if pending is None:

@@ -1,0 +1,281 @@
+"""The reconfiguration acceptance battery (the PR's headline bar).
+
+A scripted join + leave + lane-reweight under active closed-loop load
+completes with zero total-order / genuineness / invariant violations,
+randomized across wbcast sharded and unsharded clusters; the joiner
+serves reads of pre-join messages after its state transfer; and the
+``set_shards`` command (the one case whose lane hash changes, exercising
+epoch fencing end to end) holds the same bar.
+
+Every run re-verifies the full contract with the epoch-aware checkers:
+elastic validity / integrity / ordering / core termination, joiner
+coverage pinned by activation indices, genuineness over the epoch
+chain's union membership, and (in the dedicated scenarios) the Fig. 6
+invariant monitors keyed per configuration epoch.
+"""
+
+import random
+
+import pytest
+
+from repro.checking import WbCastInvariantMonitor
+from repro.config import ClusterConfig
+from repro.protocols import WbCastProcess
+from repro.protocols.wbcast import WbCastOptions
+from repro.reconfig.harness import run_elastic_workload
+from repro.sim import UniformDelay
+from repro.sim.faults import (
+    CrashSpec,
+    FaultPlan,
+    JoinSpec,
+    LaneWeightSpec,
+    LeaveSpec,
+    ReconfigPlan,
+    ShardSpec,
+)
+
+NETWORK = lambda: UniformDelay(0.0002, 0.002)  # noqa: E731
+
+#: The standard mixed script: grow group 0, shrink group 1, re-deal lanes.
+def mixed_plan(config):
+    weights = tuple((pid, 3 if pid == config.members(0)[0] else 1)
+                    for pid in config.all_members if pid != 4)
+    return ReconfigPlan(
+        events=[
+            JoinSpec(0.02, 0),
+            LeaveSpec(0.05, config.members(1)[1]),
+            LaneWeightSpec(0.08, weights),
+        ]
+    )
+
+
+def run_and_verify(config, plan, seed, monitors=(), **kw):
+    kw.setdefault("messages_per_client", 10)
+    kw.setdefault("protocol_options", WbCastOptions(retry_interval=0.05))
+    res = run_elastic_workload(
+        WbCastProcess,
+        config,
+        plan,
+        seed=seed,
+        network=NETWORK(),
+        attach_genuineness=True,
+        monitors=monitors,
+        **kw,
+    )
+    assert res.completed == res.expected, (
+        f"completed {res.completed}/{res.expected} at t={res.sim.now:.3f}"
+    )
+    failed = [c.describe() for c in res.check_elastic() if not c.ok]
+    assert not failed, failed
+    assert res.genuineness.is_genuine, res.genuineness.violations[:3]
+    coverage = res.joiner_coverage_violations()
+    assert not coverage, coverage
+    return res
+
+
+class TestAcceptanceBattery:
+    """Join + leave + reweight under load, sharded and unsharded."""
+
+    @pytest.mark.parametrize("shards", [1, 2])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_mixed_script_under_load(self, shards, seed):
+        config = ClusterConfig.build(3, 3, 3, shards_per_group=shards)
+        run_and_verify(config, mixed_plan(config), seed)
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_mixed_script_with_invariant_monitor(self, seed):
+        config = ClusterConfig.build(3, 3, 3, shards_per_group=2)
+        monitor = WbCastInvariantMonitor(config)
+        res = run_and_verify(config, mixed_plan(config), 100 + seed,
+                             monitors=[monitor])
+        stats = monitor.stats()
+        assert stats["proposals"] > 0 and stats["delivers_checked"] > 0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_randomized_scripts(self, seed):
+        """Randomized event mix, times and shapes (the fuzz leg)."""
+        rng = random.Random(7000 + seed)
+        shards = rng.choice([1, 2])
+        config = ClusterConfig.build(3, 3, 3, shards_per_group=shards)
+        events = [JoinSpec(rng.uniform(0.01, 0.03), rng.randrange(3))]
+        leaver_gid = rng.randrange(3)
+        events.append(
+            LeaveSpec(rng.uniform(0.04, 0.06), config.members(leaver_gid)[-1])
+        )
+        if rng.random() < 0.5:
+            events.append(
+                LaneWeightSpec(
+                    rng.uniform(0.07, 0.09),
+                    tuple(
+                        (pid, rng.choice([1, 2]))
+                        for pid in config.all_members
+                        if pid != config.members(leaver_gid)[-1]
+                    ),
+                )
+            )
+        config_plan = ReconfigPlan(events=events)
+        run_and_verify(
+            config, config_plan, seed,
+            messages_per_client=rng.choice([8, 12]),
+        )
+
+    def test_joiner_serves_pre_join_reads(self):
+        config = ClusterConfig.build(2, 3, 2, shards_per_group=2)
+        plan = ReconfigPlan(events=[JoinSpec(0.03, 0)])
+        res = run_and_verify(config, plan, seed=11)
+        (joiner,) = res.joiners.values()
+        assert joiner.installed
+        core = res.managers[0]
+        join_idx = core.activation_index(1)
+        assert join_idx is not None and join_idx > 1  # load preceded the join
+        pre_join = core.app_log[: join_idx - 1]
+        assert pre_join, "expected pre-join traffic"
+        for m in pre_join:
+            got = joiner.read(m.mid)
+            assert got is not None and got.payload == m.payload
+
+    def test_joiner_takes_over_a_lane_via_weights(self):
+        """Join then reweight toward the joiner: the joiner ends up
+        leading a lane it recovered through the epoch handoff."""
+        config = ClusterConfig.build(2, 3, 2, shards_per_group=2)
+        joiner_pid = max(config.all_processes) + 1
+        weights = tuple((p, 1) for p in config.all_members) + ((joiner_pid, 3),)
+        plan = ReconfigPlan(
+            events=[JoinSpec(0.02, 0, joiner_pid), LaneWeightSpec(0.06, weights)]
+        )
+        res = run_and_verify(config, plan, seed=13, messages_per_client=12)
+        joiner = res.joiners[joiner_pid]
+        assert joiner.installed
+        final = res.epochs()[-1]
+        owned = [l for l in range(2) if final.lane_leader(0, l) == joiner_pid]
+        assert owned, "reweight should hand the joiner a lane"
+        assert any(joiner.protocol.lanes[l].is_leader() for l in owned)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_set_shards_fencing(self, seed):
+        """Dial active lanes down and back up under load: the lane hash
+        changes across epochs, so this only stays consistent if epoch
+        fencing keeps every group's admissions aligned."""
+        config = ClusterConfig.build(3, 3, 3, shards_per_group=4)
+        plan = ReconfigPlan(events=[ShardSpec(0.03, 2), ShardSpec(0.08, 4)])
+        monitor = WbCastInvariantMonitor(config)
+        run_and_verify(
+            config, plan, seed, messages_per_client=12, monitors=[monitor]
+        )
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_leave_of_crash_elected_leader(self, seed):
+        """Regression: pid 0 (deal leader of lane 0) crashes, pid 1 wins
+        the election, then pid 1 *leaves*.  The new deal still names the
+        dead pid 0, so no epoch handoff fires — the failure detector must
+        re-elect around it, which requires the retired leaver's monitor
+        to fall silent (it used to keep heartbeating as 'leader')."""
+        from tests.conftest import FAST_FD
+
+        config = ClusterConfig.build(2, 5, 2, shards_per_group=2)
+        plan = ReconfigPlan(events=[LeaveSpec(0.08, 1)])
+        crash = FaultPlan(crashes=[CrashSpec(0, 0.01)])
+        res = run_elastic_workload(
+            WbCastProcess,
+            config,
+            plan,
+            seed=seed,
+            network=NETWORK(),
+            attach_genuineness=True,
+            protocol_options=WbCastOptions(retry_interval=0.05),
+            fault_plan=crash,
+            attach_fd=True,
+            fd_options=FAST_FD,
+            messages_per_client=8,
+            max_time=10.0,
+        )
+        assert res.completed == res.expected, (
+            f"{res.completed}/{res.expected} at t={res.sim.now:.2f}"
+        )
+        failed = [
+            c.describe() for c in res.check_elastic(quiescent=False) if not c.ok
+        ]
+        assert not failed, failed
+
+    def test_reconfig_with_concurrent_crash(self):
+        """A follower crash overlapping the reconfiguration script."""
+        config = ClusterConfig.build(3, 3, 3, shards_per_group=2)
+        plan = ReconfigPlan(events=[JoinSpec(0.02, 0), LeaveSpec(0.06, 4)])
+        crash = FaultPlan(crashes=[CrashSpec(8, 0.04)])  # group 2 follower
+        res = run_elastic_workload(
+            WbCastProcess,
+            config,
+            plan,
+            seed=17,
+            network=NETWORK(),
+            attach_genuineness=True,
+            protocol_options=WbCastOptions(retry_interval=0.05),
+            fault_plan=crash,
+            messages_per_client=8,
+        )
+        assert res.completed == res.expected
+        failed = [
+            c.describe()
+            for c in res.check_elastic(quiescent=False)
+            if not c.ok
+        ]
+        assert not failed, failed
+        assert res.genuineness.is_genuine
+
+
+class TestEpochSemantics:
+    def test_group_members_activate_at_same_delivery_index(self):
+        """The epoch boundary IS the delivery index: all members of one
+        group flip each epoch at the same position of their (shared)
+        delivery sequence.  Different groups deliver different message
+        subsets, so indices only compare within a group."""
+        config = ClusterConfig.build(3, 3, 3, shards_per_group=2)
+        res = run_and_verify(config, mixed_plan(config), seed=23)
+        by_key = {}
+        for pid, mgr in res.managers.items():
+            if pid in res.joiners:
+                continue  # the joiner's log starts at its snapshot seed
+            gid = config.group_of(pid) if config.is_member(pid) else None
+            for act in mgr.activations:
+                by_key.setdefault((gid, act.epoch), set()).add(act.delivery_index)
+        assert by_key, "expected activations"
+        for (gid, epoch), indices in by_key.items():
+            # Members that retire mid-script (the leaver) stop before
+            # later epochs; every member that DID activate an epoch did
+            # so at the same index as its group-mates.
+            assert len(indices) == 1, f"group {gid} epoch {epoch}: {indices}"
+
+    def test_lowest_pid_member_leaving_keeps_verification_sound(self):
+        """Regression: the epoch chain must come from a manager whose log
+        is complete — a leaver's truncates at its own leave, and member 0
+        leaving first used to yield a chain missing the later join."""
+        config = ClusterConfig.build(2, 3, 2)
+        plan = ReconfigPlan(events=[LeaveSpec(0.02, 0), JoinSpec(0.05, 0)])
+        res = run_and_verify(config, plan, seed=37, messages_per_client=8)
+        assert [c.epoch for c in res.epochs()] == [0, 1, 2]
+        final = res.epochs()[-1]
+        assert 0 not in final.all_members
+        assert set(res.joiners) <= set(final.members(0))
+
+    def test_leaver_retires_and_quorums_shrink(self):
+        config = ClusterConfig.build(2, 3, 2)
+        leaver = config.members(1)[1]
+        plan = ReconfigPlan(events=[LeaveSpec(0.03, leaver)])
+        res = run_and_verify(config, plan, seed=29)
+        assert res.members[leaver].retired
+        final = res.epochs()[-1]
+        assert leaver not in final.all_members
+        assert final.quorum_size(1) == 2
+        survivors = [p for p in config.members(1) if p != leaver]
+        for pid in survivors:
+            assert res.managers[pid].config.epoch == final.epoch
+
+    def test_stale_epoch_submission_is_fenced_with_refresh(self):
+        """A session left on an old epoch gets fenced and refreshed, and
+        its submission still completes exactly once."""
+        config = ClusterConfig.build(2, 3, 2, shards_per_group=2)
+        plan = ReconfigPlan(events=[LeaveSpec(0.03, config.members(1)[-1])])
+        res = run_and_verify(config, plan, seed=31)
+        # Every workload session converged on the final epoch via fences.
+        final_epoch = res.epochs()[-1].epoch
+        assert all(c.config.epoch == final_epoch for c in res.clients)
