@@ -1,0 +1,468 @@
+"""TCP throughput sweep: the net runtime measured, not just smoked.
+
+Every headline number before this module came from the simulator; the
+asyncio TCP runtime — the deployment model the paper actually evaluates —
+had correctness coverage but no recorded performance.  This sweep drives
+:class:`~repro.net.LocalCluster` (or the one-process-per-member
+:class:`~repro.net.MultiProcCluster`) through real ``AmcastClient``
+sessions over localhost sockets, sweeping protocol × leader batch ×
+ingress batch, and records throughput to ``results/net_*.txt``.
+
+The wire-path knobs under test are the point:
+
+* ``--codec pickle`` / ``--no-coalesce`` reproduce the pre-overhaul wire
+  path (whole-frame pickle, one ``drain()`` await per frame) — that run
+  is the recorded baseline, ``results/net_baseline.txt``.
+* The defaults (binary codec, writer coalescing) are the overhauled path,
+  recorded as ``results/net_fast.txt``.
+* ``--loop uvloop`` swaps in uvloop when installed and degrades honestly
+  (the recorded loop label says what actually ran) when not.
+* ``--procs lanes`` hosts every member — hence every lane leader — in
+  its own OS process.
+
+Run ``python -m repro.bench.net`` (or ``python -m repro bench-net``);
+``--quick`` is the CI smoke grid, ``--out FILE`` appends the standard
+results-file block (header comment, table, headline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import statistics
+import sys
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..client import AmcastClientOptions
+from ..config import BatchingOptions, ClusterConfig
+from ..net import LocalCluster, MultiProcCluster, TransportOptions
+from ..protocols import PROTOCOLS
+from ..workload.netdrive import drive_cluster
+from .report import render_table
+
+#: Protocols swept by default: the paper's white-box protocol and the
+#: strongest black-box baseline.
+NET_PROTOCOLS = ("wbcast", "ftskeen")
+
+
+@dataclass(frozen=True)
+class NetPoint:
+    """One measured (protocol, wire config, batch, ingress) grid cell."""
+
+    protocol: str
+    codec: str
+    coalesce: bool
+    loop: str
+    procs: str
+    batch: int
+    ingress: int
+    sessions: int
+    window: int
+    throughput: float
+    mean_latency: float
+    p95_latency: float
+    completed: int
+    submitted: int
+    backpressure_events: int
+
+
+@dataclass
+class NetSweepConfig:
+    protocols: Sequence[str] = NET_PROTOCOLS
+    #: Leader-side batch sizes (1 = the paper's per-message protocol).
+    batch_sizes: Sequence[int] = (1, 8)
+    #: Client-side ingress coalescing sizes (1 = one MULTICAST per msg).
+    ingress_batches: Sequence[int] = (1, 16)
+    num_groups: int = 2
+    group_size: int = 3
+    dest_k: int = 2
+    sessions: int = 2
+    #: Outstanding submissions per session; deep enough to keep writer
+    #: queues non-empty, which is what coalescing feeds on.
+    window: int = 128
+    messages_per_session: int = 400
+    codec: str = "binary"
+    coalesce: bool = True
+    loop: str = "default"
+    #: ``"1"``: whole cluster in one process; ``"lanes"``: one OS process
+    #: per member, so each lane leader runs alone (MultiProcCluster).
+    procs: str = "1"
+    max_queue: Optional[int] = 512
+    linger: float = 0.002
+    timeout: float = 120.0
+    seed: int = 42
+
+
+def default_sweep() -> NetSweepConfig:
+    return NetSweepConfig()
+
+
+def quick_sweep() -> NetSweepConfig:
+    """CI smoke: one protocol, per-message vs ingress-batched."""
+    return NetSweepConfig(
+        protocols=("wbcast",),
+        batch_sizes=(1,),
+        ingress_batches=(1, 16),
+        messages_per_session=60,
+        timeout=60.0,
+    )
+
+
+def install_loop(loop: str) -> str:
+    """Install the requested event-loop policy; returns the honest label.
+
+    uvloop is optional and must not be a hard dependency: when requested
+    but absent, the default loop runs and the recorded label says so —
+    results files never claim a loop that didn't run.
+    """
+    if loop == "uvloop":
+        try:
+            import uvloop
+        except ImportError:
+            print("note: uvloop requested but not installed; using the "
+                  "default event loop", file=sys.stderr)
+            return "default (uvloop unavailable)"
+        asyncio.set_event_loop_policy(uvloop.EventLoopPolicy())
+        return "uvloop"
+    return "default"
+
+
+def _protocol_options(protocol: str, batch: int, linger: float):
+    protocol_cls = PROTOCOLS[protocol]
+    if batch <= 1 or not getattr(protocol_cls, "SUPPORTS_BATCHING", False):
+        return None
+    from .harness import apply_batching
+
+    return apply_batching(
+        protocol_cls, None, BatchingOptions(max_batch=batch, max_linger=linger)
+    )
+
+
+def run_point(
+    sweep: NetSweepConfig,
+    protocol: str,
+    batch: int,
+    ingress: int,
+    loop_label: str,
+) -> NetPoint:
+    protocol_cls = PROTOCOLS[protocol]
+    config = ClusterConfig.build(
+        num_groups=sweep.num_groups,
+        group_size=sweep.group_size,
+        num_clients=sweep.sessions,
+    )
+    transport_options = TransportOptions(
+        codec=sweep.codec,
+        coalesce=sweep.coalesce,
+        max_queue=sweep.max_queue,
+    )
+    ingress_options = (
+        BatchingOptions(max_batch=ingress, max_linger=sweep.linger)
+        if ingress > 1
+        else None
+    )
+    client_options = AmcastClientOptions(
+        window=sweep.window,
+        retry_timeout=2.0,
+        ingress=ingress_options,
+    )
+    cluster_cls = MultiProcCluster if sweep.procs == "lanes" else LocalCluster
+
+    async def scenario():
+        cluster = cluster_cls(
+            config,
+            protocol_cls,
+            options=_protocol_options(protocol, batch, sweep.linger),
+            seed=sweep.seed,
+            client_options=client_options,
+            num_sessions=sweep.sessions,
+            transport_options=transport_options,
+        )
+        await cluster.start()
+        try:
+            return await drive_cluster(
+                cluster,
+                sweep.messages_per_session,
+                dest_k=sweep.dest_k,
+                timeout=sweep.timeout,
+                seed=sweep.seed,
+            )
+        finally:
+            await cluster.stop()
+
+    result = asyncio.run(scenario())
+    lats = result.latencies
+    return NetPoint(
+        protocol=protocol,
+        codec=sweep.codec,
+        coalesce=sweep.coalesce,
+        loop=loop_label,
+        procs=sweep.procs,
+        batch=batch,
+        ingress=ingress,
+        sessions=sweep.sessions,
+        window=sweep.window,
+        throughput=result.throughput,
+        mean_latency=statistics.fmean(lats) if lats else float("nan"),
+        p95_latency=(
+            statistics.quantiles(lats, n=20)[-1] if len(lats) >= 20 else float("nan")
+        ),
+        completed=result.completed,
+        submitted=result.submitted,
+        backpressure_events=result.backpressure_events,
+    )
+
+
+def run_net(sweep: Optional[NetSweepConfig] = None) -> List[NetPoint]:
+    sweep = sweep or default_sweep()
+    loop_label = install_loop(sweep.loop)
+    points: List[NetPoint] = []
+    for protocol in sweep.protocols:
+        batches = (
+            tuple(sweep.batch_sizes)
+            if getattr(PROTOCOLS[protocol], "SUPPORTS_BATCHING", False)
+            else (1,)
+        )
+        for batch in batches:
+            for ingress in sweep.ingress_batches:
+                points.append(run_point(sweep, protocol, batch, ingress, loop_label))
+    return points
+
+
+def peak_throughput(
+    points: List[NetPoint], protocol: Optional[str] = None
+) -> Tuple[float, Optional[NetPoint]]:
+    """Best throughput (and its point) across the grid."""
+    best: Optional[NetPoint] = None
+    for p in points:
+        if protocol is not None and p.protocol != protocol:
+            continue
+        if best is None or p.throughput > best.throughput:
+            best = p
+    return (best.throughput if best else 0.0), best
+
+
+def net_table(points: List[NetPoint]) -> str:
+    rows = [
+        (
+            p.protocol,
+            p.codec,
+            "on" if p.coalesce else "off",
+            p.procs,
+            p.batch,
+            p.ingress,
+            p.sessions,
+            p.throughput,
+            p.mean_latency * 1000,
+            p.p95_latency * 1000,
+            f"{p.completed}/{p.submitted}",
+            p.backpressure_events,
+        )
+        for p in points
+    ]
+    return render_table(
+        [
+            "protocol",
+            "codec",
+            "coalesce",
+            "procs",
+            "batch",
+            "ingress",
+            "sessions",
+            "msgs/s",
+            "mean lat (ms)",
+            "p95 lat (ms)",
+            "completed",
+            "backpressure",
+        ],
+        rows,
+        title="TCP runtime sweep — localhost sockets, AmcastClient sessions",
+    )
+
+
+def headline(points: List[NetPoint]) -> str:
+    lines = []
+    for protocol in dict.fromkeys(p.protocol for p in points):
+        peak, best = peak_throughput(points, protocol=protocol)
+        if best is None:
+            continue
+        lines.append(
+            f"{protocol} [{best.codec}, coalesce {'on' if best.coalesce else 'off'}, "
+            f"{best.loop}, procs={best.procs}]: peak {peak:,.0f} msgs/s "
+            f"(batch {best.batch}, ingress {best.ingress}, "
+            f"{best.sessions} sessions x window {best.window})"
+        )
+    return "\n".join(lines)
+
+
+def results_block(sweep: NetSweepConfig, points: List[NetPoint], loop_label: str) -> str:
+    """The standard results-file block: header comment, table, headline."""
+    flags = [f"--codec {sweep.codec}"]
+    if not sweep.coalesce:
+        flags.append("--no-coalesce")
+    if sweep.loop != "default":
+        flags.append(f"--loop {sweep.loop}")
+    if sweep.procs != "1":
+        flags.append(f"--procs {sweep.procs}")
+    header = [
+        "# TCP runtime sweep (bench-net): protocol x leader batch x ingress batch",
+        f"# topology: {sweep.num_groups} groups x {sweep.group_size} members, "
+        f"dest_k={sweep.dest_k}, {sweep.sessions} sessions x window {sweep.window}, "
+        f"{sweep.messages_per_session} msgs/session",
+        f"# wire: codec={sweep.codec} coalesce={'on' if sweep.coalesce else 'off'} "
+        f"loop={loop_label} procs={sweep.procs} max_queue={sweep.max_queue}",
+        f"# cli: python -m repro bench-net {' '.join(flags)}",
+        "",
+    ]
+    return "\n".join(header) + net_table(points) + "\n\n" + headline(points) + "\n"
+
+
+def _int_list(text: str) -> Tuple[int, ...]:
+    try:
+        values = tuple(int(part) for part in text.split(","))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"not a comma-separated int list: {text!r}"
+        ) from exc
+    if not values or any(v < 1 for v in values):
+        raise argparse.ArgumentTypeError(f"values must be >= 1, got {text!r}")
+    return values
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """The sweep's options — shared with the ``repro`` CLI subcommand."""
+    parser.add_argument(
+        "--protocol",
+        choices=(*NET_PROTOCOLS, "all"),
+        default="all",
+        help="protocol axis (default: wbcast and ftskeen)",
+    )
+    parser.add_argument(
+        "--codec",
+        choices=("binary", "pickle"),
+        default="binary",
+        help="wire codec: struct-packed binary (default) or the "
+        "pre-overhaul whole-frame pickle (the recorded baseline)",
+    )
+    parser.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="flush one frame per drain() await (the pre-overhaul writer)",
+    )
+    parser.add_argument(
+        "--loop",
+        choices=("default", "uvloop"),
+        default="default",
+        help="event loop; uvloop degrades to the default loop (with an "
+        "honest label in the results) when not installed",
+    )
+    parser.add_argument(
+        "--procs",
+        choices=("1", "lanes"),
+        default="1",
+        help="'1': whole cluster in one process; 'lanes': one OS process "
+        "per member, so each lane leader runs alone",
+    )
+    parser.add_argument(
+        "--batch-sizes",
+        type=_int_list,
+        default=None,
+        metavar="N[,N...]",
+        help="leader-side batch-size axis (default: 1,8)",
+    )
+    parser.add_argument(
+        "--ingress-batch",
+        type=_int_list,
+        default=None,
+        metavar="N[,N...]",
+        help="client-side ingress coalescing axis (default: 1,16)",
+    )
+    parser.add_argument(
+        "--sessions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="concurrent AmcastClient sessions (default: 2)",
+    )
+    parser.add_argument(
+        "--messages",
+        type=int,
+        default=None,
+        metavar="N",
+        help="messages per session (default: 400)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="outstanding submissions per session (default: 64)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="also write the standard results block to FILE",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke grid (wbcast only, tiny message counts)",
+    )
+
+
+def sweep_from_args(args: argparse.Namespace) -> NetSweepConfig:
+    sweep = quick_sweep() if args.quick else default_sweep()
+    if args.protocol != "all":
+        sweep = replace(sweep, protocols=(args.protocol,))
+    sweep = replace(
+        sweep,
+        codec=args.codec,
+        coalesce=not args.no_coalesce,
+        loop=args.loop,
+        procs=args.procs,
+    )
+    if args.batch_sizes is not None:
+        sweep = replace(sweep, batch_sizes=args.batch_sizes)
+    if args.ingress_batch is not None:
+        sweep = replace(sweep, ingress_batches=args.ingress_batch)
+    if args.sessions is not None:
+        sweep = replace(sweep, sessions=max(1, args.sessions))
+    if args.messages is not None:
+        sweep = replace(sweep, messages_per_session=max(1, args.messages))
+    if args.window is not None:
+        sweep = replace(sweep, window=max(1, args.window))
+    return sweep
+
+
+def run_main(args: argparse.Namespace) -> int:
+    sweep = sweep_from_args(args)
+    points = run_net(sweep)
+    loop_label = points[0].loop if points else sweep.loop
+    print(net_table(points))
+    print()
+    print(headline(points))
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(results_block(sweep, points, loop_label))
+        print(f"\nwrote {args.out}")
+    # A run where any cell lost messages to the deadline is not a valid
+    # measurement — fail the invocation so CI notices.
+    if any(p.completed < p.submitted for p in points):
+        print("error: some points timed out before completing", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench-net",
+        description="TCP runtime throughput sweep over localhost sockets",
+    )
+    add_arguments(parser)
+    return run_main(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -117,6 +117,18 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="dynamic reconfiguration: submit a leave command "
                             "for the last member of group 0 at this time "
                             "(wbcast only)")
+    run_p.add_argument("--codec", choices=["binary", "pickle"], default="binary",
+                       help="net runtime wire codec: struct-packed binary "
+                            "frames (default) or whole-frame pickle (the "
+                            "pre-overhaul wire format; sim ignores this)")
+    run_p.add_argument("--loop", choices=["default", "uvloop"], default="default",
+                       help="net runtime event loop; uvloop falls back to "
+                            "the default loop when not installed")
+    run_p.add_argument("--procs-per-node", choices=["1", "lanes"], default="1",
+                       help="net runtime process model: '1' hosts the whole "
+                            "cluster in one process; 'lanes' hosts each "
+                            "member — hence each lane leader — in its own "
+                            "OS process (no kill/reconfig drivers there)")
 
     flow_p = sub.add_parser("flow", help="trace one multicast hop by hop (Fig. 5 view)")
     flow_p.add_argument("--protocol", choices=sorted(PROTOCOLS), default="wbcast")
@@ -149,6 +161,13 @@ def _build_parser() -> argparse.ArgumentParser:
     from .bench.elasticity import add_arguments as add_bench_elasticity_arguments
 
     add_bench_elasticity_arguments(be_p)
+    bn_p = sub.add_parser(
+        "bench-net",
+        help="TCP runtime throughput sweep over localhost sockets "
+             "(codec/coalescing/procs wire-path axes)")
+    from .bench.net import add_arguments as add_bench_net_arguments
+
+    add_bench_net_arguments(bn_p)  # one option set for both entry points
     return parser
 
 
@@ -386,9 +405,10 @@ def _cmd_run_net(args: argparse.Namespace, protocol_cls, config) -> int:
     import time
 
     from .bench.harness import apply_batching
+    from .bench.net import install_loop
     from .checking import check_all
     from .client import AmcastClientOptions
-    from .net import LocalCluster
+    from .net import LocalCluster, MultiProcCluster, TransportOptions
 
     if args.topology != "constant" or args.delta != 0.001:
         print(
@@ -405,19 +425,31 @@ def _cmd_run_net(args: argparse.Namespace, protocol_cls, config) -> int:
     )
     ingress = _ingress_options(args)
     client_options = AmcastClientOptions(retry_timeout=0.25, ingress=ingress)
+    transport_options = TransportOptions(codec=args.codec)
     total = args.clients * args.messages
     dest_k = min(args.dest_k, args.groups)
     rng = random.Random(args.seed)
     reconfig = args.join_at is not None or args.leave_at is not None
+    multiproc = args.procs_per_node == "lanes"
+    if multiproc and reconfig:
+        print(
+            "error: --procs-per-node lanes does not support --join-at/"
+            "--leave-at (reconfig drivers are single-process)",
+            file=sys.stderr,
+        )
+        return 2
+    loop_label = install_loop(args.loop)
+    cluster_cls = MultiProcCluster if multiproc else LocalCluster
 
     async def scenario():
-        cluster = LocalCluster(
+        cluster = cluster_cls(
             config,
             protocol_cls,
             options=protocol_options,
             seed=args.seed,
             client_options=client_options,
             attach_reconfig=reconfig,
+            transport_options=transport_options,
         )
         await cluster.start()
         try:
@@ -495,6 +527,10 @@ def _cmd_run_net(args: argparse.Namespace, protocol_cls, config) -> int:
 
     done, completed, elapsed, checks = asyncio.run(scenario())
     print(f"protocol  : {args.protocol} (asyncio TCP runtime, localhost)")
+    print(
+        f"wire      : codec={args.codec} loop={loop_label} "
+        f"procs-per-node={args.procs_per_node}"
+    )
     if reconfig:
         events = []
         if args.join_at is not None:
@@ -576,6 +612,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .bench import elasticity
 
         return elasticity.run_main(args)
+    elif args.command == "bench-net":
+        from .bench import net
+
+        return net.run_main(args)
     return 0
 
 

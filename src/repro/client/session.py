@@ -204,6 +204,7 @@ class AmcastClient(ProtocolProcess):
         self._completed_order: Deque[MessageId] = deque()
         self._backlog: Deque[SubmitHandle] = deque()
         self._outstanding = 0
+        self._paused = False
         self._retry_handles: Dict[MessageId, TimerHandle] = {}
         # Client-side ingress coalescing: one buffer per ingress group, so
         # a message with k destination groups joins k buffers and each
@@ -318,11 +319,37 @@ class AmcastClient(ProtocolProcess):
         )
         self._handles[m.mid] = handle
         window = self.session_options.window
-        if window is not None and self._outstanding >= max(1, window):
+        if self._paused or (
+            window is not None and self._outstanding >= max(1, window)
+        ):
             self._backlog.append(handle)
         else:
             self._launch(handle)
         return handle
+
+    def pause_launches(self) -> None:
+        """Transport backpressure: stop launching fresh submissions.
+
+        Already-launched messages keep retransmitting (retries are what
+        drain the reliable channels); only new work queues in the backlog
+        until :meth:`resume_launches`.
+        """
+        self._paused = True
+
+    def resume_launches(self) -> None:
+        self._paused = False
+        self._drain_backlog()
+
+    def _drain_backlog(self) -> None:
+        while (
+            not self._paused
+            and self._backlog
+            and (
+                self.session_options.window is None
+                or self._outstanding < max(1, self.session_options.window)
+            )
+        ):
+            self._launch(self._backlog.popleft())
 
     def _launch(self, handle: SubmitHandle) -> None:
         m = handle.message
@@ -445,11 +472,7 @@ class AmcastClient(ProtocolProcess):
             self._completed_order.append(mid)
             while len(self._completed_order) > limit:
                 self._handles.pop(self._completed_order.popleft(), None)
-        while self._backlog and (
-            self.session_options.window is None
-            or self._outstanding < max(1, self.session_options.window)
-        ):
-            self._launch(self._backlog.popleft())
+        self._drain_backlog()
         self._after_completion(mid, t)
 
     def _after_completion(self, mid: MessageId, t: float) -> None:

@@ -6,20 +6,28 @@ connection per (src, dst) pair, which provides exactly the reliable-FIFO
 channel of the paper's model (on localhost; across real WANs one would add
 reconnect-with-resend, which is out of scope).
 
+Frames use a length-prefixed binary codec (:mod:`repro.net.codec`) with a
+tagged pickle fallback for cold control messages; the writer side
+coalesces queued frames into single flushes (:mod:`repro.net.transport`).
+
 :class:`~repro.net.cluster.LocalCluster` wires a whole cluster on
 127.0.0.1 ephemeral ports — see ``examples/tcp_cluster.py`` and
-``tests/test_net.py``.
+``tests/test_net.py``; :class:`~repro.net.multiproc.MultiProcCluster`
+hosts each member (hence each lane leader) in its own OS process.
 """
 
 from .codec import decode_frame, encode_frame
 from .runtime import NetRuntime
-from .transport import NodeTransport
+from .transport import NodeTransport, TransportOptions
 from .cluster import LocalCluster
+from .multiproc import MultiProcCluster
 
 __all__ = [
     "LocalCluster",
+    "MultiProcCluster",
     "NetRuntime",
     "NodeTransport",
+    "TransportOptions",
     "decode_frame",
     "encode_frame",
 ]

@@ -24,7 +24,7 @@ from ..config import ClusterConfig
 from ..types import AmcastMessage, MessageId, ProcessId
 from ..workload.tracker import DeliveryTracker
 from .runtime import NetRuntime
-from .transport import NodeTransport
+from .transport import NodeTransport, TransportOptions
 
 
 class _LiveMemberTransport:
@@ -68,6 +68,7 @@ class LocalCluster:
         client_options: Optional[AmcastClientOptions] = None,
         num_sessions: int = 1,
         attach_reconfig: bool = False,
+        transport_options: Optional[TransportOptions] = None,
     ) -> None:
         if num_sessions < 1:
             raise ValueError(f"num_sessions must be >= 1, got {num_sessions}")
@@ -78,6 +79,9 @@ class LocalCluster:
         self.attach_fd = attach_fd
         self.fd_options = fd_options
         self.num_sessions = num_sessions
+        #: Wire-path knobs (codec, coalescing, queue bounds) applied to
+        #: every transport in the cluster — members and sessions alike.
+        self.transport_options = transport_options or TransportOptions()
         #: Dynamic reconfiguration: attach a ReconfigManager to every
         #: member (epoch activation through the delivery order), run the
         #: embedded sessions epoch-fenced, and enable ``add_member`` /
@@ -130,11 +134,37 @@ class LocalCluster:
     async def start(self) -> None:
         for pid in self.config.all_members:
             transport = NodeTransport(
-                pid, self.addresses.__getitem__, self._make_dispatch(pid)
+                pid,
+                self.addresses.__getitem__,
+                self._make_dispatch(pid),
+                options=self.transport_options,
             )
             await transport.start()
             self.transports[pid] = transport
             self.addresses[pid] = (transport.host, transport.port)
+        self._assign_session_pids()
+        await self._start_sessions()
+        # Bind protocols only once every address is known.
+        for pid in self.config.all_members:
+            runtime = NetRuntime(
+                pid, self.transports[pid], self._record_delivery, seed=self.seed
+            )
+            proc = self.protocol_cls(pid, self.config, runtime, options=self.options)
+            if self.attach_fd:
+                from ..failure.detector import attach_monitor
+
+                attach_monitor(proc, self.fd_options)
+            if self.attach_reconfig:
+                from ..reconfig import ReconfigManager
+
+                self.managers[pid] = ReconfigManager.attach(proc, self.config)
+            self.processes[pid] = proc
+        for proc in self.processes.values():
+            proc.on_start()
+        for session in self.sessions:
+            session.on_start()
+
+    def _assign_session_pids(self) -> None:
         # Session endpoints: configured client ids first, then fresh ids
         # above every configured process (members AND clients — seeding
         # from the members alone would collide with client ids).  Each
@@ -148,11 +178,39 @@ class LocalCluster:
                 pid = fresh
                 fresh += 1
             self._session_pids.append(pid)
+
+    def _make_congestion_hook(self, index: int):
+        """Transport congestion → session window: stop launching fresh
+        submissions while any send queue sits above its bound (closes the
+        backpressure loop the bounded queues exist for).  Retransmissions
+        are unaffected — they are what drains the reliable channels."""
+
+        def hook(congested: bool) -> None:
+            if index < len(self.sessions):
+                if congested:
+                    self.sessions[index].pause_launches()
+                else:
+                    self.sessions[index].resume_launches()
+
+        return hook
+
+    async def _start_sessions(self, ports: Optional[Dict[ProcessId, int]] = None) -> None:
+        """Start session transports and bind their clients.
+
+        ``ports`` optionally pre-assigns listening ports per session pid —
+        multi-process clusters reserve all ports up front so worker
+        processes can be handed a complete address map before anything
+        starts.
+        """
         for i, pid in enumerate(self._session_pids):
             transport = NodeTransport(
-                pid, self.addresses.__getitem__, self._make_session_dispatch(i)
+                pid,
+                self.addresses.__getitem__,
+                self._make_session_dispatch(i),
+                options=self.transport_options,
+                on_congestion=self._make_congestion_hook(i),
             )
-            await transport.start()
+            await transport.start(port=(ports or {}).get(pid, 0))
             self._session_transports.append(transport)
             self.addresses[pid] = (transport.host, transport.port)
         for i, pid in enumerate(self._session_pids):
@@ -173,25 +231,6 @@ class LocalCluster:
                     self.client_options[i],
                 )
             )
-        # Bind protocols only once every address is known.
-        for pid in self.config.all_members:
-            runtime = NetRuntime(
-                pid, self.transports[pid], self._record_delivery, seed=self.seed
-            )
-            proc = self.protocol_cls(pid, self.config, runtime, options=self.options)
-            if self.attach_fd:
-                from ..failure.detector import attach_monitor
-
-                attach_monitor(proc, self.fd_options)
-            if self.attach_reconfig:
-                from ..reconfig import ReconfigManager
-
-                self.managers[pid] = ReconfigManager.attach(proc, self.config)
-            self.processes[pid] = proc
-        for proc in self.processes.values():
-            proc.on_start()
-        for session in self.sessions:
-            session.on_start()
 
     def _make_dispatch(self, pid: ProcessId):
         def dispatch(sender: ProcessId, msg: Any) -> None:

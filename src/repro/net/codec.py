@@ -1,42 +1,704 @@
-"""Wire framing: length-prefixed pickled (sender, message) frames.
+"""Wire framing: length-prefixed binary frames with a tagged pickle fallback.
 
-Pickle is acceptable here because the cluster is a closed system of our
-own processes (the classic caveat: never unpickle untrusted input).  All
-protocol messages are small frozen dataclasses built from primitive
-types, so they pickle compactly and deterministically.
+Frame layout (everything big-endian)::
+
+    !I  body length (refused above MAX_FRAME)
+    !q  sender process id
+    B   message tag            -- 0: pickle fallback, else a registered type
+    ... message body
+
+Hot messages — client ingress (``MULTICAST``/``MULTICAST_BATCH``), the
+ACCEPT/ACK proposal rounds and their batches, DELIVER traffic, submission
+acks, lane envelopes and the consensus rounds of the black-box baselines —
+are encoded with :mod:`struct`-packed fixed layouts plus a small tagged
+value vocabulary (ints, strings, tuples, timestamps, ballots, application
+messages, ...), and decoded with :class:`memoryview` slicing so no byte is
+copied twice.  Pickle remains only as the tagged fallback for cold control
+messages (recovery state pushes, reconfiguration state transfer), which
+cross the wire a handful of times per epoch and carry arbitrarily shaped
+snapshots — they need no per-message codec work.
+
+Pickle is acceptable for the fallback because the cluster is a closed
+system of our own processes (the classic caveat: never unpickle untrusted
+input).
+
+Every registered message type must decode identically under both codecs;
+``tests/test_net_codec.py`` auto-enumerates :func:`wire_message_types` and
+differentially proves it, so a new wire message that is neither registered
+binary nor declared a cold pickle type fails the battery loudly.
+
+``decode_frame`` raises :class:`ValueError` — and only ValueError — on any
+malformed input (truncated body, trailing bytes, unknown tags, corrupt
+pickle), which is what lets the transport treat every decode failure as
+one deliberate connection-drop path.
 """
 
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import pickle
 import struct
-from typing import Any, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
-from ..types import ProcessId
+from ..failure import detector as _detector
+from ..paxos import messages as _paxos
+from ..protocols import base as _base
+from ..protocols import batching as _batching
+from ..protocols import fastcast as _fastcast
+from ..protocols import ftskeen as _ftskeen
+from ..protocols import sequencer as _sequencer
+from ..protocols import skeen as _skeen
+from ..protocols.wbcast import messages as _wb
+from ..reconfig import messages as _reconfig
+from ..types import AmcastMessage, Ballot, ProcessId, Timestamp
 
-_HEADER = struct.Struct("!I")
+_LEN = struct.Struct("!I")
+_SENDER = struct.Struct("!q")
 
 #: Refuse frames above this size (a corrupted length prefix otherwise
 #: requests gigabytes).
 MAX_FRAME = 64 * 1024 * 1024
 
+#: Frame tag of the pickle fallback; registered binary types use 1..255.
+TAG_PICKLE = 0
 
-def encode_frame(sender: ProcessId, msg: Any) -> bytes:
-    payload = pickle.dumps((sender, msg), protocol=pickle.HIGHEST_PROTOCOL)
-    if len(payload) > MAX_FRAME:
-        raise ValueError(f"frame of {len(payload)} bytes exceeds MAX_FRAME")
-    return _HEADER.pack(len(payload)) + payload
+# -- tagged value vocabulary -------------------------------------------------
+#
+# Fields whose static type is not fixed (payloads, epochs, heterogeneous
+# tuples) are encoded as one tag byte plus a fixed layout.  The vocabulary
+# covers everything the protocol dataclasses are built from; anything else
+# falls back to a length-prefixed pickle blob *per value*, so one exotic
+# payload never forces the whole frame off the binary path.
+
+_V_NONE = 0
+_V_TRUE = 1
+_V_FALSE = 2
+_V_INT = 3
+_V_FLOAT = 4
+_V_STR = 5
+_V_BYTES = 6
+_V_TUPLE = 7
+_V_FROZENSET = 8
+_V_LIST = 9
+_V_DICT = 10
+_V_TS = 11
+_V_BALLOT = 12
+_V_AMSG = 13
+_V_MSG = 14
+_V_PICKLE = 15
+_V_NOOP = 16
+
+_Q = struct.Struct("!q")
+_D = struct.Struct("!d")
+_U = struct.Struct("!I")
+_I32 = struct.Struct("!i")
+_TS = struct.Struct("!qi")  # Timestamp(time, group)
+_BAL = struct.Struct("!qq")  # Ballot(round, pid)
+_AMSG_HDR = struct.Struct("!qqiH")  # mid origin, mid seq, size (-1: None), ndests
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+
+def _enc_amsg(buf: bytearray, m: AmcastMessage) -> None:
+    origin, seq = m.mid
+    size = -1 if m.size is None else m.size
+    dests = m.dests
+    buf += _AMSG_HDR.pack(origin, seq, size, len(dests))
+    for d in dests:
+        buf += _I32.pack(d)
+    _enc_value(buf, m.payload)
+
+
+def _dec_amsg(mv: memoryview, off: int) -> Tuple[AmcastMessage, int]:
+    origin, seq, size, ndests = _AMSG_HDR.unpack_from(mv, off)
+    off += _AMSG_HDR.size
+    dests = []
+    for _ in range(ndests):
+        dests.append(_I32.unpack_from(mv, off)[0])
+        off += 4
+    payload, off = _dec_value(mv, off)
+    return (
+        AmcastMessage(
+            mid=(origin, seq),
+            dests=frozenset(dests),
+            payload=payload,
+            size=None if size < 0 else size,
+        ),
+        off,
+    )
+
+
+def _enc_value(buf: bytearray, v: Any) -> None:
+    if v is None:
+        buf.append(_V_NONE)
+        return
+    t = type(v)
+    if t is bool:
+        buf.append(_V_TRUE if v else _V_FALSE)
+        return
+    if t is int:
+        if _INT64_MIN <= v <= _INT64_MAX:
+            buf.append(_V_INT)
+            buf += _Q.pack(v)
+            return
+    elif t is float:
+        buf.append(_V_FLOAT)
+        buf += _D.pack(v)
+        return
+    elif t is str:
+        raw = v.encode("utf-8")
+        buf.append(_V_STR)
+        buf += _U.pack(len(raw))
+        buf += raw
+        return
+    elif t is bytes:
+        buf.append(_V_BYTES)
+        buf += _U.pack(len(v))
+        buf += v
+        return
+    elif t is tuple:
+        buf.append(_V_TUPLE)
+        buf += _U.pack(len(v))
+        for item in v:
+            _enc_value(buf, item)
+        return
+    elif t is frozenset:
+        buf.append(_V_FROZENSET)
+        buf += _U.pack(len(v))
+        for item in v:
+            _enc_value(buf, item)
+        return
+    elif t is list:
+        buf.append(_V_LIST)
+        buf += _U.pack(len(v))
+        for item in v:
+            _enc_value(buf, item)
+        return
+    elif t is dict:
+        buf.append(_V_DICT)
+        buf += _U.pack(len(v))
+        for key, item in v.items():
+            _enc_value(buf, key)
+            _enc_value(buf, item)
+        return
+    elif t is Timestamp:
+        buf.append(_V_TS)
+        buf += _TS.pack(v.time, v.group)
+        return
+    elif t is Ballot:
+        buf.append(_V_BALLOT)
+        buf += _BAL.pack(v.round, v.pid)
+        return
+    elif t is AmcastMessage:
+        buf.append(_V_AMSG)
+        _enc_amsg(buf, v)
+        return
+    elif v is _paxos.NOOP:
+        buf.append(_V_NOOP)
+        return
+    else:
+        enc = _MSG_ENCODERS.get(t)
+        if enc is not None:
+            buf.append(_V_MSG)
+            buf.append(_MSG_TAGS[t])
+            enc(buf, v)
+            return
+    blob = pickle.dumps(v, protocol=pickle.HIGHEST_PROTOCOL)
+    buf.append(_V_PICKLE)
+    buf += _U.pack(len(blob))
+    buf += blob
+
+
+def _take(mv: memoryview, off: int, n: int) -> int:
+    end = off + n
+    if end > len(mv):
+        raise ValueError(f"value runs past the frame end ({end} > {len(mv)})")
+    return end
+
+
+def _dec_value(mv: memoryview, off: int) -> Tuple[Any, int]:
+    tag = mv[off]
+    off += 1
+    if tag == _V_NONE:
+        return None, off
+    if tag == _V_TRUE:
+        return True, off
+    if tag == _V_FALSE:
+        return False, off
+    if tag == _V_INT:
+        return _Q.unpack_from(mv, off)[0], off + 8
+    if tag == _V_FLOAT:
+        return _D.unpack_from(mv, off)[0], off + 8
+    if tag == _V_STR:
+        (n,) = _U.unpack_from(mv, off)
+        end = _take(mv, off + 4, n)
+        return str(mv[off + 4 : end], "utf-8"), end
+    if tag == _V_BYTES:
+        (n,) = _U.unpack_from(mv, off)
+        end = _take(mv, off + 4, n)
+        return bytes(mv[off + 4 : end]), end
+    if tag in (_V_TUPLE, _V_FROZENSET, _V_LIST):
+        (n,) = _U.unpack_from(mv, off)
+        off += 4
+        if n > len(mv):  # cheap sanity bound: one byte per element minimum
+            raise ValueError(f"container of {n} elements in a {len(mv)}-byte frame")
+        items = []
+        for _ in range(n):
+            item, off = _dec_value(mv, off)
+            items.append(item)
+        if tag == _V_TUPLE:
+            return tuple(items), off
+        if tag == _V_FROZENSET:
+            return frozenset(items), off
+        return items, off
+    if tag == _V_DICT:
+        (n,) = _U.unpack_from(mv, off)
+        off += 4
+        if n > len(mv):
+            raise ValueError(f"dict of {n} entries in a {len(mv)}-byte frame")
+        out: Dict[Any, Any] = {}
+        for _ in range(n):
+            key, off = _dec_value(mv, off)
+            val, off = _dec_value(mv, off)
+            out[key] = val
+        return out, off
+    if tag == _V_TS:
+        time, group = _TS.unpack_from(mv, off)
+        return Timestamp(time, group), off + _TS.size
+    if tag == _V_BALLOT:
+        rnd, pid = _BAL.unpack_from(mv, off)
+        return Ballot(rnd, pid), off + _BAL.size
+    if tag == _V_AMSG:
+        return _dec_amsg(mv, off)
+    if tag == _V_MSG:
+        return _dec_inner(mv, off)
+    if tag == _V_PICKLE:
+        (n,) = _U.unpack_from(mv, off)
+        end = _take(mv, off + 4, n)
+        return pickle.loads(mv[off + 4 : end]), end
+    if tag == _V_NOOP:
+        return _paxos.NOOP, off
+    raise ValueError(f"unknown value tag {tag}")
+
+
+# -- message registry --------------------------------------------------------
+
+_MSG_TAGS: Dict[type, int] = {}
+_MSG_ENCODERS: Dict[type, Callable[[bytearray, Any], None]] = {}
+_MSG_DECODERS: Dict[int, Callable[[memoryview, int], Tuple[Any, int]]] = {}
+
+
+def _register(cls: type, tag: int, encoder=None, decoder=None) -> None:
+    """Register a message type at ``tag``.
+
+    Without an explicit codec pair, a field-wise one is generated from the
+    dataclass definition: each field is encoded with the tagged value
+    vocabulary in declaration order, and decoding calls the constructor
+    positionally — so a registered message can never drift from its codec.
+    """
+    if tag in _MSG_DECODERS or not 1 <= tag <= 255:
+        raise ValueError(f"bad or duplicate message tag {tag} for {cls.__name__}")
+    if encoder is None:
+        names = tuple(f.name for f in dataclasses.fields(cls))
+
+        def encoder(buf: bytearray, msg: Any, _names=names) -> None:
+            for name in _names:
+                _enc_value(buf, getattr(msg, name))
+
+        def decoder(mv: memoryview, off: int, _cls=cls, _n=len(names)):
+            values = []
+            for _ in range(_n):
+                v, off = _dec_value(mv, off)
+                values.append(v)
+            return _cls(*values), off
+
+    _MSG_TAGS[cls] = tag
+    _MSG_ENCODERS[cls] = encoder
+    _MSG_DECODERS[tag] = decoder
+
+
+def _enc_inner(buf: bytearray, msg: Any) -> None:
+    """Encode one message as tag + body (pickle-tagged when unregistered)."""
+    enc = _MSG_ENCODERS.get(type(msg))
+    if enc is not None:
+        buf.append(_MSG_TAGS[type(msg)])
+        enc(buf, msg)
+        return
+    blob = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
+    buf.append(TAG_PICKLE)
+    buf += _U.pack(len(blob))
+    buf += blob
+
+
+def _dec_inner(mv: memoryview, off: int) -> Tuple[Any, int]:
+    tag = mv[off]
+    off += 1
+    if tag == TAG_PICKLE:
+        (n,) = _U.unpack_from(mv, off)
+        end = _take(mv, off + 4, n)
+        return pickle.loads(mv[off + 4 : end]), end
+    decoder = _MSG_DECODERS.get(tag)
+    if decoder is None:
+        raise ValueError(f"unknown message tag {tag}")
+    return decoder(mv, off)
+
+
+# Per-message round-trip messages (MULTICAST, ACCEPT, ACCEPT_ACK, DELIVER,
+# SUBMIT_ACK) and the ACCEPT_ACK batch are the wire hot path — one or more
+# of each per multicast per member.  Their shapes are fixed, so dedicated
+# struct layouts skip the generic tagged-value dispatch entirely.
+_AAB_ENTRY = struct.Struct("!qqB")  # mid origin, mid seq, vector length
+_AAB_VEC = struct.Struct("!iqq")  # gid, ballot round, ballot pid
+
+
+def _enc_multicast(buf: bytearray, msg: "_base.MulticastMsg") -> None:
+    _enc_amsg(buf, msg.m)
+    _enc_value(buf, msg.epoch)
+
+
+def _dec_multicast(mv: memoryview, off: int):
+    m, off = _dec_amsg(mv, off)
+    epoch, off = _dec_value(mv, off)
+    return _base.MulticastMsg(m, epoch), off
+
+
+_ACCEPT_HDR = struct.Struct("!iqqqi")  # gid, ballot, lts (time, group)
+
+
+def _enc_accept(buf: bytearray, msg: "_wb.AcceptMsg") -> None:
+    buf += _ACCEPT_HDR.pack(
+        msg.gid, msg.bal.round, msg.bal.pid, msg.lts.time, msg.lts.group
+    )
+    _enc_amsg(buf, msg.m)
+    _enc_value(buf, msg.epoch)
+
+
+def _dec_accept(mv: memoryview, off: int):
+    gid, brnd, bpid, ltime, lgroup = _ACCEPT_HDR.unpack_from(mv, off)
+    m, off = _dec_amsg(mv, off + _ACCEPT_HDR.size)
+    epoch, off = _dec_value(mv, off)
+    return _wb.AcceptMsg(m, gid, Ballot(brnd, bpid), Timestamp(ltime, lgroup), epoch), off
+
+
+def _enc_accept_ack(buf: bytearray, msg: "_wb.AcceptAckMsg") -> None:
+    vector = msg.vector
+    if len(vector) > 255:
+        raise ValueError("ballot vector too long for wire layout")
+    buf += _AAB_ENTRY.pack(msg.mid[0], msg.mid[1], len(vector))
+    buf += _I32.pack(msg.gid)
+    for gid, bal in vector:
+        buf += _AAB_VEC.pack(gid, bal.round, bal.pid)
+
+
+def _dec_accept_ack(mv: memoryview, off: int):
+    origin, seq, veclen = _AAB_ENTRY.unpack_from(mv, off)
+    off += _AAB_ENTRY.size
+    (gid,) = _I32.unpack_from(mv, off)
+    off += 4
+    vector = []
+    for _ in range(veclen):
+        vgid, rnd, pid = _AAB_VEC.unpack_from(mv, off)
+        off += _AAB_VEC.size
+        vector.append((vgid, Ballot(rnd, pid)))
+    return _wb.AcceptAckMsg((origin, seq), gid, tuple(vector)), off
+
+
+_DELIVER_HDR = struct.Struct("!qqqiqi")  # ballot, lts (t, g), gts (t, g)
+
+
+def _enc_deliver(buf: bytearray, msg: "_wb.DeliverMsg") -> None:
+    buf += _DELIVER_HDR.pack(
+        msg.bal.round, msg.bal.pid,
+        msg.lts.time, msg.lts.group,
+        msg.gts.time, msg.gts.group,
+    )
+    _enc_amsg(buf, msg.m)
+
+
+def _dec_deliver(mv: memoryview, off: int):
+    brnd, bpid, ltime, lgroup, gtime, ggroup = _DELIVER_HDR.unpack_from(mv, off)
+    m, off = _dec_amsg(mv, off + _DELIVER_HDR.size)
+    return (
+        _wb.DeliverMsg(
+            m, Ballot(brnd, bpid), Timestamp(ltime, lgroup), Timestamp(gtime, ggroup)
+        ),
+        off,
+    )
+
+
+_SACK_HDR = struct.Struct("!iqiH")  # gid, leader, lane, acked count
+
+
+def _enc_submit_ack(buf: bytearray, msg: "_base.SubmitAckMsg") -> None:
+    acked = msg.acked
+    buf += _SACK_HDR.pack(msg.gid, msg.leader, msg.lane, len(acked))
+    for origin, seq in acked:
+        buf += _BAL.pack(origin, seq)  # !qq — same shape as a mid
+
+
+def _dec_submit_ack(mv: memoryview, off: int):
+    gid, leader, lane, count = _SACK_HDR.unpack_from(mv, off)
+    off += _SACK_HDR.size
+    acked = []
+    for _ in range(count):
+        origin, seq = _BAL.unpack_from(mv, off)
+        off += _BAL.size
+        acked.append((origin, seq))
+    return _base.SubmitAckMsg(gid, leader, tuple(acked), lane), off
+
+
+def _enc_accept_ack_batch(buf: bytearray, msg: "_wb.AcceptAckBatchMsg") -> None:
+    entries = msg.entries
+    buf += _I32.pack(msg.gid)
+    buf += _U.pack(len(entries))
+    for mid, vector in entries:
+        if len(vector) > 255:
+            raise ValueError("ballot vector too long for wire layout")
+        buf += _AAB_ENTRY.pack(mid[0], mid[1], len(vector))
+        for gid, bal in vector:
+            buf += _AAB_VEC.pack(gid, bal.round, bal.pid)
+
+
+def _dec_accept_ack_batch(mv: memoryview, off: int):
+    (gid,) = _I32.unpack_from(mv, off)
+    (count,) = _U.unpack_from(mv, off + 4)
+    off += 8
+    entries = []
+    for _ in range(count):
+        origin, seq, veclen = _AAB_ENTRY.unpack_from(mv, off)
+        off += _AAB_ENTRY.size
+        vector = []
+        for _ in range(veclen):
+            vgid, rnd, pid = _AAB_VEC.unpack_from(mv, off)
+            off += _AAB_VEC.size
+            vector.append((vgid, Ballot(rnd, pid)))
+        entries.append(((origin, seq), tuple(vector)))
+    return _wb.AcceptAckBatchMsg(gid, tuple(entries)), off
+
+
+# Lane envelopes recurse: the inner message reuses the frame tag space, so
+# a binary-codable inner stays binary inside the envelope and an exotic one
+# falls back to a nested pickle blob.
+def _enc_lane(buf: bytearray, msg: "_wb.LaneMsg") -> None:
+    buf += _I32.pack(msg.lane)
+    _enc_inner(buf, msg.inner)
+
+
+def _dec_lane(mv: memoryview, off: int) -> Tuple["_wb.LaneMsg", int]:
+    (lane,) = _I32.unpack_from(mv, off)
+    inner, off = _dec_inner(mv, off + 4)
+    return _wb.LaneMsg(lane, inner), off
+
+
+# Tag assignments are part of the wire format: append, never renumber.
+_register(_base.MulticastMsg, 1, _enc_multicast, _dec_multicast)
+_register(_base.MulticastBatchMsg, 2)
+_register(_base.SubmitAckMsg, 3, _enc_submit_ack, _dec_submit_ack)
+_register(_base.SubmitRedirectMsg, 4)
+_register(_wb.AcceptMsg, 5, _enc_accept, _dec_accept)
+_register(_wb.AcceptAckMsg, 6, _enc_accept_ack, _dec_accept_ack)
+_register(_wb.AcceptBatchMsg, 7)
+_register(_wb.AcceptAckBatchMsg, 8, _enc_accept_ack_batch, _dec_accept_ack_batch)
+_register(_wb.DeliverMsg, 9, _enc_deliver, _dec_deliver)
+_register(_wb.DeliverBatchMsg, 10)
+_register(_wb.LaneMsg, 11, _enc_lane, _dec_lane)
+_register(_wb.NewLeaderMsg, 12)
+_register(_wb.NewStateAckMsg, 13)
+_register(_wb.DeliveredAckMsg, 14)
+_register(_wb.GcReadyMsg, 15)
+_register(_wb.GcPruneMsg, 16)
+_register(_wb.LaneProbeMsg, 17)
+_register(_wb.LaneAdvanceMsg, 18)
+_register(_wb.LaneAdvanceAckMsg, 19)
+_register(_wb.LaneWatermarkMsg, 20)
+_register(_batching.ProposeBatchMsg, 21)
+_register(_batching.BatchDeliverMsg, 22)
+_register(_skeen.ProposeMsg, 23)
+_register(_ftskeen.FtDeliverMsg, 24)
+_register(_fastcast.ConfirmMsg, 25)
+_register(_fastcast.ConfirmBatchMsg, 26)
+_register(_fastcast.FcDeliverMsg, 27)
+_register(_sequencer.OrderedMsg, 28)
+_register(_sequencer.OrderedAckMsg, 29)
+_register(_paxos.PaxosPrepare, 30)
+_register(_paxos.PaxosPromise, 31)
+_register(_paxos.PaxosAccept, 32)
+_register(_paxos.PaxosAccepted, 33)
+_register(_paxos.PaxosCommit, 34)
+_register(_detector.HeartbeatMsg, 35)
+# Consensus log commands: never top-level frames, but they ride inside
+# PaxosAccept.value / PaxosPromise.log on the baselines' hot path, so the
+# value vocabulary routes them through the same registry (_V_MSG).
+_register(_batching.CmdLocalBatch, 36)
+_register(_batching.CmdGlobalBatch, 37)
+_register(_sequencer.SeqOrder, 38)
+_register(_sequencer.CmdDeliver, 39)
+_register(_ftskeen.CmdLocal, 40)
+_register(_ftskeen.CmdGlobal, 41)
+_register(_fastcast.FcLocal, 42)
+_register(_fastcast.FcGlobal, 43)
+
+#: Cold control messages deliberately left on the pickle fallback: they
+#: cross the wire a handful of times per election / reconfiguration and
+#: carry arbitrarily shaped state snapshots.  Every *other* enumerated
+#: wire message must be registered binary — the codec battery enforces it.
+COLD_PICKLE_TYPES = frozenset(
+    {
+        _wb.NewLeaderAckMsg,
+        _wb.NewStateMsg,
+        _reconfig.EpochFenceMsg,
+        _reconfig.JoinRequestMsg,
+        _reconfig.JoinStateMsg,
+        _reconfig.JoinInstalledMsg,
+    }
+)
+
+#: Modules whose message dataclasses constitute the wire vocabulary.
+_WIRE_MODULES = (
+    _base,
+    _batching,
+    _skeen,
+    _ftskeen,
+    _fastcast,
+    _sequencer,
+    _wb,
+    _paxos,
+    _detector,
+    _reconfig,
+)
+
+
+def wire_message_types() -> frozenset:
+    """Every message type that can cross the TCP wire, auto-enumerated.
+
+    Walks the wire modules for message-shaped dataclasses (``*Msg``,
+    ``Paxos*``, ``Cmd*``, ``SeqOrder``) plus the :class:`LaneMsg`
+    envelope.  The codec test battery iterates this set, so adding a wire
+    message without classifying it (binary registration or
+    :data:`COLD_PICKLE_TYPES`) fails loudly.
+    """
+    out = {_wb.LaneMsg}
+    for mod in _WIRE_MODULES:
+        for name, obj in vars(mod).items():
+            if not (isinstance(obj, type) and dataclasses.is_dataclass(obj)):
+                continue
+            if (
+                name.endswith("Msg")
+                or name.startswith("Paxos")
+                or name.startswith("Cmd")
+                or name in ("SeqOrder", "FcLocal", "FcGlobal")
+            ):
+                out.add(obj)
+    return frozenset(out)
+
+
+def classify(cls: type) -> str:
+    """``"binary"`` or ``"pickle"`` for a known wire type; raises otherwise."""
+    if cls in _MSG_TAGS:
+        return "binary"
+    if cls in COLD_PICKLE_TYPES:
+        return "pickle"
+    raise ValueError(
+        f"{cls.__name__} is neither registered with the binary codec nor "
+        f"declared a cold pickle type — classify it in repro.net.codec"
+    )
+
+
+# -- frames ------------------------------------------------------------------
+
+
+def encode_frame(sender: ProcessId, msg: Any, codec: str = "binary") -> bytes:
+    """Encode one ``(sender, msg)`` frame.
+
+    ``codec="binary"`` uses the registered binary layout when the message
+    type has one and the tagged pickle fallback otherwise;
+    ``codec="pickle"`` forces the fallback for every message (the recorded
+    pre-overhaul baseline).
+    """
+    buf = bytearray(_LEN.size)
+    buf += _SENDER.pack(sender)
+    if codec == "binary":
+        base = len(buf)
+        try:
+            _enc_inner(buf, msg)
+        except Exception:
+            # A registered encoder choked on an unexpected field value
+            # (e.g. a shape the fixed layout cannot carry): scrap the
+            # partial body and fall back to the pickle path — robustness
+            # over raw speed for the odd message out.
+            del buf[base:]
+            blob = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
+            buf.append(TAG_PICKLE)
+            buf += _U.pack(len(blob))
+            buf += blob
+    elif codec == "pickle":
+        blob = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
+        buf.append(TAG_PICKLE)
+        buf += _U.pack(len(blob))
+        buf += blob
+    else:
+        raise ValueError(f"unknown codec {codec!r}")
+    body = len(buf) - _LEN.size
+    if body > MAX_FRAME:
+        raise ValueError(f"frame of {body} bytes exceeds MAX_FRAME")
+    _LEN.pack_into(buf, 0, body)
+    return bytes(buf)
+
+
+def frame_codec(frame: bytes) -> str:
+    """Which codec path an encoded frame took (test/bench introspection)."""
+    tag = frame[_LEN.size + _SENDER.size]
+    return "pickle" if tag == TAG_PICKLE else "binary"
 
 
 def decode_frame(payload: bytes) -> Tuple[ProcessId, Any]:
-    return pickle.loads(payload)
+    """Decode one frame body; raises ValueError on any malformed input."""
+    try:
+        mv = memoryview(payload)
+        (sender,) = _SENDER.unpack_from(mv, 0)
+        msg, off = _dec_inner(mv, _SENDER.size)
+        if off != len(mv):
+            raise ValueError(f"{len(mv) - off} trailing bytes after the message")
+        return sender, msg
+    except ValueError:
+        raise
+    except Exception as exc:  # struct.error, pickle errors, Unicode, ...
+        raise ValueError(f"corrupt frame: {exc!r}") from exc
+
+
+def decode_buffer(buf, dispatch: Callable[[ProcessId, Any], None]) -> int:
+    """Decode every complete frame in ``buf``, dispatching each.
+
+    The coalesced receive path: one TCP segment (or one coalesced writer
+    flush) usually carries many frames, and this scans them all in one
+    synchronous loop — no per-frame awaits.  Returns the bytes consumed
+    so the caller can trim its buffer; an incomplete trailing frame stays
+    unconsumed for the next read.  Raises ValueError on an oversized
+    length prefix or a corrupt body (the caller drops the connection).
+    """
+    off = 0
+    n = len(buf)
+    header = _LEN.size
+    while n - off >= header:
+        (length,) = _LEN.unpack_from(buf, off)
+        if length > MAX_FRAME:
+            raise ValueError(f"incoming frame of {length} bytes exceeds MAX_FRAME")
+        end = off + header + length
+        if end > n:
+            break
+        sender, msg = decode_frame(memoryview(buf)[off + header : end])
+        off = end
+        dispatch(sender, msg)
+    return off
 
 
 async def read_frame(reader: asyncio.StreamReader) -> Tuple[ProcessId, Any]:
-    """Read one frame; raises IncompleteReadError on clean EOF."""
-    header = await reader.readexactly(_HEADER.size)
-    (length,) = _HEADER.unpack(header)
+    """Read one frame; raises IncompleteReadError on clean EOF and
+    ValueError on an oversized length prefix or a corrupt body."""
+    header = await reader.readexactly(_LEN.size)
+    (length,) = _LEN.unpack(header)
     if length > MAX_FRAME:
         raise ValueError(f"incoming frame of {length} bytes exceeds MAX_FRAME")
     payload = await reader.readexactly(length)

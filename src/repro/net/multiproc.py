@@ -1,0 +1,205 @@
+"""Multi-process lane hosting: one OS process per group member.
+
+The lane architecture (PR 4) made lane leaders share-nothing precisely so
+they could escape the GIL: every lane's ordering pipeline touches only its
+own leader state, and cross-lane coordination happens through the same
+wire messages that cross group boundaries.  :class:`MultiProcCluster`
+cashes that in — each group member (and therefore each lane leader, since
+lanes deal their leaders across distinct members) runs its protocol
+process inside its own OS process with its own event loop, GIL, and
+:class:`~repro.net.transport.NodeTransport`.  Client sessions stay in the
+parent process, submitting over real TCP exactly as against
+:class:`~repro.net.cluster.LocalCluster`.
+
+Mechanics:
+
+* Ports are reserved up front (bind, read the ephemeral port, close) so
+  every worker can be handed the complete pid → address map before any
+  of them starts; transports then bind at their assigned ports.
+* Workers are ``spawn``-started (safe under a running event loop, unlike
+  ``fork``) and report readiness on a queue before the parent's sessions
+  launch.
+* Deliveries flow back to the parent over a multiprocessing queue,
+  drained by a daemon thread into ``call_soon_threadsafe`` — the parent's
+  tracker, waiters and history work unchanged.  ``loop.time()`` is
+  CLOCK_MONOTONIC on every process of the host, so worker delivery
+  timestamps are comparable with parent submit timestamps.
+
+Epoch/fencing machinery is untouched — it rides the ordinary wire path —
+but the crash/reconfig *drivers* (``kill``, ``attach_fd``,
+``attach_reconfig``) are parent-side object surgery and are not supported
+across process boundaries.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import socket
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..config import ClusterConfig
+from ..types import ProcessId
+from .cluster import LocalCluster
+from .runtime import NetRuntime
+from .transport import NodeTransport, TransportOptions
+
+
+def _reserve_port(host: str = "127.0.0.1") -> int:
+    """Reserve an ephemeral port by binding and immediately closing.
+
+    The port is only *probably* free afterwards; on a loopback test host
+    the window between close and the worker's bind is microscopic, and a
+    collision fails loudly at ``transport.start``.
+    """
+    with socket.socket() as sock:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+async def _host(
+    pids: List[ProcessId],
+    config: ClusterConfig,
+    protocol_cls: type,
+    options: Any,
+    addresses: Dict[ProcessId, Tuple[str, int]],
+    topts: TransportOptions,
+    delivery_q,
+    ready_q,
+    seed: int,
+) -> None:
+    """Worker body: host ``pids``'s protocol processes until terminated."""
+    processes: Dict[ProcessId, Any] = {}
+    transports: Dict[ProcessId, NodeTransport] = {}
+
+    def dispatch_for(pid: ProcessId):
+        def dispatch(sender: ProcessId, msg: Any) -> None:
+            processes[pid].on_message(sender, msg)
+
+        return dispatch
+
+    def on_deliver(pid: ProcessId, m: Any, t: float) -> None:
+        delivery_q.put((pid, m, t))
+
+    for pid in pids:
+        transport = NodeTransport(
+            pid, addresses.__getitem__, dispatch_for(pid), options=topts
+        )
+        await transport.start(port=addresses[pid][1])
+        transports[pid] = transport
+    for pid in pids:
+        runtime = NetRuntime(pid, transports[pid], on_deliver, seed=seed)
+        processes[pid] = protocol_cls(pid, config, runtime, options=options)
+    for proc in processes.values():
+        proc.on_start()
+    ready_q.put(tuple(pids))
+    try:
+        await asyncio.Event().wait()  # parked until the parent terminates us
+    finally:
+        for transport in transports.values():
+            await transport.close()
+
+
+def _host_main(*args) -> None:
+    asyncio.run(_host(*args))
+
+
+class MultiProcCluster(LocalCluster):
+    """A :class:`LocalCluster` whose members run in their own processes.
+
+    Same constructor and client API; crash injection (``kill``), failure
+    detectors and reconfiguration drivers are not supported — those
+    harness features reach into member process objects, which now live in
+    other address spaces.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if self.attach_fd or self.attach_reconfig:
+            raise ValueError(
+                "MultiProcCluster does not support attach_fd/attach_reconfig"
+            )
+        self._workers: List[multiprocessing.process.BaseProcess] = []
+        self._delivery_q = None
+        self._ready_q = None
+        self._drain_thread: Optional[threading.Thread] = None
+
+    async def start(self) -> None:
+        ctx = multiprocessing.get_context("spawn")
+        self._delivery_q = ctx.Queue()
+        self._ready_q = ctx.Queue()
+        self._assign_session_pids()
+        members = list(self.config.all_members)
+        for pid in members + self._session_pids:
+            self.addresses[pid] = ("127.0.0.1", _reserve_port())
+        address_map = dict(self.addresses)
+        for pid in members:
+            worker = ctx.Process(
+                target=_host_main,
+                args=(
+                    [pid],
+                    self.config,
+                    self.protocol_cls,
+                    self.options,
+                    address_map,
+                    self.transport_options,
+                    self._delivery_q,
+                    self._ready_q,
+                    self.seed,
+                ),
+                daemon=True,
+            )
+            worker.start()
+            self._workers.append(worker)
+        loop = asyncio.get_event_loop()
+        for _ in self._workers:
+            await loop.run_in_executor(None, self._ready_q.get)
+        self._drain_thread = threading.Thread(
+            target=self._drain_deliveries, args=(loop,), daemon=True
+        )
+        self._drain_thread.start()
+        await self._start_sessions(
+            ports={pid: self.addresses[pid][1] for pid in self._session_pids}
+        )
+        for session in self.sessions:
+            session.on_start()
+
+    def _drain_deliveries(self, loop: asyncio.AbstractEventLoop) -> None:
+        while True:
+            item = self._delivery_q.get()
+            if item is None:
+                return
+            pid, m, t = item
+            try:
+                loop.call_soon_threadsafe(self._record_delivery, pid, m, t)
+            except RuntimeError:
+                return  # loop already closed during teardown
+
+    async def stop(self) -> None:
+        for transport in self._session_transports:
+            await transport.close()
+        for worker in self._workers:
+            worker.terminate()
+        for worker in self._workers:
+            worker.join(timeout=5)
+            if worker.is_alive():
+                worker.kill()
+        if self._drain_thread is not None:
+            self._delivery_q.put(None)
+            self._drain_thread.join(timeout=5)
+        for queue in (self._delivery_q, self._ready_q):
+            if queue is not None:
+                # Detach the feeder thread from interpreter shutdown: the
+                # atexit finalizer otherwise joins it without a timeout,
+                # which can wedge the whole process if a worker died with
+                # the pipe mid-write.
+                queue.cancel_join_thread()
+                queue.close()
+
+    async def kill(self, pid: ProcessId) -> None:
+        raise NotImplementedError("MultiProcCluster does not support kill()")
+
+    async def add_member(self, gid: int, pid: Optional[ProcessId] = None) -> ProcessId:
+        raise NotImplementedError("MultiProcCluster does not support add_member()")

@@ -44,19 +44,24 @@ class NetRuntime(Runtime):
         self._on_multicast = on_multicast
         self._rng = random.Random((seed << 20) ^ pid)
         self._loop = asyncio.get_event_loop()
+        # Hot-path methods resolved once: now() and set_timer() run for
+        # every frame and every retry timer, so skip the attribute walks.
+        self._time = self._loop.time
+        self._call_later = self._loop.call_later
+        self._send = transport.send
 
     @property
     def pid(self) -> ProcessId:
         return self._pid
 
     def now(self) -> float:
-        return self._loop.time()
+        return self._time()
 
     def send(self, to: ProcessId, msg: Any) -> None:
-        self._transport.send(to, msg)
+        self._send(to, msg)
 
     def set_timer(self, delay: float, fn: Callable[[], None]) -> TimerHandle:
-        return _AsyncTimer(self._loop.call_later(delay, fn))
+        return _AsyncTimer(self._call_later(delay, fn))
 
     def deliver(self, m: AmcastMessage) -> None:
         self._on_deliver(self._pid, m, self.now())

@@ -15,12 +15,15 @@ from .destinations import (
     DisjointPairs,
 )
 from .clients import ClientOptions, ClosedLoopClient, OneShotClient
+from .netdrive import DriveResult, drive_cluster
 from .tracker import DeliveryTracker
 
 __all__ = [
     "ClientOptions",
     "ClosedLoopClient",
     "DeliveryTracker",
+    "DriveResult",
+    "drive_cluster",
     "DestinationChooser",
     "DisjointPairs",
     "FixedDestinations",

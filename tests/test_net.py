@@ -13,6 +13,8 @@ from repro.protocols import FtSkeenProcess, WbCastProcess
 from repro.protocols.wbcast import Status, WbCastOptions
 from repro.types import Ballot, Timestamp, make_message
 
+pytestmark = pytest.mark.net
+
 
 def run(coro):
     return asyncio.run(coro)

@@ -22,6 +22,8 @@ from repro.failure.detector import MonitorOptions
 from repro.net import LocalCluster
 from repro.protocols import FastCastProcess, FtSkeenProcess, WbCastProcess
 
+pytestmark = pytest.mark.net
+
 BATCHED = BatchingOptions(max_batch=8, max_linger=0.002, pipeline_depth=4)
 INGRESS = BatchingOptions(max_batch=8, max_linger=0.002)
 FD = MonitorOptions(heartbeat_interval=0.03, suspect_timeout=0.12, stagger=0.06)

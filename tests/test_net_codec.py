@@ -1,0 +1,355 @@
+"""Codec battery: binary frames must decode identically to pickle frames.
+
+The wire vocabulary is auto-enumerated from the protocol modules
+(:func:`repro.net.codec.wire_message_types`), so a new wire message that
+is neither registered with the binary codec nor declared a cold pickle
+type fails these tests loudly — first in classification, then in the
+sample-coverage check.
+
+Deliberately NOT marked ``net``: everything here is pure and fast, so it
+runs in the main CI matrix where codec regressions surface earliest.
+"""
+
+import asyncio
+import dataclasses
+import random
+import struct
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.failure.detector import HeartbeatMsg
+from repro.net import codec
+from repro.net.codec import (
+    COLD_PICKLE_TYPES,
+    classify,
+    decode_buffer,
+    decode_frame,
+    encode_frame,
+    frame_codec,
+    read_frame,
+    wire_message_types,
+)
+from repro.paxos.messages import (
+    NOOP,
+    PaxosAccept,
+    PaxosAccepted,
+    PaxosCommit,
+    PaxosPrepare,
+    PaxosPromise,
+)
+from repro.protocols.base import (
+    MulticastBatchMsg,
+    MulticastMsg,
+    SubmitAckMsg,
+    SubmitRedirectMsg,
+)
+from repro.protocols.batching import (
+    BatchDeliverMsg,
+    CmdGlobalBatch,
+    CmdLocalBatch,
+    ProposeBatchMsg,
+)
+from repro.protocols.fastcast import (
+    ConfirmBatchMsg,
+    ConfirmMsg,
+    FcDeliverMsg,
+    FcGlobal,
+    FcLocal,
+)
+from repro.protocols.ftskeen import CmdGlobal, CmdLocal, FtDeliverMsg
+from repro.protocols.sequencer import CmdDeliver, OrderedAckMsg, OrderedMsg, SeqOrder
+from repro.protocols.skeen import ProposeMsg
+from repro.protocols.wbcast.messages import (
+    AcceptAckBatchMsg,
+    AcceptAckMsg,
+    AcceptBatchMsg,
+    AcceptMsg,
+    DeliverBatchMsg,
+    DeliverMsg,
+    DeliveredAckMsg,
+    GcPruneMsg,
+    GcReadyMsg,
+    LaneAdvanceAckMsg,
+    LaneAdvanceMsg,
+    LaneMsg,
+    LaneProbeMsg,
+    LaneWatermarkMsg,
+    NewLeaderAckMsg,
+    NewLeaderMsg,
+    NewStateAckMsg,
+    NewStateMsg,
+)
+from repro.protocols.wbcast.state import DeliveredLog, MsgRecord, Phase
+from repro.reconfig.messages import (
+    EpochFenceMsg,
+    JoinInstalledMsg,
+    JoinRequestMsg,
+    JoinStateMsg,
+)
+from repro.types import AmcastMessage, Ballot, Timestamp
+
+M1 = AmcastMessage(mid=(7, 0), dests=frozenset({0, 1}), payload=None, size=20)
+M2 = AmcastMessage(
+    mid=(3, 9),
+    dests=frozenset({1}),
+    payload={"k": (1, 2.5, "s", b"raw", None, True), "big": 1 << 80},
+    size=None,
+)
+TS = Timestamp(5, 0)
+TS2 = Timestamp(8, 1)
+BAL = Ballot(0, 1)
+BAL2 = Ballot(2, 4)
+VEC = ((0, BAL), (1, BAL2))
+CONFIG = ClusterConfig.build(num_groups=2, group_size=3, num_clients=1)
+RECORD = MsgRecord(m=M1, phase=list(Phase)[0], lts=TS, gts=TS2)
+
+
+def _delivered_log() -> DeliveredLog:
+    return DeliveredLog()
+
+
+#: At least one representative instance per wire message type.  The
+#: coverage test below fails if a type enumerated by wire_message_types()
+#: has no sample here, so the differential battery can never silently
+#: skip a message.
+SAMPLES = [
+    MulticastMsg(M1, None),
+    MulticastMsg(M2, 3),
+    MulticastBatchMsg((M1, M2), None, 1),
+    MulticastBatchMsg((M1,), 2, 5),
+    SubmitAckMsg(0, 1, ((7, 0), (7, 1)), 0),
+    SubmitAckMsg(1, 4, (), 2),
+    SubmitRedirectMsg(0, 2, ((7, 0),), 1),
+    AcceptMsg(M1, 0, BAL, TS, 0),
+    AcceptMsg(M2, 1, BAL2, TS2, 4),
+    AcceptAckMsg((7, 0), 0, VEC),
+    AcceptBatchMsg(0, BAL, ((M1, TS), (M2, TS2)), 0),
+    AcceptAckBatchMsg(1, (((7, 0), VEC), ((3, 9), (VEC[1],)))),
+    DeliverMsg(M1, BAL, TS, TS2),
+    DeliverBatchMsg(BAL, ((M1, TS, TS2), (M2, TS2, TS))),
+    LaneMsg(2, AcceptMsg(M1, 0, BAL, TS, 0)),  # binary inner
+    LaneMsg(1, NewStateMsg(BAL, 7, {M1.mid: RECORD})),  # pickled inner
+    NewLeaderMsg(BAL2),
+    NewStateAckMsg(BAL),
+    DeliveredAckMsg(0, TS),
+    GcReadyMsg(1, TS2),
+    GcPruneMsg(frozenset({(7, 0), (3, 9)})),
+    LaneProbeMsg(2, 3),
+    LaneAdvanceMsg(BAL, 11),
+    LaneAdvanceAckMsg(BAL, 11),
+    LaneWatermarkMsg(0, TS, None),
+    ProposeBatchMsg(0, ((M1, TS),)),
+    CmdLocalBatch(((M1, TS), (M2, TS2))),
+    CmdGlobalBatch(((M1, TS, ((0, TS), (1, TS2))),)),
+    BatchDeliverMsg(((M1, TS, TS2),)),
+    ProposeMsg(M1, 0, TS),
+    CmdLocal(M1, TS),
+    CmdGlobal(M1, ((0, TS), (1, TS2))),
+    FtDeliverMsg(M1, TS2),
+    ConfirmMsg((7, 0), 0, TS),
+    ConfirmBatchMsg(0, (((7, 0), TS),)),
+    FcLocal(M1, TS),
+    FcGlobal(M1, ((0, TS),)),
+    FcDeliverMsg(M2, TS2),
+    SeqOrder(M1),
+    OrderedMsg(M1, 4),
+    OrderedAckMsg(1, 4),
+    CmdDeliver(M1, 4),
+    PaxosPrepare(0, BAL),
+    PaxosPromise(0, BAL, {0: (BAL, NOOP), 1: (BAL2, CmdLocal(M1, TS))}, 1),
+    PaxosAccept(0, BAL, 2, CmdLocalBatch(((M1, TS),))),
+    PaxosAccept(1, BAL2, 3, NOOP),
+    PaxosAccepted(0, BAL, 2, ((7, 0),)),
+    PaxosCommit(0, 2),
+    HeartbeatMsg(0, 1),
+    # Cold control messages (pickle fallback).
+    NewLeaderAckMsg(BAL, BAL2, 9, {M1.mid: RECORD}, TS, _delivered_log()),
+    NewStateMsg(BAL, 7, {M1.mid: RECORD}, _delivered_log()),
+    EpochFenceMsg(0, 1, CONFIG, ((7, 0),)),
+    JoinRequestMsg(0),
+    JoinStateMsg(0, 0, 1, CONFIG, BAL, 9, {M1.mid: RECORD}, TS, _delivered_log()),
+    JoinInstalledMsg(0, 99),
+]
+
+
+def wire_equal(a, b) -> bool:
+    """Structural equality that also covers classes without ``__eq__``
+    (DeliveredLog, LaneMsg): compare type and then slots/attributes
+    recursively."""
+    if a is b:
+        return True
+    if type(a) is not type(b):
+        return False
+    if dataclasses.is_dataclass(a):
+        return all(
+            wire_equal(getattr(a, f.name), getattr(b, f.name))
+            for f in dataclasses.fields(a)
+        )
+    if isinstance(a, (tuple, list)):
+        return len(a) == len(b) and all(wire_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, dict):
+        return a.keys() == b.keys() and all(wire_equal(v, b[k]) for k, v in a.items())
+    slots = [
+        name
+        for klass in type(a).__mro__
+        for name in getattr(klass, "__slots__", ())
+    ]
+    if slots:
+        return all(wire_equal(getattr(a, n), getattr(b, n)) for n in slots)
+    if hasattr(a, "__dict__"):
+        return wire_equal(vars(a), vars(b))
+    return a == b
+
+
+class TestRegistry:
+    def test_every_wire_type_is_classified(self):
+        """A new wire message must be registered binary or declared cold
+        pickle; anything else makes classify() raise."""
+        for cls in wire_message_types():
+            assert classify(cls) in ("binary", "pickle"), cls
+
+    def test_every_wire_type_has_a_sample(self):
+        """The differential battery covers the whole enumerated registry."""
+        sampled = {type(s) for s in SAMPLES}
+        missing = {c.__name__ for c in wire_message_types()} - {
+            c.__name__ for c in sampled
+        }
+        assert not missing, f"no codec sample for: {sorted(missing)}"
+
+    def test_unknown_type_fails_classification(self):
+        class StowawayMsg:
+            pass
+
+        with pytest.raises(ValueError, match="Stowaway"):
+            classify(StowawayMsg)
+
+    def test_cold_types_are_disjoint_from_registry(self):
+        binary = {cls for cls in wire_message_types() if classify(cls) == "binary"}
+        assert not binary & COLD_PICKLE_TYPES
+
+
+class TestDifferential:
+    @pytest.mark.parametrize(
+        "msg", SAMPLES, ids=[type(s).__name__ for s in SAMPLES]
+    )
+    def test_binary_decodes_identically_to_pickle(self, msg):
+        binary = encode_frame(5, msg, codec="binary")
+        pickled = encode_frame(5, msg, codec="pickle")
+        sender_b, msg_b = decode_frame(binary[4:])
+        sender_p, msg_p = decode_frame(pickled[4:])
+        assert sender_b == sender_p == 5
+        assert wire_equal(msg_b, msg_p), (msg_b, msg_p)
+        assert wire_equal(msg_b, msg), (msg_b, msg)
+
+    @pytest.mark.parametrize(
+        "msg", SAMPLES, ids=[type(s).__name__ for s in SAMPLES]
+    )
+    def test_registered_types_actually_take_the_binary_path(self, msg):
+        """classify() says which path each type takes; the frame tag must
+        agree, so a silently-broken encoder cannot hide behind the
+        pickle fallback."""
+        frame = encode_frame(5, msg, codec="binary")
+        assert frame_codec(frame) == classify(type(msg))
+
+    def test_unregistered_payloads_fall_back_per_frame(self):
+        """Arbitrary objects (tests send dicts and strings) ride the
+        pickle fallback transparently."""
+        for msg in ({"hello": "world"}, "ping", 42, [1, 2, 3], None):
+            frame = encode_frame(1, msg, codec="binary")
+            assert frame_codec(frame) == "pickle"
+            assert decode_frame(frame[4:]) == (1, msg)
+
+    def test_encoder_failure_falls_back_to_pickle(self):
+        """A registered message with a field shape its fixed layout cannot
+        carry still crosses the wire — via the fallback."""
+        weird = SubmitAckMsg(0, "not-a-pid", (), 0)
+        frame = encode_frame(1, weird, codec="binary")
+        assert frame_codec(frame) == "pickle"
+        assert decode_frame(frame[4:]) == (1, weird)
+
+    def test_huge_int_payload_survives(self):
+        msg = MulticastMsg(
+            AmcastMessage(mid=(1, 1), dests=frozenset({0}), payload=1 << 200), None
+        )
+        frame = encode_frame(1, msg, codec="binary")
+        assert decode_frame(frame[4:])[1] == msg
+
+
+class TestFuzz:
+    def test_truncated_bodies_raise_value_error(self):
+        """Every strict prefix of a frame body must raise ValueError —
+        never IndexError, struct.error or a pickle exception."""
+        for msg in (SAMPLES[0], SAMPLES[7], SAMPLES[14], {"cold": 1}):
+            body = encode_frame(5, msg, codec="binary")[4:]
+            for cut in range(len(body)):
+                with pytest.raises(ValueError):
+                    decode_frame(body[:cut])
+
+    def test_corrupted_bodies_raise_only_value_error(self):
+        rng = random.Random(0xC0DEC)
+        body = bytes(encode_frame(5, AcceptMsg(M2, 1, BAL2, TS2, 4))[4:])
+        for _ in range(300):
+            mutated = bytearray(body)
+            for _ in range(rng.randint(1, 4)):
+                mutated[rng.randrange(len(mutated))] = rng.randrange(256)
+            try:
+                decode_frame(bytes(mutated))
+            except ValueError:
+                pass  # the only acceptable failure mode
+
+    def test_trailing_garbage_raises(self):
+        body = encode_frame(5, SAMPLES[0])[4:]
+        with pytest.raises(ValueError, match="trailing"):
+            decode_frame(body + b"\x00")
+
+    def test_unknown_message_tag_raises(self):
+        body = struct.pack("!q", 5) + bytes([250])
+        with pytest.raises(ValueError, match="tag"):
+            decode_frame(body)
+
+    def test_oversized_encode_raises(self, monkeypatch):
+        """The oversized encode_frame path: a frame whose body exceeds
+        MAX_FRAME is refused at the sender."""
+        monkeypatch.setattr(codec, "MAX_FRAME", 64)
+        big = MulticastMsg(
+            AmcastMessage(mid=(1, 1), dests=frozenset({0}), payload="x" * 1024),
+            None,
+        )
+        with pytest.raises(ValueError, match="MAX_FRAME"):
+            encode_frame(1, big)
+        monkeypatch.setattr(codec, "MAX_FRAME", 64 * 1024 * 1024)
+        assert decode_frame(encode_frame(1, big)[4:]) == (1, big)
+
+    def test_oversized_length_prefix_raises_on_read(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(struct.pack("!I", codec.MAX_FRAME + 1) + b"xx")
+            with pytest.raises(ValueError, match="MAX_FRAME"):
+                await read_frame(reader)
+
+        asyncio.run(scenario())
+
+    def test_oversized_length_prefix_raises_in_buffer_scan(self):
+        buf = bytearray(struct.pack("!I", codec.MAX_FRAME + 1) + b"xx")
+        with pytest.raises(ValueError, match="MAX_FRAME"):
+            decode_buffer(buf, lambda s, m: None)
+
+
+class TestDecodeBuffer:
+    def test_scans_all_complete_frames_and_keeps_the_tail(self):
+        frames = [encode_frame(i, SAMPLES[i % len(SAMPLES)]) for i in range(20)]
+        blob = b"".join(frames)
+        tail = encode_frame(99, SAMPLES[0])
+        buf = bytearray(blob + tail[: len(tail) // 2])
+        got = []
+        consumed = decode_buffer(buf, lambda s, m: got.append((s, m)))
+        assert consumed == len(blob)
+        assert [s for s, _ in got] == list(range(20))
+        for i, (_, m) in enumerate(got):
+            assert wire_equal(m, SAMPLES[i % len(SAMPLES)])
+
+    def test_empty_and_header_only_buffers_consume_nothing(self):
+        assert decode_buffer(bytearray(), lambda s, m: None) == 0
+        frame = encode_frame(1, "x")
+        assert decode_buffer(bytearray(frame[:3]), lambda s, m: None) == 0

@@ -1,0 +1,67 @@
+"""MultiProcCluster: each group hosted in its own OS process over TCP."""
+
+import asyncio
+
+import pytest
+
+from repro.checking import check_all
+from repro.client import AmcastClientOptions
+from repro.config import ClusterConfig
+from repro.net import MultiProcCluster, TransportOptions
+from repro.protocols import WbCastProcess
+
+pytestmark = pytest.mark.net
+
+
+def test_multiproc_end_to_end_delivery():
+    config = ClusterConfig.build(num_groups=2, group_size=3, num_clients=1)
+
+    async def scenario():
+        cluster = MultiProcCluster(
+            config,
+            WbCastProcess,
+            client_options=AmcastClientOptions(window=16),
+            transport_options=TransportOptions(),
+        )
+        await cluster.start()
+        try:
+            handles = [
+                cluster.sessions[0].submit(frozenset({0, 1}), payload=i)
+                for i in range(10)
+            ]
+            done = asyncio.Event()
+            remaining = len(handles)
+
+            def completed(_handle):
+                nonlocal remaining
+                remaining -= 1
+                if remaining == 0:
+                    done.set()
+
+            for handle in handles:
+                handle.on_complete(completed)
+            await asyncio.wait_for(done.wait(), timeout=60.0)
+            # Completion fires at delivery quorum; wait for the trailing
+            # replica deliveries before terminating the workers.
+            assert await cluster.wait_quiescent(60, timeout=30.0)
+        finally:
+            await cluster.stop()
+        return cluster
+
+    cluster = asyncio.run(scenario())
+    # Every multicast reaches all six replicas of its two destination groups.
+    assert len(cluster.deliveries) == 60
+    for check in check_all(cluster.history()):
+        assert check.ok, check.describe()
+
+
+def test_multiproc_rejects_unsupported_features():
+    config = ClusterConfig.build(num_groups=1, group_size=3, num_clients=1)
+    with pytest.raises(ValueError, match="attach_fd"):
+        MultiProcCluster(config, WbCastProcess, attach_fd=True)
+
+    cluster = MultiProcCluster(config, WbCastProcess)
+    with pytest.raises(NotImplementedError):
+        asyncio.run(cluster.kill(0))
+    with pytest.raises(NotImplementedError):
+        asyncio.run(cluster.add_member(0, 99))

@@ -27,6 +27,8 @@ from repro.net import LocalCluster
 from repro.protocols import WbCastProcess
 from repro.protocols.wbcast import WbCastOptions
 
+pytestmark = pytest.mark.net
+
 #: Real-time failure-detector knobs for localhost sockets.
 NET_FD = MonitorOptions(
     heartbeat_interval=0.05, suspect_timeout=0.25, stagger=0.1, max_timeout=2.0

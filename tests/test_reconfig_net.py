@@ -18,6 +18,8 @@ from repro.protocols import WbCastProcess
 from repro.reconfig import JoinCmd, LeaveCmd, SetLaneWeightsCmd
 from repro.reconfig.checking import check_elastic, epoch_chain, reference_manager
 
+pytestmark = pytest.mark.net
+
 
 async def wait_handles(handles, timeout=15.0):
     deadline = asyncio.get_event_loop().time() + timeout
