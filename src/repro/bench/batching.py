@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass, replace
+from dataclasses import replace as dataclass_replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import BatchingOptions
@@ -57,6 +58,9 @@ class BatchingPoint:
     completed: int
     #: Ordering lanes per group (sharded multi-leader groups; 1 = paper).
     shards: int = 1
+    #: Lane/leader placement policy: "flat" (topology-blind deal) or
+    #: "site" (site-affine deal + tree overlay + geo-spread clients).
+    placement: str = "flat"
     #: SUBMIT_ACK-driven latency split: launch→acked and acked→delivered.
     mean_ack_latency: float = float("nan")
     mean_post_ack_latency: float = float("nan")
@@ -96,6 +100,19 @@ class BatchingSweepConfig:
     #: ROADMAP's paper-scale *sharded WAN grid* records: lanes spread the
     #: per-message leader work even when δ, not CPU, dominates latency.
     topology: str = "lan"
+    #: Placement axis for the sharded points: "flat" keeps the recorded
+    #: topology-blind deal; "site" attaches a site-affine placement
+    #: policy (co-located lane leaders, geo-spread clients, tree-overlay
+    #: ACCEPT dissemination) — the WAN-regression fix.  Single-leader
+    #: (shards=1) points always run flat: with one lane the site deal
+    #: degenerates to the legacy one, so a separate row would only
+    #: duplicate the baseline.
+    placements: Sequence[str] = ("flat",)
+    #: Adaptive-linger floor threaded into the batching knobs (0 keeps
+    #: the LAN-calibrated default).  On the WAN grid this is derived from
+    #: the delay matrix (:func:`repro.placement.lane_timings`) so the
+    #: adaptive mode cannot flush far below what the network can carry.
+    min_linger: float = 0.0
 
 
 def default_sweep() -> BatchingSweepConfig:
@@ -128,6 +145,7 @@ def batching_options(
         max_linger=sweep.max_linger,
         pipeline_depth=sweep.pipeline_depth,
         linger_mode=linger_mode,
+        min_linger=min(sweep.min_linger, sweep.max_linger),
     )
 
 
@@ -140,6 +158,46 @@ def ingress_options(
     return BatchingOptions(max_batch=ingress, max_linger=sweep.max_linger)
 
 
+def wan_protocol_options(protocol: str, placement: str = "flat"):
+    """Topology-derived protocol tunables for the WAN grid.
+
+    The WbCast defaults are LAN-calibrated: a 0.1 ms probe re-arm against
+    a ~100 ms WAN watermark round is a probe storm.  Deriving the pacing
+    from the delay matrix fixes the distortion for *every* WAN point —
+    S=1 baseline and sharded alike — so speedup ratios compare protocols,
+    not calibration accidents.  Non-WbCast protocols have no lane
+    machinery to pace; they return None (protocol defaults).
+    """
+    if protocol != "wbcast":
+        return None
+    from ..placement import lane_timings
+    from ..protocols.wbcast import WbCastOptions
+    from ..sim.network import WAN_ONE_WAY
+
+    timings = lane_timings(WAN_ONE_WAY)
+    probe = (
+        timings.site_probe_delay if placement == "site" else timings.lane_probe_delay
+    )
+    return WbCastOptions(
+        lane_probe_delay=probe,
+        lane_advance_interval=timings.lane_advance_interval,
+    )
+
+
+def _wan_config_hook(placement: str):
+    """Config hook attaching the site-affine policy ("site" placement)."""
+    if placement != "site":
+        return None
+    from ..placement import PlacementPolicy
+    from .topologies import wan_site_map
+
+    def hook(config):
+        sites = wan_site_map(config)
+        return dataclass_replace(config, placement=PlacementPolicy.site_affine(sites))
+
+    return hook
+
+
 def run_point(
     sweep: BatchingSweepConfig,
     protocol: str,
@@ -148,13 +206,25 @@ def run_point(
     linger_mode: str = "fixed",
     ingress: int = 1,
     shards: int = 1,
+    placement: str = "flat",
 ) -> BatchingPoint:
     # One measurement = one point of the generic sweep harness; only the
-    # protocol and the batching/sharding knobs vary between grid cells.
+    # protocol and the batching/sharding/placement knobs vary between
+    # grid cells.
+    protocol_options = None
+    config_hook = None
     if sweep.topology == "wan":
-        from .topologies import wan_testbed
+        from .topologies import wan_site_map, wan_testbed
 
-        topology = lambda config: wan_testbed(config, jitter=sweep.network_jitter)  # noqa: E731
+        protocol_options = wan_protocol_options(protocol, placement)
+        config_hook = _wan_config_hook(placement)
+        # Same network geometry for flat and site placements: only the
+        # lane deal (and the overlay it enables) differs between the rows.
+        topology = lambda config: wan_testbed(  # noqa: E731
+            config,
+            jitter=sweep.network_jitter,
+            site_map=wan_site_map(config),
+        )
     else:
         topology = lambda config: lan_testbed(config, jitter=sweep.network_jitter)  # noqa: E731
     point = sweep_run_point(
@@ -172,6 +242,8 @@ def run_point(
             client_window=sweep.client_window,
             ingress=ingress_options(sweep, ingress),
             shards_per_group=shards,
+            protocol_options=protocol_options,
+            config_hook=config_hook,
         ),
         dest_k=sweep.dest_k,
         clients=clients,
@@ -187,6 +259,7 @@ def run_point(
         p95_latency=point.p95_latency,
         completed=point.completed,
         shards=shards,
+        placement=placement,
         mean_ack_latency=point.mean_ack_latency,
         mean_post_ack_latency=point.mean_post_ack_latency,
     )
@@ -203,13 +276,20 @@ def run_batching(sweep: Optional[BatchingSweepConfig] = None) -> List[BatchingPo
             for mode in modes:
                 for ingress in sweep.ingress_batches:
                     for shards in shard_counts:
-                        for clients in sweep.client_counts:
-                            points.append(
-                                run_point(
-                                    sweep, protocol, batch, clients, mode,
-                                    ingress, shards,
+                        # Placement only differentiates sharded points on
+                        # the WAN; everything else runs the flat deal once.
+                        if shards > 1 and sharding and sweep.topology == "wan":
+                            placements = tuple(dict.fromkeys(sweep.placements))
+                        else:
+                            placements = ("flat",)
+                        for placement in placements:
+                            for clients in sweep.client_counts:
+                                points.append(
+                                    run_point(
+                                        sweep, protocol, batch, clients, mode,
+                                        ingress, shards, placement,
+                                    )
                                 )
-                            )
     return points
 
 
@@ -219,14 +299,17 @@ def peak_throughputs(
     linger_mode: Optional[str] = None,
     ingress: Optional[int] = None,
     shards: Optional[int] = None,
+    placement: Optional[str] = None,
 ) -> Dict[int, float]:
     """Best throughput per batch size across client counts.
 
     ``protocol`` filters to one protocol; ``linger_mode`` to one mode
     (the batch-1 per-message baseline, recorded with mode ``"-"``, always
     passes the mode filter so speedups stay comparable); ``ingress`` to
-    one client-side ingress batch size; ``shards`` to one lane count.
-    ``None`` keeps the all-points behaviour.
+    one client-side ingress batch size; ``shards`` to one lane count;
+    ``placement`` to one lane-placement policy (single-leader points are
+    always recorded flat and always pass, so site-placement speedups keep
+    the same baseline).  ``None`` keeps the all-points behaviour.
     """
     peaks: Dict[int, float] = {}
     for p in points:
@@ -238,6 +321,8 @@ def peak_throughputs(
             continue
         if shards is not None and p.shards != shards:
             continue
+        if placement is not None and p.shards > 1 and p.placement != placement:
+            continue
         peaks[p.batch] = max(peaks.get(p.batch, 0.0), p.throughput)
     return peaks
 
@@ -248,11 +333,19 @@ def shard_speedup(
     batch: int = 16,
     ingress: int = 16,
     protocol: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> float:
     """Peak-throughput ratio of ``shards`` lanes over the single-leader
-    protocol at the same batching knobs (the sharding acceptance bar)."""
+    protocol at the same batching knobs (the sharding acceptance bar).
+
+    ``placement`` picks which lane deal the sharded side ran under; the
+    single-leader base is placement-agnostic by construction.
+    """
     base = peak_throughputs(points, protocol=protocol, ingress=ingress, shards=1)
-    sharded = peak_throughputs(points, protocol=protocol, ingress=ingress, shards=shards)
+    sharded = peak_throughputs(
+        points, protocol=protocol, ingress=ingress, shards=shards,
+        placement=placement,
+    )
     if base.get(batch, 0.0) <= 0:
         return float("nan")
     return sharded.get(batch, 0.0) / base[batch]
@@ -281,6 +374,7 @@ def batching_table(points: List[BatchingPoint], topology: str = "lan") -> str:
             p.batch,
             p.ingress,
             p.shards,
+            p.placement,
             p.clients,
             p.throughput,
             p.mean_latency * 1000,
@@ -298,6 +392,7 @@ def batching_table(points: List[BatchingPoint], topology: str = "lan") -> str:
             "batch",
             "ingress",
             "shards",
+            "placement",
             "clients",
             "msgs/s",
             "mean lat (ms)",
@@ -319,29 +414,36 @@ def headline(points: List[BatchingPoint]) -> str:
     modes = [m for m in dict.fromkeys(p.linger_mode for p in points) if m != "-"]
     ingresses = sorted({p.ingress for p in points})
     shard_counts = sorted({p.shards for p in points})
+    placements = list(dict.fromkeys(p.placement for p in points if p.shards > 1)) or ["flat"]
     lines = []
     for protocol in dict.fromkeys(p.protocol for p in points):
         for mode in modes or [None]:
             for ingress in ingresses:
                 for shards in shard_counts:
-                    peaks = peak_throughputs(
-                        points, protocol=protocol, linger_mode=mode,
-                        ingress=ingress, shards=shards,
-                    )
-                    base = peaks.get(1, 0.0)
-                    tag = f" [{mode}]" if len(modes) > 1 else ""
-                    itag = f" ingress={ingress}" if len(ingresses) > 1 else ""
-                    stag = f" shards={shards}" if len(shard_counts) > 1 else ""
-                    for batch in sorted(peaks):
-                        if batch == 1 or base <= 0:
-                            continue
-                        lines.append(
-                            f"{protocol}{tag}{itag}{stag} batch={batch}: "
-                            f"peak {peaks[batch]:,.0f} msgs/s "
-                            f"({peaks[batch] / base:.2f}x over per-message)"
+                    for placement in placements if shards > 1 else ["flat"]:
+                        peaks = peak_throughputs(
+                            points, protocol=protocol, linger_mode=mode,
+                            ingress=ingress, shards=shards, placement=placement,
                         )
+                        base = peaks.get(1, 0.0)
+                        tag = f" [{mode}]" if len(modes) > 1 else ""
+                        itag = f" ingress={ingress}" if len(ingresses) > 1 else ""
+                        stag = f" shards={shards}" if len(shard_counts) > 1 else ""
+                        ptag = (
+                            f" place={placement}"
+                            if len(placements) > 1 and shards > 1
+                            else ""
+                        )
+                        for batch in sorted(peaks):
+                            if batch == 1 or base <= 0:
+                                continue
+                            lines.append(
+                                f"{protocol}{tag}{itag}{stag}{ptag} batch={batch}: "
+                                f"peak {peaks[batch]:,.0f} msgs/s "
+                                f"({peaks[batch] / base:.2f}x over per-message)"
+                            )
     # The sharding acceptance bar: lanes vs the single leader at the same
-    # (largest) batching knobs.
+    # (largest) batching knobs, one line per placement policy swept.
     if len(shard_counts) > 1:
         batch = max(p.batch for p in points)
         ingress = max(ingresses)
@@ -349,15 +451,18 @@ def headline(points: List[BatchingPoint]) -> str:
             for shards in shard_counts:
                 if shards == 1:
                     continue
-                ratio = shard_speedup(
-                    points, shards, batch=batch, ingress=ingress, protocol=protocol
-                )
-                if ratio == ratio:  # skip NaN (protocol without sharding)
-                    lines.append(
-                        f"{protocol} shards={shards}: "
-                        f"{ratio:.2f}x peak over single-leader "
-                        f"(batch {batch}, ingress {ingress})"
+                for placement in placements:
+                    ratio = shard_speedup(
+                        points, shards, batch=batch, ingress=ingress,
+                        protocol=protocol, placement=placement,
                     )
+                    ptag = f" [{placement}]" if len(placements) > 1 else ""
+                    if ratio == ratio:  # skip NaN (protocol without sharding)
+                        lines.append(
+                            f"{protocol} shards={shards}{ptag}: "
+                            f"{ratio:.2f}x peak over single-leader "
+                            f"(batch {batch}, ingress {ingress})"
+                        )
     return "\n".join(lines)
 
 
@@ -438,6 +543,15 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         help="batch-size axis override (default: 1,2,4,8,16)",
     )
     parser.add_argument(
+        "--placement",
+        choices=("flat", "site", "both"),
+        default="flat",
+        help="lane/leader placement axis for sharded WAN points: flat "
+        "(topology-blind deal, the recorded baseline), site (site-affine "
+        "lane leaders + geo-spread clients + tree-overlay dissemination), "
+        "or both (ignored off the WAN / at shards=1)",
+    )
+    parser.add_argument(
         "--topology",
         choices=("lan", "wan"),
         default="lan",
@@ -471,13 +585,25 @@ def sweep_from_args(args: argparse.Namespace) -> BatchingSweepConfig:
         sweep = replace(sweep, client_counts=args.clients)
     if args.batch_sizes is not None:
         sweep = replace(sweep, batch_sizes=args.batch_sizes)
+    if getattr(args, "placement", "flat") == "both":
+        sweep = replace(sweep, placements=("flat", "site"))
+    else:
+        sweep = replace(sweep, placements=(getattr(args, "placement", "flat"),))
     if args.topology != "lan":
         # WAN: one-way delays are ~1000x LAN, so the linger window that
         # lets batches fill scales with them (0.5 ms would be invisible
-        # against a 65 ms hop).
+        # against a 65 ms hop), and the adaptive-linger floor comes from
+        # the delay matrix rather than the LAN calibration.
+        from ..placement import lane_timings
+        from ..sim.network import WAN_ONE_WAY
         from .topologies import WAN_MAX_LINGER
 
-        sweep = replace(sweep, topology=args.topology, max_linger=WAN_MAX_LINGER)
+        sweep = replace(
+            sweep,
+            topology=args.topology,
+            max_linger=WAN_MAX_LINGER,
+            min_linger=lane_timings(WAN_ONE_WAY).min_linger,
+        )
     return sweep
 
 

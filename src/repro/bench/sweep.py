@@ -64,6 +64,14 @@ class SweepConfig:
     #: Ordering lanes per group (1 = the paper's single leader; honoured
     #: by protocols declaring SUPPORTS_SHARDING, ignored by the rest).
     shards_per_group: int = 1
+    #: Pre-built protocol options instance (e.g. a ``WbCastOptions`` with
+    #: topology-derived probe/advance pacing); the harness folds
+    #: ``batching`` on top, so both knobs compose.  None: the protocol's
+    #: defaults.
+    protocol_options: Optional[object] = None
+    #: Post-build hook on the cluster config (e.g. attaching a placement
+    #: policy whose site map must match the topology factory's).
+    config_hook: Optional[Callable[[ClusterConfig], ClusterConfig]] = None
 
 
 def full_sweep_enabled() -> bool:
@@ -84,6 +92,8 @@ def run_point(
         clients,
         shards_per_group=sweep.shards_per_group,
     )
+    if sweep.config_hook is not None:
+        config = sweep.config_hook(config)
     network = topology_factory(config)
     cpu = UniformCpu(sweep.cpu_cost, jitter=sweep.cpu_jitter)
     result = run_workload(
@@ -94,6 +104,7 @@ def run_point(
         network=network,
         seed=sweep.seed,
         cpu=cpu,
+        protocol_options=sweep.protocol_options,
         client_options=ClientOptions(
             num_messages=sweep.messages_per_client,
             window=sweep.client_window,

@@ -35,25 +35,55 @@ def lan_testbed(config: ClusterConfig, jitter: float = 0.0) -> SiteTopology:
     return lan_topology(config.all_processes, one_way=LAN_ONE_WAY, jitter=jitter)
 
 
-def wan_testbed(
+def wan_site_map(
     config: ClusterConfig,
-    jitter: float = 0.0,
     client_site: int = 0,
-    intra_site: float = LAN_ONE_WAY,
     spread_leaders: bool = False,
-) -> SiteTopology:
-    """Three data centres; replica ``i`` of each group lives in DC ``i``.
+    spread_clients: bool = False,
+) -> Dict[ProcessId, int]:
+    """The WAN testbed's process → data-centre map (members and clients).
 
-    With ``spread_leaders`` the placement is rotated per group so initial
-    leaders land in different data centres; leader-to-leader exchanges
-    (FastCast's PROPOSE/CONFIRM, Skeen's PROPOSE) then pay real WAN
-    round trips instead of intra-DC ones.
+    Shared between the delay model (:func:`wan_testbed`) and the placement
+    policy attached to the :class:`~repro.config.ClusterConfig`, so the
+    simulated network and the lane deal agree about who lives where.
+
+    ``spread_clients`` round-robins clients over the data centres,
+    modelling a geo-distributed user base (used by the placement test
+    battery to exercise remote-client ingress).  The default keeps every
+    client in DC ``client_site`` — the recorded baseline, and the
+    geometry under which the site-affine deal anchors every lane beside
+    the ingress.
     """
     placement: Dict[ProcessId, int] = {}
     for gid in config.group_ids:
         offset = gid if spread_leaders else 0
         for i, pid in enumerate(config.members(gid)):
             placement[pid] = (i + offset) % 3
-    for pid in config.clients:
-        placement[pid] = client_site
+    sites = sorted(set(placement.values()))
+    for i, pid in enumerate(config.clients):
+        placement[pid] = sites[i % len(sites)] if spread_clients else client_site
+    return placement
+
+
+def wan_testbed(
+    config: ClusterConfig,
+    jitter: float = 0.0,
+    client_site: int = 0,
+    intra_site: float = LAN_ONE_WAY,
+    spread_leaders: bool = False,
+    site_map: Optional[Dict[ProcessId, int]] = None,
+) -> SiteTopology:
+    """Three data centres; replica ``i`` of each group lives in DC ``i``.
+
+    With ``spread_leaders`` the placement is rotated per group so initial
+    leaders land in different data centres; leader-to-leader exchanges
+    (FastCast's PROPOSE/CONFIRM, Skeen's PROPOSE) then pay real WAN
+    round trips instead of intra-DC ones.  ``site_map`` overrides the
+    whole process placement (see :func:`wan_site_map`).
+    """
+    placement = (
+        dict(site_map)
+        if site_map is not None
+        else wan_site_map(config, client_site=client_site, spread_leaders=spread_leaders)
+    )
     return SiteTopology(placement, WAN_ONE_WAY, intra_site=intra_site, jitter=jitter)

@@ -197,6 +197,11 @@ class AmcastClient(ProtocolProcess):
             for g in config.group_ids
             for lane in range(self.shards)
         }
+        # Freshness of each learned (group, lane) leader: the highest
+        # SUBMIT_ACK/REDIRECT tag adopted so far.  A lower-tagged hint —
+        # a deposed leader's redirect racing a newer epoch's ack on a
+        # slower channel — is ignored instead of rolling the map back.
+        self._leader_tags: Dict[Tuple[GroupId, int], int] = {}
         self.sent: List[MessageId] = []
         self.completed: List[Tuple[MessageId, float]] = []
         self._seq = 0
@@ -256,6 +261,10 @@ class AmcastClient(ProtocolProcess):
             if leader not in members:
                 g, lane = key
                 self.lane_leader[key] = config.lane_leader(g, lane)
+                # The fallback deal is epoch-fresh knowledge: only hints
+                # from this epoch on may override it (a departed leader's
+                # straggler ack carries an older epoch's tag and loses).
+                self._leader_tags[key] = config.epoch << 32
         for g, leader in list(self.cur_leader.items()):
             if leader not in members:
                 self.cur_leader[g] = config.default_leader(g)
@@ -434,9 +443,17 @@ class AmcastClient(ProtocolProcess):
 
     # -- resolution --------------------------------------------------------
 
+    def _learn_leader(self, gid: GroupId, lane: int, leader: ProcessId, tag: int) -> None:
+        """Adopt a leader hint unless it is staler than what we know."""
+        key = (gid, lane)
+        if tag < self._leader_tags.get(key, 0):
+            return
+        self._leader_tags[key] = tag
+        self.cur_leader[gid] = leader
+        self.lane_leader[key] = leader
+
     def _on_submit_ack(self, sender: ProcessId, msg: SubmitAckMsg) -> None:
-        self.cur_leader[msg.gid] = msg.leader
-        self.lane_leader[(msg.gid, msg.lane)] = msg.leader
+        self._learn_leader(msg.gid, msg.lane, msg.leader, msg.tag)
         for mid in msg.acked:
             handle = self._handles.get(mid)
             if handle is None or handle.acked:
@@ -449,8 +466,7 @@ class AmcastClient(ProtocolProcess):
                     fn(handle)
 
     def _on_submit_redirect(self, sender: ProcessId, msg: SubmitRedirectMsg) -> None:
-        self.cur_leader[msg.gid] = msg.leader
-        self.lane_leader[(msg.gid, msg.lane)] = msg.leader
+        self._learn_leader(msg.gid, msg.lane, msg.leader, msg.tag)
 
     def _on_partial_delivery(self, mid: MessageId, t: float) -> None:
         handle = self._handles.get(mid)

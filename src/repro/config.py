@@ -16,6 +16,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from .errors import ConfigError
+from .placement import PlacementPolicy
 from .types import GroupId, ProcessId
 
 
@@ -137,6 +138,16 @@ class ClusterConfig:
             is 2f+1, which build-time configs enforce; membership changes
             (a join before the matching leave) transit through even sizes,
             where quorums are plain majorities.
+        placement: optional :class:`~repro.placement.PlacementPolicy`
+            making the lane deal topology-aware.  In ``"site"`` mode each
+            lane is pinned to one site and ``lane_leader`` picks a member
+            *at that site* in every group (falling back to the legacy deal
+            for groups with no member there), while ``lane_of`` hashes a
+            known origin's fresh ids over the lanes pinned to the origin's
+            own site — so a message's entire ordering path (ingress leg,
+            per-group lane leaders, their coordination) stays intra-site.
+            ``None`` or ``mode="flat"`` keep every deal byte-identical to
+            the placement-less code path.
     """
 
     groups: Tuple[Tuple[ProcessId, ...], ...]
@@ -147,6 +158,7 @@ class ClusterConfig:
     active_shards: Optional[int] = None
     lane_weights: Tuple[Tuple[ProcessId, int], ...] = ()
     allow_even_groups: bool = False
+    placement: Optional[PlacementPolicy] = None
 
     def __post_init__(self) -> None:
         if self.shards_per_group < 1:
@@ -190,6 +202,10 @@ class ClusterConfig:
                 raise ConfigError(f"lane_weights names non-member process {pid}")
             if weight < 0:
                 raise ConfigError(f"lane weight of {pid} must be >= 0, got {weight}")
+        if self.placement is not None and not isinstance(self.placement, PlacementPolicy):
+            raise ConfigError(
+                f"placement must be a PlacementPolicy, got {type(self.placement).__name__}"
+            )
 
     # -- construction -----------------------------------------------------
 
@@ -200,6 +216,7 @@ class ClusterConfig:
         num_clients: int = 0,
         batching: Optional[BatchingOptions] = None,
         shards_per_group: int = 1,
+        placement: Optional[PlacementPolicy] = None,
     ) -> "ClusterConfig":
         """Build the canonical dense-ids layout used throughout the repo."""
         if group_size % 2 == 0 or group_size < 1:
@@ -215,6 +232,7 @@ class ClusterConfig:
             clients=clients,
             batching=batching,
             shards_per_group=shards_per_group,
+            placement=placement,
         )
 
     # -- queries ----------------------------------------------------------
@@ -301,7 +319,14 @@ class ClusterConfig:
         if shards <= 1:
             return 0
         origin, seq = mid
-        return (origin * 2654435761 + (seq // self.LANE_BLOCK) * 40503) % shards
+        h = origin * 2654435761 + (seq // self.LANE_BLOCK) * 40503
+        if self.placement is not None and self.placement.mode == "site":
+            osite = self.placement.site_of(origin)
+            if osite is not None:
+                lanes = self._site_lanes(osite)
+                if lanes:
+                    return lanes[h % len(lanes)]
+        return h % shards
 
     def lane_leader(self, gid: GroupId, lane: int) -> ProcessId:
         """The initial leader of lane ``lane`` in group ``gid``.
@@ -312,12 +337,97 @@ class ClusterConfig:
         remainder), interleaved so no member's lanes cluster — the fix for
         heterogeneous members, where the round-robin deal caps speedup on
         whoever draws the extra lane.
+
+        A site-mode placement policy overrides both: every lane is pinned
+        to the *anchor* site (``lane_site``) and its leader in every group
+        is a member at that site, so a message's per-group lane leaders
+        are co-located with each other, with the other lanes' leaders, and
+        with the bulk of the client population.  Lanes spread round-robin
+        over the anchor site's members within each group (doubling up when
+        the site has fewer members than lanes — a co-sited double-up costs
+        CPU spread, whereas spilling a lane to a remote site would tax
+        *every* delivery with a WAN hop through the total-order merge).
+        Groups with no (positive-weight) member at the anchor site fall
+        back to the legacy deal for that lane.
         """
         members = self.groups[gid]
+        site = self.lane_site(lane)
+        if site is not None:
+            cands = self._site_candidates(gid, site)
+            if cands:
+                return cands[lane % len(cands)]
         if self.lane_weights:
             deal = self._lane_deal(gid)
             return deal[lane % len(deal)]
         return members[lane % len(members)]
+
+    def lane_site(self, lane: int) -> Optional[int]:
+        """The site lane ``lane`` is pinned to, or ``None`` when the lane
+        deal is topology-blind (no policy, flat mode, or no site common to
+        all groups).  Every lane is pinned to the same *anchor* site: the
+        client-heaviest site common to all groups (ties to the lowest id,
+        and the lowest common site when the policy places no clients).
+
+        Concentrating the lanes is deliberate.  The merge queue releases a
+        message only once every other lane's stream has passed its gts, so
+        a single lane led from a remote site adds a WAN one-way delay to
+        *every* delivery — the dominant term of the recorded WAN sharding
+        regression.  Co-sited lanes keep the merge coupling intra-site and
+        reproduce the single-leader deployment's geometry (all leaders
+        beside the ingress), which is exactly what sharding must match
+        before its CPU spread can win."""
+        order = self._lane_site_order()
+        if not order:
+            return None
+        return order[0]
+
+    def _lane_site_order(self) -> Tuple[int, ...]:
+        """Common sites ranked by client affinity (count desc, id asc)."""
+        cached = self.__dict__.get("_lane_site_order_cache")
+        if cached is None:
+            p = self.placement
+            common = (
+                p.common_sites(self.groups) if p is not None and p.mode == "site" else ()
+            )
+            if common:
+                counts = {s: 0 for s in common}
+                for c in self.clients:
+                    s = p.site_of(c)
+                    if s in counts:
+                        counts[s] += 1
+                common = tuple(sorted(common, key=lambda s: (-counts[s], s)))
+            cached = common
+            self.__dict__["_lane_site_order_cache"] = cached
+        return cached
+
+    def _site_lanes(self, site: int) -> Tuple[int, ...]:
+        """Active lanes pinned to ``site`` (cached)."""
+        cache = self.__dict__.setdefault("_site_lanes_cache", {})
+        lanes = cache.get(site)
+        if lanes is None:
+            lanes = tuple(
+                lane for lane in range(self.effective_shards) if self.lane_site(lane) == site
+            )
+            cache[site] = lanes
+        return lanes
+
+    def _site_candidates(self, gid: GroupId, site: int) -> Tuple[ProcessId, ...]:
+        """Members of ``gid`` eligible to lead a lane pinned to ``site``
+        (weight-0 members lead no lanes, as in the weighted deal)."""
+        cache = self.__dict__.setdefault("_site_candidates_cache", {})
+        key = (gid, site)
+        cands = cache.get(key)
+        if cands is None:
+            p = self.placement
+            cands = tuple(
+                m
+                for m in self.groups[gid]
+                if p is not None
+                and p.site_of(m) == site
+                and (not self.lane_weights or self.member_weight(m) > 0)
+            )
+            cache[key] = cands
+        return cands
 
     def _lane_deal(self, gid: GroupId) -> Tuple[ProcessId, ...]:
         """The weighted lane→leader deal of group ``gid`` (cached).
@@ -389,9 +499,14 @@ class ClusterConfig:
         changes.setdefault("allow_even_groups", True)
         return replace(self, **changes)
 
-    def with_join(self, gid: GroupId, pid: ProcessId) -> "ClusterConfig":
+    def with_join(
+        self, gid: GroupId, pid: ProcessId, site: Optional[int] = None
+    ) -> "ClusterConfig":
         """``pid`` joins group ``gid`` (appended; quorums grow immediately,
-        but the joiner only *counts* once its state transfer lets it ack)."""
+        but the joiner only *counts* once its state transfer lets it ack).
+        ``site`` places the joiner in the placement policy's site map, so a
+        site-affine lane deal can hand it co-sited lanes from epoch
+        activation on (ignored when the config carries no policy)."""
         if pid in self._group_index() or pid in self.clients:
             raise ConfigError(f"process {pid} already exists in the cluster")
         if not 0 <= gid < len(self.groups):
@@ -400,7 +515,10 @@ class ClusterConfig:
             members + (pid,) if g == gid else members
             for g, members in enumerate(self.groups)
         )
-        return self._successor(groups=groups)
+        changes: Dict[str, object] = {"groups": groups}
+        if site is not None and self.placement is not None:
+            changes["placement"] = self.placement.with_site(pid, site)
+        return self._successor(**changes)
 
     def with_leave(self, pid: ProcessId) -> "ClusterConfig":
         """``pid`` leaves its group (quorums shrink at epoch activation)."""
@@ -414,7 +532,10 @@ class ClusterConfig:
         lane_weights = tuple(
             (p, w) for p, w in self.lane_weights if p != pid
         )
-        return self._successor(groups=groups, lane_weights=lane_weights)
+        changes: Dict[str, object] = {"groups": groups, "lane_weights": lane_weights}
+        if self.placement is not None:
+            changes["placement"] = self.placement.without(pid)
+        return self._successor(**changes)
 
     def with_lane_weights(
         self, weights: Iterable[Tuple[ProcessId, int]]
@@ -426,6 +547,11 @@ class ClusterConfig:
         """Dial the number of lanes accepting new traffic up or down within
         the build-time capacity (the timestamp encoding stays fixed)."""
         return self._successor(active_shards=active)
+
+    def with_placement(self, placement: Optional[PlacementPolicy]) -> "ClusterConfig":
+        """Replace (or drop, with ``None``) the placement policy — e.g. to
+        flip a live cluster between the flat and site-affine lane deals."""
+        return self._successor(placement=placement)
 
     # -- internals --------------------------------------------------------
 

@@ -428,25 +428,25 @@ def _dec_deliver(mv: memoryview, off: int):
     )
 
 
-_SACK_HDR = struct.Struct("!iqiH")  # gid, leader, lane, acked count
+_SACK_HDR = struct.Struct("!iqiqH")  # gid, leader, lane, tag, acked count
 
 
 def _enc_submit_ack(buf: bytearray, msg: "_base.SubmitAckMsg") -> None:
     acked = msg.acked
-    buf += _SACK_HDR.pack(msg.gid, msg.leader, msg.lane, len(acked))
+    buf += _SACK_HDR.pack(msg.gid, msg.leader, msg.lane, msg.tag, len(acked))
     for origin, seq in acked:
         buf += _BAL.pack(origin, seq)  # !qq — same shape as a mid
 
 
 def _dec_submit_ack(mv: memoryview, off: int):
-    gid, leader, lane, count = _SACK_HDR.unpack_from(mv, off)
+    gid, leader, lane, tag, count = _SACK_HDR.unpack_from(mv, off)
     off += _SACK_HDR.size
     acked = []
     for _ in range(count):
         origin, seq = _BAL.unpack_from(mv, off)
         off += _BAL.size
         acked.append((origin, seq))
-    return _base.SubmitAckMsg(gid, leader, tuple(acked), lane), off
+    return _base.SubmitAckMsg(gid, leader, tuple(acked), lane, tag), off
 
 
 def _enc_accept_ack_batch(buf: bytearray, msg: "_wb.AcceptAckBatchMsg") -> None:
@@ -490,6 +490,29 @@ def _dec_lane(mv: memoryview, off: int) -> Tuple["_wb.LaneMsg", int]:
     (lane,) = _I32.unpack_from(mv, off)
     inner, off = _dec_inner(mv, off + 4)
     return _wb.LaneMsg(lane, inner), off
+
+
+def _enc_lane_relay(buf: bytearray, msg: "_wb.LaneRelayMsg") -> None:
+    targets = msg.targets
+    buf += _I32.pack(msg.lane)
+    buf += _U.pack(len(targets))
+    for pid in targets:
+        buf += _Q.pack(pid)
+    _enc_inner(buf, msg.inner)
+
+
+def _dec_lane_relay(mv: memoryview, off: int) -> Tuple["_wb.LaneRelayMsg", int]:
+    (lane,) = _I32.unpack_from(mv, off)
+    off += 4
+    (count,) = _U.unpack_from(mv, off)
+    off += _U.size
+    targets = []
+    for _ in range(count):
+        (pid,) = _Q.unpack_from(mv, off)
+        off += _Q.size
+        targets.append(pid)
+    inner, off = _dec_inner(mv, off)
+    return _wb.LaneRelayMsg(lane, tuple(targets), inner), off
 
 
 # Tag assignments are part of the wire format: append, never renumber.
@@ -539,6 +562,7 @@ _register(_ftskeen.CmdLocal, 40)
 _register(_ftskeen.CmdGlobal, 41)
 _register(_fastcast.FcLocal, 42)
 _register(_fastcast.FcGlobal, 43)
+_register(_wb.LaneRelayMsg, 44, _enc_lane_relay, _dec_lane_relay)
 
 #: Cold control messages deliberately left on the pickle fallback: they
 #: cross the wire a handful of times per election / reconfiguration and
@@ -579,7 +603,7 @@ def wire_message_types() -> frozenset:
     message without classifying it (binary registration or
     :data:`COLD_PICKLE_TYPES`) fails loudly.
     """
-    out = {_wb.LaneMsg}
+    out = {_wb.LaneMsg, _wb.LaneRelayMsg}
     for mod in _WIRE_MODULES:
         for name, obj in vars(mod).items():
             if not (isinstance(obj, type) and dataclasses.is_dataclass(obj)):

@@ -1,0 +1,29 @@
+"""Topology-aware placement for the sharded ordering plane.
+
+The WAN sharding regression recorded in ``results/sharding_wan_full.txt``
+happens because the default lane deal is topology-blind: lane ``k``'s leader
+lands on member ``k % group_size`` of every group, which on the three-site
+WAN testbed puts most lane leaders one or two WAN hops away from the clients
+that feed them, and scatters a message's per-group lane leaders across
+sites.  This package supplies the fix:
+
+* :class:`PlacementPolicy` — a frozen, wire-friendly description of where
+  every process lives (a site map) plus how the sharded plane should exploit
+  it (``mode`` and ``overlay`` knobs).  Attached to
+  :class:`~repro.config.ClusterConfig` it makes the lane deal site-affine:
+  lane ``k`` is pinned to one site and its leader in *every* destination
+  group is a member at that site, so a message's ordering work is co-located
+  and clients reach their lane leaders over intra-site links.
+* :func:`lane_timings` — derives probe/advance/linger defaults from a
+  site-delay matrix so the watermark machinery paces itself to the actual
+  network instead of the LAN-calibrated constants.
+
+``mode="flat"`` (or no policy at all) keeps the legacy topology-blind deal
+byte-for-byte, which the differential battery in
+``tests/test_placement.py`` enforces.
+"""
+
+from .policy import PlacementPolicy
+from .timing import LaneTimings, lane_timings
+
+__all__ = ["PlacementPolicy", "LaneTimings", "lane_timings"]

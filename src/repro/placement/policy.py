@@ -1,0 +1,118 @@
+"""The placement policy value type.
+
+A :class:`PlacementPolicy` is deliberately *just data*: a site label per
+process plus two small knobs.  All the behaviour it drives lives where the
+decisions are made — the lane deal in :mod:`repro.config`, the ACCEPT
+overlay in :mod:`repro.protocols.wbcast` — so the policy itself can ride
+the wire inside a :class:`~repro.config.ClusterConfig` (joiner state
+transfer, epoch commands) without dragging protocol code along.
+
+Knobs
+-----
+``mode``
+    ``"flat"`` — placement is inert; every consumer falls back to the
+    legacy topology-blind behaviour (byte-identical to a config with no
+    policy attached).  ``"site"`` — the lane deal becomes site-affine and
+    clients are routed to co-sited lanes.
+
+``sites``
+    A tuple of ``(pid, site)`` pairs covering members and (optionally)
+    clients.  Processes absent from the map simply get the legacy
+    behaviour, so a partially-known topology degrades gracefully.
+
+``overlay``
+    ``"direct"`` — cross-group ACCEPTs go all-to-all exactly as today.
+    ``"tree"`` — a lane leader sends one copy per remote site to a relay
+    (the lowest-pid destination member there), which fans out to its
+    co-sited peers; see ``LaneRelayMsg``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+from ..types import ProcessId
+
+MODES = ("flat", "site")
+OVERLAYS = ("direct", "tree")
+
+
+@dataclass(frozen=True)
+class PlacementPolicy:
+    """Where every process lives, and how the ordering plane should care."""
+
+    mode: str = "flat"
+    sites: Tuple[Tuple[ProcessId, int], ...] = ()
+    overlay: str = "direct"
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ConfigError(f"unknown placement mode {self.mode!r}; expected one of {MODES}")
+        if self.overlay not in OVERLAYS:
+            raise ConfigError(
+                f"unknown placement overlay {self.overlay!r}; expected one of {OVERLAYS}"
+            )
+        seen: Dict[ProcessId, int] = {}
+        for pid, site in self.sites:
+            if pid in seen and seen[pid] != site:
+                raise ConfigError(f"process {pid} mapped to two sites ({seen[pid]}, {site})")
+            seen[pid] = site
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def site_affine(
+        cls, sites: Mapping[ProcessId, int], overlay: str = "tree"
+    ) -> "PlacementPolicy":
+        """A policy that pins lanes to sites, from a pid → site map."""
+        return cls(mode="site", sites=tuple(sorted(sites.items())), overlay=overlay)
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def _site_map(self) -> Dict[ProcessId, int]:
+        cached = self.__dict__.get("_site_map_cache")
+        if cached is None:
+            cached = dict(self.sites)
+            self.__dict__["_site_map_cache"] = cached
+        return cached
+
+    def site_of(self, pid: ProcessId) -> Optional[int]:
+        """The site hosting ``pid``, or ``None`` if the policy doesn't know."""
+        return self._site_map.get(pid)
+
+    def common_sites(self, groups: Sequence[Sequence[ProcessId]]) -> Tuple[int, ...]:
+        """Sites with at least one member in *every* group, sorted.
+
+        Lanes can only be pinned to such sites: a message carries the same
+        lane index into each destination group, so co-locating its lane
+        leaders requires every group to field a member there.
+        """
+        common: Optional[set] = None
+        for members in groups:
+            here = {s for m in members if (s := self.site_of(m)) is not None}
+            common = here if common is None else common & here
+            if not common:
+                return ()
+        return tuple(sorted(common or ()))
+
+    # -- evolution (membership changes) -----------------------------------
+
+    def with_site(self, pid: ProcessId, site: int) -> "PlacementPolicy":
+        """A copy that (re)places ``pid`` at ``site``."""
+        kept = tuple((p, s) for p, s in self.sites if p != pid)
+        return PlacementPolicy(
+            mode=self.mode, sites=tuple(sorted(kept + ((pid, site),))), overlay=self.overlay
+        )
+
+    def without(self, pid: ProcessId) -> "PlacementPolicy":
+        """A copy with ``pid`` dropped from the site map."""
+        if pid not in self._site_map:
+            return self
+        return PlacementPolicy(
+            mode=self.mode,
+            sites=tuple((p, s) for p, s in self.sites if p != pid),
+            overlay=self.overlay,
+        )

@@ -1,0 +1,71 @@
+"""Delay-matrix-derived defaults for the lane watermark machinery.
+
+The shipped ``WbCastOptions`` constants are LAN-calibrated:
+``lane_probe_delay=0.0001`` re-arms a blocked lane's probe every 100 µs,
+which on a WAN where one probe → advance → watermark round takes ~100 ms
+turns into a probe storm (hundreds of redundant probe frames per blocked
+message), and the adaptive-linger floor lets leaders flush batches far
+faster than the network can usefully carry them, distorting the S=1
+baseline.  :func:`lane_timings` replaces guesswork with three rules of
+thumb read off the actual site-delay matrix:
+
+* probe re-arm ≈ the *worst* one-way delay — a retry cadence faster than
+  one network traversal can only duplicate in-flight work;
+* eager advance interval ≈ half the *best* remote one-way delay — fast
+  enough that a watermark is always in flight while ACCEPTs propagate,
+  slow enough that rounds don't pile up;
+* linger floor ≈ a tenth of the best remote one-way delay — batching below
+  that granularity buys nothing once frames queue behind WAN propagation;
+* site-affine probe re-arm ≈ a twentieth of the best remote delay — with
+  lane leaders co-sited beside the ingress, a probe usually crosses a
+  machine room (and commit-quorum floor evidence answers it without a
+  round), so the blind worst-case cadence would only add idle latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class LaneTimings:
+    """Topology-derived pacing for probes, eager advances, and linger."""
+
+    lane_probe_delay: float
+    lane_advance_interval: float
+    min_linger: float
+    #: Probe re-arm when the lane deal is site-affine (leaders co-sited
+    #: with the bulk of the probers; see the module docstring).
+    site_probe_delay: float = 0.0001
+
+
+def lane_timings(
+    site_delay: Mapping[Tuple[int, int], float],
+    *,
+    intra_site: float = 0.0,
+) -> LaneTimings:
+    """Derive lane pacing from a symmetric site → site one-way delay matrix.
+
+    ``site_delay`` maps ``(a, b)`` site pairs to one-way delays (either
+    orientation suffices, as in :func:`repro.sim.network.wan_topology`).
+    An empty matrix (single-site deployment) falls back to LAN-ish pacing
+    scaled off ``intra_site``.
+    """
+    remote = [d for (a, b), d in site_delay.items() if a != b and d > 0.0]
+    if not remote:
+        base = max(intra_site, 0.00005)
+        return LaneTimings(
+            lane_probe_delay=2 * base,
+            lane_advance_interval=10 * base,
+            min_linger=0.0,
+            site_probe_delay=2 * base,
+        )
+    worst = max(remote)
+    best = min(remote)
+    return LaneTimings(
+        lane_probe_delay=worst,
+        lane_advance_interval=best / 2,
+        min_linger=best / 10,
+        site_probe_delay=best / 20,
+    )

@@ -92,13 +92,18 @@ class SubmitAckMsg:
     ``leader`` names the acking process so client sessions can retarget
     future submissions without guessing; ``lane`` names the ordering lane
     it leads (always 0 for unsharded protocols), so sessions facing a
-    sharded group learn leaders per (group, lane).
+    sharded group learn leaders per (group, lane).  ``tag`` is the
+    sender's freshness stamp (epoch-major, see ``_leader_tag``): sessions
+    ignore leader hints tagged older than what they already know, so
+    reordered acks and a deposed leader's stragglers cannot roll the
+    session's leader map back.
     """
 
     gid: GroupId
     leader: ProcessId
     acked: Tuple[MessageId, ...]
     lane: int = 0
+    tag: int = 0
 
     def mids(self) -> List[MessageId]:
         return list(self.acked)
@@ -112,12 +117,15 @@ class SubmitAckMsg:
 class SubmitRedirectMsg:
     """``SUBMIT_REDIRECT(g, leader, mids)``: a non-leader received these
     submissions and forwarded them to ``leader`` (its current guess for
-    group ``g``'s leader); the client should retarget."""
+    group ``g``'s leader); the client should retarget.  ``tag`` stamps
+    the freshness of that guess (the forwarder's adopted ballot/epoch) —
+    a deposed leader's stale redirect racing a newer SUBMIT_ACK loses."""
 
     gid: GroupId
     leader: ProcessId
     forwarded: Tuple[MessageId, ...]
     lane: int = 0
+    tag: int = 0
 
     def mids(self) -> List[MessageId]:
         return list(self.forwarded)
@@ -484,6 +492,16 @@ class AtomicMulticastProcess(ProtocolProcess):
         with per-message records override; default: unknown → False)."""
         return False
 
+    def _leader_tag(self) -> int:
+        """Freshness stamp carried on SUBMIT_ACK / SUBMIT_REDIRECT.
+
+        Protocols with leader epochs override (WbCast packs its config
+        epoch and ballot round); the default 0 means "no freshness info",
+        which client sessions treat as always-acceptable — the pre-tag
+        behaviour.
+        """
+        return 0
+
     def _ack_submission(self, sender: ProcessId, mids: Iterable[MessageId]) -> None:
         """Ack a client submission towards the session that made it.
 
@@ -506,7 +524,10 @@ class AtomicMulticastProcess(ProtocolProcess):
             if self.config.is_member(target):
                 return
         self.send(
-            target, SubmitAckMsg(self.gid, self.pid, acked, getattr(self, "lane", 0))
+            target,
+            SubmitAckMsg(
+                self.gid, self.pid, acked, getattr(self, "lane", 0), self._leader_tag()
+            ),
         )
 
     def _redirect_submission(self, sender: ProcessId, mids: Iterable[MessageId]) -> None:
@@ -517,7 +538,9 @@ class AtomicMulticastProcess(ProtocolProcess):
         if leader is not None and leader != self.pid:
             self.send(
                 sender,
-                SubmitRedirectMsg(gid, leader, tuple(mids), getattr(self, "lane", 0)),
+                SubmitRedirectMsg(
+                    gid, leader, tuple(mids), getattr(self, "lane", 0), self._leader_tag()
+                ),
             )
 
     def _on_multicast_batch(self, sender: ProcessId, msg: MulticastBatchMsg) -> None:

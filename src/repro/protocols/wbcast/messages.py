@@ -236,6 +236,44 @@ class LaneMsg:
         return f"lane[{self.lane}]({self.inner!r})"
 
 
+class LaneRelayMsg:
+    """Overlay envelope: one cross-site copy of a lane proposal, plus the
+    co-sited destination members the receiving relay fans it out to.
+
+    With a tree overlay (``PlacementPolicy.overlay == "tree"``) a lane
+    leader sends its ACCEPT / ACCEPT_BATCH once per remote *site* instead
+    of once per remote *member*: the relay — a destination-group member at
+    that site — forwards ``inner`` to each pid in ``targets`` over cheap
+    intra-site links and consumes its own copy.  Purely a dissemination
+    optimisation: receivers handle the relayed ``inner`` exactly as a
+    direct copy (ACCEPT handling is idempotent), so correctness never
+    depends on the relay staying alive — the leader's retry path falls
+    back to direct sends.  Accounting attributes are forwarded as in
+    :class:`LaneMsg` so delay/CPU models and the genuineness monitor see
+    through the envelope.
+    """
+
+    __slots__ = ("lane", "targets", "inner")
+
+    _FORWARDED = frozenset({"size", "entries", "m", "mid", "mids"})
+
+    def __init__(self, lane: int, targets: tuple, inner: object) -> None:
+        self.lane = lane
+        self.targets = targets
+        self.inner = inner
+
+    def __getattr__(self, name: str):
+        if name in LaneRelayMsg._FORWARDED:
+            return getattr(self.inner, name)
+        raise AttributeError(name)
+
+    def __reduce__(self):  # explicit, so pickling never consults __getattr__
+        return (LaneRelayMsg, (self.lane, self.targets, self.inner))
+
+    def __repr__(self) -> str:
+        return f"relay[{self.lane}→{list(self.targets)}]({self.inner!r})"
+
+
 @dataclass(frozen=True, slots=True)
 class LaneProbeMsg:
     """``LANE_PROBE(l, need)``: a group member's delivery merge is blocked

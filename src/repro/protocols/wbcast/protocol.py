@@ -50,6 +50,7 @@ from .messages import (
     LaneAdvanceMsg,
     LaneMsg,
     LaneProbeMsg,
+    LaneRelayMsg,
     LaneWatermarkMsg,
     NewLeaderAckMsg,
     NewLeaderMsg,
@@ -103,6 +104,16 @@ class WbCastOptions:
     lane_probe_max: float = 0.002
     #: Smoothing factor of the inter-DELIVER EWMA (newest-sample weight).
     lane_probe_alpha: float = 0.25
+    #: Eager watermark cadence of a sharded lane leader (``None``: off,
+    #: the legacy reactive protocol — watermarks only answer probes).
+    #: When set, the leader periodically replicates its clock floor and
+    #: broadcasts the resulting watermark to the whole group unprompted,
+    #: so the quorum round overlaps WAN propagation instead of starting
+    #: only after a blocked member's probe has crossed the WAN.  Derive
+    #: the interval from the delay matrix (:func:`repro.placement.
+    #: lane_timings`): about half the best remote one-way delay keeps a
+    #: watermark permanently in flight without rounds piling up.
+    lane_advance_interval: Optional[float] = None
 
 
 class WbCastProcess(AtomicMulticastProcess):
@@ -212,8 +223,18 @@ class WbCastProcess(AtomicMulticastProcess):
         # floor this leader has replicated to a quorum.
         self._probe_waiters: Dict[ProcessId, Timestamp] = {}
         self._advanced_floor: int = 0
-        self._advance_pending: Optional[int] = None
-        self._advance_acks: Set[ProcessId] = set()
+        # In-flight clock-floor rounds, ack tallies keyed by the proposed
+        # floor.  Rounds pipeline like ACCEPTs: on a WAN a round is a full
+        # quorum RTT, so serialising them would make every promised floor
+        # one RTT staler than it needs to be — the dominant idle-lane
+        # merge stall once lane leaders are co-sited with the ingress.
+        self._advance_rounds: Dict[int, Set[ProcessId]] = {}
+        # Highest floor already broadcast unprompted (eager watermarks);
+        # avoids re-broadcasting an unchanged floor every advance tick.
+        self._broadcast_floor: int = 0
+        # Per-destination-set ACCEPT overlay plans (placement tree mode);
+        # dropped on epoch changes, when membership or placement may move.
+        self._overlay_cache: Dict[FrozenSet[GroupId], object] = {}
         # Ingress received while RECOVERING: neither admissible (we may
         # not be leader) nor forwardable (Cur_leader names the very leader
         # being replaced), but dropping it prices every election at one
@@ -318,6 +339,8 @@ class WbCastProcess(AtomicMulticastProcess):
             self.runtime.set_timer(self.options.retry_interval, self._retry_tick)
         if self.options.gc_interval is not None:
             self.runtime.set_timer(self.options.gc_interval, self._gc_tick)
+        if self.options.lane_advance_interval is not None and self._shard_host is not None:
+            self.runtime.set_timer(self.options.lane_advance_interval, self._advance_tick)
 
     def is_leader(self) -> bool:
         return self.status is Status.LEADER
@@ -376,18 +399,81 @@ class WbCastProcess(AtomicMulticastProcess):
                 # Duplicate/retry of a message already proposed and no longer
                 # buffered: resend its proposal alone with the stored
                 # timestamp (Invariant 1).  Buffered messages flush with
-                # their batch, so duplicates need no action.
-                self._send_accept(rec)
+                # their batch, so duplicates need no action.  Resends skip
+                # the overlay: a duplicate hints that a relayed copy (or
+                # its relay) may have been lost.
+                self._send_accept(rec, direct=True)
             return
         self._send_accept(rec)
 
-    def _send_accept(self, rec: MsgRecord) -> None:
+    def _send_accept(self, rec: MsgRecord, direct: bool = False) -> None:
         """(Re)send ACCEPT with the locally stored data (line 9); duplicates
         re-use the stored timestamp, preserving Invariant 1."""
         accept = AcceptMsg(rec.m, self.gid, self.cballot, rec.lts, self.config_epoch)
-        for g in sorted(rec.m.dests):
+        self._broadcast_proposal(rec.m.dests, accept, direct=direct)
+
+    def _broadcast_proposal(self, dests, msg, direct: bool = False) -> None:
+        """Send a proposal (ACCEPT / ACCEPT_BATCH) to every member of every
+        destination group — all-to-all by default, or along the placement
+        policy's per-destination-set overlay tree.
+
+        The tree overlay sends one copy per remote *site*: a relay (the
+        lowest-pid destination member there) re-sends it to its co-sited
+        peers over intra-site links, cutting the leader's cross-site frames
+        from O(members) to O(sites) and letting the fan-out ride the cheap
+        last hop instead of the WAN.  Own-site and unknown-site members are
+        always sent directly, and ``direct=True`` (retries) bypasses the
+        overlay entirely, so lost relays delay at worst one retry interval.
+        """
+        plan = None if direct else self._overlay_plan(dests)
+        if plan is None:
+            for g in sorted(dests):
+                for p in self.wire_members(g):
+                    self.send(p, msg)
+            return
+        targets, relays = plan
+        for p in targets:
+            self.send(p, msg)
+        for relay, rest in relays:
+            self.runtime.send(relay, LaneRelayMsg(self.lane, rest, msg))
+
+    def _overlay_plan(self, dests):
+        """The cached overlay plan for one destination-group set: a
+        ``(direct_targets, ((relay, co_sited_rest), ...))`` pair, or
+        ``None`` when dissemination is all-to-all (no site-mode policy,
+        ``overlay="direct"``, or an unsharded standalone process)."""
+        placement = self.config.placement
+        if (
+            self._shard_host is None
+            or placement is None
+            or placement.mode != "site"
+            or placement.overlay != "tree"
+        ):
+            return None
+        key = frozenset(dests)
+        plan = self._overlay_cache.get(key, False)
+        if plan is not False:
+            return plan
+        my_site = placement.site_of(self.pid)
+        by_site: Dict[int, List[ProcessId]] = {}
+        targets: List[ProcessId] = []
+        for g in sorted(key):
             for p in self.wire_members(g):
-                self.send(p, accept)
+                site = placement.site_of(p)
+                if p == self.pid or site is None or site == my_site:
+                    targets.append(p)
+                else:
+                    by_site.setdefault(site, []).append(p)
+        relays: List[Tuple[ProcessId, Tuple[ProcessId, ...]]] = []
+        for site in sorted(by_site):
+            peers = sorted(by_site[site])
+            if len(peers) == 1:
+                targets.append(peers[0])  # a lone remote member needs no relay
+            else:
+                relays.append((peers[0], tuple(peers[1:])))
+        plan = (tuple(targets), tuple(relays)) if relays else None
+        self._overlay_cache[key] = plan
+        return plan
 
     # ------------------------------------------------------- leader-side batching
 
@@ -415,9 +501,7 @@ class WbCastProcess(AtomicMulticastProcess):
             for mid in members:
                 self._gc_batch_of[mid] = batch.seq
         msg = AcceptBatchMsg(self.gid, self.cballot, tuple(entries), self.config_epoch)
-        for g in sorted(key):
-            for p in self.wire_members(g):
-                self.send(p, msg)
+        self._broadcast_proposal(key, msg)
         return batch
 
     def _note_batch_done(self, mid: MessageId) -> None:
@@ -444,12 +528,11 @@ class WbCastProcess(AtomicMulticastProcess):
         self._mid_batch.clear()
         self._gc_batch_of.clear()
         self._gc_batch_members.clear()
-        # Stashed lane probes and the in-flight advance round die with the
-        # epoch too: blocked members re-probe whoever leads next (the
-        # replicated floor itself survives in the quorum's clocks).
+        # Stashed lane probes and the in-flight advance rounds die with
+        # the epoch too: blocked members re-probe whoever leads next (the
+        # replicated floors themselves survive in the quorum's clocks).
         self._probe_waiters.clear()
-        self._advance_pending = None
-        self._advance_acks = set()
+        self._advance_rounds.clear()
 
     def _on_accept(self, sender: ProcessId, msg: AcceptMsg) -> None:
         """Buffer one group's proposal; act when the set completes (line 10)."""
@@ -1029,6 +1112,27 @@ class WbCastProcess(AtomicMulticastProcess):
             return Timestamp(min(pending).time - 1, TS_TIE_MAX)
         return Timestamp(self.clock, TS_TIE_MAX)
 
+    def _replicated_floor(self, bound: Timestamp) -> int:
+        """The highest watermark already quorum-durable without a round.
+
+        Two sources: floors explicitly replicated by LANE_ADVANCE rounds,
+        and — under the paper's speculative clock — the host's commit
+        evidence: a commit at gts *g* required a quorum of this group to
+        bump their shared clocks past ``g.time`` before acking, so any
+        election quorum intersects it and the successor recovers
+        ``clock >= g.time``.  The commit evidence is capped by this lane's
+        own promise bound (a pending record below it could still deliver).
+        """
+        floor = self._advanced_floor
+        host = self._shard_host
+        if (
+            host is not None
+            and self.options.speculative_clock
+            and host.commit_floor > floor
+        ):
+            floor = max(floor, min(bound.time, host.commit_floor))
+        return floor
+
     def _service_probes(self) -> None:
         """Answer stashed probes whose need a replicated floor can cover."""
         if not self._probe_waiters or self.status is not Status.LEADER:
@@ -1036,27 +1140,40 @@ class WbCastProcess(AtomicMulticastProcess):
         self._drain_deliveries()  # flush deliverable commits first: they
         # travel ahead of the watermark on the same FIFO channels
         bound = self._promise_bound()
-        if self._advanced_floor >= bound.time:
-            self._reply_watermarks(
-                Timestamp(min(self._advanced_floor, bound.time), TS_TIE_MAX)
-            )
+        floor = self._replicated_floor(bound)
+        if floor >= bound.time:
+            self._reply_watermarks(Timestamp(min(floor, bound.time), TS_TIE_MAX))
+            return
+        self._reply_watermarks(Timestamp(floor, TS_TIE_MAX))
+        if not self._probe_waiters:
             return
         if not any(bound.time >= need.time for need in self._probe_waiters.values()):
             return  # no waiter satisfiable yet; re-serviced as state moves
-        if self._advance_pending is not None:
-            # A round is already in flight: let it complete.  Superseding
-            # it with every clock tick resets the ack tally and livelocks
-            # the watermark under sustained load (the bound then only
-            # stabilises once traffic drains); completion re-services the
-            # waiters and starts the next round at the higher bound.
+        self._start_advance(bound.time)
+
+    #: Concurrent clock-floor rounds per lane leader.  At the eager-tick
+    #: cadence a WAN quorum RTT holds only a handful of rounds in flight;
+    #: the cap bounds the tally table if acks stall behind a partition.
+    MAX_ADVANCE_ROUNDS = 8
+
+    def _start_advance(self, time: int) -> None:
+        """Open a clock-floor round at ``time`` (no-op when a round at or
+        above it is already in flight or replicated).  Rounds pipeline:
+        each tallies acks independently, so a new round never resets an
+        older one's progress — the reactive path's superseding livelock
+        can't recur, and a higher floor is always one interval behind the
+        clock rather than one quorum RTT."""
+        rounds = self._advance_rounds
+        if time <= self._advanced_floor or time <= max(rounds, default=0):
             return
-        self._advance_pending = bound.time
-        self._advance_acks = {self.pid}
-        adv = LaneAdvanceMsg(self.cballot, bound.time)
+        if len(rounds) >= self.MAX_ADVANCE_ROUNDS:
+            return  # re-tried by the next tick / probe once acks drain
+        rounds[time] = {self.pid}
+        adv = LaneAdvanceMsg(self.cballot, time)
         for p in self.group:
             if p != self.pid:
                 self.send(p, adv)
-        self._maybe_finish_advance()
+        self._maybe_finish_advance(time)
 
     def _on_lane_advance(self, sender: ProcessId, msg: LaneAdvanceMsg) -> None:
         if msg.bal != self.cballot or self.status is Status.RECOVERING:
@@ -1067,40 +1184,87 @@ class WbCastProcess(AtomicMulticastProcess):
     def _on_lane_advance_ack(self, sender: ProcessId, msg: LaneAdvanceAckMsg) -> None:
         if self.status is not Status.LEADER or msg.bal != self.cballot:
             return
-        if self._advance_pending is None or msg.time < self._advance_pending:
+        acks = self._advance_rounds.get(msg.time)
+        if acks is None:
             return
-        self._advance_acks.add(sender)
-        self._maybe_finish_advance()
+        acks.add(sender)
+        self._maybe_finish_advance(msg.time)
 
-    def _maybe_finish_advance(self) -> None:
-        if self._advance_pending is None or len(self._advance_acks) < self.quorum_size():
+    def _maybe_finish_advance(self, time: int) -> None:
+        acks = self._advance_rounds.get(time)
+        if acks is None or len(acks) < self.quorum_size():
             return
-        self._advanced_floor = max(self._advanced_floor, self._advance_pending)
-        self._advance_pending = None
-        self._advance_acks = set()
+        self._advanced_floor = max(self._advanced_floor, time)
+        # A quorum at ``time`` subsumes every lower in-flight round.
+        for t in [t for t in self._advance_rounds if t <= time]:
+            del self._advance_rounds[t]
         self._reply_watermarks(Timestamp(self._advanced_floor, TS_TIE_MAX))
+        if self.options.lane_advance_interval is not None:
+            # Eager mode: every replicated floor is broadcast unprompted,
+            # so members' merges advance without ever paying a probe RTT.
+            self._broadcast_watermark()
         if self._probe_waiters:
             # Waiters above the just-replicated floor: chase them with a
             # fresh round at the current (higher) bound.
             self._service_probes()
+
+    def _watermark_assumes(self) -> Optional[Timestamp]:
+        """The delivery prefix a watermark promise takes as past —
+        everything this leader has *broadcast* (not merely self-applied) —
+        so a receiver that missed any of it (dropped DELIVERs during a
+        leader change, or a decision still in flight) rejects the
+        watermark instead of releasing other lanes' traffic over a hole."""
+        assumes = self.max_delivered_gts
+        if assumes is None or (
+            self._max_decided_gts is not None and assumes < self._max_decided_gts
+        ):
+            assumes = self._max_decided_gts
+        return assumes
 
     def _reply_watermarks(self, w: Timestamp) -> None:
         for sender in [s for s, need in self._probe_waiters.items() if not w < need]:
             del self._probe_waiters[sender]
             # Bare send: the prober's *host* (merge layer) consumes this,
             # not its lane peer, so it must not wear the lane envelope.
-            # ``assumes`` pins the delivery prefix the promise takes as
-            # past — everything this leader has *broadcast* (not merely
-            # self-applied) — so a prober that missed any of it (dropped
-            # DELIVERs during a leader change, or a decision still in
-            # flight) rejects the watermark instead of releasing other
-            # lanes' traffic over a hole.
-            assumes = self.max_delivered_gts
-            if assumes is None or (
-                self._max_decided_gts is not None and assumes < self._max_decided_gts
-            ):
-                assumes = self._max_decided_gts
-            self.runtime.send(sender, LaneWatermarkMsg(self.lane, w, assumes))
+            self.runtime.send(sender, LaneWatermarkMsg(self.lane, w, self._watermark_assumes()))
+
+    # --------------------------------------------- eager watermarks (placement)
+
+    def _advance_tick(self) -> None:
+        """Periodic eager floor replication (``lane_advance_interval``).
+
+        The reactive protocol serialises probe → advance round → watermark
+        behind a blocked member's timeout, which on a WAN stacks three
+        one-way delays onto every idle-lane merge stall.  An eager leader
+        instead keeps replicating its clock floor in the background and
+        broadcasts each result, overlapping the quorum round with the
+        DELIVER propagation it unblocks; idle or deposed lanes pay only an
+        ack-sized frame per interval.
+        """
+        if self.retired or self.options.lane_advance_interval is None:
+            return
+        self.runtime.set_timer(self.options.lane_advance_interval, self._advance_tick)
+        if self.status is not Status.LEADER or self._shard_host is None:
+            return
+        self._drain_deliveries()  # commits travel ahead on the same channels
+        bound = self._promise_bound()
+        self._broadcast_watermark(bound)
+        if bound.time > self._replicated_floor(bound):
+            self._start_advance(bound.time)
+
+    def _broadcast_watermark(self, bound: Optional[Timestamp] = None) -> None:
+        """Push the highest durable floor to every group member unprompted."""
+        if bound is None:
+            bound = self._promise_bound()
+        floor = self._replicated_floor(bound)
+        if floor <= self._broadcast_floor:
+            return
+        self._broadcast_floor = floor
+        w = Timestamp(floor, TS_TIE_MAX)
+        assumes = self._watermark_assumes()
+        for p in self.group:
+            # Bare sends: the members' hosts (merge layer) consume these.
+            self.runtime.send(p, LaneWatermarkMsg(self.lane, w, assumes))
 
     # ------------------------------------------------- dynamic reconfiguration
 
@@ -1126,6 +1290,9 @@ class WbCastProcess(AtomicMulticastProcess):
         old = self.config
         super().apply_epoch(config)
         self.config_epoch = config.epoch
+        # Overlay plans bake in membership, site map and epoch-stamped
+        # ACCEPTs' reach — rebuild them against the new configuration.
+        self._overlay_cache.clear()
         if self.retired:
             return
         if old.effective_shards != config.effective_shards:
@@ -1157,6 +1324,18 @@ class WbCastProcess(AtomicMulticastProcess):
         if bal > self._group_ballots.get(gid, BALLOT_BOTTOM):
             self._group_ballots[gid] = bal
             self.cur_leader[gid] = bal.leader()
+
+    def _leader_tag(self) -> int:
+        """Epoch-major freshness stamp on submission acks/redirects.
+
+        Clients keep the highest tag seen per (group, lane) and drop
+        lower-tagged leader hints, so a deposed leader's in-flight
+        SUBMIT_REDIRECT can never overwrite what a newer epoch's or
+        ballot's SUBMIT_ACK taught them.  Ballot rounds are monotone
+        within a lane and epochs trump rounds, so the (epoch, round)
+        pair packed here is totally ordered along the lane's history.
+        """
+        return (self.config_epoch << 32) | (self.cballot.round & 0xFFFFFFFF)
 
     # Introspection helpers used by tests and the invariant monitors.
 

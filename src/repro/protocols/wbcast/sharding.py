@@ -42,7 +42,7 @@ from ...errors import ProtocolError
 from ...runtime import Runtime
 from ...types import TS_BOTTOM, AmcastMessage, MessageId, ProcessId, Timestamp
 from ..base import AtomicMulticastProcess, MulticastBatchMsg, MulticastMsg
-from .messages import LaneMsg, LaneProbeMsg, LaneWatermarkMsg
+from .messages import LaneMsg, LaneProbeMsg, LaneRelayMsg, LaneWatermarkMsg
 from .protocol import WbCastOptions, WbCastProcess
 
 
@@ -159,6 +159,15 @@ class ShardedWbCastProcess(AtomicMulticastProcess):
         self.shards = config.shards_per_group
         #: The shared white-box clock (lanes proxy their ``clock`` here).
         self.clock: int = 0
+        #: Commit-quorum floor evidence: the highest committed global
+        #: timestamp observed at this process (any lane).  Under the
+        #: paper's speculative clock a commit at gts *g* proves a quorum
+        #: of this group bumped their (shared) clocks past ``g.time``
+        #: *before acking* — exactly what a LANE_ADVANCE round replicates
+        #: — so co-hosted lane leaders may promise watermarks up to it
+        #: without spending a quorum round (elections recover
+        #: ``clock >= g.time`` through quorum intersection).
+        self.commit_floor: int = 0
         self.lanes: List[WbCastProcess] = [
             WbCastProcess(pid, config, runtime, options, lane=lane, shard_host=self)
             for lane in range(self.shards)
@@ -176,6 +185,7 @@ class ShardedWbCastProcess(AtomicMulticastProcess):
         self._draining = False
         self._handlers = {
             LaneMsg: self._on_lane_msg,
+            LaneRelayMsg: self._on_lane_relay,
             MulticastMsg: self._on_multicast,
             MulticastBatchMsg: self._on_multicast_batch,
             LaneWatermarkMsg: self._on_lane_watermark,
@@ -220,6 +230,19 @@ class ShardedWbCastProcess(AtomicMulticastProcess):
             self._handlers[type(inner)](sender, inner)
             return
         self.lanes[msg.lane].on_message(sender, inner)
+
+    def _on_lane_relay(self, sender: ProcessId, msg: LaneRelayMsg) -> None:
+        """Overlay relay hop: fan a cross-site proposal out to the co-sited
+        targets, then consume our own copy.  The forwarded envelope is the
+        ordinary :class:`LaneMsg`, so targets cannot tell a relayed ACCEPT
+        from a direct one; ``sender`` is preserved as the original leader
+        because the relay forwards on its behalf (acks go to the leader)."""
+        if msg.targets:
+            wire = LaneMsg(msg.lane, msg.inner)
+            for p in msg.targets:
+                if p != self.pid:
+                    self.runtime.send(p, wire)
+        self.lanes[msg.lane].on_message(sender, msg.inner)
 
     def _post_route(self) -> None:
         """After every routed message: service lane promises and drain the
@@ -297,6 +320,8 @@ class ShardedWbCastProcess(AtomicMulticastProcess):
                 self._lane_gap_ewma[lane] = (
                     gap if prev is None else alpha * gap + (1 - alpha) * prev
                 )
+        if gts.time > self.commit_floor:
+            self.commit_floor = gts.time
         self.merge.push(lane, m, gts)
 
     def probe_delay(self, lane: int) -> float:

@@ -29,6 +29,7 @@ from .commands import (
     JoinCmd,
     LeaveCmd,
     SetLaneWeightsCmd,
+    SetPlacementCmd,
     SetShardsCmd,
     apply_command,
     is_config_command,
@@ -47,6 +48,7 @@ __all__ = [
     "JoinCmd",
     "LeaveCmd",
     "SetLaneWeightsCmd",
+    "SetPlacementCmd",
     "SetShardsCmd",
     "apply_command",
     "is_config_command",

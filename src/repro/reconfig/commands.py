@@ -17,10 +17,11 @@ the same delivery index, hence computes the same successor.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple, Union
+from typing import Optional, Tuple, Union
 
 from ..config import ClusterConfig
 from ..errors import ConfigError
+from ..placement import PlacementPolicy
 from ..types import GroupId, ProcessId
 
 
@@ -32,10 +33,16 @@ class JoinCmd:
     joiner only *counts* once its state-transfer snapshot (sent by the
     group's lane leaders at activation) lets it acknowledge anything —
     until then the old members must supply the quorums by themselves.
+
+    ``site`` optionally places the joiner in the config's placement
+    policy's site map (ignored when the config carries no policy), so a
+    site-affine lane deal can hand the joiner co-sited lanes from the
+    epoch boundary on.
     """
 
     gid: GroupId
     pid: ProcessId
+    site: Optional[int] = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -78,9 +85,24 @@ class SetShardsCmd:
     shards: int
 
 
-ConfigCommand = Union[JoinCmd, LeaveCmd, SetLaneWeightsCmd, SetShardsCmd]
+@dataclass(frozen=True, slots=True)
+class SetPlacementCmd:
+    """``set_placement(p)``: replace (or drop) the placement policy.
 
-_COMMAND_TYPES = (JoinCmd, LeaveCmd, SetLaneWeightsCmd, SetShardsCmd)
+    Flips a live cluster between the flat and site-affine lane deals.
+    Lanes whose leader moves under the new deal are handed off via the
+    ordinary NEWLEADER / NEW_STATE rounds at activation, exactly as for a
+    lane re-weighting; the fresh-id lane hash may change with the policy,
+    so like ``set_shards`` this command relies on epoch fencing to keep
+    admission lanes consistent across groups.
+    """
+
+    placement: Optional[PlacementPolicy]
+
+
+ConfigCommand = Union[JoinCmd, LeaveCmd, SetLaneWeightsCmd, SetShardsCmd, SetPlacementCmd]
+
+_COMMAND_TYPES = (JoinCmd, LeaveCmd, SetLaneWeightsCmd, SetShardsCmd, SetPlacementCmd)
 
 
 def is_config_command(payload: object) -> bool:
@@ -91,7 +113,7 @@ def is_config_command(payload: object) -> bool:
 def apply_command(config: ClusterConfig, cmd: ConfigCommand) -> ClusterConfig:
     """The deterministic epoch transition: ``config`` + ``cmd`` → successor."""
     if isinstance(cmd, JoinCmd):
-        return config.with_join(cmd.gid, cmd.pid)
+        return config.with_join(cmd.gid, cmd.pid, cmd.site)
     if isinstance(cmd, LeaveCmd):
         return config.with_leave(cmd.pid)
     if isinstance(cmd, SetLaneWeightsCmd):
@@ -103,6 +125,8 @@ def apply_command(config: ClusterConfig, cmd: ConfigCommand) -> ClusterConfig:
                 f"{config.shards_per_group} fixed at build time"
             )
         return config.with_active_shards(cmd.shards)
+    if isinstance(cmd, SetPlacementCmd):
+        return config.with_placement(cmd.placement)
     raise ConfigError(f"unknown config command {cmd!r}")
 
 

@@ -118,6 +118,29 @@ class SiteTopology(DelayModel):
         except KeyError:
             raise ConfigError(f"process {pid} has no site placement") from None
 
+    # -- delay-matrix queries (placement policies read these) --------------
+
+    def site_map(self) -> Dict[ProcessId, int]:
+        """A copy of the process → site placement."""
+        return dict(self._placement)
+
+    def sites(self) -> tuple:
+        """The distinct sites hosting at least one process, sorted."""
+        return tuple(sorted(set(self._placement.values())))
+
+    def site_delay(self, a: int, b: int) -> float:
+        """The base one-way delay between two sites (jitter excluded)."""
+        if a == b:
+            return self._intra
+        try:
+            return self._site_delay[(a, b)]
+        except KeyError:
+            raise ConfigError(f"no delay configured between sites {a} and {b}") from None
+
+    def site_delays(self) -> Dict[tuple, float]:
+        """A copy of the symmetric site → site delay matrix."""
+        return dict(self._site_delay)
+
     def delay(self, src, dst, size, now, rng) -> float:
         if src == dst:
             return 0.0

@@ -74,6 +74,7 @@ from repro.protocols.wbcast.messages import (
     LaneAdvanceMsg,
     LaneMsg,
     LaneProbeMsg,
+    LaneRelayMsg,
     LaneWatermarkMsg,
     NewLeaderAckMsg,
     NewLeaderMsg,
@@ -119,8 +120,9 @@ SAMPLES = [
     MulticastBatchMsg((M1, M2), None, 1),
     MulticastBatchMsg((M1,), 2, 5),
     SubmitAckMsg(0, 1, ((7, 0), (7, 1)), 0),
-    SubmitAckMsg(1, 4, (), 2),
+    SubmitAckMsg(1, 4, (), 2, (3 << 32) | 7),
     SubmitRedirectMsg(0, 2, ((7, 0),), 1),
+    SubmitRedirectMsg(1, 5, ((3, 9),), 0, 1 << 32),
     AcceptMsg(M1, 0, BAL, TS, 0),
     AcceptMsg(M2, 1, BAL2, TS2, 4),
     AcceptAckMsg((7, 0), 0, VEC),
@@ -129,6 +131,8 @@ SAMPLES = [
     DeliverMsg(M1, BAL, TS, TS2),
     DeliverBatchMsg(BAL, ((M1, TS, TS2), (M2, TS2, TS))),
     LaneMsg(2, AcceptMsg(M1, 0, BAL, TS, 0)),  # binary inner
+    LaneRelayMsg(1, (4, 5), AcceptMsg(M1, 0, BAL, TS, 0)),
+    LaneRelayMsg(0, (), AcceptBatchMsg(0, BAL, ((M1, TS),), 0)),
     LaneMsg(1, NewStateMsg(BAL, 7, {M1.mid: RECORD})),  # pickled inner
     NewLeaderMsg(BAL2),
     NewStateAckMsg(BAL),

@@ -1,0 +1,523 @@
+"""Topology-aware lane & leader placement: the PR-7 battery.
+
+Four layers, mirroring where the placement decisions live:
+
+* **policy** — :class:`PlacementPolicy` is plain validated data; the unit
+  tests pin its constructors, queries and membership evolution;
+* **deal** — the site-affine lane deal in :mod:`repro.config`: every lane
+  anchored at the client-heaviest common site, spread round-robin over
+  that site's members (doubling up rather than spilling to a remote site,
+  because one remotely-led lane taxes *every* delivery through the merge);
+* **wire** — flat mode must be byte-identical to a policy-less config,
+  and the tree ACCEPT overlay must be a pure dissemination optimisation
+  (same deliveries, invariants intact, relays actually used);
+* **floors** — the WAN fixes that make the deal win: pipelined
+  LANE_ADVANCE rounds, commit-quorum floor evidence, and the stale
+  watermark / stale client-hint defences (satellites 1 and 2).
+"""
+
+import random
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.bench.topologies import wan_site_map, wan_testbed
+from repro.checking.total_order import (
+    verify_lane_projections,
+    verify_witness,
+    witness_order,
+)
+from repro.config import ClusterConfig
+from repro.errors import ConfigError
+from repro.placement import LaneTimings, PlacementPolicy, lane_timings
+from repro.protocols import WbCastProcess
+from repro.protocols.base import SubmitAckMsg, SubmitRedirectMsg
+from repro.protocols.wbcast import LaneMergeQueue, WbCastOptions
+from repro.protocols.wbcast.messages import (
+    LaneAdvanceAckMsg,
+    LaneRelayMsg,
+    LaneWatermarkMsg,
+)
+from repro.protocols.wbcast.protocol import TS_TIE_MAX
+from repro.sim import UniformDelay
+from repro.sim.network import WAN_ONE_WAY
+from repro.types import Timestamp
+
+from tests.conftest import DELTA, checks_ok
+from tests.test_client_session import build_session
+
+WAN_TIMINGS = lane_timings(WAN_ONE_WAY)
+
+
+def replace_placement(config, policy):
+    """A same-epoch copy of ``config`` carrying ``policy``."""
+    import dataclasses
+
+    return dataclasses.replace(config, placement=policy)
+
+
+def wan_config(groups=2, group_size=3, clients=3, shards=2, **map_kw):
+    """A sharded cluster with the WAN testbed's site-affine policy."""
+    config = ClusterConfig.build(groups, group_size, clients, shards_per_group=shards)
+    site_map = wan_site_map(config, **map_kw)
+    return replace_placement(config, PlacementPolicy.site_affine(site_map)), site_map
+
+
+def wan_lane_options(**overrides):
+    """WbCast knobs for a site-affine WAN run (timing satellite)."""
+    kw = dict(
+        lane_probe_delay=WAN_TIMINGS.site_probe_delay,
+        lane_advance_interval=WAN_TIMINGS.lane_advance_interval,
+    )
+    kw.update(overrides)
+    return WbCastOptions(**kw)
+
+
+# ---------------------------------------------------------------------------
+# Policy unit battery
+# ---------------------------------------------------------------------------
+
+
+class TestPolicy:
+    def test_rejects_unknown_mode_and_overlay(self):
+        with pytest.raises(ConfigError):
+            PlacementPolicy(mode="regional")
+        with pytest.raises(ConfigError):
+            PlacementPolicy(overlay="gossip")
+
+    def test_rejects_conflicting_sites(self):
+        with pytest.raises(ConfigError):
+            PlacementPolicy(sites=((7, 0), (7, 1)))
+        # A repeated consistent pair is harmless.
+        p = PlacementPolicy(sites=((7, 0), (7, 0)))
+        assert p.site_of(7) == 0
+
+    def test_site_affine_constructor_and_queries(self):
+        p = PlacementPolicy.site_affine({3: 1, 1: 0, 2: 2})
+        assert p.mode == "site"
+        assert p.overlay == "tree"
+        assert p.sites == ((1, 0), (2, 2), (3, 1))
+        assert p.site_of(2) == 2
+        assert p.site_of(99) is None
+
+    def test_common_sites(self):
+        p = PlacementPolicy.site_affine({0: 0, 1: 1, 2: 2, 3: 0, 4: 1, 5: 7})
+        assert p.common_sites([(0, 1, 2), (3, 4, 5)]) == (0, 1)
+        # Unknown members contribute no sites.
+        assert p.common_sites([(0, 1), (3, 99)]) == (0,)
+        # Disjoint groups share nothing.
+        assert p.common_sites([(0,), (5,)]) == ()
+        assert p.common_sites([]) == ()
+
+    def test_with_site_and_without(self):
+        p = PlacementPolicy.site_affine({1: 0, 2: 1})
+        moved = p.with_site(2, 0)
+        assert moved.site_of(2) == 0 and moved.mode == "site"
+        added = p.with_site(9, 2)
+        assert added.site_of(9) == 2
+        dropped = p.without(2)
+        assert dropped.site_of(2) is None and dropped.site_of(1) == 0
+        # Dropping an unknown pid is the identity.
+        assert p.without(42) is p
+
+    def test_flat_default_is_inert_in_the_deal(self):
+        config = ClusterConfig.build(2, 3, 2, shards_per_group=2)
+        flat = replace_placement(
+            config, PlacementPolicy(sites=tuple(wan_site_map(config).items()))
+        )
+        assert flat.placement.mode == "flat"
+        for gid in config.group_ids:
+            for lane in range(2):
+                assert flat.lane_leader(gid, lane) == config.lane_leader(gid, lane)
+        assert flat.lane_site(0) is None
+
+
+class TestLaneTimings:
+    def test_wan_matrix_rules_of_thumb(self):
+        t = lane_timings(WAN_ONE_WAY)
+        assert t == LaneTimings(
+            lane_probe_delay=0.065,  # worst one-way
+            lane_advance_interval=0.015,  # best remote / 2
+            min_linger=0.003,  # best remote / 10
+            site_probe_delay=0.0015,  # best remote / 20
+        )
+
+    def test_single_site_fallback_scales_off_intra_site(self):
+        t = lane_timings({}, intra_site=0.0005)
+        assert t.lane_probe_delay == pytest.approx(0.001)
+        assert t.lane_advance_interval == pytest.approx(0.005)
+        assert t.min_linger == 0.0
+        assert t.site_probe_delay == pytest.approx(0.001)
+        # Degenerate zero-delay matrices still get a positive cadence.
+        assert lane_timings({}).lane_probe_delay > 0
+
+
+# ---------------------------------------------------------------------------
+# Site-affine lane deal
+# ---------------------------------------------------------------------------
+
+
+class TestSiteAffineDeal:
+    def test_all_lanes_anchor_at_the_client_site(self):
+        config, site_map = wan_config(groups=3, shards=4)
+        for lane in range(4):
+            assert config.lane_site(lane) == 0  # clients live in DC 0
+            for gid, leader in config.lane_leaders(lane).items():
+                assert site_map[leader] == 0, (lane, gid)
+
+    def test_anchor_follows_the_client_mass(self):
+        config, site_map = wan_config(clients=5, client_site=2)
+        assert config.lane_site(0) == 2
+        for leader in config.lane_leaders(1).values():
+            assert site_map[leader] == 2
+
+    def test_anchor_ties_break_to_the_lowest_site(self):
+        # A policy that knows only the members: no client mass anywhere.
+        config = ClusterConfig.build(2, 3, 2, shards_per_group=2)
+        members_only = {p: s for p, s in wan_site_map(config).items() if p < 100}
+        members_only = {p: s for p, s in members_only.items() if p in set(config.all_members)}
+        pinned = replace_placement(config, PlacementPolicy.site_affine(members_only))
+        assert pinned.lane_site(0) == 0
+        assert pinned.lane_site(1) == 0
+
+    def test_lanes_round_robin_and_double_up_on_anchor_members(self):
+        # group_size 5 puts members {0, 3} of each group in DC 0.
+        config, _ = wan_config(group_size=5, shards=4)
+        for gid in config.group_ids:
+            m = config.members(gid)
+            leaders = [config.lane_leader(gid, lane) for lane in range(4)]
+            # Two anchor members, four lanes: alternate, then double up —
+            # never spill to a member at a remote site.
+            assert leaders == [m[0], m[3], m[0], m[3]]
+
+    def test_weight_zero_members_lead_no_lanes(self):
+        config, _ = wan_config(group_size=5, shards=2)
+        m = config.members(0)
+        weighted = config.with_lane_weights(
+            [(p, 0 if p == m[0] else 1) for p in config.all_members]
+        )
+        weighted = replace_placement(weighted, config.placement)
+        assert [weighted.lane_leader(0, lane) for lane in range(2)] == [m[3], m[3]]
+
+    def test_groups_without_anchor_members_fall_back_to_legacy_deal(self):
+        config = ClusterConfig.build(2, 3, 2, shards_per_group=2)
+        site_map = wan_site_map(config)
+        # Strip group 1 from the map: no common site remains.
+        g1 = set(config.members(1))
+        partial = PlacementPolicy.site_affine(
+            {p: s for p, s in site_map.items() if p not in g1}
+        )
+        cfg = replace_placement(config, partial)
+        assert cfg.lane_site(0) is None
+        for gid in cfg.group_ids:
+            for lane in range(2):
+                assert cfg.lane_leader(gid, lane) == config.lane_leader(gid, lane)
+
+    def test_lane_of_matches_the_flat_hash_under_one_anchor(self):
+        # Every lane sits at the anchor, so site-aware routing degenerates
+        # to the flat hash — ingress spread is untouched by the policy.
+        config, _ = wan_config(clients=4, shards=4)
+        flat = ClusterConfig.build(2, 3, 4, shards_per_group=4)
+        for origin in config.clients:
+            for seq in range(64):
+                assert config.lane_of((origin, seq)) == flat.lane_of((origin, seq))
+
+    def test_membership_changes_travel_through_the_policy(self):
+        config, site_map = wan_config(group_size=3, shards=2)
+        joiner = 900
+        grown = config.with_join(0, joiner, site=0)
+        assert grown.placement.site_of(joiner) == 0
+        assert grown.epoch == config.epoch + 1
+        # The joiner is an anchor candidate in its group's next deal.
+        assert joiner in {grown.lane_leader(0, lane) for lane in range(2)}
+        # A leave scrubs the site map with the membership.
+        m0 = config.members(0)[0]
+        shrunk = grown.with_leave(m0)
+        assert shrunk.placement.site_of(m0) is None
+        for lane in range(2):
+            assert shrunk.lane_leader(0, lane) != m0
+
+
+# ---------------------------------------------------------------------------
+# Flat mode: byte-identical to a policy-less config
+# ---------------------------------------------------------------------------
+
+
+def delivery_sequences(res):
+    return {
+        pid: tuple(res.trace.delivery_order_at(pid)) for pid in res.config.all_members
+    }
+
+
+class TestFlatByteIdentical:
+    @pytest.mark.parametrize("shards", [1, 2])
+    @pytest.mark.parametrize("seed", [11, 23])
+    def test_flat_policy_changes_nothing(self, shards, seed):
+        runs = []
+        for attach in (False, True):
+            config = ClusterConfig.build(3, 3, 3, shards_per_group=shards)
+            if attach:
+                config = replace_placement(
+                    config,
+                    PlacementPolicy(sites=tuple(wan_site_map(config).items())),
+                )
+            res = run_workload(
+                WbCastProcess,
+                config=config,
+                messages_per_client=6,
+                dest_k=2,
+                seed=seed,
+                network=UniformDelay(0.0002, 2 * DELTA),
+                attach_genuineness=True,
+            )
+            assert res.all_done
+            checks_ok(res)
+            runs.append(res)
+        bare, flat = runs
+        assert delivery_sequences(bare) == delivery_sequences(flat)
+        assert len(bare.trace.sends) == len(flat.trace.sends)
+        assert bare.completed == flat.completed
+
+
+# ---------------------------------------------------------------------------
+# Site-affine WAN conformance (the differential battery, satellite 4)
+# ---------------------------------------------------------------------------
+
+
+def run_wan(shards, seed, *, spread_clients=False, overlay="tree", groups=2, clients=3):
+    config, site_map = wan_config(
+        groups=groups, clients=clients, shards=shards, spread_clients=spread_clients
+    )
+    if overlay != config.placement.overlay:
+        config = replace_placement(
+            config,
+            PlacementPolicy(mode="site", sites=config.placement.sites, overlay=overlay),
+        )
+    res = run_workload(
+        WbCastProcess,
+        config=config,
+        messages_per_client=4,
+        dest_k=2,
+        seed=seed,
+        network=wan_testbed(config, site_map=site_map),
+        protocol_options=wan_lane_options(),
+        attach_genuineness=True,
+        drain_grace=0.3,
+    )
+    assert res.all_done, f"S={shards}: completed {res.completed}/{res.expected}"
+    return res
+
+
+class TestWanSiteAffineConformance:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_randomized_cross_lane_conformance(self, shards):
+        seed = random.Random(shards).randrange(10_000)
+        res = run_wan(shards, seed)
+        checks_ok(res)
+        h = res.history()
+        order = witness_order(h)
+        assert not verify_witness(h, order, quiescent=True)
+        assert not verify_lane_projections(h, order)
+
+    def test_remote_clients_still_conform(self):
+        # Geo-spread clients submit from every DC; redirects and the
+        # epoch-tagged leader map must keep routing coherent.
+        res = run_wan(2, seed=5, spread_clients=True)
+        checks_ok(res)
+        h = res.history()
+        assert not verify_lane_projections(h, witness_order(h))
+
+
+class TestOverlayTree:
+    def test_tree_uses_relays_and_direct_does_not(self):
+        tree = run_wan(2, seed=3, overlay="tree", groups=3)
+        direct = run_wan(2, seed=3, overlay="direct", groups=3)
+        relayed = [s for s in tree.trace.sends if isinstance(s.msg, LaneRelayMsg)]
+        assert relayed, "tree overlay never used a relay"
+        assert not any(
+            isinstance(s.msg, LaneRelayMsg) for s in direct.trace.sends
+        )
+        # Dissemination-only: both runs deliver the same message set and
+        # both pass the total-order checks (timing, and hence timestamps,
+        # may legitimately differ between overlays).
+        checks_ok(tree)
+        checks_ok(direct)
+        mids = lambda res: {d.m.mid for d in res.trace.deliveries}
+        assert mids(tree) == mids(direct)
+
+
+# ---------------------------------------------------------------------------
+# Floors: pipelined advance rounds, commit evidence, stale defences
+# ---------------------------------------------------------------------------
+
+
+def sharded_run(shards=2, seed=7):
+    config = ClusterConfig.build(2, 3, 2, shards_per_group=shards)
+    res = run_workload(
+        WbCastProcess,
+        config=config,
+        messages_per_client=5,
+        dest_k=2,
+        seed=seed,
+        network=UniformDelay(0.0002, 2 * DELTA),
+        attach_genuineness=True,
+    )
+    assert res.all_done
+    return res
+
+
+def lane_leader_of(res, gid=0, lane=0):
+    host = res.members[res.config.lane_leader(gid, lane)]
+    proc = host.lanes[lane]
+    assert proc.is_leader()
+    return host, proc
+
+
+class TestAdvanceRounds:
+    def test_rounds_pipeline_and_quorum_subsumes_lower_rounds(self):
+        res = sharded_run()
+        host, leader = lane_leader_of(res)
+        base = max(leader.clock, leader._advanced_floor, host.commit_floor) + 10
+        leader._start_advance(base)
+        leader._start_advance(base + 5)
+        assert sorted(leader._advance_rounds) == [base, base + 5]
+        # A round at or below an open round is a no-op, not a reset.
+        leader._start_advance(base)
+        assert leader._advance_rounds[base] == {leader.pid}
+        # One follower ack completes the higher round (quorum of 2 in a
+        # group of 3, counting the leader's own clock)...
+        follower = next(p for p in leader.group if p != leader.pid)
+        leader._on_lane_advance_ack(
+            follower, LaneAdvanceAckMsg(leader.cballot, base + 5)
+        )
+        assert leader._advanced_floor == base + 5
+        # ...and subsumes the lower in-flight round entirely.
+        assert leader._advance_rounds == {}
+
+    def test_ack_for_a_dropped_round_is_ignored(self):
+        res = sharded_run()
+        _, leader = lane_leader_of(res)
+        floor = leader._advanced_floor
+        leader._on_lane_advance_ack(
+            leader.group[0], LaneAdvanceAckMsg(leader.cballot, floor + 999)
+        )
+        assert leader._advanced_floor == floor
+        assert floor + 999 not in leader._advance_rounds
+
+    def test_open_rounds_are_capped(self):
+        res = sharded_run()
+        host, leader = lane_leader_of(res)
+        base = max(leader.clock, leader._advanced_floor, host.commit_floor) + 10
+        for i in range(leader.MAX_ADVANCE_ROUNDS + 3):
+            leader._start_advance(base + i)
+        assert len(leader._advance_rounds) == leader.MAX_ADVANCE_ROUNDS
+
+
+class TestCommitFloorEvidence:
+    def test_commit_floor_tracks_the_last_delivered_gts(self):
+        res = sharded_run()
+        for pid in res.config.all_members:
+            host = res.members[pid]
+            applied = [
+                l.max_delivered_gts.time
+                for l in host.lanes
+                if l.max_delivered_gts is not None
+            ]
+            assert applied, pid
+            assert host.commit_floor == max(applied)
+
+    def test_replicated_floor_uses_commit_evidence_capped_by_the_bound(self):
+        res = sharded_run()
+        host, leader = lane_leader_of(res)
+        assert leader.options.speculative_clock
+        cf = host.commit_floor
+        assert cf > 0
+        af = leader._advanced_floor
+        # An unconstrained bound exposes the full commit evidence...
+        assert leader._replicated_floor(Timestamp(cf + 100, TS_TIE_MAX)) == max(af, cf)
+        # ...a tight bound caps it (a pending record below could deliver).
+        capped = leader._replicated_floor(Timestamp(min(af, 1), TS_TIE_MAX))
+        assert capped == af
+
+
+class TestStaleWatermarks:
+    def test_merge_floor_is_monotonic(self):
+        q = LaneMergeQueue(2)
+        q.advance(0, Timestamp(5, 3))
+        q.advance(0, Timestamp(3, TS_TIE_MAX))  # regression attempt
+        assert q._floor[0] == Timestamp(5, 3)
+        q.advance(0, Timestamp(5, 4))
+        assert q._floor[0] == Timestamp(5, 4)
+
+    def test_watermark_assuming_an_unapplied_prefix_is_rejected(self):
+        res = sharded_run()
+        follower = next(
+            pid
+            for pid in res.config.members(0)
+            if pid != res.config.lane_leader(0, 0)
+        )
+        host = res.members[follower]
+        applied = host.lanes[0].max_delivered_gts
+        assert applied is not None
+        before = host.merge._floor[0]
+        high = Timestamp(applied.time + 100, TS_TIE_MAX)
+        ahead = Timestamp(applied.time + 1, applied.group)
+        # The promise presumes deliveries this member never applied.
+        host._on_lane_watermark(0, LaneWatermarkMsg(0, high, assumes=ahead))
+        assert host.merge._floor[0] == before
+        # The same promise over the applied prefix advances the floor.
+        host._on_lane_watermark(0, LaneWatermarkMsg(0, high, assumes=applied))
+        assert host.merge._floor[0] == high
+
+
+# ---------------------------------------------------------------------------
+# Client leader map: epoch-major freshness tags (satellite 2)
+# ---------------------------------------------------------------------------
+
+
+class TestClientLeaderTags:
+    def build(self, shards=2):
+        config = ClusterConfig.build(2, 3, 1, shards_per_group=shards)
+        sim, trace, tracker, procs, session = build_session(config)
+        return config, sim, session
+
+    def test_newer_tag_wins_and_stale_hints_are_ignored(self):
+        config, sim, session = self.build()
+        m = config.members(0)
+        fresh = (1 << 32) | 5
+        session._on_submit_ack(m[1], SubmitAckMsg(0, m[1], (), lane=1, tag=fresh))
+        assert session.lane_leader[(0, 1)] == m[1]
+        # A deposed leader's straggler redirect carries an older tag.
+        session._on_submit_redirect(
+            m[2], SubmitRedirectMsg(0, m[2], (), lane=1, tag=(1 << 32) | 3)
+        )
+        assert session.lane_leader[(0, 1)] == m[1]
+        assert session._leader_tags[(0, 1)] == fresh
+        # An equal tag is fresh knowledge (same ballot, later word).
+        session._on_submit_redirect(
+            m[0], SubmitRedirectMsg(0, m[0], (), lane=1, tag=fresh)
+        )
+        assert session.lane_leader[(0, 1)] == m[0]
+
+    def test_epoch_major_tags_outrank_any_older_epoch(self):
+        config, sim, session = self.build()
+        m = config.members(0)
+        session._on_submit_ack(
+            m[1], SubmitAckMsg(0, m[1], (), lane=0, tag=(0 << 32) | 999)
+        )
+        session._on_submit_ack(m[2], SubmitAckMsg(0, m[2], (), lane=0, tag=1 << 32))
+        assert session.lane_leader[(0, 0)] == m[2]
+
+    def test_departed_leader_fallback_is_epoch_fresh(self):
+        config, sim, session = self.build()
+        old = config.lane_leader(0, 0)
+        session._on_submit_ack(old, SubmitAckMsg(0, old, (), lane=0, tag=7))
+        assert session.lane_leader[(0, 0)] == old
+        shrunk = config.with_leave(old)
+        session.update_config(shrunk)
+        fallback = shrunk.lane_leader(0, 0)
+        assert session.lane_leader[(0, 0)] == fallback
+        assert session._leader_tags[(0, 0)] == shrunk.epoch << 32
+        # The departed leader's straggler ack (old epoch's tag) loses.
+        session._on_submit_ack(old, SubmitAckMsg(0, old, (), lane=0, tag=42))
+        assert session.lane_leader[(0, 0)] == fallback
