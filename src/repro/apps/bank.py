@@ -79,24 +79,34 @@ class BankCluster:
         delta: float = 0.001,
         seed: int = 0,
     ) -> None:
+        # Lazy import: repro.serving imports this module for Transfer /
+        # shard_of, so the dependency must not be circular at load time.
+        from ..serving.replica import attach_bank_replicas
+
         self.opening = dict(opening_balances)
         self.config = ClusterConfig.build(num_groups, group_size, num_clients=1)
         self.client_pid = self.config.clients[0]
         self.trace = Trace(record_sends=False)
         self.sim = Simulator(ConstantDelay(delta), seed=seed, trace=self.trace)
         self.ledgers: Dict[ProcessId, _Ledger] = {}
+        self.processes: Dict[ProcessId, Any] = {}
         for pid in self.config.all_members:
             gid = self.config.group_of(pid)
             self.ledgers[pid] = _Ledger(gid, num_groups, self.opening)
-            self.sim.add_process(
+            self.processes[pid] = self.sim.add_process(
                 pid,
                 lambda rt, p=pid: protocol_cls(
                     p, self.config, rt, options=protocol_options
                 ),
             )
-        self.sim.add_process(self.client_pid, lambda rt: _Null())
+        #: Serving replicas: every member answers read-only ``balance()``
+        #: queries through the serving layer's READ path.
+        self.replicas = attach_bank_replicas(self.processes, num_groups, self.opening)
+        self.probe = _Probe()
+        self.sim.add_process(self.client_pid, lambda rt: self.probe)
         self.trace.attach(_LedgerApplier(self.ledgers))
         self._seq = 0
+        self._rid = 0
 
     def transfer(self, src: str, dst: str, amount: int) -> AmcastMessage:
         t = Transfer(src, dst, amount)
@@ -119,12 +129,36 @@ class BankCluster:
     def settle(self) -> None:
         self.sim.run()
 
-    # -- verification ---------------------------------------------------------
+    # -- read path ------------------------------------------------------------
 
     def balance(self, account: str, replica_index: int = 0) -> int:
+        """Read-only balance query, routed through the serving READ path.
+
+        The chosen replica answers from its :class:`BankServingStore` —
+        the same local read-at-watermark machinery the KV front end uses
+        (an unfenced probe: ``min_index`` 0, so it is always fresh).
+        """
+        from ..serving.messages import ReadMsg
+
+        gid = shard_of(account, self.config.num_groups)
+        pid = self.config.members(gid)[replica_index]
+        self._rid += 1
+        rid = self._rid
+        msg = ReadMsg(rid, gid, (account,), 0, ())
+        self.sim.schedule(
+            0.0, lambda: self.sim.transmit(self.client_pid, pid, msg)
+        )
+        self.sim.run()
+        reply = self.probe.replies.pop(rid)
+        return reply.items[0][1]
+
+    def ledger_balance(self, account: str, replica_index: int = 0) -> int:
+        """Direct in-memory ledger read (bypasses the serving path)."""
         gid = shard_of(account, self.config.num_groups)
         pid = self.config.members(gid)[replica_index]
         return self.ledgers[pid].balances.get(account, 0)
+
+    # -- verification ---------------------------------------------------------
 
     def total_balance(self) -> int:
         """Sum over one replica of every shard."""
@@ -161,6 +195,13 @@ class _LedgerApplier:
             ledger.apply(m)
 
 
-class _Null:
+class _Probe:
+    """A client process that captures serving READ_REPLY frames by rid."""
+
+    def __init__(self) -> None:
+        self.replies: Dict[int, Any] = {}
+
     def on_message(self, sender, msg):
-        pass
+        rid = getattr(msg, "rid", None)
+        if rid is not None:
+            self.replies[rid] = msg

@@ -50,8 +50,17 @@ class ReplicaStore:
         self.num_groups = num_groups
         self.data: Dict[str, Any] = {}
         self.applied: List[MessageId] = []  # order of applied commands
+        #: Applied delivery index: counts *every* delivery this replica saw
+        #: (non-KV payloads included), matching the coordinate the serving
+        #: layer's watermark tokens and read replies are expressed in.
+        self.index = 0
+        #: Per-key version stamp: the delivery index of the last write that
+        #: touched the key (0: never written) — what makes read replies
+        #: checkable against the group's delivery order.
+        self.versions: Dict[str, int] = {}
 
     def apply(self, m: AmcastMessage) -> None:
+        self.index += 1
         cmd = m.payload
         if not isinstance(cmd, KvCommand):
             return
@@ -61,8 +70,10 @@ class ReplicaStore:
                 continue  # another partition's share of the command
             if cmd.op == "put":
                 self.data[key] = value
+                self.versions[key] = self.index
             elif cmd.op == "delete":
                 self.data.pop(key, None)
+                self.versions[key] = self.index
 
 
 class KvStoreCluster:
@@ -142,17 +153,28 @@ class KvStoreCluster:
         pid = self.config.members(gid)[replica_index]
         return self.stores[pid].data.get(key)
 
+    def get_versioned(self, key: str, replica_index: int = 0) -> Tuple[Any, int]:
+        """``(value, version stamp)`` — version 0 means never written."""
+        gid = partition_of(key, self.config.num_groups)
+        pid = self.config.members(gid)[replica_index]
+        store = self.stores[pid]
+        return store.data.get(key), store.versions.get(key, 0)
+
     # -- verification ----------------------------------------------------------------
 
     def replicas_converged(self) -> bool:
-        """Every member of each group holds the same data and applied the
-        same command sequence."""
+        """Every member of each group holds the same data, version stamps
+        and applied command sequence."""
         for gid in self.config.group_ids:
             members = self.config.members(gid)
             reference = self.stores[members[0]]
             for pid in members[1:]:
                 other = self.stores[pid]
-                if other.data != reference.data or other.applied != reference.applied:
+                if (
+                    other.data != reference.data
+                    or other.applied != reference.applied
+                    or other.versions != reference.versions
+                ):
                     return False
         return True
 

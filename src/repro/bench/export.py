@@ -9,8 +9,9 @@ from __future__ import annotations
 
 import csv
 import io
+import json
 import pathlib
-from typing import Iterable, List, Union
+from typing import Any, Iterable, List, Union
 
 from .sweep import SweepPoint
 
@@ -37,6 +38,23 @@ def write_csv(points: Iterable[SweepPoint], path: Union[str, pathlib.Path]) -> p
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(sweep_to_csv(points))
     return path
+
+
+def write_json(payload: Any, path: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write a machine-readable bench artifact (``BENCH_*.json``).
+
+    Deterministic rendering (sorted keys, trailing newline) so re-running
+    an unchanged bench produces a byte-identical artifact.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_json(path: Union[str, pathlib.Path]) -> Any:
+    """Read a ``BENCH_*.json`` artifact back."""
+    return json.loads(pathlib.Path(path).read_text())
 
 
 def read_csv(path: Union[str, pathlib.Path]) -> List[dict]:

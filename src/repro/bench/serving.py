@@ -1,0 +1,711 @@
+"""Serving-tier sweep: read-at-watermark measured against the submit path.
+
+Every read in the repo used to ride the full multicast submit path; the
+serving layer answers them locally at the watermark instead.  This bench
+records the two headline claims on real runs:
+
+* **zero ordering traffic for reads** — on the watermark arm of each
+  grid cell the :class:`~repro.serving.monitor.ReadPathMonitor` counts
+  every ordering-plane message attributable to a read; the 90%-read
+  headline cell asserts that count is exactly zero.
+* **throughput** — each cell also runs a control arm with
+  ``prefer_local=False`` (every read routed through the submit path, the
+  pre-serving behaviour) on the same seed and mix; the headline compares
+  the two (acceptance: >= 3x at the 90% read mix).
+
+The grid is read-ratio x skew x tenants (axes shared with
+:mod:`repro.bench.sweep`), swept on the simulator; ``--runtime net``
+adds a TCP smoke cell driving :class:`~repro.serving.session.ServingSession`
+over :class:`~repro.net.LocalCluster` sockets.  Every simulated history —
+including a lane-leader-crash run — is put through the linearizability
+checker; a run that fails it is not a measurement.
+
+Run ``python -m repro.bench.serving`` (or ``python -m repro
+bench-serving``); ``--quick`` is the CI smoke grid, ``--out FILE``
+writes the standard results block and ``--json FILE`` the machine-
+readable ``BENCH_serving.json`` via :mod:`repro.bench.export`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..protocols import PROTOCOLS
+from ..serving import TenantSpec, run_serving_workload
+from .metrics import summarize_latencies
+from .report import render_table
+from .sweep import (
+    QUICK_SERVING_READ_RATIOS,
+    QUICK_SERVING_SKEWS,
+    QUICK_SERVING_TENANTS,
+    SERVING_READ_RATIOS,
+    SERVING_SKEWS,
+    SERVING_TENANTS,
+    add_serving_axes,
+    serving_axes_from_args,
+)
+
+#: Admission cap per tenant in multi-tenant cells (writes in flight).
+TENANT_CAP = 8
+
+
+@dataclass(frozen=True)
+class ServingPoint:
+    """One measured (runtime, read_ratio, skew, tenants) grid cell."""
+
+    runtime: str
+    protocol: str
+    read_ratio: float
+    skew: float
+    tenants: int
+    sessions: int
+    ops: int
+    reads_local: int
+    reads_fallback: int
+    writes: int
+    throughput: float
+    #: Control arm: same mix with every read routed through the submit
+    #: path (NaN when the control arm was skipped).
+    submit_throughput: float
+    speedup: float
+    #: Ordering-plane messages attributable to reads on the watermark arm
+    #: (None: unmeasured — the net runtime records no trace).
+    read_ordering: Optional[int]
+    mean_read_ms: float
+    p95_read_ms: float
+    checks_ok: bool
+    linearizable: bool
+
+
+@dataclass
+class ServingSweepConfig:
+    protocol: str = "wbcast"
+    read_ratios: Sequence[float] = SERVING_READ_RATIOS
+    skews: Sequence[float] = SERVING_SKEWS
+    tenant_counts: Sequence[int] = SERVING_TENANTS
+    num_groups: int = 2
+    group_size: int = 3
+    sessions: int = 4
+    ops_per_session: int = 120
+    window: int = 2
+    num_keys: int = 64
+    shards_per_group: int = 1
+    #: Read fallback timer; generous against the WAN grid's ordering
+    #: rounds so it only ever fires for genuinely silent replicas.
+    read_timeout: float = 0.5
+    #: Run the submit-path control arm per cell (the >=3x comparison).
+    compare_submit: bool = True
+    runtime: str = "sim"
+    #: Net smoke cell size (wall-clock runs stay small).
+    net_sessions: int = 2
+    net_ops: int = 40
+    seed: int = 42
+
+
+def default_sweep() -> ServingSweepConfig:
+    return ServingSweepConfig()
+
+
+def quick_sweep() -> ServingSweepConfig:
+    """CI smoke: the 90%-read headline mix, uniform + hot-key skew."""
+    return ServingSweepConfig(
+        read_ratios=QUICK_SERVING_READ_RATIOS,
+        skews=QUICK_SERVING_SKEWS,
+        tenant_counts=QUICK_SERVING_TENANTS,
+        ops_per_session=40,
+        net_ops=20,
+    )
+
+
+def tenant_specs(count: int) -> Tuple[TenantSpec, ...]:
+    """The tenant axis: one anonymous uncapped tenant, or ``count``
+    weighted tenants each carrying an admission cap."""
+    if count <= 1:
+        return ()
+    return tuple(
+        TenantSpec(f"t{i}", weight=i + 1, max_outstanding=TENANT_CAP)
+        for i in range(count)
+    )
+
+
+def _serving_config(sweep: ServingSweepConfig):
+    """The grid's deployment geometry: the WAN testbed with site placement.
+
+    Sessions are spread over the three data centres and the cluster
+    config carries a site :class:`~repro.placement.PlacementPolicy`, so
+    every session reads its co-sited replica (intra-DC hop) while the
+    submit path pays real WAN ordering rounds — the Benz-et-al. global
+    serving shape the read-at-watermark path exists for.
+    """
+    import dataclasses
+
+    from ..config import ClusterConfig
+    from ..placement import PlacementPolicy
+    from .topologies import wan_site_map, wan_testbed
+
+    config = ClusterConfig.build(
+        sweep.num_groups,
+        sweep.group_size,
+        sweep.sessions,
+        shards_per_group=sweep.shards_per_group,
+    )
+    sites = wan_site_map(config, spread_clients=True)
+    config = dataclasses.replace(
+        config,
+        placement=PlacementPolicy(
+            mode="site", sites=tuple(sorted(sites.items())), overlay="direct"
+        ),
+    )
+    return config, wan_testbed(config, site_map=sites)
+
+
+def _run_arm(
+    sweep: ServingSweepConfig,
+    read_ratio: float,
+    skew: float,
+    tenants: int,
+    prefer_local: bool,
+):
+    config, network = _serving_config(sweep)
+    return run_serving_workload(
+        PROTOCOLS[sweep.protocol],
+        config=config,
+        network=network,
+        num_sessions=sweep.sessions,
+        ops_per_session=sweep.ops_per_session,
+        read_ratio=read_ratio,
+        skew=skew,
+        num_keys=sweep.num_keys,
+        tenants=tenant_specs(tenants),
+        window=sweep.window,
+        prefer_local=prefer_local,
+        read_timeout=sweep.read_timeout,
+        # Park not-yet-fresh reads at the replica past a WAN round: the
+        # covering delivery is already in flight, so no fallback fires
+        # and the read path stays at zero ordering messages.
+        hold_stale=sweep.read_timeout / 2 if sweep.read_timeout else None,
+        seed=sweep.seed,
+        drain_grace=0.5,
+        attach_genuineness=True,
+    )
+
+
+def run_sim_point(
+    sweep: ServingSweepConfig, read_ratio: float, skew: float, tenants: int
+) -> ServingPoint:
+    result = _run_arm(sweep, read_ratio, skew, tenants, prefer_local=True)
+    checks = result.check() + result.genuineness.check()
+    lin = result.check_serving()
+    summary = summarize_latencies(result.read_latencies())
+    submit_throughput = float("nan")
+    speedup = float("nan")
+    if sweep.compare_submit:
+        control = _run_arm(sweep, read_ratio, skew, tenants, prefer_local=False)
+        submit_throughput = control.throughput()
+        if submit_throughput > 0:
+            speedup = result.throughput() / submit_throughput
+    return ServingPoint(
+        runtime="sim",
+        protocol=sweep.protocol,
+        read_ratio=read_ratio,
+        skew=skew,
+        tenants=tenants,
+        sessions=sweep.sessions,
+        ops=result.ops_completed,
+        reads_local=result.reads_local,
+        reads_fallback=result.reads_fallback,
+        writes=result.writes_completed,
+        throughput=result.throughput(),
+        submit_throughput=submit_throughput,
+        speedup=speedup,
+        read_ordering=result.monitor.fallback_ordering_messages,
+        mean_read_ms=summary.mean * 1000 if summary else float("nan"),
+        p95_read_ms=summary.p95 * 1000 if summary else float("nan"),
+        checks_ok=all(c.ok for c in checks),
+        linearizable=all(c.ok for c in lin),
+    )
+
+
+def run_crash_point(sweep: ServingSweepConfig) -> Dict[str, Any]:
+    """Lane-leader crash under a sharded 90%-read mix: reads must fall
+    back (never return stale data) and the full history must still pass
+    the linearizability checker — the acceptance criterion's crash run."""
+    from ..config import ClusterConfig
+    from ..failure.detector import MonitorOptions
+    from ..sim.faults import CrashSpec, FaultPlan
+
+    config = ClusterConfig.build(
+        sweep.num_groups,
+        sweep.group_size,
+        sweep.sessions,
+        shards_per_group=max(2, sweep.shards_per_group),
+    )
+    victim = config.lane_leader(0, 0)
+    result = run_serving_workload(
+        PROTOCOLS[sweep.protocol],
+        config=config,
+        num_sessions=sweep.sessions,
+        ops_per_session=max(20, sweep.ops_per_session // 3),
+        read_ratio=0.9,
+        skew=0.0,
+        num_keys=sweep.num_keys,
+        window=1,
+        read_timeout=0.02,
+        retry_timeout=0.05,
+        seed=sweep.seed,
+        fault_plan=FaultPlan(crashes=[CrashSpec(victim, 0.03)]),
+        attach_fd=True,
+        fd_options=MonitorOptions(
+            heartbeat_interval=0.005, suspect_timeout=0.02,
+            stagger=0.01, max_timeout=0.3,
+        ),
+        max_time=60.0,
+    )
+    checks = result.check(quiescent=False)
+    lin = result.check_serving()
+    return {
+        "crashed_pid": victim,
+        "shards_per_group": config.shards_per_group,
+        "ops": result.ops_completed,
+        "reads_local": result.reads_local,
+        "reads_fallback": result.reads_fallback,
+        "checks_ok": all(c.ok for c in checks),
+        "linearizable": all(c.ok for c in lin),
+        "failed_checks": [c.describe() for c in checks + lin if not c.ok],
+    }
+
+
+def run_net_point(sweep: ServingSweepConfig, read_ratio: float) -> ServingPoint:
+    """TCP smoke cell: serving sessions over LocalCluster sockets."""
+    import asyncio
+    import random
+    import time
+
+    from ..checking import check_all
+    from ..checking.linearizability import check_linearizability, serving_records
+    from ..client import AmcastClientOptions
+    from ..config import ClusterConfig
+    from ..net import LocalCluster
+    from ..serving import ServingSession, ZipfianKeys, attach_kv_replicas
+
+    config = ClusterConfig.build(
+        sweep.num_groups, sweep.group_size, sweep.net_sessions
+    )
+    chooser = ZipfianKeys(sweep.num_keys, 0.0)
+
+    def session_factory(pid, cfg, runtime, protocol_cls, tracker, options):
+        return ServingSession(
+            pid, cfg, runtime, protocol_cls, tracker, options,
+            read_timeout=2.0, prefer_local=True,
+        )
+
+    async def drive(session, rng: random.Random) -> None:
+        for _ in range(sweep.net_ops):
+            if rng.random() < read_ratio:
+                handle = session.read((chooser.choose(rng),))
+                while not handle.done:
+                    await asyncio.sleep(0.001)
+            else:
+                handle = session.put(chooser.choose(rng), (session.pid, rng.random()))
+                while not handle.completed:
+                    await asyncio.sleep(0.001)
+
+    async def scenario():
+        cluster = LocalCluster(
+            config,
+            PROTOCOLS[sweep.protocol],
+            seed=sweep.seed,
+            client_options=AmcastClientOptions(retry_timeout=1.0),
+            num_sessions=sweep.net_sessions,
+            session_factory=session_factory,
+        )
+        await cluster.start()
+        try:
+            attach_kv_replicas(cluster.processes, config.num_groups)
+            t0 = time.monotonic()
+            await asyncio.gather(
+                *(
+                    drive(s, random.Random(sweep.seed * 31 + i))
+                    for i, s in enumerate(cluster.sessions)
+                )
+            )
+            elapsed = time.monotonic() - t0
+            history = cluster.history()
+            checks = check_all(history, quiescent=False)
+            reads, writes = serving_records(cluster.sessions)
+            lin = check_linearizability(history, reads, writes)
+            return cluster.sessions, elapsed, checks, lin
+        finally:
+            await cluster.stop()
+
+    sessions, elapsed, checks, lin = asyncio.run(scenario())
+    reads = [r for s in sessions for r in s.reads if r.done]
+    lats = sorted(r.completed_at - r.invoked_at for r in reads)
+    summary = summarize_latencies(lats)
+    total_ops = sweep.net_sessions * sweep.net_ops
+    return ServingPoint(
+        runtime="net",
+        protocol=sweep.protocol,
+        read_ratio=read_ratio,
+        skew=0.0,
+        tenants=1,
+        sessions=sweep.net_sessions,
+        ops=total_ops,
+        reads_local=sum(1 for r in reads if r.path == "local"),
+        reads_fallback=sum(1 for r in reads if r.path == "submit"),
+        writes=total_ops - len(reads),
+        throughput=total_ops / elapsed if elapsed > 0 else 0.0,
+        submit_throughput=float("nan"),
+        speedup=float("nan"),
+        read_ordering=None,  # no trace on the net runtime
+        mean_read_ms=summary.mean * 1000 if summary else float("nan"),
+        p95_read_ms=summary.p95 * 1000 if summary else float("nan"),
+        checks_ok=all(c.ok for c in checks),
+        linearizable=all(c.ok for c in lin),
+    )
+
+
+def run_serving(sweep: Optional[ServingSweepConfig] = None) -> List[ServingPoint]:
+    sweep = sweep or default_sweep()
+    points: List[ServingPoint] = []
+    if sweep.runtime in ("sim", "both"):
+        for read_ratio in sweep.read_ratios:
+            for skew in sweep.skews:
+                for tenants in sweep.tenant_counts:
+                    points.append(run_sim_point(sweep, read_ratio, skew, tenants))
+    if sweep.runtime in ("net", "both"):
+        for read_ratio in sweep.read_ratios:
+            points.append(run_net_point(sweep, read_ratio))
+    return points
+
+
+# -- reporting ----------------------------------------------------------------
+
+
+def serving_table(points: List[ServingPoint]) -> str:
+    rows = [
+        (
+            p.runtime,
+            f"{p.read_ratio:.2f}",
+            f"{p.skew:.2f}",
+            p.tenants,
+            f"{p.reads_local}/{p.reads_fallback}",
+            p.writes,
+            p.throughput,
+            p.submit_throughput,
+            f"{p.speedup:.1f}x" if p.speedup == p.speedup else "-",
+            "-" if p.read_ordering is None else p.read_ordering,
+            p.mean_read_ms,
+            p.p95_read_ms,
+            "ok" if p.checks_ok and p.linearizable else "FAIL",
+        )
+        for p in points
+    ]
+    return render_table(
+        [
+            "runtime",
+            "reads",
+            "skew",
+            "tenants",
+            "local/fallback",
+            "writes",
+            "ops/s",
+            "submit ops/s",
+            "speedup",
+            "read-order msgs",
+            "mean read (ms)",
+            "p95 read (ms)",
+            "checks",
+        ],
+        rows,
+        title="Serving sweep — read-at-watermark vs submit-path reads",
+    )
+
+
+def headline_point(points: List[ServingPoint]) -> Optional[ServingPoint]:
+    """The acceptance cell: the sim point nearest a 90% read mix (ties
+    broken toward uniform keys and a single tenant)."""
+    sim = [p for p in points if p.runtime == "sim"]
+    if not sim:
+        return None
+    return min(sim, key=lambda p: (abs(p.read_ratio - 0.9), p.skew, p.tenants))
+
+
+def headline(points: List[ServingPoint]) -> str:
+    lines = []
+    p = headline_point(points)
+    if p is not None:
+        lines.append(
+            f"read-at-watermark @ {p.read_ratio:.0%} reads: "
+            f"{p.reads_local}/{p.reads_local + p.reads_fallback} reads served "
+            f"locally, {p.read_ordering} ordering messages attributable to "
+            f"reads, {p.speedup:.1f}x throughput vs submit-path routing "
+            f"({p.throughput:,.0f} vs {p.submit_throughput:,.0f} ops/s)"
+        )
+        lines.append(
+            "linearizability: "
+            + (
+                "all recorded histories pass"
+                if all(q.linearizable for q in points)
+                else "FAILED on some history"
+            )
+        )
+    return "\n".join(lines)
+
+
+def results_block(
+    sweep: ServingSweepConfig,
+    points: List[ServingPoint],
+    crash: Optional[Dict[str, Any]],
+) -> str:
+    header = [
+        "# Serving sweep (bench-serving): read-at-watermark local reads vs "
+        "submit-path reads",
+        f"# topology: {sweep.num_groups} groups x {sweep.group_size} members "
+        "on the WAN testbed (3 DCs, site placement, sessions spread over DCs), "
+        f"{sweep.sessions} sessions x window {sweep.window}, "
+        f"{sweep.ops_per_session} ops/session, {sweep.num_keys} keys",
+        f"# axes: read_ratio={list(sweep.read_ratios)} skew={list(sweep.skews)} "
+        f"tenants={list(sweep.tenant_counts)} (tenant cap {TENANT_CAP})",
+        f"# cli: python -m repro bench-serving --runtime {sweep.runtime}",
+        "",
+    ]
+    block = "\n".join(header) + serving_table(points) + "\n\n" + headline(points)
+    if crash is not None:
+        verdict = (
+            "linearizable" if crash["linearizable"] and crash["checks_ok"] else "FAILED"
+        )
+        block += (
+            f"\nlane-leader crash (pid {crash['crashed_pid']}, "
+            f"{crash['shards_per_group']} lanes/group): "
+            f"{crash['reads_local']} local / {crash['reads_fallback']} fallback "
+            f"reads, history {verdict}"
+        )
+    return block + "\n"
+
+
+def json_payload(
+    sweep: ServingSweepConfig,
+    points: List[ServingPoint],
+    crash: Optional[Dict[str, Any]],
+) -> Dict[str, Any]:
+    """The BENCH_serving.json artifact (NaNs rendered as None)."""
+
+    def clean(value: Any) -> Any:
+        if isinstance(value, float) and value != value:
+            return None
+        return value
+
+    head = headline_point(points)
+    return {
+        "bench": "serving",
+        "grid": {
+            "protocol": sweep.protocol,
+            "num_groups": sweep.num_groups,
+            "group_size": sweep.group_size,
+            "sessions": sweep.sessions,
+            "ops_per_session": sweep.ops_per_session,
+            "window": sweep.window,
+            "num_keys": sweep.num_keys,
+            "read_ratios": list(sweep.read_ratios),
+            "skews": list(sweep.skews),
+            "tenant_counts": list(sweep.tenant_counts),
+            "tenant_cap": TENANT_CAP,
+            "seed": sweep.seed,
+        },
+        "points": [
+            {k: clean(v) for k, v in asdict(p).items()} for p in points
+        ],
+        "crash_run": crash,
+        "headline": None
+        if head is None
+        else {
+            "read_ratio": head.read_ratio,
+            "reads_local": head.reads_local,
+            "reads_fallback": head.reads_fallback,
+            "read_ordering_messages": head.read_ordering,
+            "speedup_vs_submit": clean(head.speedup),
+            "throughput": head.throughput,
+            "submit_throughput": clean(head.submit_throughput),
+            "linearizable": all(p.linearizable for p in points)
+            and (crash is None or crash["linearizable"]),
+        },
+    }
+
+
+def acceptance_failures(
+    points: List[ServingPoint], crash: Optional[Dict[str, Any]]
+) -> List[str]:
+    """The recorded-run gates: zero read-attributable ordering traffic at
+    the headline mix, >=3x over the submit path, every history linearizable."""
+    failures: List[str] = []
+    head = headline_point(points)
+    if head is not None:
+        if head.read_ordering:
+            failures.append(
+                f"headline cell leaked {head.read_ordering} ordering messages"
+            )
+        if head.speedup == head.speedup and head.speedup < 3.0:
+            failures.append(f"headline speedup {head.speedup:.2f}x < 3x")
+    for p in points:
+        if not p.checks_ok:
+            failures.append(f"amcast checks failed: {p.runtime} cell {p.read_ratio}")
+        if not p.linearizable:
+            failures.append(
+                f"linearizability failed: {p.runtime} cell {p.read_ratio}"
+            )
+    if crash is not None and not (crash["linearizable"] and crash["checks_ok"]):
+        failures.append(f"crash run failed: {crash['failed_checks']}")
+    return failures
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """The sweep's options — shared with the ``repro`` CLI subcommand."""
+    add_serving_axes(parser)
+    parser.add_argument(
+        "--protocol",
+        choices=sorted(
+            name
+            for name, cls in PROTOCOLS.items()
+            if getattr(cls, "SUPPORTS_SHARDING", False) or name == "wbcast"
+        ),
+        default="wbcast",
+        help="protocol under the serving tier (default: wbcast)",
+    )
+    parser.add_argument(
+        "--runtime",
+        choices=("sim", "net", "both"),
+        default="sim",
+        help="'sim' sweeps the grid on the simulator; 'net' drives serving "
+        "sessions over localhost TCP sockets; 'both' runs both",
+    )
+    parser.add_argument(
+        "--sessions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="concurrent serving sessions (default: 4 sim, 2 net)",
+    )
+    parser.add_argument(
+        "--ops",
+        type=int,
+        default=None,
+        metavar="N",
+        help="ops per session (default: 120; 40 with --quick)",
+    )
+    parser.add_argument(
+        "--no-compare",
+        action="store_true",
+        help="skip the submit-path control arm (no speedup column)",
+    )
+    parser.add_argument(
+        "--no-crash",
+        action="store_true",
+        help="skip the lane-leader-crash linearizability run",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="also write the standard results block to FILE",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="also write the machine-readable BENCH_serving.json to FILE",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="workload seed (default: 42)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke grid (90%% reads, two skews, one tenant pair)",
+    )
+
+
+def sweep_from_args(args: argparse.Namespace) -> ServingSweepConfig:
+    sweep = quick_sweep() if args.quick else default_sweep()
+    read_ratios, skews, tenants = serving_axes_from_args(args, quick=args.quick)
+    sweep = replace(
+        sweep,
+        protocol=args.protocol,
+        read_ratios=read_ratios,
+        skews=skews,
+        tenant_counts=tenants,
+        runtime=args.runtime,
+        compare_submit=not args.no_compare,
+    )
+    if args.sessions is not None:
+        sweep = replace(
+            sweep,
+            sessions=max(1, args.sessions),
+            net_sessions=max(1, args.sessions),
+        )
+    if args.ops is not None:
+        sweep = replace(
+            sweep,
+            ops_per_session=max(1, args.ops),
+            net_ops=max(1, args.ops),
+        )
+    if args.seed is not None:
+        sweep = replace(sweep, seed=args.seed)
+    return sweep
+
+
+def run_main(args: argparse.Namespace) -> int:
+    sweep = sweep_from_args(args)
+    points = run_serving(sweep)
+    crash = None
+    if not args.no_crash and sweep.runtime in ("sim", "both"):
+        crash = run_crash_point(sweep)
+    print(serving_table(points))
+    print()
+    print(headline(points))
+    if crash is not None:
+        verdict = (
+            "linearizable" if crash["linearizable"] and crash["checks_ok"] else "FAILED"
+        )
+        print(
+            f"lane-leader crash (pid {crash['crashed_pid']}): "
+            f"{crash['reads_local']} local / {crash['reads_fallback']} "
+            f"fallback reads, history {verdict}"
+        )
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(results_block(sweep, points, crash))
+        print(f"\nwrote {args.out}")
+    if args.json:
+        from .export import write_json
+
+        write_json(json_payload(sweep, points, crash), args.json)
+        print(f"wrote {args.json}")
+    failures = acceptance_failures(points, crash)
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench-serving",
+        description="serving-tier sweep: read-at-watermark local reads vs "
+        "submit-path reads (read-ratio x skew x tenants)",
+    )
+    add_arguments(parser)
+    return run_main(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

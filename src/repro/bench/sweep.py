@@ -79,6 +79,86 @@ def full_sweep_enabled() -> bool:
     return os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
 
 
+# -- serving-tier axes (bench-serving) ---------------------------------------
+#
+# The serving bench sweeps read-ratio x skew x tenants; the axes live here
+# next to the client-sweep machinery so every bench parses and bounds them
+# the same way (--quick stays a fixed small grid, never a user-sized one).
+
+SERVING_READ_RATIOS = (0.5, 0.9, 0.99)
+SERVING_SKEWS = (0.0, 0.99)
+SERVING_TENANTS = (1, 4)
+QUICK_SERVING_READ_RATIOS = (0.9,)
+QUICK_SERVING_SKEWS = (0.0, 0.99)
+QUICK_SERVING_TENANTS = (2,)
+
+
+def float_list(text: str) -> tuple:
+    """argparse type: comma-separated floats (``0.5,0.9,0.99``)."""
+    import argparse
+
+    try:
+        return tuple(float(part) for part in text.split(","))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"not a comma-separated float list: {text!r}"
+        ) from exc
+
+
+def int_list(text: str) -> tuple:
+    """argparse type: comma-separated positive ints (``1,4``)."""
+    import argparse
+
+    try:
+        values = tuple(int(part) for part in text.split(","))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"not a comma-separated int list: {text!r}"
+        ) from exc
+    if not values or any(v < 1 for v in values):
+        raise argparse.ArgumentTypeError(f"values must be >= 1, got {text!r}")
+    return values
+
+
+def add_serving_axes(parser) -> None:
+    """The read-ratio / skew / tenants axis options, shared by benches."""
+    parser.add_argument(
+        "--read-ratio",
+        type=float_list,
+        default=None,
+        metavar="R[,R...]",
+        help=f"read-fraction axis (default: {','.join(map(str, SERVING_READ_RATIOS))})",
+    )
+    parser.add_argument(
+        "--skew",
+        type=float_list,
+        default=None,
+        metavar="S[,S...]",
+        help="Zipf-exponent axis; 0 is uniform, 0.99 the classic hot-key "
+        f"setting (default: {','.join(map(str, SERVING_SKEWS))})",
+    )
+    parser.add_argument(
+        "--tenants",
+        type=int_list,
+        default=None,
+        metavar="N[,N...]",
+        help="tenant-count axis: tenants carry DRR weights and admission "
+        f"caps (default: {','.join(map(str, SERVING_TENANTS))})",
+    )
+
+
+def serving_axes_from_args(args, quick: bool = False):
+    """Resolve the three serving axes: explicit flags beat the grid default."""
+    read_ratios = args.read_ratio or (
+        QUICK_SERVING_READ_RATIOS if quick else SERVING_READ_RATIOS
+    )
+    skews = args.skew if args.skew is not None else (
+        QUICK_SERVING_SKEWS if quick else SERVING_SKEWS
+    )
+    tenants = args.tenants or (QUICK_SERVING_TENANTS if quick else SERVING_TENANTS)
+    return read_ratios, skews, tenants
+
+
 def run_point(
     protocol_cls,
     topology_factory: Callable[[ClusterConfig], DelayModel],

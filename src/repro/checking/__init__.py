@@ -22,16 +22,36 @@ from .properties import (
 )
 from .genuineness import GenuinenessMonitor, extract_mids
 from .invariants import WbCastInvariantMonitor
+from .linearizability import (
+    ReadRecord,
+    WriteRecord,
+    assert_linearizable,
+    check_linearizability,
+    check_read_conformance,
+    check_read_your_writes,
+    check_realtime_freshness,
+    check_session_monotonic,
+    serving_records,
+)
 
 __all__ = [
     "CheckResult",
     "GenuinenessMonitor",
     "History",
+    "ReadRecord",
     "WbCastInvariantMonitor",
+    "WriteRecord",
+    "assert_linearizable",
     "check_all",
     "check_integrity",
+    "check_linearizability",
     "check_ordering",
+    "check_read_conformance",
+    "check_read_your_writes",
+    "check_realtime_freshness",
+    "check_session_monotonic",
     "check_termination",
     "check_validity",
     "extract_mids",
+    "serving_records",
 ]

@@ -1,0 +1,353 @@
+"""Linearizability checking for serving-layer read histories.
+
+The serving layer (:mod:`repro.serving`) answers reads either locally at
+the watermark or through the submit path; both stamp the reply with the
+answering replica's applied delivery index.  Because delivery order is
+identical on every member of a group, that index is a *coordinate*: it
+names one state in the group's single state sequence.  Checking
+linearizability therefore reduces to index arithmetic against the
+recorded run history — no permutation search:
+
+* **conformance** — a read's ``(value, version)`` items must equal the
+  ground-truth group state at the reply index, obtained by replaying
+  the group's recorded delivery sequence.
+* **session monotonicity** — a session's reads never travel backwards:
+  a read invoked after another one completed (same session, same
+  group) must carry an index at least as large, and per-key versions
+  never regress between them.
+* **read-your-writes** — a read invoked after one of the session's own
+  writes to a requested key completed must sit at or past that write's
+  delivery position.
+* **real-time freshness** — the full linearizability obligation: a read
+  must sit at or past the delivery position of *any* write (any
+  session) that completed strictly before the read was invoked.
+
+Together with conformance, the index bounds imply the read observed the
+writes in question, so the four checks are exactly linearizability of
+the read/write register history over the (already separately verified)
+atomic multicast total order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..types import AmcastMessage, GroupId, MessageId, ProcessId
+from .history import History
+from .properties import CheckResult
+
+__all__ = [
+    "ReadRecord",
+    "WriteRecord",
+    "serving_records",
+    "group_sequence",
+    "check_read_conformance",
+    "check_session_monotonic",
+    "check_read_your_writes",
+    "check_realtime_freshness",
+    "check_linearizability",
+    "assert_linearizable",
+]
+
+
+@dataclass(frozen=True)
+class ReadRecord:
+    """One completed read, as the checker wants it."""
+
+    session: ProcessId
+    rid: int
+    gid: GroupId
+    keys: Tuple[Any, ...]
+    invoked_at: float
+    completed_at: float
+    index: int
+    items: Tuple[Tuple[Any, Any, int], ...]
+    path: str = "local"
+
+    def version(self, key: Any) -> int:
+        for k, _v, ver in self.items:
+            if k == key:
+                return ver
+        return 0
+
+
+@dataclass(frozen=True)
+class WriteRecord:
+    """One completed write's effect on one key of one group."""
+
+    session: ProcessId
+    mid: MessageId
+    gid: GroupId
+    key: Any
+    invoked_at: float
+    completed_at: float
+
+
+def serving_records(
+    sessions: Iterable[Any],
+) -> Tuple[List[ReadRecord], List[WriteRecord]]:
+    """Collect read/write records from :class:`ServingSession` objects.
+
+    Incomplete reads and writes are skipped (a linearizability check
+    only constrains operations whose response the client saw).  Write
+    payloads are unpacked per key: a multi-partition command yields one
+    record per (key, owning group).
+    """
+    from ..apps.bank import Transfer, shard_of
+    from ..apps.kvstore import KvCommand, partition_of
+
+    reads: List[ReadRecord] = []
+    writes: List[WriteRecord] = []
+    for s in sessions:
+        num_groups = s.config.num_groups
+        for r in getattr(s, "reads", ()):
+            if not r.done:
+                continue
+            reads.append(
+                ReadRecord(
+                    session=s.pid,
+                    rid=r.rid,
+                    gid=r.gid,
+                    keys=r.keys,
+                    invoked_at=r.invoked_at,
+                    completed_at=r.completed_at,
+                    index=r.index,
+                    items=r.items,
+                    path=r.path,
+                )
+            )
+        for mid, t in s.completed:
+            h = s.handle_of(mid)
+            if h is None:
+                continue  # evicted handle: run with retain_completed=None to check
+            payload = h.payload
+            invoked = h.launched_at if h.launched_at is not None else h.submitted_at
+            if isinstance(payload, KvCommand):
+                for key, _value in payload.items:
+                    writes.append(
+                        WriteRecord(
+                            session=s.pid,
+                            mid=mid,
+                            gid=partition_of(key, num_groups),
+                            key=key,
+                            invoked_at=invoked,
+                            completed_at=t,
+                        )
+                    )
+            elif isinstance(payload, Transfer):
+                for key in (payload.src, payload.dst):
+                    writes.append(
+                        WriteRecord(
+                            session=s.pid,
+                            mid=mid,
+                            gid=shard_of(key, num_groups),
+                            key=key,
+                            invoked_at=invoked,
+                            completed_at=t,
+                        )
+                    )
+    return reads, writes
+
+
+# -- ground truth -----------------------------------------------------------
+
+
+def group_sequence(history: History, gid: GroupId) -> List[AmcastMessage]:
+    """The group's delivery sequence: the longest member sequence.
+
+    The amcast ordering/integrity checks (run separately) guarantee the
+    members' sequences agree; the longest one is simply the most
+    complete view — under crashes, surviving members extend the crashed
+    member's prefix.
+    """
+    best: List[AmcastMessage] = []
+    for pid in history.config.members(gid):
+        recs = history.deliveries.get(pid, [])
+        if len(recs) > len(best):
+            best = [m for _t, m in recs]
+    return best
+
+
+def _positions(seq: List[AmcastMessage]) -> Dict[MessageId, int]:
+    """mid → 1-based applied index of its delivery in the sequence."""
+    out: Dict[MessageId, int] = {}
+    for i, m in enumerate(seq, start=1):
+        out.setdefault(m.mid, i)
+    return out
+
+
+def _default_store_factory(history: History):
+    from ..serving.replica import KvServingStore
+
+    return lambda gid: KvServingStore(gid, history.config.num_groups)
+
+
+# -- the four checks --------------------------------------------------------
+
+
+def check_read_conformance(
+    history: History,
+    reads: Iterable[ReadRecord],
+    store_factory: Optional[Callable[[GroupId], Any]] = None,
+) -> CheckResult:
+    """Each read's items equal the group state at the reply index.
+
+    ``store_factory(gid)`` builds the replay store; the default replays
+    KV commands (:class:`~repro.serving.replica.KvServingStore`) — bank
+    histories pass a :class:`~repro.serving.replica.BankServingStore`
+    factory instead.
+    """
+    factory = store_factory or _default_store_factory(history)
+    violations: List[str] = []
+    by_group: Dict[GroupId, List[ReadRecord]] = {}
+    for r in reads:
+        by_group.setdefault(r.gid, []).append(r)
+    for gid, group_reads in sorted(by_group.items()):
+        seq = group_sequence(history, gid)
+        store = factory(gid)
+        applied = 0
+        for r in sorted(group_reads, key=lambda r: r.index):
+            if r.index > len(seq):
+                violations.append(
+                    f"read {r.session}/{r.rid}: index {r.index} beyond the "
+                    f"group {gid} delivery sequence ({len(seq)} deliveries)"
+                )
+                continue
+            while applied < r.index:
+                store.apply(seq[applied])
+                applied += 1
+            for key, value, version in r.items:
+                want_value, want_version = store.read(key)
+                if value != want_value or version != want_version:
+                    violations.append(
+                        f"read {r.session}/{r.rid} at index {r.index}: "
+                        f"{key!r} -> ({value!r}, v{version}), ground truth "
+                        f"({want_value!r}, v{want_version})"
+                    )
+    return CheckResult("read-conformance", not violations, violations)
+
+
+def check_session_monotonic(reads: Iterable[ReadRecord]) -> CheckResult:
+    """Reads chained by completion-before-invocation never go backwards."""
+    violations: List[str] = []
+    by_session: Dict[Tuple[ProcessId, GroupId], List[ReadRecord]] = {}
+    for r in reads:
+        by_session.setdefault((r.session, r.gid), []).append(r)
+    for (session, gid), rs in sorted(by_session.items()):
+        rs = sorted(rs, key=lambda r: r.invoked_at)
+        for i, r2 in enumerate(rs):
+            for r1 in rs[:i]:
+                if r1.completed_at > r2.invoked_at:
+                    continue  # concurrent: no order obligation
+                if r2.index < r1.index:
+                    violations.append(
+                        f"session {session} group {gid}: read {r2.rid} "
+                        f"(index {r2.index}) invoked after read {r1.rid} "
+                        f"(index {r1.index}) completed, but went backwards"
+                    )
+                for key in set(r1.keys) & set(r2.keys):
+                    if r2.version(key) < r1.version(key):
+                        violations.append(
+                            f"session {session} group {gid}: {key!r} version "
+                            f"regressed {r1.version(key)} -> {r2.version(key)} "
+                            f"between reads {r1.rid} and {r2.rid}"
+                        )
+    return CheckResult("session-monotonic-reads", not violations, violations)
+
+
+def check_read_your_writes(
+    history: History,
+    reads: Iterable[ReadRecord],
+    writes: Iterable[WriteRecord],
+) -> CheckResult:
+    """A session's reads cover its own completed writes to the read keys."""
+    violations: List[str] = []
+    positions: Dict[GroupId, Dict[MessageId, int]] = {}
+    by_session: Dict[Tuple[ProcessId, GroupId], List[WriteRecord]] = {}
+    for w in writes:
+        by_session.setdefault((w.session, w.gid), []).append(w)
+    for r in reads:
+        for w in by_session.get((r.session, r.gid), ()):
+            # Strictly-before only: at equal timestamps the completion and
+            # the invocation are simultaneous sim events whose callback
+            # order is arbitrary — concurrent, hence no order obligation
+            # (same convention as the real-time freshness check).
+            if w.key not in r.keys or w.completed_at >= r.invoked_at:
+                continue
+            pos = positions.setdefault(
+                r.gid, _positions(group_sequence(history, r.gid))
+            ).get(w.mid)
+            if pos is None:
+                violations.append(
+                    f"session {r.session}: completed write {w.mid} to {w.key!r} "
+                    f"never delivered in group {r.gid}"
+                )
+            elif r.index < pos:
+                violations.append(
+                    f"session {r.session}: read {r.rid} (index {r.index}) "
+                    f"invoked after own write {w.mid} to {w.key!r} completed "
+                    f"(delivery position {pos}) but does not cover it"
+                )
+    return CheckResult("read-your-writes", not violations, violations)
+
+
+def check_realtime_freshness(
+    history: History,
+    reads: Iterable[ReadRecord],
+    writes: Iterable[WriteRecord],
+) -> CheckResult:
+    """Reads cover every write completed strictly before their invocation.
+
+    This is the real-time clause of linearizability proper, across all
+    sessions — the one a naive follower read violates first.
+    """
+    violations: List[str] = []
+    positions: Dict[GroupId, Dict[MessageId, int]] = {}
+    by_group: Dict[GroupId, List[WriteRecord]] = {}
+    for w in writes:
+        by_group.setdefault(w.gid, []).append(w)
+    for r in reads:
+        for w in by_group.get(r.gid, ()):
+            if w.completed_at >= r.invoked_at:
+                continue
+            pos = positions.setdefault(
+                r.gid, _positions(group_sequence(history, r.gid))
+            ).get(w.mid)
+            if pos is not None and r.index < pos:
+                violations.append(
+                    f"read {r.session}/{r.rid} (index {r.index}, group {r.gid}) "
+                    f"invoked at {r.invoked_at:.6f} misses write {w.mid} "
+                    f"(position {pos}) completed at {w.completed_at:.6f}"
+                )
+    return CheckResult("realtime-freshness", not violations, violations)
+
+
+def check_linearizability(
+    history: History,
+    reads: Iterable[ReadRecord],
+    writes: Iterable[WriteRecord],
+    store_factory: Optional[Callable[[GroupId], Any]] = None,
+) -> List[CheckResult]:
+    """Run all four read-history checks."""
+    reads = list(reads)
+    writes = list(writes)
+    return [
+        check_read_conformance(history, reads, store_factory),
+        check_session_monotonic(reads),
+        check_read_your_writes(history, reads, writes),
+        check_realtime_freshness(history, reads, writes),
+    ]
+
+
+def assert_linearizable(
+    history: History,
+    reads: Iterable[ReadRecord],
+    writes: Iterable[WriteRecord],
+    store_factory: Optional[Callable[[GroupId], Any]] = None,
+) -> None:
+    from ..errors import PropertyViolation
+
+    for result in check_linearizability(history, reads, writes, store_factory):
+        if not result.ok:
+            raise PropertyViolation(result.describe())

@@ -168,6 +168,13 @@ def _build_parser() -> argparse.ArgumentParser:
     from .bench.net import add_arguments as add_bench_net_arguments
 
     add_bench_net_arguments(bn_p)  # one option set for both entry points
+    bs_p = sub.add_parser(
+        "bench-serving",
+        help="serving-tier sweep: read-at-watermark local reads vs "
+             "submit-path reads (read-ratio x skew x tenants axes)")
+    from .bench.serving import add_arguments as add_bench_serving_arguments
+
+    add_bench_serving_arguments(bs_p)  # one option set for both entry points
     return parser
 
 
@@ -616,6 +623,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .bench import net
 
         return net.run_main(args)
+    elif args.command == "bench-serving":
+        from .bench import serving
+
+        return serving.run_main(args)
     return 0
 
 

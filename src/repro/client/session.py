@@ -89,6 +89,13 @@ class AmcastClientOptions:
     #: deficit-round-robin service, where concurrent sessions' backlogged
     #: submissions are admitted proportionally to their weights.
     weight: int = 1
+    #: Complete submissions at *full replication* (every member of every
+    #: destination group delivered, as observed by the tracker) instead of
+    #: partial delivery.  The serving layer turns this on: a write another
+    #: session saw complete is then already applied at whatever replica a
+    #: later read lands on, which is what makes read-at-watermark local
+    #: reads linearizable on any topology.
+    full_ack: bool = False
     #: Stamp submissions with the session's configuration epoch so leaders
     #: of a later epoch fence them (answering with a config refresh the
     #: session applies before its retry re-drives the submission).  Off by
@@ -204,6 +211,14 @@ class AmcastClient(ProtocolProcess):
         self._leader_tags: Dict[Tuple[GroupId, int], int] = {}
         self.sent: List[MessageId] = []
         self.completed: List[Tuple[MessageId, float]] = []
+        #: Per-group delivery-index watermark tokens, fed by the ``index``
+        #: field of SUBMIT_ACK traffic (and, for serving sessions, by read
+        #: replies).  Delivery order is identical on every member of a
+        #: group, so index k names the same state prefix group-wide; the
+        #: token is the ``min_index`` floor a replica must have applied
+        #: before it may answer this session's reads locally
+        #: (:mod:`repro.serving`).
+        self.watermarks: Dict[GroupId, int] = {}
         self._seq = 0
         self._handles: Dict[MessageId, SubmitHandle] = {}
         self._completed_order: Deque[MessageId] = deque()
@@ -365,7 +380,13 @@ class AmcastClient(ProtocolProcess):
         handle.launched_at = self.now()
         self._outstanding += 1
         self.runtime.record_multicast(m)
-        self.tracker.expect(m, handle.launched_at, self._on_partial_delivery)
+        if self.session_options.full_ack:
+            # Latency bookkeeping still records partial delivery; the
+            # completion callback waits for full replication.
+            self.tracker.expect(m, handle.launched_at, None)
+            self.tracker.expect_full(m, self._on_partial_delivery)
+        else:
+            self.tracker.expect(m, handle.launched_at, self._on_partial_delivery)
         self.sent.append(m.mid)
         lane = self.config.lane_of(m.mid) if self.shards > 1 else 0
         for g in sorted(handle.required_acks):
@@ -454,6 +475,8 @@ class AmcastClient(ProtocolProcess):
 
     def _on_submit_ack(self, sender: ProcessId, msg: SubmitAckMsg) -> None:
         self._learn_leader(msg.gid, msg.lane, msg.leader, msg.tag)
+        if msg.index > self.watermarks.get(msg.gid, 0):
+            self.watermarks[msg.gid] = msg.index
         for mid in msg.acked:
             handle = self._handles.get(mid)
             if handle is None or handle.acked:

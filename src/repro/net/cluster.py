@@ -69,6 +69,7 @@ class LocalCluster:
         num_sessions: int = 1,
         attach_reconfig: bool = False,
         transport_options: Optional[TransportOptions] = None,
+        session_factory: Any = None,
     ) -> None:
         if num_sessions < 1:
             raise ValueError(f"num_sessions must be >= 1, got {num_sessions}")
@@ -113,6 +114,11 @@ class LocalCluster:
         self.multicasts: Dict[MessageId, Tuple[ProcessId, float, AmcastMessage]] = {}
         self.killed: Set[ProcessId] = set()
         self.tracker = DeliveryTracker(config)  # completion source for sessions
+        #: Session constructor, ``(pid, config, runtime, protocol_cls,
+        #: tracker, options) -> AmcastClient``.  The serving layer swaps in
+        #: :class:`~repro.serving.session.ServingSession` (with a partial
+        #: binding its read knobs) to run the read path over real sockets.
+        self.session_factory = session_factory or AmcastClient
         self.sessions: List[AmcastClient] = []
         self.managers: Dict[ProcessId, Any] = {}  # pid -> ReconfigManager
         self._delivery_event = asyncio.Event()
@@ -222,7 +228,7 @@ class LocalCluster:
                 seed=self.seed + i,
             )
             self.sessions.append(
-                AmcastClient(
+                self.session_factory(
                     pid,
                     self.config,
                     runtime,
@@ -256,6 +262,7 @@ class LocalCluster:
     async def kill(self, pid: ProcessId) -> None:
         """Crash-stop a member: close its transport, drop its messages."""
         self.killed.add(pid)
+        self.tracker.note_crashed(pid)
         transport = self.transports.get(pid)
         if transport is not None:
             await transport.close()

@@ -51,6 +51,7 @@ from ..protocols import sequencer as _sequencer
 from ..protocols import skeen as _skeen
 from ..protocols.wbcast import messages as _wb
 from ..reconfig import messages as _reconfig
+from ..serving import messages as _serving
 from ..types import AmcastMessage, Ballot, ProcessId, Timestamp
 
 _LEN = struct.Struct("!I")
@@ -428,25 +429,27 @@ def _dec_deliver(mv: memoryview, off: int):
     )
 
 
-_SACK_HDR = struct.Struct("!iqiqH")  # gid, leader, lane, tag, acked count
+_SACK_HDR = struct.Struct("!iqiqqH")  # gid, leader, lane, tag, index, acked count
 
 
 def _enc_submit_ack(buf: bytearray, msg: "_base.SubmitAckMsg") -> None:
     acked = msg.acked
-    buf += _SACK_HDR.pack(msg.gid, msg.leader, msg.lane, msg.tag, len(acked))
+    buf += _SACK_HDR.pack(
+        msg.gid, msg.leader, msg.lane, msg.tag, msg.index, len(acked)
+    )
     for origin, seq in acked:
         buf += _BAL.pack(origin, seq)  # !qq — same shape as a mid
 
 
 def _dec_submit_ack(mv: memoryview, off: int):
-    gid, leader, lane, tag, count = _SACK_HDR.unpack_from(mv, off)
+    gid, leader, lane, tag, index, count = _SACK_HDR.unpack_from(mv, off)
     off += _SACK_HDR.size
     acked = []
     for _ in range(count):
         origin, seq = _BAL.unpack_from(mv, off)
         off += _BAL.size
         acked.append((origin, seq))
-    return _base.SubmitAckMsg(gid, leader, tuple(acked), lane, tag), off
+    return _base.SubmitAckMsg(gid, leader, tuple(acked), lane, tag, index), off
 
 
 def _enc_accept_ack_batch(buf: bytearray, msg: "_wb.AcceptAckBatchMsg") -> None:
@@ -515,6 +518,66 @@ def _dec_lane_relay(mv: memoryview, off: int) -> Tuple["_wb.LaneRelayMsg", int]:
     return _wb.LaneRelayMsg(lane, tuple(targets), inner), off
 
 
+# Serving-layer read path: READ / READ_REPLY are per-read round trips —
+# the entire wire cost of a watermark-served read — so they get fixed
+# headers with value-encoded keys rather than the generic field walk.
+_READ_HDR = struct.Struct("!qiqHH")  # rid, gid, min_index, nkeys, nfences
+_RREPLY_HDR = struct.Struct("!qiqBH")  # rid, gid, index, stale, nitems
+
+
+def _enc_read(buf: bytearray, msg: "_serving.ReadMsg") -> None:
+    buf += _READ_HDR.pack(
+        msg.rid, msg.gid, msg.min_index, len(msg.keys), len(msg.fences)
+    )
+    for k in msg.keys:
+        _enc_value(buf, k)
+    for key, (origin, seq) in msg.fences:
+        _enc_value(buf, key)
+        buf += _BAL.pack(origin, seq)  # !qq — same shape as a mid
+
+
+def _dec_read(mv: memoryview, off: int):
+    rid, gid, min_index, nkeys, nfences = _READ_HDR.unpack_from(mv, off)
+    off += _READ_HDR.size
+    keys = []
+    for _ in range(nkeys):
+        k, off = _dec_value(mv, off)
+        keys.append(k)
+    fences = []
+    for _ in range(nfences):
+        k, off = _dec_value(mv, off)
+        origin, seq = _BAL.unpack_from(mv, off)
+        off += _BAL.size
+        fences.append((k, (origin, seq)))
+    return (
+        _serving.ReadMsg(rid, gid, tuple(keys), min_index, tuple(fences)),
+        off,
+    )
+
+
+def _enc_read_reply(buf: bytearray, msg: "_serving.ReadReplyMsg") -> None:
+    buf += _RREPLY_HDR.pack(
+        msg.rid, msg.gid, msg.index, 1 if msg.stale else 0, len(msg.items)
+    )
+    for key, value, version in msg.items:
+        _enc_value(buf, key)
+        _enc_value(buf, value)
+        buf += _Q.pack(version)
+
+
+def _dec_read_reply(mv: memoryview, off: int):
+    rid, gid, index, stale, nitems = _RREPLY_HDR.unpack_from(mv, off)
+    off += _RREPLY_HDR.size
+    items = []
+    for _ in range(nitems):
+        k, off = _dec_value(mv, off)
+        v, off = _dec_value(mv, off)
+        (ver,) = _Q.unpack_from(mv, off)
+        off += _Q.size
+        items.append((k, v, ver))
+    return _serving.ReadReplyMsg(rid, gid, index, bool(stale), tuple(items)), off
+
+
 # Tag assignments are part of the wire format: append, never renumber.
 _register(_base.MulticastMsg, 1, _enc_multicast, _dec_multicast)
 _register(_base.MulticastBatchMsg, 2)
@@ -563,6 +626,8 @@ _register(_ftskeen.CmdGlobal, 41)
 _register(_fastcast.FcLocal, 42)
 _register(_fastcast.FcGlobal, 43)
 _register(_wb.LaneRelayMsg, 44, _enc_lane_relay, _dec_lane_relay)
+_register(_serving.ReadMsg, 45, _enc_read, _dec_read)
+_register(_serving.ReadReplyMsg, 46, _enc_read_reply, _dec_read_reply)
 
 #: Cold control messages deliberately left on the pickle fallback: they
 #: cross the wire a handful of times per election / reconfiguration and
@@ -591,6 +656,7 @@ _WIRE_MODULES = (
     _paxos,
     _detector,
     _reconfig,
+    _serving,
 )
 
 

@@ -97,6 +97,13 @@ class SubmitAckMsg:
     ignore leader hints tagged older than what they already know, so
     reordered acks and a deposed leader's stragglers cannot roll the
     session's leader map back.
+
+    ``index`` is the acking member's applied delivery index (how many
+    messages it has delivered to the application) at ack time.  Client
+    sessions fold it into their per-group ``min_index`` watermark tokens
+    — the staleness fence of the serving layer's read-at-watermark path
+    (:mod:`repro.serving`): a replica must have applied at least this
+    many deliveries before it may answer the session's reads locally.
     """
 
     gid: GroupId
@@ -104,6 +111,7 @@ class SubmitAckMsg:
     acked: Tuple[MessageId, ...]
     lane: int = 0
     tag: int = 0
+    index: int = 0
 
     def mids(self) -> List[MessageId]:
         return list(self.acked)
@@ -218,6 +226,11 @@ class AtomicMulticastProcess(ProtocolProcess):
         self._drr_deficit: Dict[ProcessId, float] = {}
         self._drr_order: List[ProcessId] = []
         self._drr_armed = False
+        # Applied delivery index: how many messages this member delivered
+        # to the application.  Delivery order is identical on every member
+        # of a group, so index k names the same state prefix group-wide —
+        # the coordinate the serving layer's watermark tokens live in.
+        self.delivered_count = 0
         # Submissions from sessions *ahead* of our configuration epoch
         # (their refresh raced our command delivery).  Admitting them now
         # could split their lane across groups; dropping them prices the
@@ -502,6 +515,16 @@ class AtomicMulticastProcess(ProtocolProcess):
         """
         return 0
 
+    def _applied_index(self) -> int:
+        """The applied delivery index stamped on SUBMIT_ACK.
+
+        Sharded lanes never deliver themselves — their host owns the merge
+        and the application-facing delivery stream — so a lane's acks
+        carry the host's index.
+        """
+        host = getattr(self, "_shard_host", None)
+        return (host or self).delivered_count
+
     def _ack_submission(self, sender: ProcessId, mids: Iterable[MessageId]) -> None:
         """Ack a client submission towards the session that made it.
 
@@ -526,7 +549,12 @@ class AtomicMulticastProcess(ProtocolProcess):
         self.send(
             target,
             SubmitAckMsg(
-                self.gid, self.pid, acked, getattr(self, "lane", 0), self._leader_tag()
+                self.gid,
+                self.pid,
+                acked,
+                getattr(self, "lane", 0),
+                self._leader_tag(),
+                self._applied_index(),
             ),
         )
 
@@ -592,6 +620,7 @@ class AtomicMulticastProcess(ProtocolProcess):
         successor epoch *here*, i.e. at the same position of the delivery
         total order on every member of every group.
         """
+        self.delivered_count += 1
         self.runtime.deliver(m)
         # The manager hook runs *after* the delivery is recorded: epoch
         # activation may cascade into further work (state transfer, stash

@@ -1,0 +1,71 @@
+"""The serving layer: a production-shaped storage front end.
+
+This package turns the apps tier into the deployment shape atomic
+multicast systems actually serve — multicast the writes, answer the
+reads locally (Benz et al., arXiv 1406.7540):
+
+* **read-at-watermark** (:mod:`repro.serving.replica`): followers answer
+  ``READ(keys, min_index)`` from their local store once their applied
+  delivery index covers the session's watermark token, the lane merge is
+  drained, and the session's read-your-writes fences are applied —
+  zero ordering traffic per read.  The PR 7 commit-floor evidence keeps
+  the lane watermarks advancing without replication rounds, which is
+  what makes the gate cheap.
+* **sessions with a read API** (:mod:`repro.serving.session`):
+  :class:`ServingSession` picks a site-local replica via the placement
+  policy, carries per-group ``min_index`` tokens threaded through
+  SUBMIT_ACK, and falls back to the submit path — an ordered
+  ``KvReadCommand`` — on staleness or replica silence.
+* **wire messages** (:mod:`repro.serving.messages`): ``READ`` /
+  ``READ_REPLY``, binary-codec registered for the TCP runtime.
+* **workloads** (:mod:`repro.serving.workload`): Zipf-skewed,
+  multi-tenant closed-loop sessions with DRR weights and admission
+  control; :func:`run_serving_workload` is the sim harness.
+* **traffic accounting** (:mod:`repro.serving.monitor`):
+  :class:`ReadPathMonitor` proves the zero-ordering-traffic claim on
+  recorded runs instead of assuming it.
+
+Correctness of the read histories is checked by
+:mod:`repro.checking.linearizability`.
+"""
+
+from .messages import KvReadCommand, ReadMsg, ReadReplyMsg
+from .monitor import ReadPathMonitor
+from .replica import (
+    BankServingStore,
+    KvServingStore,
+    ServingReplica,
+    VersionedStore,
+    attach_bank_replicas,
+    attach_kv_replicas,
+)
+from .session import ReadHandle, ServingSession
+from .workload import (
+    ServingLoadSession,
+    ServingRunResult,
+    TenantGate,
+    TenantSpec,
+    ZipfianKeys,
+    run_serving_workload,
+)
+
+__all__ = [
+    "BankServingStore",
+    "KvReadCommand",
+    "KvServingStore",
+    "ReadHandle",
+    "ReadMsg",
+    "ReadPathMonitor",
+    "ReadReplyMsg",
+    "ServingLoadSession",
+    "ServingReplica",
+    "ServingRunResult",
+    "ServingSession",
+    "TenantGate",
+    "TenantSpec",
+    "VersionedStore",
+    "ZipfianKeys",
+    "attach_bank_replicas",
+    "attach_kv_replicas",
+    "run_serving_workload",
+]

@@ -1,0 +1,105 @@
+"""Wire messages of the serving layer's read path.
+
+Two genuinely new wire frames (``READ`` / ``READ_REPLY``) plus the
+payload dataclass carried by fallback reads that ride the ordinary
+multicast submit path.
+
+Field-name discipline matters here: the genuineness monitor attributes
+traffic to multicast messages by duck-typing (``mids()`` method, ``m``
+field, ``mid`` field — see :mod:`repro.checking.genuineness`).  Local
+reads are *supposed* to be invisible to it — they carry no ordering
+work — so these dataclasses deliberately use ``rid``/``keys``/``items``
+and never the attributed names.  A fallback read, by contrast, is a
+real multicast (its :class:`KvReadCommand` payload rides a normal
+``AmcastMessage``) and is attributed like any other submission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..types import GroupId, MessageId, ProcessId
+
+__all__ = ["ReadMsg", "ReadReplyMsg", "KvReadCommand"]
+
+
+@dataclass(frozen=True, slots=True)
+class ReadMsg:
+    """``READ(keys, min_index)``: a session asks a replica of group
+    ``gid`` to answer ``keys`` from its local store.
+
+    ``min_index`` is the session's watermark token for the group (the
+    largest applied delivery index any SUBMIT_ACK or prior read reply
+    has shown it): the replica may only answer if its own applied index
+    has reached it, which makes session reads monotonic across replica
+    switches.
+
+    ``fences`` lists ``(key, mid)`` pairs — for each requested key the
+    session's last *completed* write to it, if any.  The replica checks
+    every fence mid is in its applied set before serving; this is the
+    read-your-writes guarantee, enforced mechanically rather than by
+    comparing version counters (a foreign writer's version is not
+    ordered against the session's own write, so counters can't do it).
+    """
+
+    rid: int
+    gid: GroupId
+    keys: Tuple[object, ...]
+    min_index: int = 0
+    fences: Tuple[Tuple[object, MessageId], ...] = ()
+
+    @property
+    def size(self) -> int:
+        return 24 + 16 * len(self.keys) + 32 * len(self.fences)
+
+
+@dataclass(frozen=True, slots=True)
+class ReadReplyMsg:
+    """``READ_REPLY(rid, index, items)``: the replica's answer.
+
+    ``index`` is the replica's applied delivery index at answer time —
+    the linearization point of a fresh read, and the value the session
+    folds back into its watermark token.  ``stale`` set means the
+    replica declined (watermark not reached, merge backlog pending, or
+    a fence mid not yet applied); ``items`` is empty and the session
+    falls back to the submit path.  ``items`` holds ``(key, value,
+    version)`` triples, ``version`` being the delivery index of the
+    last write applied to that key (0: never written).
+    """
+
+    rid: int
+    gid: GroupId
+    index: int
+    stale: bool = False
+    items: Tuple[Tuple[object, object, int], ...] = ()
+
+    @property
+    def size(self) -> int:
+        return 24 + 48 * len(self.items)
+
+
+@dataclass(frozen=True, slots=True)
+class KvReadCommand:
+    """Payload of a fallback read routed through the submit path.
+
+    When the local read path declines (stale watermark, crashed
+    replica), the session multicasts this command to the key's group
+    like any write.  Every replica applies it as a no-op to the store;
+    the one named ``responder`` additionally answers the ``reader``
+    session with a ``READ_REPLY`` at the command's total-order position
+    — a definite linearization point, at the cost of a full ordering
+    round.  On reply timeout the session re-submits with the next
+    responder in rotation; duplicate replies are matched by ``rid``
+    and the first one wins.
+
+    Deliberately *not* named ``*Msg``/``Cmd*``: it is a payload, not a
+    wire frame, and the codec's wire-type enumeration must not pick it
+    up (it travels inside an ``AmcastMessage`` like every other app
+    payload).
+    """
+
+    keys: Tuple[object, ...]
+    rid: int
+    reader: ProcessId
+    responder: ProcessId

@@ -1,0 +1,80 @@
+"""Traffic accounting for the read path.
+
+The headline claim of read-at-watermark is *zero ordering traffic for
+reads*: a local read costs exactly one ``READ`` and one ``READ_REPLY``
+on the wire and never touches the ordering plane.  The
+:class:`ReadPathMonitor` makes that claim checkable instead of assumed:
+it watches every send of a run and classifies it as
+
+* ``read`` — a ``READ`` / ``READ_REPLY`` frame;
+* ``fallback_ordering`` — an ordering-plane message attributable (via
+  :func:`~repro.checking.genuineness.extract_mids`) purely to fallback
+  read commands, i.e. the real cost of reads that missed the watermark;
+* ``ordering`` — ordering-plane traffic carrying at least one write
+  (a mixed client batch counts here: it would have been sent anyway);
+* ``control`` — everything else (probes, watermarks, failure detector).
+
+``assert_zero_read_ordering()`` is what the serving bench calls on its
+watermark arm: every read answered locally *and* not a single ordering
+message attributable to a read.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Set
+
+from ..checking.genuineness import extract_mids
+from ..types import AmcastMessage, MessageId, ProcessId
+from .messages import KvReadCommand, ReadMsg, ReadReplyMsg
+
+__all__ = ["ReadPathMonitor"]
+
+
+class ReadPathMonitor:
+    """Trace monitor splitting wire traffic by what the read path costs."""
+
+    def __init__(self) -> None:
+        self.read_messages = 0
+        self.ordering_messages = 0
+        self.fallback_ordering_messages = 0
+        self.control_messages = 0
+        self._read_cmd_mids: Set[MessageId] = set()
+
+    # -- trace hooks --------------------------------------------------------
+
+    def on_multicast(self, t: float, pid: ProcessId, m: AmcastMessage) -> None:
+        if isinstance(m.payload, KvReadCommand):
+            self._read_cmd_mids.add(m.mid)
+
+    def on_send(self, rec: Any) -> None:
+        msg = rec.msg
+        if isinstance(msg, (ReadMsg, ReadReplyMsg)):
+            self.read_messages += 1
+            return
+        mids = extract_mids(msg)
+        if not mids:
+            self.control_messages += 1
+        elif self._read_cmd_mids and all(
+            mid in self._read_cmd_mids for mid in mids
+        ):
+            self.fallback_ordering_messages += 1
+        else:
+            self.ordering_messages += 1
+
+    # -- queries ------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "read": self.read_messages,
+            "ordering": self.ordering_messages,
+            "fallback_ordering": self.fallback_ordering_messages,
+            "control": self.control_messages,
+        }
+
+    def assert_zero_read_ordering(self) -> None:
+        """Raise if any ordering message was attributable to a read."""
+        if self.fallback_ordering_messages:
+            raise AssertionError(
+                f"read path leaked {self.fallback_ordering_messages} ordering "
+                "messages (fallback reads rode the submit path)"
+            )

@@ -1,0 +1,290 @@
+"""The replica side of the serving layer: local reads at the watermark.
+
+A :class:`ServingReplica` rides piggyback on one group member's protocol
+process.  It keeps a :class:`VersionedStore` in lockstep with the
+member's application delivery stream (every delivery bumps the store's
+applied index — the same counter the member stamps on SUBMIT_ACK), and
+answers ``READ`` requests locally when three freshness gates all pass:
+
+1. **Watermark**: the store's applied index has reached the session's
+   ``min_index`` token.  Tokens only ever grow (acks and read replies
+   both feed them), so a session's reads are monotonic even when it
+   hops between replicas.
+2. **Merge idle**: on sharded members, the lane-merge queue has no
+   committed-but-unapplied deliveries queued (``merged_backlog() == 0``)
+   — the applied prefix covers everything the lane watermark machinery
+   has released.  The PR 7 commit-floor evidence is what keeps those
+   watermarks advancing without replication rounds, which is why this
+   gate costs no ordering traffic.
+3. **Fences**: every ``(key, mid)`` fence in the request — the session's
+   last completed write per requested key — names a mid this replica
+   has already applied.  This is read-your-writes enforced mechanically;
+   comparing version counters cannot do it, because a foreign writer's
+   version is not ordered against the session's own write.
+
+Any gate failing produces a ``stale`` reply and the session falls back
+to the submit path (:class:`~repro.serving.messages.KvReadCommand`),
+which buys a definite linearization point at the command's total-order
+position for the cost of a full ordering round.
+
+Freshness fine print: gates 1–3 make reads session-monotonic and
+read-your-writes unconditionally.  Real-time freshness against *other*
+sessions' writes comes from the write side: serving sessions complete
+writes only at **full replication** (every live member of every
+destination group delivered — see
+:attr:`~repro.client.session.AmcastClientOptions.full_ack`), so any
+read invoked after a completed write lands on a replica that already
+applied it, on any topology.  Crashed members are excused from the
+full-ack quorum by the tracker; a crashed replica is silent and can
+never serve a stale read.  The linearizability checker validates the
+property on every recorded history rather than assuming it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ..apps.bank import Transfer, shard_of
+from ..apps.kvstore import KvCommand, partition_of
+from ..types import AmcastMessage, GroupId, MessageId, ProcessId
+from .messages import KvReadCommand, ReadMsg, ReadReplyMsg
+
+__all__ = [
+    "VersionedStore",
+    "KvServingStore",
+    "BankServingStore",
+    "ServingReplica",
+    "attach_kv_replicas",
+    "attach_bank_replicas",
+]
+
+
+class VersionedStore:
+    """Replicated state with per-key version stamps and an applied index.
+
+    ``index`` counts *every* delivery the hosting member hands to the
+    application — commands for other apps and no-ops included — so it
+    stays in lockstep with the member's ``delivered_count`` (the value
+    SUBMIT_ACK advertises).  Delivery order is identical on every member
+    of a group, so index k names the same state prefix group-wide.
+
+    ``versions[key]`` is the applied index of the last write that
+    touched ``key`` (0: never written): the checkable stamp every read
+    reply carries.
+    """
+
+    def __init__(self, gid: GroupId, num_groups: int) -> None:
+        self.gid = gid
+        self.num_groups = num_groups
+        self.index = 0
+        self.data: Dict[Any, Any] = {}
+        self.versions: Dict[Any, int] = {}
+        self._applied: Dict[MessageId, int] = {}
+
+    def apply(self, m: AmcastMessage) -> None:
+        self.index += 1
+        self._applied[m.mid] = self.index
+        self.apply_command(m)
+
+    def apply_command(self, m: AmcastMessage) -> None:
+        raise NotImplementedError
+
+    def has_applied(self, mid: MessageId) -> bool:
+        return mid in self._applied
+
+    def read(self, key: Any) -> Tuple[Any, int]:
+        """``(value, version)`` for ``key`` (``(None, 0)``: never written)."""
+        return self.data.get(key), self.versions.get(key, 0)
+
+
+class KvServingStore(VersionedStore):
+    """KV partition replica: applies :class:`~repro.apps.kvstore.KvCommand`."""
+
+    def apply_command(self, m: AmcastMessage) -> None:
+        cmd = m.payload
+        if not isinstance(cmd, KvCommand):
+            return  # reads, other apps' commands: no state change
+        for key, value in cmd.items:
+            if partition_of(key, self.num_groups) != self.gid:
+                continue  # another partition's share of the command
+            if cmd.op == "put":
+                self.data[key] = value
+                self.versions[key] = self.index
+            elif cmd.op == "delete":
+                self.data.pop(key, None)
+                self.versions[key] = self.index
+
+
+class BankServingStore(VersionedStore):
+    """Bank shard replica: accounts are keys, balances are values."""
+
+    def __init__(self, gid: GroupId, num_groups: int, opening: Dict[str, int]) -> None:
+        super().__init__(gid, num_groups)
+        self.data = {
+            acct: bal
+            for acct, bal in opening.items()
+            if shard_of(acct, num_groups) == gid
+        }
+
+    def apply_command(self, m: AmcastMessage) -> None:
+        t = m.payload
+        if not isinstance(t, Transfer):
+            return
+        if shard_of(t.src, self.num_groups) == self.gid:
+            self.data[t.src] = self.data.get(t.src, 0) - t.amount
+            self.versions[t.src] = self.index
+        if shard_of(t.dst, self.num_groups) == self.gid:
+            self.data[t.dst] = self.data.get(t.dst, 0) + t.amount
+            self.versions[t.dst] = self.index
+
+    def read(self, key: Any) -> Tuple[Any, int]:
+        return self.data.get(key, 0), self.versions.get(key, 0)
+
+
+class ServingReplica:
+    """Attach a local read path to one group member's protocol process.
+
+    Works on plain and sharded members alike: it installs a ``READ``
+    handler into the process's dispatch table and wraps the bound
+    ``deliver`` so every application delivery is applied to the store
+    *in delivery order* (the wrap applies before the inner call runs, so
+    reconfiguration cascades that deliver recursively keep store order
+    identical to delivery order).
+    """
+
+    def __init__(
+        self, proc: Any, store: VersionedStore, hold_stale: Optional[float] = None
+    ) -> None:
+        self.proc = proc
+        self.store = store
+        self.pid: ProcessId = proc.pid
+        self.gid: GroupId = proc.gid
+        #: Park not-yet-fresh reads for up to this long (the apply stream
+        #: usually covers the watermark within a delivery fan-out), and
+        #: answer the moment the gates pass — no extra messages, no
+        #: fallback.  ``None``: decline immediately (the session falls
+        #: back to the submit path).
+        self.hold_stale = hold_stale
+        #: Reads served locally / declined as stale, for monitors & tests.
+        self.served = 0
+        self.declined = 0
+        #: Parked reads: (sender, msg) pairs awaiting freshness.
+        self._parked: list = []
+        proc._handlers[ReadMsg] = self._on_read
+        inner = proc.deliver
+        def deliver(m: AmcastMessage, _inner=inner) -> None:
+            self._on_deliver(m)
+            _inner(m)
+        proc.deliver = deliver
+
+    # -- delivery stream ----------------------------------------------------
+
+    def _on_deliver(self, m: AmcastMessage) -> None:
+        self.store.apply(m)
+        cmd = m.payload
+        if isinstance(cmd, KvReadCommand) and cmd.responder == self.pid:
+            # A fallback read reaching its total-order position: answer
+            # from the post-command state (the command itself is a no-op).
+            self.proc.send(
+                cmd.reader,
+                ReadReplyMsg(
+                    cmd.rid,
+                    self.gid,
+                    self.store.index,
+                    False,
+                    tuple((k, *self.store.read(k)) for k in cmd.keys),
+                ),
+            )
+        if self._parked:
+            self._drain_parked()
+
+    def _drain_parked(self) -> None:
+        still = []
+        for sender, msg in self._parked:
+            if self._fresh_for(msg):
+                self._serve(sender, msg)
+            else:
+                still.append((sender, msg))
+        self._parked = still
+
+    # -- local read path ----------------------------------------------------
+
+    def _merge_idle(self) -> bool:
+        backlog = getattr(self.proc, "merged_backlog", None)
+        return backlog is None or backlog() == 0
+
+    def _fresh_for(self, msg: ReadMsg) -> bool:
+        if self.store.index < msg.min_index:
+            return False
+        if not self._merge_idle():
+            return False
+        for _key, mid in msg.fences:
+            if not self.store.has_applied(mid):
+                return False
+        return True
+
+    def _on_read(self, sender: ProcessId, msg: ReadMsg) -> None:
+        if self._fresh_for(msg):
+            self._serve(sender, msg)
+            return
+        if self.hold_stale is not None:
+            # Park: the covering deliveries are usually already in flight
+            # (the session's watermark came from an ack the leader sent in
+            # the same fan-out step), so the read becomes servable within
+            # a delivery hop at zero message cost.  The timer catches the
+            # exception — a partitioned/halted apply stream — by falling
+            # back to the stale decline.
+            entry = (sender, msg)
+            self._parked.append(entry)
+            self.proc.runtime.set_timer(
+                self.hold_stale, lambda e=entry: self._expire_parked(e)
+            )
+            return
+        self._decline(sender, msg)
+
+    def _serve(self, sender: ProcessId, msg: ReadMsg) -> None:
+        self.served += 1
+        items = tuple((k, *self.store.read(k)) for k in msg.keys)
+        self.proc.send(
+            sender, ReadReplyMsg(msg.rid, self.gid, self.store.index, False, items)
+        )
+
+    def _decline(self, sender: ProcessId, msg: ReadMsg) -> None:
+        self.declined += 1
+        self.proc.send(
+            sender, ReadReplyMsg(msg.rid, self.gid, self.store.index, True, ())
+        )
+
+    def _expire_parked(self, entry) -> None:
+        try:
+            self._parked.remove(entry)
+        except ValueError:
+            return  # already served by a delivery
+        self._decline(*entry)
+
+
+def attach_kv_replicas(
+    processes: Dict[ProcessId, Any],
+    num_groups: int,
+    hold_stale: Optional[float] = None,
+) -> Dict[ProcessId, ServingReplica]:
+    """Attach a KV serving replica to every member process."""
+    return {
+        pid: ServingReplica(proc, KvServingStore(proc.gid, num_groups), hold_stale)
+        for pid, proc in processes.items()
+    }
+
+
+def attach_bank_replicas(
+    processes: Dict[ProcessId, Any],
+    num_groups: int,
+    opening: Dict[str, int],
+    hold_stale: Optional[float] = None,
+) -> Dict[ProcessId, ServingReplica]:
+    """Attach a bank serving replica to every member process."""
+    return {
+        pid: ServingReplica(
+            proc, BankServingStore(proc.gid, num_groups, opening), hold_stale
+        )
+        for pid, proc in processes.items()
+    }

@@ -1,0 +1,307 @@
+"""The client side of the serving layer: sessions with a read API.
+
+A :class:`ServingSession` extends :class:`~repro.client.session.AmcastClient`
+with ``read(keys)``: it asks one replica of the keys' group to answer
+locally (``READ``), picking a site-local replica when the cluster config
+carries a site placement policy, and falls back to the submit path —
+a :class:`~repro.serving.messages.KvReadCommand` multicast, answered at
+its total-order position — whenever the replica declines as stale or
+the reply times out (crashed replica).
+
+Consistency bookkeeping lives here:
+
+* ``watermarks[gid]`` — the session's ``min_index`` token per group,
+  grown by every SUBMIT_ACK and read reply.  Reads demand the serving
+  replica has applied at least that much, which makes the session's
+  reads monotonic across replica switches.
+* ``_fence_pending[key]`` — completed writes to ``key`` not yet
+  confirmed applied by any read.  A read snapshots them at invocation
+  (read-your-writes only covers writes completed before the read
+  began); a successful reply confirms the snapshot — the local path
+  verified the mids directly, the fallback path is ordered after them —
+  and the confirmed mids are pruned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from ..apps.kvstore import KvCommand, partition_of
+from ..client.session import AmcastClient, AmcastClientOptions
+from ..config import ClusterConfig
+from ..runtime import Runtime, TimerHandle
+from ..types import GroupId, MessageId, ProcessId
+from .messages import KvReadCommand, ReadMsg, ReadReplyMsg
+
+__all__ = ["ReadHandle", "ServingSession"]
+
+
+@dataclass
+class ReadHandle:
+    """One read's lifecycle: local attempt, possible fallback, reply.
+
+    ``path`` records how the read was ultimately answered: ``"local"``
+    (read-at-watermark, zero ordering traffic) or ``"submit"`` (fallback
+    through the ordering layer).  ``index`` is the answering replica's
+    applied delivery index — the read's linearization coordinate in the
+    group's delivery order.  ``items`` holds ``(key, value, version)``
+    triples.
+    """
+
+    rid: int
+    keys: Tuple[Any, ...]
+    gid: GroupId
+    invoked_at: float
+    min_index: int = 0
+    fences: Tuple[Tuple[Any, MessageId], ...] = ()
+    replica: Optional[ProcessId] = None
+    completed_at: Optional[float] = None
+    path: str = "local"
+    index: Optional[int] = None
+    items: Tuple[Tuple[Any, Any, int], ...] = ()
+    stale_declines: int = 0
+    fallback_attempts: int = 0
+    _done_callbacks: List[Callable[["ReadHandle"], None]] = field(default_factory=list)
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at is not None
+
+    def value(self, key: Any) -> Any:
+        for k, v, _ver in self.items:
+            if k == key:
+                return v
+        return None
+
+    def version(self, key: Any) -> int:
+        for k, _v, ver in self.items:
+            if k == key:
+                return ver
+        return 0
+
+    def on_complete(self, fn: Callable[["ReadHandle"], None]) -> None:
+        if self.done:
+            fn(self)
+        else:
+            self._done_callbacks.append(fn)
+
+
+class ServingSession(AmcastClient):
+    """An :class:`AmcastClient` that also reads.
+
+    ``read_timeout`` arms a fallback timer per read (``None``: wait
+    forever — only safe against replicas known alive).  A timed-out
+    local replica is remembered in ``_avoid`` and future reads pick a
+    different one, so one crash costs one timeout, not one per read.
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        config: ClusterConfig,
+        runtime: Runtime,
+        protocol_cls,
+        tracker,
+        options: Optional[AmcastClientOptions] = None,
+        read_timeout: Optional[float] = None,
+        prefer_local: bool = True,
+    ) -> None:
+        from dataclasses import replace as _replace
+
+        # Serving sessions ack writes at full replication, uncondition-
+        # ally: it is the write-side half of the linearizability argument
+        # (see AmcastClientOptions.full_ack).
+        options = _replace(options or AmcastClientOptions(), full_ack=True)
+        super().__init__(pid, config, runtime, protocol_cls, tracker, options)
+        self.read_timeout = read_timeout
+        #: ``False`` routes every read through the submit path — the
+        #: control arm of the read-at-watermark benchmarks.
+        self.prefer_local = prefer_local
+        self._read_seq = 0
+        self._reads: Dict[int, ReadHandle] = {}
+        #: Every read this session ever issued, in invocation order —
+        #: the raw material of the linearizability checker.
+        self.reads: List[ReadHandle] = []
+        self._read_timers: Dict[int, TimerHandle] = {}
+        self._fence_pending: Dict[Any, Set[MessageId]] = {}
+        self._avoid: Set[ProcessId] = set()
+        self._handlers[ReadReplyMsg] = self._on_read_reply
+
+    # -- write API ----------------------------------------------------------
+
+    def write(self, dests, payload, keys: Iterable[Any] = (), size=None):
+        """Submit a write, registering read-your-writes fences for ``keys``.
+
+        The fence registers at *completion* (a read never fences an
+        in-flight write: until completion the write is concurrent with
+        any read, which may legally miss it).
+        """
+        handle = self.submit(dests, payload, size)
+        keys = tuple(keys)
+        if keys:
+            def _register(h, ks=keys):
+                for k in ks:
+                    self._fence_pending.setdefault(k, set()).add(h.mid)
+            handle.on_complete(_register)
+        return handle
+
+    def put(self, key: Any, value: Any):
+        """KV convenience: single-key put to the key's partition."""
+        gid = partition_of(key, self.config.num_groups)
+        return self.write(
+            frozenset((gid,)), KvCommand("put", ((key, value),)), keys=(key,)
+        )
+
+    # -- read API -----------------------------------------------------------
+
+    def read(self, keys: Iterable[Any], gid: Optional[GroupId] = None) -> ReadHandle:
+        """Read ``keys`` (all in one group); returns a :class:`ReadHandle`.
+
+        ``gid`` defaults to the keys' KV partition; apps with their own
+        sharding function (e.g. the bank) pass the group explicitly.
+        """
+        keys = tuple(keys)
+        if not keys:
+            raise ValueError("read() needs at least one key")
+        if gid is None:
+            gids = {partition_of(k, self.config.num_groups) for k in keys}
+            if len(gids) != 1:
+                raise ValueError(
+                    "cross-partition reads are not atomic; read one group at a time"
+                )
+            (gid,) = gids
+        self._read_seq += 1
+        handle = ReadHandle(
+            rid=self._read_seq,
+            keys=keys,
+            gid=gid,
+            invoked_at=self.now(),
+            min_index=self.watermarks.get(gid, 0),
+            fences=self._snapshot_fences(keys),
+        )
+        self._reads[handle.rid] = handle
+        self.reads.append(handle)
+        if self.prefer_local:
+            self._send_local(handle)
+        else:
+            self._submit_fallback(handle)
+        return handle
+
+    def get(self, key: Any) -> ReadHandle:
+        return self.read((key,))
+
+    # -- read plumbing ------------------------------------------------------
+
+    def _snapshot_fences(self, keys) -> Tuple[Tuple[Any, MessageId], ...]:
+        return tuple(
+            (k, mid)
+            for k in keys
+            for mid in sorted(self._fence_pending.get(k, ()))
+        )
+
+    def _pick_replica(self, gid: GroupId) -> ProcessId:
+        members = self.config.members(gid)
+        p = getattr(self.config, "placement", None)
+        if p is not None and p.mode == "site":
+            site = p.site_of(self.pid)
+            if site is not None:
+                local = [m for m in members if p.site_of(m) == site]
+                if local:
+                    members = local
+        live = [m for m in members if m not in self._avoid]
+        if live:
+            members = live
+        return members[self.pid % len(members)]
+
+    def _send_local(self, handle: ReadHandle) -> None:
+        replica = self._pick_replica(handle.gid)
+        handle.replica = replica
+        self.send(
+            replica,
+            ReadMsg(handle.rid, handle.gid, handle.keys, handle.min_index, handle.fences),
+        )
+        self._arm_read_timer(handle)
+
+    def _submit_fallback(self, handle: ReadHandle) -> None:
+        self._cancel_read_timer(handle.rid)
+        handle.path = "submit"
+        members = self.config.members(handle.gid)
+        responder = members[(handle.rid + handle.fallback_attempts) % len(members)]
+        handle.replica = responder
+        self.submit(
+            frozenset((handle.gid,)),
+            KvReadCommand(handle.keys, handle.rid, self.pid, responder),
+        )
+        self._arm_read_timer(handle)
+
+    def _arm_read_timer(self, handle: ReadHandle) -> None:
+        if self.read_timeout is None:
+            return
+        self._read_timers[handle.rid] = self.runtime.set_timer(
+            self.read_timeout, lambda h=handle: self._on_read_timeout(h)
+        )
+
+    def _cancel_read_timer(self, rid: int) -> None:
+        timer = self._read_timers.pop(rid, None)
+        if timer is not None:
+            timer.cancel()
+
+    def _on_read_timeout(self, handle: ReadHandle) -> None:
+        if handle.done:
+            return
+        if handle.path == "local":
+            # The replica neither served nor declined: suspect it and
+            # route this session's future reads elsewhere.
+            if handle.replica is not None:
+                self._avoid.add(handle.replica)
+            self._submit_fallback(handle)
+        else:
+            # Fallback responder silent (crashed after admission?): re-
+            # submit the read command with the next responder in rotation.
+            # Duplicate commands are no-ops; duplicate replies lose by rid.
+            handle.fallback_attempts += 1
+            self._submit_fallback(handle)
+
+    def _on_read_reply(self, sender: ProcessId, msg: ReadReplyMsg) -> None:
+        if msg.index > self.watermarks.get(msg.gid, 0):
+            self.watermarks[msg.gid] = msg.index
+        handle = self._reads.get(msg.rid)
+        if handle is None or handle.done:
+            return  # duplicate or late reply: the first one won
+        if msg.stale:
+            handle.stale_declines += 1
+            if handle.path == "local":
+                self._submit_fallback(handle)
+            return  # a straggling stale reply never re-drives a fallback
+        self._cancel_read_timer(msg.rid)
+        self._reads.pop(msg.rid, None)
+        handle.completed_at = self.now()
+        handle.index = msg.index
+        handle.items = msg.items
+        handle.replica = sender
+        # The reply confirms every fenced write applied (local path:
+        # checked mid by mid; fallback: ordered after their completions),
+        # and the watermark token now pins that prefix for future reads.
+        for k, mid in handle.fences:
+            pend = self._fence_pending.get(k)
+            if pend is not None:
+                pend.discard(mid)
+                if not pend:
+                    del self._fence_pending[k]
+        callbacks, handle._done_callbacks = handle._done_callbacks, []
+        for fn in callbacks:
+            fn(handle)
+        self._after_read(handle)
+
+    def _after_read(self, handle: ReadHandle) -> None:
+        """Hook for workload subclasses (closed-loop refill etc.)."""

@@ -27,6 +27,15 @@ class DeliveryTracker:
         self.partial_time: Dict[MessageId, float] = {}
         self.first_group_delivery: Dict[Tuple[MessageId, GroupId], float] = {}
         self._waiters: Dict[MessageId, List[Callable[[MessageId, float], None]]] = {}
+        # Full-replication tracking (opt-in per message): every member of
+        # every destination group has delivered.  The serving layer acks
+        # writes at this point, which is what makes its local reads
+        # linearizable — a write another session saw complete is already
+        # applied at whatever replica a later read lands on.
+        self.full_time: Dict[MessageId, float] = {}
+        self._full_pending: Dict[MessageId, Set[ProcessId]] = {}
+        self._full_waiters: Dict[MessageId, List[Callable[[MessageId, float], None]]] = {}
+        self._crashed: Set[ProcessId] = set()
         # Members beyond the build-time config (dynamic joins): the tracker
         # must attribute their deliveries to the right group.
         self._extra_members: Dict[ProcessId, GroupId] = {}
@@ -34,6 +43,23 @@ class DeliveryTracker:
     def note_member(self, pid: ProcessId, gid: GroupId) -> None:
         """Register a dynamically joined member's group attribution."""
         self._extra_members[pid] = gid
+
+    def note_crashed(self, pid: ProcessId, t: Optional[float] = None) -> None:
+        """Stop waiting on ``pid`` for full replication.
+
+        A crash-stopped member will never deliver again; full-replication
+        acks mean "applied by every *live* member".  (The crashed replica
+        can never serve a read either — it is silent — so excusing it
+        keeps the read-freshness argument intact.)
+        """
+        self._crashed.add(pid)
+        if t is None:
+            t = self.sim.now if self.sim is not None else 0.0
+        for mid in list(self._full_pending):
+            pending = self._full_pending[mid]
+            pending.discard(pid)
+            if not pending:
+                self._resolve_full(mid, t)
 
     # -- registration -------------------------------------------------------
 
@@ -49,6 +75,44 @@ class DeliveryTracker:
         self.groups_pending.setdefault(m.mid, set(m.dests))
         if callback is not None:
             self._waiters.setdefault(m.mid, []).append(callback)
+
+    def expect_full(
+        self,
+        m: AmcastMessage,
+        callback: Optional[Callable[[MessageId, float], None]] = None,
+    ) -> None:
+        """Track ``m`` to full replication (opt-in: costs a member set).
+
+        Members registered via :meth:`note_member` after the call and
+        members already noted crashed are excluded.
+        """
+        if m.mid not in self.full_time and m.mid not in self._full_pending:
+            members = {
+                pid
+                for gid in m.dests
+                for pid in self.config.members(gid)
+                if pid not in self._crashed
+            }
+            members.update(
+                pid
+                for pid, gid in self._extra_members.items()
+                if gid in m.dests and pid not in self._crashed
+            )
+            self._full_pending[m.mid] = members
+        if callback is not None:
+            if m.mid in self.full_time:
+                callback(m.mid, self.full_time[m.mid])
+            else:
+                self._full_waiters.setdefault(m.mid, []).append(callback)
+
+    def _resolve_full(self, mid: MessageId, t: float) -> None:
+        del self._full_pending[mid]
+        self.full_time[mid] = t
+        for callback in self._full_waiters.pop(mid, []):
+            if self.sim is not None:
+                self.sim.schedule(0.0, lambda cb=callback, m=mid, tt=t: cb(m, tt))
+            else:
+                callback(mid, t)
 
     # -- trace hooks -----------------------------------------------------------
 
@@ -80,6 +144,11 @@ class DeliveryTracker:
                     self.sim.schedule(0.0, lambda cb=callback, mid=m.mid, tt=t: cb(mid, tt))
                 else:
                     callback(m.mid, t)
+        full = self._full_pending.get(m.mid)
+        if full is not None:
+            full.discard(pid)
+            if not full:
+                self._resolve_full(m.mid, t)
 
     # -- results ----------------------------------------------------------------
 

@@ -88,6 +88,7 @@ from repro.reconfig.messages import (
     JoinRequestMsg,
     JoinStateMsg,
 )
+from repro.serving.messages import ReadMsg, ReadReplyMsg
 from repro.types import AmcastMessage, Ballot, Timestamp
 
 M1 = AmcastMessage(mid=(7, 0), dests=frozenset({0, 1}), payload=None, size=20)
@@ -123,6 +124,10 @@ SAMPLES = [
     SubmitAckMsg(1, 4, (), 2, (3 << 32) | 7),
     SubmitRedirectMsg(0, 2, ((7, 0),), 1),
     SubmitRedirectMsg(1, 5, ((3, 9),), 0, 1 << 32),
+    ReadMsg(1, 0, ("k0001",)),
+    ReadMsg(9, 1, ("k0001", "k0002"), 12, (("k0001", (7, 3)),)),
+    ReadReplyMsg(1, 0, 42, False, (("k0001", (8, 5), 7), ("k0002", None, 0))),
+    ReadReplyMsg(9, 1, 3, True),
     AcceptMsg(M1, 0, BAL, TS, 0),
     AcceptMsg(M2, 1, BAL2, TS2, 4),
     AcceptAckMsg((7, 0), 0, VEC),
