@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List
 
 from ..config import ClusterConfig
+from ..conflict import ConflictSpec
 from ..protocols import WbCastProcess
 from ..protocols.base import MulticastMsg
 from ..sim import ConstantDelay, Simulator, Trace
@@ -32,6 +33,21 @@ class Transfer:
     src: str
     dst: str
     amount: int
+
+
+def _transfer_keys(payload: Any):
+    if isinstance(payload, Transfer):
+        return (payload.src, payload.dst)
+    keys = getattr(payload, "keys", None)  # serving fallback balance reads
+    if keys is not None and not callable(keys):
+        return list(keys)
+    return None
+
+
+#: Conflict declaration of the bank: transfers conflict iff they share an
+#: account.  Transfers over disjoint account pairs commute — balances are
+#: independent — so ``conflict="keys"`` may deliver them at stability.
+BANK_CONFLICT = ConflictSpec("bank", _transfer_keys)
 
 
 def shard_of(account: str, num_groups: int) -> GroupId:
@@ -114,7 +130,13 @@ class BankCluster:
             {shard_of(src, self.config.num_groups), shard_of(dst, self.config.num_groups)}
         )
         self._seq += 1
-        m = make_message(self.client_pid, self._seq, dests, payload=t)
+        m = make_message(
+            self.client_pid,
+            self._seq,
+            dests,
+            payload=t,
+            footprint=BANK_CONFLICT.footprint(t),
+        )
         self.sim.record_multicast(self.client_pid, m)
         msg = MulticastMsg(m)
         for gid in sorted(dests):

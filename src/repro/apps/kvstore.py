@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Tuple
 
 from ..config import ClusterConfig
+from ..conflict import ConflictSpec
 from ..protocols import WbCastProcess
 from ..protocols.base import MulticastMsg
 from ..sim import ConstantDelay, Simulator, Trace
@@ -35,6 +36,24 @@ class KvCommand:
 
     op: str
     items: Tuple[Tuple[str, Any], ...]
+
+
+def _kv_keys(payload: Any):
+    """Keys a KV payload touches (``None``: unknown — fences)."""
+    if isinstance(payload, KvCommand):
+        return [key for key, _ in payload.items]
+    # Fallback reads (serving KvReadCommand) read their requested keys.
+    keys = getattr(payload, "keys", None)
+    if keys is not None and not callable(keys):
+        return list(keys)
+    return None
+
+
+#: Conflict declaration of the KV store: commands conflict iff they touch
+#: a common key.  Disjoint-key puts commute — the dominant case under
+#: uniform or Zipf-tail traffic — which is what ``conflict="keys"``
+#: delivery exploits.
+KV_CONFLICT = ConflictSpec("kv", _kv_keys)
 
 
 def partition_of(key: str, num_groups: int) -> GroupId:
@@ -130,7 +149,13 @@ class KvStoreCluster:
             partition_of(key, self.config.num_groups) for key, _ in cmd.items
         )
         self._seq += 1
-        m = make_message(self.client_pid, self._seq, dests, payload=cmd)
+        m = make_message(
+            self.client_pid,
+            self._seq,
+            dests,
+            payload=cmd,
+            footprint=KV_CONFLICT.footprint(cmd),
+        )
         self.sim.record_multicast(self.client_pid, m)
         msg = MulticastMsg(m)
         for gid in sorted(dests):

@@ -14,10 +14,16 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from ..config import ClusterConfig
+from ..conflict import ConflictSpec
 from ..protocols import WbCastProcess
 from ..protocols.base import MulticastMsg
 from ..sim import ConstantDelay, Simulator, Trace
 from ..types import AmcastMessage, ProcessId, make_message
+
+#: Conflict declaration of the log: every append touches the single log
+#: key, so all entries conflict and ``conflict="keys"`` degenerates to
+#: the total order — an append-only log has no commuting pairs to exploit.
+LOG_CONFLICT = ConflictSpec("log", lambda payload: ("__log__",))
 
 
 class _LogReplica:
@@ -61,7 +67,13 @@ class ReplicatedLog:
     def append(self, entry: Any) -> AmcastMessage:
         """Submit an entry for total-order append."""
         self._seq += 1
-        m = make_message(self.client_pid, self._seq, {0}, payload=entry)
+        m = make_message(
+            self.client_pid,
+            self._seq,
+            {0},
+            payload=entry,
+            footprint=LOG_CONFLICT.footprint(entry),
+        )
         self.sim.record_multicast(self.client_pid, m)
         self.sim.schedule(
             0.0,

@@ -61,6 +61,9 @@ class BatchingPoint:
     #: Lane/leader placement policy: "flat" (topology-blind deal) or
     #: "site" (site-affine deal + tree overlay + geo-spread clients).
     placement: str = "flat"
+    #: Delivery ordering granularity this cell ran under ("total" or
+    #: "keys"; non-WbCast protocols always record "total").
+    conflict: str = "total"
     #: SUBMIT_ACK-driven latency split: launch→acked and acked→delivered.
     mean_ack_latency: float = float("nan")
     mean_post_ack_latency: float = float("nan")
@@ -113,6 +116,15 @@ class BatchingSweepConfig:
     #: the delay matrix (:func:`repro.placement.lane_timings`) so the
     #: adaptive mode cannot flush far below what the network can carry.
     min_linger: float = 0.0
+    #: Delivery ordering granularity: "total" (the paper) or "keys"
+    #: (conflict-aware delivery — commuting disjoint-key messages skip
+    #: the cross-lane merge wait).  Only WbCast has the conflict layer;
+    #: other protocols in the grid keep running total so the rows stay
+    #: comparable.
+    conflict: str = "total"
+    #: Key-universe size for the synthetic single-key footprints clients
+    #: stamp in keys mode (unfootprinted messages would all be fences).
+    key_universe: int = 64
 
 
 def default_sweep() -> BatchingSweepConfig:
@@ -227,6 +239,9 @@ def run_point(
         )
     else:
         topology = lambda config: lan_testbed(config, jitter=sweep.network_jitter)  # noqa: E731
+    # Only WbCast carries the conflict-relation layer; other protocols in
+    # the grid silently keep the total order so their rows stay comparable.
+    conflict = sweep.conflict if protocol == "wbcast" else "total"
     point = sweep_run_point(
         PROTOCOLS[protocol],
         topology,
@@ -244,6 +259,8 @@ def run_point(
             shards_per_group=shards,
             protocol_options=protocol_options,
             config_hook=config_hook,
+            conflict=conflict,
+            key_universe=sweep.key_universe,
         ),
         dest_k=sweep.dest_k,
         clients=clients,
@@ -260,6 +277,7 @@ def run_point(
         completed=point.completed,
         shards=shards,
         placement=placement,
+        conflict=conflict,
         mean_ack_latency=point.mean_ack_latency,
         mean_post_ack_latency=point.mean_post_ack_latency,
     )
@@ -367,6 +385,8 @@ def peak_speedup(
 
 def batching_table(points: List[BatchingPoint], topology: str = "lan") -> str:
     testbed = "Fig. 8 WAN" if topology == "wan" else "Fig. 7 LAN"
+    if any(p.conflict == "keys" for p in points):
+        testbed += ", conflict=keys"
     rows = [
         (
             p.protocol,
@@ -559,6 +579,23 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         "three-data-centre WAN (sharded WAN grid)",
     )
     parser.add_argument(
+        "--conflict",
+        choices=("total", "keys"),
+        default="total",
+        help="delivery ordering granularity: total (the paper's atomic "
+        "multicast, default) or keys (conflict-aware delivery — commuting "
+        "disjoint-key messages skip the cross-lane merge wait; WbCast "
+        "only, other protocols in the grid keep running total)",
+    )
+    parser.add_argument(
+        "--key-universe",
+        type=int,
+        default=None,
+        metavar="N",
+        help="key universe for the synthetic single-key footprints "
+        "clients stamp in keys mode (default: 64)",
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
         help="CI smoke grid (per-message vs one batched point)",
@@ -589,6 +626,10 @@ def sweep_from_args(args: argparse.Namespace) -> BatchingSweepConfig:
         sweep = replace(sweep, placements=("flat", "site"))
     else:
         sweep = replace(sweep, placements=(getattr(args, "placement", "flat"),))
+    if getattr(args, "conflict", "total") != "total":
+        sweep = replace(sweep, conflict=args.conflict)
+    if getattr(args, "key_universe", None) is not None:
+        sweep = replace(sweep, key_universe=max(1, args.key_universe))
     if args.topology != "lan":
         # WAN: one-way delays are ~1000x LAN, so the linger window that
         # lets batches fill scales with them (0.5 ms would be invisible

@@ -78,6 +78,9 @@ class ServingPoint:
     p95_read_ms: float
     checks_ok: bool
     linearizable: bool
+    #: Delivery ordering granularity this cell ran under ("total" or
+    #: "keys"; the net smoke cell always runs total).
+    conflict: str = "total"
 
 
 @dataclass
@@ -103,6 +106,11 @@ class ServingSweepConfig:
     net_sessions: int = 2
     net_ops: int = 40
     seed: int = 42
+    #: Delivery ordering granularity for the sim grid: "total" (the
+    #: paper) or "keys" (conflict-aware delivery — single-key reads gate
+    #: on their key's conflict domain instead of the global watermark).
+    #: The net smoke cell always runs total.
+    conflict: str = "total"
 
 
 def default_sweep() -> ServingSweepConfig:
@@ -151,6 +159,7 @@ def _serving_config(sweep: ServingSweepConfig):
         sweep.group_size,
         sweep.sessions,
         shards_per_group=sweep.shards_per_group,
+        conflict=sweep.conflict,
     )
     sites = wan_site_map(config, spread_clients=True)
     config = dataclasses.replace(
@@ -226,6 +235,7 @@ def run_sim_point(
         p95_read_ms=summary.p95 * 1000 if summary else float("nan"),
         checks_ok=all(c.ok for c in checks),
         linearizable=all(c.ok for c in lin),
+        conflict=sweep.conflict,
     )
 
 
@@ -242,6 +252,7 @@ def run_crash_point(sweep: ServingSweepConfig) -> Dict[str, Any]:
         sweep.group_size,
         sweep.sessions,
         shards_per_group=max(2, sweep.shards_per_group),
+        conflict=sweep.conflict,
     )
     victim = config.lane_leader(0, 0)
     result = run_serving_workload(
@@ -421,7 +432,12 @@ def serving_table(points: List[ServingPoint]) -> str:
             "checks",
         ],
         rows,
-        title="Serving sweep — read-at-watermark vs submit-path reads",
+        title="Serving sweep — read-at-watermark vs submit-path reads"
+        + (
+            " (conflict=keys)"
+            if any(p.conflict == "keys" for p in points)
+            else ""
+        ),
     )
 
 
@@ -515,6 +531,7 @@ def json_payload(
             "tenant_counts": list(sweep.tenant_counts),
             "tenant_cap": TENANT_CAP,
             "seed": sweep.seed,
+            "conflict": sweep.conflict,
         },
         "points": [
             {k: clean(v) for k, v in asdict(p).items()} for p in points
@@ -622,6 +639,15 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         help="also write the machine-readable BENCH_serving.json to FILE",
     )
     parser.add_argument(
+        "--conflict",
+        choices=("total", "keys"),
+        default="total",
+        help="delivery ordering granularity for the sim grid: total (the "
+        "paper, default) or keys (conflict-aware delivery — single-key "
+        "reads gate on their key's conflict domain; the net smoke cell "
+        "always runs total)",
+    )
+    parser.add_argument(
         "--seed",
         type=int,
         default=None,
@@ -646,6 +672,7 @@ def sweep_from_args(args: argparse.Namespace) -> ServingSweepConfig:
         tenant_counts=tenants,
         runtime=args.runtime,
         compare_submit=not args.no_compare,
+        conflict=getattr(args, "conflict", "total"),
     )
     if args.sessions is not None:
         sweep = replace(

@@ -72,6 +72,14 @@ class SweepConfig:
     #: Post-build hook on the cluster config (e.g. attaching a placement
     #: policy whose site map must match the topology factory's).
     config_hook: Optional[Callable[[ClusterConfig], ClusterConfig]] = None
+    #: Delivery ordering granularity: "total" (the paper) or "keys"
+    #: (conflict-aware delivery — commuting messages skip the cross-lane
+    #: merge wait; wbcast only).
+    conflict: str = "total"
+    #: With conflict="keys": clients stamp each submission with one key
+    #: drawn uniformly from a universe of this size (0: no footprints —
+    #: every message is a fence and keys mode degenerates to total).
+    key_universe: int = 0
 
 
 def full_sweep_enabled() -> bool:
@@ -171,6 +179,7 @@ def run_point(
         sweep.group_size,
         clients,
         shards_per_group=sweep.shards_per_group,
+        conflict=sweep.conflict,
     )
     if sweep.config_hook is not None:
         config = sweep.config_hook(config)
@@ -189,6 +198,7 @@ def run_point(
             num_messages=sweep.messages_per_client,
             window=sweep.client_window,
             ingress=sweep.ingress,
+            key_universe=sweep.key_universe if sweep.conflict == "keys" else 0,
         ),
         batching=sweep.batching,
         record_sends=False,

@@ -20,6 +20,12 @@ from .properties import (
     check_termination,
     check_validity,
 )
+from .conflict_order import (
+    check_conflict_ordering,
+    check_domain_agreement,
+    conflict_witness_order,
+    domain_sequence,
+)
 from .genuineness import GenuinenessMonitor, extract_mids
 from .invariants import WbCastInvariantMonitor
 from .linearizability import (
@@ -43,6 +49,8 @@ __all__ = [
     "WriteRecord",
     "assert_linearizable",
     "check_all",
+    "check_conflict_ordering",
+    "check_domain_agreement",
     "check_integrity",
     "check_linearizability",
     "check_ordering",
@@ -52,6 +60,8 @@ __all__ = [
     "check_session_monotonic",
     "check_termination",
     "check_validity",
+    "conflict_witness_order",
+    "domain_sequence",
     "extract_mids",
     "serving_records",
 ]

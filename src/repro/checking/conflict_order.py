@@ -1,0 +1,182 @@
+"""Partial-order checking for conflict-aware (``conflict="keys"``) runs.
+
+Under keys-mode delivery the Ordering property weakens from "a total
+order every process follows" to "a partial order covering every pair of
+*conflicting* messages" — two messages conflict iff their conflict-domain
+footprints intersect (a message with no footprint is a fence and
+conflicts with everything).  Commuting (disjoint-domain) messages may be
+delivered in different relative orders at different processes; that is
+the whole point of the mode, not a violation.
+
+The checks here generalize :mod:`repro.checking.total_order` /
+``check_ordering``:
+
+* :func:`check_conflict_ordering` — the union of every process's
+  *conflicting-pair* order relations is acyclic, i.e. a partial-order
+  witness exists.  Edges are generated sparsely (per-domain last-writer
+  chains plus a fence chain), which preserves reachability over the full
+  conflicting-pair relation without materializing O(n²) pairs.
+* :func:`conflict_witness_order` — builds an explicit witness (a total
+  order linearizing the partial order, ties broken by message id).
+* :func:`check_domain_agreement` — per (group, domain) diagnostic: all
+  pairs of messages touching one domain conflict pairwise, so every
+  member's subsequence of deliveries touching that domain must agree
+  prefix-wise.  A failure here names the domain whose stream diverged.
+* :func:`domain_sequence` — the group's per-domain delivery subsequence
+  (longest member view), the replay coordinate system the keys-mode
+  linearizability checks are expressed in.
+"""
+
+from __future__ import annotations
+
+from graphlib import CycleError, TopologicalSorter
+from typing import Dict, List, Optional, Set
+
+from ..conflict import footprint_domains
+from ..errors import PropertyViolation
+from ..types import AmcastMessage, GroupId, MessageId
+from .history import History
+from .properties import CheckResult
+
+__all__ = [
+    "conflict_graph",
+    "conflict_witness_order",
+    "check_conflict_ordering",
+    "check_domain_agreement",
+    "domain_sequence",
+]
+
+
+def conflict_graph(history: History) -> Dict[MessageId, Set[MessageId]]:
+    """Sparse precedence graph over conflicting delivered pairs.
+
+    ``graph[b]`` holds direct predecessors of ``b``: conflicting messages
+    some process delivered immediately-before ``b`` in its per-domain (or
+    fence) chain.  Chaining through the last message of each domain and
+    the last fence generates the same reachability as adding an edge for
+    *every* conflicting pair a process ordered, so acyclicity of this
+    graph is equivalent to acyclicity of the full relation.
+    """
+    num_domains = history.config.conflict_domains
+    graph: Dict[MessageId, Set[MessageId]] = {}
+    for pid in history.deliveries:
+        last: Dict[int, MessageId] = {}  # domain -> last delivery touching it
+        last_fence: Optional[MessageId] = None
+        for _t, m in history.deliveries[pid]:
+            preds = graph.setdefault(m.mid, set())
+            domains = footprint_domains(m.footprint, num_domains)
+            if domains is None:
+                # Fence: ordered after every open domain chain and the
+                # previous fence; later messages of any domain chain
+                # through it, so the per-domain tails can be dropped.
+                preds.update(last.values())
+                if last_fence is not None:
+                    preds.add(last_fence)
+                last.clear()
+                last_fence = m.mid
+            else:
+                preds.update(last[d] for d in domains if d in last)
+                if last_fence is not None:
+                    preds.add(last_fence)
+                for d in domains:
+                    last[d] = m.mid
+            preds.discard(m.mid)
+    return graph
+
+
+def conflict_witness_order(history: History) -> List[MessageId]:
+    """A total order linearizing the conflict partial order.
+
+    Raises :class:`PropertyViolation` if conflicting-pair orders are
+    cyclic (no witness exists).  Ties — commuting messages no conflict
+    chain relates — are broken by message id, so the witness is
+    deterministic.
+    """
+    sorter = TopologicalSorter(conflict_graph(history))
+    try:
+        sorter.prepare()
+    except CycleError as exc:
+        raise PropertyViolation(
+            f"no conflict-order witness exists: cycle {exc.args[1:]}"
+        ) from exc
+    result: List[MessageId] = []
+    while sorter.is_active():
+        for mid in sorted(sorter.get_ready()):
+            result.append(mid)
+            sorter.done(mid)
+    return result
+
+
+def check_conflict_ordering(history: History) -> CheckResult:
+    """Acyclicity of the union of conflicting-pair delivery orders."""
+    sorter = TopologicalSorter(conflict_graph(history))
+    try:
+        list(sorter.static_order())
+    except CycleError as exc:
+        cycle = exc.args[1] if len(exc.args) > 1 else "?"
+        return CheckResult(
+            "conflict-ordering",
+            False,
+            [f"conflicting-pair delivery orders are cyclic: {cycle}"],
+        )
+    return CheckResult("conflict-ordering", True, [])
+
+
+def domain_sequence(
+    history: History, gid: GroupId, domain: int
+) -> List[AmcastMessage]:
+    """Group ``gid``'s delivery subsequence touching ``domain``.
+
+    All pairs of messages touching one domain conflict pairwise, so the
+    members' subsequences agree (checked by
+    :func:`check_domain_agreement`); the longest member view is the most
+    complete one — under crashes, survivors extend the crashed member's
+    prefix.
+    """
+    num_domains = history.config.conflict_domains
+    best: List[AmcastMessage] = []
+    for pid in history.config.members(gid):
+        seq = [
+            m
+            for _t, m in history.deliveries.get(pid, [])
+            if _touches(m, domain, num_domains)
+        ]
+        if len(seq) > len(best):
+            best = seq
+    return best
+
+
+def _touches(m: AmcastMessage, domain: int, num_domains: int) -> bool:
+    domains = footprint_domains(m.footprint, num_domains)
+    return domains is None or domain in domains
+
+
+def check_domain_agreement(history: History) -> CheckResult:
+    """Per (group, domain): member subsequences agree prefix-wise.
+
+    Implied by :func:`check_conflict_ordering` (a divergence is a
+    2-cycle), but localizes a failure to the domain whose stream went
+    astray — separating routing bugs from merge/fence bugs — and is the
+    property the keys-mode serving layer's per-domain applied counters
+    stand on.
+    """
+    num_domains = history.config.conflict_domains
+    violations: List[str] = []
+    for gid in history.config.group_ids:
+        per_member = {
+            pid: history.deliveries.get(pid, [])
+            for pid in history.config.members(gid)
+        }
+        for domain in range(num_domains):
+            subsequences = {
+                pid: [m.mid for _t, m in recs if _touches(m, domain, num_domains)]
+                for pid, recs in per_member.items()
+            }
+            longest = max(subsequences.values(), key=len, default=[])
+            for pid, seq in sorted(subsequences.items()):
+                if seq != longest[: len(seq)]:
+                    violations.append(
+                        f"group {gid} domain {domain}: {pid}'s subsequence "
+                        f"is not a prefix of the longest member view"
+                    )
+    return CheckResult("domain-agreement", not violations, violations)

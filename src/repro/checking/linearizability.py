@@ -46,6 +46,10 @@ __all__ = [
     "check_session_monotonic",
     "check_read_your_writes",
     "check_realtime_freshness",
+    "check_read_conformance_keys",
+    "check_session_monotonic_keys",
+    "check_read_your_writes_keys",
+    "check_realtime_freshness_keys",
     "check_linearizability",
     "assert_linearizable",
 ]
@@ -64,6 +68,10 @@ class ReadRecord:
     index: int
     items: Tuple[Tuple[Any, Any, int], ...]
     path: str = "local"
+    #: Keys-mode only: the read's conflict domain; its ``index`` is then
+    #: a per-domain coordinate.  ``None`` in total mode, or when the keys
+    #: span domains (such reads carry index 0 — no usable coordinate).
+    domain: Optional[int] = None
 
     def version(self, key: Any) -> int:
         for k, _v, ver in self.items:
@@ -115,6 +123,7 @@ def serving_records(
                     index=r.index,
                     items=r.items,
                     path=r.path,
+                    domain=getattr(r, "domain", None),
                 )
             )
         for mid, t in s.completed:
@@ -323,15 +332,191 @@ def check_realtime_freshness(
     return CheckResult("realtime-freshness", not violations, violations)
 
 
+# -- keys-mode (conflict-aware) variants ------------------------------------
+#
+# Under ``conflict="keys"`` the group has no single delivery sequence —
+# only per-conflict-domain subsequences agree across members (all pairs
+# within a domain conflict pairwise; see checking.conflict_order).  Read
+# replies are therefore stamped with the keys' *domain* applied counter,
+# and every index comparison below moves to that coordinate system.
+# Reads whose keys span domains carry no coordinate (index 0, ``domain``
+# None): they are answered on the conflict-ordered fallback path and are
+# skipped here — their ordering is covered by check_conflict_ordering.
+
+
+def _keys_store_factory(history: History):
+    from ..serving.replica import KvServingStore
+
+    return lambda gid: KvServingStore(
+        gid, history.config.num_groups, history.config.conflict_domains
+    )
+
+
+def check_read_conformance_keys(
+    history: History,
+    reads: Iterable[ReadRecord],
+    store_factory: Optional[Callable[[GroupId], Any]] = None,
+) -> CheckResult:
+    """Each read's items equal its domain's state at the reply coordinate.
+
+    Ground truth is a replay of the group's domain subsequence: the
+    reply index counts exactly the deliveries touching the read's
+    domain, so replaying the first ``index`` of them reproduces the
+    answering replica's data and version stamps for that domain's keys.
+    """
+    from .conflict_order import domain_sequence
+
+    factory = store_factory or _keys_store_factory(history)
+    violations: List[str] = []
+    by_cell: Dict[Tuple[GroupId, int], List[ReadRecord]] = {}
+    for r in reads:
+        if r.domain is not None:
+            by_cell.setdefault((r.gid, r.domain), []).append(r)
+    for (gid, domain), cell_reads in sorted(by_cell.items()):
+        seq = domain_sequence(history, gid, domain)
+        store = factory(gid)
+        applied = 0
+        for r in sorted(cell_reads, key=lambda r: r.index):
+            if r.index > len(seq):
+                violations.append(
+                    f"read {r.session}/{r.rid}: index {r.index} beyond group "
+                    f"{gid} domain {domain}'s subsequence ({len(seq)} deliveries)"
+                )
+                continue
+            while applied < r.index:
+                store.apply(seq[applied])
+                applied += 1
+            for key, value, version in r.items:
+                want_value, want_version = store.read(key)
+                if value != want_value or version != want_version:
+                    violations.append(
+                        f"read {r.session}/{r.rid} at domain index {r.index}: "
+                        f"{key!r} -> ({value!r}, v{version}), ground truth "
+                        f"({want_value!r}, v{want_version})"
+                    )
+    return CheckResult("read-conformance", not violations, violations)
+
+
+def check_session_monotonic_keys(reads: Iterable[ReadRecord]) -> CheckResult:
+    """Per (session, group, domain): chained reads never go backwards."""
+    violations: List[str] = []
+    by_cell: Dict[Tuple[ProcessId, GroupId, int], List[ReadRecord]] = {}
+    for r in reads:
+        if r.domain is not None:
+            by_cell.setdefault((r.session, r.gid, r.domain), []).append(r)
+    for (session, gid, domain), rs in sorted(by_cell.items()):
+        rs = sorted(rs, key=lambda r: r.invoked_at)
+        for i, r2 in enumerate(rs):
+            for r1 in rs[:i]:
+                if r1.completed_at > r2.invoked_at:
+                    continue  # concurrent: no order obligation
+                if r2.index < r1.index:
+                    violations.append(
+                        f"session {session} group {gid} domain {domain}: read "
+                        f"{r2.rid} (index {r2.index}) invoked after read "
+                        f"{r1.rid} (index {r1.index}) completed, but went backwards"
+                    )
+                for key in set(r1.keys) & set(r2.keys):
+                    if r2.version(key) < r1.version(key):
+                        violations.append(
+                            f"session {session} group {gid}: {key!r} version "
+                            f"regressed {r1.version(key)} -> {r2.version(key)} "
+                            f"between reads {r1.rid} and {r2.rid}"
+                        )
+    return CheckResult("session-monotonic-reads", not violations, violations)
+
+
+def check_read_your_writes_keys(
+    history: History,
+    reads: Iterable[ReadRecord],
+    writes: Iterable[WriteRecord],
+) -> CheckResult:
+    """A session's reads cover its own completed writes, domain-wise."""
+    from ..conflict import domain_of
+    from .conflict_order import domain_sequence
+
+    num_domains = history.config.conflict_domains
+    violations: List[str] = []
+    positions: Dict[Tuple[GroupId, int], Dict[MessageId, int]] = {}
+    by_session: Dict[Tuple[ProcessId, GroupId], List[WriteRecord]] = {}
+    for w in writes:
+        by_session.setdefault((w.session, w.gid), []).append(w)
+    for r in reads:
+        if r.domain is None:
+            continue
+        for w in by_session.get((r.session, r.gid), ()):
+            if w.key not in r.keys or w.completed_at >= r.invoked_at:
+                continue
+            cell = (r.gid, domain_of(w.key, num_domains))
+            pos = positions.setdefault(
+                cell, _positions(domain_sequence(history, *cell))
+            ).get(w.mid)
+            if pos is None:
+                violations.append(
+                    f"session {r.session}: completed write {w.mid} to {w.key!r} "
+                    f"never delivered in group {r.gid}"
+                )
+            elif r.index < pos:
+                violations.append(
+                    f"session {r.session}: read {r.rid} (domain index {r.index}) "
+                    f"invoked after own write {w.mid} to {w.key!r} completed "
+                    f"(domain position {pos}) but does not cover it"
+                )
+    return CheckResult("read-your-writes", not violations, violations)
+
+
+def check_realtime_freshness_keys(
+    history: History,
+    reads: Iterable[ReadRecord],
+    writes: Iterable[WriteRecord],
+) -> CheckResult:
+    """Reads cover every same-domain write completed before invocation."""
+    from ..conflict import domain_of
+    from .conflict_order import domain_sequence
+
+    num_domains = history.config.conflict_domains
+    violations: List[str] = []
+    positions: Dict[Tuple[GroupId, int], Dict[MessageId, int]] = {}
+    by_cell: Dict[Tuple[GroupId, int], List[WriteRecord]] = {}
+    for w in writes:
+        by_cell.setdefault((w.gid, domain_of(w.key, num_domains)), []).append(w)
+    for r in reads:
+        if r.domain is None:
+            continue
+        for w in by_cell.get((r.gid, r.domain), ()):
+            if w.completed_at >= r.invoked_at:
+                continue
+            pos = positions.setdefault(
+                (r.gid, r.domain),
+                _positions(domain_sequence(history, r.gid, r.domain)),
+            ).get(w.mid)
+            if pos is not None and r.index < pos:
+                violations.append(
+                    f"read {r.session}/{r.rid} (domain index {r.index}, group "
+                    f"{r.gid} domain {r.domain}) invoked at {r.invoked_at:.6f} "
+                    f"misses write {w.mid} (domain position {pos}) completed "
+                    f"at {w.completed_at:.6f}"
+                )
+    return CheckResult("realtime-freshness", not violations, violations)
+
+
 def check_linearizability(
     history: History,
     reads: Iterable[ReadRecord],
     writes: Iterable[WriteRecord],
     store_factory: Optional[Callable[[GroupId], Any]] = None,
 ) -> List[CheckResult]:
-    """Run all four read-history checks."""
+    """Run all four read-history checks (keys-mode variants when the
+    history's config declares ``conflict="keys"``)."""
     reads = list(reads)
     writes = list(writes)
+    if history.config.conflict == "keys":
+        return [
+            check_read_conformance_keys(history, reads, store_factory),
+            check_session_monotonic_keys(reads),
+            check_read_your_writes_keys(history, reads, writes),
+            check_realtime_freshness_keys(history, reads, writes),
+        ]
     return [
         check_read_conformance(history, reads, store_factory),
         check_session_monotonic(reads),

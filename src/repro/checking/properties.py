@@ -125,12 +125,25 @@ def check_termination(history: History) -> CheckResult:
 
 
 def check_all(history: History, quiescent: bool = True) -> List[CheckResult]:
-    """Run every applicable check; Termination only for quiescent runs."""
+    """Run every applicable check; Termination only for quiescent runs.
+
+    Under ``conflict="keys"`` the Ordering obligation is the partial
+    order over conflicting pairs, so the total-order acyclicity check is
+    replaced by the conflict-aware pair (commuting messages may legally
+    interleave differently across processes).  Validity, Integrity and
+    Termination are granularity-independent and run unchanged.
+    """
     results = [
         check_validity(history),
         check_integrity(history),
-        check_ordering(history),
     ]
+    if history.config.conflict == "keys":
+        from .conflict_order import check_conflict_ordering, check_domain_agreement
+
+        results.append(check_conflict_ordering(history))
+        results.append(check_domain_agreement(history))
+    else:
+        results.append(check_ordering(history))
     if quiescent:
         results.append(check_termination(history))
     return results

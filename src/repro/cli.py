@@ -66,6 +66,19 @@ def _build_parser() -> argparse.ArgumentParser:
                             "and recovery; 1 keeps the paper's single leader; "
                             "honoured by protocols with sharding support, "
                             "today wbcast)")
+    run_p.add_argument("--conflict", choices=["total", "keys"], default="total",
+                       help="delivery ordering granularity: 'total' is the "
+                            "paper's total order; 'keys' delivers a committed "
+                            "message once no *conflicting* (key-sharing) "
+                            "message can be ordered before it — commuting "
+                            "disjoint-key traffic skips the cross-lane merge "
+                            "wait (wbcast only; checked against the "
+                            "conflict-aware partial-order properties)")
+    run_p.add_argument("--key-universe", type=_positive_int, default=64,
+                       metavar="N",
+                       help="with --conflict keys: submissions declare one "
+                            "key drawn uniformly from N synthetic keys "
+                            "(controls how often messages commute)")
     run_p.add_argument("--clients", type=int, default=2)
     run_p.add_argument("--messages", type=int, default=10)
     run_p.add_argument("--dest-k", type=int, default=2)
@@ -175,6 +188,13 @@ def _build_parser() -> argparse.ArgumentParser:
     from .bench.serving import add_arguments as add_bench_serving_arguments
 
     add_bench_serving_arguments(bs_p)  # one option set for both entry points
+    bc_p = sub.add_parser(
+        "bench-conflict",
+        help="conflict-aware delivery: total vs keys delivery latency "
+             "on the WAN grid (Zipfian disjoint-key workload)")
+    from .bench.conflict import add_arguments as add_bench_conflict_arguments
+
+    add_bench_conflict_arguments(bc_p)  # one option set for both entry points
     return parser
 
 
@@ -243,10 +263,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "(no sharding support); running single-leader groups",
             file=sys.stderr,
         )
-    config = ClusterConfig.build(
-        args.groups, group_size, args.clients, shards_per_group=args.shards
-    )
     reconfig = args.join_at is not None or args.leave_at is not None
+    if args.conflict == "keys":
+        if args.protocol != "wbcast":
+            print(
+                f"error: --conflict keys requires the wbcast protocol "
+                f"(got {args.protocol})",
+                file=sys.stderr,
+            )
+            return 2
+        if reconfig:
+            print(
+                "error: --conflict keys does not support --join-at/--leave-at "
+                "(reconfiguration requires the total order)",
+                file=sys.stderr,
+            )
+            return 2
+    config = ClusterConfig.build(
+        args.groups, group_size, args.clients, shards_per_group=args.shards,
+        conflict=args.conflict,
+    )
     if reconfig and args.protocol != "wbcast":
         print(
             f"error: --join-at/--leave-at require the wbcast protocol "
@@ -277,10 +313,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     ingress = _ingress_options(args)
     client_options = None
-    if ingress is not None:
+    if ingress is not None or args.conflict == "keys":
         from .workload import ClientOptions
 
-        client_options = ClientOptions(num_messages=args.messages, ingress=ingress)
+        client_options = ClientOptions(
+            num_messages=args.messages,
+            ingress=ingress,
+            key_universe=args.key_universe if args.conflict == "keys" else 0,
+        )
     result = run_workload(
         protocol_cls,
         config=config,
@@ -290,6 +330,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         batching=batching,
         client_options=client_options,
+        # High-latency topologies need several probe/watermark round trips
+        # after the last client completion before followers quiesce.
+        drain_grace=max(0.05, 10 * delta),
     )
     print(f"protocol  : {args.protocol}")
     print(f"cluster   : {args.groups} groups x {group_size}, {args.clients} clients")
@@ -297,6 +340,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(
             f"sharding  : {config.shards_per_group} ordering lanes/group "
             f"(lane leaders dealt round-robin over members)"
+        )
+    if config.conflict == "keys":
+        print(
+            f"conflict  : keys ({config.conflict_domains} domains, "
+            f"{args.key_universe}-key universe; commuting messages "
+            f"deliver at stability)"
         )
     _print_ingress(ingress)
     if batching is not None:
@@ -627,6 +676,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .bench import serving
 
         return serving.run_main(args)
+    elif args.command == "bench-conflict":
+        from .bench import conflict
+
+        return conflict.run_main(args)
     return 0
 
 

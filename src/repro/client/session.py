@@ -313,17 +313,28 @@ class AmcastClient(ProtocolProcess):
                 continue
             m = handle.message
             wire = self._wire_single(m)
-            lane = self.config.lane_of(m.mid) if self.shards > 1 else 0
+            lane = self._lane_for(m)
             for g in sorted(handle.required_acks):
                 self.send(self._leader_of(g, lane), wire)
 
     # -- submission --------------------------------------------------------
 
-    def submit(self, dests, payload=None, size: Optional[int] = None) -> SubmitHandle:
+    def submit(
+        self,
+        dests,
+        payload=None,
+        size: Optional[int] = None,
+        footprint=None,
+    ) -> SubmitHandle:
         """Submit a fresh multicast; returns its :class:`SubmitHandle`.
 
         Never blocks: past the backpressure window the submission queues
         locally and launches once a completion frees a slot.
+
+        ``footprint`` is the optional conflict footprint (the keys the
+        payload touches, from the app's :class:`~repro.conflict.
+        ConflictSpec`); ``conflict="keys"`` clusters use it for delivery
+        ordering and lane routing, everything else ignores it.
         """
         seq = self._seq  # dense from 0, so dedup watermarks stay compact
         self._seq += 1
@@ -333,6 +344,7 @@ class AmcastClient(ProtocolProcess):
             dests,
             payload,
             size=self.session_options.payload_size if size is None else size,
+            footprint=footprint,
         )
         handle = SubmitHandle(
             message=m,
@@ -388,7 +400,7 @@ class AmcastClient(ProtocolProcess):
         else:
             self.tracker.expect(m, handle.launched_at, self._on_partial_delivery)
         self.sent.append(m.mid)
-        lane = self.config.lane_of(m.mid) if self.shards > 1 else 0
+        lane = self._lane_for(m)
         for g in sorted(handle.required_acks):
             # Coalescing key: ingress group, refined by ordering lane on
             # sharded clusters so every wire batch lands wholly at one
@@ -420,6 +432,18 @@ class AmcastClient(ProtocolProcess):
         self.send(self._leader_of(gid, lane), wire)
         return None  # no pipelining at the ingress: acks gate via retries
 
+    def _lane_for(self, m: AmcastMessage) -> int:
+        """The ordering lane ``m`` routes to (0 on unsharded clusters).
+
+        Delegates to :meth:`ClusterConfig.lane_for_message` so the session
+        and the leaders agree: mid-hash on ``conflict="total"`` clusters,
+        conflict-domain routing (single-domain messages ride their
+        domain's lane, everything else the fence lane) on ``keys``.
+        """
+        if self.shards <= 1:
+            return 0
+        return self.config.lane_for_message(m)
+
     def _leader_of(self, gid: GroupId, lane: int = 0) -> ProcessId:
         if self.shards > 1:
             return self.lane_leader.get(
@@ -448,7 +472,7 @@ class AmcastClient(ProtocolProcess):
             # still hangs (an ack is not durable — the leader may have
             # died right after sending it), re-target every ingress
             # leader rather than sending nothing this cycle.
-            lane = self.config.lane_of(m.mid) if self.shards > 1 else 0
+            lane = self._lane_for(m)
             groups = sorted(handle.required_acks - handle.acked_groups) or sorted(
                 handle.required_acks
             )

@@ -148,6 +148,22 @@ class ClusterConfig:
             per-group lane leaders, their coordination) stays intra-site.
             ``None`` or ``mode="flat"`` keep every deal byte-identical to
             the placement-less code path.
+        conflict: delivery ordering discipline.  ``"total"`` (the default)
+            is the paper's atomic multicast — every pair of deliveries is
+            ordered, and the whole conflict layer is bypassed so the code
+            paths are byte-identical to the pre-conflict protocols.
+            ``"keys"`` adopts Generic Multicast's partial order: only
+            messages with intersecting conflict footprints (see
+            :mod:`repro.conflict`) need a relative order, so commuting
+            disjoint-key messages are delivered at stability without
+            waiting in the total-order merge.  Keys mode is supported by
+            the wbcast family only and is incompatible with dynamic
+            reconfiguration; messages without a footprint conservatively
+            conflict with everything (they fence).  In sharded keys mode a
+            message's lane is its conflict *domain* (a stable key hash),
+            overriding the mid hash and any site-affine lane restriction —
+            the domain decides the lane, placement only decides who leads
+            it.
     """
 
     groups: Tuple[Tuple[ProcessId, ...], ...]
@@ -159,8 +175,13 @@ class ClusterConfig:
     lane_weights: Tuple[Tuple[ProcessId, int], ...] = ()
     allow_even_groups: bool = False
     placement: Optional[PlacementPolicy] = None
+    conflict: str = "total"
 
     def __post_init__(self) -> None:
+        if self.conflict not in ("total", "keys"):
+            raise ConfigError(
+                f"conflict must be 'total' or 'keys', got {self.conflict!r}"
+            )
         if self.shards_per_group < 1:
             raise ConfigError(
                 f"shards_per_group must be >= 1, got {self.shards_per_group}"
@@ -217,6 +238,7 @@ class ClusterConfig:
         batching: Optional[BatchingOptions] = None,
         shards_per_group: int = 1,
         placement: Optional[PlacementPolicy] = None,
+        conflict: str = "total",
     ) -> "ClusterConfig":
         """Build the canonical dense-ids layout used throughout the repo."""
         if group_size % 2 == 0 or group_size < 1:
@@ -233,6 +255,7 @@ class ClusterConfig:
             batching=batching,
             shards_per_group=shards_per_group,
             placement=placement,
+            conflict=conflict,
         )
 
     # -- queries ----------------------------------------------------------
@@ -487,6 +510,41 @@ class ClusterConfig:
         plain group id, keeping unsharded timestamps byte-identical."""
         return gid * self.shards_per_group + lane
 
+    # -- conflict-aware delivery (``conflict="keys"``) ---------------------
+
+    #: Conflict-domain count of an *unsharded* keys-mode cluster (sharded
+    #: clusters use one domain per active lane).  Granularity only: any
+    #: domain count is safe, finer just commutes more pairs.
+    UNSHARDED_CONFLICT_DOMAINS = 16
+
+    @property
+    def conflict_domains(self) -> int:
+        """Number of conflict domains keys hash into.  Sharded clusters
+        use one domain per active lane (domain ≡ lane — that equality is
+        what lets a single-domain message ride one lane's gts-ordered
+        stream), unsharded ones a fixed default."""
+        if self.shards_per_group > 1:
+            return self.effective_shards
+        return self.UNSHARDED_CONFLICT_DOMAINS
+
+    def conflict_lane(self, footprint) -> int:
+        """The lane a footprint routes to in sharded keys mode: its one
+        conflict domain, or the *fence lane* 0 for footprints that span
+        several domains or are unknown.  Lane 0's stream totally orders
+        all fenced messages, and its floor is the one gate a single-domain
+        release waits on."""
+        from .conflict import single_domain
+
+        d = single_domain(footprint, self.effective_shards)
+        return 0 if d is None else d
+
+    def lane_for_message(self, m) -> int:
+        """Routing entry point used by submission paths: the mid hash in
+        total mode, the conflict domain in keys mode."""
+        if self.conflict == "keys" and self.effective_shards > 1:
+            return self.conflict_lane(m.footprint)
+        return self.lane_of(m.mid)
+
     # -- reconfiguration transforms ----------------------------------------
     #
     # Each transform returns the *successor epoch's* configuration; the
@@ -495,6 +553,12 @@ class ClusterConfig:
     # even group sizes, where ``quorum_size`` is a strict majority.
 
     def _successor(self, **changes) -> "ClusterConfig":
+        if self.conflict == "keys":
+            # Epoch fencing assumes the total order IS the epoch boundary;
+            # a partial order has no single delivery index to cut at.
+            raise ConfigError(
+                "dynamic reconfiguration is not supported with conflict='keys'"
+            )
         changes.setdefault("epoch", self.epoch + 1)
         changes.setdefault("allow_even_groups", True)
         return replace(self, **changes)

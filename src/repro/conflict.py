@@ -1,0 +1,127 @@
+"""Key-based conflict relation shared by delivery, routing, and checking.
+
+Generic Multicast (PAPERS.md, arXiv 2410.01901) relaxes atomic multicast's
+total order to a partial one: only *conflicting* messages need a relative
+order, so commuting messages — disjoint-key KV ops, the overwhelming case
+for a sharded store — may be delivered as soon as they are stable instead
+of waiting in the total-order merge.
+
+This module is the single definition of "conflicting" used everywhere:
+
+* **Footprint**: an optional tuple of application keys carried on
+  :class:`~repro.types.AmcastMessage`.  ``None`` means "unknown", which
+  conservatively conflicts with everything (a built-in fence — commands
+  whose effects can't be keyed, reconfiguration, no-ops).
+* **Key-level conflict** (:func:`footprints_conflict`): two messages
+  conflict iff either footprint is ``None`` or they share a key.  This is
+  the relation the partial-order *checker* verifies — the ground truth.
+* **Domain coarsening** (:func:`domain_of`): keys hash into a fixed number
+  of *conflict domains* with a stable CRC-32, and the *implementations*
+  order at domain granularity (same domain ⇒ ordered).  Coarser than the
+  key relation, hence always safe: any order consistent per domain is
+  consistent per key.  In sharded ``keys`` mode the domain IS the ordering
+  lane, which is what lets single-domain messages ride one lane's stream
+  and skip the cross-lane merge wait.
+
+Apps declare how payloads map to keys with a :class:`ConflictSpec`
+(``apps/kvstore.py``, ``apps/bank.py``, ``apps/replicated_log.py`` each
+export one); submission paths call ``spec.footprint(payload)`` and stamp
+the result on the message.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable, FrozenSet, Iterable, Optional, Tuple
+
+__all__ = [
+    "ConflictSpec",
+    "stable_key_hash",
+    "domain_of",
+    "footprint_domains",
+    "footprints_conflict",
+    "domains_conflict",
+    "single_domain",
+]
+
+Footprint = Optional[Tuple[Any, ...]]
+
+
+def stable_key_hash(key: Any) -> int:
+    """A process- and run-stable hash of an application key.
+
+    ``hash()`` is salted per interpreter (PYTHONHASHSEED), which would
+    scatter the same key to different domains on different runtime
+    processes — CRC-32 of the key's string form is stable everywhere the
+    multi-process runtime can put a member.
+    """
+    return zlib.crc32(str(key).encode("utf-8"))
+
+
+def domain_of(key: Any, num_domains: int) -> int:
+    """The conflict domain (0..num_domains-1) a key belongs to."""
+    return stable_key_hash(key) % num_domains
+
+
+def footprint_domains(
+    footprint: Footprint, num_domains: int
+) -> Optional[FrozenSet[int]]:
+    """Domains a footprint touches (``None``: unknown — touches all)."""
+    if footprint is None:
+        return None
+    return frozenset(domain_of(k, num_domains) for k in footprint)
+
+
+def single_domain(footprint: Footprint, num_domains: int) -> Optional[int]:
+    """The one domain a footprint occupies, or ``None`` if it spans
+    several domains or is unknown (the fenced cases)."""
+    if not footprint:  # None or empty: no keyed claim to commute on
+        return None
+    it = iter(footprint)
+    d = domain_of(next(it), num_domains)
+    for k in it:
+        if domain_of(k, num_domains) != d:
+            return None
+    return d
+
+
+def footprints_conflict(a: Footprint, b: Footprint) -> bool:
+    """Key-level conflict: unknown footprints conflict with everything,
+    keyed footprints conflict iff they share a key.  This is the relation
+    the partial-order checker verifies."""
+    if a is None or b is None:
+        return True
+    if len(a) > len(b):
+        a, b = b, a
+    bs = set(b)
+    return any(k in bs for k in a)
+
+
+def domains_conflict(
+    a: Optional[FrozenSet[int]], b: Optional[FrozenSet[int]]
+) -> bool:
+    """Domain-level conflict (the coarsening implementations order by)."""
+    if a is None or b is None:
+        return True
+    return not a.isdisjoint(b)
+
+
+@dataclass(frozen=True)
+class ConflictSpec:
+    """How one application's payloads map to conflict footprints.
+
+    ``keys_of`` extracts the keys a payload reads or writes, or returns
+    ``None`` when the payload's effects cannot be keyed (it then fences:
+    conflicts with everything).  ``footprint`` normalises the result to
+    the tuple shape :class:`~repro.types.AmcastMessage` carries.
+    """
+
+    name: str
+    keys_of: Callable[[Any], Optional[Iterable[Any]]]
+
+    def footprint(self, payload: Any) -> Footprint:
+        keys = self.keys_of(payload)
+        if keys is None:
+            return None
+        return tuple(keys)

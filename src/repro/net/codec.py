@@ -110,6 +110,7 @@ def _enc_amsg(buf: bytearray, m: AmcastMessage) -> None:
     for d in dests:
         buf += _I32.pack(d)
     _enc_value(buf, m.payload)
+    _enc_value(buf, m.footprint)
 
 
 def _dec_amsg(mv: memoryview, off: int) -> Tuple[AmcastMessage, int]:
@@ -120,12 +121,14 @@ def _dec_amsg(mv: memoryview, off: int) -> Tuple[AmcastMessage, int]:
         dests.append(_I32.unpack_from(mv, off)[0])
         off += 4
     payload, off = _dec_value(mv, off)
+    footprint, off = _dec_value(mv, off)
     return (
         AmcastMessage(
             mid=(origin, seq),
             dests=frozenset(dests),
             payload=payload,
             size=None if size < 0 else size,
+            footprint=footprint,
         ),
         off,
     )
@@ -416,14 +419,20 @@ def _enc_deliver(buf: bytearray, msg: "_wb.DeliverMsg") -> None:
         msg.gts.time, msg.gts.group,
     )
     _enc_amsg(buf, msg.m)
+    _enc_value(buf, msg.floor)
 
 
 def _dec_deliver(mv: memoryview, off: int):
     brnd, bpid, ltime, lgroup, gtime, ggroup = _DELIVER_HDR.unpack_from(mv, off)
     m, off = _dec_amsg(mv, off + _DELIVER_HDR.size)
+    floor, off = _dec_value(mv, off)
     return (
         _wb.DeliverMsg(
-            m, Ballot(brnd, bpid), Timestamp(ltime, lgroup), Timestamp(gtime, ggroup)
+            m,
+            Ballot(brnd, bpid),
+            Timestamp(ltime, lgroup),
+            Timestamp(gtime, ggroup),
+            floor,
         ),
         off,
     )

@@ -10,14 +10,24 @@ that check once:
   that local timestamp, because its eventual global timestamp can only be
   ``>=`` its local one;
 * committed messages are released in global-timestamp order.
+
+With ``conflict_domains > 0`` the queue runs in conflict-aware (``keys``)
+mode: only messages whose conflict-domain sets intersect need a relative
+order (Generic Multicast's partial order — see :mod:`repro.conflict`), so
+a committed message is released as soon as no *conflicting* message could
+be ordered before it.  Conflicting pairs still leave in gts order — the
+ballot-independent invariant the partial-order checker verifies — while
+commuting messages skip over blocked strangers.  ``conflict_domains == 0``
+(the default) keeps the total-order code paths byte-identical.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from ..types import AmcastMessage, MessageId, Timestamp
+from ..conflict import footprint_domains
 
 
 class DeliveryQueue:
@@ -30,40 +40,106 @@ class DeliveryQueue:
     traffic, where hundreds of provisional timestamps coexist.
     """
 
-    def __init__(self) -> None:
+    #: Compact the lazy pending heap once it carries more than this many
+    #: stale entries (and more stale than live) — ``clear_pending`` leaves
+    #: entries behind by design, and fault-heavy runs can clear far more
+    #: proposals than ever surface at the heap minimum.
+    PENDING_COMPACT_MIN = 64
+
+    def __init__(self, conflict_domains: int = 0) -> None:
+        self._domains = conflict_domains
         self._pending: Dict[MessageId, Timestamp] = {}
         # Lazy min-heap over pending timestamps; the dict is the truth.
         self._pending_heap: List[Tuple[Timestamp, MessageId]] = []
-        self._committed: Dict[MessageId, Tuple[Timestamp, AmcastMessage]] = {}
+        self._pending_stale = 0
+        self._committed: Dict[MessageId, tuple] = {}
         self._heap: List[Tuple[Timestamp, MessageId]] = []
+        if conflict_domains > 0:
+            #: Domain sets of pending mids (``None``: unknown — fences).
+            self._pending_domains: Dict[MessageId, Optional[FrozenSet[int]]] = {}
+            #: Per-domain lazy min-heaps over the keyed pendings touching
+            #: that domain, so a candidate's conflict floor is a few heap
+            #: peeks instead of a scan over every provisional timestamp.
+            self._by_domain: Dict[int, List[Tuple[Timestamp, MessageId]]] = {}
 
     # -- provisional timestamps ---------------------------------------------
 
-    def set_pending(self, mid: MessageId, lts: Timestamp) -> None:
-        """Record that ``mid`` holds provisional timestamp ``lts``."""
+    def set_pending(
+        self,
+        mid: MessageId,
+        lts: Timestamp,
+        domains: Optional[FrozenSet[int]] = None,
+    ) -> None:
+        """Record that ``mid`` holds provisional timestamp ``lts``.
+
+        ``domains`` is the mid's conflict-domain set (keys mode only;
+        ``None`` means unknown and conservatively conflicts with all).
+        """
         self._pending[mid] = lts
         heapq.heappush(self._pending_heap, (lts, mid))
+        if self._domains > 0:
+            self._pending_domains[mid] = domains
+            if domains is not None:
+                for d in domains:
+                    heapq.heappush(self._by_domain.setdefault(d, []), (lts, mid))
 
     def set_pending_many(self, pairs: Iterable[Tuple[MessageId, Timestamp]]) -> None:
-        """Batch variant of :meth:`set_pending` (one heapify, not n pushes)."""
+        """Batch variant of :meth:`set_pending` (one heapify, not n pushes).
+
+        Entries may be ``(mid, lts)`` or ``(mid, lts, domains)``; the third
+        element only matters in keys mode.
+        """
         fresh = list(pairs)
         if not fresh:
             return
-        self._pending.update(fresh)
+        if self._domains > 0:
+            for entry in fresh:
+                mid, lts = entry[0], entry[1]
+                domains = entry[2] if len(entry) > 2 else None
+                self.set_pending(mid, lts, domains)
+            return
+        flat = [(e[0], e[1]) for e in fresh]
+        self._pending.update(flat)
         if self._pending_heap:
-            for mid, lts in fresh:
+            for mid, lts in flat:
                 heapq.heappush(self._pending_heap, (lts, mid))
         else:
-            self._pending_heap = [(lts, mid) for mid, lts in fresh]
+            self._pending_heap = [(lts, mid) for mid, lts in flat]
             heapq.heapify(self._pending_heap)
 
     def clear_pending(self, mid: MessageId) -> None:
         """Drop ``mid``'s provisional timestamp (message lost or recovered).
 
         The heap entry stays behind and is lazily discarded by
-        :meth:`_min_pending` once it surfaces.
+        :meth:`_min_pending` once it surfaces — but cleared entries that
+        never surface are counted and the heap is compacted once they
+        dominate, so fault-heavy runs don't grow it without bound.
         """
-        self._pending.pop(mid, None)
+        if self._pending.pop(mid, None) is not None:
+            self._pending_stale += 1
+            if self._domains > 0:
+                self._pending_domains.pop(mid, None)
+            self._maybe_compact_pending()
+
+    def _maybe_compact_pending(self) -> None:
+        if (
+            self._pending_stale < self.PENDING_COMPACT_MIN
+            or self._pending_stale <= len(self._pending)
+        ):
+            return
+        self._pending_heap = [(lts, mid) for mid, lts in self._pending.items()]
+        heapq.heapify(self._pending_heap)
+        if self._domains > 0:
+            self._by_domain = {}
+            for mid, domains in self._pending_domains.items():
+                if domains is None:
+                    continue
+                lts = self._pending[mid]
+                for d in domains:
+                    self._by_domain.setdefault(d, []).append((lts, mid))
+            for h in self._by_domain.values():
+                heapq.heapify(h)
+        self._pending_stale = 0
 
     def pending_lts(self, mid: MessageId) -> Optional[Timestamp]:
         return self._pending.get(mid)
@@ -74,8 +150,14 @@ class DeliveryQueue:
         """Record that ``m`` received final global timestamp ``gts``."""
         if m.mid in self._committed:
             return
-        self._pending.pop(m.mid, None)
-        self._committed[m.mid] = (gts, m)
+        if self._pending.pop(m.mid, None) is not None:
+            self._pending_stale += 1
+        if self._domains > 0:
+            self._pending_domains.pop(m.mid, None)
+            domains = footprint_domains(m.footprint, self._domains)
+            self._committed[m.mid] = (gts, m, domains)
+        else:
+            self._committed[m.mid] = (gts, m)
         heapq.heappush(self._heap, (gts, m.mid))
 
     def is_committed(self, mid: MessageId) -> bool:
@@ -94,13 +176,47 @@ class DeliveryQueue:
             heapq.heappop(heap)  # stale: cleared, committed or re-stamped
         return None
 
+    def _min_pending_domain(self, d: int) -> Optional[Timestamp]:
+        """Smallest provisional timestamp of a keyed pending touching
+        domain ``d`` (keys mode)."""
+        heap = self._by_domain.get(d)
+        if not heap:
+            return None
+        while heap:
+            lts, mid = heap[0]
+            dm = self._pending_domains.get(mid)
+            if self._pending.get(mid) == lts and dm is not None and d in dm:
+                return lts
+            heapq.heappop(heap)  # stale: cleared, committed or re-stamped
+        return None
+
+    def _min_pending_fence(self) -> Optional[Timestamp]:
+        """Smallest provisional timestamp of an *unknown-footprint* pending
+        (keys mode) — such a message conflicts with everything, so it
+        floors every candidate.  Kept O(pending fences) by scanning the
+        domain dict: fences are rare (reconfig, no-ops), keyed traffic
+        dominates."""
+        best: Optional[Timestamp] = None
+        for mid, domains in self._pending_domains.items():
+            if domains is None:
+                lts = self._pending.get(mid)
+                if lts is not None and (best is None or lts < best):
+                    best = lts
+        return best
+
     def pop_deliverable(self) -> Iterator[Tuple[AmcastMessage, Timestamp]]:
         """Yield committed messages deliverable *now*, in gts order.
 
         A committed message is deliverable when every message still holding
         a provisional timestamp has that timestamp strictly above the
-        committed message's global timestamp.
+        committed message's global timestamp.  In keys mode only
+        *conflicting* provisional or earlier-committed messages hold a
+        candidate back, and the scan keeps walking past a blocked stranger
+        (conflicting pairs still leave in gts order).
         """
+        if self._domains > 0:
+            yield from self._pop_deliverable_keys()
+            return
         floor = self._min_pending()
         while self._heap:
             gts, mid = self._heap[0]
@@ -113,6 +229,74 @@ class DeliveryQueue:
             yield entry[1], gts
             floor = self._min_pending()
 
+    def _pop_deliverable_keys(self) -> Iterator[Tuple[AmcastMessage, Timestamp]]:
+        # Materialised before yielding: blocked entries are parked in
+        # ``retained`` during the scan, and they must be pushed back even
+        # if the caller abandons the iterator early.
+        heap = self._heap
+        out: List[Tuple[AmcastMessage, Timestamp]] = []
+        retained: List[Tuple[Timestamp, MessageId]] = []
+        blocked_domains: set = set()
+        blocked_all = False
+        fence_floor = self._min_pending_fence()
+        while heap and not blocked_all:
+            gts, mid = heapq.heappop(heap)
+            entry = self._committed.get(mid)
+            if entry is None:
+                continue  # stale heap entry (already popped)
+            _, m, domains = entry
+            if fence_floor is not None and not gts < fence_floor:
+                blocked = True  # a pending fence floors everything above it
+            elif domains is None:
+                # A committed fence conflicts with everything: any blocked
+                # predecessor or any provisional timestamp at/below blocks.
+                floor = self._min_pending()
+                blocked = bool(blocked_domains) or (
+                    floor is not None and not gts < floor
+                )
+            else:
+                blocked = any(d in blocked_domains for d in domains)
+                if not blocked:
+                    for d in domains:
+                        floor = self._min_pending_domain(d)
+                        if floor is not None and not gts < floor:
+                            blocked = True
+                            break
+            if blocked:
+                retained.append((gts, mid))
+                if domains is None:
+                    blocked_all = True
+                else:
+                    blocked_domains.update(domains)
+                continue
+            del self._committed[mid]
+            out.append((m, gts))
+        for item in retained:
+            heapq.heappush(heap, item)
+        yield from out
+
+    def release_floor(self) -> Optional[Timestamp]:
+        """Keys mode: the smallest gts a not-yet-released message could
+        still take — every committed message with a strictly smaller gts
+        has already been popped from :meth:`pop_deliverable`.  ``None``
+        when the queue is empty (nothing tracked bounds the future; the
+        caller substitutes its clock).  Monotone over a queue's lifetime:
+        pendings commit at ``gts >= lts`` and fresh proposals take
+        timestamps above the clock."""
+        best: Optional[Timestamp] = None
+        heap = self._heap
+        while heap:
+            gts, mid = heap[0]
+            entry = self._committed.get(mid)
+            if entry is not None and entry[0] == gts:
+                best = gts
+                break
+            heapq.heappop(heap)  # stale
+        p = self._min_pending()
+        if p is not None and (best is None or p < best):
+            best = p
+        return best
+
     def peek_blocked(self) -> List[MessageId]:
         """Mids of committed messages currently blocked (for diagnostics)."""
         return [mid for _, mid in self._heap if mid in self._committed]
@@ -124,3 +308,8 @@ class DeliveryQueue:
     @property
     def committed_count(self) -> int:
         return len(self._committed)
+
+    @property
+    def pending_heap_size(self) -> int:
+        """Current physical size of the lazy pending heap (for tests)."""
+        return len(self._pending_heap)

@@ -101,12 +101,20 @@ class AcceptAckBatchMsg:
 @dataclass(frozen=True, slots=True)
 class DeliverMsg:
     """``DELIVER(m, b, lts, gts)``: the leader of ballot ``b`` orders its
-    group to deliver ``m`` with final timestamp ``gts`` (line 23)."""
+    group to deliver ``m`` with final timestamp ``gts`` (line 23).
+
+    ``floor`` (``conflict=keys`` only) is the leader's release floor at
+    broadcast time: every committed message with gts < ``floor`` was
+    already broadcast.  Deliveries leave the leader out of gts order in
+    keys mode, so a member's plain ``max_delivered_gts`` no longer proves
+    receipt of everything below it — the acked floor does (FIFO links),
+    keeping GC pruning safe."""
 
     m: AmcastMessage
     bal: Ballot
     lts: Timestamp
     gts: Timestamp
+    floor: Optional[Timestamp] = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -121,6 +129,7 @@ class DeliverBatchMsg:
 
     bal: Ballot
     entries: Tuple[Tuple[AmcastMessage, Timestamp, Timestamp], ...]
+    floor: Optional[Timestamp] = None
 
     def mids(self) -> List[MessageId]:
         return [m.mid for m, _, _ in self.entries]

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Any, Deque, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ...config import BATCHING_OFF, BatchingOptions, ClusterConfig
+from ...conflict import footprint_domains
 from ...runtime import Runtime
 from ...types import (
     BALLOT_BOTTOM,
@@ -204,7 +205,18 @@ class WbCastProcess(AtomicMulticastProcess):
         # based promise would otherwise jump over it.
         self._max_decided_gts: Optional[Timestamp] = None
         # -- derived / bookkeeping --------------------------------------------
-        self.queue = DeliveryQueue()  # leader-side delivery ordering
+        # Conflict-aware delivery (``conflict="keys"``): a *standalone*
+        # process orders with a conflict-aware queue so commuting
+        # committed messages release past blocked strangers.  Lane
+        # instances stay total — in a sharded group the conflict relation
+        # is resolved by domain-routing messages to lanes, and each
+        # lane's internal stream must remain totally ordered.
+        self._conflict_keys = shard_host is None and config.conflict == "keys"
+        # Highest GC floor learned from DELIVER messages (keys mode): every
+        # message with gts < floor was broadcast before the carrier, so
+        # FIFO links guarantee this member has received (and applied) it.
+        self._gc_floor: Optional[Timestamp] = None
+        self.queue = self._make_queue()  # leader-side delivery ordering
         # Submission-dedup table: watermark-compacted delivered message ids
         # (kept past GC pruning so duplicate MULTICASTs stay idempotent,
         # and epoch-transferred during recovery).
@@ -390,7 +402,10 @@ class WbCastProcess(AtomicMulticastProcess):
             lts = Timestamp(self.clock, self._ts_group)
             rec = MsgRecord(m, Phase.PROPOSED, lts=lts)
             self.records[m.mid] = rec
-            self.queue.set_pending(m.mid, lts)
+            if self._conflict_keys:
+                self.queue.set_pending(m.mid, lts, self._domains_of(m))
+            else:
+                self.queue.set_pending(m.mid, lts)
         self._touch(m.mid)
         if self.batching.enabled:
             if fresh:
@@ -590,7 +605,10 @@ class WbCastProcess(AtomicMulticastProcess):
             rec = rec.with_phase(Phase.ACCEPTED, lts=own.lts)
             self.records[m.mid] = rec
             if self.status is Status.LEADER:
-                self.queue.set_pending(m.mid, own.lts)
+                if self._conflict_keys:
+                    self.queue.set_pending(m.mid, own.lts, self._domains_of(m))
+                else:
+                    self.queue.set_pending(m.mid, own.lts)
             self._touch(m.mid)
         if self.options.speculative_clock:
             # Line 14: speculatively advance the clock past the global
@@ -687,13 +705,43 @@ class WbCastProcess(AtomicMulticastProcess):
             out.append((m, rec.lts, gts))
         if not out:
             return
-        top = out[-1][2]  # pop_deliverable yields in ascending gts order
+        if self._conflict_keys:
+            # Keys mode releases out of gts order, so the decision high-water
+            # mark is a max over the batch, and every DELIVER carries a GC
+            # floor (see DeliverMsg.floor).  The queue's release floor covers
+            # everything broadcast by the *end* of this drain; an entry sent
+            # mid-drain may precede batch-mates with smaller gts, so its
+            # floor is capped at the smallest gts still to be sent after it
+            # (suffix min) — FIFO then guarantees a receiver of that entry
+            # already holds everything below its floor.
+            top = max(e[2] for e in out)
+            final_floor = self.queue.release_floor()
+            if final_floor is None:
+                # Queue fully drained: nothing tracked can still take a gts
+                # at or below the clock (fresh proposals start above it).
+                final_floor = Timestamp(self.clock + 1, -1)
+        else:
+            top = out[-1][2]  # pop_deliverable yields in ascending gts order
         if self._max_decided_gts is None or self._max_decided_gts < top:
             self._max_decided_gts = top
         if self.batching.enabled and len(out) > 1:
-            bmsg = DeliverBatchMsg(self.cballot, tuple(out))
+            # One wire message: its floor may cover the whole batch (a
+            # receiver unpacks every entry before acting on the floor).
+            floor = final_floor if self._conflict_keys else None
+            bmsg = DeliverBatchMsg(self.cballot, tuple(out), floor)
             for p in self.wire_members(self.gid):  # includes ourselves
                 self.send(p, bmsg)
+            return
+        if self._conflict_keys:
+            floors: List[Timestamp] = [final_floor] * len(out)
+            running = final_floor
+            for i in range(len(out) - 1, -1, -1):
+                floors[i] = running
+                running = min(running, out[i][2])
+            for i, (m, lts, gts) in enumerate(out):
+                dmsg = DeliverMsg(m, self.cballot, lts, gts, floors[i])
+                for p in self.wire_members(self.gid):
+                    self.send(p, dmsg)
             return
         for m, lts, gts in out:
             dmsg = DeliverMsg(m, self.cballot, lts, gts)
@@ -701,9 +749,15 @@ class WbCastProcess(AtomicMulticastProcess):
                 self.send(p, dmsg)
 
     def _on_deliver_batch(self, sender: ProcessId, msg: DeliverBatchMsg) -> None:
-        """Unpack a DELIVER batch; each entry runs the per-message handler."""
+        """Unpack a DELIVER batch; each entry runs the per-message handler.
+
+        The batch's GC floor (keys mode) is applied only after every entry
+        has been processed: it may cover the batch's own entries."""
         for m, lts, gts in msg.entries:
             self._on_deliver(sender, DeliverMsg(m, msg.bal, lts, gts))
+        if msg.floor is not None and self.cballot == msg.bal:
+            if self._gc_floor is None or self._gc_floor < msg.floor:
+                self._gc_floor = msg.floor
 
     def _on_deliver(self, sender: ProcessId, msg: DeliverMsg) -> None:
         """Fig. 4 lines 24–31: store the decision and deliver, at most once."""
@@ -711,12 +765,23 @@ class WbCastProcess(AtomicMulticastProcess):
             return
         if self.cballot != msg.bal:
             return
-        if self.max_delivered_gts is not None and not self.max_delivered_gts < msg.gts:
-            return  # duplicate DELIVER (possible after leader recovery)
         m = msg.m
+        if self._conflict_keys:
+            # Deliveries arrive out of gts order, so the gts high-water mark
+            # cannot double as the dedup check — the exact (watermark-
+            # compacted) delivered-id log can.
+            if m.mid in self.delivered_ids:
+                return  # duplicate DELIVER (possible after leader recovery)
+            if msg.floor is not None and (
+                self._gc_floor is None or self._gc_floor < msg.floor
+            ):
+                self._gc_floor = msg.floor
+        elif self.max_delivered_gts is not None and not self.max_delivered_gts < msg.gts:
+            return  # duplicate DELIVER (possible after leader recovery)
         self.records[m.mid] = MsgRecord(m, Phase.COMMITTED, lts=msg.lts, gts=msg.gts)
         self.clock = max(self.clock, msg.gts.time)
-        self.max_delivered_gts = msg.gts
+        if self.max_delivered_gts is None or self.max_delivered_gts < msg.gts:
+            self.max_delivered_gts = msg.gts
         self.delivered_ids.add(m.mid)
         if self._shard_host is not None:
             # Sharded: the lane's (strictly gts-ascending) delivery stream
@@ -867,13 +932,28 @@ class WbCastProcess(AtomicMulticastProcess):
         self._ns_acks = {self.pid}
         self._maybe_finish_recovery(bal)
 
+    def _make_queue(self) -> DeliveryQueue:
+        if self._conflict_keys:
+            return DeliveryQueue(self.config.conflict_domains)
+        return DeliveryQueue()
+
+    def _domains_of(self, m: AmcastMessage) -> Optional[FrozenSet[int]]:
+        return footprint_domains(m.footprint, self.config.conflict_domains)
+
     def _rebuild_queue(self) -> None:
-        self.queue = DeliveryQueue()
-        accepted = [
-            (rec.mid, rec.lts)
-            for rec in self.records.values()
-            if rec.phase is Phase.ACCEPTED
-        ]
+        self.queue = self._make_queue()
+        if self._conflict_keys:
+            accepted = [
+                (rec.mid, rec.lts, self._domains_of(rec.m))
+                for rec in self.records.values()
+                if rec.phase is Phase.ACCEPTED
+            ]
+        else:
+            accepted = [
+                (rec.mid, rec.lts)
+                for rec in self.records.values()
+                if rec.phase is Phase.ACCEPTED
+            ]
         self.queue.set_pending_many(accepted)
         for rec in self.records.values():
             if rec.phase is Phase.COMMITTED:
@@ -893,7 +973,7 @@ class WbCastProcess(AtomicMulticastProcess):
         if msg.delivered is not None:
             self.delivered_ids.update(msg.delivered)
         self.cur_leader[self.gid] = msg.bal.leader()
-        self.queue = DeliveryQueue()
+        self.queue = self._make_queue()
         self._reset_batching()
         self.send(sender, NewStateAckMsg(msg.bal))
         self._rescan_accept_buffers()
@@ -966,17 +1046,32 @@ class WbCastProcess(AtomicMulticastProcess):
     def _gc_tick(self) -> None:
         if self.options.gc_interval is None or self.retired:
             return
-        if self.status is Status.FOLLOWER and self.max_delivered_gts is not None:
+        watermark = self._gc_watermark()
+        if self.status is Status.FOLLOWER and watermark is not None:
             leader = self.cur_leader.get(self.gid)
             if leader is not None and leader != self.pid:
-                self.send(leader, DeliveredAckMsg(self.gid, self.max_delivered_gts))
+                self.send(leader, DeliveredAckMsg(self.gid, watermark))
         elif self.status is Status.LEADER:
             self._gc_leader_round()
         self.runtime.set_timer(self.options.gc_interval, self._gc_tick)
 
+    def _gc_watermark(self) -> Optional[Timestamp]:
+        """What this member can truthfully ack for GC.
+
+        Total mode: deliveries arrive in gts order, so the max delivered
+        gts proves receipt of everything at or below it (inclusive).  Keys
+        mode: deliveries arrive out of gts order and the proof is the GC
+        floor learned from DELIVER messages — receipt of everything
+        *strictly* below it (exclusive; :meth:`_prune` compares
+        accordingly)."""
+        if self._conflict_keys:
+            return self._gc_floor
+        return self.max_delivered_gts
+
     def _gc_leader_round(self) -> None:
-        if self.max_delivered_gts is not None:
-            self._member_watermarks[self.pid] = self.max_delivered_gts
+        watermark = self._gc_watermark()
+        if watermark is not None:
+            self._member_watermarks[self.pid] = watermark
         if len(self._member_watermarks) < len(self.group):
             group_watermark = None
         else:
@@ -1016,10 +1111,20 @@ class WbCastProcess(AtomicMulticastProcess):
         for mid, rec in self.records.items():
             if rec.phase is not Phase.COMMITTED or mid not in self.delivered_ids:
                 continue
-            if all(
-                g in self._group_watermarks and not self._group_watermarks[g] < rec.gts
-                for g in rec.m.dests
-            ):
+            if self._conflict_keys:
+                # Keys-mode watermarks are exclusive floors: covered means
+                # gts strictly below every destination group's floor.
+                done = all(
+                    g in self._group_watermarks and rec.gts < self._group_watermarks[g]
+                    for g in rec.m.dests
+                )
+            else:
+                done = all(
+                    g in self._group_watermarks
+                    and not self._group_watermarks[g] < rec.gts
+                    for g in rec.m.dests
+                )
+            if done:
                 covered.append(mid)
         if not covered:
             return

@@ -34,10 +34,12 @@ leaders on other members) keep running undisturbed.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
 from ...config import ClusterConfig
+from ...conflict import single_domain
 from ...errors import ProtocolError
 from ...runtime import Runtime
 from ...types import TS_BOTTOM, AmcastMessage, MessageId, ProcessId, Timestamp
@@ -58,22 +60,98 @@ class LaneMergeQueue:
     explicit leader watermark (both promise strictly larger future
     deliveries).  Releases are therefore globally gts-sorted, whatever
     the floors' timing, so all members agree on the merged order.
+
+    The minimal head is cached in a lazy min-heap and the empty lanes'
+    floors in a second one, so an unblocked release costs O(log S) instead
+    of two O(S) scans; the scans only happen on the (rare) blocked path,
+    to name the probe candidates.  Lane timestamps carry a dense
+    (group, lane) tie-break component, so two lanes of one group can never
+    hold equal-gts heads — a duplicate is a protocol violation and raises
+    :class:`~repro.errors.ProtocolError` rather than silently preferring
+    the lower lane.
+
+    With ``conflict_keys=True`` the merge releases by Generic Multicast's
+    partial order instead: entries routed by conflict domain (domain ≡
+    lane) only wait for messages that can *conflict* with them.  Lane 0
+    doubles as the **fence lane** — footprints spanning several domains
+    (or unknown ones) are routed there and released under the legacy
+    total rule, while a single-domain head releases as soon as lane 0's
+    stream provably holds nothing conflicting below it: no queued fenced
+    entry with a smaller gts, and ``floor[0] >= gts`` (lane 0's stream is
+    gts-ascending, so the floor proves every earlier fenced message has
+    arrived).  Same-domain conflicts share a lane and keep stream order;
+    cross-lane single-domain heads commute by construction — they skip
+    the cross-lane wait entirely, which is the whole point.
     """
 
-    def __init__(self, lanes: int) -> None:
+    def __init__(self, lanes: int, conflict_keys: bool = False) -> None:
+        self._lanes = lanes
+        self._keys = conflict_keys
         self._queues: List[Deque[Tuple[AmcastMessage, Timestamp]]] = [
             deque() for _ in range(lanes)
         ]
         self._floor: List[Timestamp] = [TS_BOTTOM] * lanes
+        # Lazy min-heap of (head gts, lane): an entry is valid while that
+        # lane's current head still carries that gts.  Pushed whenever an
+        # element *becomes* a lane head (push to an empty lane, popleft
+        # exposing a successor) — each element heads its FIFO lane exactly
+        # once, so no duplicates accrue.
+        self._heads: List[Tuple[Timestamp, int]] = []
+        # Lazy min-heap of (floor, lane) over *empty* lanes: an entry is
+        # valid while the lane is still empty at exactly that floor.
+        self._cover: List[Tuple[Timestamp, int]] = [
+            (TS_BOTTOM, lane) for lane in range(lanes)
+        ]
+        heapq.heapify(self._cover)
+        # Keys mode: gts of queued *fenced* entries, ascending (the fenced
+        # subsequence of lane 0's gts-ascending stream).
+        self._fenced: Deque[Timestamp] = deque()
 
     def push(self, lane: int, m: AmcastMessage, gts: Timestamp) -> None:
-        self._queues[lane].append((m, gts))
+        q = self._queues[lane]
+        if not q and not self._keys:
+            heapq.heappush(self._heads, (gts, lane))
+        q.append((m, gts))
         if gts > self._floor[lane]:
             self._floor[lane] = gts
+        if self._keys:
+            sd = single_domain(m.footprint, self._lanes)
+            if sd is None:
+                if lane != 0:
+                    raise ProtocolError(
+                        f"fenced message {m.mid} pushed to lane {lane}; "
+                        "multi-domain footprints must ride the fence lane 0"
+                    )
+                self._fenced.append(gts)
+            elif sd != lane:
+                raise ProtocolError(
+                    f"message {m.mid} with conflict domain {sd} pushed to lane {lane}"
+                )
 
     def advance(self, lane: int, watermark: Timestamp) -> None:
         if watermark > self._floor[lane]:
             self._floor[lane] = watermark
+            if not self._queues[lane] and not self._keys:
+                heapq.heappush(self._cover, (watermark, lane))
+
+    def _valid_head(self) -> Optional[Tuple[Timestamp, int]]:
+        heap = self._heads
+        while heap:
+            gts, lane = heap[0]
+            q = self._queues[lane]
+            if q and q[0][1] == gts:
+                return gts, lane
+            heapq.heappop(heap)  # stale: head released since
+        return None
+
+    def _popleft(self, lane: int) -> AmcastMessage:
+        q = self._queues[lane]
+        m, _ = q.popleft()
+        if q:
+            heapq.heappush(self._heads, (q[0][1], lane))
+        else:
+            heapq.heappush(self._cover, (self._floor[lane], lane))
+        return m
 
     def pop_next(self) -> Tuple[Optional[AmcastMessage], List[int]]:
         """Pop the single next releasable message, or report the empty
@@ -84,21 +162,79 @@ class LaneMergeQueue:
         mid-stream), so the queue state must stay consistent with the
         application log at every release.
         """
-        best: Optional[int] = None
-        best_gts: Optional[Timestamp] = None
-        for lane, q in enumerate(self._queues):
-            if q and (best_gts is None or q[0][1] < best_gts):
-                best, best_gts = lane, q[0][1]
-        if best is None:
+        if self._keys:
+            return self._pop_next_keys()
+        top = self._valid_head()
+        if top is None:
             return None, []
-        blockers = [
-            lane
-            for lane, q in enumerate(self._queues)
-            if lane != best and not q and self._floor[lane] < best_gts
-        ]
-        if blockers:
+        best_gts, best = top
+        heapq.heappop(self._heads)
+        nxt = self._valid_head()
+        if nxt is not None and nxt[0] == best_gts:
+            raise ProtocolError(
+                f"duplicate global timestamp {best_gts} at the heads of "
+                f"lanes {best} and {nxt[1]}: lane timestamps must be unique "
+                "(dense (group, lane) tie-break)"
+            )
+        cover = self._cover
+        while cover:
+            floor, lane = cover[0]
+            if not self._queues[lane] and self._floor[lane] == floor:
+                break
+            heapq.heappop(cover)  # stale: lane refilled or floor advanced
+        if cover and cover[0][0] < best_gts:
+            # Blocked: the rare path pays the O(S) scan to name every
+            # probe candidate, and the head entry goes back on the heap.
+            heapq.heappush(self._heads, (best_gts, best))
+            blockers = [
+                lane
+                for lane, q in enumerate(self._queues)
+                if lane != best and not q and self._floor[lane] < best_gts
+            ]
             return None, blockers
-        return self._queues[best].popleft()[0], []
+        return self._popleft(best), []
+
+    def _pop_next_keys(self) -> Tuple[Optional[AmcastMessage], List[int]]:
+        fq = self._fenced
+        blockers: Set[int] = set()
+        for lane, q in enumerate(self._queues):
+            if not q:
+                continue
+            m, gts = q[0]
+            if lane == 0 and fq and fq[0] == gts:
+                # Fenced head: conflicts with everything — legacy total
+                # rule (minimal head, every empty lane's floor covers it).
+                ok = True
+                for j, qj in enumerate(self._queues):
+                    if j == 0:
+                        continue
+                    if qj:
+                        if qj[0][1] < gts:
+                            ok = False  # the smaller head releases first
+                            break
+                    elif self._floor[j] < gts:
+                        blockers.add(j)
+                        ok = False
+                if ok and not blockers:
+                    q.popleft()
+                    fq.popleft()
+                    return m, []
+                continue
+            if lane == 0:
+                # Single-domain head of the fence lane: every conflicting
+                # message is behind it in this very stream — release now.
+                q.popleft()
+                return m, []
+            if fq and fq[0] < gts:
+                continue  # a conflicting fenced message is ordered first
+            if self._floor[0] < gts:
+                # Lane 0's stream could still produce a smaller fenced
+                # message: wait for its floor (probe the fence lane).
+                blockers.add(0)
+                continue
+            q.popleft()
+            return m, []
+        return None, sorted(blockers)
 
     def drain(self) -> Tuple[List[AmcastMessage], List[int]]:
         """Pop every releasable message; also report which empty lanes
@@ -112,6 +248,8 @@ class LaneMergeQueue:
 
     def blocked_need(self, lane: int) -> Optional[Timestamp]:
         """The gts lane ``lane`` currently blocks (None when it doesn't)."""
+        if self._keys:
+            return self._blocked_need_keys(lane)
         if self._queues[lane]:
             return None
         heads = [q[0][1] for q in self._queues if q]
@@ -119,6 +257,25 @@ class LaneMergeQueue:
             return None
         need = min(heads)
         return need if self._floor[lane] < need else None
+
+    def _blocked_need_keys(self, lane: int) -> Optional[Timestamp]:
+        fq = self._fenced
+        needs: List[Timestamp] = []
+        for i, q in enumerate(self._queues):
+            if not q:
+                continue
+            gts = q[0][1]
+            if i == 0 and fq and fq[0] == gts:
+                # A fenced head probes the empty lanes it waits on.
+                if lane != 0 and not self._queues[lane] and self._floor[lane] < gts:
+                    needs.append(gts)
+            elif i != 0 and lane == 0:
+                # A single-domain head waits only on the fence lane's
+                # floor (lane 0 may be probed even while non-empty: the
+                # watermark speaks for deliveries not yet made).
+                if not (fq and fq[0] < gts) and self._floor[0] < gts:
+                    needs.append(gts)
+        return min(needs) if needs else None
 
     @property
     def queued_count(self) -> int:
@@ -172,7 +329,9 @@ class ShardedWbCastProcess(AtomicMulticastProcess):
             WbCastProcess(pid, config, runtime, options, lane=lane, shard_host=self)
             for lane in range(self.shards)
         ]
-        self.merge = LaneMergeQueue(self.shards)
+        self.merge = LaneMergeQueue(
+            self.shards, conflict_keys=config.conflict == "keys"
+        )
         self.config_epoch = config.epoch
         #: Lanes with a probe timer armed (blocked merges probe lazily:
         #: under load the lane's next DELIVER usually wins the race).
@@ -260,16 +419,19 @@ class ShardedWbCastProcess(AtomicMulticastProcess):
         """Whether this member leads *any* lane (harness-facing)."""
         return any(lane.is_leader() for lane in self.lanes)
 
-    def _route_lane(self, mid: MessageId) -> int:
-        """The lane a submission of ``mid`` belongs to.
+    def _route_lane(self, m: AmcastMessage) -> int:
+        """The lane a submission of ``m`` belongs to.
 
-        Without reconfiguration this is exactly the stable hash.  With a
-        manager attached, routing is *record-sticky*: a message admitted
+        Without reconfiguration this is exactly the stable hash — of the
+        message id in total mode, of the conflict domain in keys mode
+        (multi-domain and unknown footprints ride the fence lane 0).  With
+        a manager attached, routing is *record-sticky*: a message admitted
         (or delivered) in some lane before an epoch changed the hash keeps
         landing there, so duplicates and retries can never split one
         message's state across lanes — the epoch handoff drains in-flight
         messages in their admission lane instead of dropping them.
         """
+        mid = m.mid
         if self.reconfig is not None:
             for lane_proc in self.lanes:
                 if mid in lane_proc.records:
@@ -277,10 +439,10 @@ class ShardedWbCastProcess(AtomicMulticastProcess):
             for lane_proc in self.lanes:
                 if mid in lane_proc.delivered_ids:
                     return lane_proc.lane
-        return self.config.lane_of(mid)
+        return self.config.lane_for_message(m)
 
     def _on_multicast(self, sender: ProcessId, msg: MulticastMsg) -> None:
-        self.lanes[self._route_lane(msg.m.mid)].on_message(sender, msg)
+        self.lanes[self._route_lane(msg.m)].on_message(sender, msg)
 
     def _on_multicast_batch(self, sender: ProcessId, msg: MulticastBatchMsg) -> None:
         """Split a client ingress batch into per-lane projections.
@@ -293,7 +455,7 @@ class ShardedWbCastProcess(AtomicMulticastProcess):
         """
         per_lane: Dict[int, List[AmcastMessage]] = {}
         for m in msg.entries:
-            per_lane.setdefault(self._route_lane(m.mid), []).append(m)
+            per_lane.setdefault(self._route_lane(m), []).append(m)
         for lane, entries in per_lane.items():
             self.lanes[lane].on_message(
                 sender, MulticastBatchMsg(tuple(entries), msg.epoch, msg.weight)
@@ -432,7 +594,17 @@ class ShardedWbCastProcess(AtomicMulticastProcess):
                 lane_proc.recover()
 
     def lane_for(self, mid: MessageId) -> WbCastProcess:
-        """The lane state machine responsible for message ``mid``."""
+        """The lane state machine responsible for message ``mid``.
+
+        In keys mode the lane is the message's conflict domain, which a
+        bare mid cannot name — fall back to searching the lanes' state
+        (introspection path, not on the wire).
+        """
+        if self.config.conflict == "keys":
+            for lane_proc in self.lanes:
+                if mid in lane_proc.records or mid in lane_proc.delivered_ids:
+                    return lane_proc
+            return self.lanes[0]
         return self.lanes[self.config.lane_of(mid)]
 
     def record_of(self, mid: MessageId):

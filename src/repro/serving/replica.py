@@ -46,6 +46,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from ..apps.bank import Transfer, shard_of
 from ..apps.kvstore import KvCommand, partition_of
+from ..conflict import domain_of, footprint_domains
 from ..types import AmcastMessage, GroupId, MessageId, ProcessId
 from .messages import KvReadCommand, ReadMsg, ReadReplyMsg
 
@@ -73,17 +74,38 @@ class VersionedStore:
     reply carries.
     """
 
-    def __init__(self, gid: GroupId, num_groups: int) -> None:
+    def __init__(
+        self, gid: GroupId, num_groups: int, conflict_domains: int = 0
+    ) -> None:
         self.gid = gid
         self.num_groups = num_groups
         self.index = 0
         self.data: Dict[Any, Any] = {}
         self.versions: Dict[Any, int] = {}
         self._applied: Dict[MessageId, int] = {}
+        #: ``conflict="keys"`` clusters deliver commuting messages in
+        #: member-dependent orders, so the global ``index`` no longer
+        #: names the same prefix on every member.  What *does* agree
+        #: group-wide is each conflict domain's delivery subsequence
+        #: (all pairs within a domain conflict, hence are gts-ordered
+        #: everywhere), so the serving coordinates become per-domain
+        #: counters.  0 domains: total mode, counters unused.
+        self.conflict_domains = conflict_domains
+        self.domain_index: Dict[int, int] = {}
 
     def apply(self, m: AmcastMessage) -> None:
         self.index += 1
         self._applied[m.mid] = self.index
+        if self.conflict_domains > 0:
+            domains = footprint_domains(m.footprint, self.conflict_domains)
+            if domains is None:
+                # A fence conflicts with everything: it appears in every
+                # domain's subsequence, so every counter advances.
+                for d in range(self.conflict_domains):
+                    self.domain_index[d] = self.domain_index.get(d, 0) + 1
+            else:
+                for d in domains:
+                    self.domain_index[d] = self.domain_index.get(d, 0) + 1
         self.apply_command(m)
 
     def apply_command(self, m: AmcastMessage) -> None:
@@ -91,6 +113,25 @@ class VersionedStore:
 
     def has_applied(self, mid: MessageId) -> bool:
         return mid in self._applied
+
+    def stamp(self, key: Any) -> int:
+        """The version coordinate a write to ``key`` takes *now*: the
+        key's domain counter in keys mode, the global index otherwise."""
+        if self.conflict_domains > 0:
+            return self.domain_index.get(domain_of(key, self.conflict_domains), 0)
+        return self.index
+
+    def read_index(self, keys) -> Optional[int]:
+        """The applied-index coordinate a read of ``keys`` is answered at:
+        the global index in total mode; in keys mode the (single) domain's
+        counter, or ``None`` when the keys span domains — such reads have
+        no one comparable coordinate and take the fallback path."""
+        if self.conflict_domains == 0:
+            return self.index
+        domains = {domain_of(k, self.conflict_domains) for k in keys}
+        if len(domains) != 1:
+            return None
+        return self.domain_index.get(next(iter(domains)), 0)
 
     def read(self, key: Any) -> Tuple[Any, int]:
         """``(value, version)`` for ``key`` (``(None, 0)``: never written)."""
@@ -109,17 +150,23 @@ class KvServingStore(VersionedStore):
                 continue  # another partition's share of the command
             if cmd.op == "put":
                 self.data[key] = value
-                self.versions[key] = self.index
+                self.versions[key] = self.stamp(key)
             elif cmd.op == "delete":
                 self.data.pop(key, None)
-                self.versions[key] = self.index
+                self.versions[key] = self.stamp(key)
 
 
 class BankServingStore(VersionedStore):
     """Bank shard replica: accounts are keys, balances are values."""
 
-    def __init__(self, gid: GroupId, num_groups: int, opening: Dict[str, int]) -> None:
-        super().__init__(gid, num_groups)
+    def __init__(
+        self,
+        gid: GroupId,
+        num_groups: int,
+        opening: Dict[str, int],
+        conflict_domains: int = 0,
+    ) -> None:
+        super().__init__(gid, num_groups, conflict_domains)
         self.data = {
             acct: bal
             for acct, bal in opening.items()
@@ -132,10 +179,10 @@ class BankServingStore(VersionedStore):
             return
         if shard_of(t.src, self.num_groups) == self.gid:
             self.data[t.src] = self.data.get(t.src, 0) - t.amount
-            self.versions[t.src] = self.index
+            self.versions[t.src] = self.stamp(t.src)
         if shard_of(t.dst, self.num_groups) == self.gid:
             self.data[t.dst] = self.data.get(t.dst, 0) + t.amount
-            self.versions[t.dst] = self.index
+            self.versions[t.dst] = self.stamp(t.dst)
 
     def read(self, key: Any) -> Tuple[Any, int]:
         return self.data.get(key, 0), self.versions.get(key, 0)
@@ -185,12 +232,15 @@ class ServingReplica:
         if isinstance(cmd, KvReadCommand) and cmd.responder == self.pid:
             # A fallback read reaching its total-order position: answer
             # from the post-command state (the command itself is a no-op).
+            # Keys mode stamps the read's domain counter (0 for reads
+            # spanning domains — the session never folds 0 into a token).
+            index = self.store.read_index(cmd.keys)
             self.proc.send(
                 cmd.reader,
                 ReadReplyMsg(
                     cmd.rid,
                     self.gid,
-                    self.store.index,
+                    index if index is not None else 0,
                     False,
                     tuple((k, *self.store.read(k)) for k in cmd.keys),
                 ),
@@ -214,7 +264,11 @@ class ServingReplica:
         return backlog is None or backlog() == 0
 
     def _fresh_for(self, msg: ReadMsg) -> bool:
-        if self.store.index < msg.min_index:
+        # Keys mode: the comparable coordinate is the keys' domain
+        # counter; a read spanning domains has none and is declined to
+        # the (totally ordered) fallback path.
+        index = self.store.read_index(msg.keys)
+        if index is None or index < msg.min_index:
             return False
         if not self._merge_idle():
             return False
@@ -245,14 +299,17 @@ class ServingReplica:
     def _serve(self, sender: ProcessId, msg: ReadMsg) -> None:
         self.served += 1
         items = tuple((k, *self.store.read(k)) for k in msg.keys)
+        index = self.store.read_index(msg.keys)  # never None once fresh
         self.proc.send(
-            sender, ReadReplyMsg(msg.rid, self.gid, self.store.index, False, items)
+            sender, ReadReplyMsg(msg.rid, self.gid, index, False, items)
         )
 
     def _decline(self, sender: ProcessId, msg: ReadMsg) -> None:
         self.declined += 1
+        index = self.store.read_index(msg.keys)
         self.proc.send(
-            sender, ReadReplyMsg(msg.rid, self.gid, self.store.index, True, ())
+            sender,
+            ReadReplyMsg(msg.rid, self.gid, index if index is not None else 0, True, ()),
         )
 
     def _expire_parked(self, entry) -> None:
@@ -263,6 +320,14 @@ class ServingReplica:
         self._decline(*entry)
 
 
+def _store_domains(proc: Any) -> int:
+    """Conflict-domain count the process's config implies (0: total order)."""
+    config = getattr(proc, "config", None)
+    if config is not None and getattr(config, "conflict", "total") == "keys":
+        return config.conflict_domains
+    return 0
+
+
 def attach_kv_replicas(
     processes: Dict[ProcessId, Any],
     num_groups: int,
@@ -270,7 +335,11 @@ def attach_kv_replicas(
 ) -> Dict[ProcessId, ServingReplica]:
     """Attach a KV serving replica to every member process."""
     return {
-        pid: ServingReplica(proc, KvServingStore(proc.gid, num_groups), hold_stale)
+        pid: ServingReplica(
+            proc,
+            KvServingStore(proc.gid, num_groups, _store_domains(proc)),
+            hold_stale,
+        )
         for pid, proc in processes.items()
     }
 
@@ -284,7 +353,9 @@ def attach_bank_replicas(
     """Attach a bank serving replica to every member process."""
     return {
         pid: ServingReplica(
-            proc, BankServingStore(proc.gid, num_groups, opening), hold_stale
+            proc,
+            BankServingStore(proc.gid, num_groups, opening, _store_domains(proc)),
+            hold_stale,
         )
         for pid, proc in processes.items()
     }

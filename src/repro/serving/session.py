@@ -63,6 +63,11 @@ class ReadHandle:
     gid: GroupId
     invoked_at: float
     min_index: int = 0
+    #: Conflict domain of the keys under ``conflict="keys"`` (``None``:
+    #: total-order mode, or the keys span domains and the read has no
+    #: single comparable coordinate — such reads go through the fallback
+    #: path and their reply index is not folded into session watermarks).
+    domain: Optional[int] = None
     fences: Tuple[Tuple[Any, MessageId], ...] = ()
     replica: Optional[ProcessId] = None
     completed_at: Optional[float] = None
@@ -115,6 +120,7 @@ class ServingSession(AmcastClient):
         options: Optional[AmcastClientOptions] = None,
         read_timeout: Optional[float] = None,
         prefer_local: bool = True,
+        avoid_ttl: Optional[float] = None,
     ) -> None:
         from dataclasses import replace as _replace
 
@@ -124,6 +130,12 @@ class ServingSession(AmcastClient):
         options = _replace(options or AmcastClientOptions(), full_ack=True)
         super().__init__(pid, config, runtime, protocol_cls, tracker, options)
         self.read_timeout = read_timeout
+        #: How long a suspected replica stays out of the read rotation.
+        #: A recovered replica rejoins after the TTL; without one, a
+        #: single timeout would exile it for the session's lifetime.
+        if avoid_ttl is None and read_timeout is not None:
+            avoid_ttl = 10.0 * read_timeout
+        self.avoid_ttl = avoid_ttl
         #: ``False`` routes every read through the submit path — the
         #: control arm of the read-at-watermark benchmarks.
         self.prefer_local = prefer_local
@@ -134,7 +146,15 @@ class ServingSession(AmcastClient):
         self.reads: List[ReadHandle] = []
         self._read_timers: Dict[int, TimerHandle] = {}
         self._fence_pending: Dict[Any, Set[MessageId]] = {}
-        self._avoid: Set[ProcessId] = set()
+        #: Suspected replicas and when each was suspected; entries expire
+        #: after ``avoid_ttl`` so a recovered replica rejoins rotation.
+        self._avoid: Dict[ProcessId, float] = {}
+        self._conflict_keys = config.conflict == "keys"
+        #: Keys-mode session tokens: per (group, conflict domain) applied
+        #: counters, fed only by single-domain read replies.  The global
+        #: ``watermarks`` indices are not comparable coordinates when
+        #: delivery is merely partially ordered.
+        self.domain_watermarks: Dict[Tuple[GroupId, int], int] = {}
         self._handlers[ReadReplyMsg] = self._on_read_reply
 
     # -- write API ----------------------------------------------------------
@@ -146,8 +166,10 @@ class ServingSession(AmcastClient):
         in-flight write: until completion the write is concurrent with
         any read, which may legally miss it).
         """
-        handle = self.submit(dests, payload, size)
         keys = tuple(keys)
+        # Declared keys double as the conflict footprint; a write with no
+        # declared keys carries none and acts as a fence in keys mode.
+        handle = self.submit(dests, payload, size, footprint=keys or None)
         if keys:
             def _register(h, ks=keys):
                 for k in ks:
@@ -181,17 +203,35 @@ class ServingSession(AmcastClient):
                 )
             (gid,) = gids
         self._read_seq += 1
+        domain: Optional[int] = None
+        if self._conflict_keys:
+            from ..conflict import domain_of
+
+            domains = {domain_of(k, self.config.conflict_domains) for k in keys}
+            if len(domains) == 1:
+                (domain,) = domains
+            min_index = (
+                self.domain_watermarks.get((gid, domain), 0)
+                if domain is not None
+                else 0
+            )
+        else:
+            min_index = self.watermarks.get(gid, 0)
         handle = ReadHandle(
             rid=self._read_seq,
             keys=keys,
             gid=gid,
             invoked_at=self.now(),
-            min_index=self.watermarks.get(gid, 0),
+            min_index=min_index,
+            domain=domain,
             fences=self._snapshot_fences(keys),
         )
         self._reads[handle.rid] = handle
         self.reads.append(handle)
-        if self.prefer_local:
+        if self.prefer_local and not (self._conflict_keys and domain is None):
+            # Keys-mode reads spanning conflict domains have no single
+            # comparable freshness coordinate: route them through the
+            # (conflict-ordered) fallback path directly.
             self._send_local(handle)
         else:
             self._submit_fallback(handle)
@@ -218,6 +258,10 @@ class ServingSession(AmcastClient):
                 local = [m for m in members if p.site_of(m) == site]
                 if local:
                     members = local
+        if self._avoid and self.avoid_ttl is not None:
+            cutoff = self.now() - self.avoid_ttl
+            for p in [p for p, t in self._avoid.items() if t <= cutoff]:
+                del self._avoid[p]
         live = [m for m in members if m not in self._avoid]
         if live:
             members = live
@@ -241,6 +285,7 @@ class ServingSession(AmcastClient):
         self.submit(
             frozenset((handle.gid,)),
             KvReadCommand(handle.keys, handle.rid, self.pid, responder),
+            footprint=handle.keys,
         )
         self._arm_read_timer(handle)
 
@@ -263,7 +308,7 @@ class ServingSession(AmcastClient):
             # The replica neither served nor declined: suspect it and
             # route this session's future reads elsewhere.
             if handle.replica is not None:
-                self._avoid.add(handle.replica)
+                self._avoid[handle.replica] = self.now()
             self._submit_fallback(handle)
         else:
             # Fallback responder silent (crashed after admission?): re-
@@ -273,9 +318,17 @@ class ServingSession(AmcastClient):
             self._submit_fallback(handle)
 
     def _on_read_reply(self, sender: ProcessId, msg: ReadReplyMsg) -> None:
-        if msg.index > self.watermarks.get(msg.gid, 0):
-            self.watermarks[msg.gid] = msg.index
         handle = self._reads.get(msg.rid)
+        if self._conflict_keys:
+            # The reply index is a per-domain coordinate: fold it into the
+            # matching domain token only (multi-domain replies carry 0 and
+            # have nothing foldable).
+            if handle is not None and handle.domain is not None:
+                token = (msg.gid, handle.domain)
+                if msg.index > self.domain_watermarks.get(token, 0):
+                    self.domain_watermarks[token] = msg.index
+        elif msg.index > self.watermarks.get(msg.gid, 0):
+            self.watermarks[msg.gid] = msg.index
         if handle is None or handle.done:
             return  # duplicate or late reply: the first one won
         if msg.stale:

@@ -73,12 +73,18 @@ class AmcastMessage:
     every protocol and is handed back verbatim on delivery; ``size`` is the
     nominal wire size in bytes, used only by bandwidth-aware delay models
     (the paper's evaluation uses 20-byte messages).
+
+    ``footprint`` is the message's conflict footprint — the application
+    keys the payload touches, or ``None`` when unknown (``None``
+    conservatively conflicts with everything; see :mod:`repro.conflict`).
+    Protocols in ``conflict=total`` mode ignore it entirely.
     """
 
     mid: MessageId
     dests: FrozenSet[GroupId]
     payload: Any = None
     size: int = 20
+    footprint: Tuple[Any, ...] | None = None
 
     def __post_init__(self) -> None:
         if not self.dests:
@@ -105,6 +111,13 @@ def make_message(
     dests: FrozenSet[GroupId] | set | tuple | list,
     payload: Any = None,
     size: int = 20,
+    footprint: tuple | list | None = None,
 ) -> AmcastMessage:
     """Convenience constructor normalising ``dests`` to a frozenset."""
-    return AmcastMessage(mid=(origin, seq), dests=frozenset(dests), payload=payload, size=size)
+    return AmcastMessage(
+        mid=(origin, seq),
+        dests=frozenset(dests),
+        payload=payload,
+        size=size,
+        footprint=None if footprint is None else tuple(footprint),
+    )

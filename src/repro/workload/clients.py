@@ -46,6 +46,14 @@ class ClientOptions:
     #: Stamp submissions with the session's config epoch (dynamically
     #: reconfigured clusters; see ``AmcastClientOptions.fence_epoch``).
     fence_epoch: bool = False
+    #: Synthetic conflict footprints: each submission declares one key
+    #: drawn from a universe of this size, so ``conflict="keys"`` runs
+    #: have commuting (disjoint-key) traffic to exploit.  0 leaves
+    #: submissions unfootprinted — they act as fences in keys mode.
+    key_universe: int = 0
+    #: Zipf exponent for the footprint key draw: 0 is uniform, ~0.99 the
+    #: classic hot-key setting (more conflicting traffic).
+    key_skew: float = 0.0
 
     def session_options(self, window: Optional[int]) -> AmcastClientOptions:
         """The :class:`AmcastClientOptions` this workload config implies."""
@@ -86,15 +94,36 @@ class ClosedLoopClient(AmcastClient):
         self.options = opts
         self.chooser = chooser
         self._remaining = opts.num_messages
+        self._key_cdf: Optional[list] = None  # Zipf CDF, built on first draw
 
     def on_start(self) -> None:
         if self._remaining > 0:
             self.runtime.set_timer(self.options.start_delay, self._fill_window)
 
+    def _pick_key(self) -> str:
+        n = self.options.key_universe
+        if self.options.key_skew <= 0:
+            return f"k{self.runtime.rng.randrange(n)}"
+        if self._key_cdf is None:
+            weights = [1.0 / (i + 1) ** self.options.key_skew for i in range(n)]
+            total = sum(weights)
+            acc, cdf = 0.0, []
+            for w in weights:
+                acc += w / total
+                cdf.append(acc)
+            cdf[-1] = 1.0
+            self._key_cdf = cdf
+        import bisect
+
+        return f"k{bisect.bisect_left(self._key_cdf, self.runtime.rng.random())}"
+
     def _fill_window(self) -> None:
         while self._remaining > 0 and self.outstanding < max(1, self.options.window):
             self._remaining -= 1
-            self.submit(self.chooser.choose(self.runtime.rng))
+            footprint = None
+            if self.options.key_universe > 0:
+                footprint = (self._pick_key(),)
+            self.submit(self.chooser.choose(self.runtime.rng), footprint=footprint)
 
     def _after_completion(self, mid: MessageId, t: float) -> None:
         if self._remaining > 0:

@@ -1,0 +1,533 @@
+"""Conflict-aware delivery battery (``conflict={total,keys}``).
+
+Three layers of coverage:
+
+* **footprint plumbing** — the conflict-relation helpers, the apps'
+  :class:`~repro.conflict.ConflictSpec` declarations, and the keys-mode
+  routing/validation inside :class:`LaneMergeQueue`;
+* **differential** — ``conflict="total"`` must be byte-identical to the
+  pre-conflict protocols: a footprinted run and a footprint-stripped run
+  of the same workload (same RNG draws) produce the same per-member
+  delivery sequences, sharded and not;
+* **conformance** — randomized ``conflict="keys"`` runs (mixed keyed /
+  multi-key / fenced traffic, lane-leader crash included) satisfy the
+  partial-order checkers, and the serving stack stays linearizable.
+
+Plus the satellite regressions: the lane-merge head cache keeps the
+release order of a naive per-pop scan, suspected-replica avoidance
+expires, and ``DeliveryQueue.clear_pending`` compacts its lazy heap.
+"""
+
+import itertools
+import random
+import zlib
+
+import pytest
+
+from tests.conftest import DELTA, FAST_FD, checks_ok
+from repro.apps.bank import BANK_CONFLICT, Transfer
+from repro.apps.kvstore import KV_CONFLICT, KvCommand
+from repro.apps.replicated_log import LOG_CONFLICT
+from repro.bench.harness import run_workload
+from repro.checking import check_conflict_ordering, check_ordering
+from repro.checking.conflict_order import check_domain_agreement
+from repro.config import ClusterConfig
+from repro.conflict import (
+    domain_of,
+    domains_conflict,
+    footprint_domains,
+    footprints_conflict,
+    single_domain,
+    stable_key_hash,
+)
+from repro.errors import ConfigError, ProtocolError
+from repro.protocols import WbCastProcess
+from repro.protocols.ordering import DeliveryQueue
+from repro.protocols.wbcast import LaneMergeQueue, WbCastOptions
+from repro.serving import run_serving_workload
+from repro.sim import UniformDelay
+from repro.sim.faults import CrashSpec, FaultPlan
+from repro.types import Timestamp, make_message
+from repro.workload import ClientOptions
+from repro.workload.clients import ClosedLoopClient
+
+
+def wbcast_run(conflict, shards=1, key_universe=16, seed=7, mpc=6, **kw):
+    config = ClusterConfig.build(
+        3, 3, 3, shards_per_group=shards, conflict=conflict
+    )
+    kw.setdefault(
+        "client_options",
+        ClientOptions(num_messages=mpc, key_universe=key_universe),
+    )
+    res = run_workload(
+        WbCastProcess,
+        config=config,
+        messages_per_client=mpc,
+        dest_k=2,
+        seed=seed,
+        network=UniformDelay(0.0002, 2 * DELTA),
+        attach_genuineness=True,
+        drain_grace=0.2,
+        **kw,
+    )
+    assert res.all_done
+    return res
+
+
+def delivery_seqs(res):
+    return {
+        pid: tuple(res.trace.delivery_order_at(pid))
+        for pid in res.config.all_members
+    }
+
+
+# -- conflict-relation helpers ------------------------------------------------
+
+
+class TestConflictHelpers:
+    def test_stable_key_hash_is_crc32_of_str(self):
+        for key in ("k1", 42, ("a", 3)):
+            assert stable_key_hash(key) == zlib.crc32(str(key).encode("utf-8"))
+        assert 0 <= domain_of("k1", 16) < 16
+
+    def test_footprint_domains(self):
+        assert footprint_domains(None, 4) is None
+        doms = footprint_domains(("a", "b"), 4)
+        assert doms == frozenset({domain_of("a", 4), domain_of("b", 4)})
+
+    def test_single_domain(self):
+        assert single_domain(None, 4) is None
+        assert single_domain((), 4) is None  # empty: no keyed claim
+        assert single_domain(("a",), 4) == domain_of("a", 4)
+        # Two keys in one domain collapse; keys spanning domains fence.
+        same = [k for k in (f"k{i}" for i in range(64)) if domain_of(k, 4) == 0]
+        assert single_domain(tuple(same[:2]), 4) == 0
+        other = next(k for k in (f"k{i}" for i in range(64)) if domain_of(k, 4) == 1)
+        assert single_domain((same[0], other), 4) is None
+
+    def test_footprints_conflict(self):
+        assert footprints_conflict(("a", "b"), ("b", "c"))
+        assert not footprints_conflict(("a",), ("b",))
+        assert footprints_conflict(None, ("a",))
+        assert footprints_conflict(("a",), None)
+        assert footprints_conflict(None, None)
+
+    def test_domains_conflict(self):
+        assert domains_conflict(frozenset({1, 2}), frozenset({2}))
+        assert not domains_conflict(frozenset({1}), frozenset({2}))
+        assert domains_conflict(None, frozenset({2}))
+
+    def test_app_conflict_specs(self):
+        cmd = KvCommand(op="put", items=(("x", 1), ("y", 2)))
+        assert KV_CONFLICT.footprint(cmd) == ("x", "y")
+        assert KV_CONFLICT.footprint(object()) is None  # unknown payload fences
+        t = Transfer(src="acct-a", dst="acct-b", amount=5)
+        assert BANK_CONFLICT.footprint(t) == ("acct-a", "acct-b")
+        # The replicated log is inherently totally ordered: every entry
+        # claims the same key, so nothing commutes.
+        fa = LOG_CONFLICT.footprint("entry-1")
+        fb = LOG_CONFLICT.footprint("entry-2")
+        assert footprints_conflict(fa, fb)
+
+
+# -- differential: conflict="total" is byte-identical -------------------------
+
+
+class TestTotalModeDifferential:
+    """``conflict="total"`` must not change delivery behaviour at all.
+
+    Footprint key draws consume client RNG, so the legacy baseline is the
+    *same* run with the footprints stripped at submission: identical
+    submission stream, no conflict metadata on the wire.
+    """
+
+    def _run(self, shards, seed, strip):
+        orig = ClosedLoopClient.submit
+        if strip:
+            def stripped(self, dests, payload=None, size=None, footprint=None):
+                return orig(self, dests, payload=payload, size=size)
+
+            ClosedLoopClient.submit = stripped
+        try:
+            return wbcast_run("total", shards=shards, seed=seed)
+        finally:
+            ClosedLoopClient.submit = orig
+
+    @pytest.mark.parametrize("shards", [1, 3])
+    @pytest.mark.parametrize("seed", [7, 21])
+    def test_total_ignores_footprints(self, shards, seed):
+        footprinted = self._run(shards, seed, strip=False)
+        baseline = self._run(shards, seed, strip=True)
+        assert delivery_seqs(footprinted) == delivery_seqs(baseline)
+        checks_ok(footprinted)
+        checks_ok(baseline)
+
+    def test_keys_all_fence_matches_total_unsharded(self):
+        # Unfootprinted keys-mode traffic is all fences: the partial order
+        # degenerates to the total order, delivery sequences included.
+        # (Sharded keys mode routes fences to lane 0 instead of dealing
+        # them round-robin, so sequence equality is unsharded-only.)
+        total = wbcast_run("total", key_universe=0, seed=13)
+        keys = wbcast_run("keys", key_universe=0, seed=13)
+        assert delivery_seqs(total) == delivery_seqs(keys)
+        assert check_ordering(keys.history()).ok
+
+    @pytest.mark.parametrize("shards", [1, 3])
+    def test_keys_all_fence_is_totally_ordered(self, shards):
+        keys = wbcast_run("keys", shards=shards, key_universe=0, seed=17)
+        assert check_ordering(keys.history()).ok
+
+
+# -- conformance: randomized keys-mode runs -----------------------------------
+
+
+def _mixed_footprints():
+    """Patch submissions so keys-mode traffic mixes single-key, multi-key
+    (often domain-spanning) and fenced messages."""
+    orig = ClosedLoopClient.submit
+    counter = itertools.count()
+
+    def mixed(self, dests, payload=None, size=None, footprint=None):
+        i = next(counter)
+        if i % 5 == 4:
+            footprint = None  # an unkeyable command: fences
+        elif i % 3 == 2 and footprint:
+            footprint = footprint + ("k-shared",)  # a multi-key op
+        return orig(self, dests, payload=payload, size=size, footprint=footprint)
+
+    return orig, mixed
+
+
+class TestKeysConformance:
+    @pytest.mark.parametrize("shards", [1, 3])
+    @pytest.mark.parametrize("seed", [3, 11, 29])
+    def test_randomized_keys_runs_satisfy_partial_order(self, shards, seed):
+        res = wbcast_run("keys", shards=shards, key_universe=8, seed=seed)
+        checks_ok(res)  # dispatches the conflict-aware checkers
+        h = res.history()
+        assert check_conflict_ordering(h).ok
+        assert check_domain_agreement(h).ok
+
+    @pytest.mark.parametrize("shards", [1, 3])
+    def test_mixed_fence_and_multikey_traffic(self, shards):
+        orig, mixed = _mixed_footprints()
+        ClosedLoopClient.submit = mixed
+        try:
+            res = wbcast_run("keys", shards=shards, key_universe=8, seed=5, mpc=8)
+        finally:
+            ClosedLoopClient.submit = orig
+        checks_ok(res)
+        h = res.history()
+        fps = {m.footprint for _, _, m in h.multicasts.values()}
+        assert None in fps  # the mix really exercised fences
+        assert any(fp is not None and len(fp) > 1 for fp in fps)
+
+
+# -- keys-mode recovery -------------------------------------------------------
+
+
+class TestKeysRecovery:
+    def test_lane_leader_crash_in_keys_mode(self):
+        config = ClusterConfig.build(
+            2, 3, 2, shards_per_group=2, conflict="keys"
+        )
+        victim = config.lane_leader(0, 1)
+        res = run_workload(
+            WbCastProcess,
+            config=config,
+            messages_per_client=8,
+            dest_k=2,
+            seed=29,
+            network=UniformDelay(0.0002, 2 * DELTA),
+            protocol_options=WbCastOptions(retry_interval=0.05),
+            client_options=ClientOptions(
+                num_messages=8, retry_timeout=0.08, key_universe=8
+            ),
+            fault_plan=FaultPlan(crashes=[CrashSpec(victim, 0.004)]),
+            attach_fd=True,
+            fd_options=FAST_FD,
+            max_time=6.0,
+            drain_grace=0.1,
+        )
+        assert res.all_done
+        checks_ok(res, quiescent=False)
+        assert check_conflict_ordering(res.history()).ok
+
+    def test_reconfiguration_is_rejected_in_keys_mode(self):
+        config = ClusterConfig.build(2, 3, 1, conflict="keys")
+        with pytest.raises(ConfigError, match="reconfiguration"):
+            config.with_join(0, 999)
+
+    def test_unknown_conflict_mode_is_rejected(self):
+        with pytest.raises(ConfigError, match="conflict"):
+            ClusterConfig.build(2, 3, 1, conflict="generic")
+
+
+# -- keys-mode serving --------------------------------------------------------
+
+
+class TestServingKeys:
+    @pytest.mark.parametrize("shards", [1, 2])
+    def test_serving_stays_linearizable(self, shards):
+        config = ClusterConfig.build(
+            2, 3, 4, shards_per_group=shards, conflict="keys"
+        )
+        result = run_serving_workload(
+            WbCastProcess,
+            config=config,
+            ops_per_session=25,
+            read_ratio=0.4,
+            read_timeout=0.05,
+            seed=9,
+        )
+        assert all(s.done for s in result.sessions)
+        failed = [c.describe() for c in result.check() if not c.ok]
+        assert not failed, failed
+        lin = result.check_serving()
+        assert all(c.ok for c in lin), [c.describe() for c in lin if not c.ok]
+        assert result.reads_local > 0
+        # Keys-mode freshness gates run on per-domain applied indices.
+        assert any(s.domain_watermarks for s in result.sessions)
+
+
+# -- LaneMergeQueue: keys-mode routing and release rules ----------------------
+
+
+def _key_in_domain(d, lanes):
+    return next(k for k in (f"k{i}" for i in range(256)) if domain_of(k, lanes) == d)
+
+
+def _msg(seq, footprint):
+    return make_message(origin=900, seq=seq, dests={0}, footprint=footprint)
+
+
+class TestLaneMergeQueueKeys:
+    def setup_method(self):
+        self.k0 = _key_in_domain(0, 2)
+        self.k1 = _key_in_domain(1, 2)
+
+    def test_push_validates_routing(self):
+        q = LaneMergeQueue(2, conflict_keys=True)
+        with pytest.raises(ProtocolError, match="fence lane"):
+            q.push(1, _msg(1, None), Timestamp(1.0, 1))
+        with pytest.raises(ProtocolError, match="conflict domain"):
+            q.push(0, _msg(2, (self.k1,)), Timestamp(2.0, 0))
+
+    def test_single_domain_head_on_fence_lane_releases_immediately(self):
+        q = LaneMergeQueue(2, conflict_keys=True)
+        m = _msg(1, (self.k0,))
+        q.push(0, m, Timestamp(1.0, 0))
+        # Lane 1's floor is still bottom, but nothing there can conflict.
+        released, blockers = q.drain()
+        assert released == [m] and blockers == []
+
+    def test_keyed_lane_waits_for_fence_floor(self):
+        q = LaneMergeQueue(2, conflict_keys=True)
+        m = _msg(1, (self.k1,))
+        q.push(1, m, Timestamp(2.0, 1))
+        got, blockers = q.pop_next()
+        assert got is None and blockers == [0]  # probe the fence lane
+        q.advance(0, Timestamp(2.0, 1))
+        got, blockers = q.pop_next()
+        assert got is m and blockers == []
+
+    def test_fence_orders_between_keyed_messages(self):
+        q = LaneMergeQueue(2, conflict_keys=True)
+        early = _msg(1, (self.k1,))
+        fence = _msg(2, None)
+        late = _msg(3, (self.k1,))
+        q.push(0, fence, Timestamp(5.0, 0))
+        q.push(1, early, Timestamp(3.0, 1))
+        q.push(1, late, Timestamp(7.0, 1))
+        # The keyed head below the fence releases (fence lane's floor at
+        # 5.0 proves no smaller fenced message is coming), then the fence,
+        # then the keyed head above it once the fence floor covers it.
+        released, blockers = q.drain()
+        assert released == [early, fence] and blockers == [0]
+        q.advance(0, Timestamp(7.0, 1))
+        released, blockers = q.drain()
+        assert released == [late] and blockers == []
+
+    def test_same_domain_messages_keep_stream_order(self):
+        q = LaneMergeQueue(2, conflict_keys=True)
+        first = _msg(1, (self.k1,))
+        second = _msg(2, (self.k1,))
+        q.push(1, first, Timestamp(1.0, 1))
+        q.push(1, second, Timestamp(2.0, 1))
+        q.advance(0, Timestamp(9.0, 0))
+        released, _ = q.drain()
+        assert released == [first, second]
+
+
+# -- LaneMergeQueue: total-mode head cache (satellite) ------------------------
+
+
+class NaiveMerge:
+    """Reference implementation: full O(lanes) scan on every pop."""
+
+    def __init__(self, lanes):
+        self.queues = [[] for _ in range(lanes)]
+        self.floor = [Timestamp(0.0, -1)] * lanes
+
+    def push(self, lane, m, gts):
+        self.queues[lane].append((m, gts))
+        if gts > self.floor[lane]:
+            self.floor[lane] = gts
+
+    def advance(self, lane, watermark):
+        if watermark > self.floor[lane]:
+            self.floor[lane] = watermark
+
+    def drain(self):
+        out = []
+        while True:
+            heads = [(q[0][1], lane) for lane, q in enumerate(self.queues) if q]
+            if not heads:
+                return out
+            best_gts, best = min(heads)
+            if any(
+                not q and self.floor[lane] < best_gts
+                for lane, q in enumerate(self.queues)
+                if lane != best
+            ):
+                return out
+            out.append(self.queues[best].pop(0)[0])
+
+
+class TestLaneMergeHeadCache:
+    @pytest.mark.parametrize("seed", [1, 8, 23])
+    def test_release_order_matches_naive_scan(self, seed):
+        lanes = 8
+        rng = random.Random(seed)
+        fast = LaneMergeQueue(lanes)
+        naive = NaiveMerge(lanes)
+        clock = itertools.count(1)
+        released = []
+        for step in range(300):
+            lane = rng.randrange(lanes)
+            if rng.random() < 0.7:
+                gts = Timestamp(float(next(clock)), lane)
+                label = f"m{step}"
+                fast.push(lane, label, gts)
+                naive.push(lane, label, gts)
+            else:
+                wm = Timestamp(float(next(clock)), lane)
+                fast.advance(lane, wm)
+                naive.advance(lane, wm)
+            if rng.random() < 0.3:
+                got, _ = fast.drain()
+                released.extend(got)
+                assert got == naive.drain()
+        # Final advance on every lane flushes both queues completely.
+        top = Timestamp(float(next(clock)), lanes)
+        for lane in range(lanes):
+            fast.advance(lane, top)
+            naive.advance(lane, top)
+        got, blockers = fast.drain()
+        released.extend(got)
+        assert got == naive.drain()
+        assert blockers == []
+        assert len(released) == len(set(released))
+
+    def test_duplicate_gts_heads_raise(self):
+        q = LaneMergeQueue(2)
+        q.push(0, "a", Timestamp(1.0, 0))
+        q.push(1, "b", Timestamp(1.0, 0))
+        with pytest.raises(ProtocolError, match="duplicate global timestamp"):
+            q.pop_next()
+
+    def test_dense_tiebreak_makes_equal_gts_impossible(self):
+        config = ClusterConfig.build(3, 3, 2, shards_per_group=4)
+        stamps = [
+            config.lane_timestamp_group(gid, lane)
+            for gid in config.group_ids
+            for lane in range(config.shards_per_group)
+        ]
+        assert len(stamps) == len(set(stamps))
+        # With one shard the encoding degenerates to the plain group id.
+        flat = ClusterConfig.build(3, 3, 2)
+        assert [
+            flat.lane_timestamp_group(gid, 0) for gid in flat.group_ids
+        ] == list(flat.group_ids)
+
+
+# -- DeliveryQueue: clear_pending compaction (satellite) ----------------------
+
+
+class TestDeliveryQueueCompaction:
+    def test_stale_entries_are_compacted(self):
+        dq = DeliveryQueue()
+        for i in range(200):
+            dq.set_pending(("c", i), Timestamp(float(i + 1), 0))
+        assert dq.pending_heap_size == 200
+        # Below both thresholds nothing compacts ...
+        for i in range(60):
+            dq.clear_pending(("c", i))
+        assert dq.pending_heap_size == 200
+        # ... but once stale entries dominate, the heap is rebuilt from
+        # the live set instead of carrying every cleared proposal forever.
+        # (Compaction fires the moment stale > live — at 101 cleared with
+        # 99 live — and later clears accrue lazily until the next one.)
+        for i in range(60, 150):
+            dq.clear_pending(("c", i))
+        assert dq.pending_heap_size == 99
+
+    def test_compaction_in_keys_mode_rebuilds_domain_heaps(self):
+        dq = DeliveryQueue(conflict_domains=4)
+        for i in range(200):
+            dq.set_pending(
+                ("c", i), Timestamp(float(i + 1), 0), domains=frozenset({i % 4})
+            )
+        for i in range(150):
+            dq.clear_pending(("c", i))
+        assert dq.pending_heap_size == 99
+        # The surviving pendings still resolve: clearing them all leaves
+        # nothing pending and further compactions are no-ops.
+        for i in range(150, 200):
+            dq.clear_pending(("c", i))
+        dq.set_pending(("d", 0), Timestamp(500.0, 0), domains=frozenset({0}))
+        assert dq.pending_heap_size >= 1
+
+
+# -- ServingSession: suspected-replica avoidance expires (satellite) ----------
+
+
+class TestAvoidExpiry:
+    def _crashed_run(self):
+        config = ClusterConfig.build(num_groups=1, group_size=3, num_clients=2)
+        victim = config.members(0)[0]
+        result = run_serving_workload(
+            WbCastProcess,
+            config=config,
+            ops_per_session=30,
+            read_ratio=0.9,
+            read_timeout=0.02,
+            retry_timeout=0.05,
+            seed=5,
+            fault_plan=FaultPlan(crashes=[CrashSpec(victim, 0.02)]),
+            attach_fd=True,
+            fd_options=FAST_FD,
+            max_time=60.0,
+        )
+        avoided = [s for s in result.sessions if victim in s._avoid]
+        assert avoided
+        return victim, avoided
+
+    def test_default_ttl_scales_with_read_timeout(self):
+        victim, avoided = self._crashed_run()
+        for s in avoided:
+            assert s.avoid_ttl == pytest.approx(10 * 0.02)
+
+    def test_recovered_replica_rejoins_rotation(self):
+        victim, avoided = self._crashed_run()
+        s = avoided[0]
+        # While the suspicion is fresh the victim stays out of rotation.
+        s._avoid[victim] = s.now()
+        assert s._pick_replica(0) != victim
+        assert victim in s._avoid
+        # Once the entry outlives the TTL the next pick expires it, so a
+        # recovered replica rejoins the read rotation.
+        s._avoid[victim] = s.now() - s.avoid_ttl - 1.0
+        s._pick_replica(0)
+        assert victim not in s._avoid
