@@ -283,7 +283,13 @@ def run_point(
     )
 
 
-def run_batching(sweep: Optional[BatchingSweepConfig] = None) -> List[BatchingPoint]:
+def run_batching(
+    sweep: Optional[BatchingSweepConfig] = None,
+    profiler=None,
+) -> List[BatchingPoint]:
+    """Run the grid; ``profiler`` (a :class:`~repro.obs.PhaseProfiler`)
+    attributes CPU per (protocol, batch) phase so hot spots in the
+    simulated protocol path show up with their real stack."""
     sweep = sweep or default_sweep()
     points: List[BatchingPoint] = []
     for protocol in sweep.protocols:
@@ -302,12 +308,18 @@ def run_batching(sweep: Optional[BatchingSweepConfig] = None) -> List[BatchingPo
                             placements = ("flat",)
                         for placement in placements:
                             for clients in sweep.client_counts:
-                                points.append(
-                                    run_point(
+                                if profiler is not None:
+                                    with profiler.phase(f"{protocol}/batch{batch}"):
+                                        point = run_point(
+                                            sweep, protocol, batch, clients,
+                                            mode, ingress, shards, placement,
+                                        )
+                                else:
+                                    point = run_point(
                                         sweep, protocol, batch, clients, mode,
                                         ingress, shards, placement,
                                     )
-                                )
+                                points.append(point)
     return points
 
 
@@ -600,6 +612,15 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="CI smoke grid (per-message vs one batched point)",
     )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="cProfile each (protocol, batch) phase and print per-phase "
+        "CPU attribution ('-' or no value: stdout; FILE: write there)",
+    )
 
 
 def sweep_from_args(args: argparse.Namespace) -> BatchingSweepConfig:
@@ -651,10 +672,22 @@ def sweep_from_args(args: argparse.Namespace) -> BatchingSweepConfig:
 def run_main(args: argparse.Namespace) -> None:
     """Run the ablation for an already-parsed argument namespace."""
     sweep = sweep_from_args(args)
-    points = run_batching(sweep)
+    profiler = None
+    if getattr(args, "profile", None) is not None:
+        from ..obs import PhaseProfiler
+
+        profiler = PhaseProfiler()
+    points = run_batching(sweep, profiler=profiler)
     print(batching_table(points, topology=sweep.topology))
     print()
     print(headline(points))
+    if profiler is not None:
+        if args.profile == "-":
+            print()
+            print(profiler.report())
+        else:
+            profiler.write(args.profile)
+            print(f"\nwrote profile to {args.profile}")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> None:

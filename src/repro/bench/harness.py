@@ -41,6 +41,8 @@ class RunResult:
     duration: float
     completed: int
     expected: int
+    #: repro.obs.Telemetry of the run, or None when observability is off.
+    telemetry: Optional[Any] = None
 
     def history(self) -> History:
         return History.from_trace(self.config, self.trace)
@@ -127,6 +129,7 @@ def run_workload(
     max_time: Optional[float] = None,
     config: Optional[ClusterConfig] = None,
     batching: Optional[BatchingOptions] = None,
+    obs: Optional[Any] = None,
 ) -> RunResult:
     """Run ``num_clients`` closed-loop clients against ``protocol_cls``.
 
@@ -145,6 +148,14 @@ def run_workload(
         network = ConstantDelay(0.001)
     trace = Trace(record_sends=record_sends)
     sim = Simulator(network, seed=seed, trace=trace, cpu=cpu)
+    from ..obs import Telemetry
+
+    telemetry = Telemetry.create(obs if obs is not None else config.obs,
+                                 now=lambda: sim.now, time_source=sim)
+    if telemetry is not None:
+        span_monitor = telemetry.trace_monitor()
+        if span_monitor is not None:
+            trace.attach(span_monitor)
     tracker = DeliveryTracker(config, sim=sim)
     trace.attach(tracker)
     genuineness = None
@@ -162,6 +173,8 @@ def run_workload(
                 lambda rt, p=pid: protocol_cls(p, config, rt, options=protocol_options),
             )
             members[pid] = proc
+            if telemetry is not None:
+                proc.attach_obs(telemetry)
             if attach_fd:
                 from ..failure.detector import attach_monitor
 
@@ -205,6 +218,10 @@ def run_workload(
     end_of_load = sim.now
     if drain_grace > 0:
         sim.run(until=sim.now + drain_grace)
+    if telemetry is not None:
+        from ..obs import collect_process_stats
+
+        collect_process_stats(telemetry, members)
 
     result = RunResult(
         config=config,
@@ -216,6 +233,7 @@ def run_workload(
         duration=end_of_load,
         completed=tracker.completed_count,
         expected=expected,
+        telemetry=telemetry,
     )
     if genuineness is not None:
         result.genuineness = genuineness  # type: ignore[attr-defined]

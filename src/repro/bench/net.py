@@ -145,6 +145,7 @@ def run_point(
     batch: int,
     ingress: int,
     loop_label: str,
+    obs=None,
 ) -> NetPoint:
     protocol_cls = PROTOCOLS[protocol]
     config = ClusterConfig.build(
@@ -178,6 +179,7 @@ def run_point(
             client_options=client_options,
             num_sessions=sweep.sessions,
             transport_options=transport_options,
+            obs=obs,
         )
         await cluster.start()
         try:
@@ -214,7 +216,15 @@ def run_point(
     )
 
 
-def run_net(sweep: Optional[NetSweepConfig] = None) -> List[NetPoint]:
+def run_net(
+    sweep: Optional[NetSweepConfig] = None,
+    profiler=None,
+    obs=None,
+) -> List[NetPoint]:
+    """Run the grid.  ``profiler`` (a
+    :class:`~repro.obs.PhaseProfiler`) attributes CPU per grid cell;
+    ``obs`` (an :class:`~repro.obs.ObsOptions`) instruments every
+    cluster with the telemetry registry."""
     sweep = sweep or default_sweep()
     loop_label = install_loop(sweep.loop)
     points: List[NetPoint] = []
@@ -226,7 +236,17 @@ def run_net(sweep: Optional[NetSweepConfig] = None) -> List[NetPoint]:
         )
         for batch in batches:
             for ingress in sweep.ingress_batches:
-                points.append(run_point(sweep, protocol, batch, ingress, loop_label))
+                if profiler is not None:
+                    label = f"{protocol}/batch{batch}/ingress{ingress}"
+                    with profiler.phase(label):
+                        point = run_point(
+                            sweep, protocol, batch, ingress, loop_label, obs=obs
+                        )
+                else:
+                    point = run_point(
+                        sweep, protocol, batch, ingress, loop_label, obs=obs
+                    )
+                points.append(point)
     return points
 
 
@@ -410,6 +430,22 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="CI smoke grid (wbcast only, tiny message counts)",
     )
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="instrument every cluster with the telemetry registry and "
+        "report wire-path health (codec hot-path fallbacks, corrupt "
+        "frames) after the sweep",
+    )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="cProfile each grid cell as its own phase and print per-phase "
+        "CPU attribution ('-' or no value: stdout; FILE: write there)",
+    )
 
 
 def sweep_from_args(args: argparse.Namespace) -> NetSweepConfig:
@@ -438,11 +474,45 @@ def sweep_from_args(args: argparse.Namespace) -> NetSweepConfig:
 
 def run_main(args: argparse.Namespace) -> int:
     sweep = sweep_from_args(args)
-    points = run_net(sweep)
+    profiler = None
+    if args.profile is not None:
+        from ..obs import PhaseProfiler
+
+        profiler = PhaseProfiler()
+    obs_options = None
+    codec_base = None
+    if args.obs:
+        from ..net.codec import CODEC_STATS
+        from ..obs import ObsOptions
+
+        obs_options = ObsOptions(enabled=True)
+        codec_base = CODEC_STATS.snapshot()
+    points = run_net(sweep, profiler=profiler, obs=obs_options)
     loop_label = points[0].loop if points else sweep.loop
     print(net_table(points))
     print()
     print(headline(points))
+    if codec_base is not None:
+        from ..net.codec import CODEC_STATS
+
+        fallbacks = CODEC_STATS.hot_path_fallbacks(codec_base)
+        corrupt = CODEC_STATS.corrupt_frames - codec_base["corrupt_frames"]
+        if fallbacks:
+            detail = ", ".join(
+                f"{name} x{count}" for name, count in sorted(fallbacks.items())
+            )
+            print(f"codec     : HOT-PATH PICKLE FALLBACKS — {detail}")
+        else:
+            print("codec     : hot path clean (0 pickle fallbacks, "
+                  f"{corrupt} corrupt frames)")
+    if profiler is not None:
+        report = profiler.report()
+        if args.profile == "-":
+            print()
+            print(report)
+        else:
+            profiler.write(args.profile)
+            print(f"\nwrote profile to {args.profile}")
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(results_block(sweep, points, loop_label))

@@ -111,6 +111,12 @@ class ServingSweepConfig:
     #: on their key's conflict domain instead of the global watermark).
     #: The net smoke cell always runs total.
     conflict: str = "total"
+    #: Instrument sim cells with the telemetry registry and report
+    #: per-tenant read/write latency histograms and SLO breach counts.
+    obs: bool = False
+    #: Per-tenant latency targets in seconds (None: no SLO accounting).
+    read_slo: Optional[float] = None
+    write_slo: Optional[float] = None
 
 
 def default_sweep() -> ServingSweepConfig:
@@ -128,13 +134,21 @@ def quick_sweep() -> ServingSweepConfig:
     )
 
 
-def tenant_specs(count: int) -> Tuple[TenantSpec, ...]:
+def tenant_specs(
+    count: int,
+    read_slo: Optional[float] = None,
+    write_slo: Optional[float] = None,
+) -> Tuple[TenantSpec, ...]:
     """The tenant axis: one anonymous uncapped tenant, or ``count``
-    weighted tenants each carrying an admission cap."""
+    weighted tenants each carrying an admission cap (and, when given,
+    per-op latency SLO targets)."""
     if count <= 1:
         return ()
     return tuple(
-        TenantSpec(f"t{i}", weight=i + 1, max_outstanding=TENANT_CAP)
+        TenantSpec(
+            f"t{i}", weight=i + 1, max_outstanding=TENANT_CAP,
+            read_slo=read_slo, write_slo=write_slo,
+        )
         for i in range(count)
     )
 
@@ -179,6 +193,13 @@ def _run_arm(
     prefer_local: bool,
 ):
     config, network = _serving_config(sweep)
+    obs = None
+    if sweep.obs and prefer_local:
+        # Only the measured arm is instrumented; the control arm stays
+        # bare so its throughput is the uninstrumented reference.
+        from ..obs import ObsOptions
+
+        obs = ObsOptions(enabled=True)
     return run_serving_workload(
         PROTOCOLS[sweep.protocol],
         config=config,
@@ -188,7 +209,8 @@ def _run_arm(
         read_ratio=read_ratio,
         skew=skew,
         num_keys=sweep.num_keys,
-        tenants=tenant_specs(tenants),
+        tenants=tenant_specs(tenants, sweep.read_slo, sweep.write_slo),
+        obs=obs,
         window=sweep.window,
         prefer_local=prefer_local,
         read_timeout=sweep.read_timeout,
@@ -203,9 +225,20 @@ def _run_arm(
 
 
 def run_sim_point(
-    sweep: ServingSweepConfig, read_ratio: float, skew: float, tenants: int
+    sweep: ServingSweepConfig,
+    read_ratio: float,
+    skew: float,
+    tenants: int,
+    telemetries: Optional[List[Tuple[str, Any]]] = None,
 ) -> ServingPoint:
     result = _run_arm(sweep, read_ratio, skew, tenants, prefer_local=True)
+    if telemetries is not None and result.telemetry is not None:
+        telemetries.append(
+            (
+                f"reads={read_ratio:.2f} skew={skew:.2f} tenants={tenants}",
+                result.telemetry,
+            )
+        )
     checks = result.check() + result.genuineness.check()
     lin = result.check_serving()
     summary = summarize_latencies(result.read_latencies())
@@ -379,14 +412,22 @@ def run_net_point(sweep: ServingSweepConfig, read_ratio: float) -> ServingPoint:
     )
 
 
-def run_serving(sweep: Optional[ServingSweepConfig] = None) -> List[ServingPoint]:
+def run_serving(
+    sweep: Optional[ServingSweepConfig] = None,
+    telemetries: Optional[List[Tuple[str, Any]]] = None,
+) -> List[ServingPoint]:
     sweep = sweep or default_sweep()
     points: List[ServingPoint] = []
     if sweep.runtime in ("sim", "both"):
         for read_ratio in sweep.read_ratios:
             for skew in sweep.skews:
                 for tenants in sweep.tenant_counts:
-                    points.append(run_sim_point(sweep, read_ratio, skew, tenants))
+                    points.append(
+                        run_sim_point(
+                            sweep, read_ratio, skew, tenants,
+                            telemetries=telemetries,
+                        )
+                    )
     if sweep.runtime in ("net", "both"):
         for read_ratio in sweep.read_ratios:
             points.append(run_net_point(sweep, read_ratio))
@@ -439,6 +480,58 @@ def serving_table(points: List[ServingPoint]) -> str:
             else ""
         ),
     )
+
+
+def tenant_report(telemetries: List[Tuple[str, Any]]) -> str:
+    """Per-tenant read/write latency and SLO-breach table (the ROADMAP's
+    per-tenant SLO accounting, first leg), one block per instrumented
+    multi-tenant grid cell."""
+    blocks = []
+    for label, telemetry in telemetries:
+        reg = telemetry.registry
+        reads = {dict(h.labels)["tenant"]: h
+                 for h in reg.histograms("tenant_read_latency_seconds")}
+        writes = {dict(h.labels)["tenant"]: h
+                  for h in reg.histograms("tenant_write_latency_seconds")}
+        names = sorted(set(reads) | set(writes))
+        if not names:
+            continue
+        rows = []
+        for t in names:
+            r, w = reads.get(t), writes.get(t)
+            rows.append(
+                (
+                    t,
+                    r.count if r else 0,
+                    r.quantile(0.5) * 1000 if r else float("nan"),
+                    r.quantile(0.95) * 1000 if r else float("nan"),
+                    w.count if w else 0,
+                    w.quantile(0.5) * 1000 if w else float("nan"),
+                    w.quantile(0.95) * 1000 if w else float("nan"),
+                    reg.counter_total("tenant_slo_breaches_total",
+                                      tenant=t, op="read"),
+                    reg.counter_total("tenant_slo_breaches_total",
+                                      tenant=t, op="write"),
+                )
+            )
+        blocks.append(
+            render_table(
+                [
+                    "tenant",
+                    "reads",
+                    "read p50 (ms)",
+                    "read p95 (ms)",
+                    "writes",
+                    "write p50 (ms)",
+                    "write p95 (ms)",
+                    "read SLO misses",
+                    "write SLO misses",
+                ],
+                rows,
+                title=f"Per-tenant latency / SLO — {label}",
+            )
+        )
+    return "\n\n".join(blocks)
 
 
 def headline_point(points: List[ServingPoint]) -> Optional[ServingPoint]:
@@ -659,6 +752,28 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="CI smoke grid (90%% reads, two skews, one tenant pair)",
     )
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="instrument sim cells with the telemetry registry and print "
+        "per-tenant read/write latency histograms plus SLO-breach counts "
+        "(the control arm stays uninstrumented)",
+    )
+    parser.add_argument(
+        "--read-slo",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="per-tenant read latency SLO target in seconds; completions "
+        "above it count as breaches in the per-tenant report",
+    )
+    parser.add_argument(
+        "--write-slo",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="per-tenant write latency SLO target in seconds",
+    )
 
 
 def sweep_from_args(args: argparse.Namespace) -> ServingSweepConfig:
@@ -673,6 +788,11 @@ def sweep_from_args(args: argparse.Namespace) -> ServingSweepConfig:
         runtime=args.runtime,
         compare_submit=not args.no_compare,
         conflict=getattr(args, "conflict", "total"),
+        obs=getattr(args, "obs", False)
+        or getattr(args, "read_slo", None) is not None
+        or getattr(args, "write_slo", None) is not None,
+        read_slo=getattr(args, "read_slo", None),
+        write_slo=getattr(args, "write_slo", None),
     )
     if args.sessions is not None:
         sweep = replace(
@@ -693,13 +813,19 @@ def sweep_from_args(args: argparse.Namespace) -> ServingSweepConfig:
 
 def run_main(args: argparse.Namespace) -> int:
     sweep = sweep_from_args(args)
-    points = run_serving(sweep)
+    telemetries: Optional[List[Tuple[str, Any]]] = [] if sweep.obs else None
+    points = run_serving(sweep, telemetries=telemetries)
     crash = None
     if not args.no_crash and sweep.runtime in ("sim", "both"):
         crash = run_crash_point(sweep)
     print(serving_table(points))
     print()
     print(headline(points))
+    if telemetries:
+        report = tenant_report(telemetries)
+        if report:
+            print()
+            print(report)
     if crash is not None:
         verdict = (
             "linearizable" if crash["linearizable"] and crash["checks_ok"] else "FAILED"

@@ -10,6 +10,9 @@ Commands map one-to-one onto the library's experiment modules:
   ``--ingress-batch`` coalesces client submissions per destination
   leader through the ``AmcastClient`` session; ``--runtime net`` runs
   the same workload over a real asyncio TCP cluster on localhost);
+* ``spans`` — run with telemetry on and print the message-lifecycle
+  breakdown: per-stage latency legs and the top-k slowest messages
+  (``--obs`` / ``--obs-export`` expose the same registry on ``run``);
 * ``flow`` — trace one multicast hop by hop (the Fig. 5 view);
 * ``latency-table`` / ``convoy`` / ``figure7`` / ``figure8`` /
   ``ablations`` / ``complexity`` — regenerate the paper's tables;
@@ -142,6 +145,37 @@ def _build_parser() -> argparse.ArgumentParser:
                             "cluster in one process; 'lanes' hosts each "
                             "member — hence each lane leader — in its own "
                             "OS process (no kill/reconfig drivers there)")
+    run_p.add_argument("--obs", action="store_true",
+                       help="enable the telemetry subsystem: message-lifecycle "
+                            "spans plus the metrics registry (counters, "
+                            "gauges, latency histograms) on both runtimes; "
+                            "off by default so runs stay byte-identical to "
+                            "uninstrumented ones")
+    run_p.add_argument("--obs-export", choices=["json", "prom"], default=None,
+                       help="print the full metrics snapshot after the run "
+                            "in JSON or Prometheus text format (implies "
+                            "--obs)")
+
+    spans_p = sub.add_parser(
+        "spans",
+        help="run a workload with telemetry on and print the top-k slowest "
+             "messages with their per-stage lifecycle breakdown "
+             "(submit/admit/accept_quorum/commit/merge_release/deliver)")
+    spans_p.add_argument("--protocol", choices=sorted(PROTOCOLS), default="wbcast")
+    spans_p.add_argument("--groups", type=int, default=3)
+    spans_p.add_argument("--group-size", type=int, default=3)
+    spans_p.add_argument("--shards", type=_positive_int, default=1, metavar="S")
+    spans_p.add_argument("--clients", type=int, default=4)
+    spans_p.add_argument("--messages", type=int, default=25)
+    spans_p.add_argument("--dest-k", type=int, default=2)
+    spans_p.add_argument("--topology", choices=["constant", "lan", "wan"],
+                         default="wan",
+                         help="WAN grid by default — the interesting case "
+                              "for stage attribution")
+    spans_p.add_argument("--delta", type=float, default=0.001)
+    spans_p.add_argument("--seed", type=int, default=0)
+    spans_p.add_argument("--top-k", type=_positive_int, default=10, metavar="K",
+                         help="how many of the slowest messages to break down")
 
     flow_p = sub.add_parser("flow", help="trace one multicast hop by hop (Fig. 5 view)")
     flow_p.add_argument("--protocol", choices=sorted(PROTOCOLS), default="wbcast")
@@ -252,6 +286,46 @@ def _batching_options(args: argparse.Namespace):
     return None, None
 
 
+def _obs_options(args: argparse.Namespace):
+    """The ObsOptions implied by --obs/--obs-export (None: obs off)."""
+    if not (getattr(args, "obs", False) or getattr(args, "obs_export", None)):
+        return None
+    from .obs import ObsOptions
+
+    return ObsOptions(enabled=True, export=getattr(args, "obs_export", None))
+
+
+def _print_obs(telemetry, export: Optional[str]) -> None:
+    """The post-run telemetry tail shared by the sim and net branches."""
+    if telemetry is None:
+        return
+    if export == "json":
+        print(telemetry.registry.render_json())
+    elif export == "prom":
+        print(telemetry.registry.render_prometheus(), end="")
+    else:
+        snap = telemetry.registry.snapshot()
+        print(
+            f"obs       : {len(snap['counters'])} counters, "
+            f"{len(snap['gauges'])} gauges, "
+            f"{len(snap['histograms'])} histograms recorded "
+            "(--obs-export json|prom for the full snapshot)"
+        )
+    spans = telemetry.spans
+    if spans is not None and spans.delivered_mids():
+        delivered = spans.delivered_mids()
+        fracs = sorted(
+            f for m in delivered
+            if (f := spans.attributed_fraction(m)) is not None
+        )
+        frac = fracs[len(fracs) // 2] if fracs else 0.0
+        print(
+            f"spans     : {len(delivered)} delivered messages traced, "
+            f"{frac * 100:.1f}% of median e2e latency attributed to "
+            "pipeline stages (see `repro spans`)"
+        )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     protocol_cls = PROTOCOLS[args.protocol]
     group_size = 1 if args.protocol == "skeen" else args.group_size
@@ -330,6 +404,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         batching=batching,
         client_options=client_options,
+        obs=_obs_options(args),
         # High-latency topologies need several probe/watermark round trips
         # after the last client completion before followers quiesce.
         drain_grace=max(0.05, 10 * delta),
@@ -372,6 +447,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"p95 {summary.p95 / delta:.2f}δ, max {summary.max / delta:.2f}δ"
         )
     print(f"throughput: {result.throughput():,.0f} msgs/s (virtual time)")
+    _print_obs(result.telemetry, args.obs_export)
     return 0 if (ok and result.all_done) else 1
 
 
@@ -497,6 +573,8 @@ def _cmd_run_net(args: argparse.Namespace, protocol_cls, config) -> int:
     loop_label = install_loop(args.loop)
     cluster_cls = MultiProcCluster if multiproc else LocalCluster
 
+    obs_options = _obs_options(args)
+
     async def scenario():
         cluster = cluster_cls(
             config,
@@ -506,6 +584,7 @@ def _cmd_run_net(args: argparse.Namespace, protocol_cls, config) -> int:
             client_options=client_options,
             attach_reconfig=reconfig,
             transport_options=transport_options,
+            obs=obs_options,
         )
         await cluster.start()
         try:
@@ -577,11 +656,11 @@ def _cmd_run_net(args: argparse.Namespace, protocol_cls, config) -> int:
             # handle-completion contract, with `done` informing quiescent
             # checking only.
             gate = done if reconfig else True
-            return gate, completed, elapsed, checks
+            return gate, completed, elapsed, checks, cluster.telemetry
         finally:
             await cluster.stop()
 
-    done, completed, elapsed, checks = asyncio.run(scenario())
+    done, completed, elapsed, checks, telemetry = asyncio.run(scenario())
     print(f"protocol  : {args.protocol} (asyncio TCP runtime, localhost)")
     print(
         f"wire      : codec={args.codec} loop={loop_label} "
@@ -608,7 +687,54 @@ def _cmd_run_net(args: argparse.Namespace, protocol_cls, config) -> int:
         ok = ok and check.ok
     if elapsed > 0:
         print(f"throughput: {completed / elapsed:,.0f} msgs/s (wall clock)")
+    _print_obs(telemetry, args.obs_export)
     return 0 if (ok and done and completed == total) else 1
+
+
+def _cmd_spans(args: argparse.Namespace) -> int:
+    """Run a sim workload with telemetry on; print the span breakdown."""
+    from .config import ClusterConfig
+    from .obs import ObsOptions, render_spans_report
+
+    protocol_cls = PROTOCOLS[args.protocol]
+    group_size = 1 if args.protocol == "skeen" else args.group_size
+    config = ClusterConfig.build(
+        args.groups, group_size, args.clients, shards_per_group=args.shards
+    )
+    if args.topology == "lan":
+        from .bench.topologies import lan_testbed
+
+        network = lan_testbed(config)
+        delta = 0.00005
+    elif args.topology == "wan":
+        from .bench.topologies import wan_testbed
+
+        network = wan_testbed(config)
+        delta = 0.065
+    else:
+        network = ConstantDelay(args.delta)
+        delta = args.delta
+    result = run_workload(
+        protocol_cls,
+        config=config,
+        messages_per_client=args.messages,
+        dest_k=min(args.dest_k, args.groups),
+        network=network,
+        seed=args.seed,
+        obs=ObsOptions(enabled=True, top_k=args.top_k),
+        drain_grace=max(0.05, 10 * delta),
+    )
+    print(
+        f"protocol  : {args.protocol}  topology={args.topology}  "
+        f"shards={config.shards_per_group}  "
+        f"{result.completed}/{result.expected} completed"
+    )
+    spans = result.telemetry.spans if result.telemetry is not None else None
+    if spans is None or not spans.delivered_mids():
+        print("no delivered messages were traced", file=sys.stderr)
+        return 1
+    print(render_spans_report(spans, k=args.top_k))
+    return 0 if result.all_done else 1
 
 
 def _cmd_flow(args: argparse.Namespace) -> int:
@@ -634,6 +760,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "spans":
+        return _cmd_spans(args)
     if args.command == "flow":
         return _cmd_flow(args)
     if args.command == "latency-table":

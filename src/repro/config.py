@@ -16,6 +16,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from .errors import ConfigError
+from .obs.options import ObsOptions
 from .placement import PlacementPolicy
 from .types import GroupId, ProcessId
 
@@ -164,6 +165,12 @@ class ClusterConfig:
             overriding the mid hash and any site-affine lane restriction —
             the domain decides the lane, placement only decides who leads
             it.
+        obs: optional :class:`~repro.obs.ObsOptions` switching the
+            telemetry spine on for runs built from this config (``None``
+            or a disabled instance: every instrumented seam stays a no-op
+            and the run is byte-identical to a pre-telemetry one).  Pure
+            observation — the options never influence protocol behaviour,
+            and reconfiguration successors carry them unchanged.
     """
 
     groups: Tuple[Tuple[ProcessId, ...], ...]
@@ -176,6 +183,7 @@ class ClusterConfig:
     allow_even_groups: bool = False
     placement: Optional[PlacementPolicy] = None
     conflict: str = "total"
+    obs: Optional[ObsOptions] = None
 
     def __post_init__(self) -> None:
         if self.conflict not in ("total", "keys"):
@@ -227,6 +235,10 @@ class ClusterConfig:
             raise ConfigError(
                 f"placement must be a PlacementPolicy, got {type(self.placement).__name__}"
             )
+        if self.obs is not None and not isinstance(self.obs, ObsOptions):
+            raise ConfigError(
+                f"obs must be an ObsOptions, got {type(self.obs).__name__}"
+            )
 
     # -- construction -----------------------------------------------------
 
@@ -239,6 +251,7 @@ class ClusterConfig:
         shards_per_group: int = 1,
         placement: Optional[PlacementPolicy] = None,
         conflict: str = "total",
+        obs: Optional[ObsOptions] = None,
     ) -> "ClusterConfig":
         """Build the canonical dense-ids layout used throughout the repo."""
         if group_size % 2 == 0 or group_size < 1:
@@ -256,6 +269,7 @@ class ClusterConfig:
             shards_per_group=shards_per_group,
             placement=placement,
             conflict=conflict,
+            obs=obs,
         )
 
     # -- queries ----------------------------------------------------------

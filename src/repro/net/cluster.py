@@ -70,6 +70,7 @@ class LocalCluster:
         attach_reconfig: bool = False,
         transport_options: Optional[TransportOptions] = None,
         session_factory: Any = None,
+        obs: Any = None,
     ) -> None:
         if num_sessions < 1:
             raise ValueError(f"num_sessions must be >= 1, got {num_sessions}")
@@ -124,6 +125,19 @@ class LocalCluster:
         self._delivery_event = asyncio.Event()
         self._session_transports: List[NodeTransport] = []
         self._session_pids: List[ProcessId] = []
+        #: Telemetry spine of this run (wall-clock spans), or None.  The
+        #: ``obs`` argument wins over ``config.obs``.
+        from ..obs import Telemetry
+
+        self.telemetry = Telemetry.create(obs if obs is not None else config.obs)
+        self._span_monitor = (
+            self.telemetry.trace_monitor() if self.telemetry is not None else None
+        )
+        # Run-start codec tallies, so per-run fallback deltas survive the
+        # process-global CODEC_STATS being shared across clusters.
+        from .codec import CODEC_STATS
+
+        self._codec_base = CODEC_STATS.snapshot()
 
     @property
     def client(self) -> Optional[AmcastClient]:
@@ -138,12 +152,14 @@ class LocalCluster:
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> None:
+        registry = self.telemetry.registry if self.telemetry is not None else None
         for pid in self.config.all_members:
             transport = NodeTransport(
                 pid,
                 self.addresses.__getitem__,
                 self._make_dispatch(pid),
                 options=self.transport_options,
+                registry=registry,
             )
             await transport.start()
             self.transports[pid] = transport
@@ -156,6 +172,8 @@ class LocalCluster:
                 pid, self.transports[pid], self._record_delivery, seed=self.seed
             )
             proc = self.protocol_cls(pid, self.config, runtime, options=self.options)
+            if self.telemetry is not None:
+                proc.attach_obs(self.telemetry)
             if self.attach_fd:
                 from ..failure.detector import attach_monitor
 
@@ -208,6 +226,7 @@ class LocalCluster:
         processes can be handed a complete address map before anything
         starts.
         """
+        registry = self.telemetry.registry if self.telemetry is not None else None
         for i, pid in enumerate(self._session_pids):
             transport = NodeTransport(
                 pid,
@@ -215,6 +234,7 @@ class LocalCluster:
                 self._make_session_dispatch(i),
                 options=self.transport_options,
                 on_congestion=self._make_congestion_hook(i),
+                registry=registry,
             )
             await transport.start(port=(ports or {}).get(pid, 0))
             self._session_transports.append(transport)
@@ -254,6 +274,7 @@ class LocalCluster:
         return dispatch
 
     async def stop(self) -> None:
+        self.collect_stats()
         for transport in self.transports.values():
             await transport.close()
         for transport in self._session_transports:
@@ -271,11 +292,37 @@ class LocalCluster:
 
     def _record_delivery(self, pid: ProcessId, m: AmcastMessage, t: float) -> None:
         self.deliveries.append((pid, m, t))
+        if self._span_monitor is not None:
+            self._span_monitor.on_deliver(t, pid, m)
         self.tracker.on_deliver(t, pid, m)
         self._delivery_event.set()
 
     def _record_multicast(self, pid: ProcessId, m: AmcastMessage, t: float) -> None:
         self.multicasts[m.mid] = (pid, t, m)
+        if self._span_monitor is not None:
+            self._span_monitor.on_multicast(t, pid, m)
+
+    def collect_stats(self) -> None:
+        """Fold end-of-run process/codec/transport state into the registry.
+
+        Called by :meth:`stop`; callable earlier for a mid-run snapshot.
+        """
+        if self.telemetry is None:
+            return
+        from ..obs import collect_process_stats
+        from .codec import CODEC_STATS
+
+        collect_process_stats(self.telemetry, self.processes)
+        reg = self.telemetry.registry
+        for name, n in CODEC_STATS.fallbacks_since(self._codec_base).items():
+            reg.gauge("codec_fallback_frames_total", type=name).set(n)
+        base = self._codec_base
+        reg.gauge("codec_corrupt_frames_total").set(
+            CODEC_STATS.corrupt_frames - base["corrupt_frames"]
+        )
+        reg.gauge("codec_oversized_frames_total").set(
+            CODEC_STATS.oversized_frames - base["oversized_frames"]
+        )
 
     # -- client API -----------------------------------------------------------------
 

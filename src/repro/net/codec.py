@@ -39,7 +39,7 @@ import asyncio
 import dataclasses
 import pickle
 import struct
-from typing import Any, Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..failure import detector as _detector
 from ..paxos import messages as _paxos
@@ -63,6 +63,66 @@ MAX_FRAME = 64 * 1024 * 1024
 
 #: Frame tag of the pickle fallback; registered binary types use 1..255.
 TAG_PICKLE = 0
+
+
+class CodecStats:
+    """Always-on tallies of the codec's exception paths.
+
+    Fallbacks and corrupt frames are cold by design, so a plain dict
+    increment on those paths costs nothing on the binary hot path.  The
+    counts are process-global (the codec is module-level state); callers
+    that need per-run deltas take a :meth:`snapshot` at run start and
+    subtract.
+    """
+
+    def __init__(self) -> None:
+        #: Pickle-fallback frames per message type name (binary mode only
+        #: — a forced ``codec="pickle"`` baseline is not a fallback).
+        self.fallback_frames: Dict[str, int] = {}
+        self.corrupt_frames = 0
+        self.oversized_frames = 0
+
+    def record_fallback(self, type_name: str) -> None:
+        self.fallback_frames[type_name] = self.fallback_frames.get(type_name, 0) + 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "fallback_frames": dict(self.fallback_frames),
+            "corrupt_frames": self.corrupt_frames,
+            "oversized_frames": self.oversized_frames,
+        }
+
+    def fallbacks_since(self, base: Dict[str, Any]) -> Dict[str, int]:
+        """Per-type fallback deltas against a run-start :meth:`snapshot`."""
+        before = base.get("fallback_frames", {})
+        out = {}
+        for name, n in self.fallback_frames.items():
+            d = n - before.get(name, 0)
+            if d > 0:
+                out[name] = d
+        return out
+
+    def hot_path_fallbacks(self, base: Optional[Dict[str, Any]] = None) -> Dict[str, int]:
+        """Fallback counts for types that should never fall back.
+
+        Anything outside :data:`COLD_PICKLE_TYPES` reaching the pickle
+        path is either a registered type whose encoder choked or an
+        unclassified wire message — both worth failing a test over.
+        """
+        counts = (
+            self.fallbacks_since(base) if base is not None else self.fallback_frames
+        )
+        cold = {cls.__name__ for cls in COLD_PICKLE_TYPES}
+        return {name: n for name, n in counts.items() if name not in cold}
+
+    def reset(self) -> None:
+        self.fallback_frames.clear()
+        self.corrupt_frames = 0
+        self.oversized_frames = 0
+
+
+#: Process-global codec tallies (see :class:`CodecStats`).
+CODEC_STATS = CodecStats()
 
 # -- tagged value vocabulary -------------------------------------------------
 #
@@ -330,6 +390,7 @@ def _enc_inner(buf: bytearray, msg: Any) -> None:
         buf.append(_MSG_TAGS[type(msg)])
         enc(buf, msg)
         return
+    CODEC_STATS.record_fallback(type(msg).__name__)
     blob = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
     buf.append(TAG_PICKLE)
     buf += _U.pack(len(blob))
@@ -728,6 +789,7 @@ def encode_frame(sender: ProcessId, msg: Any, codec: str = "binary") -> bytes:
             # partial body and fall back to the pickle path — robustness
             # over raw speed for the odd message out.
             del buf[base:]
+            CODEC_STATS.record_fallback(type(msg).__name__)
             blob = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
             buf.append(TAG_PICKLE)
             buf += _U.pack(len(blob))
@@ -762,8 +824,10 @@ def decode_frame(payload: bytes) -> Tuple[ProcessId, Any]:
             raise ValueError(f"{len(mv) - off} trailing bytes after the message")
         return sender, msg
     except ValueError:
+        CODEC_STATS.corrupt_frames += 1
         raise
     except Exception as exc:  # struct.error, pickle errors, Unicode, ...
+        CODEC_STATS.corrupt_frames += 1
         raise ValueError(f"corrupt frame: {exc!r}") from exc
 
 
@@ -783,6 +847,7 @@ def decode_buffer(buf, dispatch: Callable[[ProcessId, Any], None]) -> int:
     while n - off >= header:
         (length,) = _LEN.unpack_from(buf, off)
         if length > MAX_FRAME:
+            CODEC_STATS.oversized_frames += 1
             raise ValueError(f"incoming frame of {length} bytes exceeds MAX_FRAME")
         end = off + header + length
         if end > n:
@@ -799,6 +864,7 @@ async def read_frame(reader: asyncio.StreamReader) -> Tuple[ProcessId, Any]:
     header = await reader.readexactly(_LEN.size)
     (length,) = _LEN.unpack(header)
     if length > MAX_FRAME:
+        CODEC_STATS.oversized_frames += 1
         raise ValueError(f"incoming frame of {length} bytes exceeds MAX_FRAME")
     payload = await reader.readexactly(length)
     return decode_frame(payload)

@@ -32,6 +32,7 @@ import logging
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Set, Tuple
 
+from ..obs.registry import SIZE_BUCKETS
 from ..types import ProcessId
 from .codec import decode_buffer, encode_frame, read_frame
 
@@ -79,12 +80,17 @@ class NodeTransport:
         connect_retry: Optional[float] = None,
         options: Optional[TransportOptions] = None,
         on_congestion: Optional[Callable[[bool], None]] = None,
+        registry: Optional[Any] = None,
     ) -> None:
         self.pid = pid
         self.addr_of = addr_of
         self.on_message = on_message
         self.host = host
         self.options = options or TransportOptions()
+        #: Optional repro.obs.MetricsRegistry; ``None`` keeps every wire
+        #: path free of instrumentation beyond the ``is None`` checks.
+        self._registry = registry
+        self._depth_gauges: Dict[ProcessId, Any] = {}
         # Legacy keyword wins over the options bundle when given explicitly.
         self.connect_retry = (
             connect_retry if connect_retry is not None else self.options.connect_retry
@@ -98,6 +104,9 @@ class NodeTransport:
         self._congested: Set[ProcessId] = set()
         #: Times any peer queue crossed the ``max_queue`` bound (stats).
         self.backpressure_events = 0
+        #: Connections dropped over corrupt/oversized frames, with the
+        #: offending peer's socket identity — net tests assert on these.
+        self.frame_drops: list = []
         self._closed = False
 
     # -- lifecycle ----------------------------------------------------------
@@ -142,9 +151,21 @@ class NodeTransport:
             self._queues[to] = queue
             self._writer_tasks[to] = asyncio.ensure_future(self._writer(to, queue))
         queue.put_nowait(encode_frame(self.pid, msg, self.options.codec))
+        reg = self._registry
+        if reg is not None:
+            gauge = self._depth_gauges.get(to)
+            if gauge is None:
+                gauge = self._depth_gauges[to] = reg.gauge(
+                    "transport_queue_depth", pid=self.pid, peer=to
+                )
+            gauge.set(queue.qsize())
         bound = self.options.max_queue
         if bound is not None and queue.qsize() > bound and to not in self._congested:
             self.backpressure_events += 1
+            if reg is not None:
+                reg.counter(
+                    "transport_backpressure_total", pid=self.pid, peer=to
+                ).inc()
             was_clear = not self._congested
             self._congested.add(to)
             if was_clear and self.on_congestion is not None:
@@ -191,6 +212,18 @@ class NodeTransport:
                     if writer is None:
                         return  # transport closed while connecting
                 try:
+                    reg = self._registry
+                    if reg is not None:
+                        reg.histogram(
+                            "transport_coalesce_frames",
+                            buckets=SIZE_BUCKETS,
+                            pid=self.pid,
+                        ).observe(len(pending))
+                        reg.histogram(
+                            "transport_coalesce_bytes",
+                            buckets=SIZE_BUCKETS,
+                            pid=self.pid,
+                        ).observe(sum(len(f) for f in pending))
                     writer.write(b"".join(pending) if len(pending) > 1 else pending[0])
                     await writer.drain()
                     pending.clear()
@@ -245,6 +278,13 @@ class NodeTransport:
             # here on, so drop the whole connection deliberately.  The
             # peer's writer reconnects and resends its pending frames.
             peer = writer.get_extra_info("peername")
+            self.frame_drops.append({"peer": peer, "error": str(exc)})
+            if self._registry is not None:
+                self._registry.counter(
+                    "transport_frame_drops_total",
+                    pid=self.pid,
+                    peer=str(peer),
+                ).inc()
             logger.warning(
                 "dropping connection from %s at node %s: %s", peer, self.pid, exc
             )

@@ -1,0 +1,56 @@
+"""Observability: metrics registry, message-lifecycle spans, profiling.
+
+One telemetry spine for both runtimes.  A run that wants observability
+carries an :class:`ObsOptions` on its :class:`~repro.config.ClusterConfig`
+(or passes one to its harness); the harness creates a :class:`Telemetry`
+on the run's own clock — virtual time in the simulator, wall time on TCP
+— and every instrumented seam shares it.  Disabled runs (the default)
+touch none of this beyond a ``None`` check and stay byte-identical to
+pre-telemetry behaviour.
+
+See the README's "Observability" section for the metrics catalogue, the
+span stage names and the export formats.
+"""
+
+from .options import OBS_OFF, ObsOptions
+from .profiling import PhaseProfiler
+from .registry import (
+    LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from .spans import (
+    STAGE_INDEX,
+    STAGES,
+    SpanRecorder,
+    SpanTraceMonitor,
+    render_spans_report,
+)
+from .telemetry import Telemetry, collect_process_stats, wall_clock
+
+__all__ = [
+    "ObsOptions",
+    "OBS_OFF",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+    "SpanRecorder",
+    "SpanTraceMonitor",
+    "STAGES",
+    "STAGE_INDEX",
+    "render_spans_report",
+    "Telemetry",
+    "wall_clock",
+    "collect_process_stats",
+    "PhaseProfiler",
+]

@@ -1,0 +1,61 @@
+"""Observability knobs carried by the cluster configuration.
+
+:class:`ObsOptions` rides :class:`~repro.config.ClusterConfig` the same
+way :class:`~repro.config.BatchingOptions` does: a frozen, validated
+bundle with a shared OFF default, so run harnesses and CLIs thread one
+object instead of loose flags.  The options describe *what to record*;
+the mutable recording state lives in
+:class:`~repro.obs.telemetry.Telemetry`, created per run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigError
+
+__all__ = ["ObsOptions", "OBS_OFF"]
+
+
+@dataclass(frozen=True)
+class ObsOptions:
+    """What the telemetry spine records for a run.
+
+    Attributes:
+        enabled: master switch.  Off (the default) hands every seam the
+            null registry and skips span stamping entirely, so a disabled
+            run is byte-identical to a pre-telemetry one.
+        spans: record per-message lifecycle spans (stage stamps + the
+            per-stage latency histograms).  Metrics-only runs switch this
+            off to shed the per-message dict work.
+        span_limit: most messages whose spans are retained (``None``:
+            unbounded).  Long soak runs cap this so span state cannot
+            grow without bound; stamps for mids past the cap are counted
+            as dropped, never recorded.
+        top_k: how many slowest messages ``repro spans`` prints.
+        export: export format for ``--obs-export`` (``"json"`` or
+            ``"prom"``; ``None`` leaves the choice to the file suffix).
+    """
+
+    enabled: bool = False
+    spans: bool = True
+    span_limit: Optional[int] = 200_000
+    top_k: int = 10
+    export: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.span_limit is not None and self.span_limit < 1:
+            raise ConfigError(
+                f"span_limit must be >= 1 or None, got {self.span_limit}"
+            )
+        if self.top_k < 1:
+            raise ConfigError(f"top_k must be >= 1, got {self.top_k}")
+        if self.export not in (None, "json", "prom"):
+            raise ConfigError(
+                f"export must be 'json', 'prom' or None, got {self.export!r}"
+            )
+
+
+#: Shared "observability off" instance used as the default everywhere.
+OBS_OFF = ObsOptions()

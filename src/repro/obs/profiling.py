@@ -1,0 +1,82 @@
+"""cProfile-based per-phase CPU attribution for the bench CLIs.
+
+``bench-net --profile`` / ``bench-batching --profile`` wrap each sweep
+cell in its own :class:`cProfile.Profile`, so the report attributes CPU
+to *phases* (one bench cell each) before drilling into the hottest
+functions of each — which is how the sim↔TCP throughput gap gets pinned
+on protocol logic vs wire path vs event loop, instead of one flat
+profile over the whole sweep.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["PhaseProfiler"]
+
+
+class PhaseProfiler:
+    """Collects one :class:`cProfile.Profile` per named phase."""
+
+    def __init__(self, top: int = 12) -> None:
+        self.top = top
+        self.profiles: Dict[str, cProfile.Profile] = {}
+        self._order: List[str] = []
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Profile everything run inside the block under ``name``.
+
+        Re-entering a name accumulates into the same profile, so retry
+        loops fold into their cell's attribution.
+        """
+        prof = self.profiles.get(name)
+        if prof is None:
+            prof = self.profiles[name] = cProfile.Profile()
+            self._order.append(name)
+        prof.enable()
+        try:
+            yield
+        finally:
+            prof.disable()
+
+    def phase_cpu(self) -> Dict[str, float]:
+        """Total profiled CPU seconds per phase."""
+        out: Dict[str, float] = {}
+        for name in self._order:
+            st = pstats.Stats(self.profiles[name], stream=io.StringIO())
+            out[name] = st.total_tt
+        return out
+
+    def report(self, top: Optional[int] = None) -> str:
+        """Per-phase CPU attribution: the share table, then each phase's
+        hottest functions by cumulative time."""
+        top = top or self.top
+        cpu = self.phase_cpu()
+        total = sum(cpu.values())
+        lines = [f"profile: {total:.3f}s CPU across {len(cpu)} phases"]
+        for name in self._order:
+            share = 100.0 * cpu[name] / total if total > 0 else 0.0
+            lines.append(f"  {name:<40} {cpu[name]:8.3f}s  {share:5.1f}%")
+        for name in self._order:
+            lines.append(f"\n-- phase {name} (top {top} by cumulative time) --")
+            buf = io.StringIO()
+            st = pstats.Stats(self.profiles[name], stream=buf)
+            st.sort_stats("cumulative").print_stats(top)
+            # Drop pstats' preamble; keep the header row and entries.
+            body = buf.getvalue().splitlines()
+            keep = False
+            for row in body:
+                if row.lstrip().startswith("ncalls"):
+                    keep = True
+                if keep and row.strip():
+                    lines.append(row)
+        return "\n".join(lines) + "\n"
+
+    def write(self, path: str, top: Optional[int] = None) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.report(top))

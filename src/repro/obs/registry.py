@@ -1,0 +1,335 @@
+"""A low-overhead metrics registry: counters, gauges, fixed-bucket histograms.
+
+The registry is the telemetry spine's storage layer.  Design constraints,
+in order:
+
+1. **Disabled runs pay nothing.**  Every instrumented seam holds either a
+   real registry or the shared :data:`NULL_REGISTRY`; the null registry
+   hands out singleton no-op instruments, so a disabled hook is one
+   attribute load and one no-op call — and most protocol seams skip even
+   that behind an ``if self.obs is not None`` guard.
+2. **Enabled runs stay cheap.**  An instrument lookup is one dict probe
+   on a ``(name, labels)`` key; callers on hot paths look their
+   instruments up once and keep the reference.  A histogram observation
+   is one ``bisect`` over a small fixed bucket list.
+3. **No background machinery.**  Nothing ticks, samples or exports on its
+   own; :meth:`MetricsRegistry.snapshot` / the ``render_*`` exporters
+   walk the instruments synchronously when asked.
+
+Labels are plain keyword arguments (``registry.counter("x", group=1)``),
+normalised to a sorted tuple so label order never mints a second series.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+]
+
+LabelKey = Tuple[Tuple[str, Any], ...]
+
+#: Default histogram buckets for latencies in seconds: exponential-ish
+#: coverage from 50 µs (sim LAN hops) to 10 s (WAN tail under faults).
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default buckets for byte/entry sizes (coalesce flushes, batch fills).
+SIZE_BUCKETS: Tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+    1024, 4096, 16384, 65536, 262144, 1048576,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value; remembers its high-water mark."""
+
+    __slots__ = ("name", "labels", "value", "max")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self.max = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = v
+        if v > self.max:
+            self.max = v
+
+
+class Histogram:
+    """Fixed upper-bound buckets plus sum/count (Prometheus semantics:
+    ``counts[i]`` holds observations ``<= bounds[i]``, the last slot is
+    the +Inf overflow)."""
+
+    __slots__ = ("name", "labels", "bounds", "counts", "sum", "count")
+
+    def __init__(
+        self, name: str, labels: LabelKey, buckets: Iterable[float]
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.bounds: List[float] = sorted(buckets)
+        if not self.bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, v: float) -> None:
+        self.counts[bisect_right(self.bounds, v)] += 1
+        self.sum += v
+        self.count += 1
+
+    def quantile(self, q: float) -> float:
+        """Estimate quantile ``q`` from the buckets (upper-bound of the
+        bucket holding the target rank; overflow reports the top bound).
+        A coarse figure — the span recorder keeps exact per-message data
+        for anything that needs precision."""
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank and c:
+                return self.bounds[i] if i < len(self.bounds) else self.bounds[-1]
+        return self.bounds[-1]
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store keyed on ``(name, labels)``."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+
+    # -- instruments --------------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, _label_key(labels))
+        c = self._counters.get(key)
+        if c is None:
+            c = self._counters[key] = Counter(name, key[1])
+        return c
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _label_key(labels))
+        g = self._gauges.get(key)
+        if g is None:
+            g = self._gauges[key] = Gauge(name, key[1])
+        return g
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[float] = LATENCY_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        h = self._histograms.get(key)
+        if h is None:
+            h = self._histograms[key] = Histogram(name, key[1], buckets)
+        return h
+
+    # -- introspection ------------------------------------------------------
+
+    def counters(self, name: Optional[str] = None) -> List[Counter]:
+        return [c for (n, _), c in sorted(self._counters.items())
+                if name is None or n == name]
+
+    def gauges(self, name: Optional[str] = None) -> List[Gauge]:
+        return [g for (n, _), g in sorted(self._gauges.items())
+                if name is None or n == name]
+
+    def histograms(self, name: Optional[str] = None) -> List[Histogram]:
+        return [h for (n, _), h in sorted(self._histograms.items())
+                if name is None or n == name]
+
+    def counter_total(self, name: str, **labels: Any) -> int:
+        """Sum of every ``name`` series whose labels include ``labels``."""
+        want = set(labels.items())
+        return sum(
+            c.value
+            for (n, lk), c in self._counters.items()
+            if n == name and want <= set(lk)
+        )
+
+    # -- export -------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-data view of every instrument (the JSON export's body)."""
+
+        def label_dict(lk: LabelKey) -> Dict[str, Any]:
+            return {k: v for k, v in lk}
+
+        return {
+            "counters": [
+                {"name": c.name, "labels": label_dict(c.labels), "value": c.value}
+                for c in self.counters()
+            ],
+            "gauges": [
+                {"name": g.name, "labels": label_dict(g.labels),
+                 "value": g.value, "max": g.max}
+                for g in self.gauges()
+            ],
+            "histograms": [
+                {
+                    "name": h.name,
+                    "labels": label_dict(h.labels),
+                    "buckets": [
+                        {"le": b, "count": c}
+                        for b, c in zip(list(h.bounds) + ["+Inf"], h.counts)
+                    ],
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for h in self.histograms()
+            ],
+        }
+
+    def render_json(self) -> str:
+        import json
+
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True, default=str)
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition (v0.0.4) of every instrument."""
+        lines: List[str] = []
+
+        def fmt_labels(lk: LabelKey, extra: str = "") -> str:
+            parts = [f'{k}="{v}"' for k, v in lk]
+            if extra:
+                parts.append(extra)
+            return "{" + ",".join(parts) + "}" if parts else ""
+
+        seen_types: Dict[str, str] = {}
+
+        def typed(name: str, kind: str) -> None:
+            if seen_types.get(name) != kind:
+                seen_types[name] = kind
+                lines.append(f"# TYPE {name} {kind}")
+
+        for c in self.counters():
+            typed(c.name, "counter")
+            lines.append(f"{c.name}{fmt_labels(c.labels)} {c.value}")
+        for g in self.gauges():
+            typed(g.name, "gauge")
+            lines.append(f"{g.name}{fmt_labels(g.labels)} {g.value}")
+        for h in self.histograms():
+            typed(h.name, "histogram")
+            base = fmt_labels(h.labels)
+            acc = 0
+            for b, cnt in zip(list(h.bounds) + ["+Inf"], h.counts):
+                acc += cnt
+                le = 'le="%s"' % b
+                lines.append(f"{h.name}_bucket{fmt_labels(h.labels, le)} {acc}")
+            lines.append(f"{h.name}_sum{base} {h.sum}")
+            lines.append(f"{h.name}_count{base} {h.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class _NullInstrument:
+    """One shared instrument that absorbs every operation."""
+
+    __slots__ = ()
+    name = ""
+    labels: LabelKey = ()
+    value = 0
+    max = 0.0
+    sum = 0.0
+    count = 0
+    mean = 0.0
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def set(self, v: float) -> None:
+        pass
+
+    def observe(self, v: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """The disabled-mode registry: every instrument is the shared no-op."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, buckets: Iterable[float] = (), **labels: Any):
+        return _NULL_INSTRUMENT
+
+    def counters(self, name: Optional[str] = None) -> List[Counter]:
+        return []
+
+    def gauges(self, name: Optional[str] = None) -> List[Gauge]:
+        return []
+
+    def histograms(self, name: Optional[str] = None) -> List[Histogram]:
+        return []
+
+    def counter_total(self, name: str, **labels: Any) -> int:
+        return 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"counters": [], "gauges": [], "histograms": []}
+
+    def render_json(self) -> str:
+        return "{}"
+
+    def render_prometheus(self) -> str:
+        return ""
+
+
+#: Shared disabled-mode registry (hand this out instead of ``None`` where a
+#: registry-shaped object keeps call sites branch-free).
+NULL_REGISTRY = NullRegistry()

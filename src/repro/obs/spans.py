@@ -1,0 +1,361 @@
+"""Message-lifecycle spans: per-message stamps through the ordering pipeline.
+
+The white-box pitch of the protocol is that the pipeline has *inspectable
+stages*; this module makes each stage a named stamp on the message's
+lifetime.  The canonical stage chain (:data:`STAGES`) is::
+
+    submit → admit → accept_quorum → commit → merge_release → deliver
+                                                            → apply/read_serve
+
+* **submit** — the client invoked ``multicast(m)`` (stamped by the trace /
+  cluster multicast seam, so clients need no instrumentation).
+* **admit** — a lane leader admitted the fresh message and assigned its
+  local timestamp (``Phase.PROPOSED``).
+* **accept_quorum** — a destination-group leader first assembled ACCEPTs
+  from *every* destination group (``Phase.ACCEPTED``; the message's
+  global timestamp is now fixed).  Followers assemble the same set at
+  the same wire events, so only leaders stamp.
+* **commit** — a leader first committed the message (quorum ACCEPT_ACKs
+  from each destination group under the speculative-execution rule).
+* **merge_release** — the message was first released from an ordering
+  queue: the leader's :class:`~repro.protocols.ordering.DeliveryQueue`
+  pop (unsharded) or a member's cross-lane
+  :class:`~repro.protocols.wbcast.sharding.LaneMergeQueue` pop (sharded).
+* **deliver** — first application-level delivery at any process.
+* **apply** / **read_serve** — the serving tier applied the command to
+  its store / answered a read at this message's index.
+
+Every stamp is first-one-wins per ``(mid, stage)``, taken on the run's
+single telemetry clock (virtual time in the simulator, wall clock on
+TCP), so the chain is monotone whenever the stamping events are causally
+ordered — which the pipeline guarantees.  Because consecutive stage gaps
+telescope, the named stages attribute the *entire* submit→deliver
+end-to-end latency by construction; ``repro spans`` prints the top-k
+slowest messages with that breakdown.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .registry import LATENCY_BUCKETS
+
+__all__ = [
+    "STAGES",
+    "STAGE_INDEX",
+    "SpanRecorder",
+    "SpanTraceMonitor",
+    "render_spans_report",
+]
+
+MessageId = Tuple[int, int]
+
+#: Pipeline stages in causal order.  ``apply``/``read_serve`` are the
+#: serving tier's post-delivery tail; a run without serving replicas ends
+#: at ``deliver``.
+STAGES: Tuple[str, ...] = (
+    "submit",
+    "admit",
+    "accept_quorum",
+    "commit",
+    "merge_release",
+    "deliver",
+    "apply",
+    "read_serve",
+)
+
+STAGE_INDEX: Dict[str, int] = {s: i for i, s in enumerate(STAGES)}
+
+
+class SpanRecorder:
+    """First-stamp-wins per-message stage times, on one shared clock.
+
+    ``AmcastMessage`` is frozen with ``__slots__``, so span state lives
+    here, keyed by mid, never on the message.  When a registry is given,
+    the consecutive stage gaps of each message are folded into per-stage
+    latency histograms (``span_stage_seconds{stage=...}``) when its
+    ``deliver`` stamp is folded in.
+
+    Stamping is the telemetry subsystem's hottest path (every pipeline
+    stage at every process calls it), so :meth:`stamp` only appends to a
+    flat log; the per-mid record dicts, histograms and monotonicity
+    checks are built lazily (:meth:`_seal`) when the spans are queried.
+    Log order equals call order, so first-stamp-wins semantics are
+    unchanged.
+    """
+
+    #: Seal at least every this many log entries, so ``max_messages`` also
+    #: bounds the unsealed log during soak runs.
+    _SEAL_CHUNK = 65536
+
+    def __init__(
+        self,
+        now: Callable[[], float],
+        registry: Any = None,
+        max_messages: Optional[int] = None,
+        time_source: Any = None,
+    ) -> None:
+        self.now = now
+        self.registry = registry
+        self._max = max_messages
+        #: When set, ``time_source.now`` (an attribute, not a call) is the
+        #: clock for stamps that arrive without an explicit time.
+        self._time_source = time_source
+        #: Append-only stamp log: ``(mid, stage, t)`` in call order.
+        self._log: List[Tuple[MessageId, str, float]] = []
+        self._sealed = 0
+        self._tick = self._SEAL_CHUNK
+        self._records: Dict[MessageId, Dict[str, float]] = {}
+        self._non_monotone: List[MessageId] = []
+        self._dropped = 0
+        # Get-or-create instrument lookups cost a label sort each; the
+        # finalize path runs per delivered message, so its histograms are
+        # resolved once and reused.
+        self._stage_hists: Dict[str, Any] = {}
+        self._e2e_hist: Any = None
+
+    # -- stamping -----------------------------------------------------------
+
+    def stamp(self, mid: MessageId, stage: str, t: Optional[float] = None) -> None:
+        if t is None:
+            src = self._time_source
+            t = self.now() if src is None else src.now
+        self._log.append((mid, stage, t))
+        self._tick -= 1
+        if self._tick <= 0:
+            self._seal()
+
+    def _seal(self) -> None:
+        """Fold unsealed log entries into the per-mid records (first stamp
+        per ``(mid, stage)`` wins; the rest were redundant replicas of the
+        same pipeline event at other processes)."""
+        log = self._log
+        if self._sealed == len(log):
+            return
+        records = self._records
+        cap = self._max
+        for mid, stage, t in log[self._sealed:]:
+            try:
+                rec = records[mid]
+            except KeyError:
+                if cap is not None and len(records) >= cap:
+                    self._dropped += 1
+                    continue
+                rec = records[mid] = {}
+            if stage in rec:
+                continue
+            rec[stage] = t
+            if stage == "deliver":
+                self._finalize(mid, rec)
+        self._sealed = len(log)
+        self._tick = self._SEAL_CHUNK
+
+    @property
+    def records(self) -> Dict[MessageId, Dict[str, float]]:
+        """mid -> {stage: first stamp time}."""
+        self._seal()
+        return self._records
+
+    @property
+    def non_monotone(self) -> List[MessageId]:
+        """Spans whose chain went backwards in time (a bug, or stamps from
+        unsynchronised clocks); the conformance tests assert this empty."""
+        self._seal()
+        return self._non_monotone
+
+    @property
+    def dropped(self) -> int:
+        """Stamps discarded for mids past the ``max_messages`` cap."""
+        self._seal()
+        return self._dropped
+
+    def _finalize(self, mid: MessageId, rec: Dict[str, float]) -> None:
+        # Runs inside _seal(): touch only the private state, never the
+        # sealing properties/queries.
+        reg = self.registry
+        ordered = self._chain_of(rec)
+        prev_t = ordered[0][1]
+        for i in range(1, len(ordered)):
+            s1, t1 = ordered[i]
+            dt = t1 - prev_t
+            prev_t = t1
+            if dt < 0.0:
+                self._non_monotone.append(mid)
+                dt = 0.0
+            if reg is not None:
+                try:
+                    hist = self._stage_hists[s1]
+                except KeyError:
+                    hist = self._stage_hists[s1] = reg.histogram(
+                        "span_stage_seconds", LATENCY_BUCKETS, stage=s1
+                    )
+                hist.observe(dt)
+        if reg is not None and "submit" in rec and "deliver" in rec:
+            if self._e2e_hist is None:
+                self._e2e_hist = reg.histogram(
+                    "span_e2e_seconds", LATENCY_BUCKETS
+                )
+            self._e2e_hist.observe(rec["deliver"] - rec["submit"])
+
+    # -- queries ------------------------------------------------------------
+
+    @staticmethod
+    def _chain_of(rec: Dict[str, float]) -> List[Tuple[str, float]]:
+        # Stages form a total order, so walking STAGES beats sorting.
+        return [(s, rec[s]) for s in STAGES if s in rec]
+
+    def chain(self, mid: MessageId) -> List[Tuple[str, float]]:
+        """The message's stamped stages in pipeline order."""
+        return self._chain_of(self.records.get(mid, {}))
+
+    def gaps(self, mid: MessageId) -> List[Tuple[str, float]]:
+        """``(stage, dt)`` of each consecutive pipeline leg; ``dt`` is the
+        time from the previous stamped stage to ``stage``.  The legs
+        telescope: they sum to last-stamp minus first-stamp exactly."""
+        chain = self.chain(mid)
+        return [
+            (chain[i][0], chain[i][1] - chain[i - 1][1])
+            for i in range(1, len(chain))
+        ]
+
+    def e2e(self, mid: MessageId) -> Optional[float]:
+        rec = self.records.get(mid)
+        if rec is None or "submit" not in rec or "deliver" not in rec:
+            return None
+        return rec["deliver"] - rec["submit"]
+
+    def complete(self, mid: MessageId) -> bool:
+        """Submitted and delivered, with a monotone stamp chain."""
+        if self.e2e(mid) is None:
+            return False
+        chain = self.chain(mid)
+        return all(
+            chain[i][1] >= chain[i - 1][1] for i in range(1, len(chain))
+        )
+
+    def attributed_fraction(self, mid: MessageId) -> Optional[float]:
+        """Share of the submit→deliver latency covered by named stage
+        legs.  The legs telescope over every stamped stage, so any span
+        carrying both endpoints attributes 100%; a lower figure means a
+        stamp landed outside [submit, deliver] — a pipeline bug."""
+        total = self.e2e(mid)
+        if total is None:
+            return None
+        if total <= 0:
+            return 1.0
+        covered = sum(
+            dt for s, dt in self.gaps(mid)
+            if STAGE_INDEX[s] <= STAGE_INDEX["deliver"]
+        )
+        return covered / total
+
+    def delivered_mids(self) -> List[MessageId]:
+        return [m for m, rec in self.records.items() if "deliver" in rec]
+
+    def top_slowest(self, k: int = 10) -> List[MessageId]:
+        """The ``k`` slowest submit→deliver messages, slowest first."""
+        timed = [
+            (e2e, mid)
+            for mid in self.delivered_mids()
+            if (e2e := self.e2e(mid)) is not None
+        ]
+        timed.sort(key=lambda p: (-p[0], p[1]))
+        return [mid for _, mid in timed[:k]]
+
+
+class SpanTraceMonitor:
+    """Trace/cluster monitor stamping the endpoints of every span.
+
+    Attach to a sim :class:`~repro.sim.trace.Trace` (duck-typed
+    ``on_multicast``/``on_deliver`` hooks) or call the hooks directly from
+    the net cluster's recording seams — both hand over the event time, so
+    the stamps ride the run's own clock.
+    """
+
+    def __init__(self, spans: SpanRecorder) -> None:
+        self.spans = spans
+        # Every destination process reports its own delivery of a message;
+        # only the first stamp per mid can win, so the redundant replicas
+        # are filtered here with a set probe instead of a full stamp call.
+        self._submitted: set = set()
+        self._delivered: set = set()
+
+    def on_multicast(self, t: float, pid: int, m: Any) -> None:
+        mid = m.mid
+        if mid not in self._submitted:
+            self._submitted.add(mid)
+            self.spans.stamp(mid, "submit", t)
+
+    def on_deliver(self, t: float, pid: int, m: Any) -> None:
+        mid = m.mid
+        if mid not in self._delivered:
+            self._delivered.add(mid)
+            self.spans.stamp(mid, "deliver", t)
+
+
+def _fmt_t(dt: float) -> str:
+    if dt >= 1.0:
+        return f"{dt:.3f}s"
+    if dt >= 0.001:
+        return f"{dt * 1e3:.2f}ms"
+    return f"{dt * 1e6:.0f}us"
+
+
+def render_spans_report(spans: SpanRecorder, k: int = 10) -> str:
+    """The ``repro spans`` view: per-stage latency profile over every
+    delivered message, then the top-``k`` slowest with their breakdown."""
+    delivered = spans.delivered_mids()
+    lines: List[str] = []
+    if not delivered:
+        return "no delivered messages carry spans\n"
+
+    e2es = sorted(e for m in delivered if (e := spans.e2e(m)) is not None)
+    stage_sums: Dict[str, List[float]] = {}
+    for mid in delivered:
+        for stage, dt in spans.gaps(mid):
+            stage_sums.setdefault(stage, []).append(dt)
+    lines.append(
+        f"spans     : {len(delivered)} delivered messages "
+        f"({len(spans.non_monotone)} non-monotone, {spans.dropped} dropped)"
+    )
+    if e2es:
+        mid_e2e = e2es[len(e2es) // 2]
+        lines.append(
+            f"e2e       : median {_fmt_t(mid_e2e)}  "
+            f"p95 {_fmt_t(e2es[int(len(e2es) * 0.95)] if len(e2es) > 1 else e2es[-1])}  "
+            f"max {_fmt_t(e2es[-1])}"
+        )
+        # Median attribution: share of the median message's e2e covered by
+        # named stage legs (telescoping makes this 100% unless stamps ever
+        # land outside the submit→deliver window).
+        fracs = sorted(
+            f for m in delivered
+            if (f := spans.attributed_fraction(m)) is not None
+        )
+        if fracs:
+            lines.append(
+                f"attributed: {100 * fracs[len(fracs) // 2]:.1f}% of median "
+                f"e2e latency to named pipeline stages"
+            )
+    lines.append("stage legs (time since previous stage, across messages):")
+    for stage in STAGES:
+        vals = stage_sums.get(stage)
+        if not vals:
+            continue
+        vals.sort()
+        lines.append(
+            f"  -> {stage:<13} n={len(vals):<6} "
+            f"median {_fmt_t(vals[len(vals) // 2]):>9}  "
+            f"p95 {_fmt_t(vals[int(len(vals) * 0.95)] if len(vals) > 1 else vals[-1]):>9}  "
+            f"max {_fmt_t(vals[-1]):>9}"
+        )
+    top = spans.top_slowest(k)
+    if top:
+        lines.append(f"top {len(top)} slowest messages:")
+        for mid in top:
+            e2e = spans.e2e(mid)
+            legs = "  ".join(
+                f"{stage}+{_fmt_t(dt)}" for stage, dt in spans.gaps(mid)
+            )
+            lines.append(f"  {mid}: {_fmt_t(e2e or 0.0)}  [{legs}]")
+    return "\n".join(lines) + "\n"

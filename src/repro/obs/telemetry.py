@@ -1,0 +1,142 @@
+"""The per-run telemetry object: one registry, one span recorder, one clock.
+
+A :class:`Telemetry` is created per run by whichever harness owns the
+clock — the simulator hands in virtual time (``lambda: sim.now``), the
+TCP cluster hands in ``time.monotonic`` — and is then shared by every
+instrumented seam of that run: protocol processes (``proc.attach_obs``),
+transports, serving replicas and sessions.  That single ``now`` callable
+is the clock abstraction that lets one span pipeline serve both
+runtimes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from .options import ObsOptions
+from .registry import MetricsRegistry
+from .spans import SpanRecorder, SpanTraceMonitor
+
+__all__ = ["Telemetry", "wall_clock", "collect_process_stats"]
+
+
+def wall_clock() -> float:
+    """The TCP runtime's telemetry clock (monotonic wall time)."""
+    return time.monotonic()
+
+
+class Telemetry:
+    """Mutable recording state of one observed run."""
+
+    def __init__(
+        self,
+        options: ObsOptions,
+        now: Callable[[], float] = wall_clock,
+        time_source: Any = None,
+    ) -> None:
+        self.options = options
+        self.now = now
+        self.registry = MetricsRegistry()
+        self.spans: Optional[SpanRecorder] = (
+            SpanRecorder(
+                now,
+                self.registry,
+                max_messages=options.span_limit,
+                time_source=time_source,
+            )
+            if options.spans
+            else None
+        )
+        if self.spans is not None:
+            # Bind the recorder's stamp directly: the protocol hot paths
+            # call ``obs.stamp`` per pipeline event, and the extra method
+            # hop is measurable at workload message rates.
+            self.stamp = self.spans.stamp
+
+    @staticmethod
+    def create(
+        options: Optional[ObsOptions],
+        now: Callable[[], float] = wall_clock,
+        time_source: Any = None,
+    ) -> Optional["Telemetry"]:
+        """``None`` unless the options ask for telemetry — callers keep the
+        disabled path a single ``is None`` check.
+
+        ``time_source`` is an optional object whose ``now`` *attribute* is
+        the current time (the simulator qualifies); span stamping reads it
+        instead of calling ``now()``, which shaves a function call off the
+        hottest telemetry path."""
+        if options is None or not options.enabled:
+            return None
+        return Telemetry(options, now, time_source=time_source)
+
+    def trace_monitor(self) -> Optional[SpanTraceMonitor]:
+        """A monitor stamping submit/deliver endpoints off the trace (sim)
+        or the cluster recording seams (net)."""
+        return SpanTraceMonitor(self.spans) if self.spans is not None else None
+
+    def stamp(self, mid, stage: str, t: Optional[float] = None) -> None:
+        """No-op unless spans are on (then rebound to the recorder's)."""
+
+    def finalize(self) -> None:
+        """Fold any deferred span state into records and histograms.
+
+        The span recorder defers per-mid bookkeeping off the stamp hot
+        path; harnesses call this once at end of run so exported
+        registries include the span-derived histograms."""
+        if self.spans is not None:
+            self.spans._seal()
+
+
+def collect_process_stats(telemetry: Telemetry, members: Dict[int, Any]) -> None:
+    """Fold end-of-run per-process state into gauges.
+
+    Walks duck-typed stats the protocol layers keep anyway (delivered
+    counts, ordering-queue and lane-merge occupancy high-waters) so the
+    hot paths carry no per-event gauge updates; one synchronous sweep at
+    snapshot time reads them all.
+    """
+    telemetry.finalize()
+    reg = telemetry.registry
+    # Admission/commit tallies are plain ints on the processes (sharded
+    # hosts keep them on their lane processes); sum per (group, lane) and
+    # assign — not inc — so repeated sweeps stay idempotent.
+    tallies: Dict[Tuple[str, Any, Any], int] = {}
+    for proc in members.values():
+        for unit in (proc, *getattr(proc, "lanes", ())):
+            for attr, metric in (
+                ("obs_admitted", "wbcast_admissions_total"),
+                ("obs_committed", "wbcast_commits_total"),
+            ):
+                v = getattr(unit, attr, 0)
+                if v:
+                    key = (metric, getattr(unit, "gid", -1), getattr(unit, "lane", 0))
+                    tallies[key] = tallies.get(key, 0) + v
+    for (metric, gid, lane), v in tallies.items():
+        reg.counter(metric, group=gid, lane=lane).value = v
+    for pid, proc in sorted(members.items()):
+        labels = {"pid": pid, "group": getattr(proc, "gid", -1)}
+        reg.gauge("process_delivered_total", **labels).set(
+            getattr(proc, "delivered_count", 0)
+        )
+        queue = getattr(proc, "queue", None)
+        if queue is not None:
+            for attr, metric in (
+                ("released_count", "ordering_released_total"),
+                ("head_blocked_checks", "ordering_head_blocked_total"),
+                ("pending_high_water", "ordering_pending_high_water"),
+            ):
+                v = getattr(queue, attr, None)
+                if v is not None:
+                    reg.gauge(metric, **labels).set(v)
+        merge = getattr(proc, "merge", None)
+        if merge is not None:
+            for attr, metric in (
+                ("released_count", "lane_merge_released_total"),
+                ("head_blocked_checks", "lane_merge_head_blocked_total"),
+                ("queued_high_water", "lane_merge_queued_high_water"),
+            ):
+                v = getattr(merge, attr, None)
+                if v is not None:
+                    reg.gauge(metric, **labels).set(v)

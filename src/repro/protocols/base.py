@@ -210,6 +210,10 @@ class AtomicMulticastProcess(ProtocolProcess):
         # ignores all traffic, like a graceful crash.
         self.reconfig = None
         self.retired = False
+        # Shared per-run telemetry (repro.obs.Telemetry) or None.  Pure
+        # observation: every hook is guarded by an ``is None`` check so
+        # un-observed runs stay byte-identical.
+        self.obs = None
         # Everyone who was ever a member across the epochs this process
         # saw: wire-framing decisions (lane envelopes) key off this, not
         # current membership — a leaver still receives member-framed
@@ -275,6 +279,14 @@ class AtomicMulticastProcess(ProtocolProcess):
             mgr.on_member_message(self, sender, msg)
             return
         super().on_message(sender, msg)
+
+    def attach_obs(self, telemetry: Any) -> None:
+        """Share a run's telemetry spine with this process.
+
+        Called by the run harnesses after construction; protocols hosting
+        inner processes (sharded lane hosts) override and propagate.
+        """
+        self.obs = telemetry
 
     def retire(self) -> None:
         """Leave the active configuration: ignore all future traffic.

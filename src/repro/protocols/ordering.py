@@ -48,6 +48,11 @@ class DeliveryQueue:
 
     def __init__(self, conflict_domains: int = 0) -> None:
         self._domains = conflict_domains
+        # Always-on int stats (no per-event telemetry cost): swept into
+        # gauges at snapshot time by repro.obs.collect_process_stats.
+        self.released_count = 0
+        self.head_blocked_checks = 0
+        self.pending_high_water = 0
         self._pending: Dict[MessageId, Timestamp] = {}
         # Lazy min-heap over pending timestamps; the dict is the truth.
         self._pending_heap: List[Tuple[Timestamp, MessageId]] = []
@@ -76,6 +81,8 @@ class DeliveryQueue:
         ``None`` means unknown and conservatively conflicts with all).
         """
         self._pending[mid] = lts
+        if len(self._pending) > self.pending_high_water:
+            self.pending_high_water = len(self._pending)
         heapq.heappush(self._pending_heap, (lts, mid))
         if self._domains > 0:
             self._pending_domains[mid] = domains
@@ -100,6 +107,8 @@ class DeliveryQueue:
             return
         flat = [(e[0], e[1]) for e in fresh]
         self._pending.update(flat)
+        if len(self._pending) > self.pending_high_water:
+            self.pending_high_water = len(self._pending)
         if self._pending_heap:
             for mid, lts in flat:
                 heapq.heappush(self._pending_heap, (lts, mid))
@@ -221,11 +230,14 @@ class DeliveryQueue:
         while self._heap:
             gts, mid = self._heap[0]
             if floor is not None and not gts < floor:
+                if mid in self._committed:
+                    self.head_blocked_checks += 1
                 return
             heapq.heappop(self._heap)
             entry = self._committed.pop(mid, None)
             if entry is None:
                 continue  # stale heap entry (already popped)
+            self.released_count += 1
             yield entry[1], gts
             floor = self._min_pending()
 
@@ -273,6 +285,9 @@ class DeliveryQueue:
             out.append((m, gts))
         for item in retained:
             heapq.heappush(heap, item)
+        if retained:
+            self.head_blocked_checks += 1
+        self.released_count += len(out)
         yield from out
 
     def release_floor(self) -> Optional[Timestamp]:

@@ -184,6 +184,12 @@ class WbCastProcess(AtomicMulticastProcess):
         #: into ACCEPTs so epoch-aware monitors can key invariants by it).
         self.config_epoch = config.epoch
         self.options = options or WbCastOptions()
+        # Admission/commit tallies kept as plain ints (like
+        # ``delivered_count``); the obs sweep folds them into labelled
+        # registry counters at snapshot time, so the hot paths carry no
+        # registry work at all.
+        self.obs_admitted = 0
+        self.obs_committed = 0
         # Effective batching knobs: per-process options win, then the
         # cluster-wide default, then off (the paper's per-message protocol).
         self.batching: BatchingOptions = (
@@ -402,6 +408,10 @@ class WbCastProcess(AtomicMulticastProcess):
             lts = Timestamp(self.clock, self._ts_group)
             rec = MsgRecord(m, Phase.PROPOSED, lts=lts)
             self.records[m.mid] = rec
+            self.obs_admitted += 1
+            obs = self.obs
+            if obs is not None:
+                obs.stamp(m.mid, "admit")
             if self._conflict_keys:
                 self.queue.set_pending(m.mid, lts, self._domains_of(m))
             else:
@@ -604,6 +614,13 @@ class WbCastProcess(AtomicMulticastProcess):
             # Lines 12–13: store the leader's proposal.
             rec = rec.with_phase(Phase.ACCEPTED, lts=own.lts)
             self.records[m.mid] = rec
+            if self.obs is not None and self.status is Status.LEADER:
+                # A leader first assembled ACCEPTs from every destination
+                # group: the global timestamp is determined from here on.
+                # Followers assemble the same set at the same wire events;
+                # stamping only leaders keeps the hot path lean without
+                # moving the stage boundary.
+                self.obs.stamp(m.mid, "accept_quorum")
             if self.status is Status.LEADER:
                 if self._conflict_keys:
                     self.queue.set_pending(m.mid, own.lts, self._domains_of(m))
@@ -681,6 +698,10 @@ class WbCastProcess(AtomicMulticastProcess):
         gts = max(a.lts for a in buf.values())
         rec = self.records[m.mid]
         self.records[m.mid] = rec.with_phase(Phase.COMMITTED, gts=gts)
+        self.obs_committed += 1
+        obs = self.obs
+        if obs is not None:
+            obs.stamp(m.mid, "commit")
         self.queue.commit(m, gts)
         self._acks.pop(m.mid, None)
         self._touch(m.mid)
@@ -705,6 +726,11 @@ class WbCastProcess(AtomicMulticastProcess):
             out.append((m, rec.lts, gts))
         if not out:
             return
+        if self.obs is not None and self._shard_host is None:
+            # Unsharded: the DeliveryQueue pop IS the ordering release
+            # (sharded lanes release at the host's cross-lane merge).
+            for m, _lts, _gts in out:
+                self.obs.stamp(m.mid, "merge_release")
         if self._conflict_keys:
             # Keys mode releases out of gts order, so the decision high-water
             # mark is a max over the batch, and every DELIVER carries a GC
@@ -1192,6 +1218,10 @@ class WbCastProcess(AtomicMulticastProcess):
     def _on_lane_probe(self, sender: ProcessId, msg: LaneProbeMsg) -> None:
         if self.status is not Status.LEADER:
             return  # the prober re-probes whoever leads after the election
+        if self.obs is not None:
+            self.obs.registry.counter(
+                "lane_probes_total", group=self.gid, lane=self.lane
+            ).inc()
         prev = self._probe_waiters.get(sender)
         if prev is None or prev < msg.need:
             self._probe_waiters[sender] = msg.need
@@ -1274,6 +1304,10 @@ class WbCastProcess(AtomicMulticastProcess):
         if len(rounds) >= self.MAX_ADVANCE_ROUNDS:
             return  # re-tried by the next tick / probe once acks drain
         rounds[time] = {self.pid}
+        if self.obs is not None:
+            self.obs.registry.counter(
+                "lane_advance_rounds_total", group=self.gid, lane=self.lane
+            ).inc()
         adv = LaneAdvanceMsg(self.cballot, time)
         for p in self.group:
             if p != self.pid:
@@ -1329,6 +1363,10 @@ class WbCastProcess(AtomicMulticastProcess):
     def _reply_watermarks(self, w: Timestamp) -> None:
         for sender in [s for s, need in self._probe_waiters.items() if not w < need]:
             del self._probe_waiters[sender]
+            if self.obs is not None:
+                self.obs.registry.counter(
+                    "lane_watermark_replies_total", group=self.gid, lane=self.lane
+                ).inc()
             # Bare send: the prober's *host* (merge layer) consumes this,
             # not its lane peer, so it must not wear the lane envelope.
             self.runtime.send(sender, LaneWatermarkMsg(self.lane, w, self._watermark_assumes()))
@@ -1365,6 +1403,10 @@ class WbCastProcess(AtomicMulticastProcess):
         if floor <= self._broadcast_floor:
             return
         self._broadcast_floor = floor
+        if self.obs is not None:
+            self.obs.registry.counter(
+                "lane_watermark_broadcasts_total", group=self.gid, lane=self.lane
+            ).inc()
         w = Timestamp(floor, TS_TIE_MAX)
         assumes = self._watermark_assumes()
         for p in self.group:

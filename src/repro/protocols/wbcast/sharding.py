@@ -87,6 +87,12 @@ class LaneMergeQueue:
     def __init__(self, lanes: int, conflict_keys: bool = False) -> None:
         self._lanes = lanes
         self._keys = conflict_keys
+        # Always-on int stats (no per-event telemetry cost): swept into
+        # gauges at snapshot time by repro.obs.collect_process_stats.
+        self.released_count = 0
+        self.head_blocked_checks = 0
+        self.queued_high_water = 0
+        self._queued = 0
         self._queues: List[Deque[Tuple[AmcastMessage, Timestamp]]] = [
             deque() for _ in range(lanes)
         ]
@@ -112,6 +118,9 @@ class LaneMergeQueue:
         if not q and not self._keys:
             heapq.heappush(self._heads, (gts, lane))
         q.append((m, gts))
+        self._queued += 1
+        if self._queued > self.queued_high_water:
+            self.queued_high_water = self._queued
         if gts > self._floor[lane]:
             self._floor[lane] = gts
         if self._keys:
@@ -147,6 +156,8 @@ class LaneMergeQueue:
     def _popleft(self, lane: int) -> AmcastMessage:
         q = self._queues[lane]
         m, _ = q.popleft()
+        self._queued -= 1
+        self.released_count += 1
         if q:
             heapq.heappush(self._heads, (q[0][1], lane))
         else:
@@ -185,6 +196,7 @@ class LaneMergeQueue:
         if cover and cover[0][0] < best_gts:
             # Blocked: the rare path pays the O(S) scan to name every
             # probe candidate, and the head entry goes back on the heap.
+            self.head_blocked_checks += 1
             heapq.heappush(self._heads, (best_gts, best))
             blockers = [
                 lane
@@ -218,12 +230,16 @@ class LaneMergeQueue:
                 if ok and not blockers:
                     q.popleft()
                     fq.popleft()
+                    self._queued -= 1
+                    self.released_count += 1
                     return m, []
                 continue
             if lane == 0:
                 # Single-domain head of the fence lane: every conflicting
                 # message is behind it in this very stream — release now.
                 q.popleft()
+                self._queued -= 1
+                self.released_count += 1
                 return m, []
             if fq and fq[0] < gts:
                 continue  # a conflicting fenced message is ordered first
@@ -233,7 +249,11 @@ class LaneMergeQueue:
                 blockers.add(0)
                 continue
             q.popleft()
+            self._queued -= 1
+            self.released_count += 1
             return m, []
+        if blockers:
+            self.head_blocked_checks += 1
         return None, sorted(blockers)
 
     def drain(self) -> Tuple[List[AmcastMessage], List[int]]:
@@ -342,6 +362,9 @@ class ShardedWbCastProcess(AtomicMulticastProcess):
         self._lane_last_deliver: List[Optional[float]] = [None] * self.shards
         self._lane_gap_ewma: List[Optional[float]] = [None] * self.shards
         self._draining = False
+        # Obs-only: merge enqueue times, for the head-wait histogram
+        # (populated only while telemetry is attached).
+        self._merge_enq_t: Dict[MessageId, float] = {}
         self._handlers = {
             LaneMsg: self._on_lane_msg,
             LaneRelayMsg: self._on_lane_relay,
@@ -351,6 +374,12 @@ class ShardedWbCastProcess(AtomicMulticastProcess):
         }
 
     # -- wiring ------------------------------------------------------------
+
+    def attach_obs(self, telemetry: Any) -> None:
+        """Propagate the run's telemetry spine to every hosted lane."""
+        super().attach_obs(telemetry)
+        for lane_proc in self.lanes:
+            lane_proc.attach_obs(telemetry)
 
     def on_start(self) -> None:
         for lane in self.lanes:
@@ -484,6 +513,8 @@ class ShardedWbCastProcess(AtomicMulticastProcess):
                 )
         if gts.time > self.commit_floor:
             self.commit_floor = gts.time
+        if self.obs is not None:
+            self._merge_enq_t[m.mid] = self.obs.now()
         self.merge.push(lane, m, gts)
 
     def probe_delay(self, lane: int) -> float:
@@ -524,6 +555,17 @@ class ShardedWbCastProcess(AtomicMulticastProcess):
                     for lane in blockers:
                         self._arm_probe(lane)
                     return
+                obs = self.obs
+                if obs is not None:
+                    # The cross-lane merge pop is the sharded pipeline's
+                    # ordering release (unsharded runs release at the
+                    # leader's DeliveryQueue pop instead).
+                    obs.stamp(m.mid, "merge_release")
+                    enq = self._merge_enq_t.pop(m.mid, None)
+                    if enq is not None:
+                        obs.registry.histogram(
+                            "lane_merge_head_wait_seconds", group=self.gid
+                        ).observe(obs.now() - enq)
                 self.deliver(m)
         finally:
             self._draining = False
@@ -550,17 +592,32 @@ class ShardedWbCastProcess(AtomicMulticastProcess):
             return  # unblocked in the meantime (delivery or watermark won)
         target = self.lanes[lane].cur_leader.get(self.gid)
         if target is not None:
+            if self.obs is not None:
+                self.obs.registry.counter(
+                    "lane_probe_sends_total", group=self.gid, lane=lane
+                ).inc()
             self.send(target, LaneMsg(lane, LaneProbeMsg(lane, need)))
         self._arm_probe(lane)
 
     def _on_lane_watermark(self, sender: ProcessId, msg: LaneWatermarkMsg) -> None:
+        obs = self.obs
         if msg.assumes is not None:
             applied = self.lanes[msg.lane].max_delivered_gts
             if applied is None or applied < msg.assumes:
                 # The promise presumes deliveries this lane has not applied
                 # (they were dropped mid-election and will be re-delivered
                 # by the successor): premature — the armed probe retries.
+                if obs is not None:
+                    obs.registry.counter(
+                        "lane_watermarks_premature_total",
+                        group=self.gid,
+                        lane=msg.lane,
+                    ).inc()
                 return
+        if obs is not None:
+            obs.registry.counter(
+                "lane_watermarks_applied_total", group=self.gid, lane=msg.lane
+            ).inc()
         self.merge.advance(msg.lane, msg.watermark)
 
     # -- dynamic reconfiguration ------------------------------------------------

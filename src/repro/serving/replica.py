@@ -228,6 +228,12 @@ class ServingReplica:
 
     def _on_deliver(self, m: AmcastMessage) -> None:
         self.store.apply(m)
+        obs = getattr(self.proc, "obs", None)
+        if obs is not None:
+            # Application of the delivery to the versioned store: the last
+            # write-path span stage (read from the process lazily, so the
+            # harness may attach telemetry before or after the replicas).
+            obs.stamp(m.mid, "apply")
         cmd = m.payload
         if isinstance(cmd, KvReadCommand) and cmd.responder == self.pid:
             # A fallback read reaching its total-order position: answer
@@ -235,6 +241,14 @@ class ServingReplica:
             # Keys mode stamps the read's domain counter (0 for reads
             # spanning domains — the session never folds 0 into a token).
             index = self.store.read_index(cmd.keys)
+            if obs is not None:
+                # A fallback read answered at its total-order slot is the
+                # one read whose service is attributable to a message id.
+                obs.stamp(m.mid, "read_serve")
+                obs.registry.counter(
+                    "serving_reads_total", pid=self.pid, group=self.gid,
+                    path="fallback",
+                ).inc()
             self.proc.send(
                 cmd.reader,
                 ReadReplyMsg(
@@ -298,6 +312,11 @@ class ServingReplica:
 
     def _serve(self, sender: ProcessId, msg: ReadMsg) -> None:
         self.served += 1
+        obs = getattr(self.proc, "obs", None)
+        if obs is not None:
+            obs.registry.counter(
+                "serving_reads_total", pid=self.pid, group=self.gid, path="local"
+            ).inc()
         items = tuple((k, *self.store.read(k)) for k in msg.keys)
         index = self.store.read_index(msg.keys)  # never None once fresh
         self.proc.send(
@@ -306,6 +325,11 @@ class ServingReplica:
 
     def _decline(self, sender: ProcessId, msg: ReadMsg) -> None:
         self.declined += 1
+        obs = getattr(self.proc, "obs", None)
+        if obs is not None:
+            obs.registry.counter(
+                "serving_reads_total", pid=self.pid, group=self.gid, path="declined"
+            ).inc()
         index = self.store.read_index(msg.keys)
         self.proc.send(
             sender,

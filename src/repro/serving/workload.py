@@ -89,12 +89,17 @@ class TenantSpec:
     ``weight`` flows into the sessions' DRR ingress weight at the lane
     leaders (PR 5); ``max_outstanding`` is the admission cap — the most
     writes the tenant's sessions may have in flight cluster-wide
-    (``None``: uncapped).
+    (``None``: uncapped).  ``read_slo`` / ``write_slo`` are per-op
+    latency targets in seconds (``None``: no target); completions above
+    a target count as SLO breaches in the sessions' per-tenant stats and
+    in the telemetry registry when observability is on.
     """
 
     name: str
     weight: int = 1
     max_outstanding: Optional[int] = None
+    read_slo: Optional[float] = None
+    write_slo: Optional[float] = None
 
 
 class TenantGate:
@@ -164,6 +169,8 @@ class ServingLoadSession(ServingSession):
         tenant: str = "default",
         gate: Optional[TenantGate] = None,
         window: int = 1,
+        spec: Optional[TenantSpec] = None,
+        telemetry: Optional[Any] = None,
     ) -> None:
         super().__init__(
             pid, config, runtime, protocol_cls, tracker, options,
@@ -175,11 +182,16 @@ class ServingLoadSession(ServingSession):
         self.tenant = tenant
         self.gate = gate
         self.window = max(1, window)
+        self.spec = spec
+        self.telemetry = telemetry
         self._remaining = num_ops
         self._inflight = 0
         self._value_seq = 0
         self.read_ops = 0
         self.write_ops = 0
+        #: Always-on SLO breach tallies (asserted by tests without obs).
+        self.read_slo_breaches = 0
+        self.write_slo_breaches = 0
 
     def on_start(self) -> None:
         self._fill()
@@ -213,14 +225,45 @@ class ServingLoadSession(ServingSession):
 
     # -- completion hooks ---------------------------------------------------
 
+    def _record_latency(self, op: str, latency: float, slo) -> None:
+        breach = slo is not None and latency > slo
+        if breach:
+            if op == "read":
+                self.read_slo_breaches += 1
+            else:
+                self.write_slo_breaches += 1
+        tel = self.telemetry
+        if tel is not None:
+            tel.registry.histogram(
+                f"tenant_{op}_latency_seconds", tenant=self.tenant
+            ).observe(latency)
+            if breach:
+                tel.registry.counter(
+                    "tenant_slo_breaches_total", tenant=self.tenant, op=op
+                ).inc()
+
     def _after_completion(self, mid, t) -> None:
         handle = self.handle_of(mid)
         if handle is not None and isinstance(handle.payload, KvReadCommand):
             return  # a fallback read's command landing: its reply refills
+        if handle is not None:
+            start = (
+                handle.launched_at
+                if handle.launched_at is not None
+                else handle.submitted_at
+            )
+            self._record_latency(
+                "write", t - start,
+                self.spec.write_slo if self.spec is not None else None,
+            )
         self._inflight -= 1
         self._fill()
 
     def _after_read(self, handle) -> None:
+        self._record_latency(
+            "read", handle.completed_at - handle.invoked_at,
+            self.spec.read_slo if self.spec is not None else None,
+        )
         self._inflight -= 1
         self._fill()
 
@@ -240,6 +283,8 @@ class ServingRunResult:
     gate: Optional[TenantGate]
     duration: float
     genuineness: Optional[GenuinenessMonitor] = None
+    #: repro.obs.Telemetry of the run, or None when observability is off.
+    telemetry: Optional[Any] = None
 
     def history(self) -> History:
         return History.from_trace(self.config, self.trace)
@@ -320,6 +365,7 @@ def run_serving_workload(
     drain_grace: float = 0.05,
     max_events: int = 50_000_000,
     max_time: Optional[float] = None,
+    obs: Optional[Any] = None,
 ) -> ServingRunResult:
     """Run a serving-tier workload in the simulator.
 
@@ -335,6 +381,14 @@ def run_serving_workload(
         network = ConstantDelay(0.001)
     trace = Trace(record_sends=record_sends)
     sim = Simulator(network, seed=seed, trace=trace, cpu=cpu)
+    from ..obs import Telemetry
+
+    telemetry = Telemetry.create(obs if obs is not None else config.obs,
+                                 now=lambda: sim.now, time_source=sim)
+    if telemetry is not None:
+        span_monitor = telemetry.trace_monitor()
+        if span_monitor is not None:
+            trace.attach(span_monitor)
     tracker = DeliveryTracker(config, sim=sim)
     trace.attach(tracker)
     monitor = ReadPathMonitor()
@@ -352,6 +406,8 @@ def run_serving_workload(
                 lambda rt, p=pid: protocol_cls(p, config, rt, options=protocol_options),
             )
             members[pid] = proc
+            if telemetry is not None:
+                proc.attach_obs(telemetry)
             if attach_fd:
                 from ..failure.detector import attach_monitor
 
@@ -383,6 +439,8 @@ def run_serving_workload(
                 tenant=sp.name,
                 gate=gate,
                 window=window,
+                spec=sp,
+                telemetry=telemetry,
             ),
         )
         sessions.append(session)
@@ -407,6 +465,10 @@ def run_serving_workload(
     end_of_load = sim.now
     if drain_grace > 0:
         sim.run(until=sim.now + drain_grace)
+    if telemetry is not None:
+        from ..obs import collect_process_stats
+
+        collect_process_stats(telemetry, members)
 
     return ServingRunResult(
         config=config,
@@ -420,4 +482,5 @@ def run_serving_workload(
         gate=gate,
         duration=end_of_load,
         genuineness=genuineness,
+        telemetry=telemetry,
     )

@@ -59,50 +59,60 @@ class Trace:
         self.crashes: List[Tuple[float, ProcessId]] = []
         self.send_count = 0
         self.monitors: List[Any] = []
+        # Per-hook bound-method lists, maintained by attach().  Sends and
+        # handles fire for every simulated event, so probing each monitor
+        # with getattr per event is measurable; the resolved hooks cost an
+        # empty-list iteration when no monitor implements them.
+        self._mult_hooks: List[Any] = []
+        self._deliver_hooks: List[Any] = []
+        self._send_hooks: List[Any] = []
+        self._crash_hooks: List[Any] = []
+        self._handle_hooks: List[Any] = []
 
     # -- recording (called by the scheduler) -------------------------------
 
     def on_multicast(self, t: float, pid: ProcessId, m: AmcastMessage) -> None:
         self.multicasts.append(MulticastRecord(t, pid, m))
-        for mon in self.monitors:
-            hook = getattr(mon, "on_multicast", None)
-            if hook is not None:
-                hook(t, pid, m)
+        for hook in self._mult_hooks:
+            hook(t, pid, m)
 
     def on_deliver(self, t: float, pid: ProcessId, m: AmcastMessage) -> None:
         self.deliveries.append(DeliveryRecord(t, pid, m))
-        for mon in self.monitors:
-            hook = getattr(mon, "on_deliver", None)
-            if hook is not None:
-                hook(t, pid, m)
+        for hook in self._deliver_hooks:
+            hook(t, pid, m)
 
     def on_send(self, rec: SendRecord) -> None:
         self.send_count += 1
         if self.record_sends:
             self.sends.append(rec)
-        for mon in self.monitors:
-            hook = getattr(mon, "on_send", None)
-            if hook is not None:
-                hook(rec)
+        for hook in self._send_hooks:
+            hook(rec)
 
     def on_crash(self, t: float, pid: ProcessId) -> None:
         self.crashes.append((t, pid))
-        for mon in self.monitors:
-            hook = getattr(mon, "on_crash", None)
-            if hook is not None:
-                hook(t, pid)
+        for hook in self._crash_hooks:
+            hook(t, pid)
 
     def on_handle(self, t: float, pid: ProcessId, src: ProcessId, msg: Any) -> None:
-        for mon in self.monitors:
-            hook = getattr(mon, "on_handle", None)
-            if hook is not None:
-                hook(t, pid, src, msg)
+        for hook in self._handle_hooks:
+            hook(t, pid, src, msg)
 
     # -- attachment ---------------------------------------------------------
 
     def attach(self, monitor: Any) -> None:
-        """Attach a monitor object; it may define any of the ``on_*`` hooks."""
+        """Attach a monitor object; it may define any of the ``on_*`` hooks
+        (resolved once here, not per event)."""
         self.monitors.append(monitor)
+        for name, hooks in (
+            ("on_multicast", self._mult_hooks),
+            ("on_deliver", self._deliver_hooks),
+            ("on_send", self._send_hooks),
+            ("on_crash", self._crash_hooks),
+            ("on_handle", self._handle_hooks),
+        ):
+            hook = getattr(monitor, name, None)
+            if hook is not None:
+                hooks.append(hook)
 
     # -- queries ------------------------------------------------------------
 

@@ -1,0 +1,438 @@
+"""The telemetry subsystem: registry, spans, profiling, and the
+disabled-mode byte-identity guarantee.
+
+Three contracts matter here:
+
+* the **registry** is a plain get-or-create instrument store whose label
+  handling, bucket maths and exports behave (and whose null twin is a
+  true no-op);
+* **message-lifecycle spans** stamped through the real pipeline form a
+  complete monotone submit -> ... -> deliver chain on both runtimes, and
+  the telescoping stage legs attribute 100% of end-to-end latency;
+* a run with observability **disabled is byte-identical** to one that
+  never heard of the subsystem — obs is observation only, never a
+  participant.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.config import ClusterConfig
+from repro.errors import ConfigError
+from repro.obs import (
+    NULL_REGISTRY,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    ObsOptions,
+    PhaseProfiler,
+    SpanRecorder,
+    STAGES,
+    Telemetry,
+    render_spans_report,
+)
+from repro.protocols import WbCastProcess
+
+
+# -- registry -----------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_counter_get_or_create_and_label_order(self):
+        reg = MetricsRegistry()
+        a = reg.counter("requests_total", group=1, lane=0)
+        b = reg.counter("requests_total", lane=0, group=1)
+        assert a is b  # label order must not mint a second series
+        a.inc()
+        b.inc(2)
+        assert reg.counter_total("requests_total", group=1) == 3
+
+    def test_counter_total_superset_match(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", tenant="a", op="read").inc(2)
+        reg.counter("hits", tenant="a", op="write").inc(3)
+        reg.counter("hits", tenant="b", op="read").inc(5)
+        assert reg.counter_total("hits", tenant="a") == 5
+        assert reg.counter_total("hits", op="read") == 7
+        assert reg.counter_total("hits") == 10
+        assert reg.counter_total("hits", tenant="c") == 0
+
+    def test_gauge_tracks_high_water(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth", pid=1)
+        g.set(4)
+        g.set(9)
+        g.set(2)
+        assert g.value == 2 and g.max == 9
+
+    def test_histogram_buckets_and_quantiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.001, 0.01, 0.1))
+        for v in (0.0005, 0.002, 0.002, 0.05, 5.0):
+            h.observe(v)
+        assert h.count == 5
+        assert h.counts == [1, 2, 1, 1]  # last slot is +Inf overflow
+        assert h.sum == pytest.approx(5.0545)
+        assert h.quantile(0.5) == 0.01
+        assert h.mean == pytest.approx(5.0545 / 5)
+
+    def test_histogram_default_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("span_stage_seconds", stage="commit")
+        assert h.bounds == sorted(LATENCY_BUCKETS)
+
+    def test_render_json_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("c", x=1).inc(7)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = json.loads(reg.render_json())
+        assert snap["counters"][0]["value"] == 7
+        assert snap["gauges"][0]["value"] == 1.5
+        assert snap["histograms"][0]["count"] == 1
+
+    def test_render_prometheus_format(self):
+        reg = MetricsRegistry()
+        reg.counter("reqs_total", code=200).inc(3)
+        reg.histogram("lat_seconds", buckets=(0.1, 1.0)).observe(0.5)
+        text = reg.render_prometheus()
+        assert '# TYPE reqs_total counter' in text
+        assert 'reqs_total{code="200"} 3' in text
+        # Cumulative buckets plus the +Inf / sum / count triple.
+        assert 'lat_seconds_bucket{le="0.1"} 0' in text
+        assert 'lat_seconds_bucket{le="1.0"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert 'lat_seconds_count 1' in text
+
+    def test_null_registry_is_inert(self):
+        NULL_REGISTRY.counter("anything", a=1).inc(5)
+        NULL_REGISTRY.gauge("g").set(3)
+        NULL_REGISTRY.histogram("h").observe(1.0)
+        assert NULL_REGISTRY.counters() == []
+        assert NULL_REGISTRY.counter_total("anything") == 0
+        assert NULL_REGISTRY.snapshot() == {
+            "counters": [], "gauges": [], "histograms": []
+        }
+        assert not NULL_REGISTRY.enabled
+
+
+# -- options / telemetry spine ------------------------------------------------
+
+
+class TestOptions:
+    def test_invalid_export_rejected(self):
+        with pytest.raises(ConfigError):
+            ObsOptions(enabled=True, export="xml")
+
+    def test_disabled_options_create_no_telemetry(self):
+        assert Telemetry.create(None) is None
+        assert Telemetry.create(ObsOptions(enabled=False)) is None
+        assert Telemetry.create(ObsOptions(enabled=True)) is not None
+
+    def test_config_rejects_non_obsoptions(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig.build(2, 3, 1, obs={"enabled": True})
+
+
+# -- span recorder units ------------------------------------------------------
+
+
+class TestSpanRecorder:
+    def test_first_stamp_wins(self):
+        spans = SpanRecorder(now=lambda: 0.0)
+        spans.stamp((0, 0), "submit", t=1.0)
+        spans.stamp((0, 0), "submit", t=5.0)
+        assert spans.records[(0, 0)]["submit"] == 1.0
+
+    def test_complete_monotone_chain(self):
+        spans = SpanRecorder(now=lambda: 0.0)
+        times = {"submit": 0.0, "admit": 1.0, "accept_quorum": 2.0,
+                 "commit": 3.0, "merge_release": 4.0, "deliver": 5.0}
+        for stage, t in times.items():
+            spans.stamp((1, 1), stage, t=t)
+        assert spans.complete((1, 1))
+        assert spans.e2e((1, 1)) == 5.0
+        # Telescoping legs cover the whole window.
+        assert spans.attributed_fraction((1, 1)) == pytest.approx(1.0)
+
+    def test_top_slowest_orders_by_e2e(self):
+        spans = SpanRecorder(now=lambda: 0.0)
+        for i, e2e in enumerate((3.0, 1.0, 2.0)):
+            spans.stamp((i, 0), "submit", t=0.0)
+            spans.stamp((i, 0), "deliver", t=e2e)
+        assert spans.top_slowest(2) == [(0, 0), (2, 0)]
+
+    def test_report_renders(self):
+        spans = SpanRecorder(now=lambda: 0.0)
+        spans.stamp((0, 0), "submit", t=0.0)
+        spans.stamp((0, 0), "admit", t=0.25)
+        spans.stamp((0, 0), "deliver", t=1.0)
+        text = render_spans_report(spans, k=5)
+        assert "attributed" in text and "admit" in text
+
+    def test_stage_names_are_the_documented_pipeline(self):
+        assert STAGES == (
+            "submit", "admit", "accept_quorum", "commit",
+            "merge_release", "deliver", "apply", "read_serve",
+        )
+
+
+# -- lifecycle conformance on the simulator -----------------------------------
+
+
+def _sim_run(shards: int = 1, **overrides):
+    config = ClusterConfig.build(
+        2, 3, 2, shards_per_group=shards, obs=ObsOptions(enabled=True)
+    )
+    return run_workload(
+        WbCastProcess,
+        config=config,
+        messages_per_client=6,
+        dest_k=2,
+        seed=3,
+        **overrides,
+    )
+
+
+class TestSimSpans:
+    @pytest.mark.parametrize("shards", [1, 2], ids=["unsharded", "sharded"])
+    def test_every_delivered_message_has_complete_chain(self, shards):
+        result = _sim_run(shards=shards)
+        spans = result.telemetry.spans
+        delivered = spans.delivered_mids()
+        assert len(delivered) == result.completed
+        for mid in delivered:
+            assert spans.complete(mid), spans.chain(mid)
+            stages = dict(spans.chain(mid))
+            # The full ordering pipeline, including the merge release leg
+            # (the DeliveryQueue pop unsharded, the lane merge sharded).
+            for stage in ("submit", "admit", "accept_quorum",
+                          "commit", "merge_release", "deliver"):
+                assert stage in stages, (mid, stages)
+            assert spans.attributed_fraction(mid) == pytest.approx(1.0)
+        assert spans.non_monotone == []
+
+    def test_stage_histograms_fed_on_deliver(self):
+        result = _sim_run()
+        reg = result.telemetry.registry
+        e2e = reg.histograms("span_e2e_seconds")
+        assert e2e and e2e[0].count == result.completed
+        commit_legs = [
+            h for h in reg.histograms("span_stage_seconds")
+            if dict(h.labels)["stage"] == "commit"
+        ]
+        assert commit_legs and commit_legs[0].count == result.completed
+
+    def test_protocol_counters_match_workload(self):
+        result = _sim_run()
+        reg = result.telemetry.registry
+        # Each message is admitted and committed once per destination lane.
+        assert reg.counter_total("wbcast_admissions_total") >= result.completed
+        assert reg.counter_total("wbcast_commits_total") >= result.completed
+
+    def test_process_stats_swept(self):
+        result = _sim_run()
+        reg = result.telemetry.registry
+        released = reg.gauges("ordering_released_total")
+        assert released and sum(g.value for g in released) > 0
+
+    def test_lane_merge_counters_on_sharded_run(self):
+        result = _sim_run(shards=2)
+        reg = result.telemetry.registry
+        assert sum(g.value for g in reg.gauges("lane_merge_released_total")) > 0
+        assert reg.counter_total("lane_probes_total") >= 0  # series exists API-wise
+
+
+# -- disabled-mode byte-identity ----------------------------------------------
+
+
+class TestByteIdentity:
+    def test_obs_never_perturbs_the_run(self):
+        """The differential gate: same seed, obs off vs on, identical
+        virtual-time behaviour event for event."""
+        base = run_workload(
+            WbCastProcess, config=ClusterConfig.build(2, 3, 2),
+            messages_per_client=6, dest_k=2, seed=11,
+        )
+        instrumented = run_workload(
+            WbCastProcess,
+            config=ClusterConfig.build(2, 3, 2, obs=ObsOptions(enabled=True)),
+            messages_per_client=6, dest_k=2, seed=11,
+        )
+        assert base.telemetry is None
+        assert instrumented.telemetry is not None
+        a, b = base.trace, instrumented.trace
+        assert [(r.t, r.pid, r.m.mid) for r in a.deliveries] == [
+            (r.t, r.pid, r.m.mid) for r in b.deliveries
+        ]
+        assert [(r.t, r.pid, r.m.mid) for r in a.multicasts] == [
+            (r.t, r.pid, r.m.mid) for r in b.multicasts
+        ]
+        assert a.send_count == b.send_count
+        assert base.sim.now == instrumented.sim.now
+
+
+# -- TCP runtime --------------------------------------------------------------
+
+
+@pytest.mark.net
+class TestNetObs:
+    def test_spans_and_clean_codec_on_tcp_cluster(self):
+        """One LocalCluster run covers the wall-clock half of the span
+        contract and the codec-health satellite: every delivered message
+        traces a complete monotone chain, and no registered hot-path
+        message type fell back to pickle."""
+        from repro.net import LocalCluster
+        from repro.net.codec import CODEC_STATS
+
+        config = ClusterConfig.build(2, 3, 1)
+        base = CODEC_STATS.snapshot()
+
+        async def scenario():
+            cluster = LocalCluster(
+                config, WbCastProcess, seed=5, obs=ObsOptions(enabled=True)
+            )
+            await cluster.start()
+            try:
+                handles = [
+                    cluster.multicast(frozenset({0, 1})) for _ in range(8)
+                ]
+                deadline = asyncio.get_event_loop().time() + 20.0
+                while not all(h.completed for h in handles):
+                    if asyncio.get_event_loop().time() > deadline:
+                        raise AssertionError("cluster run timed out")
+                    await asyncio.sleep(0.01)
+            finally:
+                await cluster.stop()
+            return cluster
+
+        cluster = asyncio.run(scenario())
+        spans = cluster.telemetry.spans
+        delivered = spans.delivered_mids()
+        assert len(delivered) >= 8
+        for mid in delivered:
+            assert spans.complete(mid), spans.chain(mid)
+        # Satellite: the hot path must never hit the pickle fallback for
+        # registered message types (new tags get caught right here).
+        assert CODEC_STATS.hot_path_fallbacks(base) == {}
+        # Transport gauges were wired into every node transport.
+        reg = cluster.telemetry.registry
+        assert reg.gauges("transport_queue_depth")
+        assert reg.histograms("transport_coalesce_frames")
+        # Codec deltas were folded into the registry at stop().
+        assert reg.gauges("codec_corrupt_frames_total")
+
+    def test_corrupt_frame_drop_records_peer(self):
+        """Garbage on the wire drops the connection and records the
+        offending peer's socket identity plus a labelled counter."""
+        from repro.net.transport import NodeTransport
+
+        async def scenario():
+            received = []
+            transport = NodeTransport(
+                1,
+                addr_of=lambda pid: ("127.0.0.1", 0),
+                on_message=lambda s, m: received.append((s, m)),
+                registry=MetricsRegistry(),
+            )
+            port = await transport.start()
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            # A length prefix far beyond MAX_FRAME: an oversized frame.
+            writer.write((1 << 31).to_bytes(4, "big") + b"\xde\xad\xbe\xef")
+            await writer.drain()
+            for _ in range(200):
+                if transport.frame_drops:
+                    break
+                await asyncio.sleep(0.01)
+            writer.close()
+            await transport.close()
+            return transport, received
+
+        transport, received = asyncio.run(scenario())
+        assert received == []
+        assert len(transport.frame_drops) == 1
+        drop = transport.frame_drops[0]
+        assert drop["peer"][0] == "127.0.0.1"  # (host, port) socket identity
+        assert drop["error"]
+        reg = transport._registry
+        assert reg.counter_total("transport_frame_drops_total", pid=1) == 1
+
+
+# -- serving SLO accounting ---------------------------------------------------
+
+
+class TestServingSlo:
+    def test_breach_counters_and_histograms(self):
+        """Tenants with an unmeetable write SLO breach on every write;
+        the always-on session tallies and the registry agree."""
+        from repro.serving import TenantSpec, run_serving_workload
+
+        config = ClusterConfig.build(2, 3, 2, obs=ObsOptions(enabled=True))
+        result = run_serving_workload(
+            WbCastProcess,
+            config=config,
+            num_sessions=2,
+            ops_per_session=12,
+            read_ratio=0.5,
+            seed=7,
+            tenants=(
+                # Writes pay ordering round trips (>= several ms of
+                # virtual time) so a 1 ns target breaches every time;
+                # reads served locally stay under a generous 10 s one.
+                TenantSpec("gold", weight=2, read_slo=10.0, write_slo=1e-9),
+                TenantSpec("best", weight=1, read_slo=10.0, write_slo=1e-9),
+            ),
+        )
+        sessions = result.sessions
+        writes = sum(s.write_ops for s in sessions)
+        assert writes > 0
+        assert sum(s.write_slo_breaches for s in sessions) == writes
+        assert sum(s.read_slo_breaches for s in sessions) == 0
+        reg = result.telemetry.registry
+        assert reg.counter_total("tenant_slo_breaches_total", op="write") == writes
+        assert reg.counter_total("tenant_slo_breaches_total", op="read") == 0
+        per_tenant = reg.histograms("tenant_write_latency_seconds")
+        assert per_tenant and sum(h.count for h in per_tenant) == writes
+
+    def test_no_slo_means_no_breaches(self):
+        from repro.serving import TenantSpec, run_serving_workload
+
+        result = run_serving_workload(
+            WbCastProcess,
+            config=ClusterConfig.build(2, 3, 2),
+            num_sessions=2,
+            ops_per_session=8,
+            read_ratio=0.5,
+            seed=7,
+            tenants=(TenantSpec("t0"), TenantSpec("t1")),
+        )
+        assert sum(s.write_slo_breaches for s in result.sessions) == 0
+        assert sum(s.read_slo_breaches for s in result.sessions) == 0
+
+
+# -- profiler -----------------------------------------------------------------
+
+
+class TestPhaseProfiler:
+    def test_phases_attribute_cpu(self, tmp_path):
+        prof = PhaseProfiler(top=5)
+
+        def burn():
+            return sum(i * i for i in range(20_000))
+
+        with prof.phase("alpha"):
+            burn()
+        with prof.phase("beta"):
+            burn()
+        with prof.phase("alpha"):  # re-entry folds into the same phase
+            burn()
+        cpu = prof.phase_cpu()
+        assert set(cpu) == {"alpha", "beta"}
+        assert cpu["alpha"] >= 0 and cpu["beta"] >= 0
+        report = prof.report()
+        assert "alpha" in report and "beta" in report
+        out = tmp_path / "profile.txt"
+        prof.write(str(out))
+        assert "alpha" in out.read_text()
